@@ -1,0 +1,88 @@
+// E6 — §4's CPUTask deep-state analysis: how long CFTCG takes to trigger
+// the queue-full (Overflow) branches, and the extrapolated time a
+// simulation-speed tool would need for the same iteration count.
+//
+// Paper: "we estimate that it would take about 44.5 hours ... CFTCG only
+// took 37 seconds."
+#include <chrono>
+
+#include "bench/bench_util.hpp"
+#include "sim/interpreter.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cftcg;
+  const auto args = bench::BenchArgs::Parse(argc, argv, /*budget=*/20.0, /*reps=*/1);
+
+  auto cm = bench::CompileOrDie("CPUTask");
+  // Locate the Ready->Overflow transition decision (queue-full).
+  coverage::DecisionId overflow = -1;
+  for (const auto& d : cm->spec().decisions()) {
+    if (d.name.find("Ready->Overflow") != std::string::npos) overflow = d.id;
+  }
+  if (overflow < 0) {
+    std::fprintf(stderr, "Overflow decision not found in CPUTask\n");
+    return 1;
+  }
+  const auto slot = static_cast<std::size_t>(cm->spec().OutcomeSlot(overflow, 0));
+
+  std::puts("=== CPUTask queue-full deep state (paper §4) ===");
+
+  // CFTCG fuzzing until the overflow branch fires (or budget runs out).
+  fuzz::FuzzerOptions options;
+  options.seed = args.seed;
+  fuzz::Fuzzer fuzzer(cm->instrumented(), cm->spec(), options);
+  double hit_time = -1;
+  std::uint64_t iters_at_hit = 0;
+  {
+    // Run in small slices so we can check the slot between slices.
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0;
+    std::uint64_t total_iters = 0;
+    while (elapsed < args.budget_s) {
+      fuzz::FuzzBudget slice;
+      slice.wall_seconds = 0.25;
+      const auto result = fuzzer.Run(slice);
+      total_iters += result.model_iterations;
+      elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      if (fuzzer.sink().total().Test(slot)) {
+        hit_time = elapsed;
+        iters_at_hit = total_iters;
+        break;
+      }
+    }
+  }
+
+  // Measure the simulation engine's iteration rate on this model.
+  sim::Interpreter interp(cm->scheduled(), true);
+  Rng rng(args.seed);
+  std::vector<std::uint8_t> buf(cm->instrumented().TupleSize());
+  std::uint64_t sim_iters = 0;
+  const auto sim_start = std::chrono::steady_clock::now();
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - sim_start).count() <
+         0.5) {
+    rng.FillBytes(buf.data(), buf.size());
+    interp.SetInputsFromBytes(buf.data());
+    interp.Step(nullptr);
+    ++sim_iters;
+    if (interp.signal_log().size() > 100000) interp.ClearSignalLog();
+  }
+  const double sim_rate =
+      static_cast<double>(sim_iters) /
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sim_start).count();
+
+  if (hit_time < 0) {
+    std::printf("CFTCG did not reach the queue-full branch within %.1fs; raise --budget.\n",
+                args.budget_s);
+    return 0;
+  }
+  std::printf("CFTCG reached the queue-full (Overflow) branch in %.2f s\n", hit_time);
+  std::printf("  model iterations executed: %llu\n",
+              static_cast<unsigned long long>(iters_at_hit));
+  std::printf("Simulation engine rate on CPUTask: %.0f it/s\n", sim_rate);
+  const double extrapolated_s = static_cast<double>(iters_at_hit) / sim_rate;
+  std::printf("Extrapolated time at simulation speed: %.1f s (%.2f hours) — %.0fx slower\n",
+              extrapolated_s, extrapolated_s / 3600.0, extrapolated_s / hit_time);
+  std::puts("(paper: 37 s for CFTCG vs an estimated 44.5 h at SimCoTest's speed)");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E5 — §4 execution-speed comparison: iterations/second of the compiled
+// path (bytecode VM standing in for Clang-compiled fuzz code) vs the
+// simulation engine (interpreter with per-step dispatch and logging).
+//
+// The paper reports >26,000 it/s for CFTCG vs 6 it/s for SimCoTest on
+// SolarPV. Our absolute numbers differ (our interpreter is a lean C++ tree
+// walker, not MATLAB's engine), but the *ratio* — compiled execution orders
+// of magnitude ahead — is the load-bearing claim, and the extrapolated
+// "hours to reach queue-full at simulation speed" story in
+// bench_cputask_deepstate builds on it.
+#include <chrono>
+
+#include "bench/bench_util.hpp"
+#include "sim/interpreter.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cftcg;
+  const auto args = bench::BenchArgs::Parse(argc, argv, /*budget=*/0.5, /*reps=*/1);
+
+  std::printf("=== Execution speed: compiled fuzz code vs simulation engine (%.2fs each) ===\n",
+              args.budget_s);
+  bench::Table table({"Model", "VM it/s", "Interp it/s", "Speedup"});
+  for (const auto& name : args.ModelNames()) {
+    auto cm = bench::CompileOrDie(name);
+    const std::size_t tuple = cm->instrumented().TupleSize();
+    Rng rng(args.seed);
+    std::vector<std::uint8_t> buf(tuple);
+    coverage::CoverageSink sink(cm->spec());
+
+    // Compiled path.
+    vm::Machine machine(cm->instrumented());
+    std::uint64_t vm_iters = 0;
+    auto start = std::chrono::steady_clock::now();
+    while (Seconds(start) < args.budget_s) {
+      for (int k = 0; k < 256; ++k) {
+        rng.FillBytes(buf.data(), buf.size());
+        sink.BeginIteration();
+        machine.SetInputsFromBytes(buf.data());
+        machine.Step(&sink);
+        ++vm_iters;
+      }
+    }
+    const double vm_rate = static_cast<double>(vm_iters) / Seconds(start);
+
+    // Simulation engine.
+    sim::Interpreter interp(cm->scheduled(), /*log_signals=*/true);
+    std::uint64_t interp_iters = 0;
+    start = std::chrono::steady_clock::now();
+    while (Seconds(start) < args.budget_s) {
+      for (int k = 0; k < 16; ++k) {
+        rng.FillBytes(buf.data(), buf.size());
+        sink.BeginIteration();
+        interp.SetInputsFromBytes(buf.data());
+        interp.Step(&sink);
+        ++interp_iters;
+      }
+      if (interp.signal_log().size() > 100000) interp.ClearSignalLog();
+    }
+    const double interp_rate = static_cast<double>(interp_iters) / Seconds(start);
+
+    table.AddRow({name, StrFormat("%.0f", vm_rate), StrFormat("%.0f", interp_rate),
+                  StrFormat("%.0fx", vm_rate / interp_rate)});
+  }
+  table.Print();
+  std::puts("\n(paper on SolarPV: 26,000+ it/s compiled vs 6 it/s simulated; the shape to");
+  std::puts(" reproduce is a large compiled-vs-interpreted gap on every model)");
+  return 0;
+}

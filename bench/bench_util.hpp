@@ -1,0 +1,130 @@
+// Shared plumbing for the experiment benches: argument parsing, table
+// printing, model compilation.
+//
+// Every bench accepts:
+//   --budget <seconds>   per-tool wall-clock budget per repetition
+//   --reps <n>           repetitions averaged for randomized tools
+//   --seed <n>           base RNG seed
+//   --models a,b,c       subset of the Table 2 roster (default: all)
+// Defaults are small so `for b in build/bench/*; do $b; done` finishes in
+// minutes; the paper-scale run is documented in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_models/bench_models.hpp"
+#include "cftcg/experiment.hpp"
+#include "cftcg/pipeline.hpp"
+#include "support/strings.hpp"
+
+namespace cftcg::bench {
+
+struct BenchArgs {
+  double budget_s = 2.0;
+  int reps = 3;
+  std::uint64_t seed = 1;
+  std::vector<std::string> models;  // empty = all
+  /// When > 0, the simulation-based baseline is capped at this many model
+  /// iterations per second — a transparent way to account for the real
+  /// Simulink engine's throughput (the paper measured ~6 it/s on SolarPV)
+  /// that our lean C++ interpreter does not reproduce. 0 = no cap.
+  double sim_rate = 0;
+
+  static BenchArgs Parse(int argc, char** argv, double default_budget_s = 2.0,
+                         int default_reps = 3) {
+    BenchArgs args;
+    args.budget_s = default_budget_s;
+    args.reps = default_reps;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> std::string { return (i + 1 < argc) ? argv[++i] : ""; };
+      if (a == "--budget") {
+        ParseDouble(next(), args.budget_s);
+      } else if (a == "--reps") {
+        long long v = 0;
+        ParseInt64(next(), v);
+        args.reps = static_cast<int>(v);
+      } else if (a == "--seed") {
+        long long v = 0;
+        ParseInt64(next(), v);
+        args.seed = static_cast<std::uint64_t>(v);
+      } else if (a == "--sim-rate") {
+        ParseDouble(next(), args.sim_rate);
+      } else if (a == "--models") {
+        for (auto& m : SplitString(next(), ',')) {
+          if (!m.empty()) args.models.push_back(m);
+        }
+      } else if (a == "--help") {
+        std::printf(
+            "usage: %s [--budget s] [--reps n] [--seed n] [--models a,b,...] [--sim-rate it/s]\n",
+            argv[0]);
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+
+  [[nodiscard]] std::vector<std::string> ModelNames() const {
+    if (!models.empty()) return models;
+    std::vector<std::string> names;
+    for (const auto& info : bench_models::Roster()) names.push_back(info.name);
+    return names;
+  }
+};
+
+inline std::unique_ptr<CompiledModel> CompileOrDie(const std::string& name) {
+  auto model = bench_models::Build(name);
+  if (!model.ok()) {
+    std::fprintf(stderr, "cannot build %s: %s\n", name.c_str(), model.message().c_str());
+    std::exit(1);
+  }
+  auto cm = CompiledModel::FromModel(model.take());
+  if (!cm.ok()) {
+    std::fprintf(stderr, "cannot compile %s: %s\n", name.c_str(), cm.message().c_str());
+    std::exit(1);
+  }
+  return cm.take();
+}
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::string line = "|";
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : "";
+        line += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+      }
+      std::puts(line.c_str());
+    };
+    print_row(header_);
+    std::string sep = "|";
+    for (auto w : widths) sep += std::string(w + 2, '-') + "|";
+    std::puts(sep.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Pct(double v) { return StrFormat("%.1f%%", v); }
+
+}  // namespace cftcg::bench

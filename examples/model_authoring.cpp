@@ -1,0 +1,111 @@
+// Authoring a model as XML and inspecting what the pipeline does with it:
+// the schedule order, the extracted branch instrumentation points, the
+// bytecode, and interactive simulation on both backends.
+//
+//   $ ./build/examples/model_authoring
+#include <cstdio>
+
+#include "cftcg/pipeline.hpp"
+#include "sim/interpreter.hpp"
+#include "vm/program.hpp"
+
+using namespace cftcg;
+
+namespace {
+
+// A thermostat: hysteresis relay on the temperature error plus a duty-cycle
+// chart (authored directly in the .cmx XML format).
+constexpr const char* kThermostat = R"(<model name="Thermostat">
+  <block kind="Inport" name="temp">
+    <param name="port" kind="int">0</param>
+    <param name="type" kind="str">double</param>
+  </block>
+  <block kind="Inport" name="setpoint">
+    <param name="port" kind="int">1</param>
+    <param name="type" kind="str">double</param>
+  </block>
+  <block kind="Subtract" name="error"/>
+  <block kind="Relay" name="heater">
+    <param name="on_point" kind="real">1.5</param>
+    <param name="off_point" kind="real">-0.5</param>
+    <param name="on_value" kind="real">1</param>
+    <param name="off_value" kind="real">0</param>
+  </block>
+  <block kind="Chart" name="duty">
+    <chart initial="0">
+      <input name="heat"/>
+      <output name="cycles" type="int32" init="0"/>
+      <var name="on_ticks" init="0"/>
+      <state name="Off" entry="on_ticks = 0;"/>
+      <state name="On" during="on_ticks = on_ticks + 1;"/>
+      <transition from="0" to="1" guard="heat != 0" action="cycles = cycles + 1;"/>
+      <transition from="1" to="0" guard="heat == 0 &amp;&amp; on_ticks &gt; 2"/>
+    </chart>
+  </block>
+  <block kind="Outport" name="heat_cmd"><param name="port" kind="int">0</param></block>
+  <block kind="Outport" name="cycle_count"><param name="port" kind="int">1</param></block>
+  <wire from="setpoint:0" to="error:0"/>
+  <wire from="temp:0" to="error:1"/>
+  <wire from="error:0" to="heater:0"/>
+  <wire from="heater:0" to="duty:0"/>
+  <wire from="heater:0" to="heat_cmd:0"/>
+  <wire from="duty:0" to="cycle_count:0"/>
+</model>)";
+
+}  // namespace
+
+int main() {
+  auto compiled = CompiledModel::FromXml(kThermostat);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "parse/compile failed: %s\n", compiled.message().c_str());
+    return 1;
+  }
+  auto cm = compiled.take();
+
+  // Schedule order (the "Schedule Convert" result).
+  std::puts("=== execution schedule ===");
+  for (ir::BlockId id : cm->scheduled().OrderOf(&cm->model())) {
+    const auto& b = cm->model().block(id);
+    std::printf("  %-10s (%s)\n", b.name().c_str(),
+                std::string(ir::BlockKindName(b.kind())).c_str());
+  }
+
+  // Extracted branch instrumentation points (modes (a)-(d)).
+  std::puts("\n=== instrumentation points ===");
+  for (const auto& d : cm->spec().decisions()) {
+    std::printf("  decision %-28s outcomes=%d conditions=%zu\n", d.name.c_str(), d.num_outcomes,
+                d.conditions.size());
+  }
+  for (const auto& c : cm->spec().conditions()) {
+    std::printf("  condition %s\n", c.name.c_str());
+  }
+
+  // A peek at the lowered bytecode.
+  const auto& program = cm->instrumented();
+  std::printf("\n=== bytecode: %zu instructions, %d dregs, %d iregs ===\n", program.code.size(),
+              program.num_dregs, program.num_iregs);
+  const std::string disasm = vm::Disassemble(program);
+  std::printf("%s...\n", disasm.substr(0, 600).c_str());
+
+  // Drive a warming/cooling scenario on both backends side by side.
+  std::puts("\n=== scenario: cold start, warm up, overshoot ===");
+  vm::Machine machine(program);
+  sim::Interpreter interp(cm->scheduled(), false);
+  const double setpoint = 21.0;
+  double temp = 15.0;
+  std::puts("  temp   heater(vm)  heater(sim)  cycles");
+  for (int step = 0; step < 12; ++step) {
+    const std::vector<ir::Value> inputs = {ir::Value::Double(temp),
+                                           ir::Value::Double(setpoint)};
+    machine.SetInputs(inputs);
+    machine.Step(nullptr);
+    interp.SetInputs(inputs);
+    interp.Step(nullptr);
+    std::printf("  %5.1f  %10.0f  %11.0f  %6lld\n", temp, machine.GetOutput(0).AsDouble(),
+                interp.GetOutput(0).AsDouble(),
+                static_cast<long long>(machine.GetOutput(1).AsInt64()));
+    // Simple plant: heater warms, ambient cools.
+    temp += machine.GetOutput(0).AsDouble() > 0 ? 1.2 : -0.7;
+  }
+  return 0;
+}

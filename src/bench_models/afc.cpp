@@ -1,0 +1,110 @@
+// AFC — engine air-fuel control system.
+//
+// Inports: Throttle:double (0..100 %), Rpm:int32, O2:double (sensor volts),
+// Mode:int8 (0 off, 1 open loop, 2 closed loop). Outport: FuelCmd:double.
+//
+// Classic structure: speed-density base fuel from lookup tables, a limited
+// integrator for closed-loop trim, sensor-fault detection forcing open
+// loop, dead zone around stoichiometric error, rate-limited and saturated
+// final command.
+#include "bench_models/bench_models.hpp"
+#include "ir/builder.hpp"
+
+namespace cftcg::bench_models {
+
+using ir::BlockKind;
+using ir::DType;
+using ir::ModelBuilder;
+using ir::ParamMap;
+using ir::ParamValue;
+
+namespace {
+
+ParamMap P(std::initializer_list<std::pair<const char*, ParamValue>> kv) {
+  ParamMap p;
+  for (const auto& [k, v] : kv) p.Set(k, v);
+  return p;
+}
+
+}  // namespace
+
+std::unique_ptr<ir::Model> BuildAfc() {
+  ModelBuilder mb("AFC");
+  auto throttle = mb.Inport("Throttle", DType::kDouble);
+  auto rpm = mb.Inport("Rpm", DType::kInt32);
+  auto o2 = mb.Inport("O2", DType::kDouble);
+  auto mode = mb.Inport("Mode", DType::kInt8);
+
+  auto thr_sat = mb.Saturation(throttle, 0.0, 100.0, "thr_sat");
+  auto rpm_sat = mb.Saturation(rpm, 0, 8000, "rpm_sat");
+  auto rpm_f = mb.Op(BlockKind::kDataTypeConversion, "rpm_f", {rpm_sat},
+                     P({{"to", ParamValue("double")}}));
+
+  // Base fuel: rpm volumetric-efficiency table x throttle airflow table.
+  auto ve = mb.Op(BlockKind::kLookup1D, "ve_table", {rpm_f},
+                  P({{"breakpoints", ParamValue(std::vector<double>{0, 1000, 2500, 4000, 6000,
+                                                                    8000})},
+                     {"table", ParamValue(std::vector<double>{0.2, 0.55, 0.8, 0.95, 0.85, 0.7})}}));
+  auto airflow = mb.Op(BlockKind::kLookup1D, "air_table", {thr_sat},
+                       P({{"breakpoints", ParamValue(std::vector<double>{0, 10, 30, 60, 100})},
+                          {"table", ParamValue(std::vector<double>{1, 4, 12, 28, 40})}}));
+  auto base = mb.Mul(ve, airflow, "base_fuel");
+
+  // Sensor fault detection: O2 outside [0.05, 0.95] or stalled engine.
+  auto o2_low = mb.Op(BlockKind::kCompareToConstant, "o2_low", {o2},
+                      P({{"op", ParamValue("lt")}, {"value", ParamValue(0.05)}}));
+  auto o2_high = mb.Op(BlockKind::kCompareToConstant, "o2_high", {o2},
+                       P({{"op", ParamValue("gt")}, {"value", ParamValue(0.95)}}));
+  auto stalled = mb.Op(BlockKind::kCompareToConstant, "stalled", {rpm_sat},
+                       P({{"op", ParamValue("lt")}, {"value", ParamValue(400.0)}}));
+  auto sensor_fault = mb.Or({o2_low, o2_high, stalled}, "sensor_fault");
+
+  // Closed-loop request: Mode==2 and sensor healthy.
+  auto closed_req = mb.Op(BlockKind::kCompareToConstant, "closed_req", {mode},
+                          P({{"op", ParamValue("eq")}, {"value", ParamValue(2.0)}}));
+  auto healthy = mb.Not(sensor_fault, "healthy");
+  auto closed_loop = mb.And({closed_req, healthy}, "closed_loop");
+
+  // Stoichiometric error with dead zone, trimmed by a limited integrator.
+  auto err = mb.Op(BlockKind::kBias, "o2_err", {o2}, P({{"bias", ParamValue(-0.45)}}));
+  auto dz = mb.Op(BlockKind::kDeadZone, "err_dz", {err},
+                  P({{"start", ParamValue(-0.05)}, {"end", ParamValue(0.05)}}));
+  auto gated_err = mb.Switch(dz, closed_loop, mb.Constant(0.0), 0.5, "gated_err");
+  auto trim = mb.Op(BlockKind::kDiscreteIntegrator, "trim", {gated_err},
+                    P({{"gain", ParamValue(0.5)},
+                       {"lower", ParamValue(-0.3)},
+                       {"upper", ParamValue(0.3)}}));
+
+  // Enrichment on heavy throttle (open-loop power mode).
+  auto heavy = mb.Op(BlockKind::kCompareToConstant, "heavy", {thr_sat},
+                     P({{"op", ParamValue("gt")}, {"value", ParamValue(85.0)}}));
+  auto enrich = mb.Switch(mb.Constant(1.15), heavy, mb.Constant(1.0), 0.5, "enrich");
+
+  // fuel = base * (1 + trim) * enrich, unless Mode==0 (engine off).
+  auto one_plus = mb.Op(BlockKind::kBias, "one_plus_trim", {trim}, P({{"bias", ParamValue(1.0)}}));
+  auto fuel_cl = mb.Mul(base, one_plus, "fuel_cl");
+  auto fuel_rich = mb.Mul(fuel_cl, enrich, "fuel_rich");
+  auto off = mb.Op(BlockKind::kCompareToConstant, "mode_off", {mode},
+                   P({{"op", ParamValue("eq")}, {"value", ParamValue(0.0)}}));
+  auto fuel_sel = mb.Switch(mb.Constant(0.0), off, fuel_rich, 0.5, "fuel_sel");
+
+  // Actuator conditioning: slew limit then clamp.
+  auto slewed = mb.Op(BlockKind::kRateLimiter, "fuel_slew", {fuel_sel},
+                      P({{"rising", ParamValue(3.0)}, {"falling", ParamValue(-5.0)}}));
+  auto fuel_cmd = mb.Saturation(slewed, 0.0, 45.0, "fuel_clamp");
+
+  // Lean-misfire protection: if commanded fuel very low at high rpm, bump
+  // to idle minimum.
+  auto lean = mb.Op(BlockKind::kCompareToConstant, "lean", {fuel_cmd},
+                    P({{"op", ParamValue("lt")}, {"value", ParamValue(0.8)}}));
+  auto spinning = mb.Op(BlockKind::kCompareToConstant, "spinning", {rpm_sat},
+                        P({{"op", ParamValue("gt")}, {"value", ParamValue(1200.0)}}));
+  auto running = mb.Not(off, "running");
+  auto misfire_risk = mb.And({lean, spinning, running}, "misfire_risk");
+  auto final_fuel = mb.Switch(mb.Constant(0.9), misfire_risk, fuel_cmd, 0.5, "final_fuel");
+
+  mb.Outport("FuelCmd", final_fuel);
+  return mb.Build();
+}
+
+}  // namespace cftcg::bench_models

@@ -1,0 +1,160 @@
+// CPUTask — AutoSAR CPU task dispatch system.
+//
+// Inports: TaskID:uint8, Prio:int32, Cmd:int8 (0 idle, 1 enqueue,
+// 2 dispatch, 3 flush), Tick:int8. Outport: Status:int32.
+//
+// The dispatcher chart keeps an internal ready-queue fill counter; the
+// Overflow state is reachable only after eight consecutive enqueues without
+// a dispatch — the "task queue is fulfilled" condition §4 of the paper
+// calls "very stringent" for SLDV (state-space depth) and SimCoTest
+// (simulation speed). Around the chart: priority banding, per-band budget
+// subsystems, and a watchdog.
+#include "bench_models/bench_models.hpp"
+#include "ir/builder.hpp"
+
+namespace cftcg::bench_models {
+
+using ir::BlockKind;
+using ir::ChartDef;
+using ir::ChartOutput;
+using ir::ChartState;
+using ir::ChartTransition;
+using ir::ChartVar;
+using ir::DType;
+using ir::ModelBuilder;
+using ir::ParamMap;
+using ir::ParamValue;
+using ir::PortRef;
+
+namespace {
+
+ParamMap P(std::initializer_list<std::pair<const char*, ParamValue>> kv) {
+  ParamMap p;
+  for (const auto& [k, v] : kv) p.Set(k, v);
+  return p;
+}
+
+/// Per-priority-band budget accounting: inports (active, prio), outport
+/// budget score.
+std::unique_ptr<ir::Model> BuildBandBudget(int band, double weight) {
+  ModelBuilder mb("band" + std::to_string(band));
+  auto active = mb.Inport("active", DType::kBool);
+  auto prio = mb.Inport("prio", DType::kInt32);
+  auto scaled = mb.Gain(prio, weight, "scaled");
+  auto capped = mb.Saturation(scaled, 0, 64 * band, "capped");
+  auto bonus = mb.Switch(mb.Constant(static_cast<double>(8 * band)), active,
+                         mb.Constant(0.0), 0.5, "bonus");
+  auto score = mb.Sum(capped, bonus, "score");
+  mb.Outport("budget", score);
+  return mb.Build();
+}
+
+}  // namespace
+
+std::unique_ptr<ir::Model> BuildCpuTask() {
+  ModelBuilder mb("CPUTask");
+  auto task_id = mb.Inport("TaskID", DType::kUInt8);
+  auto prio = mb.Inport("Prio", DType::kInt32);
+  auto cmd = mb.Inport("Cmd", DType::kInt8);
+  auto tick = mb.Inport("Tick", DType::kInt8);
+
+  auto prio_sat = mb.Saturation(prio, 0, 255, "prio_sat");
+  auto ticking = mb.Op(BlockKind::kCompareToZero, "ticking", {tick},
+                       P({{"op", ParamValue("ne")}}));
+  auto is_enqueue = mb.Op(BlockKind::kCompareToConstant, "is_enqueue", {cmd},
+                          P({{"op", ParamValue("eq")}, {"value", ParamValue(1.0)}}));
+  auto is_dispatch = mb.Op(BlockKind::kCompareToConstant, "is_dispatch", {cmd},
+                           P({{"op", ParamValue("eq")}, {"value", ParamValue(2.0)}}));
+  auto hi_prio = mb.Op(BlockKind::kCompareToConstant, "hi_prio", {prio_sat},
+                       P({{"op", ParamValue("ge")}, {"value", ParamValue(200.0)}}));
+  auto urgent = mb.And({is_enqueue, hi_prio}, "urgent");
+  auto busy_cmd = mb.Or({is_enqueue, is_dispatch}, "busy_cmd");
+
+  // The dispatcher state machine with the internal ready queue.
+  ChartDef chart;
+  chart.inputs = {"cmd", "prio", "tick", "tid"};
+  chart.outputs = {ChartOutput{"state_code", DType::kInt32, 0.0},
+                   ChartOutput{"queue_len", DType::kInt32, 0.0},
+                   ChartOutput{"running_prio", DType::kInt32, 0.0}};
+  chart.vars = {ChartVar{"count", 0.0}, ChartVar{"cur", 0.0}, ChartVar{"load", 0.0},
+                ChartVar{"drops", 0.0}};
+  chart.states = {
+      ChartState{"Idle", "state_code = 0;", "", ""},
+      ChartState{"Ready", "state_code = 1;",
+                 "if (cmd == 1) { if (count >= 8) { drops = drops + 1; } else { count = count + "
+                 "1; } } queue_len = count;",
+                 ""},
+      ChartState{"Running", "state_code = 2; running_prio = cur;",
+                 "load = load + 1; if (cmd == 1 && count < 8) { count = count + 1; } queue_len = "
+                 "count;",
+                 ""},
+      ChartState{"Preempted", "state_code = 3;", "", ""},
+      ChartState{"Overflow", "state_code = 4;", "drops = drops + 1;", ""},
+  };
+  chart.transitions = {
+      ChartTransition{0, 1, "cmd == 1", "count = 1;"},
+      ChartTransition{1, 4, "count >= 8 && cmd == 1", ""},  // queue full: deep state
+      ChartTransition{1, 2, "cmd == 2 && count > 0", "count = count - 1; cur = prio;"},
+      ChartTransition{1, 0, "count == 0 && cmd == 0", ""},
+      ChartTransition{2, 3, "cmd == 1 && prio > cur && count < 8", "count = count + 1;"},
+      ChartTransition{2, 1, "tick != 0 && load > 5", "load = 0;"},
+      ChartTransition{2, 0, "cmd == 3", "count = 0; load = 0;"},
+      ChartTransition{3, 2, "tick != 0", "cur = prio;"},
+      ChartTransition{4, 1, "cmd == 3", "count = 0; drops = 0;"},
+  };
+  chart.initial_state = 0;
+  const auto fsm = mb.AddChart("dispatcher", {cmd, prio_sat, tick, task_id}, chart);
+  auto state_code = ModelBuilder::Out(fsm, 0);
+  auto queue_len = ModelBuilder::Out(fsm, 1);
+  auto running_prio = ModelBuilder::Out(fsm, 2);
+
+  // Priority banding: band = prio / 64 + 1 (1..4), selecting a per-band
+  // budget subsystem.
+  auto band = mb.Op(BlockKind::kExprFunc, "band_of", {prio_sat},
+                    P({{"in", ParamValue(1)},
+                       {"out", ParamValue(1)},
+                       {"body", ParamValue("if (u1 < 64) { y1 = 1; } elseif (u1 < 128) { y1 = 2; } "
+                                           "elseif (u1 < 192) { y1 = 3; } else { y1 = 4; }")},
+                       {"out_types", ParamValue("int32")}}));
+  std::vector<std::unique_ptr<ir::Model>> bands;
+  for (int k = 1; k <= 4; ++k) bands.push_back(BuildBandBudget(k, 0.25 * k));
+  {
+    ModelBuilder def("band_default");
+    (void)def.Inport("active", DType::kBool);
+    (void)def.Inport("prio", DType::kInt32);
+    def.Outport("budget", def.Constant(0.0));
+    bands.push_back(def.Build());
+  }
+  const auto band_switch =
+      mb.AddCompound(BlockKind::kActionSwitch, "band_budget", {band, busy_cmd, prio_sat},
+                     std::move(bands));
+  auto budget = ModelBuilder::Out(band_switch, 0);
+
+  // Watchdog: starves when the queue stays full; barks after 12 ticks.
+  auto q_full = mb.Op(BlockKind::kCompareToConstant, "q_full", {queue_len},
+                      P({{"op", ParamValue("ge")}, {"value", ParamValue(8.0)}}));
+  auto starving = mb.And({q_full, ticking}, "starving");
+  auto wd_count = mb.Op(BlockKind::kCounterLimited, "wd_count", {starving},
+                        P({{"limit", ParamValue(static_cast<std::int64_t>(12))}}));
+  auto wd_bark = mb.Op(BlockKind::kCompareToConstant, "wd_bark", {wd_count},
+                       P({{"op", ParamValue("ge")}, {"value", ParamValue(12.0)}}));
+
+  // Urgency bypass path.
+  auto bypass = mb.Switch(mb.Gain(running_prio, 2.0, "rp2"), urgent,
+                          mb.Constant(0.0), 0.5, "bypass");
+
+  // Status packing.
+  auto status = mb.Op(
+      BlockKind::kExprFunc, "status_pack", {state_code, queue_len, budget, bypass, wd_bark},
+      P({{"in", ParamValue(5)},
+         {"out", ParamValue(1)},
+         {"in_names", ParamValue("st q bud byp wd")},
+         {"body",
+          ParamValue("y1 = st * 100000 + q * 1000 + min(bud, 999); if (byp > 0) { y1 = y1 + "
+                     "300000; } if (wd != 0) { y1 = y1 + 7000000; }")},
+         {"out_types", ParamValue("int32")}}));
+  mb.Outport("Status", status);
+  return mb.Build();
+}
+
+}  // namespace cftcg::bench_models

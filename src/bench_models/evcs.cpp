@@ -1,0 +1,139 @@
+// EVCS — electric vehicle charging system.
+//
+// Inports: Plugged:int8, Auth:int8, CurrentReq:int32 (deciamps),
+// Temp:int16 (deci-degC). Outport: Out:int32 (packed).
+//
+// Session chart (Idle/Connected/Authorizing/Charging/Balancing/Complete/
+// Fault), temperature-derating lookup, contactor relay with hysteresis,
+// authorization timeout counter.
+#include "bench_models/bench_models.hpp"
+#include "ir/builder.hpp"
+
+namespace cftcg::bench_models {
+
+using ir::BlockKind;
+using ir::ChartDef;
+using ir::ChartOutput;
+using ir::ChartState;
+using ir::ChartTransition;
+using ir::ChartVar;
+using ir::DType;
+using ir::ModelBuilder;
+using ir::ParamMap;
+using ir::ParamValue;
+
+namespace {
+
+ParamMap P(std::initializer_list<std::pair<const char*, ParamValue>> kv) {
+  ParamMap p;
+  for (const auto& [k, v] : kv) p.Set(k, v);
+  return p;
+}
+
+}  // namespace
+
+std::unique_ptr<ir::Model> BuildEvcs() {
+  ModelBuilder mb("EVCS");
+  auto plugged = mb.Inport("Plugged", DType::kInt8);
+  auto auth = mb.Inport("Auth", DType::kInt8);
+  auto current_req = mb.Inport("CurrentReq", DType::kInt32);
+  auto temp = mb.Inport("Temp", DType::kInt16);
+
+  auto is_plugged = mb.Op(BlockKind::kCompareToZero, "is_plugged", {plugged},
+                          P({{"op", ParamValue("ne")}}));
+  auto is_auth = mb.Op(BlockKind::kCompareToZero, "is_auth", {auth},
+                       P({{"op", ParamValue("ne")}}));
+
+  // Temperature conditioning and derating.
+  auto temp_f = mb.Op(BlockKind::kDataTypeConversion, "temp_f", {temp},
+                      P({{"to", ParamValue("double")}}));
+  auto temp_c = mb.Gain(temp_f, 0.1, "temp_c");
+  auto derate = mb.Op(
+      BlockKind::kLookup1D, "derate", {temp_c},
+      P({{"breakpoints", ParamValue(std::vector<double>{-20, 0, 25, 40, 55, 70})},
+         {"table", ParamValue(std::vector<double>{0.4, 0.8, 1.0, 1.0, 0.5, 0.0})}}));
+  auto overheat = mb.Op(BlockKind::kCompareToConstant, "overheat", {temp_c},
+                        P({{"op", ParamValue("gt")}, {"value", ParamValue(65.0)}}));
+  auto frozen = mb.Op(BlockKind::kCompareToConstant, "frozen", {temp_c},
+                      P({{"op", ParamValue("lt")}, {"value", ParamValue(-25.0)}}));
+  auto temp_fault = mb.Or({overheat, frozen}, "temp_fault");
+
+  // Requested current conditioning.
+  auto req_sat = mb.Saturation(current_req, 0, 3200, "req_sat");
+  auto req_f = mb.Op(BlockKind::kDataTypeConversion, "req_f", {req_sat},
+                     P({{"to", ParamValue("double")}}));
+  auto granted = mb.Mul(req_f, derate, "granted");
+  auto granted_slew = mb.Op(BlockKind::kRateLimiter, "granted_slew", {granted},
+                            P({{"rising", ParamValue(100.0)}, {"falling", ParamValue(-400.0)}}));
+
+  // Authorization timeout: counts while plugged but unauthorized.
+  auto not_auth = mb.Not(is_auth, "not_auth");
+  auto waiting = mb.And({is_plugged, not_auth}, "waiting");
+  auto auth_timer = mb.Op(BlockKind::kCounterLimited, "auth_timer", {waiting},
+                          P({{"limit", ParamValue(static_cast<std::int64_t>(20))}}));
+  auto auth_expired = mb.Op(BlockKind::kCompareToConstant, "auth_expired", {auth_timer},
+                            P({{"op", ParamValue("ge")}, {"value", ParamValue(20.0)}}));
+
+  // Session chart. Energy accumulates only in Charging; Balancing trickles.
+  ChartDef chart;
+  chart.inputs = {"plugged", "authed", "amps", "tfault", "expired"};
+  chart.outputs = {ChartOutput{"mode", DType::kInt32, 0.0},
+                   ChartOutput{"energy", DType::kDouble, 0.0}};
+  chart.vars = {ChartVar{"ticks", 0.0}};
+  chart.states = {
+      ChartState{"Idle", "mode = 0; energy = 0;", "", ""},
+      ChartState{"Connected", "mode = 1;", "ticks = ticks + 1;", ""},
+      ChartState{"Authorizing", "mode = 2;", "", ""},
+      ChartState{"Charging", "mode = 3;", "energy = energy + amps / 100;", ""},
+      ChartState{"Balancing", "mode = 4;", "energy = energy + amps / 1000;", ""},
+      ChartState{"Complete", "mode = 5;", "", ""},
+      ChartState{"Fault", "mode = 6;", "", ""},
+  };
+  chart.transitions = {
+      ChartTransition{0, 1, "plugged != 0", "ticks = 0;"},
+      ChartTransition{1, 2, "authed == 0 && ticks >= 1", ""},
+      ChartTransition{1, 3, "authed != 0 && amps > 50 && tfault == 0", ""},
+      ChartTransition{1, 0, "plugged == 0", ""},
+      ChartTransition{2, 3, "authed != 0 && tfault == 0", ""},
+      ChartTransition{2, 6, "expired != 0", ""},
+      ChartTransition{2, 0, "plugged == 0", ""},
+      ChartTransition{3, 4, "energy >= 800", ""},
+      ChartTransition{3, 6, "tfault != 0", ""},
+      ChartTransition{3, 0, "plugged == 0", ""},
+      ChartTransition{4, 5, "energy >= 1000", ""},
+      ChartTransition{4, 6, "tfault != 0", ""},
+      ChartTransition{5, 0, "plugged == 0", ""},
+      ChartTransition{6, 0, "plugged == 0", ""},
+  };
+  chart.initial_state = 0;
+  const auto fsm = mb.AddChart(
+      "session", {is_plugged, is_auth, granted_slew, temp_fault, auth_expired}, chart);
+  auto mode = ModelBuilder::Out(fsm, 0);
+  auto energy = ModelBuilder::Out(fsm, 1);
+
+  // Contactor: closes while charging/balancing; relay adds hysteresis on
+  // the granted current.
+  auto charging = mb.Op(BlockKind::kCompareToConstant, "mode_chg", {mode},
+                        P({{"op", ParamValue("eq")}, {"value", ParamValue(3.0)}}));
+  auto balancing = mb.Op(BlockKind::kCompareToConstant, "mode_bal", {mode},
+                         P({{"op", ParamValue("eq")}, {"value", ParamValue(4.0)}}));
+  auto closed = mb.Or({charging, balancing}, "contactor_cmd");
+  auto relay = mb.Op(BlockKind::kRelay, "precharge", {granted_slew},
+                     P({{"on_point", ParamValue(200.0)},
+                        {"off_point", ParamValue(50.0)},
+                        {"on_value", ParamValue(1.0)},
+                        {"off_value", ParamValue(0.0)}}));
+
+  auto out = mb.Op(
+      BlockKind::kExprFunc, "pack", {mode, energy, closed, relay},
+      P({{"in", ParamValue(4)},
+         {"out", ParamValue(1)},
+         {"in_names", ParamValue("m e c r")},
+         {"body", ParamValue("y1 = m * 100000 + min(e, 9999) * 10; if (c != 0) { y1 = y1 + 1; } "
+                             "if (r != 0) { y1 = y1 + 2; }")},
+         {"out_types", ParamValue("int32")}}));
+  mb.Outport("Out", out);
+  return mb.Build();
+}
+
+}  // namespace cftcg::bench_models

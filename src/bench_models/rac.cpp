@@ -1,0 +1,172 @@
+// RAC — robotic arm controller.
+//
+// Inports: T1..T4:int16 (joint target angles, tenths of degree), Go:int8,
+// EStop:int8. Outport: Cmd:int32 (packed joint commands + supervisor
+// state).
+//
+// Four identical joint servo subsystems (position estimate integrator,
+// PD-ish command, rate limiter, saturation, endstop protection) under a
+// supervisor chart (Init/Homing/Ready/Moving/Holding/EStop).
+#include "bench_models/bench_models.hpp"
+#include "ir/builder.hpp"
+
+namespace cftcg::bench_models {
+
+using ir::BlockKind;
+using ir::ChartDef;
+using ir::ChartOutput;
+using ir::ChartState;
+using ir::ChartTransition;
+using ir::ChartVar;
+using ir::DType;
+using ir::ModelBuilder;
+using ir::ParamMap;
+using ir::ParamValue;
+using ir::PortRef;
+
+namespace {
+
+ParamMap P(std::initializer_list<std::pair<const char*, ParamValue>> kv) {
+  ParamMap p;
+  for (const auto& [k, v] : kv) p.Set(k, v);
+  return p;
+}
+
+/// One joint servo: inports (target, enabled), outports (command, at_limit).
+std::unique_ptr<ir::Model> BuildJoint(int index, double lo, double hi) {
+  ModelBuilder mb("joint" + std::to_string(index));
+  auto target = mb.Inport("target", DType::kInt16);
+  auto enabled = mb.Inport("enabled", DType::kBool);
+
+  auto tgt_f = mb.Op(BlockKind::kDataTypeConversion, "tgt_f", {target},
+                     P({{"to", ParamValue("double")}}));
+  auto tgt_sat = mb.Saturation(tgt_f, lo, hi, "tgt_sat");
+
+  // Position estimate: integrator over the commanded velocity (a
+  // first-order servo loop). The integrator is created unwired and its
+  // input connected after the command path exists — legal because the
+  // integrator input is not direct feedthrough.
+  const auto pos_id = mb.AddBlock(BlockKind::kDiscreteIntegrator, "pos_est", {},
+                                  P({{"gain", ParamValue(1.0)}, {"lower", ParamValue(lo)},
+                                     {"upper", ParamValue(hi)}}));
+  auto pos = ModelBuilder::Out(pos_id);
+  auto err = mb.Sub(tgt_sat, pos, "err");
+  auto err_dz = mb.Op(BlockKind::kDeadZone, "err_dz", {err},
+                      P({{"start", ParamValue(-2.0)}, {"end", ParamValue(2.0)}}));
+  auto p_term = mb.Gain(err_dz, 0.4, "p_term");
+  auto cmd_raw = mb.Switch(p_term, enabled, mb.Constant(0.0), 0.5, "cmd_gate");
+  auto cmd_slew = mb.Op(BlockKind::kRateLimiter, "cmd_slew", {cmd_raw},
+                        P({{"rising", ParamValue(15.0)}, {"falling", ParamValue(-15.0)}}));
+  auto cmd = mb.Saturation(cmd_slew, -50.0, 50.0, "cmd_sat");
+  mb.Connect(cmd, pos_id, 0);  // close the servo loop
+
+  // Endstop proximity detection.
+  auto near_lo = mb.Op(BlockKind::kCompareToConstant, "near_lo", {pos},
+                       P({{"op", ParamValue("le")}, {"value", ParamValue(lo + 5.0)}}));
+  auto near_hi = mb.Op(BlockKind::kCompareToConstant, "near_hi", {pos},
+                       P({{"op", ParamValue("ge")}, {"value", ParamValue(hi - 5.0)}}));
+  auto at_limit = mb.Or({near_lo, near_hi}, "at_limit");
+  auto at_limit_i = mb.Op(BlockKind::kDataTypeConversion, "at_limit_i", {at_limit},
+                          P({{"to", ParamValue("int32")}}));
+
+  auto cmd_i = mb.Op(BlockKind::kDataTypeConversion, "cmd_i", {cmd},
+                     P({{"to", ParamValue("int32")}}));
+  mb.Outport("command", cmd_i);
+  mb.Outport("at_limit_out", at_limit_i);
+  return mb.Build();
+}
+
+}  // namespace
+
+std::unique_ptr<ir::Model> BuildRac() {
+  ModelBuilder mb("RAC");
+  auto t1 = mb.Inport("T1", DType::kInt16);
+  auto t2 = mb.Inport("T2", DType::kInt16);
+  auto t3 = mb.Inport("T3", DType::kInt16);
+  auto t4 = mb.Inport("T4", DType::kInt16);
+  auto go = mb.Inport("Go", DType::kInt8);
+  auto estop = mb.Inport("EStop", DType::kInt8);
+
+  auto going = mb.Op(BlockKind::kCompareToZero, "going", {go}, P({{"op", ParamValue("ne")}}));
+  auto stopped = mb.Op(BlockKind::kCompareToZero, "stopped", {estop},
+                       P({{"op", ParamValue("ne")}}));
+  auto run_ok = mb.And({going, mb.Not(stopped, "not_stop")}, "run_ok");
+
+  // Four joints with different travel ranges.
+  struct JointSpec {
+    PortRef target;
+    double lo, hi;
+  };
+  const JointSpec specs[] = {
+      {t1, -1800.0, 1800.0}, {t2, -900.0, 900.0}, {t3, -1350.0, 1350.0}, {t4, -450.0, 450.0}};
+  std::vector<PortRef> commands;
+  std::vector<PortRef> limits;
+  for (int k = 0; k < 4; ++k) {
+    std::vector<std::unique_ptr<ir::Model>> body;
+    body.push_back(BuildJoint(k + 1, specs[k].lo, specs[k].hi));
+    const auto joint = mb.AddCompound(BlockKind::kSubsystem, "servo" + std::to_string(k + 1),
+                                      {specs[k].target, run_ok}, std::move(body));
+    commands.push_back(ModelBuilder::Out(joint, 0));
+    limits.push_back(ModelBuilder::Out(joint, 1));
+  }
+
+  // Any-joint-at-limit and total commanded effort.
+  auto lim12 = mb.Or({limits[0], limits[1]}, "lim12");
+  auto lim34 = mb.Or({limits[2], limits[3]}, "lim34");
+  auto any_limit = mb.Or({lim12, lim34}, "any_limit");
+  auto effort12 = mb.Sum(mb.Op(BlockKind::kAbs, "a1", {commands[0]}),
+                         mb.Op(BlockKind::kAbs, "a2", {commands[1]}), "effort12");
+  auto effort34 = mb.Sum(mb.Op(BlockKind::kAbs, "a3", {commands[2]}),
+                         mb.Op(BlockKind::kAbs, "a4", {commands[3]}), "effort34");
+  auto effort = mb.Sum(effort12, effort34, "effort");
+  auto overload = mb.Op(BlockKind::kCompareToConstant, "overload", {effort},
+                        P({{"op", ParamValue("gt")}, {"value", ParamValue(150.0)}}));
+
+  // Supervisor chart.
+  ChartDef chart;
+  chart.inputs = {"go", "estop", "limit", "ovl", "effort"};
+  chart.outputs = {ChartOutput{"mode", DType::kInt32, 0.0}};
+  chart.vars = {ChartVar{"settle", 0.0}, ChartVar{"trips", 0.0}};
+  chart.states = {
+      ChartState{"Init", "mode = 0;", "", ""},
+      ChartState{"Homing", "mode = 1;", "settle = settle + 1;", ""},
+      ChartState{"Ready", "mode = 2;", "", ""},
+      ChartState{"Moving", "mode = 3;", "if (effort < 5) { settle = settle + 1; } else { settle "
+                                        "= 0; }",
+                 ""},
+      ChartState{"Holding", "mode = 4;", "", ""},
+      ChartState{"EStopped", "mode = 5; trips = trips + 1;", "", ""},
+  };
+  chart.transitions = {
+      ChartTransition{0, 1, "go != 0 && estop == 0", "settle = 0;"},
+      ChartTransition{1, 2, "settle >= 3", "settle = 0;"},
+      ChartTransition{2, 3, "go != 0 && limit == 0", "settle = 0;"},
+      ChartTransition{3, 4, "settle >= 4", ""},
+      ChartTransition{3, 2, "go == 0", ""},
+      ChartTransition{4, 3, "go != 0 && effort > 10", "settle = 0;"},
+      ChartTransition{4, 2, "go == 0", ""},
+      ChartTransition{0, 5, "estop != 0", ""},
+      ChartTransition{1, 5, "estop != 0", ""},
+      ChartTransition{2, 5, "estop != 0 || ovl != 0", ""},
+      ChartTransition{3, 5, "estop != 0 || ovl != 0 || limit != 0 && effort > 120", ""},
+      ChartTransition{4, 5, "estop != 0", ""},
+      ChartTransition{5, 0, "estop == 0 && go == 0 && trips < 5", ""},
+  };
+  chart.initial_state = 0;
+  const auto fsm = mb.AddChart("supervisor", {going, stopped, any_limit, overload, effort}, chart);
+  auto smode = ModelBuilder::Out(fsm, 0);
+
+  // Packed output.
+  auto packed = mb.Op(
+      BlockKind::kExprFunc, "pack", {smode, effort, commands[0], any_limit},
+      P({{"in", ParamValue(4)},
+         {"out", ParamValue(1)},
+         {"in_names", ParamValue("m e c1 al")},
+         {"body", ParamValue("y1 = m * 1000000 + min(e, 999) * 1000 + abs(c1); if (al != 0) { y1 "
+                             "= y1 + 500; }")},
+         {"out_types", ParamValue("int32")}}));
+  mb.Outport("Cmd", packed);
+  return mb.Build();
+}
+
+}  // namespace cftcg::bench_models

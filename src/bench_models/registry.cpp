@@ -1,0 +1,31 @@
+#include "bench_models/bench_models.hpp"
+
+namespace cftcg::bench_models {
+
+const std::vector<BenchModelInfo>& Roster() {
+  static const std::vector<BenchModelInfo> kRoster = {
+      {"CPUTask", "AutoSAR CPU task dispatch system"},
+      {"AFC", "Engine air-fuel control system"},
+      {"TCP", "TCP three-way handshake protocol"},
+      {"RAC", "Robotic arm controller"},
+      {"EVCS", "Electric vehicle charging system"},
+      {"TWC", "Train wheel speed controller"},
+      {"UTPC", "Underwater thruster power control"},
+      {"SolarPV", "Solar PV panel output control"},
+  };
+  return kRoster;
+}
+
+Result<std::unique_ptr<ir::Model>> Build(const std::string& name) {
+  if (name == "CPUTask") return BuildCpuTask();
+  if (name == "AFC") return BuildAfc();
+  if (name == "TCP") return BuildTcp();
+  if (name == "RAC") return BuildRac();
+  if (name == "EVCS") return BuildEvcs();
+  if (name == "TWC") return BuildTwc();
+  if (name == "UTPC") return BuildUtpc();
+  if (name == "SolarPV") return BuildSolarPv();
+  return Status::Error("unknown benchmark model: " + name);
+}
+
+}  // namespace cftcg::bench_models

@@ -1,0 +1,176 @@
+// TCP — three-way handshake / connection state machine.
+//
+// Inports: Syn:int8, Ack:int8, Fin:int8, Rst:int8 (flag bytes), Seq:int32,
+// AckNo:int32, Timeout:int8. Outport: State:int32 (packed).
+//
+// The chart is the full RFC 793 connection FSM (11 states); guards combine
+// flag tests with sequence/acknowledgement arithmetic, giving dense
+// condition/MCDC structure. A retransmission counter and a packet
+// validator (MATLAB-Function-style) surround it.
+#include "bench_models/bench_models.hpp"
+#include "ir/builder.hpp"
+
+namespace cftcg::bench_models {
+
+using ir::BlockKind;
+using ir::ChartDef;
+using ir::ChartOutput;
+using ir::ChartState;
+using ir::ChartTransition;
+using ir::ChartVar;
+using ir::DType;
+using ir::ModelBuilder;
+using ir::ParamMap;
+using ir::ParamValue;
+
+namespace {
+
+ParamMap P(std::initializer_list<std::pair<const char*, ParamValue>> kv) {
+  ParamMap p;
+  for (const auto& [k, v] : kv) p.Set(k, v);
+  return p;
+}
+
+}  // namespace
+
+std::unique_ptr<ir::Model> BuildTcp() {
+  ModelBuilder mb("TCP");
+  auto syn = mb.Inport("Syn", DType::kInt8);
+  auto ack = mb.Inport("Ack", DType::kInt8);
+  auto fin = mb.Inport("Fin", DType::kInt8);
+  auto rst = mb.Inport("Rst", DType::kInt8);
+  auto seq = mb.Inport("Seq", DType::kInt32);
+  auto ack_no = mb.Inport("AckNo", DType::kInt32);
+  auto timeout = mb.Inport("Timeout", DType::kInt8);
+
+  // Packet validator: a MATLAB-Function-style block classifying the
+  // segment (0 invalid, 1 syn, 2 synack, 3 ack, 4 fin, 5 rst).
+  auto pkt = mb.Op(
+      BlockKind::kExprFunc, "classify",
+      {syn, ack, fin, rst},
+      P({{"in", ParamValue(4)},
+         {"out", ParamValue(1)},
+         {"in_names", ParamValue("s a f r")},
+         {"body", ParamValue("if (r != 0) { y1 = 5; } elseif (s != 0 && a != 0) { y1 = 2; } "
+                             "elseif (s != 0) { y1 = 1; } elseif (f != 0) { y1 = 4; } elseif "
+                             "(a != 0) { y1 = 3; } else { y1 = 0; }")},
+         {"out_types", ParamValue("int32")}}));
+
+  ChartDef chart;
+  chart.inputs = {"syn", "ack", "fin", "rst", "seq", "ackno", "tmo"};
+  chart.outputs = {ChartOutput{"st", DType::kInt32, 0.0},
+                   ChartOutput{"events", DType::kInt32, 0.0}};
+  chart.vars = {ChartVar{"snd_nxt", 0.0}, ChartVar{"rcv_nxt", 0.0}, ChartVar{"retries", 0.0},
+                ChartVar{"tw_ticks", 0.0}};
+  // State indices: 0 CLOSED, 1 LISTEN, 2 SYN_SENT, 3 SYN_RCVD,
+  // 4 ESTABLISHED, 5 FIN_WAIT_1, 6 FIN_WAIT_2, 7 CLOSE_WAIT, 8 CLOSING,
+  // 9 LAST_ACK, 10 TIME_WAIT.
+  chart.states = {
+      ChartState{"CLOSED", "st = 0;", "", ""},
+      ChartState{"LISTEN", "st = 1;", "", ""},
+      ChartState{"SYN_SENT", "st = 2;", "", ""},
+      ChartState{"SYN_RCVD", "st = 3;", "", ""},
+      ChartState{"ESTABLISHED", "st = 4; events = events + 1;",
+                 "if (ack != 0 && ackno > snd_nxt) { snd_nxt = ackno; }", ""},
+      ChartState{"FIN_WAIT_1", "st = 5;", "", ""},
+      ChartState{"FIN_WAIT_2", "st = 6;", "", ""},
+      ChartState{"CLOSE_WAIT", "st = 7;", "", ""},
+      ChartState{"CLOSING", "st = 8;", "", ""},
+      ChartState{"LAST_ACK", "st = 9;", "", ""},
+      ChartState{"TIME_WAIT", "st = 10;", "tw_ticks = tw_ticks + 1;", ""},
+  };
+  chart.transitions = {
+      // Passive and active open.
+      ChartTransition{0, 1, "syn == 0 && ack == 0 && fin == 0 && rst == 0", "rcv_nxt = 0;"},
+      ChartTransition{0, 2, "syn != 0 && ack == 0", "snd_nxt = seq + 1;"},
+      // LISTEN: inbound SYN.
+      ChartTransition{1, 3, "syn != 0 && ack == 0 && rst == 0", "rcv_nxt = seq + 1;"},
+      ChartTransition{1, 0, "rst != 0", ""},
+      // SYN_SENT: got SYN+ACK with the right acknowledgement.
+      ChartTransition{2, 4, "syn != 0 && ack != 0 && ackno == snd_nxt",
+                      "rcv_nxt = seq + 1; retries = 0;"},
+      ChartTransition{2, 3, "syn != 0 && ack == 0", "rcv_nxt = seq + 1;"},  // simultaneous open
+      ChartTransition{2, 0, "rst != 0 || tmo != 0 && retries >= 3", "retries = 0;"},
+      // SYN_RCVD: final ACK of the handshake.
+      ChartTransition{3, 4, "ack != 0 && syn == 0 && ackno == rcv_nxt", "retries = 0;"},
+      ChartTransition{3, 1, "rst != 0", ""},
+      ChartTransition{3, 0, "tmo != 0 && retries >= 5", "retries = 0;"},
+      // ESTABLISHED: close paths.
+      ChartTransition{4, 5, "fin == 0 && tmo != 0 && retries > 1", ""},  // local close on stall
+      ChartTransition{4, 7, "fin != 0 && seq == rcv_nxt", "rcv_nxt = rcv_nxt + 1;"},
+      ChartTransition{4, 0, "rst != 0", ""},
+      // FIN_WAIT_1.
+      ChartTransition{5, 8, "fin != 0 && ack == 0", ""},
+      ChartTransition{5, 6, "ack != 0 && fin == 0 && ackno >= snd_nxt", ""},
+      ChartTransition{5, 10, "fin != 0 && ack != 0", "tw_ticks = 0;"},
+      // FIN_WAIT_2 / CLOSING / CLOSE_WAIT / LAST_ACK.
+      ChartTransition{6, 10, "fin != 0", "tw_ticks = 0;"},
+      ChartTransition{8, 10, "ack != 0", "tw_ticks = 0;"},
+      ChartTransition{7, 9, "tmo != 0", ""},
+      ChartTransition{9, 0, "ack != 0 && ackno >= snd_nxt", ""},
+      // TIME_WAIT: 2MSL expiry needs repeated timeout ticks (deep state).
+      ChartTransition{10, 0, "tw_ticks >= 4", "tw_ticks = 0;"},
+  };
+  chart.initial_state = 0;
+  const auto fsm =
+      mb.AddChart("connection", {syn, ack, fin, rst, seq, ack_no, timeout}, chart);
+  auto st = ModelBuilder::Out(fsm, 0);
+  auto events = ModelBuilder::Out(fsm, 1);
+
+  // Retransmission pressure: count timeouts while not established.
+  auto is_established = mb.Op(BlockKind::kCompareToConstant, "is_est", {st},
+                              P({{"op", ParamValue("eq")}, {"value", ParamValue(4.0)}}));
+  auto timing_out = mb.Op(BlockKind::kCompareToZero, "timing_out", {timeout},
+                          P({{"op", ParamValue("ne")}}));
+  auto not_est = mb.Not(is_established, "not_est");
+  auto rtx_pressure = mb.And({timing_out, not_est}, "rtx_pressure");
+  auto rtx = mb.Op(BlockKind::kCounterLimited, "rtx_count", {rtx_pressure},
+                   P({{"limit", ParamValue(static_cast<std::int64_t>(6))}}));
+  auto gave_up = mb.Op(BlockKind::kCompareToConstant, "gave_up", {rtx},
+                       P({{"op", ParamValue("ge")}, {"value", ParamValue(6.0)}}));
+
+  // Window bookkeeping: |Seq - AckNo| clipped, just to exercise arithmetic.
+  auto delta = mb.Sub(seq, ack_no, "delta");
+  auto win = mb.Op(BlockKind::kAbs, "win_abs", {delta});
+  auto win_cap = mb.Saturation(win, 0, 65535, "win_cap");
+  auto win_busy = mb.Op(BlockKind::kCompareToConstant, "win_busy", {win_cap},
+                        P({{"op", ParamValue("gt")}, {"value", ParamValue(32768.0)}}));
+
+  // Keepalive machinery: while established and quiet (no flags), count
+  // toward a probe; an ACK resets the silence run via edge detection.
+  auto any_flag = mb.Or({mb.Op(BlockKind::kCompareToZero, "syn_b", {syn},
+                               P({{"op", ParamValue("ne")}})),
+                         mb.Op(BlockKind::kCompareToZero, "ack_b", {ack},
+                               P({{"op", ParamValue("ne")}})),
+                         mb.Op(BlockKind::kCompareToZero, "fin_b", {fin},
+                               P({{"op", ParamValue("ne")}}))},
+                        "any_flag");
+  auto quiet = mb.Not(any_flag, "quiet");
+  auto idle_est = mb.And({is_established, quiet}, "idle_est");
+  auto ka_timer = mb.Op(BlockKind::kCounterLimited, "ka_timer", {idle_est},
+                        P({{"limit", ParamValue(static_cast<std::int64_t>(10))}}));
+  auto ka_probe = mb.Op(BlockKind::kCompareToConstant, "ka_probe", {ka_timer},
+                        P({{"op", ParamValue("ge")}, {"value", ParamValue(10.0)}}));
+  ParamMap edge;
+  edge.Set("edge", ParamValue("rising"));
+  auto est_edge = mb.Op(BlockKind::kEdgeDetector, "est_edge", {is_established}, std::move(edge));
+  auto sessions = mb.Op(BlockKind::kCounterLimited, "sessions", {est_edge},
+                        P({{"limit", ParamValue(static_cast<std::int64_t>(1000))}}));
+
+  // Packed status.
+  auto status = mb.Op(
+      BlockKind::kExprFunc, "status_pack",
+      {st, events, pkt, gave_up, win_busy, ka_probe, sessions},
+      P({{"in", ParamValue(7)},
+         {"out", ParamValue(1)},
+         {"in_names", ParamValue("st ev pk gu wb ka ss")},
+         {"body",
+          ParamValue("y1 = st * 1000 + pk * 100 + min(ev, 99); if (gu != 0) { y1 = y1 + 100000; } "
+                     "if (wb != 0) { y1 = y1 + 200000; } if (ka != 0) { y1 = y1 + 400000; } "
+                     "y1 = y1 + min(ss, 9) * 1000000;")},
+         {"out_types", ParamValue("int32")}}));
+  mb.Outport("State", status);
+  return mb.Build();
+}
+
+}  // namespace cftcg::bench_models

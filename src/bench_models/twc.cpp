@@ -1,0 +1,136 @@
+// TWC — train wheel speed controller (wheel-slide / wheel-slip protection).
+//
+// Inports: WheelSpeed:int32 (mm/s), TrainSpeed:int32 (mm/s), BrakeDemand:int8
+// (0..100 %), TractionDemand:int8 (0..100 %). Outport: Cmd:int32.
+//
+// Slip/slide detection from the wheel-vs-train speed difference, an
+// anti-slip chart whose Locked state needs sustained slide (deep state),
+// rate-limited brake/traction effort, and jerk protection.
+#include "bench_models/bench_models.hpp"
+#include "ir/builder.hpp"
+
+namespace cftcg::bench_models {
+
+using ir::BlockKind;
+using ir::ChartDef;
+using ir::ChartOutput;
+using ir::ChartState;
+using ir::ChartTransition;
+using ir::ChartVar;
+using ir::DType;
+using ir::ModelBuilder;
+using ir::ParamMap;
+using ir::ParamValue;
+
+namespace {
+
+ParamMap P(std::initializer_list<std::pair<const char*, ParamValue>> kv) {
+  ParamMap p;
+  for (const auto& [k, v] : kv) p.Set(k, v);
+  return p;
+}
+
+}  // namespace
+
+std::unique_ptr<ir::Model> BuildTwc() {
+  ModelBuilder mb("TWC");
+  auto wheel = mb.Inport("WheelSpeed", DType::kInt32);
+  auto train = mb.Inport("TrainSpeed", DType::kInt32);
+  auto brake = mb.Inport("BrakeDemand", DType::kInt8);
+  auto traction = mb.Inport("TractionDemand", DType::kInt8);
+
+  auto wheel_sat = mb.Saturation(wheel, 0, 90000, "wheel_sat");
+  auto train_sat = mb.Saturation(train, 0, 90000, "train_sat");
+  auto brake_sat = mb.Saturation(brake, 0, 100, "brake_sat");
+  auto traction_sat = mb.Saturation(traction, 0, 100, "traction_sat");
+
+  // Creep = wheel - train: negative when sliding under braking, positive
+  // when slipping under traction.
+  auto creep = mb.Sub(wheel_sat, train_sat, "creep");
+  auto slide = mb.Op(BlockKind::kCompareToConstant, "slide", {creep},
+                     P({{"op", ParamValue("lt")}, {"value", ParamValue(-1500.0)}}));
+  auto slip = mb.Op(BlockKind::kCompareToConstant, "slip", {creep},
+                    P({{"op", ParamValue("gt")}, {"value", ParamValue(1500.0)}}));
+  auto braking = mb.Op(BlockKind::kCompareToConstant, "braking", {brake_sat},
+                       P({{"op", ParamValue("gt")}, {"value", ParamValue(5.0)}}));
+  auto pulling = mb.Op(BlockKind::kCompareToConstant, "pulling", {traction_sat},
+                       P({{"op", ParamValue("gt")}, {"value", ParamValue(5.0)}}));
+  auto slide_active = mb.And({slide, braking}, "slide_active");
+  auto slip_active = mb.And({slip, pulling}, "slip_active");
+  auto moving = mb.Op(BlockKind::kCompareToConstant, "moving", {train_sat},
+                      P({{"op", ParamValue("gt")}, {"value", ParamValue(500.0)}}));
+
+  // Sustained-slide counter: the Locked state only becomes reachable after
+  // five consecutive sliding iterations.
+  auto slide_run = mb.Op(BlockKind::kCounterLimited, "slide_run", {slide_active},
+                         P({{"limit", ParamValue(static_cast<std::int64_t>(5))}}));
+
+  ChartDef chart;
+  chart.inputs = {"slide", "slip", "run", "moving", "creep"};
+  chart.outputs = {ChartOutput{"wsp", DType::kInt32, 0.0},
+                   ChartOutput{"relief", DType::kDouble, 0.0}};
+  chart.vars = {ChartVar{"recover", 0.0}};
+  chart.states = {
+      ChartState{"Normal", "wsp = 0; relief = 0;", "", ""},
+      ChartState{"SlipDetected", "wsp = 1; relief = 0.3;", "", ""},
+      ChartState{"Correcting", "wsp = 2;", "relief = min(relief + 0.1, 0.8);", ""},
+      ChartState{"Locked", "wsp = 3; relief = 1;", "recover = recover + 1;", ""},
+      ChartState{"Recovery", "wsp = 4;", "relief = max(relief - 0.05, 0);", ""},
+  };
+  chart.transitions = {
+      ChartTransition{0, 1, "(slide != 0 || slip != 0) && moving != 0", "recover = 0;"},
+      ChartTransition{1, 2, "slide != 0 || slip != 0", ""},
+      ChartTransition{1, 0, "slide == 0 && slip == 0", ""},
+      ChartTransition{2, 3, "run >= 5 && slide != 0", "recover = 0;"},
+      ChartTransition{2, 4, "slide == 0 && slip == 0", ""},
+      ChartTransition{3, 4, "recover >= 6 && slide == 0", ""},
+      ChartTransition{4, 0, "relief <= 0.05", "relief = 0;"},
+      ChartTransition{4, 2, "slide != 0 || slip != 0", ""},
+  };
+  chart.initial_state = 0;
+  const auto fsm =
+      mb.AddChart("wsp_fsm", {slide_active, slip_active, slide_run, moving, creep}, chart);
+  auto wsp = ModelBuilder::Out(fsm, 0);
+  auto relief = ModelBuilder::Out(fsm, 1);
+
+  // Relieved brake effort: demand scaled down by the chart's relief signal,
+  // then jerk-limited.
+  auto brake_f = mb.Op(BlockKind::kDataTypeConversion, "brake_f", {brake_sat},
+                       P({{"to", ParamValue("double")}}));
+  auto keep = mb.Op(BlockKind::kExprFunc, "relief_inv", {relief},
+                    P({{"in", ParamValue(1)},
+                       {"out", ParamValue(1)},
+                       {"body", ParamValue("y1 = 1 - u1; if (y1 < 0) { y1 = 0; }")}}));
+  auto brake_eff = mb.Mul(brake_f, keep, "brake_eff");
+  auto brake_jerk = mb.Op(BlockKind::kRateLimiter, "brake_jerk", {brake_eff},
+                          P({{"rising", ParamValue(8.0)}, {"falling", ParamValue(-20.0)}}));
+
+  // Traction is cut entirely while correcting a slip.
+  auto correcting = mb.Op(BlockKind::kCompareToConstant, "correcting", {wsp},
+                          P({{"op", ParamValue("ge")}, {"value", ParamValue(2.0)}}));
+  auto traction_f = mb.Op(BlockKind::kDataTypeConversion, "traction_f", {traction_sat},
+                          P({{"to", ParamValue("double")}}));
+  auto traction_eff = mb.Switch(mb.Constant(0.0), correcting, traction_f, 0.5, "traction_eff");
+  auto traction_jerk = mb.Op(BlockKind::kRateLimiter, "traction_jerk", {traction_eff},
+                             P({{"rising", ParamValue(5.0)}, {"falling", ParamValue(-30.0)}}));
+
+  // Conflict check: simultaneous heavy brake + traction is a fault.
+  auto conflict = mb.And({braking, pulling}, "conflict");
+  auto stopped_wheel = mb.Op(BlockKind::kCompareToConstant, "stopped_wheel", {wheel_sat},
+                             P({{"op", ParamValue("lt")}, {"value", ParamValue(100.0)}}));
+  auto flat_risk = mb.And({stopped_wheel, moving, braking}, "flat_risk");
+
+  auto cmd = mb.Op(
+      BlockKind::kExprFunc, "pack", {wsp, brake_jerk, traction_jerk, conflict, flat_risk},
+      P({{"in", ParamValue(5)},
+         {"out", ParamValue(1)},
+         {"in_names", ParamValue("w b t c fr")},
+         {"body",
+          ParamValue("y1 = w * 100000 + floor(b) * 1000 + floor(t) * 10; if (c != 0) { y1 = y1 + "
+                     "1; } if (fr != 0) { y1 = y1 + 2; }")},
+         {"out_types", ParamValue("int32")}}));
+  mb.Outport("Cmd", cmd);
+  return mb.Build();
+}
+
+}  // namespace cftcg::bench_models

@@ -1,0 +1,154 @@
+// UTPC — underwater thruster power control.
+//
+// Inports: Depth:int32 (cm), Demand:int32 (total thrust request, N),
+// Battery:int16 (deci-volts), Enable:int8. Outport: Power:int32.
+//
+// Depth-dependent power ceiling (pressure derating lookup), allocation of
+// the demand across three thrusters with per-thruster saturation, a
+// battery-health chart whose Critical/Recovery states need long discharge
+// sequences (the ~917 s deep-coverage event of Figure 7's UTPC panel), and
+// an emergency-surface mode.
+#include "bench_models/bench_models.hpp"
+#include "ir/builder.hpp"
+
+namespace cftcg::bench_models {
+
+using ir::BlockKind;
+using ir::ChartDef;
+using ir::ChartOutput;
+using ir::ChartState;
+using ir::ChartTransition;
+using ir::ChartVar;
+using ir::DType;
+using ir::ModelBuilder;
+using ir::ParamMap;
+using ir::ParamValue;
+using ir::PortRef;
+
+namespace {
+
+ParamMap P(std::initializer_list<std::pair<const char*, ParamValue>> kv) {
+  ParamMap p;
+  for (const auto& [k, v] : kv) p.Set(k, v);
+  return p;
+}
+
+/// One thruster: inports (share, ceiling, enabled), outport power.
+std::unique_ptr<ir::Model> BuildThruster(int index, double efficiency) {
+  ModelBuilder mb("thruster" + std::to_string(index));
+  auto share = mb.Inport("share", DType::kDouble);
+  auto ceiling = mb.Inport("ceiling", DType::kDouble);
+  auto enabled = mb.Inport("enabled", DType::kBool);
+  auto limited = mb.Op(BlockKind::kMin, "limited", {share, ceiling});
+  auto eff = mb.Gain(limited, efficiency, "eff");
+  auto gated = mb.Switch(eff, enabled, mb.Constant(0.0), 0.5, "gated");
+  auto slew = mb.Op(BlockKind::kRateLimiter, "slew", {gated},
+                    P({{"rising", ParamValue(40.0)}, {"falling", ParamValue(-60.0)}}));
+  auto out = mb.Saturation(slew, 0.0, 400.0, "thrust_sat");
+  mb.Outport("power", out);
+  return mb.Build();
+}
+
+}  // namespace
+
+std::unique_ptr<ir::Model> BuildUtpc() {
+  ModelBuilder mb("UTPC");
+  auto depth = mb.Inport("Depth", DType::kInt32);
+  auto demand = mb.Inport("Demand", DType::kInt32);
+  auto battery = mb.Inport("Battery", DType::kInt16);
+  auto enable = mb.Inport("Enable", DType::kInt8);
+
+  auto enabled = mb.Op(BlockKind::kCompareToZero, "enabled", {enable},
+                       P({{"op", ParamValue("ne")}}));
+  auto depth_sat = mb.Saturation(depth, 0, 600000, "depth_sat");
+  auto depth_m = mb.Gain(mb.Op(BlockKind::kDataTypeConversion, "depth_f", {depth_sat},
+                               P({{"to", ParamValue("double")}})),
+                         0.01, "depth_m");
+
+  // Pressure derating: deeper -> lower per-thruster ceiling.
+  auto ceiling = mb.Op(
+      BlockKind::kLookup1D, "pressure_ceiling", {depth_m},
+      P({{"breakpoints", ParamValue(std::vector<double>{0, 100, 500, 1500, 3000, 6000})},
+         {"table", ParamValue(std::vector<double>{400, 380, 320, 220, 120, 40})}}));
+
+  // Battery voltage conditioning and discharge model: a leaky integrator of
+  // commanded power approximates drained charge.
+  auto batt_f = mb.Gain(mb.Op(BlockKind::kDataTypeConversion, "batt_f", {battery},
+                              P({{"to", ParamValue("double")}})),
+                        0.1, "batt_v");
+  auto batt_low = mb.Op(BlockKind::kCompareToConstant, "batt_low", {batt_f},
+                        P({{"op", ParamValue("lt")}, {"value", ParamValue(44.0)}}));
+  auto batt_crit = mb.Op(BlockKind::kCompareToConstant, "batt_crit", {batt_f},
+                         P({{"op", ParamValue("lt")}, {"value", ParamValue(40.0)}}));
+
+  // Demand conditioning and 3-way allocation (40/35/25 split).
+  auto demand_sat = mb.Saturation(demand, 0, 1200, "demand_sat");
+  auto demand_f = mb.Op(BlockKind::kDataTypeConversion, "demand_f", {demand_sat},
+                        P({{"to", ParamValue("double")}}));
+  const double kSplit[3] = {0.40, 0.35, 0.25};
+  const double kEff[3] = {0.95, 0.92, 0.90};
+  std::vector<PortRef> thrust;
+  for (int k = 0; k < 3; ++k) {
+    auto share = mb.Gain(demand_f, kSplit[k], "share" + std::to_string(k + 1));
+    std::vector<std::unique_ptr<ir::Model>> body;
+    body.push_back(BuildThruster(k + 1, kEff[k]));
+    const auto th = mb.AddCompound(BlockKind::kSubsystem, "thr" + std::to_string(k + 1),
+                                   {share, ceiling, enabled}, std::move(body));
+    thrust.push_back(ModelBuilder::Out(th, 0));
+  }
+  auto total12 = mb.Sum(thrust[0], thrust[1], "total12");
+  auto total = mb.Sum(total12, thrust[2], "total_power");
+
+  // Battery-health chart: Critical needs ~20 heavy-draw iterations, and
+  // Recovery needs a long cool-down — the deep UTPC states.
+  ChartDef chart;
+  chart.inputs = {"low", "crit", "draw", "en"};
+  chart.outputs = {ChartOutput{"bmode", DType::kInt32, 0.0},
+                   ChartOutput{"budget", DType::kDouble, 1000.0}};
+  chart.vars = {ChartVar{"drain", 0.0}, ChartVar{"rest", 0.0}};
+  chart.states = {
+      ChartState{"Normal", "bmode = 0; budget = 1000;",
+                 "if (draw > 600) { drain = drain + 2; } elseif (draw > 300) { drain = drain + 1; "
+                 "} else { drain = max(drain - 1, 0); }",
+                 ""},
+      ChartState{"Low", "bmode = 1; budget = 500;",
+                 "if (draw > 300) { drain = drain + 1; }", ""},
+      ChartState{"Critical", "bmode = 2; budget = 100;", "rest = rest + 1;", ""},
+      ChartState{"Recovery", "bmode = 3;", "budget = min(budget + 20, 800); rest = rest + 1;",
+                 ""},
+  };
+  chart.transitions = {
+      ChartTransition{0, 1, "low != 0 || drain >= 12", "rest = 0;"},
+      ChartTransition{1, 2, "crit != 0 || drain >= 20", "rest = 0;"},
+      ChartTransition{1, 0, "low == 0 && drain < 6", ""},
+      ChartTransition{2, 3, "rest >= 8 && draw < 100", "rest = 0;"},
+      ChartTransition{3, 0, "rest >= 10 && crit == 0", "drain = 0; rest = 0;"},
+      ChartTransition{3, 2, "crit != 0", "rest = 0;"},
+  };
+  chart.initial_state = 0;
+  const auto fsm = mb.AddChart("battery_fsm", {batt_low, batt_crit, total, enabled}, chart);
+  auto bmode = ModelBuilder::Out(fsm, 0);
+  auto budget = ModelBuilder::Out(fsm, 1);
+
+  // Emergency surface: critical battery at depth forces fixed ascent power.
+  auto deep = mb.Op(BlockKind::kCompareToConstant, "deep", {depth_m},
+                    P({{"op", ParamValue("gt")}, {"value", ParamValue(50.0)}}));
+  auto is_crit = mb.Op(BlockKind::kCompareToConstant, "is_crit", {bmode},
+                       P({{"op", ParamValue("ge")}, {"value", ParamValue(2.0)}}));
+  auto emergency = mb.And({deep, is_crit, enabled}, "emergency");
+
+  // Final power: min(total, budget), overridden in emergency.
+  auto budgeted = mb.Op(BlockKind::kMin, "budgeted", {total, budget});
+  auto final_power = mb.Switch(mb.Constant(150.0), emergency, budgeted, 0.5, "final_power");
+  auto packed = mb.Op(
+      BlockKind::kExprFunc, "pack", {bmode, final_power, emergency},
+      P({{"in", ParamValue(3)},
+         {"out", ParamValue(1)},
+         {"in_names", ParamValue("m p e")},
+         {"body", ParamValue("y1 = m * 10000 + floor(p); if (e != 0) { y1 = y1 + 100000; }")},
+         {"out_types", ParamValue("int32")}}));
+  mb.Outport("Power", packed);
+  return mb.Build();
+}
+
+}  // namespace cftcg::bench_models

@@ -1,0 +1,392 @@
+#include "blocks/analyze.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace cftcg::blocks {
+
+using ir::Block;
+using ir::BlockKind;
+using ir::DType;
+using ir::Model;
+
+const CompiledExprFunc* CompiledPrograms::FindExprFunc(const ir::Block* block) const {
+  auto it = exprfuncs_.find(block);
+  return it == exprfuncs_.end() ? nullptr : &it->second;
+}
+
+const CompiledChart* CompiledPrograms::FindChart(const ir::Block* block) const {
+  auto it = charts_.find(block);
+  return it == charts_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+Status Err(const Model& m, const std::string& what) {
+  return Status::Error("model '" + m.name() + "': " + what);
+}
+
+Status ValidateWiring(const Model& m) {
+  std::set<std::string> names;
+  for (const auto& b : m.blocks()) {
+    if (!names.insert(b.name()).second) return Err(m, "duplicate block name '" + b.name() + "'");
+  }
+  for (const auto& w : m.wires()) {
+    if (w.src.block < 0 || static_cast<std::size_t>(w.src.block) >= m.blocks().size()) {
+      return Err(m, "wire source block out of range");
+    }
+    if (w.dst_block < 0 || static_cast<std::size_t>(w.dst_block) >= m.blocks().size()) {
+      return Err(m, "wire destination block out of range");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidatePortsDriven(const Model& m) {
+  for (const auto& b : m.blocks()) {
+    for (int port = 0; port < b.num_inputs(); ++port) {
+      int drivers = 0;
+      for (const auto& w : m.wires()) {
+        if (w.dst_block == b.id() && w.dst_port == port) ++drivers;
+      }
+      if (drivers != 1) {
+        return Err(m, StrFormat("block '%s' input %d has %d drivers (want 1)", b.name().c_str(),
+                                port, drivers));
+      }
+    }
+    for (const auto& w : m.wires()) {
+      if (w.dst_block == b.id() && w.dst_port >= b.num_inputs()) {
+        return Err(m, StrFormat("wire into '%s' port %d exceeds input count %d", b.name().c_str(),
+                                w.dst_port, b.num_inputs()));
+      }
+      if (w.src.block == b.id() && w.src.port >= b.num_outputs()) {
+        return Err(m, StrFormat("wire from '%s' port %d exceeds output count %d",
+                                b.name().c_str(), w.src.port, b.num_outputs()));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidatePortIndices(const Model& m, BlockKind kind) {
+  std::vector<std::int64_t> indices;
+  for (const auto& b : m.blocks()) {
+    if (b.kind() == kind) indices.push_back(b.params().GetInt("port", 0));
+  }
+  std::sort(indices.begin(), indices.end());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] != static_cast<std::int64_t>(i)) {
+      return Err(m, std::string(ir::BlockKindName(kind)) + " port indices must be 0..n-1");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateNameList(const Model& m, const Block& b, const std::vector<std::string>& reads,
+                        const std::set<std::string>& known, const char* where) {
+  for (const auto& name : reads) {
+    if (known.count(name) == 0) {
+      return Err(m, "block '" + b.name() + "' " + where + " references unknown name '" + name +
+                        "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<CompiledExprFunc> CompileExprFunc(const Model& m, const Block& b) {
+  CompiledExprFunc out;
+  const int n_in = static_cast<int>(b.params().GetInt("in", 1));
+  const int n_out = static_cast<int>(b.params().GetInt("out", 1));
+  const std::string in_names = b.params().GetString("in_names", "");
+  const std::string out_names = b.params().GetString("out_names", "");
+  if (in_names.empty()) {
+    for (int i = 0; i < n_in; ++i) out.in_names.push_back(StrFormat("u%d", i + 1));
+  } else {
+    for (const auto& s : SplitString(in_names, ' ')) {
+      if (!s.empty()) out.in_names.push_back(s);
+    }
+    if (static_cast<int>(out.in_names.size()) != n_in) {
+      return Err(m, "block '" + b.name() + "': in_names count != in");
+    }
+  }
+  if (out_names.empty()) {
+    for (int i = 0; i < n_out; ++i) out.out_names.push_back(StrFormat("y%d", i + 1));
+  } else {
+    for (const auto& s : SplitString(out_names, ' ')) {
+      if (!s.empty()) out.out_names.push_back(s);
+    }
+    if (static_cast<int>(out.out_names.size()) != n_out) {
+      return Err(m, "block '" + b.name() + "': out_names count != out");
+    }
+  }
+
+  auto program = mex::ParseProgram(b.params().GetString("body", ""));
+  if (!program.ok()) {
+    return Status::Error("block '" + b.name() + "': " + program.message());
+  }
+  out.program = program.take();
+
+  std::vector<std::string> writes;
+  mex::CollectWrites(out.program, writes);
+  std::set<std::string> inputs(out.in_names.begin(), out.in_names.end());
+  std::set<std::string> outputs(out.out_names.begin(), out.out_names.end());
+  for (const auto& w : writes) {
+    if (inputs.count(w)) return Err(m, "block '" + b.name() + "': assignment to input '" + w + "'");
+    if (!outputs.count(w) &&
+        std::find(out.local_names.begin(), out.local_names.end(), w) == out.local_names.end()) {
+      out.local_names.push_back(w);
+    }
+  }
+  std::set<std::string> known = inputs;
+  known.insert(outputs.begin(), outputs.end());
+  known.insert(out.local_names.begin(), out.local_names.end());
+  std::vector<std::string> reads;
+  mex::CollectReads(out.program, reads);
+  if (Status s = ValidateNameList(m, b, reads, known, "body"); !s.ok()) return s;
+  return out;
+}
+
+Result<CompiledChart> CompileChart(const Model& m, const Block& b) {
+  const ir::ChartDef& def = *b.chart();
+  CompiledChart out;
+  if (def.states.empty()) return Err(m, "chart '" + b.name() + "' has no states");
+  if (def.initial_state < 0 || def.initial_state >= static_cast<int>(def.states.size())) {
+    return Err(m, "chart '" + b.name() + "' initial state out of range");
+  }
+  std::set<std::string> known;
+  for (const auto& name : def.inputs) {
+    if (!known.insert(name).second) return Err(m, "chart '" + b.name() + "' duplicate name " + name);
+  }
+  for (const auto& v : def.vars) {
+    if (!known.insert(v.name).second) return Err(m, "chart '" + b.name() + "' duplicate name " + v.name);
+  }
+  for (const auto& o : def.outputs) {
+    if (!known.insert(o.name).second) return Err(m, "chart '" + b.name() + "' duplicate name " + o.name);
+  }
+
+  auto compile_program = [&](const std::string& src, const char* where,
+                             std::optional<mex::Program>& slot) -> Status {
+    if (TrimString(src).empty()) return Status::Ok();
+    auto prog = mex::ParseProgram(src);
+    if (!prog.ok()) {
+      return Status::Error("chart '" + b.name() + "' " + where + ": " + prog.message());
+    }
+    std::vector<std::string> reads;
+    std::vector<std::string> writes;
+    mex::CollectReads(prog.value(), reads);
+    mex::CollectWrites(prog.value(), writes);
+    if (Status s = ValidateNameList(m, b, reads, known, where); !s.ok()) return s;
+    std::set<std::string> inputs(def.inputs.begin(), def.inputs.end());
+    for (const auto& w : writes) {
+      if (inputs.count(w)) {
+        return Err(m, "chart '" + b.name() + "' " + where + " assigns input '" + w + "'");
+      }
+      if (known.count(w) == 0) {
+        return Err(m, "chart '" + b.name() + "' " + where + " assigns unknown '" + w + "'");
+      }
+    }
+    slot = prog.take();
+    return Status::Ok();
+  };
+
+  out.states.resize(def.states.size());
+  for (std::size_t i = 0; i < def.states.size(); ++i) {
+    if (Status s = compile_program(def.states[i].entry_action, "entry", out.states[i].entry);
+        !s.ok()) {
+      return s;
+    }
+    if (Status s = compile_program(def.states[i].during_action, "during", out.states[i].during);
+        !s.ok()) {
+      return s;
+    }
+    if (Status s = compile_program(def.states[i].exit_action, "exit", out.states[i].exit); !s.ok()) {
+      return s;
+    }
+  }
+
+  out.transitions.resize(def.transitions.size());
+  out.outgoing.resize(def.states.size());
+  for (std::size_t i = 0; i < def.transitions.size(); ++i) {
+    const auto& t = def.transitions[i];
+    if (t.from < 0 || t.from >= static_cast<int>(def.states.size()) || t.to < 0 ||
+        t.to >= static_cast<int>(def.states.size())) {
+      return Err(m, "chart '" + b.name() + "' transition state index out of range");
+    }
+    if (!TrimString(t.guard).empty()) {
+      auto guard = mex::ParseExpr(t.guard);
+      if (!guard.ok()) {
+        return Status::Error("chart '" + b.name() + "' guard: " + guard.message());
+      }
+      std::vector<std::string> reads;
+      mex::CollectExprReads(*guard.value().expr, reads);
+      if (Status s = ValidateNameList(m, b, reads, known, "guard"); !s.ok()) return s;
+      out.transitions[i].guard = guard.take();
+    }
+    if (Status s = compile_program(t.action, "transition action", out.transitions[i].action);
+        !s.ok()) {
+      return s;
+    }
+    out.outgoing[static_cast<std::size_t>(t.from)].push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+/// Recursive worker. `inport_types` provides the types of the sub-model's
+/// inports (empty for the root model, which must declare them via params).
+Status AnalyzeIn(Model& model, std::span<const DType> inport_types, CompiledPrograms& programs);
+
+Status AnalyzeCompound(Model& model, Block& b, CompiledPrograms& programs) {
+  const bool has_control = b.kind() != BlockKind::kSubsystem;
+  const int data_in = b.num_inputs() - (has_control ? 1 : 0);
+  const int expected_subs = [&] {
+    switch (b.kind()) {
+      case BlockKind::kSubsystem:
+      case BlockKind::kEnabledSubsystem: return 1;
+      case BlockKind::kActionIf: return 2;
+      default: return static_cast<int>(b.subs().size());  // ActionSwitch: K cases + default
+    }
+  }();
+  if (static_cast<int>(b.subs().size()) != expected_subs || b.subs().empty()) {
+    return Err(model, "block '" + b.name() + "' has wrong number of sub-models");
+  }
+  if (b.kind() == BlockKind::kActionSwitch && b.subs().size() < 2) {
+    return Err(model, "ActionSwitch '" + b.name() + "' needs at least one case plus default");
+  }
+
+  // Data input types feed each sub-model's inports.
+  std::vector<DType> sub_in;
+  for (int i = 0; i < data_in; ++i) {
+    const ir::Wire* w = model.DriverOf(b.id(), (has_control ? 1 : 0) + i);
+    sub_in.push_back(model.block(w->src.block).out_type(w->src.port));
+  }
+
+  std::vector<DType> out_types(static_cast<std::size_t>(b.num_outputs()), DType::kBool);
+  bool first_sub = true;
+  for (const auto& sub : b.subs()) {
+    if (static_cast<int>(sub->Inports().size()) != data_in ||
+        static_cast<int>(sub->Outports().size()) != b.num_outputs()) {
+      return Err(model, "sub-model '" + sub->name() + "' arity mismatch in '" + b.name() + "'");
+    }
+    if (Status s = AnalyzeIn(*sub, sub_in, programs); !s.ok()) return s;
+    // Output type = promotion across branches of the sub outport drivers.
+    const auto outports = sub->Outports();
+    for (std::size_t i = 0; i < outports.size(); ++i) {
+      const ir::Wire* w = sub->DriverOf(outports[i], 0);
+      const DType t = sub->block(w->src.block).out_type(w->src.port);
+      out_types[i] = first_sub ? t : ir::PromoteDTypes(out_types[i], t);
+    }
+    first_sub = false;
+  }
+  b.set_out_types(std::move(out_types));
+  return Status::Ok();
+}
+
+Status AnalyzeIn(Model& model, std::span<const DType> inport_types, CompiledPrograms& programs) {
+  if (Status s = ValidateWiring(model); !s.ok()) return s;
+
+  // Pass 1: port counts (depend only on params / chart defs / sub arities).
+  for (auto& b : model.blocks()) {
+    auto spec = GetPortSpec(b);
+    if (!spec.ok()) return Err(model, spec.message());
+    b.set_port_counts(spec.value().num_inputs, spec.value().num_outputs);
+  }
+  if (Status s = ValidatePortsDriven(model); !s.ok()) return s;
+  if (Status s = ValidatePortIndices(model, BlockKind::kInport); !s.ok()) return s;
+  if (Status s = ValidatePortIndices(model, BlockKind::kOutport); !s.ok()) return s;
+
+  // Pass 2: compile embedded programs (needed before typing charts).
+  for (auto& b : model.blocks()) {
+    if (b.kind() == BlockKind::kExprFunc) {
+      auto compiled = CompileExprFunc(model, b);
+      if (!compiled.ok()) return compiled.status();
+      programs.AddExprFunc(&b, compiled.take());
+    } else if (b.kind() == BlockKind::kChart) {
+      if (!b.chart()) return Err(model, "chart '" + b.name() + "' missing definition");
+      auto compiled = CompileChart(model, b);
+      if (!compiled.ok()) return compiled.status();
+      programs.AddChart(&b, compiled.take());
+    }
+  }
+
+  // Pass 3: type inference to fixpoint. Delay-like blocks and charts are
+  // typable without their inputs, which breaks feedback cycles.
+  const std::size_t n = model.blocks().size();
+  std::vector<bool> typed(n, false);
+  std::size_t remaining = n;
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (auto& b : model.blocks()) {
+      if (typed[static_cast<std::size_t>(b.id())]) continue;
+      // Gather input types; a block is ready when all its inputs that are
+      // direct feedthrough come from typed blocks. Non-feedthrough inputs
+      // use the (param-declared) type of the block itself, so any
+      // placeholder works; we still record the real type when available.
+      bool ready = true;
+      std::vector<DType> in_types(static_cast<std::size_t>(b.num_inputs()), DType::kDouble);
+      for (int port = 0; port < b.num_inputs(); ++port) {
+        const ir::Wire* w = model.DriverOf(b.id(), port);
+        const Block& src = model.block(w->src.block);
+        if (typed[static_cast<std::size_t>(src.id())]) {
+          in_types[static_cast<std::size_t>(port)] = src.out_type(w->src.port);
+        } else if (InputIsDirectFeedthrough(b, port)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+
+      if (ir::BlockKindIsCompound(b.kind())) {
+        if (Status s = AnalyzeCompound(model, b, programs); !s.ok()) return s;
+      } else if (b.kind() == BlockKind::kInport) {
+        DType t = DType::kDouble;
+        if (!inport_types.empty()) {
+          const auto idx = static_cast<std::size_t>(b.params().GetInt("port", 0));
+          if (idx >= inport_types.size()) return Err(model, "inport index out of range");
+          t = inport_types[idx];
+        } else {
+          if (!b.params().Has("type")) {
+            return Err(model, "root inport '" + b.name() + "' must declare a type");
+          }
+          auto parsed = ir::DTypeFromName(b.params().GetString("type"));
+          if (!parsed.ok()) return Err(model, parsed.message());
+          t = parsed.value();
+        }
+        b.set_out_types({t});
+      } else if (b.kind() == BlockKind::kOutport) {
+        b.set_out_types({});
+      } else {
+        std::vector<DType> out_types;
+        for (int port = 0; port < b.num_outputs(); ++port) {
+          auto t = InferOutType(b, in_types, port);
+          if (!t.ok()) return Err(model, t.message());
+          out_types.push_back(t.value());
+        }
+        b.set_out_types(std::move(out_types));
+      }
+      typed[static_cast<std::size_t>(b.id())] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) {
+    std::string names;
+    for (const auto& b : model.blocks()) {
+      if (!typed[static_cast<std::size_t>(b.id())]) names += " '" + b.name() + "'";
+    }
+    return Err(model, "algebraic loop (no delay in cycle) involving:" + names);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Analysis> AnalyzeModel(Model& model) {
+  Analysis analysis;
+  if (Status s = AnalyzeIn(model, {}, analysis.programs); !s.ok()) return s;
+  return analysis;
+}
+
+}  // namespace cftcg::blocks

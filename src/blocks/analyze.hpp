@@ -1,0 +1,75 @@
+// Model analysis: validation, type inference, and compilation of embedded
+// mex programs (ExprFunc bodies, chart guards/actions).
+//
+// AnalyzeModel must succeed before a model is scheduled, simulated, or
+// lowered. It fills in each block's port counts and output types and returns
+// the compiled mex ASTs keyed by block so that the interpreter, the VM
+// lowering and the C emitter share one AST (and therefore one set of
+// coverage node identities).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "blocks/mex.hpp"
+#include "blocks/registry.hpp"
+#include "ir/model.hpp"
+#include "support/status.hpp"
+
+namespace cftcg::blocks {
+
+/// Compiled body of an ExprFunc block.
+struct CompiledExprFunc {
+  mex::Program program;
+  std::vector<std::string> in_names;    // one per input port
+  std::vector<std::string> out_names;   // one per output port
+  std::vector<std::string> local_names; // assigned, not outputs (zeroed per step)
+};
+
+/// Compiled chart programs.
+struct CompiledChart {
+  struct State {
+    std::optional<mex::Program> entry;
+    std::optional<mex::Program> during;
+    std::optional<mex::Program> exit;
+  };
+  struct Transition {
+    std::optional<mex::Guard> guard;  // absent = unconditional
+    std::optional<mex::Program> action;
+  };
+  std::vector<State> states;
+  std::vector<Transition> transitions;  // same order as ChartDef::transitions
+  /// Outgoing transition indices per state, in priority order.
+  std::vector<std::vector<int>> outgoing;
+};
+
+/// Compiled program artifacts for every ExprFunc/Chart block in a model tree.
+class CompiledPrograms {
+ public:
+  [[nodiscard]] const CompiledExprFunc* FindExprFunc(const ir::Block* block) const;
+  [[nodiscard]] const CompiledChart* FindChart(const ir::Block* block) const;
+
+  void AddExprFunc(const ir::Block* block, CompiledExprFunc c) {
+    exprfuncs_.emplace(block, std::move(c));
+  }
+  void AddChart(const ir::Block* block, CompiledChart c) { charts_.emplace(block, std::move(c)); }
+
+ private:
+  std::map<const ir::Block*, CompiledExprFunc> exprfuncs_;
+  std::map<const ir::Block*, CompiledChart> charts_;
+};
+
+/// Result of a successful analysis.
+struct Analysis {
+  CompiledPrograms programs;
+};
+
+/// Validates and types the model in place (recursing into sub-models).
+/// Checks: unique block names, every input port driven exactly once, wire
+/// targets exist, inport/outport indices contiguous, compound sub-model
+/// arities consistent, charts well-formed, mex programs parse and reference
+/// only known names, types consistent (bitwise on integers, no algebraic
+/// loops without a delay).
+Result<Analysis> AnalyzeModel(ir::Model& model);
+
+}  // namespace cftcg::blocks

@@ -1,0 +1,452 @@
+#include "blocks/mex.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace cftcg::blocks::mex {
+namespace {
+
+struct Token {
+  enum Kind { kEnd, kNumber, kIdent, kPunct } kind = kEnd;
+  double number = 0;
+  std::string text;  // ident name or punct spelling
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { Advance(); }
+
+  const Token& Peek() const { return tok_; }
+  Token Take() {
+    Token t = tok_;
+    Advance();
+    return t;
+  }
+  bool TakeIf(std::string_view punct_or_kw) {
+    if ((tok_.kind == Token::kPunct || tok_.kind == Token::kIdent) && tok_.text == punct_or_kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (c == '%') {  // MATLAB comment
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+    tok_ = Token{};
+    tok_.pos = pos_;
+    if (pos_ >= src_.size()) {
+      tok_.kind = Token::kEnd;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+      const char* start = src_.data() + pos_;
+      char* end = nullptr;
+      tok_.kind = Token::kNumber;
+      tok_.number = std::strtod(start, &end);
+      pos_ += static_cast<std::size_t>(end - start);
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_')) {
+        ++pos_;
+      }
+      tok_.kind = Token::kIdent;
+      tok_.text = std::string(src_.substr(start, pos_ - start));
+      return;
+    }
+    // Multi-char punctuators first.
+    static constexpr std::string_view kTwo[] = {"&&", "||", "<=", ">=", "==", "!=", "~="};
+    for (auto two : kTwo) {
+      if (src_.substr(pos_, 2) == two) {
+        tok_.kind = Token::kPunct;
+        tok_.text = std::string(two);
+        pos_ += 2;
+        return;
+      }
+    }
+    tok_.kind = Token::kPunct;
+    tok_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  Token tok_;
+};
+
+class MexParser {
+ public:
+  explicit MexParser(std::string_view src) : lex_(src) {}
+
+  Result<Program> ParseProgramAll() {
+    Program prog;
+    while (lex_.Peek().kind != Token::kEnd) {
+      auto stmt = ParseStmt();
+      if (!stmt.ok()) return stmt.status();
+      prog.stmts.push_back(stmt.take());
+    }
+    prog.num_nodes = next_id_;
+    return prog;
+  }
+
+  Result<Guard> ParseExprAll() {
+    auto e = ParseExprTop();
+    if (!e.ok()) return e.status();
+    if (lex_.Peek().kind != Token::kEnd) return Err("trailing tokens after expression");
+    Guard g;
+    g.expr = e.take();
+    g.num_nodes = next_id_;
+    return g;
+  }
+
+ private:
+  Status Err(const std::string& what) {
+    return Status::Error(StrFormat("mex parse error at offset %zu: %s", lex_.Peek().pos,
+                                   what.c_str()));
+  }
+
+  int NewId() { return next_id_++; }
+
+  ExprPtr MakeExpr(ExprKind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->node_id = NewId();
+    return e;
+  }
+
+  Result<StmtPtr> ParseStmt() {
+    if (lex_.Peek().kind == Token::kIdent && lex_.Peek().text == "if") {
+      return ParseIf();
+    }
+    if (lex_.Peek().kind != Token::kIdent) return Status(Err("expected statement"));
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kAssign;
+    stmt->node_id = NewId();
+    stmt->target = lex_.Take().text;
+    if (!lex_.TakeIf("=")) return Status(Err("expected '=' in assignment"));
+    auto value = ParseExprTop();
+    if (!value.ok()) return value.status();
+    stmt->value = value.take();
+    if (!lex_.TakeIf(";")) return Status(Err("expected ';' after assignment"));
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<StmtPtr> ParseIf() {
+    lex_.Take();  // 'if'
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kIf;
+    stmt->node_id = NewId();
+    for (;;) {
+      IfBranch branch;
+      if (!lex_.TakeIf("(")) return Status(Err("expected '(' after if/elseif"));
+      auto cond = ParseExprTop();
+      if (!cond.ok()) return cond.status();
+      branch.cond = cond.take();
+      if (!lex_.TakeIf(")")) return Status(Err("expected ')' after condition"));
+      auto body = ParseBlock();
+      if (!body.ok()) return body.status();
+      branch.body = body.take();
+      stmt->branches.push_back(std::move(branch));
+      if (lex_.TakeIf("elseif")) continue;
+      if (lex_.TakeIf("else")) {
+        if (lex_.Peek().kind == Token::kIdent && lex_.Peek().text == "if") {
+          // `else if` spelled with a space.
+          lex_.Take();
+          continue;
+        }
+        IfBranch else_branch;
+        auto body2 = ParseBlock();
+        if (!body2.ok()) return body2.status();
+        else_branch.body = body2.take();
+        stmt->branches.push_back(std::move(else_branch));
+      }
+      break;
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<std::vector<StmtPtr>> ParseBlock() {
+    if (!lex_.TakeIf("{")) return Status(Err("expected '{'"));
+    std::vector<StmtPtr> stmts;
+    while (!lex_.TakeIf("}")) {
+      if (lex_.Peek().kind == Token::kEnd) return Status(Err("unterminated block"));
+      auto stmt = ParseStmt();
+      if (!stmt.ok()) return stmt.status();
+      stmts.push_back(stmt.take());
+    }
+    return stmts;
+  }
+
+  // Precedence climbing: || < && < relational < additive < multiplicative < unary.
+  Result<ExprPtr> ParseExprTop() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    while (lex_.Peek().kind == Token::kPunct && lex_.Peek().text == "||") {
+      lex_.Take();
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      auto e = MakeExpr(ExprKind::kBinary);
+      e->op = "||";
+      e->args.push_back(lhs.take());
+      e->args.push_back(rhs.take());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    auto lhs = ParseRel();
+    if (!lhs.ok()) return lhs;
+    while (lex_.Peek().kind == Token::kPunct && lex_.Peek().text == "&&") {
+      lex_.Take();
+      auto rhs = ParseRel();
+      if (!rhs.ok()) return rhs;
+      auto e = MakeExpr(ExprKind::kBinary);
+      e->op = "&&";
+      e->args.push_back(lhs.take());
+      e->args.push_back(rhs.take());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseRel() {
+    auto lhs = ParseAdd();
+    if (!lhs.ok()) return lhs;
+    const Token& t = lex_.Peek();
+    if (t.kind == Token::kPunct &&
+        (t.text == "<" || t.text == "<=" || t.text == ">" || t.text == ">=" || t.text == "==" ||
+         t.text == "!=" || t.text == "~=")) {
+      std::string op = lex_.Take().text;
+      if (op == "~=") op = "!=";
+      auto rhs = ParseAdd();
+      if (!rhs.ok()) return rhs;
+      auto e = MakeExpr(ExprKind::kBinary);
+      e->op = op;
+      e->args.push_back(lhs.take());
+      e->args.push_back(rhs.take());
+      return Result<ExprPtr>(std::move(e));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdd() {
+    auto lhs = ParseMul();
+    if (!lhs.ok()) return lhs;
+    while (lex_.Peek().kind == Token::kPunct &&
+           (lex_.Peek().text == "+" || lex_.Peek().text == "-")) {
+      std::string op = lex_.Take().text;
+      auto rhs = ParseMul();
+      if (!rhs.ok()) return rhs;
+      auto e = MakeExpr(ExprKind::kBinary);
+      e->op = op;
+      e->args.push_back(lhs.take());
+      e->args.push_back(rhs.take());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMul() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    while (lex_.Peek().kind == Token::kPunct &&
+           (lex_.Peek().text == "*" || lex_.Peek().text == "/" || lex_.Peek().text == "%")) {
+      std::string op = lex_.Take().text;
+      auto rhs = ParseUnary();
+      if (!rhs.ok()) return rhs;
+      auto e = MakeExpr(ExprKind::kBinary);
+      e->op = op;
+      e->args.push_back(lhs.take());
+      e->args.push_back(rhs.take());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (lex_.Peek().kind == Token::kPunct &&
+        (lex_.Peek().text == "-" || lex_.Peek().text == "!" || lex_.Peek().text == "~")) {
+      std::string op = lex_.Take().text;
+      if (op == "~") op = "!";
+      auto operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      auto e = MakeExpr(ExprKind::kUnary);
+      e->op = op;
+      e->args.push_back(operand.take());
+      return Result<ExprPtr>(std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = lex_.Peek();
+    if (t.kind == Token::kNumber) {
+      auto e = MakeExpr(ExprKind::kNumber);
+      e->number = lex_.Take().number;
+      return Result<ExprPtr>(std::move(e));
+    }
+    if (t.kind == Token::kIdent) {
+      Token name = lex_.Take();
+      if (name.text == "true" || name.text == "false") {
+        auto e = MakeExpr(ExprKind::kNumber);
+        e->number = (name.text == "true") ? 1.0 : 0.0;
+        return Result<ExprPtr>(std::move(e));
+      }
+      if (lex_.TakeIf("(")) {
+        auto e = MakeExpr(ExprKind::kCall);
+        e->name = name.text;
+        if (!lex_.TakeIf(")")) {
+          for (;;) {
+            auto arg = ParseExprTop();
+            if (!arg.ok()) return arg;
+            e->args.push_back(arg.take());
+            if (lex_.TakeIf(")")) break;
+            if (!lex_.TakeIf(",")) return Status(Err("expected ',' or ')' in call"));
+          }
+        }
+        if (!IsKnownFunction(e->name, e->args.size())) {
+          return Status(Err(StrFormat("unknown function %s/%zu", e->name.c_str(), e->args.size())));
+        }
+        return Result<ExprPtr>(std::move(e));
+      }
+      auto e = MakeExpr(ExprKind::kVar);
+      e->name = name.text;
+      return Result<ExprPtr>(std::move(e));
+    }
+    if (t.kind == Token::kPunct && t.text == "(") {
+      lex_.Take();
+      auto inner = ParseExprTop();
+      if (!inner.ok()) return inner;
+      if (!lex_.TakeIf(")")) return Status(Err("expected ')'"));
+      return inner;
+    }
+    return Status(Err("expected expression"));
+  }
+
+  Lexer lex_;
+  int next_id_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source) {
+  return MexParser(source).ParseProgramAll();
+}
+
+Result<Guard> ParseExpr(std::string_view source) { return MexParser(source).ParseExprAll(); }
+
+bool IsBooleanOp(const std::string& op) {
+  return op == "&&" || op == "||" || op == "<" || op == "<=" || op == ">" || op == ">=" ||
+         op == "==" || op == "!=";
+}
+
+bool IsLogicalOp(const std::string& op) { return op == "&&" || op == "||"; }
+
+void CollectConditionLeaves(const Expr& expr, std::vector<const Expr*>& leaves) {
+  if (expr.kind == ExprKind::kBinary && IsLogicalOp(expr.op)) {
+    CollectConditionLeaves(*expr.args[0], leaves);
+    CollectConditionLeaves(*expr.args[1], leaves);
+    return;
+  }
+  if (expr.kind == ExprKind::kUnary && expr.op == "!") {
+    CollectConditionLeaves(*expr.args[0], leaves);
+    return;
+  }
+  leaves.push_back(&expr);
+}
+
+void CollectExprReads(const Expr& expr, std::vector<std::string>& names) {
+  if (expr.kind == ExprKind::kVar) names.push_back(expr.name);
+  for (const auto& a : expr.args) CollectExprReads(*a, names);
+}
+
+namespace {
+
+void CollectStmtReads(const Stmt& stmt, std::vector<std::string>& names) {
+  if (stmt.kind == StmtKind::kAssign) {
+    CollectExprReads(*stmt.value, names);
+    return;
+  }
+  for (const auto& br : stmt.branches) {
+    if (br.cond) CollectExprReads(*br.cond, names);
+    for (const auto& s : br.body) CollectStmtReads(*s, names);
+  }
+}
+
+void CollectStmtWrites(const Stmt& stmt, std::vector<std::string>& names) {
+  if (stmt.kind == StmtKind::kAssign) {
+    names.push_back(stmt.target);
+    return;
+  }
+  for (const auto& br : stmt.branches) {
+    for (const auto& s : br.body) CollectStmtWrites(*s, names);
+  }
+}
+
+}  // namespace
+
+void CollectReads(const Program& program, std::vector<std::string>& names) {
+  for (const auto& s : program.stmts) CollectStmtReads(*s, names);
+}
+
+void CollectWrites(const Program& program, std::vector<std::string>& names) {
+  for (const auto& s : program.stmts) CollectStmtWrites(*s, names);
+}
+
+std::string ExprToString(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kNumber: return DoubleToString(expr.number);
+    case ExprKind::kVar: return expr.name;
+    case ExprKind::kUnary: return "(" + expr.op + ExprToString(*expr.args[0]) + ")";
+    case ExprKind::kBinary:
+      return "(" + ExprToString(*expr.args[0]) + " " + expr.op + " " +
+             ExprToString(*expr.args[1]) + ")";
+    case ExprKind::kCall: {
+      std::vector<std::string> parts;
+      parts.reserve(expr.args.size());
+      for (const auto& a : expr.args) parts.push_back(ExprToString(*a));
+      return expr.name + "(" + JoinStrings(parts, ", ") + ")";
+    }
+  }
+  return "";
+}
+
+bool IsKnownFunction(const std::string& name, std::size_t arity) {
+  struct Fn {
+    std::string_view name;
+    std::size_t arity;
+  };
+  static constexpr Fn kFns[] = {
+      {"abs", 1},   {"min", 2},  {"max", 2},   {"floor", 1}, {"ceil", 1}, {"round", 1},
+      {"sqrt", 1},  {"exp", 1},  {"log", 1},   {"sin", 1},   {"cos", 1},  {"tan", 1},
+      {"atan2", 2}, {"pow", 2},  {"mod", 2},   {"rem", 2},   {"sign", 1},
+  };
+  for (const auto& fn : kFns) {
+    if (fn.name == name && fn.arity == arity) return true;
+  }
+  return false;
+}
+
+}  // namespace cftcg::blocks::mex

@@ -1,0 +1,101 @@
+// mex — the model expression language.
+//
+// A small MATLAB-action-language-like language used by two model elements:
+//   * ExprFunc blocks (our MATLAB Function equivalent): a statement program
+//     reading inputs and assigning outputs/locals;
+//   * Chart guards (single boolean expression) and chart actions (statement
+//     programs).
+//
+// Values are doubles (booleans are 0/1). `&&` and `||` short-circuit; their
+// leaf operands are coverage *conditions* and every `if`/`elseif` arm and
+// guard is a coverage *decision* (instrumentation mode (d) of the paper).
+//
+// Every AST node carries a stable `node_id` (dense, per parse) so the
+// instrumentation pass can attach decision/condition identities that are
+// shared between the interpreter, the VM lowering, and the C emitter.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace cftcg::blocks::mex {
+
+enum class ExprKind { kNumber, kVar, kUnary, kBinary, kCall };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  int node_id = -1;
+  double number = 0.0;        // kNumber
+  std::string name;           // kVar (variable) / kCall (function)
+  std::string op;             // kUnary: "-" "!" ; kBinary: arithmetic/relational/logical
+  std::vector<ExprPtr> args;  // operands / call arguments
+};
+
+enum class StmtKind { kAssign, kIf };
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct IfBranch {
+  ExprPtr cond;  // null for the trailing `else`
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  int node_id = -1;
+  // kAssign
+  std::string target;
+  ExprPtr value;
+  // kIf: if / elseif* / else? in order
+  std::vector<IfBranch> branches;
+};
+
+struct Program {
+  std::vector<StmtPtr> stmts;
+  int num_nodes = 0;  // node_ids are in [0, num_nodes)
+};
+
+/// Parses a statement program:
+///   stmt    := ident '=' expr ';' | 'if' '(' expr ')' block ('elseif' ...)* ('else' block)?
+///   block   := '{' stmt* '}'
+/// Grammar accepts both C-style (&&, ||, !=) and MATLAB-style (~=) spellings.
+Result<Program> ParseProgram(std::string_view source);
+
+/// Parses a single expression (chart guards).
+Result<Program> ParseGuard(std::string_view source);  // program with one synthetic stmt? see below
+
+/// Guard parse result: the expression plus node count.
+struct Guard {
+  ExprPtr expr;
+  int num_nodes = 0;
+};
+Result<Guard> ParseExpr(std::string_view source);
+
+/// True if `op` is a relational or logical operator (boolean-valued).
+bool IsBooleanOp(const std::string& op);
+/// True for the short-circuit logical operators "&&" and "||".
+bool IsLogicalOp(const std::string& op);
+
+/// Collects the coverage conditions of a boolean expression: the leaves of
+/// its &&/|| tree (a leaf is any subexpression that is not &&/||/!).
+void CollectConditionLeaves(const Expr& expr, std::vector<const Expr*>& leaves);
+
+/// Variables read / assigned by a program (for validation).
+void CollectReads(const Program& program, std::vector<std::string>& names);
+void CollectWrites(const Program& program, std::vector<std::string>& names);
+void CollectExprReads(const Expr& expr, std::vector<std::string>& names);
+
+/// Pretty-printer (used by the C emitter and tests).
+std::string ExprToString(const Expr& expr);
+
+/// The call functions mex supports; Validate* reject anything else.
+bool IsKnownFunction(const std::string& name, std::size_t arity);
+
+}  // namespace cftcg::blocks::mex

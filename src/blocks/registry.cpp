@@ -1,0 +1,314 @@
+#include "blocks/registry.hpp"
+
+#include "support/strings.hpp"
+
+namespace cftcg::blocks {
+
+using ir::Block;
+using ir::BlockKind;
+using ir::DType;
+
+Result<PortSpec> GetPortSpec(const Block& block) {
+  const auto& p = block.params();
+  switch (block.kind()) {
+    case BlockKind::kInport: return PortSpec{0, 1};
+    case BlockKind::kOutport: return PortSpec{1, 0};
+    case BlockKind::kConstant: return PortSpec{0, 1};
+
+    case BlockKind::kGain:
+    case BlockKind::kBias:
+    case BlockKind::kAbs:
+    case BlockKind::kUnaryMinus:
+    case BlockKind::kSign:
+    case BlockKind::kSqrt:
+    case BlockKind::kExp:
+    case BlockKind::kLog:
+    case BlockKind::kFloor:
+    case BlockKind::kCeil:
+    case BlockKind::kRound:
+    case BlockKind::kSin:
+    case BlockKind::kCos:
+    case BlockKind::kTan:
+    case BlockKind::kSaturation:
+    case BlockKind::kDeadZone:
+    case BlockKind::kRateLimiter:
+    case BlockKind::kQuantizer:
+    case BlockKind::kRelay:
+    case BlockKind::kCompareToConstant:
+    case BlockKind::kCompareToZero:
+    case BlockKind::kLogicalNot:
+    case BlockKind::kShiftLeft:
+    case BlockKind::kShiftRight:
+    case BlockKind::kUnitDelay:
+    case BlockKind::kDelay:
+    case BlockKind::kMemory:
+    case BlockKind::kDiscreteIntegrator:
+    case BlockKind::kCounterLimited:
+    case BlockKind::kEdgeDetector:
+    case BlockKind::kLookup1D:
+    case BlockKind::kDataTypeConversion: return PortSpec{1, 1};
+
+    case BlockKind::kSubtract:
+    case BlockKind::kDivide:
+    case BlockKind::kMin:
+    case BlockKind::kMax:
+    case BlockKind::kMod:
+    case BlockKind::kRem:
+    case BlockKind::kAtan2:
+    case BlockKind::kPow:
+    case BlockKind::kRelationalOp:
+    case BlockKind::kBitwiseAnd:
+    case BlockKind::kBitwiseOr:
+    case BlockKind::kBitwiseXor: return PortSpec{2, 1};
+
+    case BlockKind::kSum: {
+      const std::string signs = p.GetString("signs", "++");
+      return PortSpec{static_cast<int>(signs.size()), 1};
+    }
+    case BlockKind::kProduct: {
+      const std::string ops = p.GetString("ops", "**");
+      return PortSpec{static_cast<int>(ops.size()), 1};
+    }
+    case BlockKind::kLogicalAnd:
+    case BlockKind::kLogicalOr:
+    case BlockKind::kLogicalXor:
+    case BlockKind::kLogicalNand:
+    case BlockKind::kLogicalNor: {
+      const int n = static_cast<int>(p.GetInt("inputs", 2));
+      if (n < 1) return Status::Error(block.name() + ": logical op needs >=1 input");
+      return PortSpec{n, 1};
+    }
+    case BlockKind::kSwitch: return PortSpec{3, 1};
+    case BlockKind::kMultiportSwitch: {
+      const int cases = static_cast<int>(p.GetInt("cases", 2));
+      if (cases < 1) return Status::Error(block.name() + ": MultiportSwitch needs >=1 case");
+      return PortSpec{1 + cases, 1};
+    }
+    case BlockKind::kMerge: {
+      const int n = static_cast<int>(p.GetInt("inputs", 2));
+      return PortSpec{n, 1};
+    }
+
+    case BlockKind::kSubsystem:
+    case BlockKind::kEnabledSubsystem:
+    case BlockKind::kActionIf:
+    case BlockKind::kActionSwitch: {
+      if (block.subs().empty()) {
+        return Status::Error(block.name() + ": compound block has no sub-model");
+      }
+      const ir::Model& body = *block.subs()[0];
+      const int data_in = static_cast<int>(body.Inports().size());
+      const int data_out = static_cast<int>(body.Outports().size());
+      // ActionIf/ActionSwitch/Enabled have one leading control input.
+      const int control = (block.kind() == BlockKind::kSubsystem) ? 0 : 1;
+      return PortSpec{control + data_in, data_out};
+    }
+
+    case BlockKind::kChart: {
+      if (!block.chart()) return Status::Error(block.name() + ": chart block without definition");
+      return PortSpec{static_cast<int>(block.chart()->inputs.size()),
+                      static_cast<int>(block.chart()->outputs.size())};
+    }
+    case BlockKind::kExprFunc: {
+      const int n_in = static_cast<int>(p.GetInt("in", 1));
+      const int n_out = static_cast<int>(p.GetInt("out", 1));
+      if (n_in < 0 || n_out < 1) return Status::Error(block.name() + ": bad ExprFunc arity");
+      return PortSpec{n_in, n_out};
+    }
+  }
+  return Status::Error("unhandled block kind");
+}
+
+bool HasState(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kUnitDelay:
+    case BlockKind::kDelay:
+    case BlockKind::kMemory:
+    case BlockKind::kDiscreteIntegrator:
+    case BlockKind::kCounterLimited:
+    case BlockKind::kEdgeDetector:
+    case BlockKind::kRateLimiter:
+    case BlockKind::kRelay:
+    case BlockKind::kChart:
+    case BlockKind::kEnabledSubsystem: return true;
+    default: return false;
+  }
+}
+
+bool InputIsDirectFeedthrough(const Block& block, int port) {
+  switch (block.kind()) {
+    // Pure delays: the current output is last step's state; the input only
+    // feeds the next step.
+    case BlockKind::kUnitDelay:
+    case BlockKind::kDelay:
+    case BlockKind::kMemory: return false;
+    // Forward-Euler integrator: output is the accumulated state.
+    case BlockKind::kDiscreteIntegrator: return false;
+    default: (void)port; return true;
+  }
+}
+
+namespace {
+
+Result<DType> TypeFromParam(const Block& block, const std::string& key, DType fallback) {
+  if (!block.params().Has(key)) return fallback;
+  return ir::DTypeFromName(block.params().GetString(key));
+}
+
+DType PromoteAll(std::span<const DType> in_types) {
+  DType t = DType::kBool;
+  bool first = true;
+  for (DType it : in_types) {
+    t = first ? it : ir::PromoteDTypes(t, it);
+    first = false;
+  }
+  return first ? DType::kDouble : t;
+}
+
+}  // namespace
+
+Result<DType> InferOutType(const Block& block, std::span<const DType> in_types, int port) {
+  switch (block.kind()) {
+    case BlockKind::kInport: return TypeFromParam(block, "type", DType::kDouble);
+    case BlockKind::kOutport: return Status::Error("outports have no outputs");
+    case BlockKind::kConstant: return TypeFromParam(block, "type", DType::kDouble);
+
+    // Arithmetic: promoted input type (Gain/Bias keep the input type).
+    case BlockKind::kGain:
+    case BlockKind::kBias:
+    case BlockKind::kAbs:
+    case BlockKind::kUnaryMinus:
+    case BlockKind::kQuantizer:
+    case BlockKind::kSaturation:
+    case BlockKind::kDeadZone: return in_types[0];
+    case BlockKind::kSum:
+    case BlockKind::kSubtract:
+    case BlockKind::kProduct:
+    case BlockKind::kMin:
+    case BlockKind::kMax:
+    case BlockKind::kMod:
+    case BlockKind::kRem: return PromoteAll(in_types);
+    case BlockKind::kDivide: {
+      const DType t = PromoteAll(in_types);
+      return ir::DTypeIsFloat(t) ? t : DType::kDouble;  // integer division promotes to double
+    }
+    case BlockKind::kSign: return in_types[0];
+
+    // Transcendental: always floating.
+    case BlockKind::kSqrt:
+    case BlockKind::kExp:
+    case BlockKind::kLog:
+    case BlockKind::kSin:
+    case BlockKind::kCos:
+    case BlockKind::kTan:
+    case BlockKind::kAtan2:
+    case BlockKind::kPow: return DType::kDouble;
+    case BlockKind::kFloor:
+    case BlockKind::kCeil:
+    case BlockKind::kRound: return in_types[0];
+
+    case BlockKind::kRateLimiter: return DType::kDouble;
+    case BlockKind::kRelay: return DType::kDouble;
+
+    // Boolean-valued.
+    case BlockKind::kRelationalOp:
+    case BlockKind::kCompareToConstant:
+    case BlockKind::kCompareToZero:
+    case BlockKind::kLogicalAnd:
+    case BlockKind::kLogicalOr:
+    case BlockKind::kLogicalNot:
+    case BlockKind::kLogicalXor:
+    case BlockKind::kLogicalNand:
+    case BlockKind::kLogicalNor:
+    case BlockKind::kEdgeDetector: return DType::kBool;
+
+    case BlockKind::kBitwiseAnd:
+    case BlockKind::kBitwiseOr:
+    case BlockKind::kBitwiseXor: {
+      const DType t = PromoteAll(in_types);
+      if (!ir::DTypeIsInteger(t) && t != DType::kBool) {
+        return Status::Error(block.name() + ": bitwise op on non-integer type");
+      }
+      return t;
+    }
+    case BlockKind::kShiftLeft:
+    case BlockKind::kShiftRight: {
+      if (!ir::DTypeIsInteger(in_types[0])) {
+        return Status::Error(block.name() + ": shift on non-integer type");
+      }
+      return in_types[0];
+    }
+
+    case BlockKind::kSwitch: return ir::PromoteDTypes(in_types[0], in_types[2]);
+    case BlockKind::kMultiportSwitch: {
+      DType t = in_types[1];
+      for (std::size_t i = 2; i < in_types.size(); ++i) t = ir::PromoteDTypes(t, in_types[i]);
+      return t;
+    }
+    case BlockKind::kMerge: return PromoteAll(in_types);
+
+    // Delays carry a declared type (default double): feedback loops through
+    // a delay would otherwise make inference cyclic.
+    case BlockKind::kUnitDelay:
+    case BlockKind::kDelay:
+    case BlockKind::kMemory: return TypeFromParam(block, "type", DType::kDouble);
+    case BlockKind::kDiscreteIntegrator: return DType::kDouble;
+    case BlockKind::kCounterLimited: return TypeFromParam(block, "type", DType::kInt32);
+
+    case BlockKind::kLookup1D: return DType::kDouble;
+    case BlockKind::kDataTypeConversion: return TypeFromParam(block, "to", DType::kDouble);
+
+    case BlockKind::kSubsystem:
+    case BlockKind::kEnabledSubsystem:
+    case BlockKind::kActionIf:
+    case BlockKind::kActionSwitch: {
+      // Output types are resolved by AnalyzeModel after sub-model analysis;
+      // this path is only used as a fallback.
+      (void)port;
+      return DType::kDouble;
+    }
+    case BlockKind::kChart: {
+      return block.chart()->outputs.at(static_cast<std::size_t>(port)).type;
+    }
+    case BlockKind::kExprFunc: {
+      // Optional per-output types via param "out_types" ("double int32 ...").
+      const std::string types = block.params().GetString("out_types", "");
+      if (types.empty()) return DType::kDouble;
+      const auto names = SplitString(types, ' ');
+      if (port < 0 || static_cast<std::size_t>(port) >= names.size()) return DType::kDouble;
+      return ir::DTypeFromName(names[static_cast<std::size_t>(port)]);
+    }
+  }
+  return Status::Error("unhandled block kind in InferOutType");
+}
+
+int BlockDecisionOutcomes(const ir::Block& block) {
+  switch (block.kind()) {
+    case BlockKind::kSwitch: return 2;
+    case BlockKind::kMultiportSwitch: return static_cast<int>(block.params().GetInt("cases", 2));
+    case BlockKind::kSaturation:
+    case BlockKind::kDeadZone:
+    case BlockKind::kRateLimiter: return 3;
+    case BlockKind::kRelay: return 2;
+    case BlockKind::kAbs: return ir::DTypeIsFloat(block.out_type(0)) ? 0 : 2;
+    case BlockKind::kSign: return 3;
+    case BlockKind::kMin:
+    case BlockKind::kMax: return 2;
+    case BlockKind::kDiscreteIntegrator:
+      return (block.params().Has("upper") || block.params().Has("lower")) ? 3 : 0;
+    case BlockKind::kCounterLimited: return 2;
+    case BlockKind::kEdgeDetector: return 2;
+    case BlockKind::kActionIf: return 2;
+    case BlockKind::kActionSwitch:
+      return static_cast<int>(block.subs().size());  // cases + default
+    case BlockKind::kEnabledSubsystem: return 2;
+    default: return 0;
+  }
+}
+
+std::string BlockDecisionLabel(const ir::Block& block) {
+  if (BlockDecisionOutcomes(block) == 0) return "";
+  return std::string(ir::BlockKindName(block.kind()));
+}
+
+}  // namespace cftcg::blocks

@@ -1,0 +1,48 @@
+// Block semantics metadata: port counts, state, feedthrough, output typing.
+//
+// This is the single source of truth consulted by validation, scheduling,
+// the interpreter and the code generator, so a new block kind is added in
+// exactly one place.
+#pragma once
+
+#include <span>
+
+#include "ir/model.hpp"
+#include "support/status.hpp"
+
+namespace cftcg::blocks {
+
+struct PortSpec {
+  int num_inputs = 0;
+  int num_outputs = 0;
+};
+
+/// Port counts for a block (may depend on params, e.g. LogicalAnd "inputs",
+/// ActionSwitch "cases", ExprFunc "in"/"out" lists, Chart definition).
+Result<PortSpec> GetPortSpec(const ir::Block& block);
+
+/// True if the block carries state across iterations (delays, integrator,
+/// counter, rate limiter, relay hysteresis, edge detector, chart, enabled
+/// subsystem output hold).
+bool HasState(ir::BlockKind kind);
+
+/// False when the given input port does not influence the current-step
+/// output (classic delay inputs). Used to break cycles in scheduling.
+bool InputIsDirectFeedthrough(const ir::Block& block, int port);
+
+/// Output type of `port` given the (already inferred) input types.
+/// `in_types` has one entry per input port.
+Result<ir::DType> InferOutType(const ir::Block& block, std::span<const ir::DType> in_types,
+                               int port);
+
+/// Number of decision outcomes contributed directly by this block kind
+/// (0 = not a decision point). Compound/chart/exprfunc blocks contribute
+/// through their bodies as well; this covers only the block-level decision
+/// (e.g. Switch: 2, Saturation: 3, ActionSwitch: cases + 1).
+int BlockDecisionOutcomes(const ir::Block& block);
+
+/// Human-readable label for the block-level decision ("switch criteria",
+/// "saturation range", ...); empty if none.
+std::string BlockDecisionLabel(const ir::Block& block);
+
+}  // namespace cftcg::blocks

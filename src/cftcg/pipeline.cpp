@@ -1,0 +1,78 @@
+#include "cftcg/pipeline.hpp"
+
+#include "parser/model_io.hpp"
+
+namespace cftcg {
+
+Result<std::unique_ptr<CompiledModel>> CompiledModel::FromModel(
+    std::unique_ptr<ir::Model> model) {
+  auto compiled = std::unique_ptr<CompiledModel>(new CompiledModel());
+  compiled->model_ = std::move(model);
+  auto scheduled = sched::AnalyzeAndSchedule(*compiled->model_);
+  if (!scheduled.ok()) return scheduled.status();
+  compiled->scheduled_ = scheduled.take();
+  codegen::LoweringOptions opts;
+  opts.model_instrumentation = true;
+  auto program = codegen::LowerToBytecode(compiled->scheduled_, opts);
+  if (!program.ok()) return program.status();
+  compiled->instrumented_ = program.take();
+  return compiled;
+}
+
+Result<std::unique_ptr<CompiledModel>> CompiledModel::FromXml(const std::string& xml_text) {
+  auto model = parser::LoadModel(xml_text);
+  if (!model.ok()) return model.status();
+  return FromModel(model.take());
+}
+
+Result<std::unique_ptr<CompiledModel>> CompiledModel::FromFile(const std::string& path) {
+  auto model = parser::LoadModelFile(path);
+  if (!model.ok()) return model.status();
+  return FromModel(model.take());
+}
+
+const vm::Program& CompiledModel::fuzz_only() {
+  if (!fuzz_only_) {
+    codegen::LoweringOptions opts;
+    opts.model_instrumentation = false;
+    opts.edge_instrumentation = true;
+    auto program = codegen::LowerToBytecode(scheduled_, opts);
+    // Lowering cannot fail in ways analysis did not already reject; assert
+    // via value() in debug and fall back to the instrumented program.
+    if (program.ok()) {
+      fuzz_only_ = std::make_unique<vm::Program>(program.take());
+    } else {
+      fuzz_only_ = std::make_unique<vm::Program>(instrumented_);
+    }
+  }
+  return *fuzz_only_;
+}
+
+const vm::Program& CompiledModel::with_margins() {
+  if (!with_margins_) {
+    codegen::LoweringOptions opts;
+    opts.model_instrumentation = true;
+    opts.record_margins = true;
+    auto program = codegen::LowerToBytecode(scheduled_, opts);
+    if (program.ok()) {
+      with_margins_ = std::make_unique<vm::Program>(program.take());
+    } else {
+      with_margins_ = std::make_unique<vm::Program>(instrumented_);
+    }
+  }
+  return *with_margins_;
+}
+
+Result<std::string> CompiledModel::EmitFuzzingCode() const {
+  codegen::CEmitOptions opts;
+  return codegen::EmitC(scheduled_, opts);
+}
+
+fuzz::CampaignResult CompiledModel::Fuzz(const fuzz::FuzzerOptions& options,
+                                         const fuzz::FuzzBudget& budget) {
+  const vm::Program* fo = options.model_oriented ? nullptr : &fuzz_only();
+  fuzz::Fuzzer fuzzer(instrumented_, spec(), options, fo);
+  return fuzzer.Run(budget);
+}
+
+}  // namespace cftcg

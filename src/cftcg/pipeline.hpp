@@ -1,0 +1,65 @@
+// The CFTCG pipeline — the library's main entry point.
+//
+// Ties the stages of Figure 2 together:
+//   model file --parse--> Model --analyze+schedule--> ScheduledModel
+//     --lower--> instrumented program (+ fuzz-only program, + C text)
+//     --model-oriented fuzzing loop--> test cases + coverage report
+//
+// A CompiledModel owns everything whose lifetime the later stages need
+// (the Model, the ScheduledModel with compiled mex programs, and the
+// lowered programs), so callers hold one object.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "codegen/cemit.hpp"
+#include "codegen/lower.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "ir/model.hpp"
+#include "sched/schedule.hpp"
+#include "support/status.hpp"
+#include "vm/program.hpp"
+
+namespace cftcg {
+
+/// A fully processed model: analyzed, scheduled, instrumented and lowered.
+class CompiledModel {
+ public:
+  static Result<std::unique_ptr<CompiledModel>> FromModel(std::unique_ptr<ir::Model> model);
+  static Result<std::unique_ptr<CompiledModel>> FromXml(const std::string& xml_text);
+  static Result<std::unique_ptr<CompiledModel>> FromFile(const std::string& path);
+
+  [[nodiscard]] const ir::Model& model() const { return *model_; }
+  [[nodiscard]] const sched::ScheduledModel& scheduled() const { return scheduled_; }
+  [[nodiscard]] const coverage::CoverageSpec& spec() const { return scheduled_.spec; }
+
+  /// Model-level instrumented program (the CFTCG fuzzing target).
+  [[nodiscard]] const vm::Program& instrumented() const { return instrumented_; }
+  /// Edge-instrumented, model-uninstrumented program ("Fuzz Only" target);
+  /// built lazily on first use.
+  const vm::Program& fuzz_only();
+  /// Margin-recording program (constraint baseline); built lazily.
+  const vm::Program& with_margins();
+
+  /// The generated fuzzing code as C text (Figure 3 + Figure 4 artifacts).
+  Result<std::string> EmitFuzzingCode() const;
+
+  /// Runs the CFTCG fuzzing loop.
+  fuzz::CampaignResult Fuzz(const fuzz::FuzzerOptions& options, const fuzz::FuzzBudget& budget);
+
+  /// Table 2 statistics.
+  [[nodiscard]] int NumBranches() const { return scheduled_.NumBranchOutcomes(); }
+  [[nodiscard]] std::size_t NumBlocks() const { return model_->TotalBlockCount(); }
+
+ private:
+  CompiledModel() = default;
+
+  std::unique_ptr<ir::Model> model_;
+  sched::ScheduledModel scheduled_;
+  vm::Program instrumented_;
+  std::unique_ptr<vm::Program> fuzz_only_;
+  std::unique_ptr<vm::Program> with_margins_;
+};
+
+}  // namespace cftcg

@@ -1,0 +1,83 @@
+#include "coverage/html_report.hpp"
+
+#include "support/strings.hpp"
+
+namespace cftcg::coverage {
+
+namespace {
+
+const char* kStyle = R"(
+<style>
+  body { font-family: system-ui, sans-serif; margin: 2em; color: #222; }
+  h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+  .tiles { display: flex; gap: 1em; }
+  .tile { border: 1px solid #ccc; border-radius: 6px; padding: 0.8em 1.2em; }
+  .tile .pct { font-size: 1.6em; font-weight: 600; }
+  table { border-collapse: collapse; margin-top: 0.6em; }
+  th, td { border: 1px solid #ddd; padding: 0.25em 0.6em; font-size: 0.9em; }
+  th { background: #f5f5f5; text-align: left; }
+  .hit { background: #e6f4e6; }
+  .miss { background: #fbe7e7; }
+  code { font-family: ui-monospace, monospace; }
+</style>
+)";
+
+std::string Cell(bool covered, const char* label) {
+  return StrFormat("<td class=\"%s\">%s</td>", covered ? "hit" : "miss", label);
+}
+
+}  // namespace
+
+std::string RenderHtmlReport(const std::string& title, const CoverageSpec& spec,
+                             const DynamicBitset& total,
+                             const std::vector<std::unordered_set<std::uint64_t>>& evals) {
+  const MetricReport report = ComputeReportFrom(spec, total, evals);
+  std::string html = "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>" +
+                     XmlEscape(title) + "</title>" + kStyle + "</head><body>\n";
+  html += "<h1>Model coverage — " + XmlEscape(title) + "</h1>\n";
+
+  html += "<div class=\"tiles\">\n";
+  html += StrFormat(
+      "<div class=\"tile\"><div class=\"pct\">%.1f%%</div>Decision<br>%d / %d outcomes</div>\n",
+      report.DecisionPct(), report.outcome_covered, report.outcome_total);
+  html += StrFormat(
+      "<div class=\"tile\"><div class=\"pct\">%.1f%%</div>Condition<br>%d / %d polarities</div>\n",
+      report.ConditionPct(), report.condition_polarity_covered, report.condition_polarity_total);
+  html += StrFormat(
+      "<div class=\"tile\"><div class=\"pct\">%.1f%%</div>MCDC<br>%d / %d conditions</div>\n",
+      report.McdcPct(), report.mcdc_covered, report.mcdc_total);
+  html += "</div>\n";
+
+  html += "<h2>Decisions</h2>\n<table><tr><th>Decision</th><th>Outcomes</th></tr>\n";
+  for (const auto& d : spec.decisions()) {
+    html += "<tr><td><code>" + XmlEscape(d.name) + "</code></td><td><table><tr>";
+    for (int k = 0; k < d.num_outcomes; ++k) {
+      const bool covered = total.Test(static_cast<std::size_t>(spec.OutcomeSlot(d.id, k)));
+      html += Cell(covered, StrFormat("[%d]", k).c_str());
+    }
+    html += "</tr></table></td></tr>\n";
+  }
+  html += "</table>\n";
+
+  html += "<h2>Conditions</h2>\n<table><tr><th>Condition</th><th>T</th><th>F</th><th>MCDC</th></tr>\n";
+  for (const auto& c : spec.conditions()) {
+    const bool t = total.Test(static_cast<std::size_t>(spec.ConditionTrueSlot(c.id)));
+    const bool f = total.Test(static_cast<std::size_t>(spec.ConditionFalseSlot(c.id)));
+    std::string mcdc_cell = "<td>—</td>";
+    if (c.decision >= 0 && c.index_in_decision < 24) {
+      const auto& set = evals[static_cast<std::size_t>(c.decision)];
+      const bool independent = !set.empty() && HasIndependencePair(set, c.index_in_decision);
+      mcdc_cell = Cell(independent, independent ? "pair" : "no pair");
+    }
+    html += "<tr><td><code>" + XmlEscape(c.name) + "</code></td>" + Cell(t, "true") +
+            Cell(f, "false") + mcdc_cell + "</tr>\n";
+  }
+  html += "</table>\n</body></html>\n";
+  return html;
+}
+
+std::string RenderHtmlReport(const std::string& title, const CoverageSink& sink) {
+  return RenderHtmlReport(title, sink.spec(), sink.total(), sink.evals());
+}
+
+}  // namespace cftcg::coverage

@@ -1,0 +1,21 @@
+// Standalone HTML coverage report — the analogue of Simulink's model
+// coverage report: per-decision outcome tables, per-condition polarities,
+// and per-condition MCDC status, with summary tiles on top.
+#pragma once
+
+#include <string>
+
+#include "coverage/report.hpp"
+#include "coverage/sink.hpp"
+
+namespace cftcg::coverage {
+
+/// Renders a self-contained HTML document (no external assets).
+std::string RenderHtmlReport(const std::string& title, const CoverageSpec& spec,
+                             const DynamicBitset& total,
+                             const std::vector<std::unordered_set<std::uint64_t>>& evals);
+
+/// Convenience overload from a sink's cumulative state.
+std::string RenderHtmlReport(const std::string& title, const CoverageSink& sink);
+
+}  // namespace cftcg::coverage

@@ -1,0 +1,83 @@
+#include "coverage/report.hpp"
+
+#include "support/strings.hpp"
+
+namespace cftcg::coverage {
+
+bool HasIndependencePair(const std::unordered_set<std::uint64_t>& evals, int condition_index) {
+  const std::uint32_t bit = 1U << condition_index;
+  // Masking MC/DC with short-circuit don't-cares: a pair (e1, e2) shows
+  // independence of condition i when
+  //   * i was evaluated in both,
+  //   * i's value differs,
+  //   * the decision outcome differs,
+  //   * every other condition evaluated in BOTH runs has the same value
+  //     (conditions skipped by short-circuit in either run are masked).
+  for (auto it1 = evals.begin(); it1 != evals.end(); ++it1) {
+    const std::uint64_t e1 = *it1;
+    if (!(EvalMask(e1) & bit)) continue;
+    for (auto it2 = std::next(it1); it2 != evals.end(); ++it2) {
+      const std::uint64_t e2 = *it2;
+      if (!(EvalMask(e2) & bit)) continue;
+      if (EvalOutcome(e1) == EvalOutcome(e2)) continue;
+      if (((EvalValues(e1) ^ EvalValues(e2)) & bit) == 0) continue;
+      const std::uint32_t both = (EvalMask(e1) & EvalMask(e2)) & ~bit;
+      if (((EvalValues(e1) ^ EvalValues(e2)) & both) != 0) continue;
+      return true;
+    }
+  }
+  return false;
+}
+
+MetricReport ComputeReportFrom(const CoverageSpec& spec, const DynamicBitset& total,
+                               const std::vector<std::unordered_set<std::uint64_t>>& evals) {
+  MetricReport r;
+  r.outcome_total = spec.num_outcome_slots();
+  for (int slot = 0; slot < r.outcome_total; ++slot) {
+    if (total.Test(static_cast<std::size_t>(slot))) ++r.outcome_covered;
+  }
+  r.condition_polarity_total = 2 * static_cast<int>(spec.conditions().size());
+  for (const auto& c : spec.conditions()) {
+    if (total.Test(static_cast<std::size_t>(spec.ConditionTrueSlot(c.id)))) {
+      ++r.condition_polarity_covered;
+    }
+    if (total.Test(static_cast<std::size_t>(spec.ConditionFalseSlot(c.id)))) {
+      ++r.condition_polarity_covered;
+    }
+  }
+  for (const auto& d : spec.decisions()) {
+    if (d.conditions.empty()) continue;
+    const auto& set = evals[static_cast<std::size_t>(d.id)];
+    for (std::size_t i = 0; i < d.conditions.size() && i < 24; ++i) {
+      ++r.mcdc_total;
+      if (!set.empty() && HasIndependencePair(set, static_cast<int>(i))) ++r.mcdc_covered;
+    }
+  }
+  return r;
+}
+
+MetricReport ComputeReport(const CoverageSink& sink) {
+  return ComputeReportFrom(sink.spec(), sink.total(), sink.evals());
+}
+
+std::vector<std::string> UncoveredOutcomes(const CoverageSpec& spec, const DynamicBitset& total) {
+  std::vector<std::string> out;
+  for (const auto& d : spec.decisions()) {
+    for (int k = 0; k < d.num_outcomes; ++k) {
+      if (!total.Test(static_cast<std::size_t>(spec.OutcomeSlot(d.id, k)))) {
+        out.push_back(StrFormat("%s[%d]", d.name.c_str(), k));
+      }
+    }
+  }
+  return out;
+}
+
+std::string FormatReport(const MetricReport& report) {
+  return StrFormat("DC %.1f%% (%d/%d) | CC %.1f%% (%d/%d) | MCDC %.1f%% (%d/%d)",
+                   report.DecisionPct(), report.outcome_covered, report.outcome_total,
+                   report.ConditionPct(), report.condition_polarity_covered,
+                   report.condition_polarity_total, report.McdcPct(), report.mcdc_covered,
+                   report.mcdc_total);
+}
+
+}  // namespace cftcg::coverage

@@ -1,0 +1,53 @@
+// Coverage metric computation: Decision, Condition and (masking) MCDC, the
+// three metrics of the paper's Table 3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coverage/sink.hpp"
+#include "coverage/spec.hpp"
+
+namespace cftcg::coverage {
+
+struct MetricReport {
+  int outcome_total = 0;
+  int outcome_covered = 0;
+  int condition_polarity_total = 0;
+  int condition_polarity_covered = 0;
+  int mcdc_total = 0;    // conditions belonging to decisions with conditions
+  int mcdc_covered = 0;  // of those, conditions with a masking independence pair
+
+  [[nodiscard]] double DecisionPct() const {
+    return outcome_total == 0 ? 100.0 : 100.0 * outcome_covered / outcome_total;
+  }
+  [[nodiscard]] double ConditionPct() const {
+    return condition_polarity_total == 0
+               ? 100.0
+               : 100.0 * condition_polarity_covered / condition_polarity_total;
+  }
+  [[nodiscard]] double McdcPct() const {
+    return mcdc_total == 0 ? 100.0 : 100.0 * mcdc_covered / mcdc_total;
+  }
+};
+
+/// Computes the three metrics from a sink's cumulative state.
+MetricReport ComputeReport(const CoverageSink& sink);
+
+/// Same, but from an externally accumulated total bitmap + eval sets (used
+/// when replaying saved test cases).
+MetricReport ComputeReportFrom(const CoverageSpec& spec, const DynamicBitset& total,
+                               const std::vector<std::unordered_set<std::uint64_t>>& evals);
+
+/// True if condition `index_in_decision` of the decision has a masking MCDC
+/// independence pair within `evals`.
+bool HasIndependencePair(const std::unordered_set<std::uint64_t>& evals, int condition_index);
+
+/// Lists uncovered decision outcomes as "name[outcome]" strings (debugging
+/// and the EXPERIMENTS.md narrative).
+std::vector<std::string> UncoveredOutcomes(const CoverageSpec& spec, const DynamicBitset& total);
+
+/// Renders a one-line summary "DC 87.5% | CC 75.0% | MCDC 50.0%".
+std::string FormatReport(const MetricReport& report);
+
+}  // namespace cftcg::coverage

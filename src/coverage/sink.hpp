@@ -1,0 +1,109 @@
+// Runtime coverage collection.
+//
+// The executors (VM and interpreter) report three kinds of events into a
+// CoverageSink:
+//   * Hit(slot)                — a fuzz-branch slot fired this iteration
+//                                 (decision outcome or condition polarity);
+//   * RecordEval(...)          — one evaluation of a multi-condition decision
+//                                 (for masking MCDC), as a packed condition
+//                                 vector + outcome;
+//   * RecordMargin(...)        — numeric distance-to-flip of a decision
+//                                 (consumed by the constraint-solving
+//                                 baseline's guided search; off by default).
+//
+// `curr` is the per-model-iteration bitmap of Algorithm 1 (g_CurrCov);
+// `total` is the campaign-cumulative bitmap (g_TotalCov). The fuzzing loop
+// owns the merging policy; baselines use AccumulateIteration().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "coverage/spec.hpp"
+#include "support/bitset.hpp"
+
+namespace cftcg::coverage {
+
+/// Packs an MCDC evaluation into a single word:
+/// bits 0..23 condition values, 24..47 evaluated mask, 48..55 outcome.
+inline std::uint64_t PackEval(std::uint32_t values, std::uint32_t mask, int outcome) {
+  return (static_cast<std::uint64_t>(values) & 0xFFFFFF) |
+         ((static_cast<std::uint64_t>(mask) & 0xFFFFFF) << 24) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(outcome) & 0xFF) << 48);
+}
+inline std::uint32_t EvalValues(std::uint64_t e) { return static_cast<std::uint32_t>(e & 0xFFFFFF); }
+inline std::uint32_t EvalMask(std::uint64_t e) {
+  return static_cast<std::uint32_t>((e >> 24) & 0xFFFFFF);
+}
+inline int EvalOutcome(std::uint64_t e) { return static_cast<int>((e >> 48) & 0xFF); }
+
+/// Records per-decision outcome distances for goal-directed search.
+class MarginRecorder {
+ public:
+  void Reset(const CoverageSpec& spec);
+  /// Distance bookkeeping for a two-way split inside decision `d`: `margin`
+  /// >= 0 selects outcome `ge_outcome`, < 0 selects `lt_outcome`. The
+  /// distance to the *other* outcome is |margin| (+1 for the >= side so the
+  /// boundary itself is not counted as reached).
+  void Record(DecisionId d, int ge_outcome, int lt_outcome, double margin);
+
+  /// Best (smallest) observed distance toward outcome `k` of decision `d`
+  /// since the last ResetRun(); kUnreached if never evaluated.
+  [[nodiscard]] double Distance(DecisionId d, int outcome) const;
+  void ResetRun();
+
+  static constexpr double kUnreached = 1e300;
+
+ private:
+  std::vector<int> offset_;
+  std::vector<double> dist_;
+};
+
+class CoverageSink {
+ public:
+  explicit CoverageSink(const CoverageSpec& spec);
+
+  [[nodiscard]] const CoverageSpec& spec() const { return *spec_; }
+
+  // -- Hot path (called by executors) -----------------------------------
+  void Hit(int slot) { curr_.Set(static_cast<std::size_t>(slot)); }
+  void RecordEval(DecisionId d, std::uint32_t values, std::uint32_t mask, int outcome) {
+    auto& set = evals_[static_cast<std::size_t>(d)];
+    if (set.size() < kMaxEvalsPerDecision) set.insert(PackEval(values, mask, outcome));
+  }
+  void RecordMargin(DecisionId d, int ge_outcome, int lt_outcome, double margin) {
+    if (margins_) margins_->Record(d, ge_outcome, lt_outcome, margin);
+  }
+
+  // -- Iteration control --------------------------------------------------
+  /// Clears the per-iteration map (Algorithm 1 line 11).
+  void BeginIteration() { curr_.ClearAll(); }
+  /// Merges curr into total; returns number of newly covered slots.
+  std::size_t AccumulateIteration() { return total_.MergeAndCountNew(curr_); }
+
+  [[nodiscard]] const DynamicBitset& curr() const { return curr_; }
+  [[nodiscard]] const DynamicBitset& total() const { return total_; }
+  [[nodiscard]] DynamicBitset& mutable_total() { return total_; }
+  [[nodiscard]] const std::vector<std::unordered_set<std::uint64_t>>& evals() const {
+    return evals_;
+  }
+
+  /// Enables margin recording (constraint baseline); pass nullptr to disable.
+  void set_margin_recorder(MarginRecorder* m) { margins_ = m; }
+
+  /// Full campaign reset (keeps the spec binding).
+  void ResetCampaign();
+
+  static constexpr std::size_t kMaxEvalsPerDecision = 2048;
+
+ private:
+  const CoverageSpec* spec_;
+  DynamicBitset curr_;
+  DynamicBitset total_;
+  std::vector<std::unordered_set<std::uint64_t>> evals_;
+  MarginRecorder* margins_ = nullptr;
+};
+
+}  // namespace cftcg::coverage

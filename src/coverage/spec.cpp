@@ -1,0 +1,30 @@
+#include "coverage/spec.hpp"
+
+namespace cftcg::coverage {
+
+DecisionId CoverageSpec::AddDecision(std::string name, int outcomes) {
+  Decision d;
+  d.id = static_cast<DecisionId>(decisions_.size());
+  d.name = std::move(name);
+  d.num_outcomes = outcomes;
+  d.outcome_slot = next_outcome_slot_;
+  next_outcome_slot_ += outcomes;
+  decisions_.push_back(std::move(d));
+  return decisions_.back().id;
+}
+
+ConditionId CoverageSpec::AddCondition(std::string name, DecisionId decision) {
+  Condition c;
+  c.id = static_cast<ConditionId>(conditions_.size());
+  c.name = std::move(name);
+  c.decision = decision;
+  if (decision >= 0) {
+    auto& d = decisions_[static_cast<std::size_t>(decision)];
+    c.index_in_decision = static_cast<int>(d.conditions.size());
+    d.conditions.push_back(c.id);
+  }
+  conditions_.push_back(std::move(c));
+  return conditions_.back().id;
+}
+
+}  // namespace cftcg::coverage

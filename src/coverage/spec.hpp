@@ -1,0 +1,86 @@
+// Coverage specification: the registry of decisions and conditions of a
+// model, mirroring Simulink's model coverage definitions.
+//
+//   * A *decision* is a point where model execution picks one of N outcomes
+//     (Switch output choice, Saturation region, chart transition
+//     taken/not-taken, each if/elseif arm, ...). Decision Coverage asks that
+//     every outcome of every decision be exercised.
+//   * A *condition* is a leaf boolean expression feeding a decision or a
+//     logical block input. Condition Coverage asks for each condition to be
+//     seen both true and false.
+//   * MCDC (masking form) asks, for each condition of a multi-condition
+//     decision, for a pair of evaluations where flipping that condition
+//     alone (others masked) flips the decision outcome.
+//
+// The spec also defines the *fuzzer branch space* of the paper's
+// Algorithm 1: one slot per decision outcome plus one slot per condition
+// polarity. Its size is the algorithm's `branchCount`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cftcg::coverage {
+
+using DecisionId = int;
+using ConditionId = int;
+
+struct Decision {
+  DecisionId id = -1;
+  std::string name;        // hierarchical, e.g. "ctrl/Switch1" or "chart.t3"
+  int num_outcomes = 2;
+  int outcome_slot = 0;    // first slot in the outcome-slot space
+  std::vector<ConditionId> conditions;  // conditions governing this decision
+};
+
+struct Condition {
+  ConditionId id = -1;
+  std::string name;
+  DecisionId decision = -1;  // owning decision, or -1 for logical-block inputs
+  int index_in_decision = 0; // bit position in MCDC evaluation vectors
+};
+
+class CoverageSpec {
+ public:
+  /// Registers a decision with `outcomes` outcomes; returns its id.
+  DecisionId AddDecision(std::string name, int outcomes);
+  /// Registers a condition attached to `decision` (or -1); returns its id.
+  ConditionId AddCondition(std::string name, DecisionId decision);
+
+  [[nodiscard]] const std::vector<Decision>& decisions() const { return decisions_; }
+  [[nodiscard]] const std::vector<Condition>& conditions() const { return conditions_; }
+  [[nodiscard]] const Decision& decision(DecisionId id) const {
+    return decisions_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const Condition& condition(ConditionId id) const {
+    return conditions_[static_cast<std::size_t>(id)];
+  }
+
+  /// Total decision-outcome slots.
+  [[nodiscard]] int num_outcome_slots() const { return next_outcome_slot_; }
+  /// Slot of outcome `k` of decision `d` in the outcome space.
+  [[nodiscard]] int OutcomeSlot(DecisionId d, int outcome) const {
+    return decision(d).outcome_slot + outcome;
+  }
+
+  /// The fuzzer branch space: outcomes first, then condition polarities
+  /// (true slot, false slot per condition). This is Algorithm 1's
+  /// branchCount.
+  [[nodiscard]] int FuzzBranchCount() const {
+    return num_outcome_slots() + 2 * static_cast<int>(conditions_.size());
+  }
+  [[nodiscard]] int ConditionTrueSlot(ConditionId c) const {
+    return num_outcome_slots() + 2 * c;
+  }
+  [[nodiscard]] int ConditionFalseSlot(ConditionId c) const {
+    return num_outcome_slots() + 2 * c + 1;
+  }
+
+ private:
+  std::vector<Decision> decisions_;
+  std::vector<Condition> conditions_;
+  int next_outcome_slot_ = 0;
+};
+
+}  // namespace cftcg::coverage

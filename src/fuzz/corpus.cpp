@@ -1,0 +1,28 @@
+#include "fuzz/corpus.hpp"
+
+#include <cassert>
+
+namespace cftcg::fuzz {
+
+void Corpus::Add(CorpusEntry entry) {
+  total_energy_ += entry.metric + 1;
+  entries_.push_back(std::move(entry));
+}
+
+const CorpusEntry& Corpus::Pick(Rng& rng) const {
+  assert(!entries_.empty());
+  std::uint64_t roll = rng.NextBelow(total_energy_);
+  for (const auto& e : entries_) {
+    const std::uint64_t energy = e.metric + 1;
+    if (roll < energy) return e;
+    roll -= energy;
+  }
+  return entries_.back();
+}
+
+const CorpusEntry& Corpus::PickUniform(Rng& rng) const {
+  assert(!entries_.empty());
+  return entries_[rng.NextIndex(entries_.size())];
+}
+
+}  // namespace cftcg::fuzz

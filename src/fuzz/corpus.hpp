@@ -1,0 +1,40 @@
+// Corpus of interesting inputs.
+//
+// Entries carry the Iteration Difference Coverage metric (Algorithm 1's
+// return value); selection is energy-weighted toward higher-IDC entries so
+// that inputs whose iterations keep visiting *different* branch sets — the
+// paper's proxy for state-space exploration — get mutated more often.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace cftcg::fuzz {
+
+struct CorpusEntry {
+  std::vector<std::uint8_t> data;
+  std::size_t metric = 0;      // IDC metric (or edge count in Fuzz Only mode)
+  std::size_t new_slots = 0;   // slots newly covered when this entry was added
+};
+
+class Corpus {
+ public:
+  void Add(CorpusEntry entry);
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const CorpusEntry& entry(std::size_t i) const { return entries_[i]; }
+
+  /// Energy-weighted pick: probability proportional to (metric + 1).
+  [[nodiscard]] const CorpusEntry& Pick(Rng& rng) const;
+  /// Uniform pick (crossover partner).
+  [[nodiscard]] const CorpusEntry& PickUniform(Rng& rng) const;
+
+ private:
+  std::vector<CorpusEntry> entries_;
+  std::uint64_t total_energy_ = 0;
+};
+
+}  // namespace cftcg::fuzz

@@ -1,0 +1,69 @@
+#include "fuzz/csv_export.hpp"
+
+#include "ir/value.hpp"
+#include "support/strings.hpp"
+
+namespace cftcg::fuzz {
+
+std::string TestCaseToCsv(const TupleLayout& layout, const std::vector<std::string>& names,
+                          const std::vector<std::uint8_t>& data) {
+  std::string out;
+  std::vector<std::string> header;
+  for (std::size_t f = 0; f < layout.num_fields(); ++f) {
+    header.push_back(f < names.size() ? names[f] : StrFormat("in%zu", f));
+  }
+  out += JoinStrings(header, ",") + "\n";
+
+  const std::size_t ts = layout.tuple_size();
+  for (std::size_t off = 0; off + ts <= data.size(); off += ts) {
+    std::vector<std::string> row;
+    for (std::size_t f = 0; f < layout.num_fields(); ++f) {
+      const ir::Value v =
+          ir::Value::FromBytes(layout.field_type(f), data.data() + off + layout.field_offset(f));
+      row.push_back(v.ToString());
+    }
+    out += JoinStrings(row, ",") + "\n";
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> CsvToTestCase(const TupleLayout& layout,
+                                                const std::string& csv_text) {
+  std::vector<std::uint8_t> data;
+  const auto lines = SplitString(csv_text, '\n');
+  bool first = true;
+  for (const auto& line : lines) {
+    const auto trimmed = TrimString(line);
+    if (trimmed.empty()) continue;
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    const auto cells = SplitString(trimmed, ',');
+    if (cells.size() != layout.num_fields()) {
+      return Status::Error(StrFormat("csv row has %zu cells, want %zu", cells.size(),
+                                     layout.num_fields()));
+    }
+    std::vector<std::uint8_t> tuple(layout.tuple_size());
+    for (std::size_t f = 0; f < layout.num_fields(); ++f) {
+      const ir::DType t = layout.field_type(f);
+      ir::Value v;
+      if (ir::DTypeIsFloat(t)) {
+        double d = 0;
+        if (!ParseDouble(cells[f], d)) return Status::Error("bad csv number: " + cells[f]);
+        v = ir::Value::Real(t, d);
+      } else if (t == ir::DType::kBool) {
+        v = ir::Value::Bool(TrimString(cells[f]) == "true" || TrimString(cells[f]) == "1");
+      } else {
+        long long i = 0;
+        if (!ParseInt64(cells[f], i)) return Status::Error("bad csv integer: " + cells[f]);
+        v = ir::Value::Int(t, i);
+      }
+      v.ToBytes(tuple.data() + layout.field_offset(f));
+    }
+    data.insert(data.end(), tuple.begin(), tuple.end());
+  }
+  return data;
+}
+
+}  // namespace cftcg::fuzz

@@ -1,0 +1,30 @@
+// Binary test case -> CSV conversion.
+//
+// The paper ships a tool converting binary test-case files into the CSV
+// format Simulink's coverage tooling imports ("for fair comparison, we
+// implemented a tool to convert binary test case files into csv"). This is
+// that tool: one row per model iteration, one column per inport, values
+// decoded with the same field layout the fuzz driver uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/mutator.hpp"
+#include "support/status.hpp"
+
+namespace cftcg::fuzz {
+
+/// Converts one binary test case to CSV text. `names` supplies the header
+/// row (one per field); a trailing partial tuple is discarded, mirroring
+/// the driver.
+std::string TestCaseToCsv(const TupleLayout& layout, const std::vector<std::string>& names,
+                          const std::vector<std::uint8_t>& data);
+
+/// Inverse: parses CSV text back into a binary test case (used to import
+/// externally authored test vectors and by the round-trip tests).
+Result<std::vector<std::uint8_t>> CsvToTestCase(const TupleLayout& layout,
+                                                const std::string& csv_text);
+
+}  // namespace cftcg::fuzz

@@ -1,0 +1,192 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cftcg::fuzz {
+
+namespace {
+
+double Elapsed(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+Fuzzer::Fuzzer(const vm::Program& instrumented, const coverage::CoverageSpec& spec,
+               FuzzerOptions options, const vm::Program* fuzz_only_program)
+    : instrumented_(&instrumented),
+      fuzz_only_(fuzz_only_program),
+      spec_(&spec),
+      options_(options),
+      machine_(instrumented),
+      sink_(spec),
+      tuple_mutator_(TupleLayout(instrumented.input_types), options.max_tuples),
+      byte_mutator_(options.max_tuples * std::max<std::size_t>(instrumented.TupleSize(), 1)),
+      rng_(options.seed) {
+  last_cov_.Resize(static_cast<std::size_t>(spec.FuzzBranchCount()));
+  assert(options_.model_oriented || fuzz_only_ != nullptr);
+  // Comparison tracing (libFuzzer TORC): operands of failed equality
+  // comparisons feed the mutation dictionary in both modes.
+  machine_.set_cmp_trace(&cmp_trace_);
+  if (!options_.field_ranges.empty()) tuple_mutator_.SetFieldRanges(options_.field_ranges);
+}
+
+int Fuzzer::DecisionOutcomesCovered() const {
+  int covered = 0;
+  for (int slot = 0; slot < spec_->num_outcome_slots(); ++slot) {
+    if (sink_.total().Test(static_cast<std::size_t>(slot))) ++covered;
+  }
+  return covered;
+}
+
+std::size_t Fuzzer::RunOneInstrumented(const std::vector<std::uint8_t>& data, bool* found_new,
+                                       std::size_t* new_slots) {
+  // Algorithm 1 (Model Coverage Collection).
+  const std::size_t tuple_size = instrumented_->TupleSize();
+  machine_.Reset();              // Model_init()
+  std::size_t metric = 0;        // Iteration Difference Coverage
+  last_cov_.ClearAll();          // lastCov = {0,...}
+  bool any_new = false;
+  std::size_t total_new = 0;
+  for (std::size_t off = 0; off + tuple_size <= data.size(); off += tuple_size) {
+    sink_.BeginIteration();                    // g_CurrCov = {0,...}
+    machine_.SetInputsFromBytes(data.data() + off);
+    machine_.Step(&sink_);                     // Model_step(tuple)
+    ++model_iterations_;
+    const std::size_t fresh = sink_.AccumulateIteration();  // new bits vs g_TotalCov
+    if (fresh > 0) {
+      any_new = true;  // outputTestCase(data, size)
+      total_new += fresh;
+    }
+    metric += sink_.curr().CountDifferences(last_cov_);  // per-branch difference count
+    last_cov_ = sink_.curr();
+  }
+  if (found_new != nullptr) *found_new = any_new;
+  if (new_slots != nullptr) *new_slots = total_new;
+  return metric;
+}
+
+void Fuzzer::MeasureOnInstrumented(const std::vector<std::uint8_t>& data) {
+  bool unused_new = false;
+  std::size_t unused_slots = 0;
+  RunOneInstrumented(data, &unused_new, &unused_slots);
+}
+
+std::size_t Fuzzer::RunOneEdges(const std::vector<std::uint8_t>& data, bool* found_new) {
+  assert(fuzz_only_ != nullptr);
+  if (!fuzz_machine_) {
+    fuzz_machine_ = std::make_unique<vm::Machine>(*fuzz_only_);
+    fuzz_machine_->set_cmp_trace(&cmp_trace_);
+  }
+  vm::Machine* fuzz_machine = fuzz_machine_.get();
+  if (edge_total_.empty()) {
+    edge_total_.assign(static_cast<std::size_t>(fuzz_only_->num_edges), 0);
+    edge_curr_.assign(static_cast<std::size_t>(fuzz_only_->num_edges), 0);
+  }
+  std::fill(edge_curr_.begin(), edge_curr_.end(), 0);
+  const std::size_t tuple_size = fuzz_only_->TupleSize();
+  fuzz_machine->Reset();
+  assert(tuple_size == instrumented_->TupleSize());
+  for (std::size_t off = 0; off + tuple_size <= data.size(); off += tuple_size) {
+    fuzz_machine->SetInputsFromBytes(data.data() + off);
+    fuzz_machine->Step(nullptr, edge_curr_.data());
+    ++model_iterations_;
+  }
+  bool any_new = false;
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < edge_curr_.size(); ++i) {
+    if (edge_curr_[i] != 0) {
+      ++covered;
+      if (edge_total_[i] == 0) {
+        edge_total_[i] = 1;
+        any_new = true;
+      }
+    }
+  }
+  if (found_new != nullptr) *found_new = any_new;
+  return covered;
+}
+
+CampaignResult Fuzzer::Run(const FuzzBudget& budget) {
+  CampaignResult result;
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t best_metric = 0;
+  // The raw IDC metric is a sum over iterations, so longer inputs score
+  // higher just by being long; energy and admission use the per-iteration
+  // density instead (scaled x16 to keep integer resolution).
+  const std::size_t tuple_size = std::max<std::size_t>(instrumented_->TupleSize(), 1);
+  auto idc_density = [&](std::size_t metric, const std::vector<std::uint8_t>& data) {
+    return metric * 16 / std::max<std::size_t>(data.size() / tuple_size, 1);
+  };
+
+  // Seed corpus: a handful of short random inputs.
+  for (std::size_t k = 0; k < options_.seed_inputs; ++k) {
+    const std::size_t n = 1 + rng_.NextBelow(32);
+    CorpusEntry seed;
+    seed.data = tuple_mutator_.RandomInput(n, rng_);
+    bool found_new = false;
+    std::size_t new_slots = 0;
+    if (options_.model_oriented) {
+      seed.metric = idc_density(RunOneInstrumented(seed.data, &found_new, &new_slots), seed.data);
+    } else {
+      seed.metric = RunOneEdges(seed.data, &found_new);
+      if (found_new) MeasureOnInstrumented(seed.data);
+    }
+    ++result.executions;
+    seed.new_slots = new_slots;
+    if (!options_.use_idc_energy) seed.metric = 0;
+    if (found_new) {
+      result.test_cases.push_back(TestCase{seed.data, Elapsed(start), new_slots,
+                                           DecisionOutcomesCovered()});
+    }
+    best_metric = std::max(best_metric, seed.metric);
+    corpus_.Add(std::move(seed));
+  }
+
+  static const std::vector<std::uint8_t> kEmpty;
+  while (Elapsed(start) < budget.wall_seconds && result.executions < budget.max_executions) {
+    const CorpusEntry& parent = corpus_.Pick(rng_);
+    const std::vector<std::uint8_t>& partner =
+        corpus_.size() > 1 ? corpus_.PickUniform(rng_).data : kEmpty;
+    std::vector<std::uint8_t> data =
+        options_.model_oriented
+            ? tuple_mutator_.Mutate(parent.data, partner, rng_, &cmp_trace_)
+            : byte_mutator_.Mutate(parent.data, partner, rng_, &cmp_trace_);
+
+    bool found_new = false;
+    std::size_t new_slots = 0;
+    std::size_t metric = 0;
+    if (options_.model_oriented) {
+      metric = idc_density(RunOneInstrumented(data, &found_new, &new_slots), data);
+    } else {
+      metric = RunOneEdges(data, &found_new);
+      if (found_new) MeasureOnInstrumented(data);
+    }
+    ++result.executions;
+
+    if (found_new) {
+      result.test_cases.push_back(
+          TestCase{data, Elapsed(start), new_slots, DecisionOutcomesCovered()});
+    }
+    // Corpus policy (paper §3.2.2): keep inputs that trigger new coverage,
+    // and inputs whose Iteration Difference Coverage beats what we've seen.
+    const bool idc_interesting =
+        options_.model_oriented && options_.use_idc_energy && metric > best_metric;
+    if (found_new || idc_interesting) {
+      best_metric = std::max(best_metric, metric);
+      CorpusEntry entry;
+      entry.data = std::move(data);
+      entry.metric = options_.use_idc_energy ? metric : 0;
+      entry.new_slots = new_slots;
+      corpus_.Add(std::move(entry));
+    }
+  }
+
+  result.elapsed_s = Elapsed(start);
+  result.model_iterations = model_iterations_;
+  result.report = coverage::ComputeReport(sink_);
+  return result;
+}
+
+}  // namespace cftcg::fuzz

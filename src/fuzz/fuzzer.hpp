@@ -1,0 +1,108 @@
+// The model-oriented fuzzing loop (paper §3.2) — a libFuzzer-style
+// in-process loop over the compiled model program.
+//
+// Two configurations share this engine:
+//   * CFTCG mode (model_oriented = true): the program carries model-level
+//     branch instrumentation; feedback is the model branch space; mutation
+//     is field-wise over tuples; corpus scheduling uses the Iteration
+//     Difference Coverage metric of Algorithm 1.
+//   * Fuzz Only mode (model_oriented = false): the program is compiled
+//     without model instrumentation (boolean logic branch-free) but with
+//     code-level edge marks; feedback is the edge map; mutation is generic
+//     byte-level. Saved test cases are *measured* on the instrumented
+//     program afterwards — just like the paper converts test cases and
+//     measures with Simulink's coverage tooling — so both modes report in
+//     the same model-coverage space (Figure 8).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "coverage/report.hpp"
+#include "coverage/sink.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/mutator.hpp"
+#include "vm/machine.hpp"
+
+namespace cftcg::fuzz {
+
+struct FuzzerOptions {
+  std::uint64_t seed = 1;
+  bool model_oriented = true;     // field-wise mutation + model feedback + IDC
+  bool use_idc_energy = true;     // Algorithm 1 corpus scheduling (ablation switch)
+  std::size_t max_tuples = 256;   // length cap per input, in tuples (~libFuzzer max_len)
+  std::size_t seed_inputs = 8;    // initial random corpus entries
+  /// Optional per-inport value ranges (§5 of the paper: testers can narrow
+  /// the random exploration space of over-wide integer inports).
+  std::vector<FieldRange> field_ranges;
+};
+
+struct FuzzBudget {
+  double wall_seconds = 1.0;               // stop after this much wall-clock
+  std::uint64_t max_executions = UINT64_MAX;  // or after this many inputs
+};
+
+/// One generated test case (an input that triggered new model coverage).
+struct TestCase {
+  std::vector<std::uint8_t> data;
+  double time_s = 0;             // seconds since campaign start
+  std::size_t new_slots = 0;     // branch slots newly covered
+  int decision_outcomes_covered = 0;  // cumulative, for Figure 7 curves
+};
+
+struct CampaignResult {
+  std::vector<TestCase> test_cases;
+  std::uint64_t executions = 0;
+  std::uint64_t model_iterations = 0;
+  coverage::MetricReport report;  // measured on the instrumented program
+  double elapsed_s = 0;
+};
+
+class Fuzzer {
+ public:
+  /// `instrumented` must carry model-level instrumentation (used for
+  /// measurement in both modes and as the fuzzing target in CFTCG mode).
+  /// `fuzz_only_program` is required when model_oriented is false: compiled
+  /// without model instrumentation but with edge marks.
+  Fuzzer(const vm::Program& instrumented, const coverage::CoverageSpec& spec,
+         FuzzerOptions options, const vm::Program* fuzz_only_program = nullptr);
+
+  CampaignResult Run(const FuzzBudget& budget);
+
+  /// Executes one input through the instrumented program, implementing
+  /// Algorithm 1: per-iteration coverage, test-case output on new coverage,
+  /// and the Iteration Difference Coverage metric as the return value.
+  /// Exposed publicly for unit tests.
+  std::size_t RunOneInstrumented(const std::vector<std::uint8_t>& data, bool* found_new,
+                                 std::size_t* new_slots);
+
+  [[nodiscard]] const coverage::CoverageSink& sink() const { return sink_; }
+
+ private:
+  void MeasureOnInstrumented(const std::vector<std::uint8_t>& data);
+  std::size_t RunOneEdges(const std::vector<std::uint8_t>& data, bool* found_new);
+  int DecisionOutcomesCovered() const;
+
+  const vm::Program* instrumented_;
+  const vm::Program* fuzz_only_;
+  const coverage::CoverageSpec* spec_;
+  FuzzerOptions options_;
+  vm::Machine machine_;          // instrumented program
+  vm::CmpTrace cmp_trace_;       // libFuzzer-style table of recent compares
+  coverage::CoverageSink sink_;  // model coverage (measurement space)
+  DynamicBitset last_cov_;       // Algorithm 1's lastCov
+  TupleMutator tuple_mutator_;
+  ByteMutator byte_mutator_;
+  Corpus corpus_;
+  Rng rng_;
+  std::uint64_t model_iterations_ = 0;
+  // Fuzz-only state.
+  std::unique_ptr<vm::Machine> fuzz_machine_;
+  std::vector<std::uint8_t> edge_total_;
+  std::vector<std::uint8_t> edge_curr_;
+};
+
+}  // namespace cftcg::fuzz

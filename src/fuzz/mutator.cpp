@@ -1,0 +1,403 @@
+#include "fuzz/mutator.hpp"
+
+#include "ir/value.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cftcg::fuzz {
+
+TupleLayout::TupleLayout(std::vector<ir::DType> fields) : fields_(std::move(fields)) {
+  for (const auto t : fields_) {
+    offsets_.push_back(tuple_size_);
+    tuple_size_ += ir::DTypeSize(t);
+  }
+}
+
+std::string_view MutationStrategyName(MutationStrategy s) {
+  switch (s) {
+    case MutationStrategy::kChangeBinaryInteger: return "ChangeBinaryInteger";
+    case MutationStrategy::kChangeBinaryFloat: return "ChangeBinaryFloat";
+    case MutationStrategy::kEraseTuples: return "EraseTuples";
+    case MutationStrategy::kInsertTuple: return "InsertTuple";
+    case MutationStrategy::kInsertRepeatedTuples: return "InsertRepeatedTuples";
+    case MutationStrategy::kShuffleTuples: return "ShuffleTuples";
+    case MutationStrategy::kCopyTuples: return "CopyTuples";
+    case MutationStrategy::kTuplesCrossOver: return "TuplesCrossOver";
+  }
+  return "?";
+}
+
+TupleMutator::TupleMutator(TupleLayout layout, std::size_t max_tuples)
+    : layout_(std::move(layout)), max_tuples_(max_tuples) {}
+
+std::vector<std::uint8_t> TupleMutator::RandomInput(std::size_t n, Rng& rng) const {
+  std::vector<std::uint8_t> data(n * layout_.tuple_size());
+  rng.FillBytes(data.data(), data.size());
+  ClampAllFields(data);
+  return data;
+}
+
+void TupleMutator::ClampField(std::vector<std::uint8_t>& data, std::size_t tuple_index,
+                              std::size_t field) const {
+  if (field >= ranges_.size() || !ranges_[field].active) return;
+  const FieldRange& r = ranges_[field];
+  const ir::DType t = layout_.field_type(field);
+  const std::size_t off = tuple_index * layout_.tuple_size() + layout_.field_offset(field);
+  ir::Value v = ir::Value::FromBytes(t, data.data() + off);
+  const double x = v.AsDouble();
+  if (x >= r.lo && x <= r.hi) return;
+  const double clamped = x < r.lo ? r.lo : r.hi;
+  (ir::DTypeIsFloat(t) ? ir::Value::Real(t, clamped)
+                       : ir::Value::Int(t, static_cast<std::int64_t>(clamped)))
+      .ToBytes(data.data() + off);
+}
+
+void TupleMutator::ClampAllFields(std::vector<std::uint8_t>& data) const {
+  if (ranges_.empty()) return;
+  const std::size_t n = data.size() / layout_.tuple_size();
+  for (std::size_t tuple = 0; tuple < n; ++tuple) {
+    for (std::size_t f = 0; f < layout_.num_fields(); ++f) ClampField(data, tuple, f);
+  }
+}
+
+void TupleMutator::MutateIntegerField(std::vector<std::uint8_t>& data, std::size_t offset,
+                                      std::size_t size, Rng& rng,
+                                      const vm::CmpTrace* dict) const {
+  // The paper's "Change Binary Integer" sub-strategies: sign bit, byte swap,
+  // bit flip, byte modification, add/subtract, random change — plus the
+  // interesting boundary values every coverage-guided fuzzer carries and
+  // operands harvested from comparison tracing (libFuzzer TORC).
+  if (dict != nullptr && dict->int_count() > 0 && rng.NextBool(0.3)) {
+    std::int64_t v = dict->int_at(rng.NextIndex(dict->int_count()));
+    if (rng.NextBool(0.25)) v += rng.NextInRange(-2, 2);
+    std::memcpy(data.data() + offset, &v, size);
+    return;
+  }
+  switch (rng.NextBelow(7)) {
+    case 0:  // sign bit
+      data[offset + size - 1] ^= 0x80;
+      break;
+    case 1: {  // byte swap
+      if (size >= 2) {
+        const std::size_t a = rng.NextIndex(size);
+        const std::size_t b = rng.NextIndex(size);
+        std::swap(data[offset + a], data[offset + b]);
+      } else {
+        data[offset] = static_cast<std::uint8_t>((data[offset] << 4) | (data[offset] >> 4));
+      }
+      break;
+    }
+    case 2: {  // bit flip
+      const std::size_t bit = rng.NextIndex(size * 8);
+      data[offset + bit / 8] ^= static_cast<std::uint8_t>(1U << (bit % 8));
+      break;
+    }
+    case 3:  // byte modification
+      data[offset + rng.NextIndex(size)] = rng.NextByte();
+      break;
+    case 4: {  // add or subtract a small value
+      std::int64_t v = 0;
+      std::memcpy(&v, data.data() + offset, size);
+      v += rng.NextInRange(-16, 16);
+      std::memcpy(data.data() + offset, &v, size);
+      break;
+    }
+    case 5: {  // interesting boundary values
+      static constexpr std::int64_t kInteresting[] = {0,  1,   -1,  2,   3,    4,    7,   8,
+                                                      16, 31,  32,  64,  100,  127,  128, 255,
+                                                      256, 512, 1000, 1024, 4096, 32767, 65535};
+      const std::int64_t v = kInteresting[rng.NextIndex(std::size(kInteresting))] *
+                             (rng.NextBool() ? 1 : -1);
+      std::memcpy(data.data() + offset, &v, size);
+      break;
+    }
+    default:  // random change
+      rng.FillBytes(data.data() + offset, size);
+      break;
+  }
+}
+
+void TupleMutator::MutateFloatField(std::vector<std::uint8_t>& data, std::size_t offset,
+                                    std::size_t size, Rng& rng,
+                                    const vm::CmpTrace* dict) const {
+  // Targeted mutation by IEEE-754 memory regions (sign / exponent /
+  // mantissa), interesting values, comparison-trace operands, or full
+  // random replace.
+  const bool is_double = size == 8;
+  if (dict != nullptr && dict->double_count() > 0 && rng.NextBool(0.3)) {
+    const double v = dict->double_at(rng.NextIndex(dict->double_count()));
+    if (is_double) {
+      std::memcpy(data.data() + offset, &v, 8);
+    } else {
+      const float f = static_cast<float>(v);
+      std::memcpy(data.data() + offset, &f, 4);
+    }
+    return;
+  }
+  switch (rng.NextBelow(5)) {
+    case 0:  // sign bit
+      data[offset + size - 1] ^= 0x80;
+      break;
+    case 1: {  // exponent perturbation
+      if (is_double) {
+        double v = 0;
+        std::memcpy(&v, data.data() + offset, 8);
+        v *= rng.NextBool() ? 2.0 : 0.5;
+        std::memcpy(data.data() + offset, &v, 8);
+      } else {
+        float v = 0;
+        std::memcpy(&v, data.data() + offset, 4);
+        v *= rng.NextBool() ? 2.0F : 0.5F;
+        std::memcpy(data.data() + offset, &v, 4);
+      }
+      break;
+    }
+    case 2: {  // mantissa bit flip (low bytes)
+      const std::size_t bit = rng.NextIndex((size - 1) * 8);
+      data[offset + bit / 8] ^= static_cast<std::uint8_t>(1U << (bit % 8));
+      break;
+    }
+    case 3: {  // interesting values
+      static constexpr double kInteresting[] = {0.0, 1.0, -1.0, 0.5,  -0.5, 10.0,
+                                                -10.0, 100.0, 1e6, -1e6, 1e-6};
+      const double v = kInteresting[rng.NextIndex(std::size(kInteresting))];
+      if (is_double) {
+        std::memcpy(data.data() + offset, &v, 8);
+      } else {
+        const float f = static_cast<float>(v);
+        std::memcpy(data.data() + offset, &f, 4);
+      }
+      break;
+    }
+    default:
+      rng.FillBytes(data.data() + offset, size);
+      break;
+  }
+}
+
+std::vector<std::uint8_t> TupleMutator::ApplyStrategy(MutationStrategy s,
+                                                      const std::vector<std::uint8_t>& input,
+                                                      const std::vector<std::uint8_t>& crossover,
+                                                      Rng& rng,
+                                                      const vm::CmpTrace* dict) const {
+  const std::size_t ts = layout_.tuple_size();
+  std::vector<std::uint8_t> data = input;
+  // Drop any trailing partial tuple (the driver would discard it anyway).
+  data.resize((data.size() / ts) * ts);
+  std::size_t n = data.size() / ts;
+  if (n == 0) {
+    data = RandomInput(1 + rng.NextBelow(4), rng);
+    n = data.size() / ts;
+  }
+
+  auto field_edit = [&](bool want_float) {
+    // Pick a tuple, then a field of the wanted class (fall back to any).
+    const std::size_t tuple = rng.NextIndex(n);
+    std::vector<std::size_t> candidates;
+    for (std::size_t f = 0; f < layout_.num_fields(); ++f) {
+      if (ir::DTypeIsFloat(layout_.field_type(f)) == want_float) candidates.push_back(f);
+    }
+    if (candidates.empty()) {
+      for (std::size_t f = 0; f < layout_.num_fields(); ++f) candidates.push_back(f);
+    }
+    const std::size_t f = candidates[rng.NextIndex(candidates.size())];
+    const std::size_t offset = tuple * ts + layout_.field_offset(f);
+    if (ir::DTypeIsFloat(layout_.field_type(f))) {
+      MutateFloatField(data, offset, layout_.field_size(f), rng, dict);
+    } else {
+      MutateIntegerField(data, offset, layout_.field_size(f), rng, dict);
+    }
+    ClampField(data, tuple, f);
+  };
+
+  switch (s) {
+    case MutationStrategy::kChangeBinaryInteger: field_edit(false); break;
+    case MutationStrategy::kChangeBinaryFloat: field_edit(true); break;
+    case MutationStrategy::kEraseTuples: {
+      if (n <= 1) break;
+      const std::size_t start = rng.NextIndex(n);
+      const std::size_t count = 1 + rng.NextBelow(std::min<std::size_t>(n - start, 8));
+      data.erase(data.begin() + static_cast<std::ptrdiff_t>(start * ts),
+                 data.begin() + static_cast<std::ptrdiff_t>((start + count) * ts));
+      break;
+    }
+    case MutationStrategy::kInsertTuple: {
+      if (n >= max_tuples_) break;
+      const std::size_t pos = rng.NextBelow(n + 1);
+      std::vector<std::uint8_t> tuple(ts);
+      rng.FillBytes(tuple.data(), ts);
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos * ts), tuple.begin(),
+                  tuple.end());
+      break;
+    }
+    case MutationStrategy::kInsertRepeatedTuples: {
+      if (n >= max_tuples_) break;
+      const std::size_t pos = rng.NextBelow(n + 1);
+      // Long repeated runs are what drives counters/integrators/charge
+      // states to their deep branches.
+      const std::size_t reps =
+          1 + rng.NextBelow(std::min<std::size_t>(max_tuples_ - n, 128));
+      std::vector<std::uint8_t> tuple(ts);
+      if (n > 0 && rng.NextBool(0.7)) {
+        // Repeat an existing tuple (holds an input steady across steps —
+        // how deep stateful logic like charge/queue states gets driven).
+        const std::size_t src = rng.NextIndex(n);
+        std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(src * ts), ts, tuple.begin());
+      } else {
+        rng.FillBytes(tuple.data(), ts);
+      }
+      std::vector<std::uint8_t> run;
+      for (std::size_t k = 0; k < reps; ++k) run.insert(run.end(), tuple.begin(), tuple.end());
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos * ts), run.begin(), run.end());
+      break;
+    }
+    case MutationStrategy::kShuffleTuples: {
+      if (n <= 1) break;
+      const std::size_t start = rng.NextIndex(n - 1);
+      const std::size_t count = 2 + rng.NextBelow(std::min<std::size_t>(n - start - 1, 7));
+      std::vector<std::size_t> order(count);
+      for (std::size_t k = 0; k < count; ++k) order[k] = k;
+      rng.Shuffle(order);
+      std::vector<std::uint8_t> window(count * ts);
+      for (std::size_t k = 0; k < count; ++k) {
+        std::copy_n(data.begin() + static_cast<std::ptrdiff_t>((start + order[k]) * ts), ts,
+                    window.begin() + static_cast<std::ptrdiff_t>(k * ts));
+      }
+      std::copy(window.begin(), window.end(),
+                data.begin() + static_cast<std::ptrdiff_t>(start * ts));
+      break;
+    }
+    case MutationStrategy::kCopyTuples: {
+      if (n == 0 || n >= max_tuples_) break;
+      const std::size_t src = rng.NextIndex(n);
+      const std::size_t count = 1 + rng.NextBelow(std::min<std::size_t>(n - src, 8));
+      std::vector<std::uint8_t> run(data.begin() + static_cast<std::ptrdiff_t>(src * ts),
+                                    data.begin() + static_cast<std::ptrdiff_t>((src + count) * ts));
+      const std::size_t pos = rng.NextBelow(n + 1);
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos * ts), run.begin(), run.end());
+      break;
+    }
+    case MutationStrategy::kTuplesCrossOver: {
+      const std::size_t pn = (crossover.size() / ts);
+      if (pn == 0) break;
+      // Head of one stream + tail of the other, cut at tuple boundaries.
+      const std::size_t head = rng.NextBelow(n + 1);
+      const std::size_t tail_start = rng.NextIndex(pn);
+      std::vector<std::uint8_t> combined(data.begin(),
+                                         data.begin() + static_cast<std::ptrdiff_t>(head * ts));
+      combined.insert(combined.end(),
+                      crossover.begin() + static_cast<std::ptrdiff_t>(tail_start * ts),
+                      crossover.begin() + static_cast<std::ptrdiff_t>(pn * ts));
+      data = std::move(combined);
+      break;
+    }
+  }
+  // Enforce the length cap at tuple granularity.
+  if (data.size() > max_tuples_ * ts) data.resize(max_tuples_ * ts);
+  // Structural strategies can introduce fresh random tuples; keep every
+  // field inside its declared range.
+  if (!ranges_.empty() && s != MutationStrategy::kChangeBinaryInteger &&
+      s != MutationStrategy::kChangeBinaryFloat) {
+    ClampAllFields(data);
+  }
+  return data;
+}
+
+std::vector<std::uint8_t> TupleMutator::Mutate(const std::vector<std::uint8_t>& input,
+                                               const std::vector<std::uint8_t>& crossover,
+                                               Rng& rng, const vm::CmpTrace* dict) const {
+  std::vector<std::uint8_t> data = input;
+  const std::size_t rounds = 1 + rng.NextBelow(3);
+  for (std::size_t k = 0; k < rounds; ++k) {
+    // Field edits are the bread and butter; structural edits are rarer.
+    MutationStrategy s;
+    const std::uint64_t roll = rng.NextBelow(100);
+    if (roll < 34) s = MutationStrategy::kChangeBinaryInteger;
+    else if (roll < 54) s = MutationStrategy::kChangeBinaryFloat;
+    else if (roll < 62) s = MutationStrategy::kEraseTuples;
+    else if (roll < 68) s = MutationStrategy::kInsertTuple;
+    else if (roll < 80) s = MutationStrategy::kInsertRepeatedTuples;  // drives deep states
+    else if (roll < 86) s = MutationStrategy::kShuffleTuples;
+    else if (roll < 93) s = MutationStrategy::kCopyTuples;
+    else s = MutationStrategy::kTuplesCrossOver;
+    data = ApplyStrategy(s, data, crossover, rng, dict);
+  }
+  return data;
+}
+
+std::vector<std::uint8_t> ByteMutator::Mutate(const std::vector<std::uint8_t>& input,
+                                              const std::vector<std::uint8_t>& crossover,
+                                              Rng& rng, const vm::CmpTrace* dict) const {
+  std::vector<std::uint8_t> data = input;
+  if (data.empty()) {
+    data.resize(1 + rng.NextBelow(64));
+    rng.FillBytes(data.data(), data.size());
+    return data;
+  }
+  const std::size_t rounds = 1 + rng.NextBelow(3);
+  for (std::size_t k = 0; k < rounds; ++k) {
+    // libFuzzer's default cmp-trace mutation: paste a compared value at an
+    // arbitrary byte offset (no field awareness).
+    if (dict != nullptr && dict->int_count() > 0 && rng.NextBool(0.2)) {
+      const std::int64_t v = dict->int_at(rng.NextIndex(dict->int_count()));
+      const std::size_t width = rng.NextBool() ? 4 : 8;
+      if (data.size() >= width) {
+        const std::size_t pos = rng.NextIndex(data.size() - width + 1);
+        std::memcpy(data.data() + pos, &v, width);
+      }
+      continue;
+    }
+    switch (rng.NextBelow(6)) {
+      case 0:  // bit flip
+        data[rng.NextIndex(data.size())] ^= static_cast<std::uint8_t>(1U << rng.NextBelow(8));
+        break;
+      case 1:  // byte set
+        data[rng.NextIndex(data.size())] = rng.NextByte();
+        break;
+      case 2: {  // erase range (arbitrary offset: misaligns tuples)
+        if (data.size() <= 1) break;
+        const std::size_t start = rng.NextIndex(data.size());
+        const std::size_t count =
+            1 + rng.NextBelow(std::min<std::size_t>(data.size() - start, 16));
+        data.erase(data.begin() + static_cast<std::ptrdiff_t>(start),
+                   data.begin() + static_cast<std::ptrdiff_t>(start + count));
+        break;
+      }
+      case 3: {  // insert random bytes
+        if (data.size() >= max_len_) break;
+        const std::size_t pos = rng.NextBelow(data.size() + 1);
+        std::vector<std::uint8_t> run(1 + rng.NextBelow(16));
+        rng.FillBytes(run.data(), run.size());
+        data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos), run.begin(), run.end());
+        break;
+      }
+      case 4: {  // copy range
+        if (data.empty() || data.size() >= max_len_) break;
+        const std::size_t src = rng.NextIndex(data.size());
+        const std::size_t count =
+            1 + rng.NextBelow(std::min<std::size_t>(data.size() - src, 16));
+        std::vector<std::uint8_t> run(data.begin() + static_cast<std::ptrdiff_t>(src),
+                                      data.begin() + static_cast<std::ptrdiff_t>(src + count));
+        const std::size_t pos = rng.NextBelow(data.size() + 1);
+        data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos), run.begin(), run.end());
+        break;
+      }
+      default: {  // byte-level crossover
+        if (crossover.empty()) break;
+        const std::size_t head = rng.NextBelow(data.size() + 1);
+        const std::size_t tail = rng.NextIndex(crossover.size());
+        std::vector<std::uint8_t> combined(data.begin(),
+                                           data.begin() + static_cast<std::ptrdiff_t>(head));
+        combined.insert(combined.end(), crossover.begin() + static_cast<std::ptrdiff_t>(tail),
+                        crossover.end());
+        data = std::move(combined);
+        break;
+      }
+    }
+  }
+  if (data.size() > max_len_) data.resize(max_len_);
+  return data;
+}
+
+}  // namespace cftcg::fuzz

@@ -1,0 +1,129 @@
+// Model input mutation — the paper's Table 1.
+//
+// A test case is a byte stream that the fuzz driver splits into *tuples*:
+// one tuple = the bytes consumed by one model iteration (sum of the inport
+// type sizes, in port order). Unlike generic byte-level fuzzing, every
+// mutation here respects tuple and field boundaries, so inserting/erasing
+// data never misaligns later iterations — exactly the deficiency the paper
+// demonstrates in the "Fuzz Only" ablation (Figure 8).
+//
+// The eight strategies:
+//   Change Binary Integer   — sign flip, byte swap, bit flip, byte set,
+//                             add/subtract small delta, random replace
+//   Change Binary Float     — sign/exponent/mantissa bits, interesting
+//                             values, random replace
+//   Erase Tuples            — remove a tuple range
+//   Insert Tuple            — insert one random tuple
+//   Insert Repeated Tuples  — insert N copies of one tuple
+//   Shuffle Tuples          — permute a tuple range
+//   Copy Tuples             — duplicate a tuple range elsewhere
+//   Tuples Cross Over       — splice tuples from a second stream
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/dtype.hpp"
+#include "support/rng.hpp"
+#include "vm/cmp_trace.hpp"
+
+namespace cftcg::fuzz {
+
+/// Field layout of one tuple.
+class TupleLayout {
+ public:
+  explicit TupleLayout(std::vector<ir::DType> fields);
+
+  [[nodiscard]] std::size_t tuple_size() const { return tuple_size_; }
+  [[nodiscard]] std::size_t num_fields() const { return fields_.size(); }
+  [[nodiscard]] ir::DType field_type(std::size_t i) const { return fields_[i]; }
+  [[nodiscard]] std::size_t field_offset(std::size_t i) const { return offsets_[i]; }
+  [[nodiscard]] std::size_t field_size(std::size_t i) const { return ir::DTypeSize(fields_[i]); }
+
+ private:
+  std::vector<ir::DType> fields_;
+  std::vector<std::size_t> offsets_;
+  std::size_t tuple_size_ = 0;
+};
+
+enum class MutationStrategy {
+  kChangeBinaryInteger,
+  kChangeBinaryFloat,
+  kEraseTuples,
+  kInsertTuple,
+  kInsertRepeatedTuples,
+  kShuffleTuples,
+  kCopyTuples,
+  kTuplesCrossOver,
+};
+inline constexpr int kNumMutationStrategies = 8;
+std::string_view MutationStrategyName(MutationStrategy s);
+
+/// Optional per-field value ranges (the paper's §5 mitigation for the
+/// "validity of randomized values" problem: testers specify inport ranges
+/// and mutation stays inside them).
+struct FieldRange {
+  double lo = 0;
+  double hi = 0;
+  bool active = false;
+};
+
+/// Field-wise tuple mutator (CFTCG's model input mutation module).
+class TupleMutator {
+ public:
+  TupleMutator(TupleLayout layout, std::size_t max_tuples = 256);
+
+  /// Installs range constraints (one per field; inactive entries are
+  /// unconstrained). Mutated and randomly generated field values are
+  /// clamped into their range.
+  void SetFieldRanges(std::vector<FieldRange> ranges) { ranges_ = std::move(ranges); }
+
+  /// Applies 1-3 randomly chosen strategies. `crossover` (may be empty) is
+  /// the partner stream for kTuplesCrossOver; `dict` (optional) is the
+  /// libFuzzer-style table of recent compares whose operands get written
+  /// into fields.
+  std::vector<std::uint8_t> Mutate(const std::vector<std::uint8_t>& input,
+                                   const std::vector<std::uint8_t>& crossover, Rng& rng,
+                                   const vm::CmpTrace* dict = nullptr) const;
+
+  /// Applies exactly one named strategy (unit tests / ablation).
+  std::vector<std::uint8_t> ApplyStrategy(MutationStrategy s,
+                                          const std::vector<std::uint8_t>& input,
+                                          const std::vector<std::uint8_t>& crossover, Rng& rng,
+                                          const vm::CmpTrace* dict = nullptr) const;
+
+  /// A fresh random input of `n` tuples.
+  std::vector<std::uint8_t> RandomInput(std::size_t n, Rng& rng) const;
+
+  [[nodiscard]] const TupleLayout& layout() const { return layout_; }
+
+ private:
+  void MutateIntegerField(std::vector<std::uint8_t>& data, std::size_t offset, std::size_t size,
+                          Rng& rng, const vm::CmpTrace* dict) const;
+  void MutateFloatField(std::vector<std::uint8_t>& data, std::size_t offset, std::size_t size,
+                        Rng& rng, const vm::CmpTrace* dict) const;
+
+  void ClampField(std::vector<std::uint8_t>& data, std::size_t tuple_index,
+                  std::size_t field) const;
+  void ClampAllFields(std::vector<std::uint8_t>& data) const;
+
+  TupleLayout layout_;
+  std::size_t max_tuples_;
+  std::vector<FieldRange> ranges_;
+};
+
+/// Generic byte-level mutator (the "Fuzz Only" baseline's mutation): byte
+/// flips, arbitrary-position erase/insert/copy, byte-level crossover. No
+/// tuple or field awareness, so structural edits misalign fields.
+class ByteMutator {
+ public:
+  explicit ByteMutator(std::size_t max_len) : max_len_(max_len) {}
+  std::vector<std::uint8_t> Mutate(const std::vector<std::uint8_t>& input,
+                                   const std::vector<std::uint8_t>& crossover, Rng& rng,
+                                   const vm::CmpTrace* dict = nullptr) const;
+
+ private:
+  std::size_t max_len_;
+};
+
+}  // namespace cftcg::fuzz

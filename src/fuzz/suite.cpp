@@ -1,0 +1,94 @@
+#include "fuzz/suite.hpp"
+
+namespace cftcg::fuzz {
+
+DynamicBitset CoverageOf(vm::Machine& machine, const coverage::CoverageSpec& spec,
+                         const std::vector<std::uint8_t>& data) {
+  coverage::CoverageSink sink(spec);
+  const std::size_t tuple = machine.program().TupleSize();
+  machine.Reset();
+  for (std::size_t off = 0; off + tuple <= data.size(); off += tuple) {
+    sink.BeginIteration();
+    machine.SetInputsFromBytes(data.data() + off);
+    machine.Step(&sink);
+    sink.AccumulateIteration();
+  }
+  return sink.total();
+}
+
+namespace {
+
+bool Covers(const DynamicBitset& have, const DynamicBitset& need) {
+  // `need` must not set any bit that `have` lacks.
+  return !need.HasNewBitsRelativeTo(have);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> MinimizeTestCase(vm::Machine& machine,
+                                           const coverage::CoverageSpec& spec,
+                                           const std::vector<std::uint8_t>& data,
+                                           const DynamicBitset& must_cover) {
+  const std::size_t tuple = machine.program().TupleSize();
+  if (tuple == 0) return data;
+  std::vector<std::uint8_t> current = data;
+  current.resize(current.size() / tuple * tuple);
+
+  // Chunked delta-debugging over tuples: try dropping [start, start+chunk)
+  // ranges, halving the chunk until single tuples.
+  for (std::size_t chunk = std::max<std::size_t>(current.size() / tuple / 2, 1);;
+       chunk /= 2) {
+    bool removed_any = true;
+    while (removed_any) {
+      removed_any = false;
+      // The bound must track `current`, which shrinks inside the loop.
+      for (std::size_t start = 0; start + chunk <= current.size() / tuple;) {
+        std::vector<std::uint8_t> candidate = current;
+        candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(start * tuple),
+                        candidate.begin() + static_cast<std::ptrdiff_t>((start + chunk) * tuple));
+        if (Covers(CoverageOf(machine, spec, candidate), must_cover)) {
+          current = std::move(candidate);
+          removed_any = true;
+          // Do not advance: the next range has shifted into `start`.
+        } else {
+          start += chunk;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return current;
+}
+
+SuiteReduction ReduceSuite(vm::Machine& machine, const coverage::CoverageSpec& spec,
+                           const std::vector<TestCase>& suite) {
+  SuiteReduction out;
+  out.union_coverage.Resize(static_cast<std::size_t>(spec.FuzzBranchCount()));
+
+  std::vector<DynamicBitset> covers;
+  covers.reserve(suite.size());
+  for (const auto& tc : suite) covers.push_back(CoverageOf(machine, spec, tc.data));
+
+  std::vector<bool> used(suite.size(), false);
+  for (;;) {
+    // Pick the case with the largest marginal gain.
+    std::size_t best = suite.size();
+    std::size_t best_gain = 0;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      if (used[i]) continue;
+      DynamicBitset merged = out.union_coverage;
+      const std::size_t gain = merged.MergeAndCountNew(covers[i]);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == suite.size() || best_gain == 0) break;
+    used[best] = true;
+    out.kept.push_back(best);
+    out.union_coverage.MergeAndCountNew(covers[best]);
+  }
+  return out;
+}
+
+}  // namespace cftcg::fuzz

@@ -1,0 +1,52 @@
+// Test-suite post-processing.
+//
+// A fuzzing campaign outputs one test case per new-coverage event, so the
+// raw suite is redundant and individual cases carry dead iterations. Two
+// standard reductions make the suite fit for inspection and regression use
+// (the paper hands its test cases to engineers via CSV; these keep that
+// hand-off small):
+//
+//   * MinimizeTestCase — per-case tuple reduction: greedily drop tuple
+//     ranges while the case still covers every slot it contributed.
+//   * ReduceSuite — greedy set-cover across cases: keep a subset whose
+//     union coverage equals the full suite's.
+//
+// Both operate on the fuzz branch space (decision outcomes + condition
+// polarities), so Decision and Condition coverage are preserved exactly;
+// MCDC can drop slightly, because independence pairs may have lived in
+// iterations that contribute no new slot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coverage/sink.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "vm/machine.hpp"
+
+namespace cftcg::fuzz {
+
+/// Coverage slots (fuzz branch space) reached by running `data` from a
+/// fresh model state.
+DynamicBitset CoverageOf(vm::Machine& machine, const coverage::CoverageSpec& spec,
+                         const std::vector<std::uint8_t>& data);
+
+/// Shrinks one test case: repeatedly removes tuple chunks (halving chunk
+/// size down to single tuples) while the case still covers every slot in
+/// `must_cover`. Deterministic; returns the shrunk data.
+std::vector<std::uint8_t> MinimizeTestCase(vm::Machine& machine,
+                                           const coverage::CoverageSpec& spec,
+                                           const std::vector<std::uint8_t>& data,
+                                           const DynamicBitset& must_cover);
+
+struct SuiteReduction {
+  std::vector<std::size_t> kept;     // indices into the input suite, in pick order
+  DynamicBitset union_coverage;      // coverage of the kept subset (== full suite's)
+};
+
+/// Greedy set-cover: orders cases by marginal new coverage and keeps only
+/// those that add something.
+SuiteReduction ReduceSuite(vm::Machine& machine, const coverage::CoverageSpec& spec,
+                           const std::vector<TestCase>& suite);
+
+}  // namespace cftcg::fuzz

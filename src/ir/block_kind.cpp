@@ -1,0 +1,97 @@
+#include "ir/block_kind.hpp"
+
+#include <array>
+
+namespace cftcg::ir {
+namespace {
+
+constexpr std::array<std::string_view, kNumBlockKinds> kNames = {
+    "Inport",
+    "Outport",
+    "Constant",
+    "Gain",
+    "Bias",
+    "Sum",
+    "Subtract",
+    "Product",
+    "Divide",
+    "Abs",
+    "UnaryMinus",
+    "Min",
+    "Max",
+    "Sign",
+    "Sqrt",
+    "Exp",
+    "Log",
+    "Floor",
+    "Ceil",
+    "Round",
+    "Mod",
+    "Rem",
+    "Sin",
+    "Cos",
+    "Tan",
+    "Atan2",
+    "Pow",
+    "Saturation",
+    "DeadZone",
+    "RateLimiter",
+    "Quantizer",
+    "Relay",
+    "RelationalOp",
+    "CompareToConstant",
+    "CompareToZero",
+    "LogicalAnd",
+    "LogicalOr",
+    "LogicalNot",
+    "LogicalXor",
+    "LogicalNand",
+    "LogicalNor",
+    "BitwiseAnd",
+    "BitwiseOr",
+    "BitwiseXor",
+    "ShiftLeft",
+    "ShiftRight",
+    "Switch",
+    "MultiportSwitch",
+    "Merge",
+    "UnitDelay",
+    "Delay",
+    "Memory",
+    "DiscreteIntegrator",
+    "CounterLimited",
+    "EdgeDetector",
+    "Lookup1D",
+    "DataTypeConversion",
+    "Subsystem",
+    "ActionIf",
+    "ActionSwitch",
+    "EnabledSubsystem",
+    "Chart",
+    "ExprFunc",
+};
+
+}  // namespace
+
+std::string_view BlockKindName(BlockKind kind) {
+  return kNames[static_cast<std::size_t>(kind)];
+}
+
+Result<BlockKind> BlockKindFromName(std::string_view name) {
+  for (int i = 0; i < kNumBlockKinds; ++i) {
+    if (kNames[static_cast<std::size_t>(i)] == name) return static_cast<BlockKind>(i);
+  }
+  return Status::Error("unknown block kind: " + std::string(name));
+}
+
+bool BlockKindIsCompound(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kSubsystem:
+    case BlockKind::kActionIf:
+    case BlockKind::kActionSwitch:
+    case BlockKind::kEnabledSubsystem: return true;
+    default: return false;
+  }
+}
+
+}  // namespace cftcg::ir

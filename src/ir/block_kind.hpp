@@ -1,0 +1,100 @@
+// The block vocabulary.
+//
+// The paper reports "block templates for over fifty commonly used blocks";
+// this enum is our equivalent vocabulary, covering the discrete-time control
+// blocks that appear in the eight benchmark model domains (Table 2). Block
+// *semantics* (port counts, typing, state, lowering, interpretation) live in
+// src/blocks; this header only names the kinds so the IR stays lightweight.
+#pragma once
+
+#include <string_view>
+
+#include "support/status.hpp"
+
+namespace cftcg::ir {
+
+enum class BlockKind : int {
+  // -- Ports & sources --------------------------------------------------
+  kInport,
+  kOutport,
+  kConstant,
+  // -- Math --------------------------------------------------------------
+  kGain,
+  kBias,
+  kSum,
+  kSubtract,
+  kProduct,
+  kDivide,
+  kAbs,
+  kUnaryMinus,
+  kMin,
+  kMax,
+  kSign,
+  kSqrt,
+  kExp,
+  kLog,
+  kFloor,
+  kCeil,
+  kRound,
+  kMod,
+  kRem,
+  kSin,
+  kCos,
+  kTan,
+  kAtan2,
+  kPow,
+  // -- Discontinuities (decision-bearing, instrumentation mode (d)) -------
+  kSaturation,
+  kDeadZone,
+  kRateLimiter,
+  kQuantizer,
+  kRelay,
+  // -- Logic & comparisons (modes (a)) ------------------------------------
+  kRelationalOp,       // param "op": lt/le/gt/ge/eq/ne
+  kCompareToConstant,  // params "op", "value"
+  kCompareToZero,      // param "op"
+  kLogicalAnd,         // param "inputs" (>=2)
+  kLogicalOr,
+  kLogicalNot,
+  kLogicalXor,
+  kLogicalNand,
+  kLogicalNor,
+  kBitwiseAnd,
+  kBitwiseOr,
+  kBitwiseXor,
+  kShiftLeft,   // param "bits"
+  kShiftRight,  // param "bits"
+  // -- Signal routing (modes (b)) -----------------------------------------
+  kSwitch,           // params "criteria" (gt/ge/ne), "threshold"
+  kMultiportSwitch,  // param "cases"
+  kMerge,
+  // -- Discrete (stateful) -------------------------------------------------
+  kUnitDelay,           // param "init"
+  kDelay,               // params "length", "init"
+  kMemory,              // param "init"
+  kDiscreteIntegrator,  // params "gain", "init", optional "upper"/"lower" (limited: mode (d))
+  kCounterLimited,      // param "limit" (wraps; wrap check is a decision)
+  kEdgeDetector,        // param "edge": rising/falling/either
+  // -- Lookup ----------------------------------------------------------------
+  kLookup1D,  // params "breakpoints", "table"
+  // -- Conversion --------------------------------------------------------------
+  kDataTypeConversion,  // param "to"
+  // -- Hierarchy (modes (c)) ----------------------------------------------------
+  kSubsystem,         // virtual grouping; flattened by the scheduler
+  kActionIf,          // 1 bool condition + N data inputs; then/else sub-models
+  kActionSwitch,      // 1 int control + N data inputs; K case sub-models + default
+  kEnabledSubsystem,  // 1 enable + N data inputs; holds outputs while disabled
+  // -- Complex logic -----------------------------------------------------------
+  kChart,     // Stateflow-like state machine (mode (d))
+  kExprFunc,  // MATLAB-Function-like expression block (mode (d))
+};
+
+inline constexpr int kNumBlockKinds = static_cast<int>(BlockKind::kExprFunc) + 1;
+
+std::string_view BlockKindName(BlockKind kind);
+Result<BlockKind> BlockKindFromName(std::string_view name);
+
+/// True for the four compound kinds that own sub-models.
+bool BlockKindIsCompound(BlockKind kind);
+
+}  // namespace cftcg::ir

@@ -1,0 +1,140 @@
+#include "ir/builder.hpp"
+
+#include "support/strings.hpp"
+
+namespace cftcg::ir {
+
+std::string ModelBuilder::AutoName(const std::string& given, const char* stem) {
+  if (!given.empty()) return given;
+  return StrFormat("%s_%d", stem, auto_counter_++);
+}
+
+PortRef ModelBuilder::Inport(const std::string& name, DType type) {
+  Block& b = model_->AddBlock(BlockKind::kInport, name);
+  b.params().Set("port", ParamValue(static_cast<std::int64_t>(next_inport_++)));
+  b.params().Set("type", ParamValue(std::string(DTypeName(type))));
+  return PortRef{b.id(), 0};
+}
+
+void ModelBuilder::Outport(const std::string& name, PortRef src) {
+  Block& b = model_->AddBlock(BlockKind::kOutport, name);
+  b.params().Set("port", ParamValue(static_cast<std::int64_t>(next_outport_++)));
+  model_->AddWire(src, b.id(), 0);
+}
+
+PortRef ModelBuilder::Constant(double value, DType type) {
+  Block& b = model_->AddBlock(BlockKind::kConstant, AutoName("", "const"));
+  b.params().Set("value", ParamValue(value));
+  b.params().Set("type", ParamValue(std::string(DTypeName(type))));
+  return PortRef{b.id(), 0};
+}
+
+PortRef ModelBuilder::ConstantInt(std::int64_t value, DType type) {
+  Block& b = model_->AddBlock(BlockKind::kConstant, AutoName("", "const"));
+  b.params().Set("value", ParamValue(static_cast<double>(value)));
+  b.params().Set("type", ParamValue(std::string(DTypeName(type))));
+  return PortRef{b.id(), 0};
+}
+
+PortRef ModelBuilder::ConstantBool(bool value) {
+  return ConstantInt(value ? 1 : 0, DType::kBool);
+}
+
+BlockId ModelBuilder::AddBlock(BlockKind kind, const std::string& name,
+                               const std::vector<PortRef>& inputs, ParamMap params) {
+  Block& b = model_->AddBlock(kind, AutoName(name, "blk"));
+  b.params() = std::move(params);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    model_->AddWire(inputs[i], b.id(), static_cast<int>(i));
+  }
+  return b.id();
+}
+
+PortRef ModelBuilder::Op(BlockKind kind, const std::string& name,
+                         const std::vector<PortRef>& inputs, ParamMap params) {
+  return PortRef{AddBlock(kind, name, inputs, std::move(params)), 0};
+}
+
+BlockId ModelBuilder::AddCompound(BlockKind kind, const std::string& name,
+                                  const std::vector<PortRef>& inputs,
+                                  std::vector<std::unique_ptr<Model>> subs, ParamMap params) {
+  const BlockId id = AddBlock(kind, name, inputs, std::move(params));
+  for (auto& sub : subs) model_->block(id).AdoptSub(std::move(sub));
+  return id;
+}
+
+BlockId ModelBuilder::AddChart(const std::string& name, const std::vector<PortRef>& inputs,
+                               ChartDef chart) {
+  const BlockId id = AddBlock(BlockKind::kChart, name, inputs);
+  model_->block(id).set_chart(std::move(chart));
+  return id;
+}
+
+void ModelBuilder::Connect(PortRef src, BlockId dst, int dst_port) {
+  model_->AddWire(src, dst, dst_port);
+}
+
+PortRef ModelBuilder::Gain(PortRef in, double k, const std::string& name) {
+  ParamMap p;
+  p.Set("gain", ParamValue(k));
+  return Op(BlockKind::kGain, AutoName(name, "gain"), {in}, std::move(p));
+}
+
+PortRef ModelBuilder::Sum(PortRef a, PortRef b, const std::string& name) {
+  return Op(BlockKind::kSum, AutoName(name, "sum"), {a, b});
+}
+
+PortRef ModelBuilder::Sub(PortRef a, PortRef b, const std::string& name) {
+  return Op(BlockKind::kSubtract, AutoName(name, "sub"), {a, b});
+}
+
+PortRef ModelBuilder::Mul(PortRef a, PortRef b, const std::string& name) {
+  return Op(BlockKind::kProduct, AutoName(name, "mul"), {a, b});
+}
+
+PortRef ModelBuilder::Relational(const std::string& op, PortRef a, PortRef b,
+                                 const std::string& name) {
+  ParamMap p;
+  p.Set("op", ParamValue(op));
+  return Op(BlockKind::kRelationalOp, AutoName(name, "rel"), {a, b}, std::move(p));
+}
+
+PortRef ModelBuilder::And(const std::vector<PortRef>& ins, const std::string& name) {
+  ParamMap p;
+  p.Set("inputs", ParamValue(static_cast<std::int64_t>(ins.size())));
+  return Op(BlockKind::kLogicalAnd, AutoName(name, "and"), ins, std::move(p));
+}
+
+PortRef ModelBuilder::Or(const std::vector<PortRef>& ins, const std::string& name) {
+  ParamMap p;
+  p.Set("inputs", ParamValue(static_cast<std::int64_t>(ins.size())));
+  return Op(BlockKind::kLogicalOr, AutoName(name, "or"), ins, std::move(p));
+}
+
+PortRef ModelBuilder::Not(PortRef a, const std::string& name) {
+  return Op(BlockKind::kLogicalNot, AutoName(name, "not"), {a});
+}
+
+PortRef ModelBuilder::Switch(PortRef on_true, PortRef control, PortRef on_false, double threshold,
+                             const std::string& name) {
+  ParamMap p;
+  p.Set("criteria", ParamValue(std::string("ge")));
+  p.Set("threshold", ParamValue(threshold));
+  return Op(BlockKind::kSwitch, AutoName(name, "switch"), {on_true, control, on_false},
+            std::move(p));
+}
+
+PortRef ModelBuilder::UnitDelay(PortRef in, double init, const std::string& name) {
+  ParamMap p;
+  p.Set("init", ParamValue(init));
+  return Op(BlockKind::kUnitDelay, AutoName(name, "delay"), {in}, std::move(p));
+}
+
+PortRef ModelBuilder::Saturation(PortRef in, double lo, double hi, const std::string& name) {
+  ParamMap p;
+  p.Set("lower", ParamValue(lo));
+  p.Set("upper", ParamValue(hi));
+  return Op(BlockKind::kSaturation, AutoName(name, "sat"), {in}, std::move(p));
+}
+
+}  // namespace cftcg::ir

@@ -1,0 +1,90 @@
+// ModelBuilder: fluent construction API for model graphs.
+//
+// Used by the benchmark-model suite, the examples and the tests. Inputs are
+// given as PortRefs so dataflow reads top-down:
+//
+//   ModelBuilder mb("demo");
+//   auto u = mb.Inport("u", DType::kInt32);
+//   auto k = mb.Constant(10);
+//   auto s = mb.Op(BlockKind::kSum, "add", {u, k});
+//   mb.Outport("y", s);
+//   auto model = mb.Build();
+//
+// The builder performs no semantic checking; run blocks::AnalyzeModel on the
+// result to validate and type the graph.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/model.hpp"
+
+namespace cftcg::ir {
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(std::string name) : model_(std::make_unique<Model>(std::move(name))) {}
+
+  /// Adds an inport; port indices are assigned in call order (0-based).
+  PortRef Inport(const std::string& name, DType type);
+
+  /// Adds an outport driven by src; port indices assigned in call order.
+  void Outport(const std::string& name, PortRef src);
+
+  PortRef Constant(double value, DType type = DType::kDouble);
+  PortRef ConstantInt(std::int64_t value, DType type);
+  PortRef ConstantBool(bool value);
+
+  /// Adds a block of any kind, wiring `inputs` to its input ports in order.
+  /// Returns output port 0. Use the BlockId overloads for multi-output
+  /// blocks or when parameters must be set after creation.
+  PortRef Op(BlockKind kind, const std::string& name, const std::vector<PortRef>& inputs,
+             ParamMap params = {});
+
+  BlockId AddBlock(BlockKind kind, const std::string& name, const std::vector<PortRef>& inputs,
+                   ParamMap params = {});
+
+  /// Adds a compound block owning the given sub-models.
+  BlockId AddCompound(BlockKind kind, const std::string& name, const std::vector<PortRef>& inputs,
+                      std::vector<std::unique_ptr<Model>> subs, ParamMap params = {});
+
+  /// Adds a Stateflow-like chart block.
+  BlockId AddChart(const std::string& name, const std::vector<PortRef>& inputs, ChartDef chart);
+
+  /// Output port `port` of block `id`.
+  [[nodiscard]] static PortRef Out(BlockId id, int port = 0) { return PortRef{id, port}; }
+
+  /// Adds a wire after the fact (for feedback loops through delays: create
+  /// the delay with a placeholder, then connect its input here).
+  void Connect(PortRef src, BlockId dst, int dst_port);
+
+  [[nodiscard]] Model& model() { return *model_; }
+
+  /// Convenience single-input helpers.
+  PortRef Gain(PortRef in, double k, const std::string& name = "");
+  PortRef Sum(PortRef a, PortRef b, const std::string& name = "");
+  PortRef Sub(PortRef a, PortRef b, const std::string& name = "");
+  PortRef Mul(PortRef a, PortRef b, const std::string& name = "");
+  PortRef Relational(const std::string& op, PortRef a, PortRef b, const std::string& name = "");
+  PortRef And(const std::vector<PortRef>& ins, const std::string& name = "");
+  PortRef Or(const std::vector<PortRef>& ins, const std::string& name = "");
+  PortRef Not(PortRef a, const std::string& name = "");
+  PortRef Switch(PortRef on_true, PortRef control, PortRef on_false, double threshold = 0.5,
+                 const std::string& name = "");
+  PortRef UnitDelay(PortRef in, double init = 0.0, const std::string& name = "");
+  PortRef Saturation(PortRef in, double lo, double hi, const std::string& name = "");
+
+  /// Relinquishes the built model.
+  std::unique_ptr<Model> Build() { return std::move(model_); }
+
+ private:
+  std::string AutoName(const std::string& given, const char* stem);
+
+  std::unique_ptr<Model> model_;
+  int next_inport_ = 0;
+  int next_outport_ = 0;
+  int auto_counter_ = 0;
+};
+
+}  // namespace cftcg::ir

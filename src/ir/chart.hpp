@@ -1,0 +1,76 @@
+// Stateflow-like chart definition (pure data; the `mex` expression strings
+// are compiled by src/blocks at analysis time).
+//
+// Semantics (a faithful subset of Stateflow's discrete charts):
+//   * exactly one active state per chart;
+//   * on every step, outgoing transitions of the active state are evaluated
+//     in priority order; the first transition whose guard holds fires:
+//     exit action of the source, transition action, entry action of the
+//     destination run in that order;
+//   * if no transition fires, the active state's `during` action runs;
+//   * guards/actions read chart inputs and chart variables; actions may
+//     assign chart variables and outputs.
+// Every transition guard is a decision (instrumentation mode (d)); its leaf
+// boolean terms are conditions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/dtype.hpp"
+
+namespace cftcg::ir {
+
+struct ChartState {
+  std::string name;
+  std::string entry_action;   // mex statements, may be empty
+  std::string during_action;  // mex statements, may be empty
+  std::string exit_action;    // mex statements, may be empty
+};
+
+struct ChartTransition {
+  int from = 0;        // state index
+  int to = 0;          // state index
+  std::string guard;   // mex expression; empty = always true
+  std::string action;  // mex statements, may be empty
+  // Transitions are stored in evaluation order (priority = position among
+  // the source state's outgoing transitions).
+};
+
+struct ChartVar {
+  std::string name;
+  double init = 0.0;
+};
+
+struct ChartOutput {
+  std::string name;
+  DType type = DType::kDouble;
+  double init = 0.0;
+};
+
+struct ChartDef {
+  std::vector<std::string> inputs;  // names bound to block input ports, in order
+  std::vector<ChartOutput> outputs;
+  std::vector<ChartVar> vars;
+  std::vector<ChartState> states;
+  std::vector<ChartTransition> transitions;
+  int initial_state = 0;
+
+  bool operator==(const ChartDef&) const = default;
+};
+
+inline bool operator==(const ChartState& a, const ChartState& b) {
+  return a.name == b.name && a.entry_action == b.entry_action &&
+         a.during_action == b.during_action && a.exit_action == b.exit_action;
+}
+inline bool operator==(const ChartTransition& a, const ChartTransition& b) {
+  return a.from == b.from && a.to == b.to && a.guard == b.guard && a.action == b.action;
+}
+inline bool operator==(const ChartVar& a, const ChartVar& b) {
+  return a.name == b.name && a.init == b.init;
+}
+inline bool operator==(const ChartOutput& a, const ChartOutput& b) {
+  return a.name == b.name && a.type == b.type && a.init == b.init;
+}
+
+}  // namespace cftcg::ir

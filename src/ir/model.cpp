@@ -1,0 +1,77 @@
+#include "ir/model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cftcg::ir {
+
+Model& Block::AddSub(std::string name) {
+  subs_.push_back(std::make_unique<Model>(std::move(name)));
+  return *subs_.back();
+}
+
+Block& Model::AddBlock(BlockKind kind, std::string name) {
+  const BlockId id = static_cast<BlockId>(blocks_.size());
+  blocks_.emplace_back(id, kind, std::move(name));
+  return blocks_.back();
+}
+
+const Block* Model::FindBlock(std::string_view name) const {
+  for (const auto& b : blocks_) {
+    if (b.name() == name) return &b;
+  }
+  return nullptr;
+}
+
+void Model::AddWire(PortRef src, BlockId dst_block, int dst_port) {
+  wires_.push_back(Wire{src, dst_block, dst_port});
+}
+
+const Wire* Model::DriverOf(BlockId block, int port) const {
+  for (const auto& w : wires_) {
+    if (w.dst_block == block && w.dst_port == port) return &w;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::vector<BlockId> PortsOfKind(const Model& model, BlockKind kind) {
+  std::vector<BlockId> ids;
+  for (const auto& b : model.blocks()) {
+    if (b.kind() == kind) ids.push_back(b.id());
+  }
+  std::sort(ids.begin(), ids.end(), [&](BlockId a, BlockId b) {
+    return model.block(a).params().GetInt("port", 0) < model.block(b).params().GetInt("port", 0);
+  });
+  return ids;
+}
+
+}  // namespace
+
+std::vector<BlockId> Model::Inports() const { return PortsOfKind(*this, BlockKind::kInport); }
+std::vector<BlockId> Model::Outports() const { return PortsOfKind(*this, BlockKind::kOutport); }
+
+std::size_t Model::TotalBlockCount() const {
+  std::size_t total = blocks_.size();
+  for (const auto& b : blocks_) {
+    for (const auto& sub : b.subs()) total += sub->TotalBlockCount();
+  }
+  return total;
+}
+
+std::unique_ptr<Model> Model::Clone() const {
+  auto copy = std::make_unique<Model>(name_);
+  for (const auto& b : blocks_) {
+    Block& nb = copy->AddBlock(b.kind(), b.name());
+    nb.params() = b.params();
+    nb.set_port_counts(b.num_inputs(), b.num_outputs());
+    nb.set_out_types(b.out_types());
+    if (b.chart()) nb.set_chart(*b.chart());
+    for (const auto& sub : b.subs()) nb.AdoptSub(sub->Clone());
+  }
+  for (const auto& w : wires_) copy->AddWire(w.src, w.dst_block, w.dst_port);
+  return copy;
+}
+
+}  // namespace cftcg::ir

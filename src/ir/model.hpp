@@ -1,0 +1,141 @@
+// The model graph: blocks connected by wires, possibly hierarchical through
+// compound blocks that own sub-models.
+//
+// This is the in-memory equivalent of an unzipped Simulink .slx: what the
+// paper's Model Parser produces and every later stage (schedule conversion,
+// branch instrumentation, code synthesis, simulation) consumes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/block_kind.hpp"
+#include "ir/chart.hpp"
+#include "ir/dtype.hpp"
+#include "ir/param.hpp"
+
+namespace cftcg::ir {
+
+using BlockId = int;
+inline constexpr BlockId kNoBlock = -1;
+
+/// Identifies one output port of one block.
+struct PortRef {
+  BlockId block = kNoBlock;
+  int port = 0;
+
+  bool operator==(const PortRef&) const = default;
+};
+
+/// A connection from a source output port to a destination input port.
+/// Every input port of every block must be driven by exactly one wire.
+struct Wire {
+  PortRef src;
+  BlockId dst_block = kNoBlock;
+  int dst_port = 0;
+
+  bool operator==(const Wire&) const = default;
+};
+
+class Model;
+
+class Block {
+ public:
+  Block(BlockId id, BlockKind kind, std::string name)
+      : id_(id), kind_(kind), name_(std::move(name)) {}
+
+  // Blocks own sub-models through unique_ptr; they move but do not copy.
+  Block(Block&&) = default;
+  Block& operator=(Block&&) = default;
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  [[nodiscard]] BlockId id() const { return id_; }
+  [[nodiscard]] BlockKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] ParamMap& params() { return params_; }
+  [[nodiscard]] const ParamMap& params() const { return params_; }
+
+  /// Port counts; fixed by kind + params, filled in by analysis (src/blocks).
+  [[nodiscard]] int num_inputs() const { return num_inputs_; }
+  [[nodiscard]] int num_outputs() const { return num_outputs_; }
+  void set_port_counts(int in, int out) {
+    num_inputs_ = in;
+    num_outputs_ = out;
+  }
+
+  /// Inferred output types, one per output port (filled in by analysis).
+  [[nodiscard]] const std::vector<DType>& out_types() const { return out_types_; }
+  void set_out_types(std::vector<DType> types) { out_types_ = std::move(types); }
+  [[nodiscard]] DType out_type(int port = 0) const { return out_types_.at(static_cast<std::size_t>(port)); }
+
+  /// Sub-models for compound blocks (ActionIf: {then, else}; ActionSwitch:
+  /// {case 0..K-1, default}; Subsystem/EnabledSubsystem: {body}).
+  [[nodiscard]] const std::vector<std::unique_ptr<Model>>& subs() const { return subs_; }
+  Model& AddSub(std::string name);
+  void AdoptSub(std::unique_ptr<Model> sub) { subs_.push_back(std::move(sub)); }
+
+  /// Chart definition; only present for kChart blocks.
+  [[nodiscard]] const std::optional<ChartDef>& chart() const { return chart_; }
+  void set_chart(ChartDef chart) { chart_ = std::move(chart); }
+
+ private:
+  BlockId id_;
+  BlockKind kind_;
+  std::string name_;
+  ParamMap params_;
+  int num_inputs_ = 0;
+  int num_outputs_ = 0;
+  std::vector<DType> out_types_;
+  std::vector<std::unique_ptr<Model>> subs_;
+  std::optional<ChartDef> chart_;
+};
+
+class Model {
+ public:
+  explicit Model(std::string name = "model") : name_(std::move(name)) {}
+
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  Block& AddBlock(BlockKind kind, std::string name);
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+  [[nodiscard]] std::vector<Block>& blocks() { return blocks_; }
+  [[nodiscard]] const Block& block(BlockId id) const { return blocks_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] Block& block(BlockId id) { return blocks_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] const Block* FindBlock(std::string_view name) const;
+
+  void AddWire(PortRef src, BlockId dst_block, int dst_port);
+  [[nodiscard]] const std::vector<Wire>& wires() const { return wires_; }
+
+  /// The wire driving (block, port), or nullptr if the port is unconnected
+  /// (which validation rejects).
+  [[nodiscard]] const Wire* DriverOf(BlockId block, int port) const;
+
+  /// Inport blocks in port-index order (the fuzz driver's field order) and
+  /// Outport blocks in port-index order. Populated lazily from the blocks.
+  [[nodiscard]] std::vector<BlockId> Inports() const;
+  [[nodiscard]] std::vector<BlockId> Outports() const;
+
+  /// Total number of blocks including those inside compound sub-models
+  /// (the paper's Table 2 "#Block").
+  [[nodiscard]] std::size_t TotalBlockCount() const;
+
+  /// Deep copy (sub-models included).
+  [[nodiscard]] std::unique_ptr<Model> Clone() const;
+
+ private:
+  std::string name_;
+  std::vector<Block> blocks_;
+  std::vector<Wire> wires_;
+};
+
+}  // namespace cftcg::ir

@@ -1,0 +1,70 @@
+// Block parameters.
+//
+// Parameters are what a model file attaches to a block besides its wiring:
+// gains, thresholds, initial states, lookup-table data, relational operator
+// choice, chart source, ... They are stored as a small variant and looked up
+// by name with typed accessors that validate at model-load time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace cftcg::ir {
+
+class ParamValue {
+ public:
+  ParamValue() : v_(0.0) {}
+  ParamValue(double d) : v_(d) {}                       // NOLINT
+  ParamValue(std::int64_t i) : v_(i) {}                 // NOLINT
+  ParamValue(int i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  ParamValue(std::string s) : v_(std::move(s)) {}       // NOLINT
+  ParamValue(const char* s) : v_(std::string(s)) {}     // NOLINT
+  ParamValue(std::vector<double> xs) : v_(std::move(xs)) {}  // NOLINT
+
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v_) || std::holds_alternative<std::int64_t>(v_);
+  }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_list() const { return std::holds_alternative<std::vector<double>>(v_); }
+
+  [[nodiscard]] double AsDouble() const;
+  [[nodiscard]] std::int64_t AsInt64() const;
+  [[nodiscard]] const std::string& AsString() const;
+  [[nodiscard]] const std::vector<double>& AsList() const;
+
+  /// Serialized form used by the XML writer; Parse is its inverse.
+  [[nodiscard]] std::string Serialize() const;
+  static ParamValue Parse(const std::string& kind, const std::string& text);
+  [[nodiscard]] std::string SerializedKind() const;
+
+  bool operator==(const ParamValue& other) const = default;
+
+ private:
+  std::variant<double, std::int64_t, std::string, std::vector<double>> v_;
+};
+
+/// Name -> value map with typed, defaulting accessors.
+class ParamMap {
+ public:
+  void Set(const std::string& key, ParamValue value) { params_[key] = std::move(value); }
+  [[nodiscard]] bool Has(const std::string& key) const { return params_.count(key) != 0; }
+
+  [[nodiscard]] double GetDouble(const std::string& key, double fallback = 0.0) const;
+  [[nodiscard]] std::int64_t GetInt(const std::string& key, std::int64_t fallback = 0) const;
+  [[nodiscard]] std::string GetString(const std::string& key, const std::string& fallback = "") const;
+  [[nodiscard]] std::vector<double> GetList(const std::string& key) const;
+
+  [[nodiscard]] const std::map<std::string, ParamValue>& entries() const { return params_; }
+
+  bool operator==(const ParamMap& other) const = default;
+
+ private:
+  std::map<std::string, ParamValue> params_;
+};
+
+}  // namespace cftcg::ir

@@ -1,0 +1,155 @@
+#include "ir/value.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "support/strings.hpp"
+
+namespace cftcg::ir {
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.type_ = DType::kBool;
+  v.i_ = b ? 1 : 0;
+  return v;
+}
+
+Value Value::Int(DType t, std::int64_t raw) {
+  assert(!DTypeIsFloat(t));
+  Value v;
+  v.type_ = t;
+  v.i_ = WrapToDType(raw, t);
+  return v;
+}
+
+Value Value::Real(DType t, double raw) {
+  assert(DTypeIsFloat(t));
+  Value v;
+  v.type_ = t;
+  v.d_ = (t == DType::kSingle) ? static_cast<double>(static_cast<float>(raw)) : raw;
+  return v;
+}
+
+Value Value::FromBytes(DType t, const std::uint8_t* bytes) {
+  switch (t) {
+    case DType::kBool: return Bool((*bytes & 1) != 0);
+    case DType::kInt8: {
+      std::int8_t v;
+      std::memcpy(&v, bytes, 1);
+      return Int(t, v);
+    }
+    case DType::kUInt8: {
+      std::uint8_t v;
+      std::memcpy(&v, bytes, 1);
+      return Int(t, v);
+    }
+    case DType::kInt16: {
+      std::int16_t v;
+      std::memcpy(&v, bytes, 2);
+      return Int(t, v);
+    }
+    case DType::kUInt16: {
+      std::uint16_t v;
+      std::memcpy(&v, bytes, 2);
+      return Int(t, v);
+    }
+    case DType::kInt32: {
+      std::int32_t v;
+      std::memcpy(&v, bytes, 4);
+      return Int(t, v);
+    }
+    case DType::kUInt32: {
+      std::uint32_t v;
+      std::memcpy(&v, bytes, 4);
+      return Int(t, v);
+    }
+    case DType::kSingle: {
+      float v;
+      std::memcpy(&v, bytes, 4);
+      // Normalize NaN/Inf payloads out of the driver: Simulink models reject
+      // non-finite external inputs, and the generated driver clamps them.
+      if (!std::isfinite(v)) v = 0.0F;
+      return Real(t, v);
+    }
+    case DType::kDouble: {
+      double v;
+      std::memcpy(&v, bytes, 8);
+      if (!std::isfinite(v)) v = 0.0;
+      return Real(t, v);
+    }
+  }
+  return Value();
+}
+
+void Value::ToBytes(std::uint8_t* bytes) const {
+  switch (type_) {
+    case DType::kBool: {
+      *bytes = i_ ? 1 : 0;
+      return;
+    }
+    case DType::kInt8:
+    case DType::kUInt8: {
+      auto v = static_cast<std::uint8_t>(i_);
+      std::memcpy(bytes, &v, 1);
+      return;
+    }
+    case DType::kInt16:
+    case DType::kUInt16: {
+      auto v = static_cast<std::uint16_t>(i_);
+      std::memcpy(bytes, &v, 2);
+      return;
+    }
+    case DType::kInt32:
+    case DType::kUInt32: {
+      auto v = static_cast<std::uint32_t>(i_);
+      std::memcpy(bytes, &v, 4);
+      return;
+    }
+    case DType::kSingle: {
+      auto v = static_cast<float>(d_);
+      std::memcpy(bytes, &v, 4);
+      return;
+    }
+    case DType::kDouble: {
+      std::memcpy(bytes, &d_, 8);
+      return;
+    }
+  }
+}
+
+double Value::AsDouble() const {
+  return DTypeIsFloat(type_) ? d_ : static_cast<double>(i_);
+}
+
+std::int64_t Value::AsInt64() const {
+  if (!DTypeIsFloat(type_)) return i_;
+  if (!std::isfinite(d_)) return 0;
+  // Truncate toward zero, clamping to int64 range.
+  if (d_ >= 9.2233720368547758e18) return INT64_MAX;
+  if (d_ <= -9.2233720368547758e18) return INT64_MIN;
+  return static_cast<std::int64_t>(d_);
+}
+
+bool Value::AsBool() const { return DTypeIsFloat(type_) ? d_ != 0.0 : i_ != 0; }
+
+Value Value::CastTo(DType t) const {
+  if (t == type_) return *this;
+  if (DTypeIsFloat(t)) return Real(t, AsDouble());
+  if (t == DType::kBool) return Bool(AsBool());
+  return Int(t, AsInt64());
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  if (DTypeIsFloat(type_)) return d_ == other.d_;
+  return i_ == other.i_;
+}
+
+std::string Value::ToString() const {
+  if (DTypeIsFloat(type_)) return DoubleToString(d_);
+  if (type_ == DType::kBool) return i_ ? "true" : "false";
+  return StrFormat("%lld", static_cast<long long>(i_));
+}
+
+}  // namespace cftcg::ir

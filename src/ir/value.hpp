@@ -1,0 +1,57 @@
+// Typed runtime value for scalar signals.
+//
+// Integers (and booleans) are held in an int64 payload already wrapped to the
+// declared width; floats are held in a double payload (kSingle values are
+// rounded through float). This is the value representation used by the
+// interpreter, the parser and the baselines; the VM uses raw register files
+// for speed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/dtype.hpp"
+
+namespace cftcg::ir {
+
+class Value {
+ public:
+  Value() : type_(DType::kDouble), d_(0) {}
+
+  static Value Bool(bool b);
+  static Value Int(DType t, std::int64_t v);   // wraps to width
+  static Value Real(DType t, double v);        // rounds through float for kSingle
+  static Value Double(double v) { return Real(DType::kDouble, v); }
+
+  /// Reinterprets a raw little-endian byte buffer of DTypeSize(t) bytes —
+  /// exactly what the generated fuzz driver's memcpy does.
+  static Value FromBytes(DType t, const std::uint8_t* bytes);
+  /// Inverse of FromBytes; writes DTypeSize(type()) bytes.
+  void ToBytes(std::uint8_t* bytes) const;
+
+  [[nodiscard]] DType type() const { return type_; }
+
+  /// Numeric view as double (integers convert exactly below 2^53).
+  [[nodiscard]] double AsDouble() const;
+  /// Integer view; floats truncate toward zero.
+  [[nodiscard]] std::int64_t AsInt64() const;
+  [[nodiscard]] bool AsBool() const;
+
+  /// Converts to another type with C cast semantics (wrap for ints, round
+  /// through float for single).
+  [[nodiscard]] Value CastTo(DType t) const;
+
+  /// Exact comparison (same type and payload).
+  bool operator==(const Value& other) const;
+
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  DType type_;
+  union {
+    std::int64_t i_;
+    double d_;
+  };
+};
+
+}  // namespace cftcg::ir

@@ -1,0 +1,225 @@
+#include "parser/model_io.hpp"
+
+#include <map>
+
+#include "support/strings.hpp"
+#include "xml/xml.hpp"
+
+namespace cftcg::parser {
+
+using ir::Block;
+using ir::BlockKind;
+using ir::Model;
+
+namespace {
+
+// ---- saving -----------------------------------------------------------------
+
+void SaveChart(const ir::ChartDef& def, xml::Element& parent) {
+  xml::Element& chart = parent.AddChild("chart");
+  chart.SetAttr("initial", StrFormat("%d", def.initial_state));
+  for (const auto& name : def.inputs) {
+    chart.AddChild("input").SetAttr("name", name);
+  }
+  for (const auto& o : def.outputs) {
+    auto& e = chart.AddChild("output");
+    e.SetAttr("name", o.name);
+    e.SetAttr("type", std::string(ir::DTypeName(o.type)));
+    e.SetAttr("init", DoubleToString(o.init));
+  }
+  for (const auto& v : def.vars) {
+    auto& e = chart.AddChild("var");
+    e.SetAttr("name", v.name);
+    e.SetAttr("init", DoubleToString(v.init));
+  }
+  for (const auto& s : def.states) {
+    auto& e = chart.AddChild("state");
+    e.SetAttr("name", s.name);
+    if (!s.entry_action.empty()) e.SetAttr("entry", s.entry_action);
+    if (!s.during_action.empty()) e.SetAttr("during", s.during_action);
+    if (!s.exit_action.empty()) e.SetAttr("exit", s.exit_action);
+  }
+  for (const auto& t : def.transitions) {
+    auto& e = chart.AddChild("transition");
+    e.SetAttr("from", StrFormat("%d", t.from));
+    e.SetAttr("to", StrFormat("%d", t.to));
+    if (!t.guard.empty()) e.SetAttr("guard", t.guard);
+    if (!t.action.empty()) e.SetAttr("action", t.action);
+  }
+}
+
+void SaveInto(const Model& model, xml::Element& elem) {
+  elem.SetAttr("name", model.name());
+  for (const auto& b : model.blocks()) {
+    auto& be = elem.AddChild("block");
+    be.SetAttr("kind", std::string(ir::BlockKindName(b.kind())));
+    be.SetAttr("name", b.name());
+    for (const auto& [key, value] : b.params().entries()) {
+      auto& pe = be.AddChild("param");
+      pe.SetAttr("name", key);
+      pe.SetAttr("kind", value.SerializedKind());
+      pe.set_text(value.Serialize());
+    }
+    if (b.chart()) SaveChart(*b.chart(), be);
+    for (const auto& sub : b.subs()) {
+      auto& se = be.AddChild("sub");
+      SaveInto(*sub, se.AddChild("model"));
+    }
+  }
+  for (const auto& w : model.wires()) {
+    auto& we = elem.AddChild("wire");
+    we.SetAttr("from", StrFormat("%s:%d", model.block(w.src.block).name().c_str(), w.src.port));
+    we.SetAttr("to", StrFormat("%s:%d", model.block(w.dst_block).name().c_str(), w.dst_port));
+  }
+}
+
+// ---- loading -----------------------------------------------------------------
+
+Result<ir::ChartDef> LoadChart(const xml::Element& ce) {
+  ir::ChartDef def;
+  long long initial = 0;
+  ParseInt64(ce.Attr("initial", "0"), initial);
+  def.initial_state = static_cast<int>(initial);
+  for (const auto& child : ce.children()) {
+    const std::string& n = child->name();
+    if (n == "input") {
+      def.inputs.push_back(child->Attr("name"));
+    } else if (n == "output") {
+      ir::ChartOutput o;
+      o.name = child->Attr("name");
+      auto t = ir::DTypeFromName(child->Attr("type", "double"));
+      if (!t.ok()) return t.status();
+      o.type = t.value();
+      ParseDouble(child->Attr("init", "0"), o.init);
+      def.outputs.push_back(std::move(o));
+    } else if (n == "var") {
+      ir::ChartVar v;
+      v.name = child->Attr("name");
+      ParseDouble(child->Attr("init", "0"), v.init);
+      def.vars.push_back(std::move(v));
+    } else if (n == "state") {
+      ir::ChartState s;
+      s.name = child->Attr("name");
+      s.entry_action = child->Attr("entry");
+      s.during_action = child->Attr("during");
+      s.exit_action = child->Attr("exit");
+      def.states.push_back(std::move(s));
+    } else if (n == "transition") {
+      ir::ChartTransition t;
+      long long from = 0;
+      long long to = 0;
+      ParseInt64(child->Attr("from", "0"), from);
+      ParseInt64(child->Attr("to", "0"), to);
+      t.from = static_cast<int>(from);
+      t.to = static_cast<int>(to);
+      t.guard = child->Attr("guard");
+      t.action = child->Attr("action");
+      def.transitions.push_back(std::move(t));
+    } else {
+      return Status::Error("unknown chart element <" + n + ">");
+    }
+  }
+  return def;
+}
+
+Result<std::unique_ptr<Model>> LoadFrom(const xml::Element& elem) {
+  if (elem.name() != "model") return Status::Error("expected <model> element");
+  auto model = std::make_unique<Model>(elem.Attr("name", "model"));
+
+  struct PendingWire {
+    std::string from;
+    std::string to;
+  };
+  std::vector<PendingWire> wires;
+  std::map<std::string, ir::BlockId> by_name;
+
+  for (const auto& child : elem.children()) {
+    if (child->name() == "block") {
+      auto kind = ir::BlockKindFromName(child->Attr("kind"));
+      if (!kind.ok()) return kind.status();
+      const std::string name = child->Attr("name");
+      if (name.empty()) return Status::Error("block without a name");
+      if (by_name.count(name)) return Status::Error("duplicate block name '" + name + "'");
+      Block& b = model->AddBlock(kind.value(), name);
+      by_name[name] = b.id();
+      for (const auto& sub : child->children()) {
+        if (sub->name() == "param") {
+          b.params().Set(sub->Attr("name"),
+                         ir::ParamValue::Parse(sub->Attr("kind", "str"), sub->text()));
+        } else if (sub->name() == "chart") {
+          auto chart = LoadChart(*sub);
+          if (!chart.ok()) return chart.status();
+          b.set_chart(chart.take());
+        } else if (sub->name() == "sub") {
+          const xml::Element* me = sub->FirstChild("model");
+          if (me == nullptr) return Status::Error("<sub> without <model> in '" + name + "'");
+          auto loaded = LoadFrom(*me);
+          if (!loaded.ok()) return loaded.status();
+          b.AdoptSub(loaded.take());
+        } else {
+          return Status::Error("unknown block child <" + sub->name() + ">");
+        }
+      }
+    } else if (child->name() == "wire") {
+      wires.push_back(PendingWire{child->Attr("from"), child->Attr("to")});
+    } else {
+      return Status::Error("unknown model element <" + child->name() + ">");
+    }
+  }
+
+  auto parse_ref = [&](const std::string& ref, std::string& name, int& port) -> Status {
+    const std::size_t colon = ref.rfind(':');
+    if (colon == std::string::npos) {
+      name = ref;
+      port = 0;
+    } else {
+      name = ref.substr(0, colon);
+      long long p = 0;
+      if (!ParseInt64(ref.substr(colon + 1), p)) {
+        return Status::Error("bad port reference '" + ref + "'");
+      }
+      port = static_cast<int>(p);
+    }
+    if (!by_name.count(name)) return Status::Error("wire references unknown block '" + name + "'");
+    return Status::Ok();
+  };
+
+  for (const auto& w : wires) {
+    std::string from_name;
+    std::string to_name;
+    int from_port = 0;
+    int to_port = 0;
+    if (Status s = parse_ref(w.from, from_name, from_port); !s.ok()) return s;
+    if (Status s = parse_ref(w.to, to_name, to_port); !s.ok()) return s;
+    model->AddWire(ir::PortRef{by_name[from_name], from_port}, by_name[to_name], to_port);
+  }
+  return model;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Model>> LoadModel(const std::string& xml_text) {
+  auto doc = xml::Parse(xml_text);
+  if (!doc.ok()) return doc.status();
+  return LoadFrom(*doc.value().root);
+}
+
+Result<std::unique_ptr<Model>> LoadModelFile(const std::string& path) {
+  auto doc = xml::ParseFile(path);
+  if (!doc.ok()) return doc.status();
+  return LoadFrom(*doc.value().root);
+}
+
+std::string SaveModel(const Model& model) {
+  xml::Element root("model");
+  SaveInto(model, root);
+  return xml::Write(root);
+}
+
+Status SaveModelFile(const Model& model, const std::string& path) {
+  xml::Element root("model");
+  SaveInto(model, root);
+  return xml::WriteFile(root, path);
+}
+
+}  // namespace cftcg::parser

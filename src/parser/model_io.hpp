@@ -1,0 +1,48 @@
+// Model file I/O — the paper's "Model Parser" stage.
+//
+// CFTCG's original parser unzips .slx archives and reads the block/line XML
+// with TinyXML. Our substitute format (.cmx) is a plain XML document with
+// the same information content:
+//
+//   <model name="SolarPV">
+//     <block kind="Inport" name="Enable">
+//       <param name="port" kind="int">0</param>
+//       <param name="type" kind="str">int8</param>
+//     </block>
+//     <block kind="Chart" name="fsm">
+//       <chart initial="0">
+//         <input name="power"/>
+//         <output name="mode" type="int32" init="0"/>
+//         <var name="charge" init="0"/>
+//         <state name="Idle" entry="..." during="..." exit="..."/>
+//         <transition from="0" to="1" guard="power &gt; 10" action="..."/>
+//       </chart>
+//     </block>
+//     <block kind="ActionIf" name="ctl">
+//       <sub> <model name="then">...</model> </sub>
+//       <sub> <model name="else">...</model> </sub>
+//     </block>
+//     <wire from="Enable:0" to="ctl:0"/>
+//   </model>
+//
+// SaveModel/LoadModel round-trip exactly (property-tested).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/model.hpp"
+#include "support/status.hpp"
+
+namespace cftcg::parser {
+
+/// Parses a model from XML text. The result is *not* analyzed; run
+/// blocks::AnalyzeModel (or sched::AnalyzeAndSchedule) next.
+Result<std::unique_ptr<ir::Model>> LoadModel(const std::string& xml_text);
+Result<std::unique_ptr<ir::Model>> LoadModelFile(const std::string& path);
+
+/// Serializes a model to XML text.
+std::string SaveModel(const ir::Model& model);
+Status SaveModelFile(const ir::Model& model, const std::string& path);
+
+}  // namespace cftcg::parser

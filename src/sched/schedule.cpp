@@ -1,0 +1,239 @@
+#include "sched/schedule.hpp"
+
+#include <cassert>
+#include <algorithm>
+#include <functional>
+
+#include "blocks/registry.hpp"
+#include "support/strings.hpp"
+
+namespace cftcg::sched {
+
+using blocks::mex::Expr;
+using blocks::mex::ExprKind;
+using blocks::mex::Program;
+using blocks::mex::Stmt;
+using blocks::mex::StmtKind;
+using ir::Block;
+using ir::BlockKind;
+using ir::Model;
+
+coverage::DecisionId ScheduledModel::DecisionAt(const void* owner, int sub) const {
+  auto it = decision_sites.find(SiteKey{owner, sub});
+  assert(it != decision_sites.end() && "decision site not registered");
+  return it->second;
+}
+
+coverage::ConditionId ScheduledModel::ConditionAt(const void* owner, int sub) const {
+  auto it = condition_sites.find(SiteKey{owner, sub});
+  assert(it != condition_sites.end() && "condition site not registered");
+  return it->second;
+}
+
+const std::vector<ir::BlockId>& ScheduledModel::OrderOf(const ir::Model* system) const {
+  auto it = order.find(system);
+  assert(it != order.end() && "system not scheduled");
+  return it->second;
+}
+
+std::vector<ir::DType> ScheduledModel::InportTypes() const {
+  std::vector<ir::DType> types;
+  for (ir::BlockId id : root->Inports()) types.push_back(root->block(id).out_type(0));
+  return types;
+}
+
+std::size_t ScheduledModel::TupleSize() const {
+  std::size_t total = 0;
+  for (ir::DType t : InportTypes()) total += ir::DTypeSize(t);
+  return total;
+}
+
+namespace {
+
+class Scheduler {
+ public:
+  explicit Scheduler(ScheduledModel& out) : out_(out) {}
+
+  Status Run(const Model& model, const std::string& path) {
+    auto order = TopoSort(model);
+    if (!order.ok()) return order.status();
+    out_.order[&model] = order.value();
+
+    // Walk blocks in schedule order so decision/condition ids are assigned
+    // in execution order (deterministic and shared across backends).
+    for (ir::BlockId id : order.value()) {
+      const Block& b = model.block(id);
+      const std::string bpath = path.empty() ? b.name() : path + "/" + b.name();
+      if (Status s = ExtractBlockSites(b, bpath); !s.ok()) return s;
+      for (std::size_t i = 0; i < b.subs().size(); ++i) {
+        const std::string spath = StrFormat("%s.%zu", bpath.c_str(), i);
+        if (Status s = Run(*b.subs()[i], spath); !s.ok()) return s;
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Result<std::vector<ir::BlockId>> TopoSort(const Model& model) {
+    const std::size_t n = model.blocks().size();
+    std::vector<int> in_degree(n, 0);
+    std::vector<std::vector<ir::BlockId>> successors(n);
+    for (const auto& w : model.wires()) {
+      const Block& dst = model.block(w.dst_block);
+      if (!blocks::InputIsDirectFeedthrough(dst, w.dst_port)) continue;
+      successors[static_cast<std::size_t>(w.src.block)].push_back(w.dst_block);
+      ++in_degree[static_cast<std::size_t>(w.dst_block)];
+    }
+    // Kahn's algorithm; the ready set is kept id-sorted for determinism.
+    std::vector<ir::BlockId> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_degree[i] == 0) ready.push_back(static_cast<ir::BlockId>(i));
+    }
+    std::vector<ir::BlockId> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+      // Pop the smallest id (ready is maintained sorted descending).
+      std::sort(ready.begin(), ready.end(), std::greater<>());
+      const ir::BlockId id = ready.back();
+      ready.pop_back();
+      order.push_back(id);
+      for (ir::BlockId succ : successors[static_cast<std::size_t>(id)]) {
+        if (--in_degree[static_cast<std::size_t>(succ)] == 0) ready.push_back(succ);
+      }
+    }
+    if (order.size() != n) {
+      return Status::Error("model '" + model.name() + "': algebraic loop detected in scheduling");
+    }
+    return order;
+  }
+
+  void AddDecision(const void* owner, int sub, const std::string& name, int outcomes) {
+    out_.decision_sites[SiteKey{owner, sub}] = out_.spec.AddDecision(name, outcomes);
+  }
+  void AddCondition(const void* owner, int sub, const std::string& name,
+                    coverage::DecisionId decision) {
+    out_.condition_sites[SiteKey{owner, sub}] = out_.spec.AddCondition(name, decision);
+  }
+
+  Status ExtractBlockSites(const Block& b, const std::string& path) {
+    // Mode (a): boolean blocks — decision on the output, condition per input.
+    switch (b.kind()) {
+      case BlockKind::kLogicalAnd:
+      case BlockKind::kLogicalOr:
+      case BlockKind::kLogicalXor:
+      case BlockKind::kLogicalNand:
+      case BlockKind::kLogicalNor: {
+        AddDecision(&b, 0, path, 2);
+        const auto d = out_.decision_sites[SiteKey{&b, 0}];
+        for (int i = 0; i < b.num_inputs(); ++i) {
+          AddCondition(&b, i + 1, StrFormat("%s.in%d", path.c_str(), i + 1), d);
+        }
+        return Status::Ok();
+      }
+      // Standalone boolean producers: conditions (true/false polarity).
+      case BlockKind::kRelationalOp:
+      case BlockKind::kCompareToConstant:
+      case BlockKind::kCompareToZero: {
+        AddCondition(&b, 0, path, -1);
+        return Status::Ok();
+      }
+      default: break;
+    }
+
+    // Modes (b)/(c)/(d): block-level decisions from the registry.
+    const int outcomes = blocks::BlockDecisionOutcomes(b);
+    if (outcomes > 0) AddDecision(&b, 0, path, outcomes);
+
+    // EdgeDetector both decides (edge / no edge) and is a boolean producer.
+    if (b.kind() == BlockKind::kEdgeDetector) AddCondition(&b, 1, path + ".out", -1);
+
+    // Mode (d): conditionals inside complex blocks.
+    if (b.kind() == BlockKind::kExprFunc) {
+      const auto* compiled = out_.analysis.programs.FindExprFunc(&b);
+      assert(compiled != nullptr);
+      ExtractProgramSites(compiled->program, path);
+    } else if (b.kind() == BlockKind::kChart) {
+      const auto* compiled = out_.analysis.programs.FindChart(&b);
+      assert(compiled != nullptr);
+      ExtractChartSites(b, *compiled, path);
+    }
+    return Status::Ok();
+  }
+
+  void ExtractProgramSites(const Program& program, const std::string& path) {
+    int if_counter = 0;
+    for (const auto& stmt : program.stmts) ExtractStmtSites(*stmt, path, if_counter);
+  }
+
+  void ExtractStmtSites(const Stmt& stmt, const std::string& path, int& if_counter) {
+    if (stmt.kind != StmtKind::kIf) return;
+    const int my_if = if_counter++;
+    for (std::size_t arm = 0; arm < stmt.branches.size(); ++arm) {
+      const auto& branch = stmt.branches[arm];
+      if (branch.cond) {
+        const std::string name = StrFormat("%s.if%d#%zu", path.c_str(), my_if, arm);
+        AddDecision(&stmt, static_cast<int>(arm), name, 2);
+        const auto d = out_.decision_sites[SiteKey{&stmt, static_cast<int>(arm)}];
+        ExtractConditionLeaves(*branch.cond, name, d);
+      }
+      for (const auto& inner : branch.body) ExtractStmtSites(*inner, path, if_counter);
+    }
+  }
+
+  void ExtractConditionLeaves(const Expr& cond, const std::string& name,
+                              coverage::DecisionId decision) {
+    std::vector<const Expr*> leaves;
+    blocks::mex::CollectConditionLeaves(cond, leaves);
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      AddCondition(leaves[i], 0, StrFormat("%s.c%zu", name.c_str(), i), decision);
+    }
+  }
+
+  void ExtractChartSites(const Block& b, const blocks::CompiledChart& chart,
+                         const std::string& path) {
+    const ir::ChartDef& def = *b.chart();
+    // Transitions in definition order: decision (taken / not taken) plus
+    // guard condition leaves.
+    for (std::size_t t = 0; t < chart.transitions.size(); ++t) {
+      const std::string name = StrFormat("%s.t%zu[%s->%s]", path.c_str(), t,
+                                         def.states[static_cast<std::size_t>(def.transitions[t].from)].name.c_str(),
+                                         def.states[static_cast<std::size_t>(def.transitions[t].to)].name.c_str());
+      AddDecision(&b, 1000 + static_cast<int>(t), name, 2);
+      if (chart.transitions[t].guard) {
+        const auto d = out_.decision_sites[SiteKey{&b, 1000 + static_cast<int>(t)}];
+        ExtractConditionLeaves(*chart.transitions[t].guard->expr, name, d);
+      }
+      if (chart.transitions[t].action) {
+        ExtractProgramSites(*chart.transitions[t].action, name);
+      }
+    }
+    // ifs inside state actions.
+    for (std::size_t s = 0; s < chart.states.size(); ++s) {
+      const std::string sname = path + "." + def.states[s].name;
+      if (chart.states[s].entry) ExtractProgramSites(*chart.states[s].entry, sname + ".entry");
+      if (chart.states[s].during) ExtractProgramSites(*chart.states[s].during, sname + ".during");
+      if (chart.states[s].exit) ExtractProgramSites(*chart.states[s].exit, sname + ".exit");
+    }
+  }
+
+  ScheduledModel& out_;
+};
+
+}  // namespace
+
+Result<ScheduledModel> Schedule(const ir::Model& model, blocks::Analysis analysis) {
+  ScheduledModel out;
+  out.root = &model;
+  out.analysis = std::move(analysis);
+  Scheduler scheduler(out);
+  if (Status s = scheduler.Run(model, ""); !s.ok()) return s;
+  return out;
+}
+
+Result<ScheduledModel> AnalyzeAndSchedule(ir::Model& model) {
+  auto analysis = blocks::AnalyzeModel(model);
+  if (!analysis.ok()) return analysis.status();
+  return Schedule(model, analysis.take());
+}
+
+}  // namespace cftcg::sched

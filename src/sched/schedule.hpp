@@ -1,0 +1,71 @@
+// Schedule conversion + branch instrumentation point extraction.
+//
+// Schedule(): orders every system (the root model and each compound block's
+// sub-models) topologically along direct-feedthrough dataflow edges — the
+// paper's "Schedule Convert" step that turns a block diagram into a
+// sequential step function. Delay-class inputs are not feedthrough, so
+// feedback loops through UnitDelay/Delay/Memory/Integrator schedule fine;
+// a cycle without a delay is an algebraic loop and is rejected.
+//
+// During the same walk the *branch instrumentation points* are enumerated
+// (the paper's four modes):
+//   (a) boolean-block inputs            -> conditions + a 2-way decision
+//   (b) data switch/select blocks       -> N-way decisions
+//   (c) branch blocks (If/SwitchCase)   -> ActionIf/ActionSwitch decisions
+//   (d) in-block conditionals           -> Saturation/Sign/... decisions and
+//                                          every chart guard / mex `if`
+// The resulting CoverageSpec (decision/condition ids, slot layout) is shared
+// verbatim by the interpreter, the VM lowering, and the C emitter, so all
+// backends report coverage in the same space. Sites are keyed by the
+// address of the owning IR object plus a small discriminator.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "blocks/analyze.hpp"
+#include "coverage/spec.hpp"
+#include "ir/model.hpp"
+
+namespace cftcg::sched {
+
+struct SiteKey {
+  const void* owner = nullptr;  // ir::Block*, mex::Stmt*, or mex::Expr*
+  int sub = 0;                  // discriminator (transition index, branch arm, input port)
+
+  auto operator<=>(const SiteKey&) const = default;
+};
+
+struct ScheduledModel {
+  const ir::Model* root = nullptr;
+  blocks::Analysis analysis;  // compiled mex programs (owned)
+  /// Execution order of blocks per system (root model and every sub-model).
+  std::map<const ir::Model*, std::vector<ir::BlockId>> order;
+
+  coverage::CoverageSpec spec;
+  std::map<SiteKey, coverage::DecisionId> decision_sites;
+  std::map<SiteKey, coverage::ConditionId> condition_sites;
+
+  [[nodiscard]] coverage::DecisionId DecisionAt(const void* owner, int sub = 0) const;
+  [[nodiscard]] coverage::ConditionId ConditionAt(const void* owner, int sub = 0) const;
+  [[nodiscard]] const std::vector<ir::BlockId>& OrderOf(const ir::Model* system) const;
+
+  /// Tuple layout of the fuzz driver: the root model's inport types in port
+  /// order, and the total bytes consumed per model iteration.
+  [[nodiscard]] std::vector<ir::DType> InportTypes() const;
+  [[nodiscard]] std::size_t TupleSize() const;
+
+  /// Branch count reported in the paper's Table 2 (#Branch): total decision
+  /// outcomes.
+  [[nodiscard]] int NumBranchOutcomes() const { return spec.num_outcome_slots(); }
+};
+
+/// Schedules and instruments an *analyzed* model (run blocks::AnalyzeModel
+/// first and pass its Analysis in; the ScheduledModel takes ownership).
+Result<ScheduledModel> Schedule(const ir::Model& model, blocks::Analysis analysis);
+
+/// Convenience: analyze + schedule in one call.
+Result<ScheduledModel> AnalyzeAndSchedule(ir::Model& model);
+
+}  // namespace cftcg::sched

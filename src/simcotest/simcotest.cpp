@@ -1,0 +1,156 @@
+#include "simcotest/simcotest.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace cftcg::simcotest {
+
+namespace {
+
+double Elapsed(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+double SignalProfile::At(int k, Rng& walk_rng) const {
+  switch (shape) {
+    case SignalShape::kConstant: return base;
+    case SignalShape::kStep: return k < change_at ? base : target;
+    case SignalShape::kRamp: {
+      if (change_at <= 0) return target;
+      const double frac = std::min(1.0, static_cast<double>(k) / change_at);
+      return base + (target - base) * frac;
+    }
+    case SignalShape::kPulse:
+      return (k >= change_at && k < change_at + pulse_len) ? target : base;
+    case SignalShape::kRandomWalk:
+      return base + (target - base) * walk_rng.NextDouble();
+    case SignalShape::kSpike: return k == change_at ? target : base;
+  }
+  return base;
+}
+
+SimCoTest::SimCoTest(const sched::ScheduledModel& sm, SimCoTestOptions options)
+    : sm_(&sm), options_(options), interp_(sm, /*log_signals=*/true), sink_(sm.spec),
+      rng_(options.seed) {}
+
+double SimCoTest::Distance(const Features& a, const Features& b) {
+  double sum = 0;
+  const std::size_t n = std::min(a.v.size(), b.v.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a.v[i] - b.v[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+fuzz::CampaignResult SimCoTest::Run(const fuzz::FuzzBudget& budget) {
+  fuzz::CampaignResult result;
+  const auto start = std::chrono::steady_clock::now();
+  const auto in_types = sm_->InportTypes();
+  const std::size_t fields = in_types.size();
+  const std::size_t tuple_size = sm_->TupleSize();
+
+  while (Elapsed(start) < budget.wall_seconds && result.executions < budget.max_executions) {
+    // Draw one signal profile per inport.
+    std::vector<SignalProfile> profiles(fields);
+    for (std::size_t f = 0; f < fields; ++f) {
+      SignalProfile& p = profiles[f];
+      p.shape = static_cast<SignalShape>(rng_.NextBelow(kNumSignalShapes));
+      const ir::DType t = in_types[f];
+      double lo = -100;
+      double hi = 100;
+      if (!ir::DTypeIsFloat(t)) {
+        lo = static_cast<double>(std::max<std::int64_t>(ir::DTypeMin(t), -100000));
+        hi = static_cast<double>(std::min<std::int64_t>(ir::DTypeMax(t), 100000));
+      }
+      p.base = rng_.NextDouble(lo, hi);
+      p.target = rng_.NextDouble(lo, hi);
+      p.change_at = static_cast<int>(rng_.NextBelow(static_cast<std::uint64_t>(options_.horizon)));
+      p.pulse_len = 1 + static_cast<int>(rng_.NextBelow(8));
+    }
+
+    // Simulate (slow path). Coverage accumulates in the shared sink.
+    interp_.Reset();
+    interp_.ClearSignalLog();
+    std::vector<std::uint8_t> data;
+    data.reserve(static_cast<std::size_t>(options_.horizon) * tuple_size);
+    bool found_new = false;
+    std::size_t total_fresh = 0;
+    std::vector<ir::Value> step_values(fields);
+    for (int k = 0; k < options_.horizon; ++k) {
+      std::vector<std::uint8_t> tuple(tuple_size);
+      std::size_t offset = 0;
+      for (std::size_t f = 0; f < fields; ++f) {
+        const double raw = profiles[f].At(k, rng_);
+        const ir::DType t = in_types[f];
+        step_values[f] = ir::DTypeIsFloat(t)
+                             ? ir::Value::Real(t, raw)
+                             : ir::Value::Int(t, static_cast<std::int64_t>(raw));
+        step_values[f].ToBytes(tuple.data() + offset);
+        offset += ir::DTypeSize(t);
+      }
+      data.insert(data.end(), tuple.begin(), tuple.end());
+      sink_.BeginIteration();
+      interp_.SetInputs(step_values);
+      interp_.Step(&sink_);
+      ++result.model_iterations;
+      const std::size_t fresh = sink_.AccumulateIteration();
+      if (fresh > 0) {
+        found_new = true;
+        total_fresh += fresh;
+      }
+    }
+    ++result.executions;
+
+    if (found_new) {
+      int covered = 0;
+      for (int slot = 0; slot < sm_->spec.num_outcome_slots(); ++slot) {
+        if (sink_.total().Test(static_cast<std::size_t>(slot))) ++covered;
+      }
+      result.test_cases.push_back(fuzz::TestCase{data, Elapsed(start), total_fresh, covered});
+    }
+
+    // Output-diversity archive (meta-heuristic selection): compute output
+    // signal features and keep shapes that differ most from the archive.
+    const auto& log = interp_.signal_log();
+    if (!log.empty() && !log[0].empty()) {
+      const std::size_t outs = log[0].size();
+      Features feat;
+      for (std::size_t o = 0; o < outs; ++o) {
+        double mean = 0;
+        double mn = log[0][o];
+        double mx = log[0][o];
+        int changes = 0;
+        for (std::size_t k = 0; k < log.size(); ++k) {
+          mean += log[k][o];
+          mn = std::min(mn, log[k][o]);
+          mx = std::max(mx, log[k][o]);
+          if (k >= 2 && (log[k][o] - log[k - 1][o]) * (log[k - 1][o] - log[k - 2][o]) < 0) {
+            ++changes;
+          }
+        }
+        mean /= static_cast<double>(log.size());
+        feat.v.push_back(mean);
+        feat.v.push_back(mx - mn);
+        feat.v.push_back(changes);
+        feat.v.push_back(log.back()[o]);
+      }
+      double min_dist = 1e300;
+      for (const auto& a : archive_) min_dist = std::min(min_dist, Distance(feat, a));
+      if (archive_.size() < options_.archive_size) {
+        archive_.push_back(std::move(feat));
+      } else if (min_dist > 1.0) {
+        archive_[rng_.NextIndex(archive_.size())] = std::move(feat);
+      }
+    }
+  }
+
+  result.elapsed_s = Elapsed(start);
+  result.report = coverage::ComputeReport(sink_);
+  return result;
+}
+
+}  // namespace cftcg::simcotest

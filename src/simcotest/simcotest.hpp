@@ -1,0 +1,61 @@
+// Simulation-based test generation — the SimCoTest baseline substitute.
+//
+// SimCoTest (Matinnejad et al., ICSE'16) generates input *signal shapes*
+// (constant / step / ramp / pulse / ...) for each inport, simulates the
+// model, and uses meta-heuristic selection maximizing output-signal
+// diversity. Our substitute follows the same design and — crucially for the
+// paper's argument — runs on the *interpreter* (src/sim), so its throughput
+// is simulation-bound, orders of magnitude below the compiled fuzzing loop.
+#pragma once
+
+#include "coverage/report.hpp"
+#include "coverage/sink.hpp"
+#include "fuzz/fuzzer.hpp"  // shared TestCase / CampaignResult / FuzzBudget
+#include "sim/interpreter.hpp"
+#include "support/rng.hpp"
+
+namespace cftcg::simcotest {
+
+enum class SignalShape { kConstant, kStep, kRamp, kPulse, kRandomWalk, kSpike };
+inline constexpr int kNumSignalShapes = 6;
+
+/// One inport's generated signal over the test horizon.
+struct SignalProfile {
+  SignalShape shape = SignalShape::kConstant;
+  double base = 0;       // initial value
+  double target = 0;     // step/ramp target, pulse amplitude
+  int change_at = 0;     // step index of the discontinuity / pulse start
+  int pulse_len = 1;
+  /// Value at step k (horizon steps total).
+  [[nodiscard]] double At(int k, Rng& walk_rng) const;
+};
+
+struct SimCoTestOptions {
+  std::uint64_t seed = 1;
+  int horizon = 50;           // simulation steps per generated test
+  std::size_t archive_size = 32;  // diversity archive capacity
+};
+
+class SimCoTest {
+ public:
+  SimCoTest(const sched::ScheduledModel& sm, SimCoTestOptions options);
+
+  fuzz::CampaignResult Run(const fuzz::FuzzBudget& budget);
+
+  [[nodiscard]] const coverage::CoverageSink& sink() const { return sink_; }
+
+ private:
+  struct Features {
+    std::vector<double> v;  // per-output: mean, range, direction changes, final
+  };
+  static double Distance(const Features& a, const Features& b);
+
+  const sched::ScheduledModel* sm_;
+  SimCoTestOptions options_;
+  sim::Interpreter interp_;
+  coverage::CoverageSink sink_;
+  Rng rng_;
+  std::vector<Features> archive_;
+};
+
+}  // namespace cftcg::simcotest

@@ -1,0 +1,116 @@
+#include "sldv/interval.hpp"
+
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace cftcg::sldv {
+
+Interval Interval::OfType(ir::DType t) {
+  if (ir::DTypeIsFloat(t)) return Interval(-1e6, 1e6);  // practical search range
+  return Interval(static_cast<double>(ir::DTypeMin(t)), static_cast<double>(ir::DTypeMax(t)));
+}
+
+Interval Interval::Intersect(const Interval& o) const {
+  if (empty() || o.empty()) return Interval();
+  Interval r(std::max(lo_, o.lo_), std::min(hi_, o.hi_));
+  return r;
+}
+
+Interval Interval::Union(const Interval& o) const {
+  if (empty()) return o;
+  if (o.empty()) return *this;
+  return Interval(std::min(lo_, o.lo_), std::max(hi_, o.hi_));
+}
+
+namespace {
+double Sat(double v) {
+  if (v > Interval::kInf) return Interval::kInf;
+  if (v < -Interval::kInf) return -Interval::kInf;
+  return std::isnan(v) ? 0 : v;
+}
+}  // namespace
+
+Interval Interval::Add(const Interval& o) const {
+  if (empty() || o.empty()) return Interval();
+  return Interval(Sat(lo_ + o.lo_), Sat(hi_ + o.hi_));
+}
+
+Interval Interval::Sub(const Interval& o) const {
+  if (empty() || o.empty()) return Interval();
+  return Interval(Sat(lo_ - o.hi_), Sat(hi_ - o.lo_));
+}
+
+Interval Interval::Mul(const Interval& o) const {
+  if (empty() || o.empty()) return Interval();
+  const double a = Sat(lo_ * o.lo_);
+  const double b = Sat(lo_ * o.hi_);
+  const double c = Sat(hi_ * o.lo_);
+  const double d = Sat(hi_ * o.hi_);
+  return Interval(std::min(std::min(a, b), std::min(c, d)),
+                  std::max(std::max(a, b), std::max(c, d)));
+}
+
+Interval Interval::Neg() const {
+  if (empty()) return Interval();
+  return Interval(-hi_, -lo_);
+}
+
+Interval Interval::Abs() const {
+  if (empty()) return Interval();
+  if (lo_ >= 0) return *this;
+  if (hi_ <= 0) return Neg();
+  return Interval(0, std::max(-lo_, hi_));
+}
+
+Interval Interval::Min(const Interval& o) const {
+  if (empty() || o.empty()) return Interval();
+  return Interval(std::min(lo_, o.lo_), std::min(hi_, o.hi_));
+}
+
+Interval Interval::Max(const Interval& o) const {
+  if (empty() || o.empty()) return Interval();
+  return Interval(std::max(lo_, o.lo_), std::max(hi_, o.hi_));
+}
+
+Interval Interval::Clamp(double lo, double hi) const {
+  if (empty()) return Interval();
+  return Interval(std::clamp(lo_, lo, hi), std::clamp(hi_, lo, hi));
+}
+
+Interval Interval::RefineLt(const Interval& o) const {
+  if (empty() || o.empty()) return Interval();
+  // this can be < o only when this < o.hi.
+  return Intersect(Interval(-kInf, std::nexttoward(o.hi_, -kInf)));
+}
+
+Interval Interval::RefineLe(const Interval& o) const {
+  if (empty() || o.empty()) return Interval();
+  return Intersect(Interval(-kInf, o.hi_));
+}
+
+Interval Interval::RefineGt(const Interval& o) const {
+  if (empty() || o.empty()) return Interval();
+  return Intersect(Interval(std::nexttoward(o.lo_, kInf), kInf));
+}
+
+Interval Interval::RefineGe(const Interval& o) const {
+  if (empty() || o.empty()) return Interval();
+  return Intersect(Interval(o.lo_, kInf));
+}
+
+Interval Interval::RefineEq(const Interval& o) const { return Intersect(o); }
+
+int Interval::AlwaysLt(const Interval& o) const {
+  if (empty() || o.empty()) return -1;
+  if (hi_ < o.lo_) return 1;
+  if (lo_ >= o.hi_) return 0;
+  return -1;
+}
+
+std::string Interval::ToString() const {
+  if (empty()) return "[]";
+  return StrFormat("[%s, %s]", DoubleToString(lo_).c_str(), DoubleToString(hi_).c_str());
+}
+
+}  // namespace cftcg::sldv

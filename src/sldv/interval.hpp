@@ -1,0 +1,71 @@
+// Interval arithmetic domain.
+//
+// Used by the constraint-solving baseline to derive search ranges for model
+// inputs (forward propagation through the stateless cone of influence) and
+// as the abstract domain for its bounded reachability reasoning. This is
+// the "formal" ingredient of our SLDV substitute; the search ingredient is
+// in goal_solver.hpp.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "ir/dtype.hpp"
+
+namespace cftcg::sldv {
+
+/// Closed interval [lo, hi]; empty when lo > hi.
+class Interval {
+ public:
+  Interval() = default;  // empty
+  Interval(double lo, double hi) : lo_(lo), hi_(hi) {}
+
+  static Interval Point(double v) { return Interval(v, v); }
+  static Interval Whole() { return Interval(-kInf, kInf); }
+  static Interval OfType(ir::DType t);
+
+  [[nodiscard]] bool empty() const { return lo_ > hi_; }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double width() const { return empty() ? 0 : hi_ - lo_; }
+  [[nodiscard]] bool Contains(double v) const { return !empty() && v >= lo_ && v <= hi_; }
+
+  [[nodiscard]] Interval Intersect(const Interval& o) const;
+  [[nodiscard]] Interval Union(const Interval& o) const;
+
+  // Arithmetic (outward-safe on the reals; overflow saturates to +-inf).
+  [[nodiscard]] Interval Add(const Interval& o) const;
+  [[nodiscard]] Interval Sub(const Interval& o) const;
+  [[nodiscard]] Interval Mul(const Interval& o) const;
+  [[nodiscard]] Interval Neg() const;
+  [[nodiscard]] Interval Abs() const;
+  [[nodiscard]] Interval Min(const Interval& o) const;
+  [[nodiscard]] Interval Max(const Interval& o) const;
+  /// Clamp into [lo, hi] (saturation block semantics).
+  [[nodiscard]] Interval Clamp(double lo, double hi) const;
+
+  // Relational refinement: the subset of *this that can satisfy
+  // `this <op> o` for some value of o. Used for backward condition
+  // propagation.
+  [[nodiscard]] Interval RefineLt(const Interval& o) const;   // this < o
+  [[nodiscard]] Interval RefineLe(const Interval& o) const;
+  [[nodiscard]] Interval RefineGt(const Interval& o) const;
+  [[nodiscard]] Interval RefineGe(const Interval& o) const;
+  [[nodiscard]] Interval RefineEq(const Interval& o) const;
+
+  /// Tri-state comparison outcome over the interval: 1 = always true,
+  /// 0 = always false, -1 = undecided.
+  [[nodiscard]] int AlwaysLt(const Interval& o) const;
+
+  [[nodiscard]] std::string ToString() const;
+
+  bool operator==(const Interval&) const = default;
+
+  static constexpr double kInf = 1e300;
+
+ private:
+  double lo_ = 1;
+  double hi_ = 0;  // default-constructed: empty
+};
+
+}  // namespace cftcg::sldv

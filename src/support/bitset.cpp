@@ -1,0 +1,78 @@
+#include "support/bitset.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace cftcg {
+
+DynamicBitset::DynamicBitset(std::size_t num_bits) { Resize(num_bits); }
+
+void DynamicBitset::Resize(std::size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.assign((num_bits + 63) / 64, 0);
+}
+
+void DynamicBitset::Set(std::size_t index) {
+  assert(index < num_bits_);
+  words_[index >> 6] |= (1ULL << (index & 63));
+}
+
+void DynamicBitset::Reset(std::size_t index) {
+  assert(index < num_bits_);
+  words_[index >> 6] &= ~(1ULL << (index & 63));
+}
+
+bool DynamicBitset::Test(std::size_t index) const {
+  assert(index < num_bits_);
+  return (words_[index >> 6] >> (index & 63)) & 1;
+}
+
+void DynamicBitset::ClearAll() {
+  for (auto& w : words_) w = 0;
+}
+
+std::size_t DynamicBitset::Count() const {
+  std::size_t total = 0;
+  for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::size_t DynamicBitset::CountDifferences(const DynamicBitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return total;
+}
+
+std::size_t DynamicBitset::MergeAndCountNew(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  std::size_t new_bits = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t fresh = other.words_[i] & ~words_[i];
+    new_bits += static_cast<std::size_t>(std::popcount(fresh));
+    words_[i] |= other.words_[i];
+  }
+  return new_bits;
+}
+
+bool DynamicBitset::HasNewBitsRelativeTo(const DynamicBitset& total) const {
+  assert(num_bits_ == total.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~total.words_[i]) return true;
+  }
+  return false;
+}
+
+std::uint64_t DynamicBitset::Hash() const {
+  // FNV-1a over the words; cheap and adequate for signature dedup.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (auto w : words_) {
+    h ^= w;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace cftcg

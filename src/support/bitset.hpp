@@ -1,0 +1,53 @@
+// DynamicBitset: a compact runtime-sized bit vector used for coverage maps.
+//
+// The fuzzing loop manipulates per-iteration and cumulative coverage maps at
+// high frequency, so the operations the loop needs (clear, set, popcount,
+// difference counting, or-with-detect-new) are implemented word-wise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cftcg {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t num_bits);
+
+  void Resize(std::size_t num_bits);
+  [[nodiscard]] std::size_t size() const { return num_bits_; }
+
+  void Set(std::size_t index);
+  void Reset(std::size_t index);
+  [[nodiscard]] bool Test(std::size_t index) const;
+
+  /// Clears every bit (keeps the size).
+  void ClearAll();
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t Count() const;
+
+  /// Number of positions where this and other differ. Sizes must match.
+  [[nodiscard]] std::size_t CountDifferences(const DynamicBitset& other) const;
+
+  /// ORs other into this; returns the number of bits newly set by the merge.
+  std::size_t MergeAndCountNew(const DynamicBitset& other);
+
+  /// True if other sets at least one bit this does not have.
+  [[nodiscard]] bool HasNewBitsRelativeTo(const DynamicBitset& total) const;
+
+  bool operator==(const DynamicBitset& other) const = default;
+
+  /// 64-bit hash of the contents (used to deduplicate coverage signatures).
+  [[nodiscard]] std::uint64_t Hash() const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::size_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace cftcg

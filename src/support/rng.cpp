@@ -1,0 +1,98 @@
+#include "support/rng.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace cftcg {
+namespace {
+
+// splitmix64: used to expand the user seed into the xoshiro state so that
+// nearby seeds give unrelated streams.
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  // All-zero state is invalid for xoshiro; SplitMix64 cannot produce four
+  // zeros from any seed, but keep the guard for clarity.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's multiply-shift rejection method: unbiased and fast.
+  std::uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  if (span == ~0ULL) return static_cast<std::int64_t>(NextU64());
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + NextBelow(span + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+bool Rng::NextBool(double probability_true) { return NextDouble() < probability_true; }
+
+std::uint8_t Rng::NextByte() { return static_cast<std::uint8_t>(NextU64() & 0xFF); }
+
+void Rng::FillBytes(std::uint8_t* data, std::size_t size) {
+  std::size_t i = 0;
+  while (i + 8 <= size) {
+    std::uint64_t v = NextU64();
+    std::memcpy(data + i, &v, 8);
+    i += 8;
+  }
+  if (i < size) {
+    std::uint64_t v = NextU64();
+    std::memcpy(data + i, &v, size - i);
+  }
+}
+
+std::size_t Rng::NextIndex(std::size_t size) {
+  assert(size > 0);
+  return static_cast<std::size_t>(NextBelow(size));
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace cftcg

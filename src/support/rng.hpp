@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in CFTCG (mutation choices, baseline search, workload
+// generation) flows through Rng so that experiments are reproducible from a
+// single seed. The generator is xoshiro256** (public domain algorithm by
+// Blackman & Vigna), chosen for speed inside the fuzzing loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cftcg {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Bernoulli draw.
+  bool NextBool(double probability_true = 0.5);
+
+  /// One uniform byte.
+  std::uint8_t NextByte();
+
+  /// Fills a buffer with uniform bytes.
+  void FillBytes(std::uint8_t* data, std::size_t size);
+
+  /// Picks a random index into a container of the given size. size must be > 0.
+  std::size_t NextIndex(std::size_t size);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = NextIndex(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Splits off an independently seeded child generator (for parallel or
+  /// per-repetition streams).
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace cftcg

@@ -1,0 +1,67 @@
+// Lightweight status / expected types used across the library.
+//
+// CFTCG is built as a set of libraries that a downstream tool embeds, so we
+// avoid exceptions on anticipated failure paths (malformed model files,
+// unsatisfiable schedules, ...) and return Status / Result<T> instead.
+// Programming errors still assert.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cftcg {
+
+/// Outcome of an operation that can fail with a human-readable message.
+class Status {
+ public:
+  Status() = default;  // ok
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Value-or-error. On error, value() must not be called.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] const std::string& message() const { return status_.message(); }
+
+  [[nodiscard]] T& value() {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace cftcg

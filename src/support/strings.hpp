@@ -1,0 +1,36 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cftcg {
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view TrimString(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Joins items with a separator.
+std::string JoinStrings(const std::vector<std::string>& items, std::string_view sep);
+
+/// Parses a decimal integer / floating value; returns false on any trailing
+/// garbage. Used by the model parser, so errors must be detectable.
+bool ParseInt64(std::string_view text, long long& out);
+bool ParseDouble(std::string_view text, double& out);
+
+/// Escapes XML special characters (&, <, >, ", ').
+std::string XmlEscape(std::string_view text);
+
+/// Renders a double so that it round-trips exactly through ParseDouble.
+std::string DoubleToString(double value);
+
+}  // namespace cftcg

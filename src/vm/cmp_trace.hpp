@@ -1,0 +1,58 @@
+// Comparison-operand tracing (libFuzzer's TORC — Table Of Recent Compares).
+//
+// The paper builds its fuzzer on LibFuzzer, which instruments comparisons
+// and feeds the observed operands back into mutation so equality-guarded
+// logic (opcodes, sequence numbers, magic values) becomes reachable. The VM
+// records the operands of *failed* equality comparisons into this small
+// ring; the mutators use it as a value dictionary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cftcg::vm {
+
+class CmpTrace {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  void RecordInt(std::int64_t a, std::int64_t b) {
+    ints_[int_idx_++ % kCapacity] = a;
+    ints_[int_idx_++ % kCapacity] = b;
+    int_count_ = int_count_ < kCapacity ? int_idx_ : kCapacity;
+  }
+  void RecordDouble(double a, double b) {
+    doubles_[double_idx_++ % kCapacity] = a;
+    doubles_[double_idx_++ % kCapacity] = b;
+    double_count_ = double_count_ < kCapacity ? double_idx_ : kCapacity;
+    // Integer-valued operands also feed the integer dictionary: chart/mex
+    // comparisons compute in double even when the data came from integer
+    // inports, and the dictionary must reach those fields.
+    const auto integral = [](double v) {
+      return v > -9e15 && v < 9e15 && v == static_cast<double>(static_cast<std::int64_t>(v));
+    };
+    if (integral(a) && integral(b)) {
+      RecordInt(static_cast<std::int64_t>(a), static_cast<std::int64_t>(b));
+    }
+  }
+
+  [[nodiscard]] std::size_t int_count() const { return int_count_; }
+  [[nodiscard]] std::size_t double_count() const { return double_count_; }
+  [[nodiscard]] std::int64_t int_at(std::size_t i) const { return ints_[i % kCapacity]; }
+  [[nodiscard]] double double_at(std::size_t i) const { return doubles_[i % kCapacity]; }
+
+  void Clear() {
+    int_idx_ = int_count_ = 0;
+    double_idx_ = double_count_ = 0;
+  }
+
+ private:
+  std::array<std::int64_t, kCapacity> ints_{};
+  std::array<double, kCapacity> doubles_{};
+  std::size_t int_idx_ = 0;
+  std::size_t int_count_ = 0;
+  std::size_t double_idx_ = 0;
+  std::size_t double_count_ = 0;
+};
+
+}  // namespace cftcg::vm

@@ -1,0 +1,218 @@
+#include "vm/machine.hpp"
+
+#include <cmath>
+
+#include "support/numerics.hpp"
+
+namespace cftcg::vm {
+
+using namespace cftcg::num;
+
+Machine::Machine(const Program& program) : program_(&program) {
+  dregs_.assign(static_cast<std::size_t>(program.num_dregs), 0.0);
+  iregs_.assign(static_cast<std::size_t>(program.num_iregs), 0);
+  in_d_.assign(program.input_types.size(), 0.0);
+  in_i_.assign(program.input_types.size(), 0);
+  out_d_.assign(program.output_types.size(), 0.0);
+  out_i_.assign(program.output_types.size(), 0);
+  state_d_.resize(program.state_d.size());
+  state_i_.resize(program.state_i.size());
+  Reset();
+}
+
+void Machine::Reset() {
+  for (std::size_t i = 0; i < state_d_.size(); ++i) state_d_[i] = program_->state_d[i].init;
+  for (std::size_t i = 0; i < state_i_.size(); ++i) {
+    state_i_[i] = ir::WrapToDType(static_cast<std::int64_t>(program_->state_i[i].init),
+                                  program_->state_i[i].type);
+  }
+}
+
+void Machine::SetInputsFromBytes(const std::uint8_t* tuple) {
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < program_->input_types.size(); ++i) {
+    const ir::DType t = program_->input_types[i];
+    const ir::Value v = ir::Value::FromBytes(t, tuple + offset);
+    if (ir::DTypeIsFloat(t)) {
+      in_d_[i] = v.AsDouble();
+    } else {
+      in_i_[i] = v.AsInt64();
+    }
+    offset += ir::DTypeSize(t);
+  }
+}
+
+void Machine::SetInputs(std::span<const ir::Value> values) {
+  for (std::size_t i = 0; i < values.size() && i < program_->input_types.size(); ++i) {
+    const ir::Value v = values[i].CastTo(program_->input_types[i]);
+    if (ir::DTypeIsFloat(program_->input_types[i])) {
+      in_d_[i] = v.AsDouble();
+    } else {
+      in_i_[i] = v.AsInt64();
+    }
+  }
+}
+
+ir::Value Machine::GetOutput(int index) const {
+  const auto i = static_cast<std::size_t>(index);
+  const ir::DType t = program_->output_types[i];
+  if (ir::DTypeIsFloat(t)) return ir::Value::Real(t, out_d_[i]);
+  return ir::Value::Int(t, out_i_[i]);
+}
+
+void Machine::Step(coverage::CoverageSink* sink, std::uint8_t* edge_map) {
+  const Insn* code = program_->code.data();
+  double* d = dregs_.data();
+  std::int64_t* r = iregs_.data();
+  std::size_t pc = 0;
+
+  for (;;) {
+    const Insn& in = code[pc];
+    switch (in.op) {
+      case Op::kHalt: return;
+      case Op::kLoadConstD: d[in.dst] = in.dimm; break;
+      case Op::kLoadConstI:
+        // Wrap to the declared width: an out-of-range literal (e.g. a
+        // negative saturation bound wired to an unsigned signal) must behave
+        // like the same assignment in the generated C.
+        r[in.dst] = ir::WrapToDType(static_cast<std::int64_t>(in.dimm), in.type);
+        break;
+      case Op::kMovD: d[in.dst] = d[in.a]; break;
+      case Op::kMovI: r[in.dst] = r[in.a]; break;
+      case Op::kCvtDToI: {
+        r[in.dst] = ir::WrapToDType(TruncToI64(d[in.a]), in.type);
+        break;
+      }
+      case Op::kCvtIToD: d[in.dst] = static_cast<double>(r[in.a]); break;
+      case Op::kWrapI: r[in.dst] = ir::WrapToDType(r[in.a], in.type); break;
+      case Op::kBoolD: r[in.dst] = d[in.a] != 0.0; break;
+      case Op::kBoolI: r[in.dst] = r[in.a] != 0; break;
+
+      case Op::kAddD: d[in.dst] = d[in.a] + d[in.b]; break;
+      case Op::kSubD: d[in.dst] = d[in.a] - d[in.b]; break;
+      case Op::kMulD: d[in.dst] = d[in.a] * d[in.b]; break;
+      case Op::kDivD: d[in.dst] = SafeDiv(d[in.a], d[in.b]); break;
+      case Op::kMinD: d[in.dst] = std::fmin(d[in.a], d[in.b]); break;
+      case Op::kMaxD: d[in.dst] = std::fmax(d[in.a], d[in.b]); break;
+      case Op::kModD: d[in.dst] = SafeMod(d[in.a], d[in.b]); break;
+      case Op::kRemD: d[in.dst] = SafeRem(d[in.a], d[in.b]); break;
+      case Op::kPowD: d[in.dst] = Finite(std::pow(d[in.a], d[in.b])); break;
+      case Op::kAtan2D: d[in.dst] = std::atan2(d[in.a], d[in.b]); break;
+      case Op::kNegD: d[in.dst] = -d[in.a]; break;
+      case Op::kAbsD: d[in.dst] = std::fabs(d[in.a]); break;
+      case Op::kSignD: d[in.dst] = (d[in.a] > 0.0) ? 1.0 : ((d[in.a] < 0.0) ? -1.0 : 0.0); break;
+      case Op::kSqrtD: d[in.dst] = SafeSqrt(d[in.a]); break;
+      case Op::kExpD: d[in.dst] = Finite(std::exp(d[in.a])); break;
+      case Op::kLogD: d[in.dst] = SafeLog(d[in.a]); break;
+      case Op::kFloorD: d[in.dst] = std::floor(d[in.a]); break;
+      case Op::kCeilD: d[in.dst] = std::ceil(d[in.a]); break;
+      case Op::kRoundD: d[in.dst] = std::nearbyint(d[in.a]); break;
+      case Op::kSinD: d[in.dst] = std::sin(d[in.a]); break;
+      case Op::kCosD: d[in.dst] = std::cos(d[in.a]); break;
+      case Op::kTanD: d[in.dst] = Finite(std::tan(d[in.a])); break;
+
+      case Op::kAddI: r[in.dst] = ir::WrapToDType(r[in.a] + r[in.b], in.type); break;
+      case Op::kSubI: r[in.dst] = ir::WrapToDType(r[in.a] - r[in.b], in.type); break;
+      case Op::kMulI: r[in.dst] = ir::WrapToDType(r[in.a] * r[in.b], in.type); break;
+      case Op::kDivI: r[in.dst] = ir::WrapToDType(SafeDivI(r[in.a], r[in.b]), in.type); break;
+      case Op::kMinI: r[in.dst] = r[in.a] < r[in.b] ? r[in.a] : r[in.b]; break;
+      case Op::kMaxI: r[in.dst] = r[in.a] > r[in.b] ? r[in.a] : r[in.b]; break;
+      case Op::kModI: r[in.dst] = ir::WrapToDType(SafeModI(r[in.a], r[in.b]), in.type); break;
+      case Op::kRemI: r[in.dst] = ir::WrapToDType(SafeRemI(r[in.a], r[in.b]), in.type); break;
+      case Op::kNegI: r[in.dst] = ir::WrapToDType(-r[in.a], in.type); break;
+      case Op::kAbsI: r[in.dst] = ir::WrapToDType(r[in.a] < 0 ? -r[in.a] : r[in.a], in.type); break;
+      case Op::kSignI: r[in.dst] = (r[in.a] > 0) ? 1 : ((r[in.a] < 0) ? -1 : 0); break;
+      case Op::kAndBitsI: r[in.dst] = ir::WrapToDType(r[in.a] & r[in.b], in.type); break;
+      case Op::kOrBitsI: r[in.dst] = ir::WrapToDType(r[in.a] | r[in.b], in.type); break;
+      case Op::kXorBitsI: r[in.dst] = ir::WrapToDType(r[in.a] ^ r[in.b], in.type); break;
+      case Op::kShlI: {
+        const auto sh = static_cast<std::uint64_t>(r[in.b] & 63);
+        r[in.dst] = ir::WrapToDType(static_cast<std::int64_t>(
+                                        static_cast<std::uint64_t>(r[in.a]) << sh),
+                                    in.type);
+        break;
+      }
+      case Op::kShrI: {
+        const auto sh = r[in.b] & 63;
+        r[in.dst] = ir::WrapToDType(r[in.a] >> sh, in.type);
+        break;
+      }
+      case Op::kNotL: r[in.dst] = r[in.a] == 0; break;
+
+      case Op::kLtD: r[in.dst] = d[in.a] < d[in.b]; break;
+      case Op::kLeD: r[in.dst] = d[in.a] <= d[in.b]; break;
+      case Op::kGtD: r[in.dst] = d[in.a] > d[in.b]; break;
+      case Op::kGeD: r[in.dst] = d[in.a] >= d[in.b]; break;
+      case Op::kEqD:
+        r[in.dst] = d[in.a] == d[in.b];
+        if (cmp_trace_ != nullptr && d[in.a] != d[in.b]) {
+          cmp_trace_->RecordDouble(d[in.a], d[in.b]);
+        }
+        break;
+      case Op::kNeD:
+        r[in.dst] = d[in.a] != d[in.b];
+        if (cmp_trace_ != nullptr && d[in.a] != d[in.b]) {
+          cmp_trace_->RecordDouble(d[in.a], d[in.b]);
+        }
+        break;
+      case Op::kLtI: r[in.dst] = r[in.a] < r[in.b]; break;
+      case Op::kLeI: r[in.dst] = r[in.a] <= r[in.b]; break;
+      case Op::kGtI: r[in.dst] = r[in.a] > r[in.b]; break;
+      case Op::kGeI: r[in.dst] = r[in.a] >= r[in.b]; break;
+      case Op::kEqI:
+        r[in.dst] = r[in.a] == r[in.b];
+        if (cmp_trace_ != nullptr && r[in.a] != r[in.b]) {
+          cmp_trace_->RecordInt(r[in.a], r[in.b]);
+        }
+        break;
+      case Op::kNeI:
+        r[in.dst] = r[in.a] != r[in.b];
+        if (cmp_trace_ != nullptr && r[in.a] != r[in.b]) {
+          cmp_trace_->RecordInt(r[in.a], r[in.b]);
+        }
+        break;
+
+      case Op::kJmp: pc = static_cast<std::size_t>(in.imm); continue;
+      case Op::kJmpIfZero:
+        if (r[in.a] == 0) {
+          pc = static_cast<std::size_t>(in.imm);
+          continue;
+        }
+        break;
+      case Op::kJmpIfNotZero:
+        if (r[in.a] != 0) {
+          pc = static_cast<std::size_t>(in.imm);
+          continue;
+        }
+        break;
+
+      case Op::kLoadInD: d[in.dst] = in_d_[static_cast<std::size_t>(in.imm)]; break;
+      case Op::kLoadInI: r[in.dst] = in_i_[static_cast<std::size_t>(in.imm)]; break;
+      case Op::kStoreOutD: out_d_[static_cast<std::size_t>(in.imm)] = d[in.a]; break;
+      case Op::kStoreOutI: out_i_[static_cast<std::size_t>(in.imm)] = r[in.a]; break;
+      case Op::kLoadStateD: d[in.dst] = state_d_[static_cast<std::size_t>(in.imm)]; break;
+      case Op::kLoadStateI: r[in.dst] = state_i_[static_cast<std::size_t>(in.imm)]; break;
+      case Op::kStoreStateD: state_d_[static_cast<std::size_t>(in.imm)] = d[in.a]; break;
+      case Op::kStoreStateI: state_i_[static_cast<std::size_t>(in.imm)] = r[in.a]; break;
+
+      case Op::kCov:
+        if (sink != nullptr) sink->Hit(in.imm);
+        break;
+      case Op::kEdge:
+        if (edge_map != nullptr) edge_map[in.imm] = 1;
+        break;
+      case Op::kMcdcEval:
+        if (sink != nullptr) {
+          sink->RecordEval(in.imm, static_cast<std::uint32_t>(r[in.a]),
+                           static_cast<std::uint32_t>(r[in.b]), static_cast<int>(r[in.aux]));
+        }
+        break;
+      case Op::kMargin:
+        if (sink != nullptr) sink->RecordMargin(in.imm, in.b, in.aux, d[in.a]);
+        break;
+    }
+    ++pc;
+  }
+}
+
+}  // namespace cftcg::vm

@@ -1,0 +1,68 @@
+// The bytecode executor.
+//
+// One Machine instance holds the mutable run state (registers, input/output
+// slots, persistent state). Step() executes one model iteration — the
+// equivalent of calling the generated Model_step() function in the paper's
+// fuzz driver. Reset() is Model_init(): it restores every state slot to its
+// initial value (run once per test case).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coverage/sink.hpp"
+#include "vm/cmp_trace.hpp"
+#include "vm/program.hpp"
+
+namespace cftcg::vm {
+
+class Machine {
+ public:
+  explicit Machine(const Program& program);
+
+  /// Model_init(): restores initial state.
+  void Reset();
+
+  /// Fills the input slots from one raw tuple (TupleSize() bytes), exactly
+  /// like the generated driver's per-field memcpy (Figure 3 of the paper).
+  void SetInputsFromBytes(const std::uint8_t* tuple);
+
+  /// Typed input assignment (used by the baselines and tests).
+  void SetInputs(std::span<const ir::Value> values);
+
+  /// Executes one model iteration. `sink` receives model-level coverage
+  /// events (may be nullptr when running uninstrumented programs);
+  /// `edge_map` (size program.num_edges) receives code-level edges (may be
+  /// nullptr).
+  void Step(coverage::CoverageSink* sink, std::uint8_t* edge_map = nullptr);
+
+  [[nodiscard]] ir::Value GetOutput(int index) const;
+  [[nodiscard]] int num_outputs() const { return static_cast<int>(program_->output_types.size()); }
+
+  [[nodiscard]] const Program& program() const { return *program_; }
+
+  /// Attaches a comparison-operand trace (libFuzzer-style TORC). Failed
+  /// equality comparisons record both operands. Pass nullptr to detach.
+  void set_cmp_trace(CmpTrace* trace) { cmp_trace_ = trace; }
+
+  /// Peek at persistent state (tests / debugging).
+  [[nodiscard]] double state_d(int slot) const { return state_d_[static_cast<std::size_t>(slot)]; }
+  [[nodiscard]] std::int64_t state_i(int slot) const {
+    return state_i_[static_cast<std::size_t>(slot)];
+  }
+
+ private:
+  const Program* program_;
+  CmpTrace* cmp_trace_ = nullptr;
+  std::vector<double> dregs_;
+  std::vector<std::int64_t> iregs_;
+  std::vector<double> in_d_;
+  std::vector<std::int64_t> in_i_;
+  std::vector<double> out_d_;
+  std::vector<std::int64_t> out_i_;
+  std::vector<double> state_d_;
+  std::vector<std::int64_t> state_i_;
+};
+
+}  // namespace cftcg::vm

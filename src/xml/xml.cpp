@@ -1,0 +1,306 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace cftcg::xml {
+
+void Element::SetAttr(std::string key, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+bool Element::HasAttr(std::string_view key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string Element::Attr(std::string_view key, std::string_view fallback) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return std::string(fallback);
+}
+
+Element& Element::AddChild(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+const Element* Element::FirstChild(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+Element* Element::FirstChild(std::string_view name) {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::Children(std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Document> Run() {
+    SkipProlog();
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    SkipWhitespaceAndComments();
+    if (pos_ != text_.size()) return MakeError("trailing content after root element");
+    Document doc;
+    doc.root = root.take();
+    return doc;
+  }
+
+ private:
+  Status MakeError(const std::string& what) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return Status::Error(StrFormat("xml parse error at line %zu: %s", line, what.c_str()));
+  }
+  Result<ElementPtr> Fail(const std::string& what) const { return MakeError(what); }
+
+  [[nodiscard]] bool AtEnd() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char Peek() const { return text_[pos_]; }
+  [[nodiscard]] bool LookingAt(std::string_view s) const {
+    return text_.substr(pos_, s.size()) == s;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  bool SkipComment() {
+    if (!LookingAt("<!--")) return false;
+    const std::size_t end = text_.find("-->", pos_ + 4);
+    pos_ = (end == std::string_view::npos) ? text_.size() : end + 3;
+    return true;
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      SkipWhitespace();
+      if (!SkipComment()) return;
+    }
+  }
+
+  void SkipProlog() {
+    for (;;) {
+      SkipWhitespaceAndComments();
+      if (LookingAt("<?")) {
+        const std::size_t end = text_.find("?>", pos_ + 2);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 2;
+      } else if (LookingAt("<!DOCTYPE")) {
+        const std::size_t end = text_.find('>', pos_);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == '.' ||
+           c == ':';
+  }
+
+  std::string ParseName() {
+    const std::size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  // Decodes the predefined entities plus decimal/hex character references.
+  std::string DecodeEntities(std::string_view raw) const {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      const std::size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        out += raw[i];
+        continue;
+      }
+      const std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") out += '&';
+      else if (ent == "lt") out += '<';
+      else if (ent == "gt") out += '>';
+      else if (ent == "quot") out += '"';
+      else if (ent == "apos") out += '\'';
+      else if (!ent.empty() && ent[0] == '#') {
+        long long code = 0;
+        const bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+        const std::string digits(ent.substr(hex ? 2 : 1));
+        char* end = nullptr;
+        code = std::strtoll(digits.c_str(), &end, hex ? 16 : 10);
+        if (end == digits.c_str() + digits.size() && code > 0 && code < 128) {
+          out += static_cast<char>(code);
+        }
+      } else {
+        out += raw.substr(i, semi - i + 1);  // unknown entity: keep verbatim
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Result<ElementPtr> ParseElement() {
+    SkipWhitespaceAndComments();
+    if (AtEnd() || Peek() != '<') return Fail("expected '<'");
+    ++pos_;
+    std::string name = ParseName();
+    if (name.empty()) return Fail("expected element name");
+    auto elem = std::make_unique<Element>(name);
+
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated start tag for <" + name + ">");
+      if (LookingAt("/>")) {
+        pos_ += 2;
+        return elem;
+      }
+      if (Peek() == '>') {
+        ++pos_;
+        break;
+      }
+      std::string key = ParseName();
+      if (key.empty()) return Fail("expected attribute name in <" + name + ">");
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Fail("expected '=' after attribute " + key);
+      ++pos_;
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Fail("expected quoted value for attribute " + key);
+      }
+      const char quote = Peek();
+      ++pos_;
+      const std::size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) return Fail("unterminated attribute value for " + key);
+      elem->SetAttr(std::move(key), DecodeEntities(text_.substr(start, pos_ - start)));
+      ++pos_;
+    }
+
+    // Content.
+    for (;;) {
+      if (AtEnd()) return Fail("unterminated element <" + name + ">");
+      if (LookingAt("<![CDATA[")) {
+        const std::size_t end = text_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) return Fail("unterminated CDATA");
+        elem->append_text(text_.substr(pos_ + 9, end - pos_ - 9));
+        pos_ = end + 3;
+      } else if (LookingAt("<!--")) {
+        SkipComment();
+      } else if (LookingAt("</")) {
+        pos_ += 2;
+        const std::string close = ParseName();
+        if (close != name) return Fail("mismatched close tag </" + close + "> for <" + name + ">");
+        SkipWhitespace();
+        if (AtEnd() || Peek() != '>') return Fail("expected '>' in close tag");
+        ++pos_;
+        return elem;
+      } else if (Peek() == '<') {
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        elem->AdoptChild(child.take());
+      } else {
+        const std::size_t start = pos_;
+        while (!AtEnd() && Peek() != '<') ++pos_;
+        const std::string decoded = DecodeEntities(text_.substr(start, pos_ - start));
+        // Character data that is pure whitespace between child elements is
+        // layout, not content.
+        if (!TrimString(decoded).empty()) elem->append_text(decoded);
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void WriteElement(const Element& e, int depth, std::string& out) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  out += indent;
+  out += '<';
+  out += e.name();
+  for (const auto& [k, v] : e.attrs()) {
+    out += ' ';
+    out += k;
+    out += "=\"";
+    out += XmlEscape(v);
+    out += '"';
+  }
+  const bool has_children = !e.children().empty();
+  const bool has_text = !e.text().empty();
+  if (!has_children && !has_text) {
+    out += "/>\n";
+    return;
+  }
+  out += '>';
+  if (has_text) out += XmlEscape(e.text());
+  if (has_children) {
+    out += '\n';
+    for (const auto& c : e.children()) WriteElement(*c, depth + 1, out);
+    out += indent;
+  }
+  out += "</";
+  out += e.name();
+  out += ">\n";
+}
+
+}  // namespace
+
+Result<Document> Parse(std::string_view text) { return Parser(text).Run(); }
+
+std::string Write(const Element& root) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  WriteElement(root, 0, out);
+  return out;
+}
+
+Result<Document> ParseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+Status WriteFile(const Element& root, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Error("cannot open file for writing: " + path);
+  out << Write(root);
+  return out ? Status::Ok() : Status::Error("write failed: " + path);
+}
+
+}  // namespace cftcg::xml

@@ -1,0 +1,76 @@
+// Minimal XML DOM, written from scratch as a substitute for TinyXML (which
+// the paper uses to load unzipped Simulink .slx files).
+//
+// Supported subset: elements, attributes, character data, comments (skipped),
+// XML declarations (skipped), CDATA sections, and the five predefined
+// entities. This covers everything the CFTCG model format needs while staying
+// dependency-free.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace cftcg::xml {
+
+class Element;
+using ElementPtr = std::unique_ptr<Element>;
+
+/// One XML element. Children are owned; text content is the concatenation of
+/// all character data directly inside the element.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void append_text(std::string_view text) { text_ += text; }
+
+  // -- Attributes ------------------------------------------------------
+  void SetAttr(std::string key, std::string value);
+  [[nodiscard]] bool HasAttr(std::string_view key) const;
+  /// Returns the attribute value or the fallback if absent.
+  [[nodiscard]] std::string Attr(std::string_view key, std::string_view fallback = "") const;
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+
+  // -- Children --------------------------------------------------------
+  Element& AddChild(std::string name);
+  void AdoptChild(ElementPtr child) { children_.push_back(std::move(child)); }
+  [[nodiscard]] const std::vector<ElementPtr>& children() const { return children_; }
+  /// First child with the given element name, or nullptr.
+  [[nodiscard]] const Element* FirstChild(std::string_view name) const;
+  [[nodiscard]] Element* FirstChild(std::string_view name);
+  /// All children with the given element name.
+  [[nodiscard]] std::vector<const Element*> Children(std::string_view name) const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<ElementPtr> children_;
+};
+
+/// A parsed document: exactly one root element.
+struct Document {
+  ElementPtr root;
+};
+
+/// Parses an XML document from text. Errors carry a line number.
+Result<Document> Parse(std::string_view text);
+
+/// Serializes with 2-space indentation. Inverse of Parse for documents the
+/// writer produced.
+std::string Write(const Element& root);
+
+/// Convenience file I/O.
+Result<Document> ParseFile(const std::string& path);
+Status WriteFile(const Element& root, const std::string& path);
+
+}  // namespace cftcg::xml

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "blocks/analyze.hpp"
+#include "blocks/registry.hpp"
+#include "ir/builder.hpp"
+
+namespace cftcg::blocks {
+namespace {
+
+using ir::BlockKind;
+using ir::DType;
+using ir::ModelBuilder;
+using ir::ParamMap;
+using ir::ParamValue;
+
+TEST(AnalyzeTest, TypesSimpleChain) {
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kInt16);
+  auto g = mb.Gain(u, 3.0);
+  mb.Outport("y", g);
+  auto model = mb.Build();
+  auto a = AnalyzeModel(*model);
+  ASSERT_TRUE(a.ok()) << a.message();
+  EXPECT_EQ(model->FindBlock("gain_0")->out_type(0), DType::kInt16);
+}
+
+TEST(AnalyzeTest, PromotionThroughSum) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kInt8);
+  auto b = mb.Inport("b", DType::kInt32);
+  auto s = mb.Sum(a, b, "s");
+  mb.Outport("y", s);
+  auto model = mb.Build();
+  ASSERT_TRUE(AnalyzeModel(*model).ok());
+  EXPECT_EQ(model->FindBlock("s")->out_type(0), DType::kInt32);
+}
+
+TEST(AnalyzeTest, RelationalIsBool) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  auto r = mb.Relational("lt", a, mb.Constant(1.0), "r");
+  mb.Outport("y", r);
+  auto model = mb.Build();
+  ASSERT_TRUE(AnalyzeModel(*model).ok());
+  EXPECT_EQ(model->FindBlock("r")->out_type(0), DType::kBool);
+}
+
+TEST(AnalyzeTest, RejectsUndrivenInput) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  mb.AddBlock(BlockKind::kSum, "s", {a});  // second input missing
+  auto model = mb.Build();
+  auto result = AnalyzeModel(*model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.message().find("drivers"), std::string::npos);
+}
+
+TEST(AnalyzeTest, RejectsDoubleDrivenInput) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  auto g = mb.Gain(a, 1.0, "g");
+  mb.Connect(a, 1, 0);  // block id 1 is the gain; drive input 0 twice
+  (void)g;
+  auto model = mb.Build();
+  EXPECT_FALSE(AnalyzeModel(*model).ok());
+}
+
+TEST(AnalyzeTest, RejectsDuplicateNames) {
+  ModelBuilder mb("m");
+  mb.Inport("x", DType::kDouble);
+  mb.model().AddBlock(BlockKind::kConstant, "x");
+  auto model = mb.Build();
+  EXPECT_FALSE(AnalyzeModel(*model).ok());
+}
+
+TEST(AnalyzeTest, RejectsAlgebraicLoop) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  // s = a + s : no delay in the cycle.
+  const auto s = mb.AddBlock(BlockKind::kSum, "s", {a});
+  mb.Connect(ModelBuilder::Out(s), s, 1);
+  mb.Outport("y", ModelBuilder::Out(s));
+  auto model = mb.Build();
+  auto result = AnalyzeModel(*model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.message().find("algebraic loop"), std::string::npos) << result.message();
+}
+
+TEST(AnalyzeTest, AcceptsLoopThroughDelay) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  const auto sum = mb.AddBlock(BlockKind::kSum, "s", {a});
+  auto d = mb.UnitDelay(ModelBuilder::Out(sum), 0.0, "d");
+  mb.Connect(d, sum, 1);
+  mb.Outport("y", ModelBuilder::Out(sum));
+  auto model = mb.Build();
+  EXPECT_TRUE(AnalyzeModel(*model).ok());
+}
+
+TEST(AnalyzeTest, RootInportNeedsType) {
+  ModelBuilder mb("m");
+  auto& b = mb.model().AddBlock(BlockKind::kInport, "u");
+  b.params().Set("port", ParamValue(0));
+  mb.Outport("y", ir::PortRef{b.id(), 0});
+  auto model = mb.Build();
+  auto result = AnalyzeModel(*model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.message().find("must declare a type"), std::string::npos);
+}
+
+TEST(AnalyzeTest, BitwiseRejectsFloat) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  auto b = mb.Inport("b", DType::kDouble);
+  mb.Op(BlockKind::kBitwiseAnd, "band", {a, b});
+  auto model = mb.Build();
+  EXPECT_FALSE(AnalyzeModel(*model).ok());
+}
+
+TEST(AnalyzeTest, ExprFuncCompiles) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  ParamMap p;
+  p.Set("in", ParamValue(1));
+  p.Set("out", ParamValue(1));
+  p.Set("body", ParamValue("if (u1 > 0) { y1 = u1; } else { y1 = -u1; }"));
+  auto f = mb.Op(BlockKind::kExprFunc, "f", {a}, std::move(p));
+  mb.Outport("y", f);
+  auto model = mb.Build();
+  auto analysis = AnalyzeModel(*model);
+  ASSERT_TRUE(analysis.ok()) << analysis.message();
+  const auto* compiled = analysis.value().programs.FindExprFunc(model->FindBlock("f"));
+  ASSERT_NE(compiled, nullptr);
+  EXPECT_EQ(compiled->in_names, (std::vector<std::string>{"u1"}));
+  EXPECT_EQ(compiled->out_names, (std::vector<std::string>{"y1"}));
+}
+
+TEST(AnalyzeTest, ExprFuncRejectsUnknownName) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  ParamMap p;
+  p.Set("in", ParamValue(1));
+  p.Set("out", ParamValue(1));
+  p.Set("body", ParamValue("y1 = nosuch + 1;"));
+  mb.Op(BlockKind::kExprFunc, "f", {a}, std::move(p));
+  auto model = mb.Build();
+  EXPECT_FALSE(AnalyzeModel(*model).ok());
+}
+
+TEST(AnalyzeTest, ExprFuncRejectsAssignToInput) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  ParamMap p;
+  p.Set("in", ParamValue(1));
+  p.Set("out", ParamValue(1));
+  p.Set("body", ParamValue("u1 = 2; y1 = u1;"));
+  mb.Op(BlockKind::kExprFunc, "f", {a}, std::move(p));
+  auto model = mb.Build();
+  EXPECT_FALSE(AnalyzeModel(*model).ok());
+}
+
+TEST(AnalyzeTest, ChartValidation) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  ir::ChartDef def;
+  def.inputs = {"x"};
+  def.outputs = {ir::ChartOutput{"y", DType::kDouble, 0.0}};
+  def.states = {ir::ChartState{"S0", "y = 0;", "", ""}, ir::ChartState{"S1", "y = 1;", "", ""}};
+  def.transitions = {ir::ChartTransition{0, 1, "x > 0", ""}};
+  mb.AddChart("c", {a}, def);
+  auto model = mb.Build();
+  EXPECT_TRUE(AnalyzeModel(*model).ok());
+}
+
+TEST(AnalyzeTest, ChartRejectsBadTransitionIndex) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  ir::ChartDef def;
+  def.inputs = {"x"};
+  def.outputs = {ir::ChartOutput{"y", DType::kDouble, 0.0}};
+  def.states = {ir::ChartState{"S0", "", "", ""}};
+  def.transitions = {ir::ChartTransition{0, 5, "x > 0", ""}};
+  mb.AddChart("c", {a}, def);
+  auto model = mb.Build();
+  EXPECT_FALSE(AnalyzeModel(*model).ok());
+}
+
+TEST(AnalyzeTest, ChartRejectsGuardReferencingUnknown) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  ir::ChartDef def;
+  def.inputs = {"x"};
+  def.outputs = {ir::ChartOutput{"y", DType::kDouble, 0.0}};
+  def.states = {ir::ChartState{"S0", "", "", ""}, ir::ChartState{"S1", "", "", ""}};
+  def.transitions = {ir::ChartTransition{0, 1, "mystery > 0", ""}};
+  mb.AddChart("c", {a}, def);
+  auto model = mb.Build();
+  EXPECT_FALSE(AnalyzeModel(*model).ok());
+}
+
+TEST(AnalyzeTest, CompoundArityMismatchRejected) {
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kDouble);
+  auto cond = mb.Relational("gt", u, mb.Constant(0.0));
+  std::vector<std::unique_ptr<ir::Model>> subs;
+  {
+    ModelBuilder t("then");
+    auto x = t.Inport("x", DType::kDouble);
+    t.Outport("y", x);
+    subs.push_back(t.Build());
+  }
+  {
+    ModelBuilder e("else");
+    // Mismatched: two inports.
+    auto x = e.Inport("x", DType::kDouble);
+    e.Inport("x2", DType::kDouble);
+    e.Outport("y", x);
+    subs.push_back(e.Build());
+  }
+  mb.AddCompound(BlockKind::kActionIf, "sel", {cond, u}, std::move(subs));
+  auto model = mb.Build();
+  EXPECT_FALSE(AnalyzeModel(*model).ok());
+}
+
+TEST(RegistryTest, PortSpecs) {
+  ir::Model m("t");
+  auto& sw = m.AddBlock(BlockKind::kSwitch, "sw");
+  auto spec = GetPortSpec(sw);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().num_inputs, 3);
+
+  auto& mp = m.AddBlock(BlockKind::kMultiportSwitch, "mp");
+  mp.params().Set("cases", ParamValue(4));
+  spec = GetPortSpec(mp);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().num_inputs, 5);
+
+  auto& sum = m.AddBlock(BlockKind::kSum, "sum");
+  sum.params().Set("signs", ParamValue("+-+"));
+  spec = GetPortSpec(sum);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().num_inputs, 3);
+}
+
+TEST(RegistryTest, StateAndFeedthrough) {
+  EXPECT_TRUE(HasState(BlockKind::kUnitDelay));
+  EXPECT_TRUE(HasState(BlockKind::kChart));
+  EXPECT_FALSE(HasState(BlockKind::kGain));
+
+  ir::Model m("t");
+  auto& d = m.AddBlock(BlockKind::kUnitDelay, "d");
+  EXPECT_FALSE(InputIsDirectFeedthrough(d, 0));
+  auto& g = m.AddBlock(BlockKind::kGain, "g");
+  EXPECT_TRUE(InputIsDirectFeedthrough(g, 0));
+}
+
+TEST(RegistryTest, DecisionOutcomes) {
+  ir::Model m("t");
+  auto& sw = m.AddBlock(BlockKind::kSwitch, "sw");
+  EXPECT_EQ(BlockDecisionOutcomes(sw), 2);
+  auto& sat = m.AddBlock(BlockKind::kSaturation, "sat");
+  EXPECT_EQ(BlockDecisionOutcomes(sat), 3);
+  auto& gain = m.AddBlock(BlockKind::kGain, "g");
+  EXPECT_EQ(BlockDecisionOutcomes(gain), 0);
+  auto& integ = m.AddBlock(BlockKind::kDiscreteIntegrator, "i");
+  EXPECT_EQ(BlockDecisionOutcomes(integ), 0);
+  integ.params().Set("upper", ParamValue(1.0));
+  EXPECT_EQ(BlockDecisionOutcomes(integ), 3);
+}
+
+}  // namespace
+}  // namespace cftcg::blocks

@@ -1,0 +1,109 @@
+// Tests of the comparison-operand tracing (libFuzzer TORC equivalent).
+#include <gtest/gtest.h>
+
+#include "cftcg/pipeline.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "ir/builder.hpp"
+#include "vm/cmp_trace.hpp"
+
+namespace cftcg {
+namespace {
+
+using ir::BlockKind;
+using ir::DType;
+using ir::ModelBuilder;
+using ir::ParamMap;
+using ir::ParamValue;
+
+TEST(CmpTraceTest, RecordsAndRingWraps) {
+  vm::CmpTrace trace;
+  EXPECT_EQ(trace.int_count(), 0U);
+  trace.RecordInt(1, 2);
+  EXPECT_EQ(trace.int_count(), 2U);
+  EXPECT_EQ(trace.int_at(0), 1);
+  EXPECT_EQ(trace.int_at(1), 2);
+  for (int i = 0; i < 200; ++i) trace.RecordInt(i, i + 1);
+  EXPECT_EQ(trace.int_count(), vm::CmpTrace::kCapacity);
+  trace.Clear();
+  EXPECT_EQ(trace.int_count(), 0U);
+}
+
+TEST(CmpTraceTest, IntegralDoublesFeedIntDictionary) {
+  vm::CmpTrace trace;
+  trace.RecordDouble(42.0, 17.0);
+  EXPECT_EQ(trace.double_count(), 2U);
+  EXPECT_EQ(trace.int_count(), 2U);  // integral values cross-feed
+  trace.Clear();
+  trace.RecordDouble(0.5, 17.0);  // non-integral: doubles only
+  EXPECT_EQ(trace.double_count(), 2U);
+  EXPECT_EQ(trace.int_count(), 0U);
+}
+
+TEST(CmpTraceTest, MachineRecordsFailedEqualityOperands) {
+  // y = (u == 123456789)
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kInt32);
+  auto k = mb.ConstantInt(123456789, DType::kInt32);
+  mb.Outport("y", mb.Relational("eq", u, k, "eq"));
+  auto cm = CompiledModel::FromModel(mb.Build()).take();
+  vm::Machine machine(cm->instrumented());
+  vm::CmpTrace trace;
+  machine.set_cmp_trace(&trace);
+  const std::int32_t wrong = 7;
+  machine.SetInputsFromBytes(reinterpret_cast<const std::uint8_t*>(&wrong));
+  machine.Step(nullptr);
+  bool found = false;
+  for (std::size_t i = 0; i < trace.int_count(); ++i) {
+    found |= trace.int_at(i) == 123456789;
+  }
+  EXPECT_TRUE(found) << "magic constant not captured by comparison tracing";
+}
+
+TEST(CmpTraceTest, FuzzerSolvesMagicEqualityViaTorc) {
+  // Without TORC, hitting u == 0x4D41474943 % 2^31 by random int32 mutation
+  // is a ~2^-32 event per try; with TORC the fuzzer reads the constant out
+  // of the failed comparison and pastes it into the field.
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kInt32);
+  auto k = mb.ConstantInt(918273645, DType::kInt32);
+  auto is_magic = mb.Relational("eq", u, k, "is_magic");
+  mb.Outport("y", mb.Switch(mb.Constant(1.0), is_magic, mb.Constant(0.0), 0.5, "sw"));
+  auto cm = CompiledModel::FromModel(mb.Build()).take();
+
+  fuzz::FuzzerOptions options;
+  options.seed = 5;
+  fuzz::Fuzzer fuzzer(cm->instrumented(), cm->spec(), options);
+  fuzz::FuzzBudget budget;
+  budget.wall_seconds = 5.0;
+  budget.max_executions = 60000;
+  const auto result = fuzzer.Run(budget);
+  EXPECT_EQ(result.report.outcome_covered, result.report.outcome_total)
+      << "TORC failed to reach the magic equality within " << result.executions << " inputs";
+}
+
+TEST(CmpTraceTest, ChartGuardConstantReachableThroughDoubleCompare) {
+  // The chart compares in the double domain; the operand must still reach
+  // the int32 inport field (cross-feeding test, end to end).
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kInt32);
+  ir::ChartDef def;
+  def.inputs = {"x"};
+  def.outputs = {ir::ChartOutput{"y", DType::kInt32, 0.0}};
+  def.states = {ir::ChartState{"A", "y = 0;", "", ""}, ir::ChartState{"B", "y = 1;", "", ""}};
+  def.transitions = {ir::ChartTransition{0, 1, "x == 55667788", ""}};
+  mb.AddChart("c", {u}, def);
+  mb.Outport("y", ir::PortRef{1, 0});
+  auto cm = CompiledModel::FromModel(mb.Build()).take();
+
+  fuzz::FuzzerOptions options;
+  options.seed = 9;
+  fuzz::Fuzzer fuzzer(cm->instrumented(), cm->spec(), options);
+  fuzz::FuzzBudget budget;
+  budget.wall_seconds = 5.0;
+  budget.max_executions = 60000;
+  const auto result = fuzzer.Run(budget);
+  EXPECT_EQ(result.report.outcome_covered, result.report.outcome_total);
+}
+
+}  // namespace
+}  // namespace cftcg

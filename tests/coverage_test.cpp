@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "coverage/report.hpp"
+#include "coverage/sink.hpp"
+#include "coverage/spec.hpp"
+
+namespace cftcg::coverage {
+namespace {
+
+TEST(SpecTest, SlotLayout) {
+  CoverageSpec spec;
+  const auto d0 = spec.AddDecision("sw", 2);
+  const auto d1 = spec.AddDecision("sat", 3);
+  const auto c0 = spec.AddCondition("c0", d0);
+  const auto c1 = spec.AddCondition("c1", d0);
+  EXPECT_EQ(spec.num_outcome_slots(), 5);
+  EXPECT_EQ(spec.OutcomeSlot(d0, 0), 0);
+  EXPECT_EQ(spec.OutcomeSlot(d0, 1), 1);
+  EXPECT_EQ(spec.OutcomeSlot(d1, 2), 4);
+  EXPECT_EQ(spec.FuzzBranchCount(), 5 + 4);
+  EXPECT_EQ(spec.ConditionTrueSlot(c0), 5);
+  EXPECT_EQ(spec.ConditionFalseSlot(c0), 6);
+  EXPECT_EQ(spec.ConditionTrueSlot(c1), 7);
+  EXPECT_EQ(spec.decision(d0).conditions.size(), 2U);
+  EXPECT_EQ(spec.condition(c1).index_in_decision, 1);
+}
+
+TEST(SinkTest, IterationLifecycle) {
+  CoverageSpec spec;
+  const auto d = spec.AddDecision("d", 2);
+  CoverageSink sink(spec);
+  sink.BeginIteration();
+  sink.Hit(spec.OutcomeSlot(d, 0));
+  EXPECT_EQ(sink.AccumulateIteration(), 1U);
+  sink.BeginIteration();
+  sink.Hit(spec.OutcomeSlot(d, 0));
+  EXPECT_EQ(sink.AccumulateIteration(), 0U);  // nothing new
+  sink.BeginIteration();
+  sink.Hit(spec.OutcomeSlot(d, 1));
+  EXPECT_EQ(sink.AccumulateIteration(), 1U);
+  EXPECT_EQ(sink.total().Count(), 2U);
+  sink.ResetCampaign();
+  EXPECT_EQ(sink.total().Count(), 0U);
+}
+
+TEST(McdcPackTest, RoundTrip) {
+  const std::uint64_t e = PackEval(0b101, 0b111, 1);
+  EXPECT_EQ(EvalValues(e), 0b101U);
+  EXPECT_EQ(EvalMask(e), 0b111U);
+  EXPECT_EQ(EvalOutcome(e), 1);
+}
+
+TEST(McdcTest, AndGateIndependencePairs) {
+  // a && b: evals (1,1)->1, (0,1)->0, (1,0)->0 show independence of both.
+  std::unordered_set<std::uint64_t> evals;
+  evals.insert(PackEval(0b11, 0b11, 1));
+  evals.insert(PackEval(0b10, 0b11, 0));  // a=0,b=1
+  evals.insert(PackEval(0b01, 0b11, 0));  // a=1,b=0
+  EXPECT_TRUE(HasIndependencePair(evals, 0));
+  EXPECT_TRUE(HasIndependencePair(evals, 1));
+}
+
+TEST(McdcTest, NoPairWhenOnlyOneOutcome) {
+  std::unordered_set<std::uint64_t> evals;
+  evals.insert(PackEval(0b11, 0b11, 1));
+  evals.insert(PackEval(0b01, 0b11, 1));
+  EXPECT_FALSE(HasIndependencePair(evals, 0));
+}
+
+TEST(McdcTest, MaskedShortCircuitCounts) {
+  // a || b with short circuit: (a=1, b unevaluated) -> 1 and
+  // (a=0, b=0) -> 0 demonstrates independence of a (b masked).
+  std::unordered_set<std::uint64_t> evals;
+  evals.insert(PackEval(0b01, 0b01, 1));  // only a evaluated
+  evals.insert(PackEval(0b00, 0b11, 0));
+  EXPECT_TRUE(HasIndependencePair(evals, 0));
+  EXPECT_FALSE(HasIndependencePair(evals, 1));  // b never flipped the outcome
+}
+
+TEST(McdcTest, OtherConditionChangeInvalidatesPair) {
+  // Outcome flip caused by BOTH conditions changing: no independence.
+  std::unordered_set<std::uint64_t> evals;
+  evals.insert(PackEval(0b11, 0b11, 1));
+  evals.insert(PackEval(0b00, 0b11, 0));
+  EXPECT_FALSE(HasIndependencePair(evals, 0));
+  EXPECT_FALSE(HasIndependencePair(evals, 1));
+}
+
+TEST(ReportTest, ComputesPercentages) {
+  CoverageSpec spec;
+  const auto d = spec.AddDecision("d", 2);
+  const auto c = spec.AddCondition("c", d);
+  CoverageSink sink(spec);
+  sink.BeginIteration();
+  sink.Hit(spec.OutcomeSlot(d, 0));
+  sink.Hit(spec.ConditionTrueSlot(c));
+  sink.RecordEval(d, 0b1, 0b1, 1);
+  sink.AccumulateIteration();
+
+  auto report = ComputeReport(sink);
+  EXPECT_EQ(report.outcome_total, 2);
+  EXPECT_EQ(report.outcome_covered, 1);
+  EXPECT_DOUBLE_EQ(report.DecisionPct(), 50.0);
+  EXPECT_EQ(report.condition_polarity_total, 2);
+  EXPECT_EQ(report.condition_polarity_covered, 1);
+  EXPECT_EQ(report.mcdc_total, 1);
+  EXPECT_EQ(report.mcdc_covered, 0);
+
+  // Cover the other polarity + outcome with a flipping eval.
+  sink.BeginIteration();
+  sink.Hit(spec.OutcomeSlot(d, 1));
+  sink.Hit(spec.ConditionFalseSlot(c));
+  sink.RecordEval(d, 0b0, 0b1, 0);
+  sink.AccumulateIteration();
+  report = ComputeReport(sink);
+  EXPECT_DOUBLE_EQ(report.DecisionPct(), 100.0);
+  EXPECT_DOUBLE_EQ(report.ConditionPct(), 100.0);
+  EXPECT_DOUBLE_EQ(report.McdcPct(), 100.0);
+}
+
+TEST(ReportTest, EmptySpecIsFullyCovered) {
+  CoverageSpec spec;
+  CoverageSink sink(spec);
+  const auto report = ComputeReport(sink);
+  EXPECT_DOUBLE_EQ(report.DecisionPct(), 100.0);
+  EXPECT_DOUBLE_EQ(report.McdcPct(), 100.0);
+}
+
+TEST(ReportTest, UncoveredOutcomesNamed) {
+  CoverageSpec spec;
+  const auto d = spec.AddDecision("mysat", 3);
+  CoverageSink sink(spec);
+  sink.BeginIteration();
+  sink.Hit(spec.OutcomeSlot(d, 1));
+  sink.AccumulateIteration();
+  const auto uncovered = UncoveredOutcomes(spec, sink.total());
+  ASSERT_EQ(uncovered.size(), 2U);
+  EXPECT_EQ(uncovered[0], "mysat[0]");
+  EXPECT_EQ(uncovered[1], "mysat[2]");
+}
+
+TEST(MarginTest, RecordsDistances) {
+  CoverageSpec spec;
+  const auto d = spec.AddDecision("d", 2);
+  MarginRecorder rec;
+  rec.Reset(spec);
+  EXPECT_EQ(rec.Distance(d, 0), MarginRecorder::kUnreached);
+  rec.Record(d, 0, 1, 5.0);  // margin 5 -> outcome 0 reached, outcome 1 at distance 6
+  EXPECT_EQ(rec.Distance(d, 0), 0.0);
+  EXPECT_EQ(rec.Distance(d, 1), 6.0);
+  rec.Record(d, 0, 1, -2.0);  // now outcome 1 reached; 0 at distance 2
+  EXPECT_EQ(rec.Distance(d, 1), 0.0);
+  EXPECT_EQ(rec.Distance(d, 0), 0.0);  // still 0 from earlier in the run
+  rec.ResetRun();
+  EXPECT_EQ(rec.Distance(d, 0), MarginRecorder::kUnreached);
+}
+
+}  // namespace
+}  // namespace cftcg::coverage

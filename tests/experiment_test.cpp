@@ -1,0 +1,74 @@
+// Tests of the shared experiment runner (the harness behind every bench).
+#include <gtest/gtest.h>
+
+#include "bench_models/bench_models.hpp"
+#include "cftcg/experiment.hpp"
+
+namespace cftcg {
+namespace {
+
+std::unique_ptr<CompiledModel> Compile(const std::string& name) {
+  auto model = bench_models::Build(name);
+  EXPECT_TRUE(model.ok());
+  auto cm = CompiledModel::FromModel(model.take());
+  EXPECT_TRUE(cm.ok()) << cm.message();
+  return cm.take();
+}
+
+TEST(ExperimentTest, AllToolsRunOnOneModel) {
+  auto cm = Compile("AFC");
+  fuzz::FuzzBudget budget;
+  budget.wall_seconds = 0.3;
+  budget.max_executions = 500;
+  for (Tool tool : {Tool::kSldv, Tool::kSimCoTest, Tool::kCftcg, Tool::kFuzzOnly,
+                    Tool::kCftcgNoIdc}) {
+    const auto result = RunTool(*cm, tool, budget, 1);
+    EXPECT_GT(result.executions, 0U) << ToolName(tool);
+    EXPECT_GE(result.report.outcome_covered, 0) << ToolName(tool);
+  }
+}
+
+TEST(ExperimentTest, ToolNamesAreStable) {
+  EXPECT_EQ(ToolName(Tool::kSldv), "SLDV");
+  EXPECT_EQ(ToolName(Tool::kSimCoTest), "SimCoTest");
+  EXPECT_EQ(ToolName(Tool::kCftcg), "CFTCG");
+  EXPECT_EQ(ToolName(Tool::kFuzzOnly), "FuzzOnly");
+}
+
+TEST(ExperimentTest, AveragingAveragesOverSeeds) {
+  auto cm = Compile("AFC");
+  fuzz::FuzzBudget budget;
+  budget.wall_seconds = 0.2;
+  budget.max_executions = 300;
+  const auto avg = RunAveraged(*cm, Tool::kCftcg, budget, 1, 3);
+  EXPECT_GT(avg.decision_pct, 0.0);
+  EXPECT_LE(avg.decision_pct, 100.0);
+  EXPECT_GT(avg.executions, 0.0);
+}
+
+TEST(ExperimentTest, CftcgBeatsFuzzOnlyOnConditionCoverage) {
+  // The Figure 8 shape on the paper's running example, at a small budget.
+  auto cm = Compile("SolarPV");
+  fuzz::FuzzBudget budget;
+  budget.wall_seconds = 1.0;
+  budget.max_executions = 4000;
+  const auto cftcg = RunAveraged(*cm, Tool::kCftcg, budget, 10, 3);
+  const auto fuzz_only = RunAveraged(*cm, Tool::kFuzzOnly, budget, 10, 3);
+  EXPECT_GE(cftcg.condition_pct, fuzz_only.condition_pct);
+  EXPECT_GE(cftcg.decision_pct, fuzz_only.decision_pct * 0.95);
+}
+
+TEST(ExperimentTest, CftcgIterationThroughputExceedsSimulation) {
+  // The §4 speed claim shape: compiled fuzzing executes far more model
+  // iterations than interpreter-bound SimCoTest in the same wall time.
+  auto cm = Compile("SolarPV");
+  fuzz::FuzzBudget budget;
+  budget.wall_seconds = 0.4;
+  const auto cftcg = RunTool(*cm, Tool::kCftcg, budget, 2);
+  const auto simco = RunTool(*cm, Tool::kSimCoTest, budget, 2);
+  EXPECT_GT(cftcg.model_iterations, simco.model_iterations * 3)
+      << "cftcg=" << cftcg.model_iterations << " simco=" << simco.model_iterations;
+}
+
+}  // namespace
+}  // namespace cftcg

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "coverage/html_report.hpp"
+
+namespace cftcg::coverage {
+namespace {
+
+TEST(HtmlReportTest, RendersSummaryAndPerSiteTables) {
+  CoverageSpec spec;
+  const auto d = spec.AddDecision("ctrl/Switch1", 2);
+  const auto c = spec.AddCondition("ctrl/Switch1.c0", d);
+  CoverageSink sink(spec);
+  sink.BeginIteration();
+  sink.Hit(spec.OutcomeSlot(d, 0));
+  sink.Hit(spec.ConditionTrueSlot(c));
+  sink.RecordEval(d, 1, 1, 1);
+  sink.AccumulateIteration();
+
+  const std::string html = RenderHtmlReport("demo", sink);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("Model coverage — demo"), std::string::npos);
+  EXPECT_NE(html.find("50.0%"), std::string::npos);  // decision: 1/2
+  EXPECT_NE(html.find("ctrl/Switch1"), std::string::npos);
+  // One hit cell and one miss cell for the decision outcomes.
+  EXPECT_NE(html.find("class=\"hit\""), std::string::npos);
+  EXPECT_NE(html.find("class=\"miss\""), std::string::npos);
+  // MCDC column: only one polarity seen, so no independence pair.
+  EXPECT_NE(html.find("no pair"), std::string::npos);
+}
+
+TEST(HtmlReportTest, FullCoverageShowsPair) {
+  CoverageSpec spec;
+  const auto d = spec.AddDecision("d", 2);
+  const auto c = spec.AddCondition("c", d);
+  CoverageSink sink(spec);
+  sink.BeginIteration();
+  sink.Hit(spec.OutcomeSlot(d, 0));
+  sink.Hit(spec.OutcomeSlot(d, 1));
+  sink.Hit(spec.ConditionTrueSlot(c));
+  sink.Hit(spec.ConditionFalseSlot(c));
+  sink.RecordEval(d, 1, 1, 1);
+  sink.RecordEval(d, 0, 1, 0);
+  sink.AccumulateIteration();
+  const std::string html = RenderHtmlReport("demo", sink);
+  EXPECT_NE(html.find("100.0%"), std::string::npos);
+  EXPECT_NE(html.find(">pair<"), std::string::npos);
+  EXPECT_EQ(html.find("no pair"), std::string::npos);
+}
+
+TEST(HtmlReportTest, EscapesNames) {
+  CoverageSpec spec;
+  spec.AddDecision("a<b>&c", 2);
+  CoverageSink sink(spec);
+  const std::string html = RenderHtmlReport("t<x>", sink);
+  EXPECT_NE(html.find("a&lt;b&gt;&amp;c"), std::string::npos);
+  EXPECT_EQ(html.find("<x>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cftcg::coverage

@@ -1,0 +1,89 @@
+// Interpreter-specific behaviour (shared semantics are covered by the
+// equivalence suite; this file checks the engine-ish features).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ir/builder.hpp"
+#include "sim/interpreter.hpp"
+
+namespace cftcg::sim {
+namespace {
+
+using ir::BlockKind;
+using ir::DType;
+using ir::ModelBuilder;
+using ir::Value;
+
+TEST(InterpreterTest, SignalLoggingRecordsOutputs) {
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kDouble);
+  mb.Outport("y", mb.Gain(u, 2.0));
+  auto model = mb.Build();
+  auto sm = sched::AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok());
+  Interpreter interp(sm.value(), /*log_signals=*/true);
+  for (double v : {1.0, 2.0, 3.0}) {
+    interp.SetInputs(std::vector<Value>{Value::Double(v)});
+    interp.Step(nullptr);
+  }
+  ASSERT_EQ(interp.signal_log().size(), 3U);
+  EXPECT_DOUBLE_EQ(interp.signal_log()[2][0], 6.0);
+  interp.ClearSignalLog();
+  EXPECT_TRUE(interp.signal_log().empty());
+}
+
+TEST(InterpreterTest, LoggingCanBeDisabled) {
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kDouble);
+  mb.Outport("y", u);
+  auto model = mb.Build();
+  auto sm = sched::AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok());
+  Interpreter interp(sm.value(), /*log_signals=*/false);
+  interp.SetInputs(std::vector<Value>{Value::Double(1)});
+  interp.Step(nullptr);
+  EXPECT_TRUE(interp.signal_log().empty());
+}
+
+TEST(InterpreterTest, ResetClearsState) {
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kBool);
+  ir::ParamMap p;
+  p.Set("limit", ir::ParamValue(100));
+  auto c = mb.Op(BlockKind::kCounterLimited, "c", {u}, std::move(p));
+  mb.Outport("y", c);
+  auto model = mb.Build();
+  auto sm = sched::AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok());
+  Interpreter interp(sm.value(), false);
+  interp.SetInputs(std::vector<Value>{Value::Bool(true)});
+  interp.Step(nullptr);
+  interp.Step(nullptr);
+  EXPECT_EQ(interp.GetOutput(0).AsInt64(), 2);
+  interp.Reset();
+  interp.Step(nullptr);
+  EXPECT_EQ(interp.GetOutput(0).AsInt64(), 1);
+}
+
+TEST(InterpreterTest, SetInputsFromBytesMatchesTypedSet) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kInt8);
+  auto b = mb.Inport("b", DType::kInt32);
+  mb.Outport("y", mb.Sum(a, b));
+  auto model = mb.Build();
+  auto sm = sched::AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok());
+  Interpreter interp(sm.value(), false);
+
+  std::uint8_t tuple[5];
+  tuple[0] = static_cast<std::uint8_t>(-3);
+  const std::int32_t big = 1000;
+  std::memcpy(tuple + 1, &big, 4);
+  interp.SetInputsFromBytes(tuple);
+  interp.Step(nullptr);
+  EXPECT_EQ(interp.GetOutput(0).AsInt64(), 997);
+}
+
+}  // namespace
+}  // namespace cftcg::sim

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ir/builder.hpp"
+#include "ir/dtype.hpp"
+#include "ir/model.hpp"
+#include "ir/value.hpp"
+
+namespace cftcg::ir {
+namespace {
+
+TEST(DTypeTest, Sizes) {
+  EXPECT_EQ(DTypeSize(DType::kBool), 1U);
+  EXPECT_EQ(DTypeSize(DType::kInt8), 1U);
+  EXPECT_EQ(DTypeSize(DType::kInt16), 2U);
+  EXPECT_EQ(DTypeSize(DType::kInt32), 4U);
+  EXPECT_EQ(DTypeSize(DType::kSingle), 4U);
+  EXPECT_EQ(DTypeSize(DType::kDouble), 8U);
+}
+
+TEST(DTypeTest, NamesRoundTrip) {
+  for (int i = 0; i < kNumDTypes; ++i) {
+    const auto t = static_cast<DType>(i);
+    auto back = DTypeFromName(DTypeName(t));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), t);
+  }
+  EXPECT_FALSE(DTypeFromName("float128").ok());
+}
+
+TEST(DTypeTest, WrapSemantics) {
+  EXPECT_EQ(WrapToDType(130, DType::kInt8), -126);
+  EXPECT_EQ(WrapToDType(256, DType::kUInt8), 0);
+  EXPECT_EQ(WrapToDType(-1, DType::kUInt16), 65535);
+  EXPECT_EQ(WrapToDType(1LL << 32, DType::kInt32), 0);
+  EXPECT_EQ(WrapToDType(5, DType::kBool), 1);
+}
+
+TEST(DTypeTest, Promotion) {
+  EXPECT_EQ(PromoteDTypes(DType::kInt8, DType::kDouble), DType::kDouble);
+  EXPECT_EQ(PromoteDTypes(DType::kInt8, DType::kInt32), DType::kInt32);
+  EXPECT_EQ(PromoteDTypes(DType::kInt8, DType::kUInt8), DType::kInt16);
+  EXPECT_EQ(PromoteDTypes(DType::kBool, DType::kInt16), DType::kInt16);
+  EXPECT_EQ(PromoteDTypes(DType::kSingle, DType::kInt32), DType::kSingle);
+}
+
+TEST(ValueTest, IntWrapsOnConstruction) {
+  EXPECT_EQ(Value::Int(DType::kInt8, 200).AsInt64(), -56);
+  EXPECT_EQ(Value::Int(DType::kUInt8, -1).AsInt64(), 255);
+}
+
+TEST(ValueTest, SingleRoundsThroughFloat) {
+  const Value v = Value::Real(DType::kSingle, 0.1);
+  EXPECT_EQ(v.AsDouble(), static_cast<double>(0.1F));
+}
+
+TEST(ValueTest, BytesRoundTripAllTypes) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < kNumDTypes; ++i) {
+    const auto t = static_cast<DType>(i);
+    Value v = DTypeIsFloat(t) ? Value::Real(t, -3.5) : Value::Int(t, 42);
+    v.ToBytes(buf);
+    EXPECT_EQ(Value::FromBytes(t, buf), v) << DTypeName(t);
+  }
+}
+
+TEST(ValueTest, FromBytesSanitizesNonFinite) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::uint8_t buf[8];
+  std::memcpy(buf, &inf, 8);
+  EXPECT_EQ(Value::FromBytes(DType::kDouble, buf).AsDouble(), 0.0);
+}
+
+TEST(ValueTest, CastSemantics) {
+  EXPECT_EQ(Value::Double(2.9).CastTo(DType::kInt32).AsInt64(), 2);
+  EXPECT_EQ(Value::Double(-2.9).CastTo(DType::kInt32).AsInt64(), -2);
+  EXPECT_EQ(Value::Int(DType::kInt32, 300).CastTo(DType::kUInt8).AsInt64(), 44);
+  EXPECT_TRUE(Value::Double(0.5).CastTo(DType::kBool).AsBool());
+}
+
+TEST(ModelTest, AddBlockAssignsIds) {
+  // Note: AddBlock can reallocate the block vector, so ids are captured
+  // immediately instead of holding references across calls.
+  Model m("t");
+  const BlockId a = m.AddBlock(BlockKind::kConstant, "a").id();
+  const BlockId b = m.AddBlock(BlockKind::kGain, "b").id();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(m.FindBlock("b")->kind(), BlockKind::kGain);
+  EXPECT_EQ(m.FindBlock("zzz"), nullptr);
+}
+
+TEST(ModelTest, DriverOf) {
+  Model m("t");
+  auto& c = m.AddBlock(BlockKind::kConstant, "c");
+  auto& g = m.AddBlock(BlockKind::kGain, "g");
+  m.AddWire(PortRef{c.id(), 0}, g.id(), 0);
+  const Wire* w = m.DriverOf(g.id(), 0);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->src.block, c.id());
+  EXPECT_EQ(m.DriverOf(g.id(), 1), nullptr);
+}
+
+TEST(ModelTest, InportsSortedByPortIndex) {
+  ModelBuilder mb("t");
+  mb.Inport("a", DType::kInt8);
+  mb.Inport("b", DType::kInt32);
+  auto model = mb.Build();
+  const auto inports = model->Inports();
+  ASSERT_EQ(inports.size(), 2U);
+  EXPECT_EQ(model->block(inports[0]).name(), "a");
+  EXPECT_EQ(model->block(inports[1]).name(), "b");
+}
+
+TEST(ModelTest, CloneIsDeep) {
+  ModelBuilder mb("outer");
+  auto u = mb.Inport("u", DType::kDouble);
+  std::vector<std::unique_ptr<Model>> subs;
+  {
+    ModelBuilder sub("inner");
+    auto x = sub.Inport("x", DType::kDouble);
+    sub.Outport("y", sub.Gain(x, 2.0));
+    subs.push_back(sub.Build());
+  }
+  mb.AddCompound(BlockKind::kSubsystem, "s", {u}, std::move(subs));
+  auto model = mb.Build();
+
+  auto clone = model->Clone();
+  EXPECT_EQ(clone->TotalBlockCount(), model->TotalBlockCount());
+  // Deep: sub-model pointers differ.
+  const Block* orig_sub = model->FindBlock("s");
+  const Block* clone_sub = clone->FindBlock("s");
+  ASSERT_NE(orig_sub, nullptr);
+  ASSERT_NE(clone_sub, nullptr);
+  EXPECT_NE(orig_sub->subs()[0].get(), clone_sub->subs()[0].get());
+}
+
+TEST(ModelTest, TotalBlockCountIncludesSubs) {
+  ModelBuilder mb("outer");
+  auto u = mb.Inport("u", DType::kDouble);
+  std::vector<std::unique_ptr<Model>> subs;
+  {
+    ModelBuilder sub("inner");
+    auto x = sub.Inport("x", DType::kDouble);
+    sub.Outport("y", sub.Gain(x, 2.0));
+    subs.push_back(sub.Build());  // 3 blocks
+  }
+  mb.AddCompound(BlockKind::kSubsystem, "s", {u}, std::move(subs));
+  auto model = mb.Build();
+  EXPECT_EQ(model->TotalBlockCount(), 2U + 3U);  // inport + compound + inner 3
+}
+
+TEST(ParamTest, TypedAccessors) {
+  ParamMap p;
+  p.Set("g", ParamValue(2.5));
+  p.Set("n", ParamValue(7));
+  p.Set("s", ParamValue("hello"));
+  p.Set("xs", ParamValue(std::vector<double>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(p.GetDouble("g"), 2.5);
+  EXPECT_EQ(p.GetInt("n"), 7);
+  EXPECT_EQ(p.GetString("s"), "hello");
+  EXPECT_EQ(p.GetList("xs").size(), 3U);
+  EXPECT_EQ(p.GetInt("missing", -1), -1);
+}
+
+TEST(ParamTest, SerializeParseRoundTrip) {
+  const ParamValue values[] = {ParamValue(2.5), ParamValue(7), ParamValue("txt"),
+                               ParamValue(std::vector<double>{1.5, -2, 1e9})};
+  for (const auto& v : values) {
+    const ParamValue back = ParamValue::Parse(v.SerializedKind(), v.Serialize());
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(BlockKindTest, NamesRoundTrip) {
+  for (int i = 0; i < kNumBlockKinds; ++i) {
+    const auto k = static_cast<BlockKind>(i);
+    auto back = BlockKindFromName(BlockKindName(k));
+    ASSERT_TRUE(back.ok()) << BlockKindName(k);
+    EXPECT_EQ(back.value(), k);
+  }
+  EXPECT_FALSE(BlockKindFromName("Flux").ok());
+}
+
+TEST(BlockKindTest, AtLeastFiftyKinds) {
+  // The paper: "block templates for over fifty commonly used blocks".
+  EXPECT_GE(kNumBlockKinds, 50);
+}
+
+}  // namespace
+}  // namespace cftcg::ir

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "blocks/mex.hpp"
+
+namespace cftcg::blocks::mex {
+namespace {
+
+TEST(MexParseTest, SimpleAssignment) {
+  auto prog = ParseProgram("y = x + 1;");
+  ASSERT_TRUE(prog.ok()) << prog.message();
+  ASSERT_EQ(prog.value().stmts.size(), 1U);
+  EXPECT_EQ(prog.value().stmts[0]->kind, StmtKind::kAssign);
+  EXPECT_EQ(prog.value().stmts[0]->target, "y");
+}
+
+TEST(MexParseTest, Precedence) {
+  auto g = ParseExpr("a + b * c");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ExprToString(*g.value().expr), "(a + (b * c))");
+
+  g = ParseExpr("a < b && c >= d || e");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ExprToString(*g.value().expr), "(((a < b) && (c >= d)) || e)");
+}
+
+TEST(MexParseTest, UnaryAndParens) {
+  auto g = ParseExpr("-(a + b) * !c");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ExprToString(*g.value().expr), "((-(a + b)) * (!c))");
+}
+
+TEST(MexParseTest, MatlabSpellings) {
+  auto g = ParseExpr("a ~= b");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ExprToString(*g.value().expr), "(a != b)");
+  auto prog = ParseProgram("% comment line\ny = 1; // c comment\n");
+  ASSERT_TRUE(prog.ok()) << prog.message();
+}
+
+TEST(MexParseTest, IfElseifElse) {
+  auto prog = ParseProgram("if (a > 0) { y = 1; } elseif (a < 0) { y = 2; } else { y = 3; }");
+  ASSERT_TRUE(prog.ok()) << prog.message();
+  const Stmt& s = *prog.value().stmts[0];
+  ASSERT_EQ(s.kind, StmtKind::kIf);
+  ASSERT_EQ(s.branches.size(), 3U);
+  EXPECT_NE(s.branches[0].cond, nullptr);
+  EXPECT_NE(s.branches[1].cond, nullptr);
+  EXPECT_EQ(s.branches[2].cond, nullptr);
+}
+
+TEST(MexParseTest, ElseIfWithSpace) {
+  auto prog = ParseProgram("if (a > 0) { y = 1; } else if (a < 0) { y = 2; }");
+  ASSERT_TRUE(prog.ok()) << prog.message();
+  EXPECT_EQ(prog.value().stmts[0]->branches.size(), 2U);
+}
+
+TEST(MexParseTest, NestedIf) {
+  auto prog = ParseProgram("if (a > 0) { if (b > 0) { y = 1; } }");
+  ASSERT_TRUE(prog.ok()) << prog.message();
+  const Stmt& outer = *prog.value().stmts[0];
+  ASSERT_EQ(outer.branches[0].body.size(), 1U);
+  EXPECT_EQ(outer.branches[0].body[0]->kind, StmtKind::kIf);
+}
+
+TEST(MexParseTest, CallsValidated) {
+  EXPECT_TRUE(ParseExpr("min(a, max(b, 0))").ok());
+  EXPECT_FALSE(ParseExpr("min(a)").ok());        // wrong arity
+  EXPECT_FALSE(ParseExpr("frobnicate(a)").ok()); // unknown function
+}
+
+TEST(MexParseTest, TrueFalseLiterals) {
+  auto g = ParseExpr("true && false");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ExprToString(*g.value().expr), "(1 && 0)");
+}
+
+TEST(MexParseTest, Errors) {
+  EXPECT_FALSE(ParseProgram("y = ;").ok());
+  EXPECT_FALSE(ParseProgram("y = 1").ok());          // missing semicolon
+  EXPECT_FALSE(ParseProgram("if a { y = 1; }").ok()); // missing parens
+  EXPECT_FALSE(ParseProgram("if (a) { y = 1;").ok()); // unterminated block
+  EXPECT_FALSE(ParseExpr("a +").ok());
+  EXPECT_FALSE(ParseExpr("a b").ok());               // trailing tokens
+}
+
+TEST(MexParseTest, NodeIdsAreDense) {
+  auto prog = ParseProgram("if (a > 0 && b < 2) { y = a + b; }");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_GT(prog.value().num_nodes, 5);
+}
+
+TEST(MexConditionTest, LeavesOfLogicalTree) {
+  auto g = ParseExpr("a > 0 && (b < 2 || !c)");
+  ASSERT_TRUE(g.ok());
+  std::vector<const Expr*> leaves;
+  CollectConditionLeaves(*g.value().expr, leaves);
+  ASSERT_EQ(leaves.size(), 3U);
+  EXPECT_EQ(ExprToString(*leaves[0]), "(a > 0)");
+  EXPECT_EQ(ExprToString(*leaves[1]), "(b < 2)");
+  EXPECT_EQ(ExprToString(*leaves[2]), "c");
+}
+
+TEST(MexConditionTest, SingleLeaf) {
+  auto g = ParseExpr("x >= y");
+  ASSERT_TRUE(g.ok());
+  std::vector<const Expr*> leaves;
+  CollectConditionLeaves(*g.value().expr, leaves);
+  EXPECT_EQ(leaves.size(), 1U);
+}
+
+TEST(MexReadsWritesTest, Collect) {
+  auto prog = ParseProgram("if (a > 0) { y = b + c; } else { z = d; }");
+  ASSERT_TRUE(prog.ok());
+  std::vector<std::string> reads;
+  std::vector<std::string> writes;
+  CollectReads(prog.value(), reads);
+  CollectWrites(prog.value(), writes);
+  EXPECT_EQ(reads, (std::vector<std::string>{"a", "b", "c", "d"}));
+  EXPECT_EQ(writes, (std::vector<std::string>{"y", "z"}));
+}
+
+}  // namespace
+}  // namespace cftcg::blocks::mex

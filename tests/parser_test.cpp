@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "bench_models/bench_models.hpp"
+#include "blocks/analyze.hpp"
+#include "ir/builder.hpp"
+#include "parser/model_io.hpp"
+
+namespace cftcg::parser {
+namespace {
+
+using ir::BlockKind;
+using ir::DType;
+using ir::ModelBuilder;
+
+TEST(ParserTest, LoadsMinimalModel) {
+  const char* kXml = R"(<model name="mini">
+    <block kind="Inport" name="u">
+      <param name="port" kind="int">0</param>
+      <param name="type" kind="str">int32</param>
+    </block>
+    <block kind="Outport" name="y"><param name="port" kind="int">0</param></block>
+    <wire from="u:0" to="y:0"/>
+  </model>)";
+  auto model = LoadModel(kXml);
+  ASSERT_TRUE(model.ok()) << model.message();
+  EXPECT_EQ(model.value()->name(), "mini");
+  EXPECT_EQ(model.value()->blocks().size(), 2U);
+  EXPECT_EQ(model.value()->wires().size(), 1U);
+}
+
+TEST(ParserTest, RejectsUnknownKind) {
+  EXPECT_FALSE(LoadModel("<model name=\"m\"><block kind=\"Warp\" name=\"w\"/></model>").ok());
+}
+
+TEST(ParserTest, RejectsDuplicateNames) {
+  const char* kXml = R"(<model name="m">
+    <block kind="Constant" name="c"/><block kind="Constant" name="c"/>
+  </model>)";
+  EXPECT_FALSE(LoadModel(kXml).ok());
+}
+
+TEST(ParserTest, RejectsWireToUnknownBlock) {
+  const char* kXml = R"(<model name="m">
+    <block kind="Constant" name="c"/>
+    <wire from="c:0" to="ghost:0"/>
+  </model>)";
+  EXPECT_FALSE(LoadModel(kXml).ok());
+}
+
+TEST(ParserTest, RejectsBadPortReference) {
+  const char* kXml = R"(<model name="m">
+    <block kind="Constant" name="c"/>
+    <block kind="Outport" name="y"><param name="port" kind="int">0</param></block>
+    <wire from="c:zz" to="y:0"/>
+  </model>)";
+  EXPECT_FALSE(LoadModel(kXml).ok());
+}
+
+TEST(ParserTest, ChartRoundTrip) {
+  ModelBuilder mb("cm");
+  auto u = mb.Inport("u", DType::kDouble);
+  ir::ChartDef def;
+  def.inputs = {"x"};
+  def.outputs = {ir::ChartOutput{"y", DType::kInt32, 2.0}};
+  def.vars = {ir::ChartVar{"n", 1.5}};
+  def.states = {ir::ChartState{"A", "y = 1;", "n = n + 1;", "y = 0;"},
+                ir::ChartState{"B", "", "", ""}};
+  def.transitions = {ir::ChartTransition{0, 1, "x > 3 && n < 10", "n = 0;"},
+                     ir::ChartTransition{1, 0, "x <= 0", ""}};
+  def.initial_state = 1;
+  mb.AddChart("fsm", {u}, def);
+  auto model = mb.Build();
+
+  const std::string xml = SaveModel(*model);
+  auto back = LoadModel(xml);
+  ASSERT_TRUE(back.ok()) << back.message();
+  const ir::Block* chart = back.value()->FindBlock("fsm");
+  ASSERT_NE(chart, nullptr);
+  ASSERT_TRUE(chart->chart().has_value());
+  EXPECT_EQ(*chart->chart(), def);
+}
+
+TEST(ParserTest, CompoundSubModelsRoundTrip) {
+  ModelBuilder mb("outer");
+  auto u = mb.Inport("u", DType::kDouble);
+  auto cond = mb.Relational("gt", u, mb.Constant(0.0), "cond");
+  std::vector<std::unique_ptr<ir::Model>> subs;
+  for (const char* nm : {"then", "else"}) {
+    ModelBuilder s(nm);
+    auto x = s.Inport("x", DType::kDouble);
+    s.Outport("y", s.Gain(x, nm[0] == 't' ? 2.0 : 3.0));
+    subs.push_back(s.Build());
+  }
+  mb.AddCompound(BlockKind::kActionIf, "sel", {cond, u}, std::move(subs));
+  mb.Outport("out", ModelBuilder::Out(3, 0));
+  auto model = mb.Build();
+
+  const std::string xml = SaveModel(*model);
+  auto back = LoadModel(xml);
+  ASSERT_TRUE(back.ok()) << back.message();
+  const ir::Block* sel = back.value()->FindBlock("sel");
+  ASSERT_NE(sel, nullptr);
+  ASSERT_EQ(sel->subs().size(), 2U);
+  EXPECT_EQ(sel->subs()[0]->name(), "then");
+  // The round-tripped model must still analyze.
+  EXPECT_TRUE(blocks::AnalyzeModel(*back.value()).ok());
+}
+
+class BenchRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchRoundTripTest, SaveLoadSaveIsStable) {
+  auto model = bench_models::Build(GetParam());
+  ASSERT_TRUE(model.ok());
+  const std::string xml1 = SaveModel(*model.value());
+  auto back = LoadModel(xml1);
+  ASSERT_TRUE(back.ok()) << GetParam() << ": " << back.message();
+  const std::string xml2 = SaveModel(*back.value());
+  EXPECT_EQ(xml1, xml2) << GetParam();
+  // Loaded model must analyze cleanly.
+  EXPECT_TRUE(blocks::AnalyzeModel(*back.value()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, BenchRoundTripTest,
+                         ::testing::Values("CPUTask", "AFC", "TCP", "RAC", "EVCS", "TWC", "UTPC",
+                                           "SolarPV"));
+
+TEST(ParserTest, FileIo) {
+  ModelBuilder mb("f");
+  auto u = mb.Inport("u", DType::kDouble);
+  mb.Outport("y", u);
+  auto model = mb.Build();
+  const std::string path = ::testing::TempDir() + "/cftcg_parser_test.cmx";
+  ASSERT_TRUE(SaveModelFile(*model, path).ok());
+  auto back = LoadModelFile(path);
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value()->name(), "f");
+  EXPECT_FALSE(LoadModelFile("/nonexistent/nope.cmx").ok());
+}
+
+}  // namespace
+}  // namespace cftcg::parser

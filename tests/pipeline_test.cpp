@@ -1,0 +1,135 @@
+// End-to-end pipeline tests: model -> analyze -> schedule -> lower -> run.
+#include <gtest/gtest.h>
+
+#include "bench_models/bench_models.hpp"
+#include "cftcg/pipeline.hpp"
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace cftcg {
+namespace {
+
+using ir::BlockKind;
+using ir::DType;
+using ir::ModelBuilder;
+
+std::unique_ptr<ir::Model> TinyModel() {
+  ModelBuilder mb("tiny");
+  auto u = mb.Inport("u", DType::kInt32);
+  auto k = mb.Constant(10, DType::kInt32);
+  auto bigger = mb.Relational("gt", u, k, "bigger");
+  auto out = mb.Switch(mb.Constant(1.0), bigger, mb.Constant(0.0), 0.5, "sel");
+  mb.Outport("y", out);
+  return mb.Build();
+}
+
+TEST(PipelineTest, CompilesTinyModel) {
+  auto cm = CompiledModel::FromModel(TinyModel());
+  ASSERT_TRUE(cm.ok()) << cm.message();
+  EXPECT_GT(cm.value()->NumBranches(), 0);
+  EXPECT_EQ(cm.value()->instrumented().input_types.size(), 1U);
+  EXPECT_EQ(cm.value()->instrumented().TupleSize(), 4U);
+}
+
+TEST(PipelineTest, TinyModelExecutesBothBranches) {
+  auto cm = CompiledModel::FromModel(TinyModel());
+  ASSERT_TRUE(cm.ok()) << cm.message();
+  vm::Machine machine(cm.value()->instrumented());
+  coverage::CoverageSink sink(cm.value()->spec());
+
+  std::int32_t big = 100;
+  machine.SetInputsFromBytes(reinterpret_cast<const std::uint8_t*>(&big));
+  sink.BeginIteration();
+  machine.Step(&sink);
+  sink.AccumulateIteration();
+  EXPECT_DOUBLE_EQ(machine.GetOutput(0).AsDouble(), 1.0);
+
+  std::int32_t small = -5;
+  machine.SetInputsFromBytes(reinterpret_cast<const std::uint8_t*>(&small));
+  sink.BeginIteration();
+  machine.Step(&sink);
+  sink.AccumulateIteration();
+  EXPECT_DOUBLE_EQ(machine.GetOutput(0).AsDouble(), 0.0);
+
+  const auto report = coverage::ComputeReport(sink);
+  EXPECT_EQ(report.outcome_covered, report.outcome_total);
+}
+
+TEST(PipelineTest, AllBenchmarkModelsCompile) {
+  for (const auto& info : bench_models::Roster()) {
+    auto model = bench_models::Build(info.name);
+    ASSERT_TRUE(model.ok()) << info.name << ": " << model.message();
+    auto cm = CompiledModel::FromModel(model.take());
+    ASSERT_TRUE(cm.ok()) << info.name << ": " << cm.message();
+    EXPECT_GT(cm.value()->NumBranches(), 10) << info.name;
+    EXPECT_GT(cm.value()->NumBlocks(), 20U) << info.name;
+  }
+}
+
+TEST(PipelineTest, AllBenchmarkModelsRunRandomInputs) {
+  Rng rng(42);
+  for (const auto& info : bench_models::Roster()) {
+    auto model = bench_models::Build(info.name);
+    ASSERT_TRUE(model.ok());
+    auto cm = CompiledModel::FromModel(model.take());
+    ASSERT_TRUE(cm.ok()) << info.name << ": " << cm.message();
+    vm::Machine machine(cm.value()->instrumented());
+    coverage::CoverageSink sink(cm.value()->spec());
+    const std::size_t tuple = cm.value()->instrumented().TupleSize();
+    std::vector<std::uint8_t> buf(tuple);
+    for (int step = 0; step < 200; ++step) {
+      rng.FillBytes(buf.data(), buf.size());
+      sink.BeginIteration();
+      machine.SetInputsFromBytes(buf.data());
+      machine.Step(&sink);
+      sink.AccumulateIteration();
+    }
+    // Random execution must reach at least some decisions in every model.
+    const auto report = coverage::ComputeReport(sink);
+    EXPECT_GT(report.outcome_covered, 0) << info.name;
+  }
+}
+
+TEST(PipelineTest, FuzzOnlyProgramHasEdgesAndNoModelCoverage) {
+  auto model = bench_models::Build("SolarPV");
+  ASSERT_TRUE(model.ok());
+  auto cm = CompiledModel::FromModel(model.take());
+  ASSERT_TRUE(cm.ok());
+  const vm::Program& fo = cm.value()->fuzz_only();
+  EXPECT_GT(fo.num_edges, 0);
+  // No model-coverage instructions in the fuzz-only program.
+  for (const auto& insn : fo.code) {
+    EXPECT_NE(insn.op, vm::Op::kCov);
+    EXPECT_NE(insn.op, vm::Op::kMcdcEval);
+  }
+  // And the instrumented program has no edges but does have kCov.
+  bool has_cov = false;
+  for (const auto& insn : cm.value()->instrumented().code) {
+    EXPECT_NE(insn.op, vm::Op::kEdge);
+    has_cov |= insn.op == vm::Op::kCov;
+  }
+  EXPECT_TRUE(has_cov);
+}
+
+TEST(PipelineTest, FromXmlRoundTrip) {
+  const char* kXml = R"(<model name="m">
+    <block kind="Inport" name="u">
+      <param name="port" kind="int">0</param>
+      <param name="type" kind="str">double</param>
+    </block>
+    <block kind="Gain" name="g"><param name="gain" kind="real">2.5</param></block>
+    <block kind="Outport" name="y"><param name="port" kind="int">0</param></block>
+    <wire from="u:0" to="g:0"/>
+    <wire from="g:0" to="y:0"/>
+  </model>)";
+  auto cm = CompiledModel::FromXml(kXml);
+  ASSERT_TRUE(cm.ok()) << cm.message();
+  vm::Machine machine(cm.value()->instrumented());
+  double in = 4.0;
+  machine.SetInputsFromBytes(reinterpret_cast<const std::uint8_t*>(&in));
+  machine.Step(nullptr);
+  EXPECT_DOUBLE_EQ(machine.GetOutput(0).AsDouble(), 10.0);
+}
+
+}  // namespace
+}  // namespace cftcg

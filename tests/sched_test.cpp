@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "sched/schedule.hpp"
+
+namespace cftcg::sched {
+namespace {
+
+using ir::BlockKind;
+using ir::DType;
+using ir::ModelBuilder;
+using ir::ParamMap;
+using ir::ParamValue;
+
+ParamMap P(std::initializer_list<std::pair<const char*, ParamValue>> kv) {
+  ParamMap p;
+  for (const auto& [k, v] : kv) p.Set(k, v);
+  return p;
+}
+
+TEST(SchedTest, TopologicalOrderRespectsDataflow) {
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kDouble);
+  auto g = mb.Gain(u, 2.0, "g");
+  auto s = mb.Sum(g, u, "s");
+  mb.Outport("y", s);
+  auto model = mb.Build();
+  auto sm = AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok()) << sm.message();
+  const auto& order = sm.value().OrderOf(model.get());
+  auto pos = [&](const char* name) {
+    const ir::Block* b = model->FindBlock(name);
+    return std::find(order.begin(), order.end(), b->id()) - order.begin();
+  };
+  EXPECT_LT(pos("u"), pos("g"));
+  EXPECT_LT(pos("g"), pos("s"));
+  EXPECT_LT(pos("s"), pos("y"));
+}
+
+TEST(SchedTest, DelayBreaksCycleInOrder) {
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kDouble);
+  const auto sum = mb.AddBlock(BlockKind::kSum, "s", {u});
+  auto d = mb.UnitDelay(ModelBuilder::Out(sum), 0.0, "d");
+  mb.Connect(d, sum, 1);
+  mb.Outport("y", ModelBuilder::Out(sum));
+  auto model = mb.Build();
+  auto sm = AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok()) << sm.message();
+  // The delay's *output* is available before the sum runs.
+  const auto& order = sm.value().OrderOf(model.get());
+  auto pos = [&](const char* name) {
+    const ir::Block* b = model->FindBlock(name);
+    return std::find(order.begin(), order.end(), b->id()) - order.begin();
+  };
+  EXPECT_LT(pos("d"), pos("s"));
+}
+
+TEST(SchedTest, SwitchRegistersTwoOutcomeDecision) {
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kDouble);
+  auto sw = mb.Switch(mb.Constant(1.0), u, mb.Constant(0.0), 0.0, "sw");
+  mb.Outport("y", sw);
+  auto model = mb.Build();
+  auto sm = AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok());
+  ASSERT_EQ(sm.value().spec.decisions().size(), 1U);
+  EXPECT_EQ(sm.value().spec.decisions()[0].num_outcomes, 2);
+  EXPECT_EQ(sm.value().NumBranchOutcomes(), 2);
+}
+
+TEST(SchedTest, LogicalBlockRegistersDecisionPlusConditions) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kBool);
+  auto b = mb.Inport("b", DType::kBool);
+  auto c = mb.Inport("c", DType::kBool);
+  auto land = mb.And({a, b, c}, "land");
+  mb.Outport("y", land);
+  auto model = mb.Build();
+  auto sm = AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok());
+  ASSERT_EQ(sm.value().spec.decisions().size(), 1U);
+  EXPECT_EQ(sm.value().spec.conditions().size(), 3U);
+  EXPECT_EQ(sm.value().spec.decisions()[0].conditions.size(), 3U);
+  // Fuzz branch space: 2 outcomes + 2 polarities x 3 conditions.
+  EXPECT_EQ(sm.value().spec.FuzzBranchCount(), 2 + 6);
+}
+
+TEST(SchedTest, RelationalRegistersUnattachedCondition) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  auto r = mb.Relational("lt", a, mb.Constant(0.0), "r");
+  mb.Outport("y", r);
+  auto model = mb.Build();
+  auto sm = AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok());
+  EXPECT_EQ(sm.value().spec.decisions().size(), 0U);
+  ASSERT_EQ(sm.value().spec.conditions().size(), 1U);
+  EXPECT_EQ(sm.value().spec.conditions()[0].decision, -1);
+}
+
+TEST(SchedTest, ChartTransitionsAreDecisions) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  ir::ChartDef def;
+  def.inputs = {"x"};
+  def.outputs = {ir::ChartOutput{"y", DType::kDouble, 0.0}};
+  def.states = {ir::ChartState{"S0", "", "", ""}, ir::ChartState{"S1", "", "", ""}};
+  def.transitions = {ir::ChartTransition{0, 1, "x > 0 && x < 10", ""},
+                     ir::ChartTransition{1, 0, "x <= 0", ""}};
+  mb.AddChart("c", {a}, def);
+  auto model = mb.Build();
+  auto sm = AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok());
+  EXPECT_EQ(sm.value().spec.decisions().size(), 2U);
+  // First guard has 2 condition leaves, second 1.
+  EXPECT_EQ(sm.value().spec.conditions().size(), 3U);
+}
+
+TEST(SchedTest, ExprFuncIfArmsAreDecisions) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kDouble);
+  auto f = mb.Op(BlockKind::kExprFunc, "f", {a},
+                 P({{"in", ParamValue(1)},
+                    {"out", ParamValue(1)},
+                    {"body", ParamValue("if (u1 > 1) { y1 = 1; } elseif (u1 > 0) { y1 = 2; } "
+                                        "else { y1 = 3; }")}}));
+  mb.Outport("y", f);
+  auto model = mb.Build();
+  auto sm = AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok());
+  // if + elseif arms are separate 2-way decisions.
+  EXPECT_EQ(sm.value().spec.decisions().size(), 2U);
+  EXPECT_EQ(sm.value().spec.conditions().size(), 2U);
+}
+
+TEST(SchedTest, InportTypesAndTupleSize) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kInt8);
+  auto b = mb.Inport("b", DType::kInt32);
+  auto c = mb.Inport("c", DType::kInt32);
+  auto s = mb.Sum(mb.Sum(a, b), c);
+  mb.Outport("y", s);
+  auto model = mb.Build();
+  auto sm = AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok());
+  // The Figure 3 example: int8 + int32 + int32 = 9 bytes per iteration.
+  EXPECT_EQ(sm.value().TupleSize(), 9U);
+  EXPECT_EQ(sm.value().InportTypes(),
+            (std::vector<DType>{DType::kInt8, DType::kInt32, DType::kInt32}));
+}
+
+TEST(SchedTest, DecisionNamesCarryHierarchy) {
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kDouble);
+  auto cond = mb.Relational("gt", u, mb.Constant(0.0), "cond");
+  std::vector<std::unique_ptr<ir::Model>> subs;
+  for (const char* nm : {"then", "else"}) {
+    ModelBuilder s(nm);
+    auto x = s.Inport("x", DType::kDouble);
+    s.Outport("y", s.Saturation(x, 0, 1, "inner_sat"));
+    subs.push_back(s.Build());
+  }
+  mb.AddCompound(BlockKind::kActionIf, "branchy", {cond, u}, std::move(subs));
+  auto model = mb.Build();
+  auto sm = AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok());
+  bool found_nested = false;
+  for (const auto& d : sm.value().spec.decisions()) {
+    if (d.name.find("branchy") != std::string::npos &&
+        d.name.find("inner_sat") != std::string::npos) {
+      found_nested = true;
+    }
+  }
+  EXPECT_TRUE(found_nested);
+}
+
+TEST(SchedTest, DeterministicAcrossRuns) {
+  auto build = [] {
+    ModelBuilder mb("m");
+    auto a = mb.Inport("a", DType::kDouble);
+    auto s1 = mb.Saturation(a, 0, 1, "s1");
+    auto s2 = mb.Saturation(a, 2, 3, "s2");
+    mb.Outport("y", mb.Sum(s1, s2));
+    return mb.Build();
+  };
+  auto m1 = build();
+  auto m2 = build();
+  auto sm1 = AnalyzeAndSchedule(*m1);
+  auto sm2 = AnalyzeAndSchedule(*m2);
+  ASSERT_TRUE(sm1.ok());
+  ASSERT_TRUE(sm2.ok());
+  ASSERT_EQ(sm1.value().spec.decisions().size(), sm2.value().spec.decisions().size());
+  for (std::size_t i = 0; i < sm1.value().spec.decisions().size(); ++i) {
+    EXPECT_EQ(sm1.value().spec.decisions()[i].name, sm2.value().spec.decisions()[i].name);
+  }
+}
+
+}  // namespace
+}  // namespace cftcg::sched

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "cftcg/pipeline.hpp"
+#include "ir/builder.hpp"
+#include "simcotest/simcotest.hpp"
+
+namespace cftcg::simcotest {
+namespace {
+
+using ir::DType;
+using ir::ModelBuilder;
+
+TEST(SignalProfileTest, Shapes) {
+  Rng rng(1);
+  SignalProfile constant{SignalShape::kConstant, 5.0, 9.0, 3, 1};
+  EXPECT_EQ(constant.At(0, rng), 5.0);
+  EXPECT_EQ(constant.At(10, rng), 5.0);
+
+  SignalProfile step{SignalShape::kStep, 1.0, 7.0, 3, 1};
+  EXPECT_EQ(step.At(2, rng), 1.0);
+  EXPECT_EQ(step.At(3, rng), 7.0);
+
+  SignalProfile ramp{SignalShape::kRamp, 0.0, 10.0, 10, 1};
+  EXPECT_EQ(ramp.At(0, rng), 0.0);
+  EXPECT_EQ(ramp.At(5, rng), 5.0);
+  EXPECT_EQ(ramp.At(10, rng), 10.0);
+  EXPECT_EQ(ramp.At(20, rng), 10.0);
+
+  SignalProfile pulse{SignalShape::kPulse, 0.0, 9.0, 4, 2};
+  EXPECT_EQ(pulse.At(3, rng), 0.0);
+  EXPECT_EQ(pulse.At(4, rng), 9.0);
+  EXPECT_EQ(pulse.At(5, rng), 9.0);
+  EXPECT_EQ(pulse.At(6, rng), 0.0);
+
+  SignalProfile spike{SignalShape::kSpike, 1.0, 42.0, 2, 1};
+  EXPECT_EQ(spike.At(1, rng), 1.0);
+  EXPECT_EQ(spike.At(2, rng), 42.0);
+  EXPECT_EQ(spike.At(3, rng), 1.0);
+}
+
+TEST(SimCoTestTest, RunsAndCoversSimpleModel) {
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kDouble);
+  mb.Outport("y", mb.Saturation(u, -10.0, 10.0, "sat"));
+  auto model = mb.Build();
+  auto sm = sched::AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok());
+  SimCoTestOptions options;
+  options.seed = 1;
+  options.horizon = 20;
+  SimCoTest tool(sm.value(), options);
+  fuzz::FuzzBudget budget;
+  budget.wall_seconds = 2.0;
+  budget.max_executions = 200;
+  const auto result = tool.Run(budget);
+  EXPECT_GT(result.executions, 0U);
+  EXPECT_EQ(result.model_iterations, result.executions * 20U);
+  EXPECT_EQ(result.report.outcome_covered, result.report.outcome_total);
+}
+
+TEST(SimCoTestTest, TestCasesAreWholeTuples) {
+  ModelBuilder mb("m");
+  auto a = mb.Inport("a", DType::kInt8);
+  auto b = mb.Inport("b", DType::kInt32);
+  mb.Outport("y", mb.Switch(a, b, mb.Constant(0.0), 10.0, "sw"));
+  auto model = mb.Build();
+  auto sm = sched::AnalyzeAndSchedule(*model);
+  ASSERT_TRUE(sm.ok());
+  SimCoTestOptions options;
+  options.horizon = 15;
+  SimCoTest tool(sm.value(), options);
+  fuzz::FuzzBudget budget;
+  budget.wall_seconds = 1.0;
+  budget.max_executions = 100;
+  const auto result = tool.Run(budget);
+  for (const auto& tc : result.test_cases) {
+    EXPECT_EQ(tc.data.size(), 15U * 5U);  // horizon x (int8+int32)
+  }
+}
+
+TEST(SimCoTestTest, DeterministicGivenSeed) {
+  auto build = [] {
+    ModelBuilder mb("m");
+    auto u = mb.Inport("u", DType::kDouble);
+    mb.Outport("y", mb.Saturation(u, -1.0, 1.0, "s"));
+    return mb.Build();
+  };
+  auto m1 = build();
+  auto m2 = build();
+  auto sm1 = sched::AnalyzeAndSchedule(*m1);
+  auto sm2 = sched::AnalyzeAndSchedule(*m2);
+  ASSERT_TRUE(sm1.ok());
+  ASSERT_TRUE(sm2.ok());
+  SimCoTestOptions options;
+  options.seed = 5;
+  fuzz::FuzzBudget budget;
+  budget.wall_seconds = 30.0;
+  budget.max_executions = 50;
+  SimCoTest t1(sm1.value(), options);
+  SimCoTest t2(sm2.value(), options);
+  const auto r1 = t1.Run(budget);
+  const auto r2 = t2.Run(budget);
+  EXPECT_EQ(r1.report.outcome_covered, r2.report.outcome_covered);
+  ASSERT_EQ(r1.test_cases.size(), r2.test_cases.size());
+  for (std::size_t i = 0; i < r1.test_cases.size(); ++i) {
+    EXPECT_EQ(r1.test_cases[i].data, r2.test_cases[i].data);
+  }
+}
+
+}  // namespace
+}  // namespace cftcg::simcotest

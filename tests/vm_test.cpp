@@ -1,0 +1,189 @@
+// Direct bytecode-level tests of the Machine (hand-assembled programs).
+#include <gtest/gtest.h>
+
+#include "vm/machine.hpp"
+#include "vm/program.hpp"
+
+namespace cftcg::vm {
+namespace {
+
+Insn I(Op op, int dst = 0, int a = 0, int b = 0, int imm = 0, int aux = 0, double dimm = 0.0,
+       ir::DType t = ir::DType::kDouble) {
+  Insn in;
+  in.op = op;
+  in.dst = dst;
+  in.a = a;
+  in.b = b;
+  in.imm = imm;
+  in.aux = aux;
+  in.dimm = dimm;
+  in.type = t;
+  return in;
+}
+
+TEST(MachineTest, ArithmeticAndOutput) {
+  Program p;
+  p.num_dregs = 3;
+  p.output_types = {ir::DType::kDouble};
+  p.code = {
+      I(Op::kLoadConstD, 0, 0, 0, 0, 0, 2.5),
+      I(Op::kLoadConstD, 1, 0, 0, 0, 0, 4.0),
+      I(Op::kMulD, 2, 0, 1),
+      I(Op::kStoreOutD, 0, 2, 0, 0),
+      I(Op::kHalt),
+  };
+  Machine m(p);
+  m.Step(nullptr);
+  EXPECT_DOUBLE_EQ(m.GetOutput(0).AsDouble(), 10.0);
+}
+
+TEST(MachineTest, IntegerWrap) {
+  Program p;
+  p.num_iregs = 3;
+  p.output_types = {ir::DType::kInt8};
+  p.code = {
+      I(Op::kLoadConstI, 0, 0, 0, 0, 0, 100, ir::DType::kInt8),
+      I(Op::kLoadConstI, 1, 0, 0, 0, 0, 100, ir::DType::kInt8),
+      I(Op::kAddI, 2, 0, 1, 0, 0, 0, ir::DType::kInt8),
+      I(Op::kStoreOutI, 0, 2, 0, 0),
+      I(Op::kHalt),
+  };
+  Machine m(p);
+  m.Step(nullptr);
+  EXPECT_EQ(m.GetOutput(0).AsInt64(), -56);  // 200 wrapped to int8
+}
+
+TEST(MachineTest, JumpsAndCoverage) {
+  // if (in0 > 0) cov(0) out=1 else cov(1) out=0
+  Program p;
+  p.num_dregs = 2;
+  p.num_iregs = 1;
+  p.input_types = {ir::DType::kDouble};
+  p.output_types = {ir::DType::kDouble};
+  p.code = {
+      I(Op::kLoadInD, 0, 0, 0, 0),
+      I(Op::kLoadConstD, 1, 0, 0, 0, 0, 0.0),
+      I(Op::kGtD, 0, 0, 1),
+      I(Op::kJmpIfZero, 0, 0, 0, 7),
+      I(Op::kCov, 0, 0, 0, 0),
+      I(Op::kLoadConstD, 1, 0, 0, 0, 0, 1.0),
+      I(Op::kJmp, 0, 0, 0, 9),
+      I(Op::kCov, 0, 0, 0, 1),
+      I(Op::kLoadConstD, 1, 0, 0, 0, 0, 0.0),
+      I(Op::kStoreOutD, 0, 1, 0, 0),
+      I(Op::kHalt),
+  };
+  coverage::CoverageSpec spec;
+  spec.AddDecision("d", 2);
+  coverage::CoverageSink sink(spec);
+
+  Machine m(p);
+  const double pos = 5.0;
+  sink.BeginIteration();
+  m.SetInputsFromBytes(reinterpret_cast<const std::uint8_t*>(&pos));
+  m.Step(&sink);
+  EXPECT_TRUE(sink.curr().Test(0));
+  EXPECT_FALSE(sink.curr().Test(1));
+  EXPECT_DOUBLE_EQ(m.GetOutput(0).AsDouble(), 1.0);
+
+  const double neg = -1.0;
+  sink.BeginIteration();
+  m.SetInputsFromBytes(reinterpret_cast<const std::uint8_t*>(&neg));
+  m.Step(&sink);
+  EXPECT_TRUE(sink.curr().Test(1));
+  EXPECT_DOUBLE_EQ(m.GetOutput(0).AsDouble(), 0.0);
+}
+
+TEST(MachineTest, StatePersistsAcrossStepsAndResets) {
+  // state += 1 each step; out = state.
+  Program p;
+  p.num_iregs = 2;
+  p.output_types = {ir::DType::kInt32};
+  StateSlot s;
+  s.is_float = false;
+  s.init = 7;
+  s.type = ir::DType::kInt32;
+  p.state_i = {s};
+  p.code = {
+      I(Op::kLoadStateI, 0, 0, 0, 0),
+      I(Op::kLoadConstI, 1, 0, 0, 0, 0, 1, ir::DType::kInt32),
+      I(Op::kAddI, 0, 0, 1, 0, 0, 0, ir::DType::kInt32),
+      I(Op::kStoreStateI, 0, 0, 0, 0),
+      I(Op::kStoreOutI, 0, 0, 0, 0),
+      I(Op::kHalt),
+  };
+  Machine m(p);
+  m.Step(nullptr);
+  m.Step(nullptr);
+  EXPECT_EQ(m.GetOutput(0).AsInt64(), 9);
+  m.Reset();
+  m.Step(nullptr);
+  EXPECT_EQ(m.GetOutput(0).AsInt64(), 8);
+}
+
+TEST(MachineTest, EdgeMap) {
+  Program p;
+  p.num_edges = 2;
+  p.code = {I(Op::kEdge, 0, 0, 0, 1), I(Op::kHalt)};
+  Machine m(p);
+  std::uint8_t edges[2] = {0, 0};
+  m.Step(nullptr, edges);
+  EXPECT_EQ(edges[0], 0);
+  EXPECT_EQ(edges[1], 1);
+}
+
+TEST(MachineTest, McdcEvalReachesSink) {
+  Program p;
+  p.num_iregs = 3;
+  p.code = {
+      I(Op::kLoadConstI, 0, 0, 0, 0, 0, 0b101, ir::DType::kUInt32),  // values
+      I(Op::kLoadConstI, 1, 0, 0, 0, 0, 0b111, ir::DType::kUInt32),  // mask
+      I(Op::kLoadConstI, 2, 0, 0, 0, 0, 1, ir::DType::kBool),        // outcome
+      I(Op::kMcdcEval, 0, 0, 1, 0, 2),
+      I(Op::kHalt),
+  };
+  coverage::CoverageSpec spec;
+  spec.AddDecision("d", 2);
+  coverage::CoverageSink sink(spec);
+  Machine m(p);
+  m.Step(&sink);
+  ASSERT_EQ(sink.evals()[0].size(), 1U);
+  const auto e = *sink.evals()[0].begin();
+  EXPECT_EQ(coverage::EvalValues(e), 0b101U);
+  EXPECT_EQ(coverage::EvalOutcome(e), 1);
+}
+
+TEST(MachineTest, SafeMathNeverTraps) {
+  Program p;
+  p.num_dregs = 3;
+  p.num_iregs = 3;
+  p.output_types = {ir::DType::kDouble};
+  p.code = {
+      I(Op::kLoadConstD, 0, 0, 0, 0, 0, 1.0),
+      I(Op::kLoadConstD, 1, 0, 0, 0, 0, 0.0),
+      I(Op::kDivD, 2, 0, 1),                                       // 1/0 -> 0
+      I(Op::kLoadConstI, 0, 0, 0, 0, 0, 5, ir::DType::kInt32),
+      I(Op::kLoadConstI, 1, 0, 0, 0, 0, 0, ir::DType::kInt32),
+      I(Op::kDivI, 2, 0, 1, 0, 0, 0, ir::DType::kInt32),           // 5/0 -> 0
+      I(Op::kLoadConstD, 0, 0, 0, 0, 0, -4.0),
+      I(Op::kSqrtD, 0, 0),                                          // sqrt(-4) -> 0
+      I(Op::kStoreOutD, 0, 2, 0, 0),
+      I(Op::kHalt),
+  };
+  Machine m(p);
+  m.Step(nullptr);
+  EXPECT_DOUBLE_EQ(m.GetOutput(0).AsDouble(), 0.0);
+}
+
+TEST(ProgramTest, DisassembleMentionsOps) {
+  Program p;
+  p.num_dregs = 1;
+  p.code = {I(Op::kLoadConstD, 0, 0, 0, 0, 0, 3.5), I(Op::kHalt)};
+  const std::string text = Disassemble(p);
+  EXPECT_NE(text.find("ldc.d"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+  EXPECT_NE(text.find("3.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cftcg::vm

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "xml/xml.hpp"
+
+namespace cftcg::xml {
+namespace {
+
+TEST(XmlTest, ParsesSimpleDocument) {
+  auto doc = Parse("<root a=\"1\"><child>text</child></root>");
+  ASSERT_TRUE(doc.ok()) << doc.message();
+  const Element& root = *doc.value().root;
+  EXPECT_EQ(root.name(), "root");
+  EXPECT_EQ(root.Attr("a"), "1");
+  ASSERT_NE(root.FirstChild("child"), nullptr);
+  EXPECT_EQ(root.FirstChild("child")->text(), "text");
+}
+
+TEST(XmlTest, SelfClosingAndSiblings) {
+  auto doc = Parse("<r><a/><b x='2'/><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->Children("a").size(), 2U);
+  EXPECT_EQ(doc.value().root->FirstChild("b")->Attr("x"), "2");
+}
+
+TEST(XmlTest, SkipsPrologAndComments) {
+  auto doc = Parse("<?xml version=\"1.0\"?><!-- hi --><r><!-- inner --><a/></r>");
+  ASSERT_TRUE(doc.ok()) << doc.message();
+  EXPECT_EQ(doc.value().root->children().size(), 1U);
+}
+
+TEST(XmlTest, DecodesEntities) {
+  auto doc = Parse("<r a=\"&lt;&gt;&amp;&quot;&apos;\">&lt;x&gt;</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->Attr("a"), "<>&\"'");
+  EXPECT_EQ(doc.value().root->text(), "<x>");
+}
+
+TEST(XmlTest, CharacterReferences) {
+  auto doc = Parse("<r>&#65;&#x42;</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->text(), "AB");
+}
+
+TEST(XmlTest, Cdata) {
+  auto doc = Parse("<r><![CDATA[a < b && c]]></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->text(), "a < b && c");
+}
+
+TEST(XmlTest, RejectsMismatchedTags) {
+  EXPECT_FALSE(Parse("<a><b></a></b>").ok());
+}
+
+TEST(XmlTest, RejectsTrailingContent) {
+  EXPECT_FALSE(Parse("<a/><b/>").ok());
+}
+
+TEST(XmlTest, RejectsUnterminated) {
+  EXPECT_FALSE(Parse("<a><b>").ok());
+  EXPECT_FALSE(Parse("<a x=\"1>").ok());
+}
+
+TEST(XmlTest, ErrorCarriesLineNumber) {
+  auto doc = Parse("<a>\n\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.message().find("line 4"), std::string::npos) << doc.message();
+}
+
+TEST(XmlTest, WriteParseRoundTrip) {
+  Element root("model");
+  root.SetAttr("name", "m<1>");
+  auto& b = root.AddChild("block");
+  b.SetAttr("kind", "Gain");
+  b.AddChild("param").set_text("2.5 & more");
+  root.AddChild("empty");
+
+  const std::string text = Write(root);
+  auto doc = Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.message();
+  const Element& back = *doc.value().root;
+  EXPECT_EQ(back.Attr("name"), "m<1>");
+  EXPECT_EQ(back.FirstChild("block")->FirstChild("param")->text(), "2.5 & more");
+  EXPECT_NE(back.FirstChild("empty"), nullptr);
+}
+
+TEST(XmlTest, WhitespaceBetweenChildrenIsNotText) {
+  auto doc = Parse("<r>\n  <a/>\n  <b/>\n</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->text(), "");
+}
+
+TEST(XmlTest, AttrFallback) {
+  auto doc = Parse("<r/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->Attr("missing", "dflt"), "dflt");
+  EXPECT_FALSE(doc.value().root->HasAttr("missing"));
+}
+
+}  // namespace
+}  // namespace cftcg::xml

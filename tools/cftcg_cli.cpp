@@ -1,0 +1,279 @@
+// cftcg — the command-line tool over the library.
+//
+//   cftcg info  <model.cmx>                      model statistics
+//   cftcg gen   <model.cmx> [-o out.c]           emit instrumented fuzzing code
+//   cftcg fuzz  <model.cmx> [--seconds N] [--seed N] [--out DIR] [--fuzz-only]
+//                                                run a campaign, export CSV tests
+//   cftcg run   <model.cmx> --csv test.csv       replay a CSV test case
+//   cftcg export-benchmarks <dir>                write the 8 Table 2 models as .cmx
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench_models/bench_models.hpp"
+#include "cftcg/experiment.hpp"
+#include "cftcg/pipeline.hpp"
+#include "coverage/html_report.hpp"
+#include "coverage/report.hpp"
+#include "fuzz/csv_export.hpp"
+#include "fuzz/suite.hpp"
+#include "parser/model_io.hpp"
+#include "support/strings.hpp"
+
+using namespace cftcg;
+
+namespace {
+
+int Usage() {
+  std::puts(
+      "usage:\n"
+      "  cftcg info  <model.cmx>\n"
+      "  cftcg gen   <model.cmx> [-o out.c]\n"
+      "  cftcg fuzz  <model.cmx> [--seconds N] [--seed N] [--out DIR] [--fuzz-only]\n"
+      "              [--minimize]   reduce + shrink the suite before export\n"
+      "  cftcg run   <model.cmx> --csv test.csv\n"
+      "  cftcg cover <model.cmx> --csv-dir DIR [--html report.html]\n"
+      "  cftcg export-benchmarks <dir>");
+  return 2;
+}
+
+std::unique_ptr<CompiledModel> Load(const std::string& path) {
+  auto cm = CompiledModel::FromFile(path);
+  if (!cm.ok()) {
+    std::fprintf(stderr, "error: %s\n", cm.message().c_str());
+    return nullptr;
+  }
+  return cm.take();
+}
+
+int CmdInfo(const std::string& path) {
+  auto cm = Load(path);
+  if (!cm) return 1;
+  std::printf("model        : %s\n", cm->model().name().c_str());
+  std::printf("blocks       : %zu (including sub-systems)\n", cm->NumBlocks());
+  std::printf("decisions    : %zu\n", cm->spec().decisions().size());
+  std::printf("conditions   : %zu\n", cm->spec().conditions().size());
+  std::printf("branch space : %d outcome slots, %d fuzz slots\n", cm->NumBranches(),
+              cm->spec().FuzzBranchCount());
+  std::printf("inports      : ");
+  for (auto t : cm->instrumented().input_types) std::printf("%s ", std::string(ir::DTypeName(t)).c_str());
+  std::printf("(tuple = %zu bytes)\n", cm->instrumented().TupleSize());
+  std::puts("decision points:");
+  for (const auto& d : cm->spec().decisions()) {
+    std::printf("  %-40s %d outcomes, %zu conditions\n", d.name.c_str(), d.num_outcomes,
+                d.conditions.size());
+  }
+  return 0;
+}
+
+int CmdGen(const std::string& path, const std::string& out_path) {
+  auto cm = Load(path);
+  if (!cm) return 1;
+  auto code = cm->EmitFuzzingCode();
+  if (!code.ok()) {
+    std::fprintf(stderr, "error: %s\n", code.message().c_str());
+    return 1;
+  }
+  if (out_path.empty()) {
+    std::fputs(code.value().c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    out << code.value();
+    std::printf("wrote %zu bytes of instrumented fuzzing code to %s\n", code.value().size(),
+                out_path.c_str());
+  }
+  return 0;
+}
+
+int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const std::string& outdir,
+            bool fuzz_only, bool minimize) {
+  auto cm = Load(path);
+  if (!cm) return 1;
+  fuzz::FuzzBudget budget;
+  budget.wall_seconds = seconds;
+  auto result = RunTool(*cm, fuzz_only ? Tool::kFuzzOnly : Tool::kCftcg, budget, seed);
+  std::printf("%s: %llu inputs, %llu model iterations, %zu test cases in %.1fs\n",
+              fuzz_only ? "fuzz-only" : "cftcg",
+              static_cast<unsigned long long>(result.executions),
+              static_cast<unsigned long long>(result.model_iterations),
+              result.test_cases.size(), result.elapsed_s);
+  std::printf("coverage: %s\n", coverage::FormatReport(result.report).c_str());
+
+  std::vector<fuzz::TestCase> suite = std::move(result.test_cases);
+  if (minimize && !suite.empty()) {
+    vm::Machine machine(cm->instrumented());
+    const auto reduced = fuzz::ReduceSuite(machine, cm->spec(), suite);
+    std::vector<fuzz::TestCase> kept;
+    std::size_t before_bytes = 0;
+    std::size_t after_bytes = 0;
+    for (const auto& tc : suite) before_bytes += tc.data.size();
+    for (std::size_t idx : reduced.kept) {
+      fuzz::TestCase tc = suite[idx];
+      const auto need = fuzz::CoverageOf(machine, cm->spec(), tc.data);
+      tc.data = fuzz::MinimizeTestCase(machine, cm->spec(), tc.data, need);
+      after_bytes += tc.data.size();
+      kept.push_back(std::move(tc));
+    }
+    std::printf("minimized: %zu -> %zu cases, %zu -> %zu bytes (coverage preserved)\n",
+                suite.size(), kept.size(), before_bytes, after_bytes);
+    suite = std::move(kept);
+  }
+
+  if (!outdir.empty()) {
+    std::system(("mkdir -p " + outdir).c_str());
+    fuzz::TupleLayout layout(cm->instrumented().input_types);
+    std::vector<std::string> names;
+    for (ir::BlockId id : cm->model().Inports()) names.push_back(cm->model().block(id).name());
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      std::ofstream out(StrFormat("%s/test_%04zu.csv", outdir.c_str(), i));
+      out << fuzz::TestCaseToCsv(layout, names, suite[i].data);
+    }
+    std::printf("wrote %zu CSV test cases to %s/\n", suite.size(), outdir.c_str());
+  }
+  return 0;
+}
+
+int CmdCover(const std::string& path, const std::string& csv_dir,
+             const std::string& html_path) {
+  auto cm = Load(path);
+  if (!cm) return 1;
+  fuzz::TupleLayout layout(cm->instrumented().input_types);
+  vm::Machine machine(cm->instrumented());
+  coverage::CoverageSink sink(cm->spec());
+  const std::size_t tuple = cm->instrumented().TupleSize();
+
+  // Portable-enough directory listing via ls (the repo is POSIX-only).
+  const std::string list_cmd = "ls " + csv_dir + "/*.csv 2>/dev/null";
+  FILE* pipe = popen(list_cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    std::fprintf(stderr, "error: cannot list %s\n", csv_dir.c_str());
+    return 1;
+  }
+  char line[4096];
+  int files = 0;
+  while (std::fgets(line, sizeof line, pipe) != nullptr) {
+    std::string file(line);
+    while (!file.empty() && (file.back() == '\n' || file.back() == '\r')) file.pop_back();
+    std::ifstream in(file);
+    if (!in) continue;
+    std::string csv((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    auto data = fuzz::CsvToTestCase(layout, csv);
+    if (!data.ok()) {
+      std::fprintf(stderr, "skipping %s: %s\n", file.c_str(), data.message().c_str());
+      continue;
+    }
+    machine.Reset();
+    for (std::size_t off = 0; off + tuple <= data.value().size(); off += tuple) {
+      sink.BeginIteration();
+      machine.SetInputsFromBytes(data.value().data() + off);
+      machine.Step(&sink);
+      sink.AccumulateIteration();
+    }
+    ++files;
+  }
+  pclose(pipe);
+  std::printf("replayed %d test cases\n", files);
+  std::printf("suite coverage: %s\n",
+              coverage::FormatReport(coverage::ComputeReport(sink)).c_str());
+  const auto uncovered = coverage::UncoveredOutcomes(cm->spec(), sink.total());
+  std::printf("uncovered decision outcomes: %zu\n", uncovered.size());
+  for (const auto& u : uncovered) std::printf("  %s\n", u.c_str());
+  if (!html_path.empty()) {
+    std::ofstream out(html_path);
+    out << coverage::RenderHtmlReport(cm->model().name(), sink);
+    std::printf("HTML report written to %s\n", html_path.c_str());
+  }
+  return 0;
+}
+
+int CmdRun(const std::string& path, const std::string& csv_path) {
+  auto cm = Load(path);
+  if (!cm) return 1;
+  std::ifstream in(csv_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", csv_path.c_str());
+    return 1;
+  }
+  std::string csv((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  fuzz::TupleLayout layout(cm->instrumented().input_types);
+  auto data = fuzz::CsvToTestCase(layout, csv);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.message().c_str());
+    return 1;
+  }
+  vm::Machine machine(cm->instrumented());
+  coverage::CoverageSink sink(cm->spec());
+  const std::size_t tuple = cm->instrumented().TupleSize();
+  int step = 0;
+  for (std::size_t off = 0; off + tuple <= data.value().size(); off += tuple) {
+    sink.BeginIteration();
+    machine.SetInputsFromBytes(data.value().data() + off);
+    machine.Step(&sink);
+    sink.AccumulateIteration();
+    std::printf("step %3d:", step++);
+    for (int o = 0; o < machine.num_outputs(); ++o) {
+      std::printf(" %s", machine.GetOutput(o).ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("coverage of this test case: %s\n",
+              coverage::FormatReport(coverage::ComputeReport(sink)).c_str());
+  return 0;
+}
+
+int CmdExportBenchmarks(const std::string& dir) {
+  std::system(("mkdir -p " + dir).c_str());
+  for (const auto& info : bench_models::Roster()) {
+    auto model = bench_models::Build(info.name);
+    if (!model.ok()) {
+      std::fprintf(stderr, "error: %s\n", model.message().c_str());
+      return 1;
+    }
+    const std::string path = dir + "/" + info.name + ".cmx";
+    if (Status s = parser::SaveModelFile(*model.value(), path); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string cmd = argv[1];
+  const std::string target = argv[2];
+
+  std::string out;
+  std::string csv;
+  std::string csv_dir;
+  std::string html;
+  double seconds = 10;
+  std::uint64_t seed = 1;
+  bool fuzz_only = false;
+  bool minimize = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string { return i + 1 < argc ? argv[++i] : ""; };
+    if (a == "-o" || a == "--out") out = next();
+    else if (a == "--csv") csv = next();
+    else if (a == "--csv-dir") csv_dir = next();
+    else if (a == "--html") html = next();
+    else if (a == "--seconds") seconds = std::atof(next().c_str());
+    else if (a == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    else if (a == "--fuzz-only") fuzz_only = true;
+    else if (a == "--minimize") minimize = true;
+  }
+
+  if (cmd == "info") return CmdInfo(target);
+  if (cmd == "gen") return CmdGen(target, out);
+  if (cmd == "fuzz") return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize);
+  if (cmd == "run") return CmdRun(target, csv);
+  if (cmd == "cover") return CmdCover(target, csv_dir, html);
+  if (cmd == "export-benchmarks") return CmdExportBenchmarks(target);
+  return Usage();
+}
