@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_idc.dir/bench_ablation_idc.cpp.o"
+  "CMakeFiles/bench_ablation_idc.dir/bench_ablation_idc.cpp.o.d"
+  "bench_ablation_idc"
+  "bench_ablation_idc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_idc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

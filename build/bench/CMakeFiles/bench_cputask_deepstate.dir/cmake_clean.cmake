@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cputask_deepstate.dir/bench_cputask_deepstate.cpp.o"
+  "CMakeFiles/bench_cputask_deepstate.dir/bench_cputask_deepstate.cpp.o.d"
+  "bench_cputask_deepstate"
+  "bench_cputask_deepstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cputask_deepstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

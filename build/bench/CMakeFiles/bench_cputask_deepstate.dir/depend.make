@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cputask_deepstate.
+# This may be replaced when dependencies are built.

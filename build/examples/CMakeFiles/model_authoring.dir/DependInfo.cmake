@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/model_authoring.cpp" "examples/CMakeFiles/model_authoring.dir/model_authoring.cpp.o" "gcc" "examples/CMakeFiles/model_authoring.dir/model_authoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cftcg/CMakeFiles/cftcg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/cftcg_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/cftcg_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sldv/CMakeFiles/cftcg_sldv.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcotest/CMakeFiles/cftcg_simcotest.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cftcg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/cftcg_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/cftcg_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cftcg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocks/CMakeFiles/cftcg_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cftcg_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_models/CMakeFiles/cftcg_bench_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cftcg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/cftcg_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cftcg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

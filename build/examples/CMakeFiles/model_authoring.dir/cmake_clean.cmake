@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_authoring.dir/model_authoring.cpp.o"
+  "CMakeFiles/model_authoring.dir/model_authoring.cpp.o.d"
+  "model_authoring"
+  "model_authoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_authoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_testing.dir/protocol_testing.cpp.o"
+  "CMakeFiles/protocol_testing.dir/protocol_testing.cpp.o.d"
+  "protocol_testing"
+  "protocol_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

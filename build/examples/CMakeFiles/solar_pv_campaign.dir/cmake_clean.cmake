@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_pv_campaign.dir/solar_pv_campaign.cpp.o"
+  "CMakeFiles/solar_pv_campaign.dir/solar_pv_campaign.cpp.o.d"
+  "solar_pv_campaign"
+  "solar_pv_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_pv_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("xml")
+subdirs("ir")
+subdirs("blocks")
+subdirs("parser")
+subdirs("sched")
+subdirs("coverage")
+subdirs("codegen")
+subdirs("vm")
+subdirs("sim")
+subdirs("fuzz")
+subdirs("sldv")
+subdirs("simcotest")
+subdirs("bench_models")
+subdirs("cftcg")

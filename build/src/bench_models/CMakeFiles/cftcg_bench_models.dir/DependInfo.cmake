@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_models/afc.cpp" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/afc.cpp.o" "gcc" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/afc.cpp.o.d"
+  "/root/repo/src/bench_models/cpu_task.cpp" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/cpu_task.cpp.o" "gcc" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/cpu_task.cpp.o.d"
+  "/root/repo/src/bench_models/evcs.cpp" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/evcs.cpp.o" "gcc" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/evcs.cpp.o.d"
+  "/root/repo/src/bench_models/rac.cpp" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/rac.cpp.o" "gcc" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/rac.cpp.o.d"
+  "/root/repo/src/bench_models/registry.cpp" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/registry.cpp.o" "gcc" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/registry.cpp.o.d"
+  "/root/repo/src/bench_models/solar_pv.cpp" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/solar_pv.cpp.o" "gcc" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/solar_pv.cpp.o.d"
+  "/root/repo/src/bench_models/tcp.cpp" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/tcp.cpp.o" "gcc" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/tcp.cpp.o.d"
+  "/root/repo/src/bench_models/twc.cpp" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/twc.cpp.o" "gcc" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/twc.cpp.o.d"
+  "/root/repo/src/bench_models/utpc.cpp" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/utpc.cpp.o" "gcc" "src/bench_models/CMakeFiles/cftcg_bench_models.dir/utpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cftcg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cftcg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_bench_models.dir/afc.cpp.o"
+  "CMakeFiles/cftcg_bench_models.dir/afc.cpp.o.d"
+  "CMakeFiles/cftcg_bench_models.dir/cpu_task.cpp.o"
+  "CMakeFiles/cftcg_bench_models.dir/cpu_task.cpp.o.d"
+  "CMakeFiles/cftcg_bench_models.dir/evcs.cpp.o"
+  "CMakeFiles/cftcg_bench_models.dir/evcs.cpp.o.d"
+  "CMakeFiles/cftcg_bench_models.dir/rac.cpp.o"
+  "CMakeFiles/cftcg_bench_models.dir/rac.cpp.o.d"
+  "CMakeFiles/cftcg_bench_models.dir/registry.cpp.o"
+  "CMakeFiles/cftcg_bench_models.dir/registry.cpp.o.d"
+  "CMakeFiles/cftcg_bench_models.dir/solar_pv.cpp.o"
+  "CMakeFiles/cftcg_bench_models.dir/solar_pv.cpp.o.d"
+  "CMakeFiles/cftcg_bench_models.dir/tcp.cpp.o"
+  "CMakeFiles/cftcg_bench_models.dir/tcp.cpp.o.d"
+  "CMakeFiles/cftcg_bench_models.dir/twc.cpp.o"
+  "CMakeFiles/cftcg_bench_models.dir/twc.cpp.o.d"
+  "CMakeFiles/cftcg_bench_models.dir/utpc.cpp.o"
+  "CMakeFiles/cftcg_bench_models.dir/utpc.cpp.o.d"
+  "libcftcg_bench_models.a"
+  "libcftcg_bench_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_bench_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

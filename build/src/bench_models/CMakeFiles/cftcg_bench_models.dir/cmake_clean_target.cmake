@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcftcg_bench_models.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_blocks.dir/analyze.cpp.o"
+  "CMakeFiles/cftcg_blocks.dir/analyze.cpp.o.d"
+  "CMakeFiles/cftcg_blocks.dir/mex.cpp.o"
+  "CMakeFiles/cftcg_blocks.dir/mex.cpp.o.d"
+  "CMakeFiles/cftcg_blocks.dir/registry.cpp.o"
+  "CMakeFiles/cftcg_blocks.dir/registry.cpp.o.d"
+  "libcftcg_blocks.a"
+  "libcftcg_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

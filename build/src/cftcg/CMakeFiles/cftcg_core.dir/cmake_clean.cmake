@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_core.dir/experiment.cpp.o"
+  "CMakeFiles/cftcg_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/cftcg_core.dir/pipeline.cpp.o"
+  "CMakeFiles/cftcg_core.dir/pipeline.cpp.o.d"
+  "libcftcg_core.a"
+  "libcftcg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

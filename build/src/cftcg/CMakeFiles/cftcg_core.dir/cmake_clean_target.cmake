@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcftcg_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/cemit.cpp" "src/codegen/CMakeFiles/cftcg_codegen.dir/cemit.cpp.o" "gcc" "src/codegen/CMakeFiles/cftcg_codegen.dir/cemit.cpp.o.d"
+  "/root/repo/src/codegen/lower.cpp" "src/codegen/CMakeFiles/cftcg_codegen.dir/lower.cpp.o" "gcc" "src/codegen/CMakeFiles/cftcg_codegen.dir/lower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/cftcg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cftcg_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocks/CMakeFiles/cftcg_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/cftcg_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cftcg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cftcg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_codegen.dir/cemit.cpp.o"
+  "CMakeFiles/cftcg_codegen.dir/cemit.cpp.o.d"
+  "CMakeFiles/cftcg_codegen.dir/lower.cpp.o"
+  "CMakeFiles/cftcg_codegen.dir/lower.cpp.o.d"
+  "libcftcg_codegen.a"
+  "libcftcg_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coverage/html_report.cpp" "src/coverage/CMakeFiles/cftcg_coverage.dir/html_report.cpp.o" "gcc" "src/coverage/CMakeFiles/cftcg_coverage.dir/html_report.cpp.o.d"
+  "/root/repo/src/coverage/report.cpp" "src/coverage/CMakeFiles/cftcg_coverage.dir/report.cpp.o" "gcc" "src/coverage/CMakeFiles/cftcg_coverage.dir/report.cpp.o.d"
+  "/root/repo/src/coverage/sink.cpp" "src/coverage/CMakeFiles/cftcg_coverage.dir/sink.cpp.o" "gcc" "src/coverage/CMakeFiles/cftcg_coverage.dir/sink.cpp.o.d"
+  "/root/repo/src/coverage/spec.cpp" "src/coverage/CMakeFiles/cftcg_coverage.dir/spec.cpp.o" "gcc" "src/coverage/CMakeFiles/cftcg_coverage.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cftcg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_coverage.dir/html_report.cpp.o"
+  "CMakeFiles/cftcg_coverage.dir/html_report.cpp.o.d"
+  "CMakeFiles/cftcg_coverage.dir/report.cpp.o"
+  "CMakeFiles/cftcg_coverage.dir/report.cpp.o.d"
+  "CMakeFiles/cftcg_coverage.dir/sink.cpp.o"
+  "CMakeFiles/cftcg_coverage.dir/sink.cpp.o.d"
+  "CMakeFiles/cftcg_coverage.dir/spec.cpp.o"
+  "CMakeFiles/cftcg_coverage.dir/spec.cpp.o.d"
+  "libcftcg_coverage.a"
+  "libcftcg_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

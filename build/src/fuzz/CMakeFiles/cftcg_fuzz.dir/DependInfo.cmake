@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/corpus.cpp" "src/fuzz/CMakeFiles/cftcg_fuzz.dir/corpus.cpp.o" "gcc" "src/fuzz/CMakeFiles/cftcg_fuzz.dir/corpus.cpp.o.d"
+  "/root/repo/src/fuzz/csv_export.cpp" "src/fuzz/CMakeFiles/cftcg_fuzz.dir/csv_export.cpp.o" "gcc" "src/fuzz/CMakeFiles/cftcg_fuzz.dir/csv_export.cpp.o.d"
+  "/root/repo/src/fuzz/fuzzer.cpp" "src/fuzz/CMakeFiles/cftcg_fuzz.dir/fuzzer.cpp.o" "gcc" "src/fuzz/CMakeFiles/cftcg_fuzz.dir/fuzzer.cpp.o.d"
+  "/root/repo/src/fuzz/mutator.cpp" "src/fuzz/CMakeFiles/cftcg_fuzz.dir/mutator.cpp.o" "gcc" "src/fuzz/CMakeFiles/cftcg_fuzz.dir/mutator.cpp.o.d"
+  "/root/repo/src/fuzz/suite.cpp" "src/fuzz/CMakeFiles/cftcg_fuzz.dir/suite.cpp.o" "gcc" "src/fuzz/CMakeFiles/cftcg_fuzz.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/cftcg_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/cftcg_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cftcg_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cftcg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/cftcg_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocks/CMakeFiles/cftcg_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cftcg_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

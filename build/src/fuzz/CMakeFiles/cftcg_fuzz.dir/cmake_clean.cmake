@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_fuzz.dir/corpus.cpp.o"
+  "CMakeFiles/cftcg_fuzz.dir/corpus.cpp.o.d"
+  "CMakeFiles/cftcg_fuzz.dir/csv_export.cpp.o"
+  "CMakeFiles/cftcg_fuzz.dir/csv_export.cpp.o.d"
+  "CMakeFiles/cftcg_fuzz.dir/fuzzer.cpp.o"
+  "CMakeFiles/cftcg_fuzz.dir/fuzzer.cpp.o.d"
+  "CMakeFiles/cftcg_fuzz.dir/mutator.cpp.o"
+  "CMakeFiles/cftcg_fuzz.dir/mutator.cpp.o.d"
+  "CMakeFiles/cftcg_fuzz.dir/suite.cpp.o"
+  "CMakeFiles/cftcg_fuzz.dir/suite.cpp.o.d"
+  "libcftcg_fuzz.a"
+  "libcftcg_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/block_kind.cpp" "src/ir/CMakeFiles/cftcg_ir.dir/block_kind.cpp.o" "gcc" "src/ir/CMakeFiles/cftcg_ir.dir/block_kind.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/ir/CMakeFiles/cftcg_ir.dir/builder.cpp.o" "gcc" "src/ir/CMakeFiles/cftcg_ir.dir/builder.cpp.o.d"
+  "/root/repo/src/ir/dtype.cpp" "src/ir/CMakeFiles/cftcg_ir.dir/dtype.cpp.o" "gcc" "src/ir/CMakeFiles/cftcg_ir.dir/dtype.cpp.o.d"
+  "/root/repo/src/ir/model.cpp" "src/ir/CMakeFiles/cftcg_ir.dir/model.cpp.o" "gcc" "src/ir/CMakeFiles/cftcg_ir.dir/model.cpp.o.d"
+  "/root/repo/src/ir/param.cpp" "src/ir/CMakeFiles/cftcg_ir.dir/param.cpp.o" "gcc" "src/ir/CMakeFiles/cftcg_ir.dir/param.cpp.o.d"
+  "/root/repo/src/ir/value.cpp" "src/ir/CMakeFiles/cftcg_ir.dir/value.cpp.o" "gcc" "src/ir/CMakeFiles/cftcg_ir.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cftcg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_ir.dir/block_kind.cpp.o"
+  "CMakeFiles/cftcg_ir.dir/block_kind.cpp.o.d"
+  "CMakeFiles/cftcg_ir.dir/builder.cpp.o"
+  "CMakeFiles/cftcg_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/cftcg_ir.dir/dtype.cpp.o"
+  "CMakeFiles/cftcg_ir.dir/dtype.cpp.o.d"
+  "CMakeFiles/cftcg_ir.dir/model.cpp.o"
+  "CMakeFiles/cftcg_ir.dir/model.cpp.o.d"
+  "CMakeFiles/cftcg_ir.dir/param.cpp.o"
+  "CMakeFiles/cftcg_ir.dir/param.cpp.o.d"
+  "CMakeFiles/cftcg_ir.dir/value.cpp.o"
+  "CMakeFiles/cftcg_ir.dir/value.cpp.o.d"
+  "libcftcg_ir.a"
+  "libcftcg_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

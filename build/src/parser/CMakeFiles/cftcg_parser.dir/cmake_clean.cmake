@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_parser.dir/model_io.cpp.o"
+  "CMakeFiles/cftcg_parser.dir/model_io.cpp.o.d"
+  "libcftcg_parser.a"
+  "libcftcg_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_sched.dir/schedule.cpp.o"
+  "CMakeFiles/cftcg_sched.dir/schedule.cpp.o.d"
+  "libcftcg_sched.a"
+  "libcftcg_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

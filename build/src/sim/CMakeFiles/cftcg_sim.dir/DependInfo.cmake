@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/interpreter.cpp" "src/sim/CMakeFiles/cftcg_sim.dir/interpreter.cpp.o" "gcc" "src/sim/CMakeFiles/cftcg_sim.dir/interpreter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/cftcg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocks/CMakeFiles/cftcg_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cftcg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/cftcg_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cftcg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

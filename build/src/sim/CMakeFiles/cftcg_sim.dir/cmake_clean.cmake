@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_sim.dir/interpreter.cpp.o"
+  "CMakeFiles/cftcg_sim.dir/interpreter.cpp.o.d"
+  "libcftcg_sim.a"
+  "libcftcg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

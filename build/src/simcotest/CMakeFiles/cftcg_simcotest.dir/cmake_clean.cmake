@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_simcotest.dir/simcotest.cpp.o"
+  "CMakeFiles/cftcg_simcotest.dir/simcotest.cpp.o.d"
+  "libcftcg_simcotest.a"
+  "libcftcg_simcotest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_simcotest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

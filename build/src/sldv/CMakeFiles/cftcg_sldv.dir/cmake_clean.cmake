@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_sldv.dir/goal_solver.cpp.o"
+  "CMakeFiles/cftcg_sldv.dir/goal_solver.cpp.o.d"
+  "CMakeFiles/cftcg_sldv.dir/interval.cpp.o"
+  "CMakeFiles/cftcg_sldv.dir/interval.cpp.o.d"
+  "libcftcg_sldv.a"
+  "libcftcg_sldv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_sldv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_support.dir/bitset.cpp.o"
+  "CMakeFiles/cftcg_support.dir/bitset.cpp.o.d"
+  "CMakeFiles/cftcg_support.dir/rng.cpp.o"
+  "CMakeFiles/cftcg_support.dir/rng.cpp.o.d"
+  "CMakeFiles/cftcg_support.dir/strings.cpp.o"
+  "CMakeFiles/cftcg_support.dir/strings.cpp.o.d"
+  "libcftcg_support.a"
+  "libcftcg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

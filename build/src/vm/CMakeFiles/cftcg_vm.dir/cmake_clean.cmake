@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_vm.dir/machine.cpp.o"
+  "CMakeFiles/cftcg_vm.dir/machine.cpp.o.d"
+  "CMakeFiles/cftcg_vm.dir/program.cpp.o"
+  "CMakeFiles/cftcg_vm.dir/program.cpp.o.d"
+  "libcftcg_vm.a"
+  "libcftcg_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

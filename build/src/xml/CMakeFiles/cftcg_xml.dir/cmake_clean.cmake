@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_xml.dir/xml.cpp.o"
+  "CMakeFiles/cftcg_xml.dir/xml.cpp.o.d"
+  "libcftcg_xml.a"
+  "libcftcg_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_models_test.dir/bench_models_test.cpp.o"
+  "CMakeFiles/bench_models_test.dir/bench_models_test.cpp.o.d"
+  "bench_models_test"
+  "bench_models_test.pdb"
+  "bench_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

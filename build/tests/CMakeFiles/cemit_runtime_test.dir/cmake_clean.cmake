@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cemit_runtime_test.dir/cemit_runtime_test.cpp.o"
+  "CMakeFiles/cemit_runtime_test.dir/cemit_runtime_test.cpp.o.d"
+  "cemit_runtime_test"
+  "cemit_runtime_test.pdb"
+  "cemit_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cemit_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_trace_test.dir/cmp_trace_test.cpp.o"
+  "CMakeFiles/cmp_trace_test.dir/cmp_trace_test.cpp.o.d"
+  "cmp_trace_test"
+  "cmp_trace_test.pdb"
+  "cmp_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mex_test.dir/mex_test.cpp.o"
+  "CMakeFiles/mex_test.dir/mex_test.cpp.o.d"
+  "mex_test"
+  "mex_test.pdb"
+  "mex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_dir_test.dir/models_dir_test.cpp.o"
+  "CMakeFiles/models_dir_test.dir/models_dir_test.cpp.o.d"
+  "models_dir_test"
+  "models_dir_test.pdb"
+  "models_dir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_dir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

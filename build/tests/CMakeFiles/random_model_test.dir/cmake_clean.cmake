@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_model_test.dir/random_model_test.cpp.o"
+  "CMakeFiles/random_model_test.dir/random_model_test.cpp.o.d"
+  "random_model_test"
+  "random_model_test.pdb"
+  "random_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

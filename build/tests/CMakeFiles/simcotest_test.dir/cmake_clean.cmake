@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcotest_test.dir/simcotest_test.cpp.o"
+  "CMakeFiles/simcotest_test.dir/simcotest_test.cpp.o.d"
+  "simcotest_test"
+  "simcotest_test.pdb"
+  "simcotest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcotest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

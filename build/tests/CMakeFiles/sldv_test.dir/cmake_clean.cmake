@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldv_test.dir/sldv_test.cpp.o"
+  "CMakeFiles/sldv_test.dir/sldv_test.cpp.o.d"
+  "sldv_test"
+  "sldv_test.pdb"
+  "sldv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

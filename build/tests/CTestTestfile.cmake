@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/mex_test[1]_include.cmake")
+include("/root/repo/build/tests/analyze_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/lowering_test[1]_include.cmake")
+include("/root/repo/build/tests/interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/cemit_test[1]_include.cmake")
+include("/root/repo/build/tests/mutator_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzzer_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/sldv_test[1]_include.cmake")
+include("/root/repo/build/tests/simcotest_test[1]_include.cmake")
+include("/root/repo/build/tests/bench_models_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/random_model_test[1]_include.cmake")
+include("/root/repo/build/tests/models_dir_test[1]_include.cmake")
+include("/root/repo/build/tests/cmp_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/cemit_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/suite_test[1]_include.cmake")
+include("/root/repo/build/tests/html_report_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftcg_cli.dir/cftcg_cli.cpp.o"
+  "CMakeFiles/cftcg_cli.dir/cftcg_cli.cpp.o.d"
+  "cftcg"
+  "cftcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftcg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
