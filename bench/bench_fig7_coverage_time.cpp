@@ -21,15 +21,15 @@ std::vector<double> SampleGrid(double horizon_s, int points) {
   return grid;
 }
 
-/// Resamples (time, covered) events onto the grid as percentages.
-std::vector<double> Resample(const std::vector<cftcg::fuzz::TestCase>& cases, int total_outcomes,
-                             const std::vector<double>& grid) {
+/// Resamples (time, covered) milestones onto the grid as percentages.
+std::vector<double> Resample(const std::vector<std::pair<double, int>>& points,
+                             int total_outcomes, const std::vector<double>& grid) {
   std::vector<double> series(grid.size(), 0.0);
   int covered = 0;
   std::size_t idx = 0;
   for (std::size_t p = 0; p < grid.size(); ++p) {
-    while (idx < cases.size() && cases[idx].time_s <= grid[p]) {
-      covered = cases[idx].decision_outcomes_covered;
+    while (idx < points.size() && points[idx].first <= grid[p]) {
+      covered = points[idx].second;
       ++idx;
     }
     series[p] = total_outcomes > 0 ? 100.0 * covered / total_outcomes : 100.0;
@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
 
   std::printf("=== Figure 7: Decision Coverage (%%) vs time, horizon %.1fs, %d samples ===\n",
               args.budget_s, kPoints);
+  bench::CsvSink csv(args.csv_path, {"model", "tool", "time_s", "decision_pct"});
   for (const auto& name : args.ModelNames()) {
     auto cm = bench::CompileOrDie(name);
     std::printf("\n--- %s (%d decision outcomes) ---\n", name.c_str(), cm->NumBranches());
@@ -57,14 +58,22 @@ int main(int argc, char** argv) {
     for (Tool tool : {Tool::kSldv, Tool::kSimCoTest, Tool::kCftcg}) {
       fuzz::FuzzBudget budget;
       budget.wall_seconds = args.budget_s;
-      const auto result = RunTool(*cm, tool, budget, args.seed);
-      const auto series = Resample(result.test_cases, cm->NumBranches(), grid);
+      // The series comes from the telemetry trace (`new` events) where the
+      // tool emits one; CoverageMilestones falls back to timestamped test
+      // cases for the baselines.
+      const auto traced = bench::RunTraced(*cm, tool, budget, args.seed);
+      const auto series = Resample(bench::CoverageMilestones(traced), cm->NumBranches(), grid);
       std::vector<std::string> row = {std::string(ToolName(tool))};
       for (double v : series) row.push_back(StrFormat("%.0f", v));
       table.AddRow(std::move(row));
+      for (std::size_t p = 0; p < grid.size(); ++p) {
+        csv.Row({name, std::string(ToolName(tool)), StrFormat("%.4f", grid[p]),
+                 StrFormat("%.2f", series[p])});
+      }
     }
     table.Print();
   }
+  if (csv.active()) std::printf("\nCSV series written to %s\n", args.csv_path.c_str());
   std::puts("\nExpected shape (paper Fig. 7): CFTCG rises fastest and keeps finding new");
   std::puts("test cases; baselines plateau earlier, especially on state-heavy models.");
   return 0;

@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
 
   std::printf("=== Figure 8: CFTCG vs Fuzz Only (budget %.1fs, %d reps) ===\n", args.budget_s,
               args.reps);
-  bench::Table table({"Model", "Tool", "Decision", "Condition", "MCDC"});
+  bench::Table table({"Model", "Tool", "Decision", "Condition", "MCDC", "exec/s"});
+  bench::CsvSink csv(args.csv_path,
+                     {"model", "tool", "decision_pct", "condition_pct", "mcdc_pct", "exec_per_s"});
   double gap_dc = 0;
   double gap_cc = 0;
   double gap_mcdc = 0;
@@ -26,15 +28,23 @@ int main(int argc, char** argv) {
     const auto cftcg = RunAveraged(*cm, Tool::kCftcg, budget, args.seed, args.reps);
     const auto fuzz_only = RunAveraged(*cm, Tool::kFuzzOnly, budget, args.seed, args.reps);
     table.AddRow({name, "CFTCG", bench::Pct(cftcg.decision_pct), bench::Pct(cftcg.condition_pct),
-                  bench::Pct(cftcg.mcdc_pct)});
+                  bench::Pct(cftcg.mcdc_pct), StrFormat("%.0f", cftcg.exec_per_s)});
     table.AddRow({"", "FuzzOnly", bench::Pct(fuzz_only.decision_pct),
-                  bench::Pct(fuzz_only.condition_pct), bench::Pct(fuzz_only.mcdc_pct)});
+                  bench::Pct(fuzz_only.condition_pct), bench::Pct(fuzz_only.mcdc_pct),
+                  StrFormat("%.0f", fuzz_only.exec_per_s)});
+    csv.Row({name, "CFTCG", StrFormat("%.2f", cftcg.decision_pct),
+             StrFormat("%.2f", cftcg.condition_pct), StrFormat("%.2f", cftcg.mcdc_pct),
+             StrFormat("%.0f", cftcg.exec_per_s)});
+    csv.Row({name, "FuzzOnly", StrFormat("%.2f", fuzz_only.decision_pct),
+             StrFormat("%.2f", fuzz_only.condition_pct), StrFormat("%.2f", fuzz_only.mcdc_pct),
+             StrFormat("%.0f", fuzz_only.exec_per_s)});
     gap_dc += cftcg.decision_pct - fuzz_only.decision_pct;
     gap_cc += cftcg.condition_pct - fuzz_only.condition_pct;
     gap_mcdc += cftcg.mcdc_pct - fuzz_only.mcdc_pct;
     ++n;
   }
   table.Print();
+  if (csv.active()) std::printf("CSV written to %s\n", args.csv_path.c_str());
   if (n > 0) {
     std::printf("\nMean CFTCG advantage: Decision %+.1fpp, Condition %+.1fpp, MCDC %+.1fpp\n",
                 gap_dc / n, gap_cc / n, gap_mcdc / n);

@@ -11,7 +11,9 @@ int main(int argc, char** argv) {
 
   std::printf("=== Table 3: coverage comparison (budget %.1fs/tool, %d reps averaged) ===\n",
               args.budget_s, args.reps);
-  bench::Table table({"Model", "Tool", "Decision", "Condition", "MCDC"});
+  bench::Table table({"Model", "Tool", "Decision", "Condition", "MCDC", "exec/s"});
+  bench::CsvSink csv(args.csv_path,
+                     {"model", "tool", "decision_pct", "condition_pct", "mcdc_pct", "exec_per_s"});
 
   const Tool tools[] = {Tool::kSldv, Tool::kSimCoTest, Tool::kCftcg};
   double sum_dc[3] = {0, 0, 0};
@@ -36,7 +38,10 @@ int main(int argc, char** argv) {
       const auto avg = RunAveraged(*cm, tools[t], budget, args.seed, reps);
       table.AddRow({t == 0 ? name : "", std::string(ToolName(tools[t])),
                     bench::Pct(avg.decision_pct), bench::Pct(avg.condition_pct),
-                    bench::Pct(avg.mcdc_pct)});
+                    bench::Pct(avg.mcdc_pct), StrFormat("%.0f", avg.exec_per_s)});
+      csv.Row({name, std::string(ToolName(tools[t])), StrFormat("%.2f", avg.decision_pct),
+               StrFormat("%.2f", avg.condition_pct), StrFormat("%.2f", avg.mcdc_pct),
+               StrFormat("%.0f", avg.exec_per_s)});
       sum_dc[t] += avg.decision_pct;
       sum_cc[t] += avg.condition_pct;
       sum_mcdc[t] += avg.mcdc_pct;
@@ -44,6 +49,7 @@ int main(int argc, char** argv) {
     ++n_models;
   }
   table.Print();
+  if (csv.active()) std::printf("CSV written to %s\n", args.csv_path.c_str());
 
   if (n_models > 0) {
     auto rel = [&](double cftcg, double base) {

@@ -6,19 +6,24 @@
 //   --reps <n>           repetitions averaged for randomized tools
 //   --seed <n>           base RNG seed
 //   --models a,b,c       subset of the Table 2 roster (default: all)
+//   --csv <file>         additionally export the table as machine-readable CSV
 // Defaults are small so `for b in build/bench/*; do $b; done` finishes in
 // minutes; the paper-scale run is documented in EXPERIMENTS.md.
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_models/bench_models.hpp"
 #include "cftcg/experiment.hpp"
 #include "cftcg/pipeline.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 #include "support/strings.hpp"
 
 namespace cftcg::bench {
@@ -33,6 +38,8 @@ struct BenchArgs {
   /// Simulink engine's throughput (the paper measured ~6 it/s on SolarPV)
   /// that our lean C++ interpreter does not reproduce. 0 = no cap.
   double sim_rate = 0;
+  /// When non-empty, benches also write their results as CSV here.
+  std::string csv_path;
 
   static BenchArgs Parse(int argc, char** argv, double default_budget_s = 2.0,
                          int default_reps = 3) {
@@ -54,13 +61,16 @@ struct BenchArgs {
         args.seed = static_cast<std::uint64_t>(v);
       } else if (a == "--sim-rate") {
         ParseDouble(next(), args.sim_rate);
+      } else if (a == "--csv") {
+        args.csv_path = next();
       } else if (a == "--models") {
         for (auto& m : SplitString(next(), ',')) {
           if (!m.empty()) args.models.push_back(m);
         }
       } else if (a == "--help") {
         std::printf(
-            "usage: %s [--budget s] [--reps n] [--seed n] [--models a,b,...] [--sim-rate it/s]\n",
+            "usage: %s [--budget s] [--reps n] [--seed n] [--models a,b,...] [--sim-rate it/s]"
+            " [--csv file]\n",
             argv[0]);
         std::exit(0);
       }
@@ -126,5 +136,82 @@ class Table {
 };
 
 inline std::string Pct(double v) { return StrFormat("%.1f%%", v); }
+
+/// Optional CSV sink for the --csv flag. Inactive when the path is empty;
+/// rows are comma-joined with no quoting (bench cells never contain commas).
+class CsvSink {
+ public:
+  CsvSink(const std::string& path, const std::vector<std::string>& header) {
+    if (path.empty()) return;
+    out_.open(path);
+    if (!out_) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      std::exit(1);
+    }
+    Row(header);
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    if (!out_.is_open()) return;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out_ << ',';
+      out_ << cells[i];
+    }
+    out_ << '\n';
+  }
+
+  [[nodiscard]] bool active() const { return out_.is_open(); }
+
+ private:
+  std::ofstream out_;
+};
+
+/// One RunTool invocation instrumented with in-memory campaign telemetry.
+/// The JSONL buffer is parsed back into events, so benches consume exactly
+/// the records `cftcg fuzz --trace` writes to disk — one schema everywhere.
+struct TracedRun {
+  fuzz::CampaignResult result;
+  std::vector<obs::JsonValue> events;  // every trace line, parsed back
+  obs::RegistrySnapshot snapshot;      // the run's private metrics registry
+};
+
+inline TracedRun RunTraced(CompiledModel& cm, Tool tool, const fuzz::FuzzBudget& budget,
+                           std::uint64_t seed, double stats_every_s = 0.25) {
+  TracedRun run;
+  std::string buffer;
+  obs::TraceWriter trace(&buffer);
+  obs::Registry registry;
+  obs::CampaignTelemetry telemetry;
+  telemetry.trace = &trace;
+  telemetry.registry = &registry;
+  telemetry.stats_every_s = stats_every_s;
+  run.result = RunTool(cm, tool, budget, seed, &telemetry);
+  trace.Flush();
+  run.snapshot = registry.Snapshot();
+  for (const auto& line : SplitString(buffer, '\n')) {
+    if (line.empty()) continue;
+    auto parsed = obs::ParseJson(line);
+    if (parsed.ok()) run.events.push_back(parsed.take());
+  }
+  return run;
+}
+
+/// (time, decision outcomes covered) milestones of a traced run, from the
+/// `new` trace events; falls back to the returned test cases for tools that
+/// do not emit telemetry (SLDV, SimCoTest).
+inline std::vector<std::pair<double, int>> CoverageMilestones(const TracedRun& run) {
+  std::vector<std::pair<double, int>> points;
+  for (const auto& ev : run.events) {
+    if (ev.StringOr("ev", "") != "new") continue;
+    points.emplace_back(ev.NumberOr("time_s", 0),
+                        static_cast<int>(ev.NumberOr("outcomes_covered", 0)));
+  }
+  if (points.empty()) {
+    for (const auto& tc : run.result.test_cases) {
+      points.emplace_back(tc.time_s, tc.decision_outcomes_covered);
+    }
+  }
+  return points;
+}
 
 }  // namespace cftcg::bench

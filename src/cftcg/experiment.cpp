@@ -1,7 +1,9 @@
 #include "cftcg/experiment.hpp"
 
+#include "obs/timer.hpp"
 #include "simcotest/simcotest.hpp"
 #include "sldv/goal_solver.hpp"
+#include "support/strings.hpp"
 
 namespace cftcg {
 
@@ -24,9 +26,10 @@ namespace {
 /// whatever decision outcomes remain uncovered (inter-inport-correlated
 /// guards are exactly where fuzzing plateaus, §5).
 fuzz::CampaignResult RunHybrid(CompiledModel& cm, const fuzz::FuzzBudget& budget,
-                               std::uint64_t seed) {
+                               std::uint64_t seed, obs::CampaignTelemetry* telemetry) {
   fuzz::FuzzerOptions fo;
   fo.seed = seed;
+  fo.telemetry = telemetry;
   fuzz::Fuzzer fuzzer(cm.instrumented(), cm.spec(), fo);
   fuzz::FuzzBudget fuzz_budget;
   fuzz_budget.wall_seconds = budget.wall_seconds * 0.7;
@@ -64,7 +67,8 @@ fuzz::CampaignResult RunHybrid(CompiledModel& cm, const fuzz::FuzzBudget& budget
 }  // namespace
 
 fuzz::CampaignResult RunTool(CompiledModel& cm, Tool tool, const fuzz::FuzzBudget& budget,
-                             std::uint64_t seed) {
+                             std::uint64_t seed, obs::CampaignTelemetry* telemetry) {
+  obs::ScopedTimer span(StrFormat("tool.%s", std::string(ToolName(tool)).c_str()));
   switch (tool) {
     case Tool::kSldv: {
       sldv::SolverOptions options;
@@ -82,12 +86,14 @@ fuzz::CampaignResult RunTool(CompiledModel& cm, Tool tool, const fuzz::FuzzBudge
       fuzz::FuzzerOptions options;
       options.seed = seed;
       options.model_oriented = true;
+      options.telemetry = telemetry;
       return cm.Fuzz(options, budget);
     }
     case Tool::kFuzzOnly: {
       fuzz::FuzzerOptions options;
       options.seed = seed;
       options.model_oriented = false;
+      options.telemetry = telemetry;
       return cm.Fuzz(options, budget);
     }
     case Tool::kCftcgNoIdc: {
@@ -95,9 +101,10 @@ fuzz::CampaignResult RunTool(CompiledModel& cm, Tool tool, const fuzz::FuzzBudge
       options.seed = seed;
       options.model_oriented = true;
       options.use_idc_energy = false;
+      options.telemetry = telemetry;
       return cm.Fuzz(options, budget);
     }
-    case Tool::kCftcgHybrid: return RunHybrid(cm, budget, seed);
+    case Tool::kCftcgHybrid: return RunHybrid(cm, budget, seed, telemetry);
   }
   return {};
 }
@@ -106,12 +113,20 @@ AveragedMetrics RunAveraged(CompiledModel& cm, Tool tool, const fuzz::FuzzBudget
                             std::uint64_t seed, int reps) {
   AveragedMetrics avg;
   for (int r = 0; r < reps; ++r) {
-    const auto result = RunTool(cm, tool, budget, seed + static_cast<std::uint64_t>(r));
+    obs::Registry registry;
+    obs::CampaignTelemetry telemetry;
+    telemetry.registry = &registry;
+    const auto result =
+        RunTool(cm, tool, budget, seed + static_cast<std::uint64_t>(r), &telemetry);
+    const obs::RegistrySnapshot snap = registry.Snapshot();
     avg.decision_pct += result.report.DecisionPct();
     avg.condition_pct += result.report.ConditionPct();
     avg.mcdc_pct += result.report.McdcPct();
     avg.executions += static_cast<double>(result.executions);
     avg.iterations += static_cast<double>(result.model_iterations);
+    avg.exec_per_s += snap.GaugeValue(
+        "fuzz.exec_per_s",
+        result.elapsed_s > 0 ? static_cast<double>(result.executions) / result.elapsed_s : 0);
   }
   const double n = reps > 0 ? reps : 1;
   avg.decision_pct /= n;
@@ -119,6 +134,7 @@ AveragedMetrics RunAveraged(CompiledModel& cm, Tool tool, const fuzz::FuzzBudget
   avg.mcdc_pct /= n;
   avg.executions /= n;
   avg.iterations /= n;
+  avg.exec_per_s /= n;
   return avg;
 }
 

@@ -9,6 +9,7 @@
 
 #include "cftcg/pipeline.hpp"
 #include "fuzz/fuzzer.hpp"
+#include "obs/telemetry.hpp"
 
 namespace cftcg {
 
@@ -23,9 +24,12 @@ enum class Tool {
 };
 std::string_view ToolName(Tool tool);
 
-/// Runs one tool on one compiled model under a budget.
+/// Runs one tool on one compiled model under a budget. `telemetry` (may be
+/// null) is honored by the fuzzing-loop tools (CFTCG, FuzzOnly, CFTCG-noIDC
+/// and the fuzzing phase of the hybrid); the baselines ignore it. Every
+/// tool run is additionally wrapped in a `tool.<name>` phase timer.
 fuzz::CampaignResult RunTool(CompiledModel& cm, Tool tool, const fuzz::FuzzBudget& budget,
-                             std::uint64_t seed);
+                             std::uint64_t seed, obs::CampaignTelemetry* telemetry = nullptr);
 
 struct AveragedMetrics {
   double decision_pct = 0;
@@ -33,10 +37,16 @@ struct AveragedMetrics {
   double mcdc_pct = 0;
   double executions = 0;
   double iterations = 0;
+  /// Mean executions/second, read from the per-repetition telemetry
+  /// snapshot (`fuzz.exec_per_s`); falls back to executions/elapsed for
+  /// tools that do not emit fuzzer telemetry.
+  double exec_per_s = 0;
 };
 
 /// Repeats RunTool with seeds seed+0..reps-1 and averages the metrics
-/// (the paper repeats 10x for the randomized tools).
+/// (the paper repeats 10x for the randomized tools). Each repetition runs
+/// against a private obs::Registry and the averages are computed from the
+/// same registry snapshots the CLI and benches export.
 AveragedMetrics RunAveraged(CompiledModel& cm, Tool tool, const fuzz::FuzzBudget& budget,
                             std::uint64_t seed, int reps);
 

@@ -1,16 +1,27 @@
 #include "cftcg/pipeline.hpp"
 
+#include "obs/timer.hpp"
 #include "parser/model_io.hpp"
 
 namespace cftcg {
+
+// Every pipeline stage runs under an obs::ScopedTimer recording a
+// `phase.<name>.seconds` histogram in the global registry (parse →
+// analyze+schedule → codegen → vm_load → fuzz); the CLI's --metrics flag
+// dumps them, and `cftcg trace-summary` reads the matching `phase` trace
+// events.
 
 Result<std::unique_ptr<CompiledModel>> CompiledModel::FromModel(
     std::unique_ptr<ir::Model> model) {
   auto compiled = std::unique_ptr<CompiledModel>(new CompiledModel());
   compiled->model_ = std::move(model);
-  auto scheduled = sched::AnalyzeAndSchedule(*compiled->model_);
-  if (!scheduled.ok()) return scheduled.status();
-  compiled->scheduled_ = scheduled.take();
+  {
+    obs::ScopedTimer span("analyze_schedule");
+    auto scheduled = sched::AnalyzeAndSchedule(*compiled->model_);
+    if (!scheduled.ok()) return scheduled.status();
+    compiled->scheduled_ = scheduled.take();
+  }
+  obs::ScopedTimer span("codegen");
   codegen::LoweringOptions opts;
   opts.model_instrumentation = true;
   auto program = codegen::LowerToBytecode(compiled->scheduled_, opts);
@@ -20,19 +31,24 @@ Result<std::unique_ptr<CompiledModel>> CompiledModel::FromModel(
 }
 
 Result<std::unique_ptr<CompiledModel>> CompiledModel::FromXml(const std::string& xml_text) {
+  obs::ScopedTimer span("parse");
   auto model = parser::LoadModel(xml_text);
   if (!model.ok()) return model.status();
+  span.Stop();
   return FromModel(model.take());
 }
 
 Result<std::unique_ptr<CompiledModel>> CompiledModel::FromFile(const std::string& path) {
+  obs::ScopedTimer span("parse");
   auto model = parser::LoadModelFile(path);
   if (!model.ok()) return model.status();
+  span.Stop();
   return FromModel(model.take());
 }
 
 const vm::Program& CompiledModel::fuzz_only() {
   if (!fuzz_only_) {
+    obs::ScopedTimer span("codegen");
     codegen::LoweringOptions opts;
     opts.model_instrumentation = false;
     opts.edge_instrumentation = true;
@@ -50,6 +66,7 @@ const vm::Program& CompiledModel::fuzz_only() {
 
 const vm::Program& CompiledModel::with_margins() {
   if (!with_margins_) {
+    obs::ScopedTimer span("codegen");
     codegen::LoweringOptions opts;
     opts.model_instrumentation = true;
     opts.record_margins = true;
@@ -71,7 +88,10 @@ Result<std::string> CompiledModel::EmitFuzzingCode() const {
 fuzz::CampaignResult CompiledModel::Fuzz(const fuzz::FuzzerOptions& options,
                                          const fuzz::FuzzBudget& budget) {
   const vm::Program* fo = options.model_oriented ? nullptr : &fuzz_only();
+  obs::ScopedTimer vm_span("vm_load");
   fuzz::Fuzzer fuzzer(instrumented_, spec(), options, fo);
+  vm_span.Stop();
+  obs::ScopedTimer span("fuzz");
   return fuzzer.Run(budget);
 }
 

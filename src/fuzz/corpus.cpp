@@ -25,4 +25,10 @@ const CorpusEntry& Corpus::PickUniform(Rng& rng) const {
   return entries_[rng.NextIndex(entries_.size())];
 }
 
+std::size_t Corpus::MaxMetric() const {
+  std::size_t best = 0;
+  for (const auto& e : entries_) best = e.metric > best ? e.metric : best;
+  return best;
+}
+
 }  // namespace cftcg::fuzz

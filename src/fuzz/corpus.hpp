@@ -32,6 +32,12 @@ class Corpus {
   /// Uniform pick (crossover partner).
   [[nodiscard]] const CorpusEntry& PickUniform(Rng& rng) const;
 
+  /// Sum of (metric + 1) over all entries — the denominator of the energy
+  /// distribution (telemetry heartbeats report it alongside max_metric).
+  [[nodiscard]] std::uint64_t total_energy() const { return total_energy_; }
+  /// Largest per-entry metric currently in the corpus.
+  [[nodiscard]] std::size_t MaxMetric() const;
+
  private:
   std::vector<CorpusEntry> entries_;
   std::uint64_t total_energy_ = 0;

@@ -2,16 +2,187 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+
+#include "obs/clock.hpp"
 
 namespace cftcg::fuzz {
 
-namespace {
+// Telemetry state for one campaign. All emission funnels through here so
+// Run() stays readable; every method early-outs when its sink is absent,
+// and a campaign without telemetry constructs this as a handful of null
+// pointers (no clocks, no allocation on the hot path).
+class Fuzzer::Monitor {
+ public:
+  Monitor(const obs::CampaignTelemetry* telemetry, const coverage::CoverageSink& sink,
+          const coverage::CoverageSpec& spec, const Corpus& corpus)
+      : tm_(telemetry), sink_(&sink), spec_(&spec), corpus_(&corpus) {
+    if (tm_ != nullptr && tm_->stats_every_s > 0) next_stat_ = tm_->stats_every_s;
+  }
 
-double Elapsed(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
+  [[nodiscard]] bool active() const { return tm_ != nullptr && tm_->active(); }
 
-}  // namespace
+  /// Time at which the next heartbeat is due (infinity when disabled); the
+  /// main loop compares its already-computed elapsed value against this, so
+  /// an idle heartbeat costs one double comparison per execution.
+  [[nodiscard]] double next_stat_due() const { return next_stat_; }
+
+  void OnStart(const FuzzerOptions& options, const FuzzBudget& budget) {
+    if (tm_ == nullptr || tm_->trace == nullptr) return;
+    tm_->trace->Emit(obs::TraceEvent("start")
+                         .Str("mode", options.model_oriented ? "cftcg" : "fuzz_only")
+                         .U64("seed", options.seed)
+                         .U64("seed_inputs", options.seed_inputs)
+                         .U64("max_tuples", options.max_tuples)
+                         .U64("idc_energy", options.use_idc_energy ? 1 : 0)
+                         .F64("budget_s", budget.wall_seconds)
+                         .I64("fuzz_slots", spec_->FuzzBranchCount())
+                         .I64("outcome_slots", spec_->num_outcome_slots()));
+  }
+
+  void OnNewCoverage(double t, const CampaignResult& result, const TestCase& tc,
+                     std::size_t metric, std::size_t tuple_size) {
+    if (tm_ == nullptr) return;
+    if (tm_->registry != nullptr) {
+      tm_->registry->GetCounter("fuzz.new_coverage_inputs").Increment();
+      tm_->registry
+          ->GetHistogram("fuzz.test_case_tuples", {1, 2, 4, 8, 16, 32, 64, 128, 256})
+          .Record(static_cast<double>(tc.data.size() / std::max<std::size_t>(tuple_size, 1)));
+    }
+    if (tm_->trace == nullptr) return;
+    tm_->trace->Emit(obs::TraceEvent("new")
+                         .F64("time_s", t)
+                         .U64("exec", result.executions)
+                         .U64("new_slots", tc.new_slots)
+                         .I64("outcomes_covered", tc.decision_outcomes_covered)
+                         .U64("corpus", corpus_->size())
+                         .U64("idc", metric)
+                         .U64("tuples", tc.data.size() / std::max<std::size_t>(tuple_size, 1)));
+    // Coverage-frontier update: the covered branch-slot set grew.
+    const std::size_t covered = sink_->total().Count();
+    if (covered > last_frontier_) {
+      last_frontier_ = covered;
+      tm_->trace->Emit(obs::TraceEvent("frontier")
+                           .F64("time_s", t)
+                           .U64("covered_slots", covered)
+                           .I64("total_slots", spec_->FuzzBranchCount())
+                           .I64("outcomes_covered", tc.decision_outcomes_covered));
+    }
+  }
+
+  void Heartbeat(double now, const CampaignResult& result, const StrategyStats& strategies) {
+    if (tm_ == nullptr || next_stat_ == std::numeric_limits<double>::infinity()) return;
+    // Reschedule, skipping any periods a long execution ran through.
+    do next_stat_ += tm_->stats_every_s;
+    while (next_stat_ <= now);
+
+    const double window_s = now - window_start_;
+    const double exec_per_s =
+        window_s > 0 ? static_cast<double>(result.executions - window_exec_) / window_s : 0;
+    const double iters_per_s =
+        window_s > 0 ? static_cast<double>(result.model_iterations - window_iters_) / window_s
+                     : 0;
+    window_start_ = now;
+    window_exec_ = result.executions;
+    window_iters_ = result.model_iterations;
+
+    const coverage::MetricReport report = coverage::ComputeReport(*sink_);
+    SyncRegistry(result, report, exec_per_s, iters_per_s);
+
+    if (tm_->trace != nullptr) {
+      obs::TraceEvent ev("stat");
+      ev.F64("time_s", now)
+          .U64("exec", result.executions)
+          .U64("iters", result.model_iterations)
+          .F64("exec_per_s", exec_per_s)
+          .F64("iters_per_s", iters_per_s)
+          .U64("corpus", corpus_->size())
+          .U64("corpus_energy", corpus_->total_energy())
+          .U64("max_metric", corpus_->MaxMetric())
+          .U64("test_cases", result.test_cases.size())
+          .F64("decision_pct", report.DecisionPct())
+          .F64("condition_pct", report.ConditionPct())
+          .F64("mcdc_pct", report.McdcPct());
+      for (int s = 0; s < kNumMutationStrategies; ++s) {
+        const auto name = MutationStrategyName(static_cast<MutationStrategy>(s));
+        const auto idx = static_cast<std::size_t>(s);
+        ev.U64("strat." + std::string(name) + ".applied", strategies.applied[idx]);
+        ev.U64("strat." + std::string(name) + ".new", strategies.credited[idx]);
+      }
+      tm_->trace->Emit(ev);
+    }
+    if (tm_->status_stream != nullptr) {
+      std::fprintf(tm_->status_stream,
+                   "#%llu\tcov: %.1f/%.1f/%.1f corp: %zu exec/s: %.0f\n",
+                   static_cast<unsigned long long>(result.executions), report.DecisionPct(),
+                   report.ConditionPct(), report.McdcPct(), corpus_->size(), exec_per_s);
+    }
+  }
+
+  void OnStop(double elapsed, const CampaignResult& result) {
+    if (tm_ == nullptr) return;
+    const double exec_per_s =
+        elapsed > 0 ? static_cast<double>(result.executions) / elapsed : 0;
+    const double iters_per_s =
+        elapsed > 0 ? static_cast<double>(result.model_iterations) / elapsed : 0;
+    SyncRegistry(result, result.report, exec_per_s, iters_per_s);
+    if (tm_->registry != nullptr) {
+      for (int s = 0; s < kNumMutationStrategies; ++s) {
+        const auto name = std::string(MutationStrategyName(static_cast<MutationStrategy>(s)));
+        const auto idx = static_cast<std::size_t>(s);
+        tm_->registry->GetCounter("fuzz.strategy." + name + ".applied")
+            .Add(result.strategy_stats.applied[idx]);
+        tm_->registry->GetCounter("fuzz.strategy." + name + ".new")
+            .Add(result.strategy_stats.credited[idx]);
+      }
+    }
+    if (tm_->trace != nullptr) {
+      tm_->trace->Emit(obs::TraceEvent("stop")
+                           .F64("elapsed_s", elapsed)
+                           .U64("exec", result.executions)
+                           .U64("iters", result.model_iterations)
+                           .F64("exec_per_s", exec_per_s)
+                           .U64("corpus", corpus_->size())
+                           .U64("test_cases", result.test_cases.size())
+                           .F64("decision_pct", result.report.DecisionPct())
+                           .F64("condition_pct", result.report.ConditionPct())
+                           .F64("mcdc_pct", result.report.McdcPct()));
+      tm_->trace->Flush();
+    }
+  }
+
+ private:
+  void SyncRegistry(const CampaignResult& result, const coverage::MetricReport& report,
+                    double exec_per_s, double iters_per_s) {
+    if (tm_->registry == nullptr) return;
+    obs::Registry& reg = *tm_->registry;
+    // Counters are monotonic and may be shared across campaigns (e.g. the
+    // global registry in hybrid mode), so sync by delta.
+    reg.GetCounter("fuzz.executions").Add(result.executions - synced_exec_);
+    reg.GetCounter("fuzz.model_iterations").Add(result.model_iterations - synced_iters_);
+    synced_exec_ = result.executions;
+    synced_iters_ = result.model_iterations;
+    reg.GetGauge("fuzz.exec_per_s").Set(exec_per_s);
+    reg.GetGauge("fuzz.iters_per_s").Set(iters_per_s);
+    reg.GetGauge("fuzz.corpus_size").Set(static_cast<double>(corpus_->size()));
+    reg.GetGauge("fuzz.corpus_energy").Set(static_cast<double>(corpus_->total_energy()));
+    reg.GetGauge("fuzz.coverage.decision_pct").Set(report.DecisionPct());
+    reg.GetGauge("fuzz.coverage.condition_pct").Set(report.ConditionPct());
+    reg.GetGauge("fuzz.coverage.mcdc_pct").Set(report.McdcPct());
+  }
+
+  const obs::CampaignTelemetry* tm_;
+  const coverage::CoverageSink* sink_;
+  const coverage::CoverageSpec* spec_;
+  const Corpus* corpus_;
+  double next_stat_ = std::numeric_limits<double>::infinity();
+  double window_start_ = 0;
+  std::uint64_t window_exec_ = 0;
+  std::uint64_t window_iters_ = 0;
+  std::uint64_t synced_exec_ = 0;
+  std::uint64_t synced_iters_ = 0;
+  std::size_t last_frontier_ = 0;
+};
 
 Fuzzer::Fuzzer(const vm::Program& instrumented, const coverage::CoverageSpec& spec,
                FuzzerOptions options, const vm::Program* fuzz_only_program)
@@ -110,7 +281,12 @@ std::size_t Fuzzer::RunOneEdges(const std::vector<std::uint8_t>& data, bool* fou
 
 CampaignResult Fuzzer::Run(const FuzzBudget& budget) {
   CampaignResult result;
-  const auto start = std::chrono::steady_clock::now();
+  // One monotonic clock (obs::Clock) drives every timestamp of the
+  // campaign: TestCase::time_s, elapsed_s, and trace-event times.
+  const obs::Stopwatch watch;
+  Monitor monitor(options_.telemetry, sink_, *spec_, corpus_);
+  monitor.OnStart(options_, budget);
+
   std::size_t best_metric = 0;
   // The raw IDC metric is a sum over iterations, so longer inputs score
   // higher just by being long; energy and admission use the per-iteration
@@ -127,32 +303,50 @@ CampaignResult Fuzzer::Run(const FuzzBudget& budget) {
     seed.data = tuple_mutator_.RandomInput(n, rng_);
     bool found_new = false;
     std::size_t new_slots = 0;
+    std::size_t metric = 0;
     if (options_.model_oriented) {
-      seed.metric = idc_density(RunOneInstrumented(seed.data, &found_new, &new_slots), seed.data);
+      metric = idc_density(RunOneInstrumented(seed.data, &found_new, &new_slots), seed.data);
+      seed.metric = metric;
     } else {
       seed.metric = RunOneEdges(seed.data, &found_new);
+      metric = seed.metric;
       if (found_new) MeasureOnInstrumented(seed.data);
     }
     ++result.executions;
     seed.new_slots = new_slots;
     if (!options_.use_idc_energy) seed.metric = 0;
     if (found_new) {
-      result.test_cases.push_back(TestCase{seed.data, Elapsed(start), new_slots,
+      result.test_cases.push_back(TestCase{seed.data, watch.Elapsed(), new_slots,
                                            DecisionOutcomesCovered()});
+      monitor.OnNewCoverage(result.test_cases.back().time_s, result,
+                            result.test_cases.back(), metric, tuple_size);
     }
     best_metric = std::max(best_metric, seed.metric);
     corpus_.Add(std::move(seed));
   }
 
   static const std::vector<std::uint8_t> kEmpty;
-  while (Elapsed(start) < budget.wall_seconds && result.executions < budget.max_executions) {
+  std::vector<MutationStrategy> applied;  // scratch, reused across executions
+  const bool track_strategies = options_.model_oriented;
+  while (true) {
+    const double now = watch.Elapsed();
+    if (now >= monitor.next_stat_due()) {
+      result.model_iterations = model_iterations_;
+      result.strategy_stats = strategy_stats_;
+      monitor.Heartbeat(now, result, strategy_stats_);
+    }
+    if (now >= budget.wall_seconds || result.executions >= budget.max_executions) break;
+
     const CorpusEntry& parent = corpus_.Pick(rng_);
     const std::vector<std::uint8_t>& partner =
         corpus_.size() > 1 ? corpus_.PickUniform(rng_).data : kEmpty;
+    applied.clear();
     std::vector<std::uint8_t> data =
         options_.model_oriented
-            ? tuple_mutator_.Mutate(parent.data, partner, rng_, &cmp_trace_)
+            ? tuple_mutator_.Mutate(parent.data, partner, rng_, &cmp_trace_,
+                                    track_strategies ? &applied : nullptr)
             : byte_mutator_.Mutate(parent.data, partner, rng_, &cmp_trace_);
+    if (track_strategies) strategy_stats_.CountApplied(applied);
 
     bool found_new = false;
     std::size_t new_slots = 0;
@@ -166,8 +360,11 @@ CampaignResult Fuzzer::Run(const FuzzBudget& budget) {
     ++result.executions;
 
     if (found_new) {
+      if (track_strategies) strategy_stats_.CountCredited(applied);
       result.test_cases.push_back(
-          TestCase{data, Elapsed(start), new_slots, DecisionOutcomesCovered()});
+          TestCase{data, watch.Elapsed(), new_slots, DecisionOutcomesCovered()});
+      monitor.OnNewCoverage(result.test_cases.back().time_s, result,
+                            result.test_cases.back(), metric, tuple_size);
     }
     // Corpus policy (paper §3.2.2): keep inputs that trigger new coverage,
     // and inputs whose Iteration Difference Coverage beats what we've seen.
@@ -183,9 +380,11 @@ CampaignResult Fuzzer::Run(const FuzzBudget& budget) {
     }
   }
 
-  result.elapsed_s = Elapsed(start);
+  result.elapsed_s = watch.Elapsed();
   result.model_iterations = model_iterations_;
   result.report = coverage::ComputeReport(sink_);
+  result.strategy_stats = strategy_stats_;
+  monitor.OnStop(result.elapsed_s, result);
   return result;
 }
 

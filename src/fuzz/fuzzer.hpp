@@ -15,7 +15,6 @@
 //     the same model-coverage space (Figure 8).
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -25,6 +24,7 @@
 #include "coverage/sink.hpp"
 #include "fuzz/corpus.hpp"
 #include "fuzz/mutator.hpp"
+#include "obs/telemetry.hpp"
 #include "vm/machine.hpp"
 
 namespace cftcg::fuzz {
@@ -38,6 +38,10 @@ struct FuzzerOptions {
   /// Optional per-inport value ranges (§5 of the paper: testers can narrow
   /// the random exploration space of over-wide integer inports).
   std::vector<FieldRange> field_ranges;
+  /// Optional campaign telemetry (metrics registry, JSONL trace, periodic
+  /// heartbeat/status line). Not owned; must outlive the Fuzzer. Null keeps
+  /// the loop telemetry-free.
+  obs::CampaignTelemetry* telemetry = nullptr;
 };
 
 struct FuzzBudget {
@@ -59,6 +63,10 @@ struct CampaignResult {
   std::uint64_t model_iterations = 0;
   coverage::MetricReport report;  // measured on the instrumented program
   double elapsed_s = 0;
+  /// Per-strategy application / NEW-coverage-credit counts (Table 1
+  /// accounting). All zero in Fuzz Only mode (byte mutation has no
+  /// strategy structure).
+  StrategyStats strategy_stats;
 };
 
 class Fuzzer {
@@ -82,6 +90,8 @@ class Fuzzer {
   [[nodiscard]] const coverage::CoverageSink& sink() const { return sink_; }
 
  private:
+  class Monitor;  // telemetry state for one Run() (defined in fuzzer.cpp)
+
   void MeasureOnInstrumented(const std::vector<std::uint8_t>& data);
   std::size_t RunOneEdges(const std::vector<std::uint8_t>& data, bool* found_new);
   int DecisionOutcomesCovered() const;
@@ -99,6 +109,7 @@ class Fuzzer {
   Corpus corpus_;
   Rng rng_;
   std::uint64_t model_iterations_ = 0;
+  StrategyStats strategy_stats_;
   // Fuzz-only state.
   std::unique_ptr<vm::Machine> fuzz_machine_;
   std::vector<std::uint8_t> edge_total_;

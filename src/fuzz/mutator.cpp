@@ -306,7 +306,8 @@ std::vector<std::uint8_t> TupleMutator::ApplyStrategy(MutationStrategy s,
 
 std::vector<std::uint8_t> TupleMutator::Mutate(const std::vector<std::uint8_t>& input,
                                                const std::vector<std::uint8_t>& crossover,
-                                               Rng& rng, const vm::CmpTrace* dict) const {
+                                               Rng& rng, const vm::CmpTrace* dict,
+                                               std::vector<MutationStrategy>* applied) const {
   std::vector<std::uint8_t> data = input;
   const std::size_t rounds = 1 + rng.NextBelow(3);
   for (std::size_t k = 0; k < rounds; ++k) {
@@ -321,6 +322,7 @@ std::vector<std::uint8_t> TupleMutator::Mutate(const std::vector<std::uint8_t>& 
     else if (roll < 86) s = MutationStrategy::kShuffleTuples;
     else if (roll < 93) s = MutationStrategy::kCopyTuples;
     else s = MutationStrategy::kTuplesCrossOver;
+    if (applied != nullptr) applied->push_back(s);
     data = ApplyStrategy(s, data, crossover, rng, dict);
   }
   return data;

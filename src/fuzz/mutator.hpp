@@ -20,6 +20,7 @@
 //   Tuples Cross Over       — splice tuples from a second stream
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -59,6 +60,23 @@ enum class MutationStrategy {
 inline constexpr int kNumMutationStrategies = 8;
 std::string_view MutationStrategyName(MutationStrategy s);
 
+/// Per-campaign accounting over the eight Table 1 strategies: how often
+/// each was applied, and how many applications contributed to an input
+/// that triggered NEW model coverage. A multi-round Mutate() call credits
+/// every strategy in the chain (ancestry is not disentangled — this is the
+/// same attribution libFuzzer's -print_mutation_stats uses).
+struct StrategyStats {
+  std::array<std::uint64_t, kNumMutationStrategies> applied{};
+  std::array<std::uint64_t, kNumMutationStrategies> credited{};
+
+  void CountApplied(const std::vector<MutationStrategy>& chain) {
+    for (MutationStrategy s : chain) ++applied[static_cast<std::size_t>(s)];
+  }
+  void CountCredited(const std::vector<MutationStrategy>& chain) {
+    for (MutationStrategy s : chain) ++credited[static_cast<std::size_t>(s)];
+  }
+};
+
 /// Optional per-field value ranges (the paper's §5 mitigation for the
 /// "validity of randomized values" problem: testers specify inport ranges
 /// and mutation stays inside them).
@@ -81,10 +99,12 @@ class TupleMutator {
   /// Applies 1-3 randomly chosen strategies. `crossover` (may be empty) is
   /// the partner stream for kTuplesCrossOver; `dict` (optional) is the
   /// libFuzzer-style table of recent compares whose operands get written
-  /// into fields.
+  /// into fields. When `applied` is non-null the chosen strategies are
+  /// appended to it in application order (telemetry / Table 1 accounting).
   std::vector<std::uint8_t> Mutate(const std::vector<std::uint8_t>& input,
                                    const std::vector<std::uint8_t>& crossover, Rng& rng,
-                                   const vm::CmpTrace* dict = nullptr) const;
+                                   const vm::CmpTrace* dict = nullptr,
+                                   std::vector<MutationStrategy>* applied = nullptr) const;
 
   /// Applies exactly one named strategy (unit tests / ablation).
   std::vector<std::uint8_t> ApplyStrategy(MutationStrategy s,

@@ -1,0 +1,36 @@
+// The single monotonic clock source for campaign telemetry.
+//
+// Every timestamp the system reports — TestCase::time_s, CampaignResult::
+// elapsed_s, trace-event `t` fields, phase-timer durations — is derived from
+// this one steady clock, so timestamps from different layers are directly
+// comparable (no mixing of system_clock and steady_clock epochs).
+#pragma once
+
+#include <chrono>
+
+namespace cftcg::obs {
+
+struct Clock {
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  static TimePoint Now() { return std::chrono::steady_clock::now(); }
+
+  static double SecondsBetween(TimePoint from, TimePoint to) {
+    return std::chrono::duration<double>(to - from).count();
+  }
+};
+
+/// Elapsed-seconds helper over Clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::Now()) {}
+
+  void Restart() { start_ = Clock::Now(); }
+  [[nodiscard]] double Elapsed() const { return Clock::SecondsBetween(start_, Clock::Now()); }
+  [[nodiscard]] Clock::TimePoint start() const { return start_; }
+
+ private:
+  Clock::TimePoint start_;
+};
+
+}  // namespace cftcg::obs

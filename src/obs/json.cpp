@@ -1,0 +1,245 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace cftcg::obs {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+}
+
+std::string JsonValue::StringOr(std::string_view key, std::string_view fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kString ? v->string : std::string(fallback);
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Integers (the common case for counters) print without an exponent.
+  if (value == static_cast<double>(static_cast<long long>(value)) && std::fabs(value) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(value));
+  }
+  return DoubleToString(value);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    if (Status s = ParseValue(value); !s.ok()) return s;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  Status Fail(std::string_view what) const {
+    return Status::Error(StrFormat("json: %s at offset %zu", std::string(what).c_str(), pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue& out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return ParseString(out.string);
+    }
+    if (ConsumeWord("true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return Status::Ok();
+    }
+    if (ConsumeWord("false")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return Status::Ok();
+    }
+    if (ConsumeWord("null")) {
+      out.kind = JsonValue::Kind::kNull;
+      return Status::Ok();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return Fail("expected object key");
+      std::string key;
+      if (Status s = ParseString(key); !s.ok()) return s;
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      if (Status s = ParseValue(value); !s.ok()) return s;
+      out.members.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      JsonValue value;
+      if (Status s = ParseValue(value); !s.ok()) return s;
+      out.items.push_back(std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode (surrogate pairs are passed through individually;
+          // the writer never emits them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return Fail("bad escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    double value = 0;
+    if (!ParseDouble(text_.substr(start, pos_ - start), value)) return Fail("malformed number");
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = value;
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) { return Parser(text).Parse(); }
+
+}  // namespace cftcg::obs

@@ -1,0 +1,49 @@
+// Minimal JSON support for the observability layer.
+//
+// The trace writer emits JSONL and the metrics registry exports a JSON
+// snapshot; the `trace-summary` CLI command and the bench harness read those
+// artifacts back. This is a small, strict parser for that closed loop — it
+// accepts all of RFC 8259 (objects, arrays, strings with escapes, numbers,
+// booleans, null) and rejects trailing garbage; it is not meant as a
+// general-purpose JSON library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace cftcg::obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+  std::vector<JsonValue> items;                            // kArray
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience accessors over Find() for flat event records.
+  [[nodiscard]] double NumberOr(std::string_view key, double fallback) const;
+  [[nodiscard]] std::string StringOr(std::string_view key, std::string_view fallback) const;
+};
+
+/// Parses one complete JSON document (leading/trailing whitespace allowed).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Escapes a string for embedding between JSON double quotes (quotes not
+/// included in the output).
+std::string JsonEscape(std::string_view text);
+
+/// Renders a double as a JSON number (finite values round-trip; NaN and
+/// infinities — not representable in JSON — are rendered as null).
+std::string JsonNumber(double value);
+
+}  // namespace cftcg::obs

@@ -1,0 +1,143 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/json.hpp"
+#include "support/strings.hpp"
+
+namespace cftcg::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+}
+
+std::uint64_t RegistrySnapshot::CounterValue(std::string_view name,
+                                            std::uint64_t fallback) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return fallback;
+}
+
+double RegistrySnapshot::GaugeValue(std::string_view name, double fallback) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return fallback;
+}
+
+const HistogramSnapshot* RegistrySnapshot::FindHistogram(std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string RegistrySnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += StrFormat("\"%s\":%llu", JsonEscape(c.name).c_str(),
+                     static_cast<unsigned long long>(c.value));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += StrFormat("\"%s\":%s", JsonEscape(g.name).c_str(), JsonNumber(g.value).c_str());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += StrFormat("\"%s\":{\"count\":%llu,\"sum\":%s,\"min\":%s,\"max\":%s,\"buckets\":[",
+                     JsonEscape(h.name).c_str(), static_cast<unsigned long long>(h.count),
+                     JsonNumber(h.sum).c_str(), JsonNumber(h.min).c_str(),
+                     JsonNumber(h.max).c_str());
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out += ',';
+      const std::string le = i < h.bounds.size() ? JsonNumber(h.bounds[i]) : "\"inf\"";
+      out += StrFormat("{\"le\":%s,\"count\":%llu}", le.c_str(),
+                       static_cast<unsigned long long>(h.bucket_counts[i]));
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back(CounterSnapshot{name, counter->value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back(GaugeSnapshot{name, gauge->value()});
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.push_back(HistogramSnapshot{name, hist->count(), hist->sum(), hist->min(),
+                                                hist->max(), hist->bounds(),
+                                                hist->bucket_counts()});
+  }
+  return snap;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed (safe at exit)
+  return *registry;
+}
+
+std::vector<double> DurationBucketBounds() {
+  return {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 10, 60, 300};
+}
+
+}  // namespace cftcg::obs

@@ -1,0 +1,136 @@
+// Metrics registry — lock-cheap counters, gauges and fixed-bucket
+// histograms with a pull-style snapshot API.
+//
+// Hot-path writes are a single relaxed atomic op (Counter/Gauge) or a few
+// plain stores (Histogram, single-writer); registration and snapshotting
+// take a mutex but happen off the hot path. Metric objects have stable
+// addresses for the life of the registry, so callers hoist the lookup out
+// of their loops:
+//
+//   obs::Counter& execs = registry.GetCounter("fuzz.executions");
+//   while (...) { execs.Increment(); }
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cftcg::obs {
+
+class Counter {
+ public:
+  void Add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples with
+/// value <= bounds[i] (and > bounds[i-1]); one overflow bucket catches the
+/// rest. Single-writer: concurrent Record calls on one histogram race.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// bucket_counts().size() == bounds().size() + 1 (last = overflow).
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+
+ private:
+  std::vector<double> bounds_;           // ascending upper bounds
+  std::vector<std::uint64_t> buckets_;   // bounds_.size() + 1 entries
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  [[nodiscard]] double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0; }
+};
+
+/// A point-in-time copy of every metric; later registry updates do not
+/// affect an already-taken snapshot. Entries are sorted by name.
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  [[nodiscard]] std::uint64_t CounterValue(std::string_view name, std::uint64_t fallback) const;
+  [[nodiscard]] double GaugeValue(std::string_view name, double fallback) const;
+  [[nodiscard]] const HistogramSnapshot* FindHistogram(std::string_view name) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+  /// buckets:[{le,count},...]}}} — parses back with obs::ParseJson.
+  [[nodiscard]] std::string ToJson() const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create by name. Re-requesting a name returns the same object;
+  /// a histogram's bounds are fixed by its first registration.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  [[nodiscard]] RegistrySnapshot Snapshot() const;
+
+  /// Process-wide registry used by the pipeline phase timers (and by the
+  /// CLI's --metrics dump). Library embedders that want isolation pass
+  /// their own Registry instead.
+  static Registry& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Default bucket bounds for phase/span durations in seconds.
+std::vector<double> DurationBucketBounds();
+
+}  // namespace cftcg::obs

@@ -1,0 +1,34 @@
+// Campaign telemetry wiring.
+//
+// One CampaignTelemetry bundles the sinks a fuzzing campaign reports into.
+// Every part is optional and defaults to off; a default-constructed (or
+// absent) CampaignTelemetry keeps the fuzzing hot path free of telemetry
+// work, which is how the "within 5% of untraced throughput" budget is met.
+#pragma once
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cftcg::obs {
+
+struct CampaignTelemetry {
+  /// Metrics sink (fuzz.* counters/gauges/histograms). Null disables.
+  Registry* registry = nullptr;
+  /// JSONL event trace (start/new/frontier/stat/stop). Null disables.
+  TraceWriter* trace = nullptr;
+  /// Heartbeat period for `stat` events and the status line; <= 0 disables.
+  double stats_every_s = 0;
+  /// Stream for the libFuzzer-style periodic status line
+  /// (`#exec cov: D/C/MCDC corp: N exec/s: R`), typically stderr. Null
+  /// disables the line (stat trace events are still emitted).
+  std::FILE* status_stream = nullptr;
+
+  [[nodiscard]] bool active() const {
+    return registry != nullptr || trace != nullptr || stats_every_s > 0 ||
+           status_stream != nullptr;
+  }
+};
+
+}  // namespace cftcg::obs

@@ -1,0 +1,24 @@
+#include "obs/timer.hpp"
+
+namespace cftcg::obs {
+
+ScopedTimer::ScopedTimer(std::string_view phase, Registry* registry, TraceWriter* trace)
+    : phase_(phase), registry_(registry), trace_(trace) {}
+
+ScopedTimer::~ScopedTimer() { Stop(); }
+
+double ScopedTimer::Stop() {
+  if (stopped_) return 0;
+  stopped_ = true;
+  const double seconds = watch_.Elapsed();
+  if (registry_ != nullptr) {
+    registry_->GetHistogram("phase." + phase_ + ".seconds", DurationBucketBounds())
+        .Record(seconds);
+  }
+  if (trace_ != nullptr) {
+    trace_->Emit(TraceEvent("phase").Str("name", phase_).F64("seconds", seconds));
+  }
+  return seconds;
+}
+
+}  // namespace cftcg::obs

@@ -1,0 +1,41 @@
+// RAII phase timers.
+//
+// A ScopedTimer measures one pipeline span (parse, schedule, codegen,
+// vm_load, fuzz, ...) and on close records a `phase.<name>.seconds`
+// histogram sample in a Registry and, optionally, a `phase` trace event.
+// Construction/destruction cost is one clock read each, so spans can wrap
+// whole stages without distorting them.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cftcg::obs {
+
+class ScopedTimer {
+ public:
+  /// Records into `registry` (default: the process-global registry) and,
+  /// when non-null, emits a `phase` event to `trace` on close.
+  explicit ScopedTimer(std::string_view phase, Registry* registry = &Registry::Global(),
+                       TraceWriter* trace = nullptr);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Closes the span early and returns its duration; the destructor then
+  /// does nothing. Safe to call once.
+  double Stop();
+
+ private:
+  std::string phase_;
+  Registry* registry_;
+  TraceWriter* trace_;
+  Stopwatch watch_;
+  bool stopped_ = false;
+};
+
+}  // namespace cftcg::obs

@@ -1,0 +1,55 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+#include "support/strings.hpp"
+
+namespace cftcg::obs {
+
+TraceEvent& TraceEvent::U64(std::string_view key, std::uint64_t value) {
+  payload_ += StrFormat(",\"%s\":%llu", JsonEscape(key).c_str(),
+                        static_cast<unsigned long long>(value));
+  return *this;
+}
+
+TraceEvent& TraceEvent::I64(std::string_view key, std::int64_t value) {
+  payload_ +=
+      StrFormat(",\"%s\":%lld", JsonEscape(key).c_str(), static_cast<long long>(value));
+  return *this;
+}
+
+TraceEvent& TraceEvent::F64(std::string_view key, double value) {
+  payload_ += StrFormat(",\"%s\":%s", JsonEscape(key).c_str(), JsonNumber(value).c_str());
+  return *this;
+}
+
+TraceEvent& TraceEvent::Str(std::string_view key, std::string_view value) {
+  payload_ += StrFormat(",\"%s\":\"%s\"", JsonEscape(key).c_str(), JsonEscape(value).c_str());
+  return *this;
+}
+
+Result<std::unique_ptr<TraceWriter>> TraceWriter::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Error(StrFormat("cannot open trace file %s for writing", path.c_str()));
+  }
+  return std::unique_ptr<TraceWriter>(new TraceWriter(file));
+}
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceWriter::Emit(const TraceEvent& event) {
+  const std::string line =
+      StrFormat("{\"t\":%.6f,\"ev\":\"%s\"%s}\n", clock_.Elapsed(),
+                JsonEscape(event.kind_).c_str(), event.payload_.c_str());
+  if (file_ != nullptr) std::fwrite(line.data(), 1, line.size(), file_);
+  if (buffer_ != nullptr) buffer_->append(line);
+  ++events_;
+}
+
+void TraceWriter::Flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+}  // namespace cftcg::obs

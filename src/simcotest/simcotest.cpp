@@ -1,18 +1,11 @@
 #include "simcotest/simcotest.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
+#include "obs/clock.hpp"
+
 namespace cftcg::simcotest {
-
-namespace {
-
-double Elapsed(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
-
-}  // namespace
 
 double SignalProfile::At(int k, Rng& walk_rng) const {
   switch (shape) {
@@ -48,12 +41,12 @@ double SimCoTest::Distance(const Features& a, const Features& b) {
 
 fuzz::CampaignResult SimCoTest::Run(const fuzz::FuzzBudget& budget) {
   fuzz::CampaignResult result;
-  const auto start = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;  // obs::Clock: shared monotonic time source
   const auto in_types = sm_->InportTypes();
   const std::size_t fields = in_types.size();
   const std::size_t tuple_size = sm_->TupleSize();
 
-  while (Elapsed(start) < budget.wall_seconds && result.executions < budget.max_executions) {
+  while (watch.Elapsed() < budget.wall_seconds && result.executions < budget.max_executions) {
     // Draw one signal profile per inport.
     std::vector<SignalProfile> profiles(fields);
     for (std::size_t f = 0; f < fields; ++f) {
@@ -110,7 +103,7 @@ fuzz::CampaignResult SimCoTest::Run(const fuzz::FuzzBudget& budget) {
       for (int slot = 0; slot < sm_->spec.num_outcome_slots(); ++slot) {
         if (sink_.total().Test(static_cast<std::size_t>(slot))) ++covered;
       }
-      result.test_cases.push_back(fuzz::TestCase{data, Elapsed(start), total_fresh, covered});
+      result.test_cases.push_back(fuzz::TestCase{data, watch.Elapsed(), total_fresh, covered});
     }
 
     // Output-diversity archive (meta-heuristic selection): compute output
@@ -148,7 +141,7 @@ fuzz::CampaignResult SimCoTest::Run(const fuzz::FuzzBudget& budget) {
     }
   }
 
-  result.elapsed_s = Elapsed(start);
+  result.elapsed_s = watch.Elapsed();
   result.report = coverage::ComputeReport(sink_);
   return result;
 }

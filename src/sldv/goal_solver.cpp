@@ -1,18 +1,11 @@
 #include "sldv/goal_solver.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
+#include "obs/clock.hpp"
+
 namespace cftcg::sldv {
-
-namespace {
-
-double Elapsed(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
-
-}  // namespace
 
 GoalSolver::GoalSolver(const vm::Program& program, const coverage::CoverageSpec& spec,
                        SolverOptions options)
@@ -104,7 +97,7 @@ void GoalSolver::SeedCoverage(const DynamicBitset& covered) {
 
 fuzz::CampaignResult GoalSolver::Run(const fuzz::FuzzBudget& budget) {
   fuzz::CampaignResult result;
-  const auto start = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;  // obs::Clock: shared monotonic time source
 
   // Objectives: every decision outcome.
   struct Goal {
@@ -118,7 +111,7 @@ fuzz::CampaignResult GoalSolver::Run(const fuzz::FuzzBudget& budget) {
   stats_.goals_total = goals.size();
 
   auto out_of_budget = [&] {
-    return Elapsed(start) >= budget.wall_seconds || stats_.runs >= budget.max_executions;
+    return watch.Elapsed() >= budget.wall_seconds || stats_.runs >= budget.max_executions;
   };
 
   auto record_if_new = [&](const std::vector<double>& candidate, std::size_t fresh) {
@@ -128,7 +121,7 @@ fuzz::CampaignResult GoalSolver::Run(const fuzz::FuzzBudget& budget) {
       if (sink_.total().Test(static_cast<std::size_t>(slot))) ++covered;
     }
     result.test_cases.push_back(
-        fuzz::TestCase{Serialize(candidate), Elapsed(start), fresh, covered});
+        fuzz::TestCase{Serialize(candidate), watch.Elapsed(), fresh, covered});
   };
 
   bool progress = true;
@@ -202,7 +195,7 @@ fuzz::CampaignResult GoalSolver::Run(const fuzz::FuzzBudget& budget) {
   }
   result.executions = stats_.runs;
   result.model_iterations = stats_.runs * static_cast<std::uint64_t>(options_.horizon);
-  result.elapsed_s = Elapsed(start);
+  result.elapsed_s = watch.Elapsed();
   result.report = coverage::ComputeReport(sink_);
   return result;
 }

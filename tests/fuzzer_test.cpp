@@ -4,6 +4,9 @@
 #include "bench_models/bench_models.hpp"
 #include "cftcg/pipeline.hpp"
 #include "ir/builder.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+#include "support/strings.hpp"
 
 namespace cftcg::fuzz {
 namespace {
@@ -171,6 +174,84 @@ TEST(FuzzerTest, TestCaseTimesAreMonotonic) {
     EXPECT_LE(result.test_cases[i - 1].decision_outcomes_covered,
               result.test_cases[i].decision_outcomes_covered);
   }
+}
+
+TEST(FuzzerTest, TelemetryEmitsOrderedEvents) {
+  auto cm = Compile(bench_models::BuildAfc());
+  FuzzerOptions options;
+  options.seed = 21;
+
+  std::string buffer;
+  obs::TraceWriter trace(&buffer);
+  obs::Registry registry;
+  obs::CampaignTelemetry telemetry;
+  telemetry.trace = &trace;
+  telemetry.registry = &registry;
+  telemetry.stats_every_s = 1e-9;  // heartbeat on (virtually) every loop turn
+  options.telemetry = &telemetry;
+
+  Fuzzer fuzzer(cm->instrumented(), cm->spec(), options);
+  FuzzBudget budget;
+  budget.wall_seconds = 5.0;
+  budget.max_executions = 300;
+  const auto result = fuzzer.Run(budget);
+  trace.Flush();
+
+  std::vector<obs::JsonValue> events;
+  for (const auto& line : SplitString(buffer, '\n')) {
+    if (line.empty()) continue;
+    auto parsed = obs::ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.message() << " in: " << line;
+    events.push_back(parsed.take());
+  }
+
+  // Order contract: start first, stop last, at least one stat and one new
+  // coverage event between them, timestamps monotonic non-decreasing.
+  ASSERT_GE(events.size(), 4U);
+  EXPECT_EQ(events.front().StringOr("ev", ""), "start");
+  EXPECT_EQ(events.back().StringOr("ev", ""), "stop");
+  int stats = 0;
+  int news = 0;
+  double prev_t = -1;
+  for (const auto& ev : events) {
+    const std::string kind = ev.StringOr("ev", "");
+    if (kind == "stat") ++stats;
+    if (kind == "new") ++news;
+    const double t = ev.NumberOr("t", -1);
+    EXPECT_GE(t, prev_t);
+    prev_t = t;
+  }
+  EXPECT_GE(stats, 1);
+  EXPECT_GE(news, 1);
+
+  // The metrics registry agrees with the campaign result.
+  const obs::RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("fuzz.executions", 0), result.executions);
+  EXPECT_EQ(snap.CounterValue("fuzz.model_iterations", 0), result.model_iterations);
+  EXPECT_EQ(snap.CounterValue("fuzz.new_coverage_inputs", 0),
+            static_cast<std::uint64_t>(result.test_cases.size()));
+}
+
+TEST(FuzzerTest, StrategyStatsAccountApplications) {
+  auto cm = Compile(bench_models::BuildAfc());
+  FuzzerOptions options;
+  options.seed = 8;
+  Fuzzer fuzzer(cm->instrumented(), cm->spec(), options);
+  FuzzBudget budget;
+  budget.wall_seconds = 5.0;
+  budget.max_executions = 500;
+  const auto result = fuzzer.Run(budget);
+
+  std::uint64_t total_applied = 0;
+  for (int s = 0; s < kNumMutationStrategies; ++s) {
+    total_applied += result.strategy_stats.applied[static_cast<std::size_t>(s)];
+    // A strategy cannot be credited with new coverage more often than it ran.
+    EXPECT_LE(result.strategy_stats.credited[static_cast<std::size_t>(s)],
+              result.strategy_stats.applied[static_cast<std::size_t>(s)])
+        << MutationStrategyName(static_cast<MutationStrategy>(s));
+  }
+  // Every post-seed execution applies at least one strategy.
+  EXPECT_GT(total_applied, 0U);
 }
 
 TEST(CorpusTest, EnergyWeightedPickPrefersHighMetric) {

@@ -1,0 +1,239 @@
+// Tests of the observability subsystem: metrics registry snapshots,
+// histogram bucketing, the JSONL trace writer, phase timers, and the JSON
+// parser that closes the loop.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+#include "support/strings.hpp"
+
+namespace cftcg::obs {
+namespace {
+
+TEST(RegistryTest, GetOrCreateReturnsSameObject) {
+  Registry registry;
+  Counter& a = registry.GetCounter("fuzz.executions");
+  Counter& b = registry.GetCounter("fuzz.executions");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3U);
+
+  Gauge& g1 = registry.GetGauge("fuzz.exec_per_s");
+  Gauge& g2 = registry.GetGauge("fuzz.exec_per_s");
+  EXPECT_EQ(&g1, &g2);
+
+  Histogram& h1 = registry.GetHistogram("phase.fuzz.seconds", {1, 2});
+  Histogram& h2 = registry.GetHistogram("phase.fuzz.seconds", {99});  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2U);
+}
+
+TEST(RegistryTest, SnapshotIsPointInTime) {
+  Registry registry;
+  Counter& c = registry.GetCounter("c");
+  Gauge& g = registry.GetGauge("g");
+  c.Add(5);
+  g.Set(1.5);
+
+  const RegistrySnapshot snap = registry.Snapshot();
+  // Later updates must not leak into an already-taken snapshot.
+  c.Add(100);
+  g.Set(-2);
+  registry.GetCounter("later");
+
+  EXPECT_EQ(snap.CounterValue("c", 0), 5U);
+  EXPECT_DOUBLE_EQ(snap.GaugeValue("g", 0), 1.5);
+  EXPECT_EQ(snap.CounterValue("later", 777), 777U);  // fallback: not in snapshot
+  EXPECT_EQ(snap.counters.size(), 1U);
+
+  const RegistrySnapshot snap2 = registry.Snapshot();
+  EXPECT_EQ(snap2.CounterValue("c", 0), 105U);
+  EXPECT_EQ(snap2.counters.size(), 2U);
+}
+
+TEST(RegistryTest, SnapshotEntriesSortedByName) {
+  Registry registry;
+  registry.GetCounter("zebra");
+  registry.GetCounter("alpha");
+  registry.GetCounter("mid");
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3U);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "mid");
+  EXPECT_EQ(snap.counters[2].name, "zebra");
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 10.0, 100.0});
+  // Bucket i counts samples with value <= bounds[i] (and > bounds[i-1]);
+  // exact boundary values land in the lower bucket.
+  h.Record(0.5);    // bucket 0
+  h.Record(1.0);    // bucket 0 (== bound)
+  h.Record(1.0001); // bucket 1
+  h.Record(10.0);   // bucket 1
+  h.Record(99.0);   // bucket 2
+  h.Record(100.5);  // overflow
+  h.Record(1e9);    // overflow
+
+  const std::vector<std::uint64_t>& buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4U);
+  EXPECT_EQ(buckets[0], 2U);
+  EXPECT_EQ(buckets[1], 2U);
+  EXPECT_EQ(buckets[2], 1U);
+  EXPECT_EQ(buckets[3], 2U);
+  EXPECT_EQ(h.count(), 7U);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+}
+
+TEST(HistogramTest, SnapshotMeanAndJsonRoundTrip) {
+  Registry registry;
+  Histogram& h = registry.GetHistogram("h", {1.0});
+  h.Record(0.5);
+  h.Record(1.5);
+  const RegistrySnapshot snap = registry.Snapshot();
+  const HistogramSnapshot* hs = snap.FindHistogram("h");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_DOUBLE_EQ(hs->Mean(), 1.0);
+
+  // The exported JSON must parse back with our own parser.
+  auto parsed = ParseJson(snap.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  const JsonValue* histograms = parsed.value().Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* hj = histograms->Find("h");
+  ASSERT_NE(hj, nullptr);
+  EXPECT_DOUBLE_EQ(hj->NumberOr("count", 0), 2.0);
+  EXPECT_DOUBLE_EQ(hj->NumberOr("sum", 0), 2.0);
+}
+
+TEST(TraceWriterTest, EveryLineParsesBackAsJson) {
+  std::string buffer;
+  TraceWriter writer(&buffer);
+  writer.Emit(TraceEvent("start").Str("mode", "cftcg").U64("seed", 42));
+  writer.Emit(TraceEvent("new").F64("time_s", 0.25).I64("delta", -3));
+  // Strings that need escaping: quotes, backslash, newline, control char.
+  writer.Emit(TraceEvent("note").Str("text", "a \"quoted\" \\ line\nwith\tcontrol\x01char"));
+  writer.Emit(TraceEvent("stop"));
+  writer.Flush();
+  EXPECT_EQ(writer.events_written(), 4U);
+
+  const auto lines = SplitString(buffer, '\n');
+  std::vector<JsonValue> events;
+  for (const auto& line : lines) {
+    if (line.empty()) continue;
+    auto parsed = ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.message() << " in: " << line;
+    events.push_back(parsed.take());
+  }
+  ASSERT_EQ(events.size(), 4U);
+  EXPECT_EQ(events[0].StringOr("ev", ""), "start");
+  EXPECT_EQ(events[0].StringOr("mode", ""), "cftcg");
+  EXPECT_DOUBLE_EQ(events[0].NumberOr("seed", 0), 42.0);
+  EXPECT_DOUBLE_EQ(events[1].NumberOr("delta", 0), -3.0);
+  EXPECT_EQ(events[2].StringOr("text", ""), "a \"quoted\" \\ line\nwith\tcontrol\x01char");
+  EXPECT_EQ(events[3].StringOr("ev", ""), "stop");
+
+  // Timestamps are monotonic non-decreasing.
+  double prev = -1;
+  for (const auto& ev : events) {
+    const double t = ev.NumberOr("t", -1);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ScopedTimerTest, RecordsPhaseHistogramAndTraceEvent) {
+  Registry registry;
+  std::string buffer;
+  TraceWriter writer(&buffer);
+  {
+    ScopedTimer span("unit", &registry, &writer);
+  }
+  const RegistrySnapshot snap = registry.Snapshot();
+  const HistogramSnapshot* hs = snap.FindHistogram("phase.unit.seconds");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 1U);
+  EXPECT_GE(hs->sum, 0.0);
+
+  auto parsed = ParseJson(buffer);
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  EXPECT_EQ(parsed.value().StringOr("ev", ""), "phase");
+  EXPECT_EQ(parsed.value().StringOr("name", ""), "unit");
+}
+
+TEST(ScopedTimerTest, StopIsIdempotent) {
+  Registry registry;
+  {
+    ScopedTimer span("once", &registry);
+    span.Stop();
+    span.Stop();  // no second sample
+  }                // destructor: still no second sample
+  const HistogramSnapshot* hs = registry.Snapshot().FindHistogram("phase.once.seconds");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 1U);
+}
+
+TEST(JsonTest, ParsesScalarsAndNesting) {
+  auto v = ParseJson(R"({"a":1.5,"b":"x","c":true,"d":null,"e":[1,2,3],"f":{"g":-2e3}})");
+  ASSERT_TRUE(v.ok()) << v.message();
+  EXPECT_DOUBLE_EQ(v.value().NumberOr("a", 0), 1.5);
+  EXPECT_EQ(v.value().StringOr("b", ""), "x");
+  const JsonValue* c = v.value().Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(c->boolean);
+  const JsonValue* e = v.value().Find("e");
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->items.size(), 3U);
+  EXPECT_DOUBLE_EQ(e->items[2].number, 3.0);
+  const JsonValue* f = v.value().Find("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_DOUBLE_EQ(f->NumberOr("g", 0), -2000.0);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{}extra").ok());
+  EXPECT_FALSE(ParseJson(R"({"a":})").ok());
+  EXPECT_FALSE(ParseJson(R"({"a":1,})").ok());
+  EXPECT_FALSE(ParseJson(R"(['single'])").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":\"unterminated}").ok());
+}
+
+TEST(JsonTest, EscapeRoundTripsThroughParser) {
+  const std::string nasty = "quote\" back\\slash /slash \n\r\t \x02 end";
+  const std::string doc = "{\"s\":\"" + JsonEscape(nasty) + "\"}";
+  auto v = ParseJson(doc);
+  ASSERT_TRUE(v.ok()) << v.message();
+  EXPECT_EQ(v.value().StringOr("s", ""), nasty);
+}
+
+TEST(JsonTest, NumberRendering) {
+  EXPECT_EQ(JsonNumber(3), "3");
+  EXPECT_EQ(JsonNumber(-41), "-41");
+  auto parsed = ParseJson("{\"x\":" + JsonNumber(0.125) + "}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().NumberOr("x", 0), 0.125);
+  // Non-finite values are not representable in JSON: rendered as null.
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(ClockTest, StopwatchIsMonotonic) {
+  const Stopwatch watch;
+  const double a = watch.Elapsed();
+  const double b = watch.Elapsed();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace cftcg::obs

@@ -3,14 +3,26 @@
 //   cftcg info  <model.cmx>                      model statistics
 //   cftcg gen   <model.cmx> [-o out.c]           emit instrumented fuzzing code
 //   cftcg fuzz  <model.cmx> [--seconds N] [--seed N] [--out DIR] [--fuzz-only]
+//               [--stats-every N] [--trace out.jsonl] [--metrics out.json]
 //                                                run a campaign, export CSV tests
 //   cftcg run   <model.cmx> --csv test.csv       replay a CSV test case
+//   cftcg trace-summary <trace.jsonl>            summarize a campaign trace
 //   cftcg export-benchmarks <dir>                write the 8 Table 2 models as .cmx
+//
+// Wherever a <model.cmx> is expected, a Table 2 benchmark name (AFC,
+// SolarPV, ...) also works and loads the built-in model.
+#include <algorithm>
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_models/bench_models.hpp"
 #include "cftcg/experiment.hpp"
@@ -19,6 +31,10 @@
 #include "coverage/report.hpp"
 #include "fuzz/csv_export.hpp"
 #include "fuzz/suite.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "parser/model_io.hpp"
 #include "support/strings.hpp"
 
@@ -32,14 +48,42 @@ int Usage() {
       "  cftcg info  <model.cmx>\n"
       "  cftcg gen   <model.cmx> [-o out.c]\n"
       "  cftcg fuzz  <model.cmx> [--seconds N] [--seed N] [--out DIR] [--fuzz-only]\n"
-      "              [--minimize]   reduce + shrink the suite before export\n"
+      "              [--minimize]         reduce + shrink the suite before export\n"
+      "              [--stats-every N]    periodic status line + stat events, every N s\n"
+      "              [--trace FILE]       write a JSONL campaign event trace\n"
+      "              [--metrics FILE]     dump the metrics-registry snapshot as JSON\n"
       "  cftcg run   <model.cmx> --csv test.csv\n"
       "  cftcg cover <model.cmx> --csv-dir DIR [--html report.html]\n"
-      "  cftcg export-benchmarks <dir>");
+      "  cftcg trace-summary <trace.jsonl>\n"
+      "  cftcg export-benchmarks <dir>\n"
+      "(<model.cmx> may also be a Table 2 benchmark name: CPUTask, AFC, ...)");
   return 2;
 }
 
+std::string AsciiLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
 std::unique_ptr<CompiledModel> Load(const std::string& path) {
+  // A bare benchmark name (case-insensitive: AFC, afc, ...) loads the
+  // built-in Table 2 model of that name.
+  if (std::ifstream probe(path); !probe) {
+    for (const auto& info : bench_models::Roster()) {
+      if (AsciiLower(info.name) != AsciiLower(path)) continue;
+      auto model = bench_models::Build(info.name);
+      if (!model.ok()) {
+        std::fprintf(stderr, "error: %s\n", model.message().c_str());
+        return nullptr;
+      }
+      auto built = CompiledModel::FromModel(model.take());
+      if (!built.ok()) {
+        std::fprintf(stderr, "error: %s\n", built.message().c_str());
+        return nullptr;
+      }
+      return built.take();
+    }
+  }
   auto cm = CompiledModel::FromFile(path);
   if (!cm.ok()) {
     std::fprintf(stderr, "error: %s\n", cm.message().c_str());
@@ -87,13 +131,44 @@ int CmdGen(const std::string& path, const std::string& out_path) {
   return 0;
 }
 
+struct TelemetryFlags {
+  double stats_every = 0;   // 0: no periodic status line
+  std::string trace_path;   // empty: no JSONL trace
+  std::string metrics_path; // empty: no metrics dump
+};
+
 int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const std::string& outdir,
-            bool fuzz_only, bool minimize) {
+            bool fuzz_only, bool minimize, const TelemetryFlags& tf) {
   auto cm = Load(path);
   if (!cm) return 1;
+
+  obs::CampaignTelemetry telemetry;
+  std::unique_ptr<obs::TraceWriter> trace;
+  if (!tf.trace_path.empty()) {
+    auto opened = obs::TraceWriter::Open(tf.trace_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n", opened.message().c_str());
+      return 1;
+    }
+    trace = opened.take();
+    telemetry.trace = trace.get();
+  }
+  if (trace != nullptr || tf.stats_every > 0 || !tf.metrics_path.empty()) {
+    telemetry.registry = &obs::Registry::Global();
+  }
+  if (tf.stats_every > 0) {
+    telemetry.stats_every_s = tf.stats_every;
+    telemetry.status_stream = stderr;
+  } else if (trace != nullptr) {
+    // A trace without an explicit cadence still gets stat heartbeats (for
+    // trace-summary's exec/s percentiles), just no stderr status line.
+    telemetry.stats_every_s = 1.0;
+  }
+  obs::CampaignTelemetry* use = telemetry.active() ? &telemetry : nullptr;
+
   fuzz::FuzzBudget budget;
   budget.wall_seconds = seconds;
-  auto result = RunTool(*cm, fuzz_only ? Tool::kFuzzOnly : Tool::kCftcg, budget, seed);
+  auto result = RunTool(*cm, fuzz_only ? Tool::kFuzzOnly : Tool::kCftcg, budget, seed, use);
   std::printf("%s: %llu inputs, %llu model iterations, %zu test cases in %.1fs\n",
               fuzz_only ? "fuzz-only" : "cftcg",
               static_cast<unsigned long long>(result.executions),
@@ -131,6 +206,128 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
       out << fuzz::TestCaseToCsv(layout, names, suite[i].data);
     }
     std::printf("wrote %zu CSV test cases to %s/\n", suite.size(), outdir.c_str());
+  }
+
+  if (trace != nullptr) {
+    trace->Flush();
+    std::printf("trace: %llu events written to %s\n",
+                static_cast<unsigned long long>(trace->events_written()),
+                tf.trace_path.c_str());
+  }
+  if (!tf.metrics_path.empty()) {
+    std::ofstream mout(tf.metrics_path);
+    if (!mout) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", tf.metrics_path.c_str());
+      return 1;
+    }
+    mout << obs::Registry::Global().Snapshot().ToJson() << "\n";
+    std::printf("metrics snapshot written to %s\n", tf.metrics_path.c_str());
+  }
+  return 0;
+}
+
+/// Replays a campaign trace and reports throughput and time-to-coverage.
+/// Every line must parse as JSON — a malformed trace is an error, not a
+/// warning, so the JSONL contract stays enforceable.
+int CmdTraceSummary(const std::string& trace_path) {
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", trace_path.c_str());
+    return 1;
+  }
+
+  std::map<std::string, int> kinds;
+  std::vector<double> stat_exec_per_s;
+  std::vector<std::pair<double, double>> coverage_points;  // (t, outcomes_covered)
+  std::vector<std::pair<std::string, double>> phases;      // (name, seconds)
+  double stop_elapsed = 0;
+  double stop_exec = 0;
+  double stop_decision = -1, stop_condition = -1, stop_mcdc = -1;
+  std::string start_mode;
+  int line_no = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto parsed = obs::ParseJson(line);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s:%d: %s\n", trace_path.c_str(), line_no,
+                   parsed.message().c_str());
+      return 1;
+    }
+    const obs::JsonValue& ev = parsed.value();
+    const std::string kind = ev.StringOr("ev", "?");
+    ++kinds[kind];
+    if (kind == "start") {
+      start_mode = ev.StringOr("mode", "?");
+    } else if (kind == "stat") {
+      stat_exec_per_s.push_back(ev.NumberOr("exec_per_s", 0));
+    } else if (kind == "new" || kind == "frontier") {
+      coverage_points.emplace_back(ev.NumberOr("time_s", 0),
+                                   ev.NumberOr("outcomes_covered", 0));
+    } else if (kind == "stop") {
+      stop_elapsed = ev.NumberOr("elapsed_s", 0);
+      stop_exec = ev.NumberOr("exec", 0);
+      stop_decision = ev.NumberOr("decision_pct", -1);
+      stop_condition = ev.NumberOr("condition_pct", -1);
+      stop_mcdc = ev.NumberOr("mcdc_pct", -1);
+    } else if (kind == "phase") {
+      phases.emplace_back(ev.StringOr("name", "?"), ev.NumberOr("seconds", 0));
+    }
+  }
+  if (line_no == 0) {
+    std::fprintf(stderr, "error: %s is empty\n", trace_path.c_str());
+    return 1;
+  }
+
+  std::printf("trace %s: %d lines, all valid JSON\n", trace_path.c_str(), line_no);
+  std::printf("events:");
+  for (const auto& [kind, count] : kinds) std::printf(" %s=%d", kind.c_str(), count);
+  std::printf("\n");
+  if (!start_mode.empty()) std::printf("campaign mode: %s\n", start_mode.c_str());
+
+  if (stop_elapsed > 0 && stop_exec > 0) {
+    std::printf("overall: %.0f executions in %.2fs = %.0f exec/s\n", stop_exec, stop_elapsed,
+                stop_exec / stop_elapsed);
+  }
+  if (stop_decision >= 0) {
+    std::printf("final coverage: decision %.1f%% condition %.1f%% MC/DC %.1f%%\n", stop_decision,
+                stop_condition, stop_mcdc);
+  }
+
+  if (!stat_exec_per_s.empty()) {
+    std::sort(stat_exec_per_s.begin(), stat_exec_per_s.end());
+    auto pct = [&](double p) {
+      const double idx = p * static_cast<double>(stat_exec_per_s.size() - 1);
+      return stat_exec_per_s[static_cast<std::size_t>(idx + 0.5)];
+    };
+    std::printf("exec/s over %zu heartbeats: p10=%.0f median=%.0f p90=%.0f max=%.0f\n",
+                stat_exec_per_s.size(), pct(0.10), pct(0.50), pct(0.90),
+                stat_exec_per_s.back());
+  }
+
+  if (!coverage_points.empty()) {
+    double final_cov = 0;
+    for (const auto& [t, cov] : coverage_points) final_cov = std::max(final_cov, cov);
+    if (final_cov > 0) {
+      std::printf("time to coverage (of %.0f outcomes reached):\n", final_cov);
+      for (const double frac : {0.25, 0.50, 0.75, 0.90, 1.0}) {
+        const double target = std::ceil(final_cov * frac);
+        for (const auto& [t, cov] : coverage_points) {
+          if (cov >= target) {
+            std::printf("  %3.0f%% (%3.0f outcomes) at t=%.3fs\n", frac * 100, target, t);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  if (!phases.empty()) {
+    std::printf("phases:\n");
+    for (const auto& [name, seconds] : phases) {
+      std::printf("  %-20s %.4fs\n", name.c_str(), seconds);
+    }
   }
   return 0;
 }
@@ -256,6 +453,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   bool fuzz_only = false;
   bool minimize = false;
+  TelemetryFlags tf;
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string { return i + 1 < argc ? argv[++i] : ""; };
@@ -267,13 +465,17 @@ int main(int argc, char** argv) {
     else if (a == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     else if (a == "--fuzz-only") fuzz_only = true;
     else if (a == "--minimize") minimize = true;
+    else if (a == "--stats-every") tf.stats_every = std::atof(next().c_str());
+    else if (a == "--trace") tf.trace_path = next();
+    else if (a == "--metrics") tf.metrics_path = next();
   }
 
   if (cmd == "info") return CmdInfo(target);
   if (cmd == "gen") return CmdGen(target, out);
-  if (cmd == "fuzz") return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize);
+  if (cmd == "fuzz") return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize, tf);
   if (cmd == "run") return CmdRun(target, csv);
   if (cmd == "cover") return CmdCover(target, csv_dir, html);
+  if (cmd == "trace-summary") return CmdTraceSummary(target);
   if (cmd == "export-benchmarks") return CmdExportBenchmarks(target);
   return Usage();
 }
