@@ -58,17 +58,28 @@ int main(int argc, char** argv) {
     for (Tool tool : {Tool::kSldv, Tool::kSimCoTest, Tool::kCftcg}) {
       fuzz::FuzzBudget budget;
       budget.wall_seconds = args.budget_s;
-      // The series comes from the telemetry trace (`new` events) where the
-      // tool emits one; CoverageMilestones falls back to timestamped test
-      // cases for the baselines.
-      const auto traced = bench::RunTraced(*cm, tool, budget, args.seed);
-      const auto series = Resample(bench::CoverageMilestones(traced), cm->NumBranches(), grid);
+      // CFTCG runs provenance-traced: its series comes from the per-objective
+      // first-hit table (exact instants). The baselines use the coarser `new`
+      // events / timestamped test cases via CoverageMilestones.
+      const bool provenance = tool == Tool::kCftcg;
+      const auto traced =
+          bench::RunTraced(*cm, tool, budget, args.seed, /*stats_every_s=*/0.25, provenance);
+      auto milestones = bench::FirstHitMilestones(traced);
+      if (milestones.empty()) milestones = bench::CoverageMilestones(traced);
+      const auto series = Resample(milestones, cm->NumBranches(), grid);
       std::vector<std::string> row = {std::string(ToolName(tool))};
       for (double v : series) row.push_back(StrFormat("%.0f", v));
       table.AddRow(std::move(row));
       for (std::size_t p = 0; p < grid.size(); ++p) {
         csv.Row({name, std::string(ToolName(tool)), StrFormat("%.4f", grid[p]),
                  StrFormat("%.2f", series[p])});
+      }
+      if (provenance && !traced.first_hits.empty()) {
+        // Time-to-objective tail: when the last objective fell, and by whom.
+        const auto& last = traced.first_hits.back();
+        std::printf("  last first-hit: %s at %.3fs (entry %lld, chain %s)\n",
+                    last.name.c_str(), last.time_s, static_cast<long long>(last.entry_id),
+                    last.chain.empty() ? "-" : last.chain.c_str());
       }
     }
     table.Print();

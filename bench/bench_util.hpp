@@ -22,6 +22,7 @@
 #include "bench_models/bench_models.hpp"
 #include "cftcg/experiment.hpp"
 #include "cftcg/pipeline.hpp"
+#include "coverage/provenance.hpp"
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
 #include "support/strings.hpp"
@@ -173,10 +174,14 @@ struct TracedRun {
   fuzz::CampaignResult result;
   std::vector<obs::JsonValue> events;  // every trace line, parsed back
   obs::RegistrySnapshot snapshot;      // the run's private metrics registry
+  /// Per-objective first hits, populated when RunTraced is asked for
+  /// provenance (the same table `cftcg explain --json` exports).
+  std::vector<coverage::ObjectiveFirstHit> first_hits;
 };
 
 inline TracedRun RunTraced(CompiledModel& cm, Tool tool, const fuzz::FuzzBudget& budget,
-                           std::uint64_t seed, double stats_every_s = 0.25) {
+                           std::uint64_t seed, double stats_every_s = 0.25,
+                           bool with_provenance = false) {
   TracedRun run;
   std::string buffer;
   obs::TraceWriter trace(&buffer);
@@ -185,15 +190,33 @@ inline TracedRun RunTraced(CompiledModel& cm, Tool tool, const fuzz::FuzzBudget&
   telemetry.trace = &trace;
   telemetry.registry = &registry;
   telemetry.stats_every_s = stats_every_s;
-  run.result = RunTool(cm, tool, budget, seed, &telemetry);
+  coverage::ProvenanceMap provenance(cm.spec());
+  coverage::MarginRecorder margins;
+  run.result = RunTool(cm, tool, budget, seed, &telemetry,
+                       with_provenance ? &provenance : nullptr,
+                       with_provenance ? &margins : nullptr);
   trace.Flush();
   run.snapshot = registry.Snapshot();
+  if (with_provenance) run.first_hits = provenance.hits();
   for (const auto& line : SplitString(buffer, '\n')) {
     if (line.empty()) continue;
     auto parsed = obs::ParseJson(line);
     if (parsed.ok()) run.events.push_back(parsed.take());
   }
   return run;
+}
+
+/// (time, decision outcomes covered) milestones from the first-hit table —
+/// exact per-objective instants rather than test-case granularity. Empty
+/// when the run was not provenance-traced.
+inline std::vector<std::pair<double, int>> FirstHitMilestones(const TracedRun& run) {
+  std::vector<std::pair<double, int>> points;
+  int covered = 0;
+  for (const auto& h : run.first_hits) {  // hits are appended chronologically
+    if (h.kind != coverage::ObjectiveKind::kDecisionOutcome) continue;
+    points.emplace_back(h.time_s, ++covered);
+  }
+  return points;
 }
 
 /// (time, decision outcomes covered) milestones of a traced run, from the

@@ -26,11 +26,16 @@ namespace {
 /// whatever decision outcomes remain uncovered (inter-inport-correlated
 /// guards are exactly where fuzzing plateaus, §5).
 fuzz::CampaignResult RunHybrid(CompiledModel& cm, const fuzz::FuzzBudget& budget,
-                               std::uint64_t seed, obs::CampaignTelemetry* telemetry) {
+                               std::uint64_t seed, obs::CampaignTelemetry* telemetry,
+                               coverage::ProvenanceMap* provenance,
+                               coverage::MarginRecorder* margins) {
   fuzz::FuzzerOptions fo;
   fo.seed = seed;
   fo.telemetry = telemetry;
-  fuzz::Fuzzer fuzzer(cm.instrumented(), cm.spec(), fo);
+  fo.provenance = provenance;
+  fo.margins = margins;
+  const vm::Program& target = margins != nullptr ? cm.with_margins() : cm.instrumented();
+  fuzz::Fuzzer fuzzer(target, cm.spec(), fo);
   fuzz::FuzzBudget fuzz_budget;
   fuzz_budget.wall_seconds = budget.wall_seconds * 0.7;
   fuzz_budget.max_executions = budget.max_executions;
@@ -67,7 +72,9 @@ fuzz::CampaignResult RunHybrid(CompiledModel& cm, const fuzz::FuzzBudget& budget
 }  // namespace
 
 fuzz::CampaignResult RunTool(CompiledModel& cm, Tool tool, const fuzz::FuzzBudget& budget,
-                             std::uint64_t seed, obs::CampaignTelemetry* telemetry) {
+                             std::uint64_t seed, obs::CampaignTelemetry* telemetry,
+                             coverage::ProvenanceMap* provenance,
+                             coverage::MarginRecorder* margins) {
   obs::ScopedTimer span(StrFormat("tool.%s", std::string(ToolName(tool)).c_str()));
   switch (tool) {
     case Tool::kSldv: {
@@ -87,6 +94,8 @@ fuzz::CampaignResult RunTool(CompiledModel& cm, Tool tool, const fuzz::FuzzBudge
       options.seed = seed;
       options.model_oriented = true;
       options.telemetry = telemetry;
+      options.provenance = provenance;
+      options.margins = margins;
       return cm.Fuzz(options, budget);
     }
     case Tool::kFuzzOnly: {
@@ -94,6 +103,8 @@ fuzz::CampaignResult RunTool(CompiledModel& cm, Tool tool, const fuzz::FuzzBudge
       options.seed = seed;
       options.model_oriented = false;
       options.telemetry = telemetry;
+      options.provenance = provenance;
+      options.margins = margins;
       return cm.Fuzz(options, budget);
     }
     case Tool::kCftcgNoIdc: {
@@ -102,9 +113,11 @@ fuzz::CampaignResult RunTool(CompiledModel& cm, Tool tool, const fuzz::FuzzBudge
       options.model_oriented = true;
       options.use_idc_energy = false;
       options.telemetry = telemetry;
+      options.provenance = provenance;
+      options.margins = margins;
       return cm.Fuzz(options, budget);
     }
-    case Tool::kCftcgHybrid: return RunHybrid(cm, budget, seed, telemetry);
+    case Tool::kCftcgHybrid: return RunHybrid(cm, budget, seed, telemetry, provenance, margins);
   }
   return {};
 }

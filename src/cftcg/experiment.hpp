@@ -28,8 +28,13 @@ std::string_view ToolName(Tool tool);
 /// null) is honored by the fuzzing-loop tools (CFTCG, FuzzOnly, CFTCG-noIDC
 /// and the fuzzing phase of the hybrid); the baselines ignore it. Every
 /// tool run is additionally wrapped in a `tool.<name>` phase timer.
+/// `provenance`/`margins` (may be null) attach per-objective first-hit
+/// attribution and residual-distance recording to the same fuzzing-loop
+/// tools; margins force the margin-instrumented lowering for the campaign.
 fuzz::CampaignResult RunTool(CompiledModel& cm, Tool tool, const fuzz::FuzzBudget& budget,
-                             std::uint64_t seed, obs::CampaignTelemetry* telemetry = nullptr);
+                             std::uint64_t seed, obs::CampaignTelemetry* telemetry = nullptr,
+                             coverage::ProvenanceMap* provenance = nullptr,
+                             coverage::MarginRecorder* margins = nullptr);
 
 struct AveragedMetrics {
   double decision_pct = 0;

@@ -88,8 +88,13 @@ Result<std::string> CompiledModel::EmitFuzzingCode() const {
 fuzz::CampaignResult CompiledModel::Fuzz(const fuzz::FuzzerOptions& options,
                                          const fuzz::FuzzBudget& budget) {
   const vm::Program* fo = options.model_oriented ? nullptr : &fuzz_only();
+  // Residual diagnostics need kMargin instructions; the margin lowering is
+  // coverage-identical to the plain instrumented program, so swapping it in
+  // only when a MarginRecorder is attached keeps the default hot path free
+  // of margin dispatch.
+  const vm::Program& target = options.margins != nullptr ? with_margins() : instrumented_;
   obs::ScopedTimer vm_span("vm_load");
-  fuzz::Fuzzer fuzzer(instrumented_, spec(), options, fo);
+  fuzz::Fuzzer fuzzer(target, spec(), options, fo);
   vm_span.Stop();
   obs::ScopedTimer span("fuzz");
   return fuzzer.Run(budget);

@@ -1,5 +1,8 @@
 #include "coverage/html_report.hpp"
 
+#include <algorithm>
+#include <map>
+
 #include "support/strings.hpp"
 
 namespace cftcg::coverage {
@@ -19,6 +22,14 @@ const char* kStyle = R"(
   .hit { background: #e6f4e6; }
   .miss { background: #fbe7e7; }
   code { font-family: ui-monospace, monospace; }
+  .heat0 { background: #1a9850; color: #fff; }
+  .heat1 { background: #91cf60; }
+  .heat2 { background: #fee08b; }
+  .heat3 { background: #fc8d59; }
+  .heat4 { background: #d73027; color: #fff; }
+  .bar { background: #4a90d9; height: 0.7em; display: inline-block; }
+  ul.tree { list-style: none; padding-left: 1.2em; border-left: 1px dotted #bbb; }
+  .warn { color: #a33; }
 </style>
 )";
 
@@ -78,6 +89,208 @@ std::string RenderHtmlReport(const std::string& title, const CoverageSpec& spec,
 
 std::string RenderHtmlReport(const std::string& title, const CoverageSink& sink) {
   return RenderHtmlReport(title, sink.spec(), sink.total(), sink.evals());
+}
+
+namespace {
+
+/// Heat bucket for a first-hit time relative to the campaign length: early
+/// hits render green (cheap objectives), late ones red (the hard tail).
+const char* HeatClass(double time_s, double elapsed_s) {
+  if (elapsed_s <= 0) return "heat0";
+  const double f = time_s / elapsed_s;
+  if (f < 0.05) return "heat0";
+  if (f < 0.2) return "heat1";
+  if (f < 0.5) return "heat2";
+  if (f < 0.8) return "heat3";
+  return "heat4";
+}
+
+std::string ShortKind(const std::string& kind) {
+  if (kind == "decision_outcome") return "D";
+  if (kind == "condition_true") return "C+";
+  if (kind == "condition_false") return "C-";
+  if (kind == "mcdc_pair") return "M";
+  return "?";
+}
+
+/// Strips the "[k]" outcome suffix residual names carry so residuals group
+/// under the same block row as covered objectives.
+std::string ResidualBlock(const std::string& name) {
+  const std::size_t bracket = name.rfind('[');
+  return bracket == std::string::npos ? name : name.substr(0, bracket);
+}
+
+}  // namespace
+
+std::string RenderCampaignExplorer(const CampaignExplorerData& data) {
+  std::string html = "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>" +
+                     XmlEscape(data.title) + "</title>" + kStyle + "</head><body>\n";
+  html += "<h1>Campaign explorer — " + XmlEscape(data.title) + "</h1>\n";
+
+  // --- Summary tiles -------------------------------------------------------
+  const std::size_t covered = data.objectives.size();
+  const std::size_t total =
+      data.objectives_total > 0 ? data.objectives_total : covered + data.residuals.size();
+  const double pct = total > 0 ? 100.0 * static_cast<double>(covered) / static_cast<double>(total)
+                               : 0.0;
+  html += "<div class=\"tiles\">\n";
+  html += StrFormat(
+      "<div class=\"tile\"><div class=\"pct\">%.1f%%</div>Objectives<br>%zu / %zu first-hit</div>\n",
+      pct, covered, total);
+  html += StrFormat("<div class=\"tile\"><div class=\"pct\">%zu</div>Corpus entries</div>\n",
+                    data.corpus.size());
+  html += StrFormat("<div class=\"tile\"><div class=\"pct\">%zu</div>Residual objectives</div>\n",
+                    data.residuals.size());
+  html += StrFormat(
+      "<div class=\"tile\"><div class=\"pct\">%.1fs</div>Campaign<br>%llu executions</div>\n",
+      data.elapsed_s, static_cast<unsigned long long>(data.executions));
+  html += "</div>\n";
+  if (data.malformed_lines > 0) {
+    html += StrFormat("<p class=\"warn\">%zu malformed trace line(s) skipped.</p>\n",
+                      data.malformed_lines);
+  }
+
+  // --- Per-block heatmap ---------------------------------------------------
+  // One row per block path; each covered objective is a cell tinted by when
+  // it was first hit, each residual outcome a red miss cell.
+  std::map<std::string, std::vector<const ExplorerObjective*>> blocks;
+  for (const auto& o : data.objectives) blocks[o.name].push_back(&o);
+  std::map<std::string, std::vector<const ExplorerResidual*>> missing;
+  for (const auto& r : data.residuals) missing[ResidualBlock(r.name)].push_back(&r);
+  for (const auto& [name, residuals] : missing) {
+    blocks.emplace(name, std::vector<const ExplorerObjective*>{});  // rows with only misses
+    (void)residuals;
+  }
+  html += "<h2>Per-block first-hit heatmap</h2>\n";
+  html += "<p>D = decision outcome, C± = condition polarity, M = MCDC pair; "
+          "green = hit early, red = hit late, <span class=\"miss\">miss</span> = uncovered.</p>\n";
+  html += "<table><tr><th>Block</th><th>Objectives</th></tr>\n";
+  for (const auto& [name, objectives] : blocks) {
+    html += "<tr><td><code>" + XmlEscape(name) + "</code></td><td><table><tr>";
+    for (const ExplorerObjective* o : objectives) {
+      std::string label = ShortKind(o->kind);
+      if (o->kind == "decision_outcome") label += StrFormat("[%d]", o->outcome);
+      html += StrFormat("<td class=\"%s\" title=\"%.3fs iter %llu entry %lld\">%s</td>",
+                        HeatClass(o->time_s, data.elapsed_s), o->time_s,
+                        static_cast<unsigned long long>(o->iteration),
+                        static_cast<long long>(o->entry_id), XmlEscape(label).c_str());
+    }
+    auto miss_it = missing.find(name);
+    if (miss_it != missing.end()) {
+      for (const ExplorerResidual* r : miss_it->second) {
+        const std::string dist =
+            r->unreached ? "unreached" : StrFormat("best distance %.4g", r->distance);
+        html += StrFormat("<td class=\"miss\" title=\"%s\">D[%d]</td>",
+                          XmlEscape(dist).c_str(), r->outcome);
+      }
+    }
+    html += "</tr></table></td></tr>\n";
+  }
+  html += "</table>\n";
+
+  // --- Time-to-objective timeline ------------------------------------------
+  std::vector<const ExplorerObjective*> timeline;
+  timeline.reserve(data.objectives.size());
+  for (const auto& o : data.objectives) timeline.push_back(&o);
+  std::sort(timeline.begin(), timeline.end(),
+            [](const ExplorerObjective* a, const ExplorerObjective* b) {
+              return a->time_s != b->time_s ? a->time_s < b->time_s
+                                            : a->iteration < b->iteration;
+            });
+  html += "<h2>Time to objective</h2>\n";
+  html += "<table><tr><th>Time</th><th></th><th>Objective</th><th>Iter</th><th>Entry</th>"
+          "<th>Strategy chain</th></tr>\n";
+  for (const ExplorerObjective* o : timeline) {
+    const double frac = data.elapsed_s > 0 ? o->time_s / data.elapsed_s : 0;
+    const int width = static_cast<int>(frac * 240.0) + 1;
+    std::string label = XmlEscape(o->name) + " " + ShortKind(o->kind);
+    if (o->kind == "decision_outcome") label += StrFormat("[%d]", o->outcome);
+    html += StrFormat(
+        "<tr><td>%.3fs</td><td><span class=\"bar\" style=\"width:%dpx\"></span></td>"
+        "<td><code>%s</code></td><td>%llu</td><td>%lld</td><td><code>%s</code></td></tr>\n",
+        o->time_s, width, label.c_str(), static_cast<unsigned long long>(o->iteration),
+        static_cast<long long>(o->entry_id), XmlEscape(o->chain).c_str());
+  }
+  html += "</table>\n";
+
+  // --- Strategy credit -----------------------------------------------------
+  // Which Table 1 strategy chains discovered objectives, and how many corpus
+  // admissions each chain produced.
+  std::map<std::string, std::size_t> credit;
+  for (const auto& o : data.objectives) ++credit[o.chain];
+  std::map<std::string, std::size_t> admissions;
+  for (const auto& e : data.corpus) ++admissions[e.chain];
+  for (const auto& [chain, n] : admissions) {
+    credit.emplace(chain, 0);  // chains that admitted entries but hit nothing new
+    (void)n;
+  }
+  html += "<h2>Strategy credit</h2>\n";
+  html += "<table><tr><th>Strategy chain</th><th>Objectives first-hit</th>"
+          "<th>Corpus admissions</th></tr>\n";
+  for (const auto& [chain, hits] : credit) {
+    const auto adm = admissions.find(chain);
+    html += StrFormat("<tr><td><code>%s</code></td><td>%zu</td><td>%zu</td></tr>\n",
+                      XmlEscape(chain).c_str(), hits,
+                      adm != admissions.end() ? adm->second : std::size_t{0});
+  }
+  html += "</table>\n";
+
+  // --- Corpus genealogy ----------------------------------------------------
+  html += "<h2>Corpus genealogy</h2>\n";
+  if (data.corpus.empty()) {
+    html += "<p>No corpus events in the trace (provenance disabled?).</p>\n";
+  } else {
+    std::map<std::int64_t, std::vector<const ExplorerCorpusEntry*>> children;
+    std::map<std::int64_t, std::size_t> hits_by_entry;
+    for (const auto& o : data.objectives) ++hits_by_entry[o.entry_id];
+    for (const auto& e : data.corpus) children[e.parent].push_back(&e);
+    // Iterative depth-first render of the forest under parent −1 (seeds).
+    struct Frame {
+      const std::vector<const ExplorerCorpusEntry*>* list;
+      std::size_t next;
+    };
+    html += "<ul class=\"tree\">\n";
+    std::vector<Frame> stack{{&children[-1], 0}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next >= f.list->size()) {
+        html += "</ul>\n";
+        stack.pop_back();
+        continue;
+      }
+      const ExplorerCorpusEntry* e = (*f.list)[f.next++];
+      const auto hit = hits_by_entry.find(e->id);
+      const std::size_t n_hits = hit != hits_by_entry.end() ? hit->second : 0;
+      html += StrFormat(
+          "<li>#%lld <code>%s</code> — %.3fs, metric %.0f, +%llu slots%s</li>\n",
+          static_cast<long long>(e->id), XmlEscape(e->chain).c_str(), e->time_s, e->metric,
+          static_cast<unsigned long long>(e->new_slots),
+          n_hits > 0 ? StrFormat(", <b>%zu objective(s)</b>", n_hits).c_str() : "");
+      auto kid = children.find(e->id);
+      if (kid != children.end() && !kid->second.empty()) {
+        html += "<ul class=\"tree\">\n";
+        stack.push_back({&kid->second, 0});
+      }
+    }
+    html += "</ul>\n";
+  }
+
+  // --- Residual objectives -------------------------------------------------
+  html += "<h2>Residual objectives</h2>\n";
+  if (data.residuals.empty()) {
+    html += "<p>None — every decision outcome was covered.</p>\n";
+  } else {
+    html += "<table><tr><th>Objective</th><th>Best observed distance</th></tr>\n";
+    for (const auto& r : data.residuals) {
+      html += "<tr><td><code>" + XmlEscape(r.name) + "</code></td>" +
+              (r.unreached ? std::string("<td class=\"miss\">unreached</td>")
+                           : StrFormat("<td>%.6g</td>", r.distance)) +
+              "</tr>\n";
+    }
+    html += "</table>\n";
+  }
+  html += "</body></html>\n";
+  return html;
 }
 
 }  // namespace cftcg::coverage

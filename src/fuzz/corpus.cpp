@@ -5,7 +5,9 @@
 namespace cftcg::fuzz {
 
 void Corpus::Add(CorpusEntry entry) {
+  entry.id = next_id();
   total_energy_ += entry.metric + 1;
+  if (entry.metric > max_metric_) max_metric_ = entry.metric;
   entries_.push_back(std::move(entry));
 }
 
@@ -23,12 +25,6 @@ const CorpusEntry& Corpus::Pick(Rng& rng) const {
 const CorpusEntry& Corpus::PickUniform(Rng& rng) const {
   assert(!entries_.empty());
   return entries_[rng.NextIndex(entries_.size())];
-}
-
-std::size_t Corpus::MaxMetric() const {
-  std::size_t best = 0;
-  for (const auto& e : entries_) best = e.metric > best ? e.metric : best;
-  return best;
 }
 
 }  // namespace cftcg::fuzz

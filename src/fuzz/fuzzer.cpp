@@ -15,8 +15,10 @@ namespace cftcg::fuzz {
 class Fuzzer::Monitor {
  public:
   Monitor(const obs::CampaignTelemetry* telemetry, const coverage::CoverageSink& sink,
-          const coverage::CoverageSpec& spec, const Corpus& corpus)
-      : tm_(telemetry), sink_(&sink), spec_(&spec), corpus_(&corpus) {
+          const coverage::CoverageSpec& spec, const Corpus& corpus,
+          const coverage::ProvenanceMap* provenance, const coverage::MarginRecorder* margins)
+      : tm_(telemetry), sink_(&sink), spec_(&spec), corpus_(&corpus), prov_(provenance),
+        margins_(margins) {
     if (tm_ != nullptr && tm_->stats_every_s > 0) next_stat_ = tm_->stats_every_s;
   }
 
@@ -68,6 +70,44 @@ class Fuzzer::Monitor {
                            .I64("total_slots", spec_->FuzzBranchCount())
                            .I64("outcomes_covered", tc.decision_outcomes_covered));
     }
+  }
+
+  /// One `objective` trace event per newly attributed coverage objective
+  /// (first-hit provenance: discovery iteration/time, corpus entry id and
+  /// strategy chain). `fresh` holds indices into provenance.hits().
+  void OnObjectives(const std::vector<std::size_t>& fresh) {
+    if (fresh.empty() || tm_ == nullptr || prov_ == nullptr) return;
+    if (tm_->registry != nullptr) {
+      tm_->registry->GetGauge("fuzz.objectives_covered")
+          .Set(static_cast<double>(prov_->num_covered()));
+    }
+    if (tm_->trace == nullptr) return;
+    for (const std::size_t idx : fresh) {
+      const coverage::ObjectiveFirstHit& h = prov_->hits()[idx];
+      tm_->trace->Emit(obs::TraceEvent("objective")
+                           .Str("kind", coverage::ObjectiveKindName(h.kind))
+                           .Str("name", h.name)
+                           .I64("outcome", h.outcome)
+                           .I64("slot", h.slot)
+                           .U64("iter", h.iteration)
+                           .F64("time_s", h.time_s)
+                           .I64("entry", h.entry_id)
+                           .Str("chain", h.chain));
+    }
+  }
+
+  /// One `corpus` trace event per admitted entry: the genealogy record
+  /// (`cftcg explain` reconstructs the corpus tree from these).
+  void OnCorpusAdd(double t, const CorpusEntry& entry, const std::string& chain) {
+    if (tm_ == nullptr || tm_->trace == nullptr) return;
+    tm_->trace->Emit(obs::TraceEvent("corpus")
+                         .F64("time_s", t)
+                         .I64("id", entry.id)
+                         .I64("parent", entry.parent_id)
+                         .U64("depth", entry.depth)
+                         .Str("chain", chain)
+                         .U64("metric", entry.metric)
+                         .U64("new_slots", entry.new_slots));
   }
 
   void Heartbeat(double now, const CampaignResult& result, const StrategyStats& strategies) {
@@ -136,6 +176,35 @@ class Fuzzer::Monitor {
             .Add(result.strategy_stats.credited[idx]);
       }
     }
+    // Residual diagnostics: every decision outcome still uncovered, with
+    // the best margin distance observed toward it ("how close did we get,
+    // and where"). Emitted before `stop` so a truncated trace that has the
+    // stop record also has the residuals.
+    if (prov_ != nullptr && tm_->trace != nullptr) {
+      const auto residuals = coverage::ResidualDiagnostics(*spec_, sink_->total(), margins_);
+      for (const auto& r : residuals) {
+        obs::TraceEvent ev("residual");
+        ev.Str("name", r.name).I64("decision", r.decision).I64("outcome", r.outcome);
+        if (r.distance < coverage::MarginRecorder::kUnreached) {
+          ev.F64("distance", r.distance);
+        } else {
+          ev.Str("distance", "unreached");
+        }
+        tm_->trace->Emit(ev);
+      }
+      tm_->trace->Emit(obs::TraceEvent("provenance")
+                           .U64("covered", prov_->num_covered())
+                           .U64("total", prov_->num_objectives())
+                           .U64("residual", residuals.size()));
+      if (tm_->registry != nullptr) {
+        tm_->registry->GetGauge("fuzz.objectives_covered")
+            .Set(static_cast<double>(prov_->num_covered()));
+        tm_->registry->GetGauge("fuzz.objectives_total")
+            .Set(static_cast<double>(prov_->num_objectives()));
+        tm_->registry->GetGauge("fuzz.objectives_residual")
+            .Set(static_cast<double>(residuals.size()));
+      }
+    }
     if (tm_->trace != nullptr) {
       tm_->trace->Emit(obs::TraceEvent("stop")
                            .F64("elapsed_s", elapsed)
@@ -175,6 +244,8 @@ class Fuzzer::Monitor {
   const coverage::CoverageSink* sink_;
   const coverage::CoverageSpec* spec_;
   const Corpus* corpus_;
+  const coverage::ProvenanceMap* prov_;
+  const coverage::MarginRecorder* margins_;
   double next_stat_ = std::numeric_limits<double>::infinity();
   double window_start_ = 0;
   std::uint64_t window_exec_ = 0;
@@ -201,6 +272,12 @@ Fuzzer::Fuzzer(const vm::Program& instrumented, const coverage::CoverageSpec& sp
   // comparisons feed the mutation dictionary in both modes.
   machine_.set_cmp_trace(&cmp_trace_);
   if (!options_.field_ranges.empty()) tuple_mutator_.SetFieldRanges(options_.field_ranges);
+  // Residual-distance recording: margin events only fire if `instrumented`
+  // carries kMargin instructions (the caller picks the lowering).
+  if (options_.margins != nullptr) {
+    options_.margins->Reset(spec);
+    sink_.set_margin_recorder(options_.margins);
+  }
 }
 
 int Fuzzer::DecisionOutcomesCovered() const {
@@ -284,8 +361,31 @@ CampaignResult Fuzzer::Run(const FuzzBudget& budget) {
   // One monotonic clock (obs::Clock) drives every timestamp of the
   // campaign: TestCase::time_s, elapsed_s, and trace-event times.
   const obs::Stopwatch watch;
-  Monitor monitor(options_.telemetry, sink_, *spec_, corpus_);
+  Monitor monitor(options_.telemetry, sink_, *spec_, corpus_, options_.provenance,
+                  options_.margins);
   monitor.OnStart(options_, budget);
+
+  // Per-objective first-hit attribution. Runs only on corpus admissions
+  // (rare), so a provenance-enabled campaign pays nothing per execution;
+  // a campaign without a ProvenanceMap skips even the admission-time work.
+  coverage::ProvenanceMap* prov = options_.provenance;
+  std::vector<std::size_t> seen_eval_sizes;  // per-decision eval-set sizes at last check
+  if (prov != nullptr) seen_eval_sizes.assign(spec_->decisions().size(), 0);
+  auto attribute = [&](double t, std::int64_t entry_id, const std::string& chain) {
+    std::vector<std::size_t> fresh =
+        prov->AttributeSlots(sink_.total(), result.executions, t, entry_id, chain);
+    // MCDC pairs can complete without any new branch slot, so recheck every
+    // decision whose evaluation set grew since the last admission.
+    const auto& evals = sink_.evals();
+    for (std::size_t d = 0; d < evals.size(); ++d) {
+      if (evals[d].size() == seen_eval_sizes[d]) continue;
+      seen_eval_sizes[d] = evals[d].size();
+      const auto more = prov->AttributeMcdc(static_cast<coverage::DecisionId>(d), evals[d],
+                                            result.executions, t, entry_id, chain);
+      fresh.insert(fresh.end(), more.begin(), more.end());
+    }
+    monitor.OnObjectives(fresh);
+  };
 
   std::size_t best_metric = 0;
   // The raw IDC metric is a sum over iterations, so longer inputs score
@@ -322,7 +422,9 @@ CampaignResult Fuzzer::Run(const FuzzBudget& budget) {
                             result.test_cases.back(), metric, tuple_size);
     }
     best_metric = std::max(best_metric, seed.metric);
+    if (prov != nullptr) attribute(watch.Elapsed(), corpus_.next_id(), "seed");
     corpus_.Add(std::move(seed));
+    monitor.OnCorpusAdd(watch.Elapsed(), corpus_.entry(corpus_.size() - 1), "seed");
   }
 
   static const std::vector<std::uint8_t> kEmpty;
@@ -372,12 +474,35 @@ CampaignResult Fuzzer::Run(const FuzzBudget& budget) {
         options_.model_oriented && options_.use_idc_energy && metric > best_metric;
     if (found_new || idc_interesting) {
       best_metric = std::max(best_metric, metric);
+      const std::string chain =
+          options_.model_oriented ? StrategyChainString(applied) : std::string("bytes");
+      if (prov != nullptr) attribute(watch.Elapsed(), corpus_.next_id(), chain);
       CorpusEntry entry;
       entry.data = std::move(data);
       entry.metric = options_.use_idc_energy ? metric : 0;
       entry.new_slots = new_slots;
+      entry.parent_id = parent.id;
+      entry.depth = parent.depth + 1;
+      entry.chain = applied;
       corpus_.Add(std::move(entry));
+      monitor.OnCorpusAdd(watch.Elapsed(), corpus_.entry(corpus_.size() - 1), chain);
     }
+  }
+
+  // Final MCDC sweep: independence pairs completed by inputs that were not
+  // retained in the corpus (neither new coverage nor a better IDC score)
+  // are attributed here, with entry id -1 / chain "unretained" — honest
+  // bookkeeping for pairs no exported test case reproduces on its own.
+  if (prov != nullptr) {
+    std::vector<std::size_t> fresh;
+    const auto& evals = sink_.evals();
+    for (std::size_t d = 0; d < evals.size(); ++d) {
+      const auto more =
+          prov->AttributeMcdc(static_cast<coverage::DecisionId>(d), evals[d],
+                              result.executions, watch.Elapsed(), -1, "unretained");
+      fresh.insert(fresh.end(), more.begin(), more.end());
+    }
+    monitor.OnObjectives(fresh);
   }
 
   result.elapsed_s = watch.Elapsed();

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "coverage/provenance.hpp"
 #include "coverage/report.hpp"
 #include "coverage/sink.hpp"
 #include "fuzz/corpus.hpp"
@@ -42,6 +43,16 @@ struct FuzzerOptions {
   /// heartbeat/status line). Not owned; must outlive the Fuzzer. Null keeps
   /// the loop telemetry-free.
   obs::CampaignTelemetry* telemetry = nullptr;
+  /// Optional per-objective first-hit attribution (fed on new-coverage
+  /// events only, so no hot-path cost when covered slots stop growing —
+  /// except the per-execution MCDC eval-set growth check, which exists
+  /// only when this is set). Not owned; must outlive the Fuzzer.
+  coverage::ProvenanceMap* provenance = nullptr;
+  /// Optional best-observed-distance recording for residual diagnostics.
+  /// Only effective when the fuzzed program carries kMargin instructions
+  /// (CompiledModel::Fuzz switches to the margin-instrumented lowering when
+  /// this is set). Not owned; Reset(spec) is called by the Fuzzer.
+  coverage::MarginRecorder* margins = nullptr;
 };
 
 struct FuzzBudget {

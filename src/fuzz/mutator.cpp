@@ -28,6 +28,16 @@ std::string_view MutationStrategyName(MutationStrategy s) {
   return "?";
 }
 
+std::string StrategyChainString(const std::vector<MutationStrategy>& chain) {
+  if (chain.empty()) return "seed";
+  std::string out;
+  for (MutationStrategy s : chain) {
+    if (!out.empty()) out += '>';
+    out += MutationStrategyName(s);
+  }
+  return out;
+}
+
 TupleMutator::TupleMutator(TupleLayout layout, std::size_t max_tuples)
     : layout_(std::move(layout)), max_tuples_(max_tuples) {}
 

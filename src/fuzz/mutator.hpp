@@ -22,6 +22,8 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/dtype.hpp"
@@ -59,6 +61,13 @@ enum class MutationStrategy {
 };
 inline constexpr int kNumMutationStrategies = 8;
 std::string_view MutationStrategyName(MutationStrategy s);
+
+/// Renders a mutation chain as ">"-joined strategy names (application
+/// order), e.g. "ChangeBinaryInteger>TuplesCrossOver" — the spelling the
+/// provenance trace events and `cftcg explain` use. An empty chain renders
+/// as "seed" (seed corpus entries have no producing mutation; the fuzzing
+/// loop substitutes "bytes" itself for Fuzz Only's structureless mutation).
+std::string StrategyChainString(const std::vector<MutationStrategy>& chain);
 
 /// Per-campaign accounting over the eight Table 1 strategies: how often
 /// each was applied, and how many applications contributed to an input

@@ -242,4 +242,33 @@ class Parser {
 
 Result<JsonValue> ParseJson(std::string_view text) { return Parser(text).Parse(); }
 
+JsonlStats ForEachJsonl(std::string_view text, const std::function<void(const JsonValue&)>& fn) {
+  JsonlStats stats;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    bool blank = true;
+    for (const char c : line) {
+      if (c != ' ' && c != '\t') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    ++stats.lines;
+    auto value = ParseJson(line);
+    if (!value.ok()) {
+      ++stats.skipped;
+      continue;
+    }
+    ++stats.parsed;
+    if (fn) fn(value.value());
+  }
+  return stats;
+}
+
 }  // namespace cftcg::obs

@@ -8,6 +8,8 @@
 // general-purpose JSON library.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -37,6 +39,22 @@ struct JsonValue {
 
 /// Parses one complete JSON document (leading/trailing whitespace allowed).
 Result<JsonValue> ParseJson(std::string_view text);
+
+/// Line accounting from ForEachJsonl. `lines` counts non-blank lines,
+/// `parsed` the ones delivered to the callback, `skipped` the malformed
+/// remainder (lines == parsed + skipped).
+struct JsonlStats {
+  std::size_t lines = 0;
+  std::size_t parsed = 0;
+  std::size_t skipped = 0;
+};
+
+/// Iterates a JSONL document line by line, invoking `fn` on every line that
+/// parses as a JSON value. Malformed lines — a truncated tail from a killed
+/// campaign, interleaved log garbage — are counted and skipped instead of
+/// aborting, so readers degrade gracefully on partial traces. Blank lines
+/// are ignored entirely.
+JsonlStats ForEachJsonl(std::string_view text, const std::function<void(const JsonValue&)>& fn);
 
 /// Escapes a string for embedding between JSON double quotes (quotes not
 /// included in the output).

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "coverage/provenance.hpp"
 #include "coverage/report.hpp"
 #include "coverage/sink.hpp"
 #include "coverage/spec.hpp"
+#include "obs/json.hpp"
 
 namespace cftcg::coverage {
 namespace {
@@ -153,6 +155,130 @@ TEST(MarginTest, RecordsDistances) {
   EXPECT_EQ(rec.Distance(d, 0), 0.0);  // still 0 from earlier in the run
   rec.ResetRun();
   EXPECT_EQ(rec.Distance(d, 0), MarginRecorder::kUnreached);
+}
+
+TEST(MarginTest, DistanceShrinksMonotonically) {
+  CoverageSpec spec;
+  const auto d = spec.AddDecision("d", 2);
+  MarginRecorder rec;
+  rec.Reset(spec);
+  rec.Record(d, 0, 1, 10.0);
+  EXPECT_EQ(rec.Distance(d, 1), 11.0);
+  rec.Record(d, 0, 1, 3.0);  // closer observation shrinks the best distance
+  EXPECT_EQ(rec.Distance(d, 1), 4.0);
+  rec.Record(d, 0, 1, 8.0);  // a worse one must not grow it back
+  EXPECT_EQ(rec.Distance(d, 1), 4.0);
+}
+
+TEST(ProvenanceTest, FirstHitAttributionSticks) {
+  CoverageSpec spec;
+  const auto d = spec.AddDecision("sw", 2);
+  const auto c = spec.AddCondition("sw.c", d);
+  ProvenanceMap prov(spec);
+  // 2 outcomes + 2 polarities + 1 MCDC condition.
+  EXPECT_EQ(prov.num_objectives(), 5U);
+  EXPECT_EQ(prov.num_covered(), 0U);
+
+  DynamicBitset total(static_cast<std::size_t>(spec.FuzzBranchCount()));
+  total.Set(static_cast<std::size_t>(spec.OutcomeSlot(d, 0)));
+  total.Set(static_cast<std::size_t>(spec.ConditionTrueSlot(c)));
+  auto fresh = prov.AttributeSlots(total, 7, 0.5, 3, "flip");
+  EXPECT_EQ(fresh.size(), 2U);
+  EXPECT_EQ(prov.num_covered(), 2U);
+
+  // A later pass over a grown bitset only attributes the new slot; the
+  // earlier first hits keep their original discoverer.
+  total.Set(static_cast<std::size_t>(spec.OutcomeSlot(d, 1)));
+  fresh = prov.AttributeSlots(total, 9, 1.0, 4, "rand");
+  ASSERT_EQ(fresh.size(), 1U);
+  const ObjectiveFirstHit& h = prov.hits()[fresh[0]];
+  EXPECT_EQ(h.kind, ObjectiveKind::kDecisionOutcome);
+  EXPECT_EQ(h.name, "sw");
+  EXPECT_EQ(h.outcome, 1);
+  EXPECT_EQ(h.iteration, 9U);
+  EXPECT_EQ(h.entry_id, 4);
+  EXPECT_EQ(h.chain, "rand");
+  EXPECT_EQ(prov.hits()[0].iteration, 7U);
+  EXPECT_EQ(prov.hits()[0].entry_id, 3);
+  EXPECT_EQ(prov.hits()[0].chain, "flip");
+}
+
+TEST(ProvenanceTest, McdcAttributedOncePerCondition) {
+  CoverageSpec spec;
+  const auto d = spec.AddDecision("gate", 2);
+  const auto a = spec.AddCondition("a", d);
+  const auto b = spec.AddCondition("b", d);
+  ProvenanceMap prov(spec);
+
+  std::unordered_set<std::uint64_t> evals;
+  evals.insert(PackEval(0b11, 0b11, 1));
+  evals.insert(PackEval(0b10, 0b11, 0));  // only `a` flipped -> pair for a
+  auto fresh = prov.AttributeMcdc(d, evals, 5, 0.1, 2, "flip");
+  ASSERT_EQ(fresh.size(), 1U);
+  EXPECT_EQ(prov.hits()[fresh[0]].kind, ObjectiveKind::kMcdcPair);
+  EXPECT_EQ(prov.hits()[fresh[0]].condition, a);
+
+  // Same eval set again: nothing new to attribute.
+  EXPECT_TRUE(prov.AttributeMcdc(d, evals, 6, 0.2, 3, "rand").empty());
+
+  evals.insert(PackEval(0b01, 0b11, 0));  // now b has a pair too
+  fresh = prov.AttributeMcdc(d, evals, 8, 0.3, 4, "rand");
+  ASSERT_EQ(fresh.size(), 1U);
+  EXPECT_EQ(prov.hits()[fresh[0]].condition, b);
+  EXPECT_EQ(prov.hits()[fresh[0]].entry_id, 4);
+}
+
+TEST(ProvenanceTest, ToJsonParsesBack) {
+  CoverageSpec spec;
+  const auto d = spec.AddDecision("blk \"q\"/sw", 2);
+  ProvenanceMap prov(spec);
+  DynamicBitset total(static_cast<std::size_t>(spec.FuzzBranchCount()));
+  total.Set(static_cast<std::size_t>(spec.OutcomeSlot(d, 1)));
+  prov.AttributeSlots(total, 3, 0.25, 0, "seed");
+
+  const auto parsed = obs::ParseJson(prov.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  const obs::JsonValue& v = parsed.value();
+  EXPECT_EQ(v.NumberOr("covered", -1), 1);
+  EXPECT_EQ(v.NumberOr("total", -1), 2);
+  const obs::JsonValue* objectives = v.Find("objectives");
+  ASSERT_NE(objectives, nullptr);
+  ASSERT_EQ(objectives->items.size(), 1U);
+  EXPECT_EQ(objectives->items[0].StringOr("name", ""), "blk \"q\"/sw");
+  EXPECT_EQ(objectives->items[0].StringOr("chain", ""), "seed");
+  EXPECT_EQ(objectives->items[0].NumberOr("iter", -1), 3);
+}
+
+TEST(ProvenanceTest, ResidualNamesMatchSpec) {
+  CoverageSpec spec;
+  const auto d = spec.AddDecision("blk/sat", 3);
+  CoverageSink sink(spec);
+  sink.BeginIteration();
+  sink.Hit(spec.OutcomeSlot(d, 1));
+  sink.AccumulateIteration();
+
+  MarginRecorder rec;
+  rec.Reset(spec);
+  rec.Record(d, 1, 0, 1.5);  // outcome 1 reached; outcome 0 at distance 1.5+1
+
+  const auto residuals = ResidualDiagnostics(spec, sink.total(), &rec);
+  ASSERT_EQ(residuals.size(), 2U);
+  EXPECT_EQ(residuals[0].name, "blk/sat[0]");
+  EXPECT_EQ(residuals[0].outcome, 0);
+  EXPECT_EQ(residuals[0].distance, 2.5);
+  EXPECT_EQ(residuals[1].name, "blk/sat[2]");
+  EXPECT_EQ(residuals[1].distance, MarginRecorder::kUnreached);
+}
+
+TEST(ProvenanceTest, ResidualWithoutMarginsIsUnreached) {
+  CoverageSpec spec;
+  spec.AddDecision("d", 2);
+  CoverageSink sink(spec);
+  const auto residuals = ResidualDiagnostics(spec, sink.total(), nullptr);
+  ASSERT_EQ(residuals.size(), 2U);
+  for (const auto& r : residuals) {
+    EXPECT_EQ(r.distance, MarginRecorder::kUnreached);
+  }
 }
 
 }  // namespace

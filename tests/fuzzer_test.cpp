@@ -254,6 +254,138 @@ TEST(FuzzerTest, StrategyStatsAccountApplications) {
   EXPECT_GT(total_applied, 0U);
 }
 
+TEST(FuzzerTest, ProvenanceAttributesEveryCoveredSlot) {
+  auto cm = Compile(bench_models::BuildAfc());
+  FuzzerOptions options;
+  options.seed = 5;
+  coverage::ProvenanceMap prov(cm->spec());
+  coverage::MarginRecorder margins;
+  options.provenance = &prov;
+  options.margins = &margins;
+  // The margin-instrumented program, as CompiledModel::Fuzz selects it.
+  Fuzzer fuzzer(cm->with_margins(), cm->spec(), options);
+  FuzzBudget budget;
+  budget.wall_seconds = 5.0;
+  budget.max_executions = 2000;
+  fuzzer.Run(budget);
+
+  // Every covered fuzz-branch slot has exactly one first hit, discovered by
+  // a real corpus entry (slot growth always admits the input), and hits are
+  // recorded in chronological order.
+  const DynamicBitset& total = fuzzer.sink().total();
+  std::size_t slot_hits = 0;
+  std::uint64_t prev_iter = 0;
+  for (const auto& h : prov.hits()) {
+    if (h.kind != coverage::ObjectiveKind::kMcdcPair) {
+      ASSERT_GE(h.slot, 0);
+      EXPECT_TRUE(total.Test(static_cast<std::size_t>(h.slot)));
+      EXPECT_GE(h.entry_id, 0);
+      ++slot_hits;
+    }
+    EXPECT_FALSE(h.chain.empty());
+    EXPECT_GE(h.iteration, prev_iter);
+    prev_iter = h.iteration;
+  }
+  EXPECT_EQ(slot_hits, total.Count());
+  EXPECT_EQ(prov.num_covered(), prov.hits().size());
+
+  // Residual diagnostics enumerate exactly the uncovered decision outcomes,
+  // under the same names UncoveredOutcomes reports.
+  const auto residuals = coverage::ResidualDiagnostics(cm->spec(), total, &margins);
+  const auto uncovered = coverage::UncoveredOutcomes(cm->spec(), total);
+  ASSERT_EQ(residuals.size(), uncovered.size());
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    EXPECT_EQ(residuals[i].name, uncovered[i]);
+  }
+}
+
+TEST(FuzzerTest, CorpusEventsFormAWellFoundedGenealogy) {
+  auto cm = Compile(bench_models::BuildAfc());
+  FuzzerOptions options;
+  options.seed = 13;
+
+  std::string buffer;
+  obs::TraceWriter trace(&buffer);
+  obs::Registry registry;
+  obs::CampaignTelemetry telemetry;
+  telemetry.trace = &trace;
+  telemetry.registry = &registry;
+  options.telemetry = &telemetry;
+  coverage::ProvenanceMap prov(cm->spec());
+  options.provenance = &prov;
+
+  Fuzzer fuzzer(cm->instrumented(), cm->spec(), options);
+  FuzzBudget budget;
+  budget.wall_seconds = 5.0;
+  budget.max_executions = 1500;
+  fuzzer.Run(budget);
+  trace.Flush();
+
+  std::vector<std::int64_t> ids;
+  std::vector<std::int64_t> parents;
+  std::vector<std::uint64_t> depths;
+  std::vector<std::string> chains;
+  std::vector<std::int64_t> objective_entries;
+  const obs::JsonlStats stats = obs::ForEachJsonl(buffer, [&](const obs::JsonValue& ev) {
+    const std::string kind = ev.StringOr("ev", "");
+    if (kind == "corpus") {
+      ids.push_back(static_cast<std::int64_t>(ev.NumberOr("id", -2)));
+      parents.push_back(static_cast<std::int64_t>(ev.NumberOr("parent", -2)));
+      depths.push_back(static_cast<std::uint64_t>(ev.NumberOr("depth", 99)));
+      chains.push_back(ev.StringOr("chain", ""));
+    } else if (kind == "objective") {
+      objective_entries.push_back(static_cast<std::int64_t>(ev.NumberOr("entry", -2)));
+    }
+  });
+  EXPECT_EQ(stats.skipped, 0U);
+  ASSERT_GE(ids.size(), options.seed_inputs);
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], static_cast<std::int64_t>(i));  // ids are admission order
+    EXPECT_FALSE(chains[i].empty());
+    if (i < options.seed_inputs) {
+      EXPECT_EQ(parents[i], -1);
+      EXPECT_EQ(depths[i], 0U);
+      EXPECT_EQ(chains[i], "seed");
+    } else {
+      // Well-founded: a parent is an earlier entry, one generation up.
+      ASSERT_GE(parents[i], 0);
+      ASSERT_LT(parents[i], ids[i]);
+      EXPECT_EQ(depths[i], depths[static_cast<std::size_t>(parents[i])] + 1);
+    }
+  }
+  // Objective discoverers are real corpus entries (or the -1 sentinel for
+  // pairs completed by unretained inputs).
+  for (const std::int64_t entry : objective_entries) {
+    EXPECT_GE(entry, -1);
+    EXPECT_LT(entry, static_cast<std::int64_t>(ids.size()));
+  }
+}
+
+TEST(CorpusTest, MaxMetricTracksAddsAndAssignsIds) {
+  Corpus corpus;
+  EXPECT_EQ(corpus.MaxMetric(), 0U);
+  CorpusEntry a;
+  a.data = {1};
+  a.metric = 3;
+  corpus.Add(std::move(a));
+  EXPECT_EQ(corpus.MaxMetric(), 3U);
+  CorpusEntry b;
+  b.data = {2};
+  b.metric = 1;
+  corpus.Add(std::move(b));
+  EXPECT_EQ(corpus.MaxMetric(), 3U);  // lower metric leaves the max alone
+  CorpusEntry c;
+  c.data = {3};
+  c.metric = 9;
+  corpus.Add(std::move(c));
+  EXPECT_EQ(corpus.MaxMetric(), 9U);
+  EXPECT_EQ(corpus.entry(0).id, 0);
+  EXPECT_EQ(corpus.entry(1).id, 1);
+  EXPECT_EQ(corpus.entry(2).id, 2);
+  EXPECT_EQ(corpus.next_id(), 3);
+}
+
 TEST(CorpusTest, EnergyWeightedPickPrefersHighMetric) {
   Corpus corpus;
   CorpusEntry weak;

@@ -56,5 +56,48 @@ TEST(HtmlReportTest, EscapesNames) {
   EXPECT_EQ(html.find("<x>"), std::string::npos);
 }
 
+TEST(CampaignExplorerTest, RendersAllSections) {
+  CampaignExplorerData data;
+  data.title = "afc run";
+  data.elapsed_s = 2.0;
+  data.executions = 5000;
+  data.objectives_total = 4;
+  data.objectives.push_back({"decision_outcome", "ctrl/sw", "seed", 0, 0, 1, 0.01, 0});
+  data.objectives.push_back({"mcdc_pair", "ctrl/sw.c", "flip>rand", -1, -1, 900, 1.8, 2});
+  data.corpus.push_back({0, -1, 0, "seed", 0.0, 3, 2});
+  data.corpus.push_back({1, 0, 1, "flip", 0.4, 5, 1});
+  data.corpus.push_back({2, 1, 2, "flip>rand", 1.8, 7, 1});
+  data.residuals.push_back({"ctrl/clamp[2]", 4, 2, 3.14, false});
+  data.residuals.push_back({"ctrl/clamp[0]", 4, 0, 0, true});
+
+  const std::string html = RenderCampaignExplorer(data);
+  EXPECT_NE(html.find("Campaign explorer — afc run"), std::string::npos);
+  EXPECT_NE(html.find("Per-block first-hit heatmap"), std::string::npos);
+  EXPECT_NE(html.find("Time to objective"), std::string::npos);
+  EXPECT_NE(html.find("Strategy credit"), std::string::npos);
+  EXPECT_NE(html.find("Corpus genealogy"), std::string::npos);
+  EXPECT_NE(html.find("Residual objectives"), std::string::npos);
+  // Covered objectives carry their heat class; residuals a miss cell with
+  // the best margin distance; the genealogy nests child under parent.
+  EXPECT_NE(html.find("heat0"), std::string::npos);  // 0.01 / 2.0 -> earliest bucket
+  EXPECT_NE(html.find("heat4"), std::string::npos);  // 1.8 / 2.0 -> latest bucket
+  EXPECT_NE(html.find("best distance 3.14"), std::string::npos);
+  EXPECT_NE(html.find("unreached"), std::string::npos);
+  EXPECT_NE(html.find("flip&gt;rand"), std::string::npos);
+  EXPECT_NE(html.find("#2"), std::string::npos);
+  // Both residual outcomes group under the stripped block name.
+  EXPECT_NE(html.find("ctrl/clamp"), std::string::npos);
+}
+
+TEST(CampaignExplorerTest, EmptyTraceStillRenders) {
+  CampaignExplorerData data;
+  data.title = "empty";
+  data.malformed_lines = 3;
+  const std::string html = RenderCampaignExplorer(data);
+  EXPECT_NE(html.find("Campaign explorer — empty"), std::string::npos);
+  EXPECT_NE(html.find("3 malformed trace line(s) skipped"), std::string::npos);
+  EXPECT_NE(html.find("No corpus events"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cftcg::coverage

@@ -227,6 +227,33 @@ TEST(JsonTest, NumberRendering) {
   EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
 }
 
+TEST(JsonlTest, SkipsMalformedLinesAndCounts) {
+  const std::string text =
+      "{\"a\":1}\n"
+      "not json at all\n"
+      "\n"
+      "   \t \n"
+      "{\"a\":2}\r\n"
+      "{\"trunc";  // killed mid-write, no trailing newline
+  std::vector<double> seen;
+  const JsonlStats stats = ForEachJsonl(text, [&](const JsonValue& v) {
+    seen.push_back(v.NumberOr("a", -1));
+  });
+  EXPECT_EQ(stats.lines, 4U);  // blanks are not counted at all
+  EXPECT_EQ(stats.parsed, 2U);
+  EXPECT_EQ(stats.skipped, 2U);
+  ASSERT_EQ(seen.size(), 2U);
+  EXPECT_DOUBLE_EQ(seen[0], 1.0);
+  EXPECT_DOUBLE_EQ(seen[1], 2.0);
+}
+
+TEST(JsonlTest, EmptyInputYieldsZeroStats) {
+  const JsonlStats stats = ForEachJsonl("", [](const JsonValue&) { FAIL(); });
+  EXPECT_EQ(stats.lines, 0U);
+  EXPECT_EQ(stats.parsed, 0U);
+  EXPECT_EQ(stats.skipped, 0U);
+}
+
 TEST(ClockTest, StopwatchIsMonotonic) {
   const Stopwatch watch;
   const double a = watch.Elapsed();

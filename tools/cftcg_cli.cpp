@@ -7,6 +7,10 @@
 //                                                run a campaign, export CSV tests
 //   cftcg run   <model.cmx> --csv test.csv       replay a CSV test case
 //   cftcg trace-summary <trace.jsonl>            summarize a campaign trace
+//   cftcg explain <trace.jsonl> [--html FILE] [--json FILE] [--csv FILE]
+//                                                campaign explorer from a trace:
+//                                                first-hit provenance, corpus
+//                                                genealogy, residual objectives
 //   cftcg export-benchmarks <dir>                write the 8 Table 2 models as .cmx
 //
 // Wherever a <model.cmx> is expected, a Table 2 benchmark name (AFC,
@@ -28,6 +32,7 @@
 #include "cftcg/experiment.hpp"
 #include "cftcg/pipeline.hpp"
 #include "coverage/html_report.hpp"
+#include "coverage/provenance.hpp"
 #include "coverage/report.hpp"
 #include "fuzz/csv_export.hpp"
 #include "fuzz/suite.hpp"
@@ -55,6 +60,8 @@ int Usage() {
       "  cftcg run   <model.cmx> --csv test.csv\n"
       "  cftcg cover <model.cmx> --csv-dir DIR [--html report.html]\n"
       "  cftcg trace-summary <trace.jsonl>\n"
+      "  cftcg explain <trace.jsonl> [--html FILE] [--json FILE] [--csv FILE]\n"
+      "              first-hit provenance explorer (use - for stdout)\n"
       "  cftcg export-benchmarks <dir>\n"
       "(<model.cmx> may also be a Table 2 benchmark name: CPUTask, AFC, ...)");
   return 2;
@@ -166,9 +173,20 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
   }
   obs::CampaignTelemetry* use = telemetry.active() ? &telemetry : nullptr;
 
+  // Provenance rides along whenever the campaign is observed at all: the
+  // trace gets objective/corpus/residual events and the metrics snapshot a
+  // "provenance" section. Untraced runs keep the bare hot path.
+  std::unique_ptr<coverage::ProvenanceMap> provenance;
+  std::unique_ptr<coverage::MarginRecorder> margins;
+  if (use != nullptr) {
+    provenance = std::make_unique<coverage::ProvenanceMap>(cm->spec());
+    margins = std::make_unique<coverage::MarginRecorder>();
+  }
+
   fuzz::FuzzBudget budget;
   budget.wall_seconds = seconds;
-  auto result = RunTool(*cm, fuzz_only ? Tool::kFuzzOnly : Tool::kCftcg, budget, seed, use);
+  auto result = RunTool(*cm, fuzz_only ? Tool::kFuzzOnly : Tool::kCftcg, budget, seed, use,
+                        provenance.get(), margins.get());
   std::printf("%s: %llu inputs, %llu model iterations, %zu test cases in %.1fs\n",
               fuzz_only ? "fuzz-only" : "cftcg",
               static_cast<unsigned long long>(result.executions),
@@ -220,21 +238,34 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
       std::fprintf(stderr, "error: cannot open %s for writing\n", tf.metrics_path.c_str());
       return 1;
     }
-    mout << obs::Registry::Global().Snapshot().ToJson() << "\n";
+    std::string json = obs::Registry::Global().Snapshot().ToJson();
+    // Splice the first-hit provenance snapshot into the metrics document so
+    // one file carries both ("cftcg explain" can join either source).
+    if (provenance != nullptr && !json.empty() && json.back() == '}') {
+      json.pop_back();
+      json += ",\"provenance\":" + provenance->ToJson() + "}";
+    }
+    mout << json << "\n";
     std::printf("metrics snapshot written to %s\n", tf.metrics_path.c_str());
+  }
+  if (provenance != nullptr) {
+    std::printf("provenance: %zu / %zu objectives first-hit attributed\n",
+                provenance->num_covered(), provenance->num_objectives());
   }
   return 0;
 }
 
 /// Replays a campaign trace and reports throughput and time-to-coverage.
-/// Every line must parse as JSON — a malformed trace is an error, not a
-/// warning, so the JSONL contract stays enforceable.
+/// Malformed lines (a truncated tail from a killed campaign, interleaved
+/// stderr garbage) are skipped and counted rather than aborting, so a
+/// partial trace still summarizes; a fully valid trace reports as such.
 int CmdTraceSummary(const std::string& trace_path) {
   std::ifstream in(trace_path);
   if (!in) {
     std::fprintf(stderr, "error: cannot open %s\n", trace_path.c_str());
     return 1;
   }
+  const std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
 
   std::map<std::string, int> kinds;
   std::vector<double> stat_exec_per_s;
@@ -244,18 +275,7 @@ int CmdTraceSummary(const std::string& trace_path) {
   double stop_exec = 0;
   double stop_decision = -1, stop_condition = -1, stop_mcdc = -1;
   std::string start_mode;
-  int line_no = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    auto parsed = obs::ParseJson(line);
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "error: %s:%d: %s\n", trace_path.c_str(), line_no,
-                   parsed.message().c_str());
-      return 1;
-    }
-    const obs::JsonValue& ev = parsed.value();
+  const obs::JsonlStats stats = obs::ForEachJsonl(text, [&](const obs::JsonValue& ev) {
     const std::string kind = ev.StringOr("ev", "?");
     ++kinds[kind];
     if (kind == "start") {
@@ -274,13 +294,23 @@ int CmdTraceSummary(const std::string& trace_path) {
     } else if (kind == "phase") {
       phases.emplace_back(ev.StringOr("name", "?"), ev.NumberOr("seconds", 0));
     }
-  }
-  if (line_no == 0) {
+  });
+  if (stats.lines == 0) {
     std::fprintf(stderr, "error: %s is empty\n", trace_path.c_str());
     return 1;
   }
+  if (stats.parsed == 0) {
+    std::fprintf(stderr, "error: %s: no valid JSONL among %zu line(s)\n", trace_path.c_str(),
+                 stats.lines);
+    return 1;
+  }
 
-  std::printf("trace %s: %d lines, all valid JSON\n", trace_path.c_str(), line_no);
+  if (stats.skipped == 0) {
+    std::printf("trace %s: %zu lines, all valid JSON\n", trace_path.c_str(), stats.lines);
+  } else {
+    std::printf("trace %s: %zu lines, %zu parsed, %zu malformed line(s) skipped\n",
+                trace_path.c_str(), stats.lines, stats.parsed, stats.skipped);
+  }
   std::printf("events:");
   for (const auto& [kind, count] : kinds) std::printf(" %s=%d", kind.c_str(), count);
   std::printf("\n");
@@ -327,6 +357,186 @@ int CmdTraceSummary(const std::string& trace_path) {
     std::printf("phases:\n");
     for (const auto& [name, seconds] : phases) {
       std::printf("  %-20s %.4fs\n", name.c_str(), seconds);
+    }
+  }
+  return 0;
+}
+
+/// Writes `content` to `path` ("-" = stdout), echoing where it went.
+bool WriteArtifact(const std::string& path, const std::string& content, const char* what) {
+  if (path == "-") {
+    std::fputs(content.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << content;
+  std::printf("%s written to %s\n", what, path.c_str());
+  return true;
+}
+
+/// `cftcg explain`: decodes a campaign trace's provenance events (objective /
+/// corpus / residual / provenance, plus start/stop for context) into the
+/// campaign-explorer HTML and machine-readable first-hit tables. Tolerant of
+/// truncated or garbage lines — they are counted, skipped, and surfaced.
+int CmdExplain(const std::string& trace_path, const std::string& html_path,
+               const std::string& json_path, const std::string& csv_path) {
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", trace_path.c_str());
+    return 1;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  coverage::CampaignExplorerData data;
+  std::string mode;
+  const obs::JsonlStats stats = obs::ForEachJsonl(text, [&](const obs::JsonValue& ev) {
+    const std::string kind = ev.StringOr("ev", "?");
+    if (kind == "start") {
+      mode = ev.StringOr("mode", "");
+    } else if (kind == "objective") {
+      coverage::ExplorerObjective o;
+      o.kind = ev.StringOr("kind", "?");
+      o.name = ev.StringOr("name", "?");
+      o.chain = ev.StringOr("chain", "");
+      o.outcome = static_cast<int>(ev.NumberOr("outcome", -1));
+      o.slot = static_cast<int>(ev.NumberOr("slot", -1));
+      o.iteration = static_cast<std::uint64_t>(ev.NumberOr("iter", 0));
+      o.time_s = ev.NumberOr("time_s", 0);
+      o.entry_id = static_cast<std::int64_t>(ev.NumberOr("entry", -1));
+      data.objectives.push_back(std::move(o));
+    } else if (kind == "corpus") {
+      coverage::ExplorerCorpusEntry e;
+      e.id = static_cast<std::int64_t>(ev.NumberOr("id", -1));
+      e.parent = static_cast<std::int64_t>(ev.NumberOr("parent", -1));
+      e.depth = static_cast<std::uint64_t>(ev.NumberOr("depth", 0));
+      e.chain = ev.StringOr("chain", "");
+      e.time_s = ev.NumberOr("time_s", 0);
+      e.metric = ev.NumberOr("metric", 0);
+      e.new_slots = static_cast<std::uint64_t>(ev.NumberOr("new_slots", 0));
+      data.corpus.push_back(std::move(e));
+    } else if (kind == "residual") {
+      coverage::ExplorerResidual r;
+      r.name = ev.StringOr("name", "?");
+      r.decision = static_cast<int>(ev.NumberOr("decision", -1));
+      r.outcome = static_cast<int>(ev.NumberOr("outcome", -1));
+      const obs::JsonValue* dist = ev.Find("distance");
+      if (dist != nullptr && dist->kind == obs::JsonValue::Kind::kNumber) {
+        r.distance = dist->number;
+      } else {
+        r.unreached = true;
+      }
+      data.residuals.push_back(std::move(r));
+    } else if (kind == "provenance") {
+      data.objectives_total = static_cast<std::size_t>(ev.NumberOr("total", 0));
+    } else if (kind == "stop") {
+      data.elapsed_s = ev.NumberOr("elapsed_s", 0);
+      data.executions = static_cast<std::uint64_t>(ev.NumberOr("exec", 0));
+    }
+  });
+  if (stats.parsed == 0) {
+    std::fprintf(stderr, "error: %s: no valid JSONL among %zu line(s)\n", trace_path.c_str(),
+                 stats.lines);
+    return 1;
+  }
+  data.malformed_lines = stats.skipped;
+  data.title = mode.empty() ? trace_path : mode + " — " + trace_path;
+  if (data.objectives.empty() && data.corpus.empty()) {
+    std::fprintf(stderr,
+                 "warning: %s has no provenance events (record with cftcg fuzz --trace)\n",
+                 trace_path.c_str());
+  }
+
+  // Outputs render from a time-sorted copy so every table reads as a
+  // campaign timeline.
+  std::sort(data.objectives.begin(), data.objectives.end(),
+            [](const coverage::ExplorerObjective& a, const coverage::ExplorerObjective& b) {
+              return a.time_s != b.time_s ? a.time_s < b.time_s : a.iteration < b.iteration;
+            });
+
+  if (!json_path.empty()) {
+    std::string json = StrFormat(
+        "{\"trace\":\"%s\",\"mode\":\"%s\",\"elapsed_s\":%s,\"executions\":%llu,"
+        "\"covered\":%zu,\"total\":%zu,\"malformed_lines\":%zu,\"first_hits\":[",
+        obs::JsonEscape(trace_path).c_str(), obs::JsonEscape(mode).c_str(),
+        obs::JsonNumber(data.elapsed_s).c_str(),
+        static_cast<unsigned long long>(data.executions), data.objectives.size(),
+        data.objectives_total > 0 ? data.objectives_total
+                                  : data.objectives.size() + data.residuals.size(),
+        data.malformed_lines);
+    for (std::size_t i = 0; i < data.objectives.size(); ++i) {
+      const auto& o = data.objectives[i];
+      if (i > 0) json += ',';
+      json += StrFormat(
+          "{\"kind\":\"%s\",\"name\":\"%s\",\"outcome\":%d,\"slot\":%d,\"iter\":%llu,"
+          "\"time_s\":%s,\"entry\":%lld,\"chain\":\"%s\"}",
+          obs::JsonEscape(o.kind).c_str(), obs::JsonEscape(o.name).c_str(), o.outcome, o.slot,
+          static_cast<unsigned long long>(o.iteration), obs::JsonNumber(o.time_s).c_str(),
+          static_cast<long long>(o.entry_id), obs::JsonEscape(o.chain).c_str());
+    }
+    json += "],\"residual\":[";
+    for (std::size_t i = 0; i < data.residuals.size(); ++i) {
+      const auto& r = data.residuals[i];
+      if (i > 0) json += ',';
+      json += StrFormat("{\"name\":\"%s\",\"decision\":%d,\"outcome\":%d,\"distance\":%s}",
+                        obs::JsonEscape(r.name).c_str(), r.decision, r.outcome,
+                        r.unreached ? "\"unreached\"" : obs::JsonNumber(r.distance).c_str());
+    }
+    json += "]}\n";
+    if (!WriteArtifact(json_path, json, "first-hit table (JSON)")) return 1;
+  }
+
+  if (!csv_path.empty()) {
+    auto field = [](const std::string& s) {
+      std::string quoted = "\"";
+      for (const char c : s) {
+        quoted += c;
+        if (c == '"') quoted += '"';
+      }
+      quoted += '"';
+      return quoted;
+    };
+    std::string csv = "kind,name,outcome,slot,iter,time_s,entry,chain\n";
+    for (const auto& o : data.objectives) {
+      csv += StrFormat("%s,%s,%d,%d,%llu,%.6f,%lld,%s\n", o.kind.c_str(),
+                       field(o.name).c_str(), o.outcome, o.slot,
+                       static_cast<unsigned long long>(o.iteration), o.time_s,
+                       static_cast<long long>(o.entry_id), field(o.chain).c_str());
+    }
+    if (!WriteArtifact(csv_path, csv, "first-hit table (CSV)")) return 1;
+  }
+
+  if (!html_path.empty()) {
+    if (!WriteArtifact(html_path, coverage::RenderCampaignExplorer(data),
+                       "campaign explorer (HTML)")) {
+      return 1;
+    }
+  }
+
+  if (html_path.empty() && json_path.empty() && csv_path.empty()) {
+    // No artifact requested: print a terse first-hit / residual rundown.
+    std::printf("campaign: %s, %llu executions in %.2fs; %zu objectives first-hit, %zu residual\n",
+                mode.empty() ? "?" : mode.c_str(),
+                static_cast<unsigned long long>(data.executions), data.elapsed_s,
+                data.objectives.size(), data.residuals.size());
+    if (data.malformed_lines > 0) {
+      std::printf("(%zu malformed trace line(s) skipped)\n", data.malformed_lines);
+    }
+    for (const auto& o : data.objectives) {
+      std::printf("  %8.3fs iter %-6llu entry %-4lld %-16s %s[%d] via %s\n", o.time_s,
+                  static_cast<unsigned long long>(o.iteration),
+                  static_cast<long long>(o.entry_id), o.kind.c_str(), o.name.c_str(), o.outcome,
+                  o.chain.c_str());
+    }
+    for (const auto& r : data.residuals) {
+      if (r.unreached) {
+        std::printf("  residual %-40s unreached\n", r.name.c_str());
+      } else {
+        std::printf("  residual %-40s best distance %.6g\n", r.name.c_str(), r.distance);
+      }
     }
   }
   return 0;
@@ -449,6 +659,7 @@ int main(int argc, char** argv) {
   std::string csv;
   std::string csv_dir;
   std::string html;
+  std::string json;
   double seconds = 10;
   std::uint64_t seed = 1;
   bool fuzz_only = false;
@@ -461,6 +672,7 @@ int main(int argc, char** argv) {
     else if (a == "--csv") csv = next();
     else if (a == "--csv-dir") csv_dir = next();
     else if (a == "--html") html = next();
+    else if (a == "--json") json = next();
     else if (a == "--seconds") seconds = std::atof(next().c_str());
     else if (a == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     else if (a == "--fuzz-only") fuzz_only = true;
@@ -476,6 +688,7 @@ int main(int argc, char** argv) {
   if (cmd == "run") return CmdRun(target, csv);
   if (cmd == "cover") return CmdCover(target, csv_dir, html);
   if (cmd == "trace-summary") return CmdTraceSummary(target);
+  if (cmd == "explain") return CmdExplain(target, html, json, csv);
   if (cmd == "export-benchmarks") return CmdExportBenchmarks(target);
   return Usage();
 }
