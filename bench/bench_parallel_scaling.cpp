@@ -1,0 +1,53 @@
+// E11 — Parallel fuzzing scaling: exec/s and coverage at -j 1/2/4/8.
+//
+// Runs the multi-worker engine (fuzz/parallel.hpp) against the sequential
+// baseline on the Table 2 models under an equal wall-clock budget. The
+// interesting columns are the throughput speedup over -j1 and the decision
+// coverage, which must not degrade: corpus sync makes the workers one
+// campaign, not N independent ones. Speedup tracks the host's core count —
+// on a single-core host the expected result is ~1.0x with a few percent of
+// merge overhead, which this bench makes visible rather than hides.
+#include <thread>
+
+#include "bench/bench_util.hpp"
+#include "fuzz/parallel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cftcg;
+  const auto args = bench::BenchArgs::Parse(argc, argv, /*budget=*/2.0, /*reps=*/1);
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::printf("=== Parallel scaling: exec/s at -j 1/2/4/8 (budget %.1fs, %u cores) ===\n",
+              args.budget_s, cores);
+  bench::Table table({"Model", "Jobs", "exec/s", "Speedup", "Decision", "Imports"});
+  bench::CsvSink csv(args.csv_path,
+                     {"model", "jobs", "exec_per_s", "speedup", "decision_pct", "imports"});
+  for (const auto& name : args.ModelNames()) {
+    auto cm = bench::CompileOrDie(name);
+    double base_rate = 0;
+    for (const int jobs : {1, 2, 4, 8}) {
+      fuzz::FuzzerOptions options;
+      options.seed = args.seed;
+      options.model_oriented = true;
+      fuzz::FuzzBudget budget;
+      budget.wall_seconds = args.budget_s;
+      fuzz::ParallelOptions par;
+      par.num_workers = jobs;
+      const auto result = cm->FuzzParallel(options, budget, par);
+      const auto& r = result.merged;
+      const double rate = r.elapsed_s > 0 ? static_cast<double>(r.executions) / r.elapsed_s : 0;
+      if (jobs == 1) base_rate = rate;
+      const double speedup = base_rate > 0 ? rate / base_rate : 0;
+      table.AddRow({jobs == 1 ? name : "", StrFormat("%d", jobs), StrFormat("%.0f", rate),
+                    StrFormat("%.2fx", speedup), bench::Pct(r.report.DecisionPct()),
+                    StrFormat("%llu", static_cast<unsigned long long>(result.imports))});
+      csv.Row({name, StrFormat("%d", jobs), StrFormat("%.0f", rate), StrFormat("%.3f", speedup),
+               StrFormat("%.2f", r.report.DecisionPct()),
+               StrFormat("%llu", static_cast<unsigned long long>(result.imports))});
+    }
+  }
+  table.Print();
+  if (csv.active()) std::printf("CSV written to %s\n", args.csv_path.c_str());
+  std::printf("\n(speedup ceiling is min(jobs, cores) = cores on this host: %u)\n", cores);
+  return 0;
+}

@@ -100,4 +100,21 @@ fuzz::CampaignResult CompiledModel::Fuzz(const fuzz::FuzzerOptions& options,
   return fuzzer.Run(budget);
 }
 
+fuzz::ParallelCampaignResult CompiledModel::FuzzParallel(const fuzz::FuzzerOptions& options,
+                                                         const fuzz::FuzzBudget& budget,
+                                                         const fuzz::ParallelOptions& parallel) {
+  if (parallel.num_workers <= 1) {
+    fuzz::ParallelCampaignResult out;
+    out.merged = Fuzz(options, budget);
+    out.worker_executions.push_back(out.merged.executions);
+    return out;
+  }
+  const vm::Program* fo = options.model_oriented ? nullptr : &fuzz_only();
+  obs::ScopedTimer vm_span("vm_load");
+  fuzz::ParallelFuzzer fuzzer(instrumented_, spec(), options, parallel, fo);
+  vm_span.Stop();
+  obs::ScopedTimer span("fuzz");
+  return fuzzer.Run(budget);
+}
+
 }  // namespace cftcg

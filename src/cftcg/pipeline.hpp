@@ -16,6 +16,7 @@
 #include "codegen/cemit.hpp"
 #include "codegen/lower.hpp"
 #include "fuzz/fuzzer.hpp"
+#include "fuzz/parallel.hpp"
 #include "ir/model.hpp"
 #include "sched/schedule.hpp"
 #include "support/status.hpp"
@@ -47,6 +48,14 @@ class CompiledModel {
 
   /// Runs the CFTCG fuzzing loop.
   fuzz::CampaignResult Fuzz(const fuzz::FuzzerOptions& options, const fuzz::FuzzBudget& budget);
+
+  /// Runs the parallel multi-worker fuzzing loop (fuzz/parallel.hpp).
+  /// parallel.num_workers <= 1 delegates to Fuzz() — the sequential engine,
+  /// which additionally supports margin recording and per-campaign
+  /// heartbeats — and wraps its result.
+  fuzz::ParallelCampaignResult FuzzParallel(const fuzz::FuzzerOptions& options,
+                                            const fuzz::FuzzBudget& budget,
+                                            const fuzz::ParallelOptions& parallel);
 
   /// Table 2 statistics.
   [[nodiscard]] int NumBranches() const { return scheduled_.NumBranchOutcomes(); }

@@ -1,6 +1,8 @@
 #include "coverage/provenance.hpp"
 
 #include <algorithm>
+#include <map>
+#include <tuple>
 
 #include "coverage/report.hpp"
 #include "support/strings.hpp"
@@ -101,6 +103,57 @@ std::vector<std::size_t> ProvenanceMap::AttributeMcdc(
     hits_.push_back(std::move(hit));
   }
   return fresh;
+}
+
+bool ProvenanceMap::AbsorbHit(const ObjectiveFirstHit& hit) {
+  int* state = nullptr;
+  if (hit.kind == ObjectiveKind::kMcdcPair) {
+    if (hit.decision < 0 || static_cast<std::size_t>(hit.decision) >= mcdc_offset_.size()) {
+      return false;
+    }
+    const Decision& decision = spec_->decision(hit.decision);
+    const auto n = std::min<std::size_t>(decision.conditions.size(), 24);
+    const int base = mcdc_offset_[static_cast<std::size_t>(hit.decision)];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (decision.conditions[i] == hit.condition) {
+        state = &mcdc_hit_[static_cast<std::size_t>(base) + i];
+        break;
+      }
+    }
+  } else {
+    if (hit.slot < 0 || static_cast<std::size_t>(hit.slot) >= slot_hit_.size()) return false;
+    state = &slot_hit_[static_cast<std::size_t>(hit.slot)];
+  }
+  if (state == nullptr || *state >= 0) return false;
+  *state = static_cast<int>(hits_.size());
+  hits_.push_back(hit);
+  return true;
+}
+
+std::vector<ObjectiveFirstHit> MergeFirstHits(const std::vector<const ProvenanceMap*>& workers) {
+  // Objective key -> best hit so far. std::map keeps key order deterministic
+  // for the tie tiers of the final ordering.
+  std::map<std::tuple<int, int, int, int, int>, const ObjectiveFirstHit*> best;
+  for (const ProvenanceMap* worker : workers) {
+    if (worker == nullptr) continue;
+    for (const ObjectiveFirstHit& h : worker->hits()) {
+      const auto key = std::make_tuple(static_cast<int>(h.kind), h.slot,
+                                       static_cast<int>(h.decision),
+                                       static_cast<int>(h.condition), h.outcome);
+      const auto it = best.find(key);
+      // Strict < keeps the earlier (lower-index) worker's hit on equal
+      // iterations — the deterministic tie-break.
+      if (it == best.end() || h.iteration < it->second->iteration) best[key] = &h;
+    }
+  }
+  std::vector<ObjectiveFirstHit> merged;
+  merged.reserve(best.size());
+  for (const auto& [key, hit] : best) merged.push_back(*hit);
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const ObjectiveFirstHit& a, const ObjectiveFirstHit& b) {
+                     return a.iteration < b.iteration;
+                   });
+  return merged;
 }
 
 namespace {

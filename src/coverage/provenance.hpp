@@ -85,6 +85,13 @@ class ProvenanceMap {
                                          std::uint64_t iteration, double time_s,
                                          std::int64_t entry_id, std::string_view chain);
 
+  /// Records an attribution discovered elsewhere (another worker's map) if
+  /// the objective is still unattributed here; the hit is copied verbatim,
+  /// keeping the discoverer's iteration/time/entry/chain. Returns true if
+  /// absorbed. The parallel engine folds MergeFirstHits output into the
+  /// caller-provided map through this.
+  bool AbsorbHit(const ObjectiveFirstHit& hit);
+
   /// All attributions so far, in discovery order.
   [[nodiscard]] const std::vector<ObjectiveFirstHit>& hits() const { return hits_; }
   /// Size of the objective universe (covered + uncovered).
@@ -104,6 +111,15 @@ class ProvenanceMap {
   std::vector<int> mcdc_offset_;  // first mcdc_hit_ index per decision
   std::size_t num_objectives_ = 0;
 };
+
+/// Merges per-worker first-hit attributions into one deterministic list.
+/// For each objective — keyed by (kind, slot, decision, condition, outcome)
+/// — the hit with the smallest iteration wins; ties go to the lowest worker
+/// index (position in `workers`), so the result is reproducible for a fixed
+/// seed and worker count regardless of thread scheduling. Output is ordered
+/// by discovery iteration (ties in objective-key order). Null entries in
+/// `workers` are skipped.
+std::vector<ObjectiveFirstHit> MergeFirstHits(const std::vector<const ProvenanceMap*>& workers);
 
 /// Lists every uncovered decision outcome with its best observed distance
 /// (`margins` may be null: all distances report as kUnreached). Order

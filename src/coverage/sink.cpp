@@ -45,6 +45,17 @@ CoverageSink::CoverageSink(const CoverageSpec& spec) : spec_(&spec) {
   evals_.resize(spec.decisions().size());
 }
 
+void CoverageSink::MergeFrom(const CoverageSink& other) {
+  total_.MergeAndCountNew(other.total_);
+  for (std::size_t d = 0; d < evals_.size(); ++d) {
+    auto& dst = evals_[d];
+    for (const std::uint64_t e : other.evals_[d]) {
+      if (dst.size() >= kMaxEvalsPerDecision) break;
+      dst.insert(e);
+    }
+  }
+}
+
 void CoverageSink::ResetCampaign() {
   curr_.ClearAll();
   total_.ClearAll();

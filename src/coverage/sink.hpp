@@ -90,6 +90,13 @@ class CoverageSink {
     return evals_;
   }
 
+  /// Merges another sink's campaign-cumulative state into this one: ORs the
+  /// total bitmap and unions the per-decision evaluation sets (capped at
+  /// kMaxEvalsPerDecision like direct recording). Both sinks must share the
+  /// spec. Used by the parallel engine to fold worker frontiers into the
+  /// global one; `curr` is per-iteration scratch and is not touched.
+  void MergeFrom(const CoverageSink& other);
+
   /// Enables margin recording (constraint baseline); pass nullptr to disable.
   void set_margin_recorder(MarginRecorder* m) { margins_ = m; }
 

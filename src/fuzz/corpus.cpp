@@ -1,5 +1,6 @@
 #include "fuzz/corpus.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace cftcg::fuzz {
@@ -7,19 +8,21 @@ namespace cftcg::fuzz {
 void Corpus::Add(CorpusEntry entry) {
   entry.id = next_id();
   total_energy_ += entry.metric + 1;
+  cumulative_energy_.push_back(total_energy_);
   if (entry.metric > max_metric_) max_metric_ = entry.metric;
   entries_.push_back(std::move(entry));
 }
 
 const CorpusEntry& Corpus::Pick(Rng& rng) const {
   assert(!entries_.empty());
-  std::uint64_t roll = rng.NextBelow(total_energy_);
-  for (const auto& e : entries_) {
-    const std::uint64_t energy = e.metric + 1;
-    if (roll < energy) return e;
-    roll -= energy;
-  }
-  return entries_.back();
+  // Entry i owns the roll interval [cumulative_[i-1], cumulative_[i]) — the
+  // first prefix sum strictly greater than the roll, exactly the entry the
+  // old linear subtraction scan selected for the same roll.
+  const std::uint64_t roll = rng.NextBelow(total_energy_);
+  const auto it =
+      std::upper_bound(cumulative_energy_.begin(), cumulative_energy_.end(), roll);
+  const auto idx = static_cast<std::size_t>(it - cumulative_energy_.begin());
+  return entries_[std::min(idx, entries_.size() - 1)];
 }
 
 const CorpusEntry& Corpus::PickUniform(Rng& rng) const {

@@ -27,6 +27,10 @@ struct CorpusEntry {
   std::vector<std::uint8_t> data;
   std::size_t metric = 0;      // IDC metric (or edge count in Fuzz Only mode)
   std::size_t new_slots = 0;   // slots newly covered when this entry was added
+  /// Coverage signature of the producing execution (0 unless the campaign
+  /// ran with collect_signatures) — the parallel engine's dedup key for
+  /// cross-worker corpus sync.
+  std::uint64_t signature = 0;
   // -- Lineage (assigned by the fuzzing loop / Corpus::Add) ---------------
   std::int64_t id = kNoParent;         // corpus-unique, insertion order
   std::int64_t parent_id = kNoParent;  // entry this was mutated from
@@ -44,6 +48,8 @@ class Corpus {
   [[nodiscard]] const CorpusEntry& entry(std::size_t i) const { return entries_[i]; }
 
   /// Energy-weighted pick: probability proportional to (metric + 1).
+  /// O(log n) binary search over the cumulative-energy vector (the corpus
+  /// is append-only, so the prefix sums never need rebuilding).
   [[nodiscard]] const CorpusEntry& Pick(Rng& rng) const;
   /// Uniform pick (crossover partner).
   [[nodiscard]] const CorpusEntry& PickUniform(Rng& rng) const;
@@ -61,6 +67,7 @@ class Corpus {
 
  private:
   std::vector<CorpusEntry> entries_;
+  std::vector<std::uint64_t> cumulative_energy_;  // cumulative_energy_[i] = sum of energies 0..i
   std::uint64_t total_energy_ = 0;
   std::size_t max_metric_ = 0;
 };

@@ -8,8 +8,21 @@
 
 namespace cftcg::fuzz {
 
+namespace {
+
+// FNV-1a step for the per-input coverage signatures.
+inline std::uint64_t MixSignature(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ULL;
+  return h;
+}
+
+const std::vector<std::uint8_t> kEmptyInput;
+
+}  // namespace
+
 // Telemetry state for one campaign. All emission funnels through here so
-// Run() stays readable; every method early-outs when its sink is absent,
+// the loop stays readable; every method early-outs when its sink is absent,
 // and a campaign without telemetry constructs this as a handful of null
 // pointers (no clocks, no allocation on the hot path).
 class Fuzzer::Monitor {
@@ -134,6 +147,7 @@ class Fuzzer::Monitor {
       ev.F64("time_s", now)
           .U64("exec", result.executions)
           .U64("iters", result.model_iterations)
+          .U64("measure_iters", result.measure_iterations)
           .F64("exec_per_s", exec_per_s)
           .F64("iters_per_s", iters_per_s)
           .U64("corpus", corpus_->size())
@@ -210,6 +224,7 @@ class Fuzzer::Monitor {
                            .F64("elapsed_s", elapsed)
                            .U64("exec", result.executions)
                            .U64("iters", result.model_iterations)
+                           .U64("measure_iters", result.measure_iterations)
                            .F64("exec_per_s", exec_per_s)
                            .U64("corpus", corpus_->size())
                            .U64("test_cases", result.test_cases.size())
@@ -229,8 +244,11 @@ class Fuzzer::Monitor {
     // global registry in hybrid mode), so sync by delta.
     reg.GetCounter("fuzz.executions").Add(result.executions - synced_exec_);
     reg.GetCounter("fuzz.model_iterations").Add(result.model_iterations - synced_iters_);
+    reg.GetCounter("fuzz.measure_iterations")
+        .Add(result.measure_iterations - synced_measure_);
     synced_exec_ = result.executions;
     synced_iters_ = result.model_iterations;
+    synced_measure_ = result.measure_iterations;
     reg.GetGauge("fuzz.exec_per_s").Set(exec_per_s);
     reg.GetGauge("fuzz.iters_per_s").Set(iters_per_s);
     reg.GetGauge("fuzz.corpus_size").Set(static_cast<double>(corpus_->size()));
@@ -252,6 +270,7 @@ class Fuzzer::Monitor {
   std::uint64_t window_iters_ = 0;
   std::uint64_t synced_exec_ = 0;
   std::uint64_t synced_iters_ = 0;
+  std::uint64_t synced_measure_ = 0;
   std::size_t last_frontier_ = 0;
 };
 
@@ -280,12 +299,22 @@ Fuzzer::Fuzzer(const vm::Program& instrumented, const coverage::CoverageSpec& sp
   }
 }
 
+Fuzzer::~Fuzzer() = default;
+
 int Fuzzer::DecisionOutcomesCovered() const {
   int covered = 0;
   for (int slot = 0; slot < spec_->num_outcome_slots(); ++slot) {
     if (sink_.total().Test(static_cast<std::size_t>(slot))) ++covered;
   }
   return covered;
+}
+
+std::size_t Fuzzer::IdcDensity(std::size_t metric, const std::vector<std::uint8_t>& data) const {
+  // The raw IDC metric is a sum over iterations, so longer inputs score
+  // higher just by being long; energy and admission use the per-iteration
+  // density instead (scaled x16 to keep integer resolution).
+  const std::size_t tuple_size = std::max<std::size_t>(instrumented_->TupleSize(), 1);
+  return metric * 16 / std::max<std::size_t>(data.size() / tuple_size, 1);
 }
 
 std::size_t Fuzzer::RunOneInstrumented(const std::vector<std::uint8_t>& data, bool* found_new,
@@ -297,6 +326,7 @@ std::size_t Fuzzer::RunOneInstrumented(const std::vector<std::uint8_t>& data, bo
   last_cov_.ClearAll();          // lastCov = {0,...}
   bool any_new = false;
   std::size_t total_new = 0;
+  std::uint64_t signature = 1469598103934665603ULL;
   for (std::size_t off = 0; off + tuple_size <= data.size(); off += tuple_size) {
     sink_.BeginIteration();                    // g_CurrCov = {0,...}
     machine_.SetInputsFromBytes(data.data() + off);
@@ -309,16 +339,25 @@ std::size_t Fuzzer::RunOneInstrumented(const std::vector<std::uint8_t>& data, bo
     }
     metric += sink_.curr().CountDifferences(last_cov_);  // per-branch difference count
     last_cov_ = sink_.curr();
+    if (options_.collect_signatures) signature = MixSignature(signature, sink_.curr().Hash());
   }
+  if (options_.collect_signatures) last_signature_ = signature;
   if (found_new != nullptr) *found_new = any_new;
   if (new_slots != nullptr) *new_slots = total_new;
   return metric;
 }
 
 void Fuzzer::MeasureOnInstrumented(const std::vector<std::uint8_t>& data) {
+  // Measurement re-runs replay an input on the instrumented program (the
+  // paper's post-hoc Simulink coverage measurement); their iterations are
+  // booked under measure_iterations so throughput only counts the fuzzing
+  // target.
+  const std::uint64_t before = model_iterations_;
   bool unused_new = false;
   std::size_t unused_slots = 0;
   RunOneInstrumented(data, &unused_new, &unused_slots);
+  measure_iterations_ += model_iterations_ - before;
+  model_iterations_ = before;
 }
 
 std::size_t Fuzzer::RunOneEdges(const std::vector<std::uint8_t>& data, bool* found_new) {
@@ -343,58 +382,60 @@ std::size_t Fuzzer::RunOneEdges(const std::vector<std::uint8_t>& data, bool* fou
   }
   bool any_new = false;
   std::size_t covered = 0;
+  std::uint64_t signature = 1469598103934665603ULL;
   for (std::size_t i = 0; i < edge_curr_.size(); ++i) {
     if (edge_curr_[i] != 0) {
       ++covered;
+      if (options_.collect_signatures) signature = MixSignature(signature, i);
       if (edge_total_[i] == 0) {
         edge_total_[i] = 1;
         any_new = true;
       }
     }
   }
+  if (options_.collect_signatures) last_signature_ = signature;
   if (found_new != nullptr) *found_new = any_new;
   return covered;
 }
 
-CampaignResult Fuzzer::Run(const FuzzBudget& budget) {
-  CampaignResult result;
+void Fuzzer::Attribute(double t, std::int64_t entry_id, const std::string& chain) {
+  coverage::ProvenanceMap* prov = options_.provenance;
+  std::vector<std::size_t> fresh =
+      prov->AttributeSlots(sink_.total(), result_.executions, t, entry_id, chain);
+  // MCDC pairs can complete without any new branch slot, so recheck every
+  // decision whose evaluation set grew since the last admission.
+  const auto& evals = sink_.evals();
+  for (std::size_t d = 0; d < evals.size(); ++d) {
+    if (evals[d].size() == seen_eval_sizes_[d]) continue;
+    seen_eval_sizes_[d] = evals[d].size();
+    const auto more = prov->AttributeMcdc(static_cast<coverage::DecisionId>(d), evals[d],
+                                          result_.executions, t, entry_id, chain);
+    fresh.insert(fresh.end(), more.begin(), more.end());
+  }
+  monitor_->OnObjectives(fresh);
+}
+
+void Fuzzer::Begin(const FuzzBudget& budget) {
+  assert(!campaign_active_);
+  campaign_active_ = true;
+  campaign_done_ = false;
+  budget_ = budget;
+  result_ = CampaignResult{};
+  best_metric_ = 0;
+  track_strategies_ = options_.model_oriented;
   // One monotonic clock (obs::Clock) drives every timestamp of the
   // campaign: TestCase::time_s, elapsed_s, and trace-event times.
-  const obs::Stopwatch watch;
-  Monitor monitor(options_.telemetry, sink_, *spec_, corpus_, options_.provenance,
-                  options_.margins);
-  monitor.OnStart(options_, budget);
+  watch_.Restart();
+  monitor_ = std::make_unique<Monitor>(options_.telemetry, sink_, *spec_, corpus_,
+                                       options_.provenance, options_.margins);
+  monitor_->OnStart(options_, budget_);
 
   // Per-objective first-hit attribution. Runs only on corpus admissions
   // (rare), so a provenance-enabled campaign pays nothing per execution;
   // a campaign without a ProvenanceMap skips even the admission-time work.
-  coverage::ProvenanceMap* prov = options_.provenance;
-  std::vector<std::size_t> seen_eval_sizes;  // per-decision eval-set sizes at last check
-  if (prov != nullptr) seen_eval_sizes.assign(spec_->decisions().size(), 0);
-  auto attribute = [&](double t, std::int64_t entry_id, const std::string& chain) {
-    std::vector<std::size_t> fresh =
-        prov->AttributeSlots(sink_.total(), result.executions, t, entry_id, chain);
-    // MCDC pairs can complete without any new branch slot, so recheck every
-    // decision whose evaluation set grew since the last admission.
-    const auto& evals = sink_.evals();
-    for (std::size_t d = 0; d < evals.size(); ++d) {
-      if (evals[d].size() == seen_eval_sizes[d]) continue;
-      seen_eval_sizes[d] = evals[d].size();
-      const auto more = prov->AttributeMcdc(static_cast<coverage::DecisionId>(d), evals[d],
-                                            result.executions, t, entry_id, chain);
-      fresh.insert(fresh.end(), more.begin(), more.end());
-    }
-    monitor.OnObjectives(fresh);
-  };
+  if (options_.provenance != nullptr) seen_eval_sizes_.assign(spec_->decisions().size(), 0);
 
-  std::size_t best_metric = 0;
-  // The raw IDC metric is a sum over iterations, so longer inputs score
-  // higher just by being long; energy and admission use the per-iteration
-  // density instead (scaled x16 to keep integer resolution).
   const std::size_t tuple_size = std::max<std::size_t>(instrumented_->TupleSize(), 1);
-  auto idc_density = [&](std::size_t metric, const std::vector<std::uint8_t>& data) {
-    return metric * 16 / std::max<std::size_t>(data.size() / tuple_size, 1);
-  };
 
   // Seed corpus: a handful of short random inputs.
   for (std::size_t k = 0; k < options_.seed_inputs; ++k) {
@@ -405,112 +446,167 @@ CampaignResult Fuzzer::Run(const FuzzBudget& budget) {
     std::size_t new_slots = 0;
     std::size_t metric = 0;
     if (options_.model_oriented) {
-      metric = idc_density(RunOneInstrumented(seed.data, &found_new, &new_slots), seed.data);
+      metric = IdcDensity(RunOneInstrumented(seed.data, &found_new, &new_slots), seed.data);
       seed.metric = metric;
     } else {
       seed.metric = RunOneEdges(seed.data, &found_new);
       metric = seed.metric;
       if (found_new) MeasureOnInstrumented(seed.data);
     }
-    ++result.executions;
+    ++result_.executions;
     seed.new_slots = new_slots;
+    seed.signature = last_signature_;
     if (!options_.use_idc_energy) seed.metric = 0;
     if (found_new) {
-      result.test_cases.push_back(TestCase{seed.data, watch.Elapsed(), new_slots,
-                                           DecisionOutcomesCovered()});
-      monitor.OnNewCoverage(result.test_cases.back().time_s, result,
-                            result.test_cases.back(), metric, tuple_size);
+      result_.test_cases.push_back(TestCase{seed.data, watch_.Elapsed(), new_slots,
+                                            DecisionOutcomesCovered()});
+      monitor_->OnNewCoverage(result_.test_cases.back().time_s, result_,
+                              result_.test_cases.back(), metric, tuple_size);
     }
-    best_metric = std::max(best_metric, seed.metric);
-    if (prov != nullptr) attribute(watch.Elapsed(), corpus_.next_id(), "seed");
+    best_metric_ = std::max(best_metric_, seed.metric);
+    if (options_.provenance != nullptr) Attribute(watch_.Elapsed(), corpus_.next_id(), "seed");
     corpus_.Add(std::move(seed));
-    monitor.OnCorpusAdd(watch.Elapsed(), corpus_.entry(corpus_.size() - 1), "seed");
+    monitor_->OnCorpusAdd(watch_.Elapsed(), corpus_.entry(corpus_.size() - 1), "seed");
   }
+}
 
-  static const std::vector<std::uint8_t> kEmpty;
-  std::vector<MutationStrategy> applied;  // scratch, reused across executions
-  const bool track_strategies = options_.model_oriented;
+std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
+  assert(campaign_active_);
+  if (campaign_done_) return result_.executions;
+  const std::size_t tuple_size = std::max<std::size_t>(instrumented_->TupleSize(), 1);
+
   while (true) {
-    const double now = watch.Elapsed();
-    if (now >= monitor.next_stat_due()) {
-      result.model_iterations = model_iterations_;
-      result.strategy_stats = strategy_stats_;
-      monitor.Heartbeat(now, result, strategy_stats_);
+    const double now = watch_.Elapsed();
+    if (now >= monitor_->next_stat_due()) {
+      result_.model_iterations = model_iterations_;
+      result_.measure_iterations = measure_iterations_;
+      result_.strategy_stats = strategy_stats_;
+      monitor_->Heartbeat(now, result_, strategy_stats_);
     }
-    if (now >= budget.wall_seconds || result.executions >= budget.max_executions) break;
+    if (now >= budget_.wall_seconds || result_.executions >= budget_.max_executions) {
+      campaign_done_ = true;
+      break;
+    }
+    if (result_.executions >= until_executions) break;  // chunk boundary, not campaign end
 
     const CorpusEntry& parent = corpus_.Pick(rng_);
     const std::vector<std::uint8_t>& partner =
-        corpus_.size() > 1 ? corpus_.PickUniform(rng_).data : kEmpty;
-    applied.clear();
+        corpus_.size() > 1 ? corpus_.PickUniform(rng_).data : kEmptyInput;
+    applied_.clear();
     std::vector<std::uint8_t> data =
         options_.model_oriented
             ? tuple_mutator_.Mutate(parent.data, partner, rng_, &cmp_trace_,
-                                    track_strategies ? &applied : nullptr)
+                                    track_strategies_ ? &applied_ : nullptr)
             : byte_mutator_.Mutate(parent.data, partner, rng_, &cmp_trace_);
-    if (track_strategies) strategy_stats_.CountApplied(applied);
+    if (track_strategies_) strategy_stats_.CountApplied(applied_);
 
     bool found_new = false;
     std::size_t new_slots = 0;
     std::size_t metric = 0;
     if (options_.model_oriented) {
-      metric = idc_density(RunOneInstrumented(data, &found_new, &new_slots), data);
+      metric = IdcDensity(RunOneInstrumented(data, &found_new, &new_slots), data);
     } else {
       metric = RunOneEdges(data, &found_new);
       if (found_new) MeasureOnInstrumented(data);
     }
-    ++result.executions;
+    const std::uint64_t signature = last_signature_;
+    ++result_.executions;
 
     if (found_new) {
-      if (track_strategies) strategy_stats_.CountCredited(applied);
-      result.test_cases.push_back(
-          TestCase{data, watch.Elapsed(), new_slots, DecisionOutcomesCovered()});
-      monitor.OnNewCoverage(result.test_cases.back().time_s, result,
-                            result.test_cases.back(), metric, tuple_size);
+      if (track_strategies_) strategy_stats_.CountCredited(applied_);
+      result_.test_cases.push_back(
+          TestCase{data, watch_.Elapsed(), new_slots, DecisionOutcomesCovered()});
+      monitor_->OnNewCoverage(result_.test_cases.back().time_s, result_,
+                              result_.test_cases.back(), metric, tuple_size);
     }
     // Corpus policy (paper §3.2.2): keep inputs that trigger new coverage,
     // and inputs whose Iteration Difference Coverage beats what we've seen.
     const bool idc_interesting =
-        options_.model_oriented && options_.use_idc_energy && metric > best_metric;
+        options_.model_oriented && options_.use_idc_energy && metric > best_metric_;
     if (found_new || idc_interesting) {
-      best_metric = std::max(best_metric, metric);
+      best_metric_ = std::max(best_metric_, metric);
       const std::string chain =
-          options_.model_oriented ? StrategyChainString(applied) : std::string("bytes");
-      if (prov != nullptr) attribute(watch.Elapsed(), corpus_.next_id(), chain);
+          options_.model_oriented ? StrategyChainString(applied_) : std::string("bytes");
+      if (options_.provenance != nullptr) Attribute(watch_.Elapsed(), corpus_.next_id(), chain);
       CorpusEntry entry;
       entry.data = std::move(data);
       entry.metric = options_.use_idc_energy ? metric : 0;
       entry.new_slots = new_slots;
+      entry.signature = signature;
       entry.parent_id = parent.id;
       entry.depth = parent.depth + 1;
-      entry.chain = applied;
+      entry.chain = applied_;
       corpus_.Add(std::move(entry));
-      monitor.OnCorpusAdd(watch.Elapsed(), corpus_.entry(corpus_.size() - 1), chain);
+      monitor_->OnCorpusAdd(watch_.Elapsed(), corpus_.entry(corpus_.size() - 1), chain);
     }
   }
+  result_.model_iterations = model_iterations_;
+  result_.measure_iterations = measure_iterations_;
+  return result_.executions;
+}
 
+void Fuzzer::ImportEntry(const std::vector<std::uint8_t>& data, std::uint64_t signature) {
+  assert(campaign_active_);
+  // Replay the foreign input so the local sink and feedback maps absorb its
+  // coverage; book the iterations as measurement (it is a re-run of work
+  // another worker already paid for).
+  const std::uint64_t before = model_iterations_;
+  bool found_new = false;
+  std::size_t new_slots = 0;
+  std::size_t metric = 0;
+  if (options_.model_oriented) {
+    metric = IdcDensity(RunOneInstrumented(data, &found_new, &new_slots), data);
+  } else {
+    metric = RunOneEdges(data, &found_new);
+    if (found_new) MeasureOnInstrumented(data);
+  }
+  measure_iterations_ += model_iterations_ - before;
+  model_iterations_ = before;
+
+  best_metric_ = std::max(best_metric_, options_.use_idc_energy ? metric : 0);
+  CorpusEntry entry;
+  entry.data = data;
+  entry.metric = options_.use_idc_energy ? metric : 0;
+  entry.new_slots = new_slots;
+  entry.signature = signature;
+  corpus_.Add(std::move(entry));
+  monitor_->OnCorpusAdd(watch_.Elapsed(), corpus_.entry(corpus_.size() - 1), "import");
+}
+
+CampaignResult Fuzzer::Finish() {
+  assert(campaign_active_);
   // Final MCDC sweep: independence pairs completed by inputs that were not
   // retained in the corpus (neither new coverage nor a better IDC score)
   // are attributed here, with entry id -1 / chain "unretained" — honest
   // bookkeeping for pairs no exported test case reproduces on its own.
-  if (prov != nullptr) {
+  if (options_.provenance != nullptr) {
     std::vector<std::size_t> fresh;
     const auto& evals = sink_.evals();
     for (std::size_t d = 0; d < evals.size(); ++d) {
       const auto more =
-          prov->AttributeMcdc(static_cast<coverage::DecisionId>(d), evals[d],
-                              result.executions, watch.Elapsed(), -1, "unretained");
+          options_.provenance->AttributeMcdc(static_cast<coverage::DecisionId>(d), evals[d],
+                                             result_.executions, watch_.Elapsed(), -1,
+                                             "unretained");
       fresh.insert(fresh.end(), more.begin(), more.end());
     }
-    monitor.OnObjectives(fresh);
+    monitor_->OnObjectives(fresh);
   }
 
-  result.elapsed_s = watch.Elapsed();
-  result.model_iterations = model_iterations_;
-  result.report = coverage::ComputeReport(sink_);
-  result.strategy_stats = strategy_stats_;
-  monitor.OnStop(result.elapsed_s, result);
-  return result;
+  result_.elapsed_s = watch_.Elapsed();
+  result_.model_iterations = model_iterations_;
+  result_.measure_iterations = measure_iterations_;
+  result_.report = coverage::ComputeReport(sink_);
+  result_.strategy_stats = strategy_stats_;
+  monitor_->OnStop(result_.elapsed_s, result_);
+  campaign_active_ = false;
+  campaign_done_ = true;
+  return std::move(result_);
+}
+
+CampaignResult Fuzzer::Run(const FuzzBudget& budget) {
+  Begin(budget);
+  RunChunk(std::numeric_limits<std::uint64_t>::max());
+  return Finish();
 }
 
 }  // namespace cftcg::fuzz

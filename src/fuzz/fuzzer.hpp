@@ -12,7 +12,9 @@
 //     byte-level. Saved test cases are *measured* on the instrumented
 //     program afterwards — just like the paper converts test cases and
 //     measures with Simulink's coverage tooling — so both modes report in
-//     the same model-coverage space (Figure 8).
+//     the same model-coverage space (Figure 8). Measurement re-runs are
+//     accounted separately (measure_iterations) so throughput numbers only
+//     count iterations of the fuzzing target.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +27,7 @@
 #include "coverage/sink.hpp"
 #include "fuzz/corpus.hpp"
 #include "fuzz/mutator.hpp"
+#include "obs/clock.hpp"
 #include "obs/telemetry.hpp"
 #include "vm/machine.hpp"
 
@@ -53,6 +56,10 @@ struct FuzzerOptions {
   /// (CompiledModel::Fuzz switches to the margin-instrumented lowering when
   /// this is set). Not owned; Reset(spec) is called by the Fuzzer.
   coverage::MarginRecorder* margins = nullptr;
+  /// Compute a per-input coverage signature during execution (the parallel
+  /// engine's corpus-sync dedup key). Off by default: the sequential loop
+  /// never pays for the hashing.
+  bool collect_signatures = false;
 };
 
 struct FuzzBudget {
@@ -71,7 +78,12 @@ struct TestCase {
 struct CampaignResult {
   std::vector<TestCase> test_cases;
   std::uint64_t executions = 0;
+  /// Iterations of the fuzzing target only (throughput denominator).
   std::uint64_t model_iterations = 0;
+  /// Iterations spent re-running saved/imported inputs on the instrumented
+  /// program for model-coverage measurement (Fuzz Only mode, corpus-sync
+  /// imports). Excluded from iters_per_s so Fig. 8 speed numbers are honest.
+  std::uint64_t measure_iterations = 0;
   coverage::MetricReport report;  // measured on the instrumented program
   double elapsed_s = 0;
   /// Per-strategy application / NEW-coverage-credit counts (Table 1
@@ -88,8 +100,32 @@ class Fuzzer {
   /// without model instrumentation but with edge marks.
   Fuzzer(const vm::Program& instrumented, const coverage::CoverageSpec& spec,
          FuzzerOptions options, const vm::Program* fuzz_only_program = nullptr);
+  ~Fuzzer();  // out-of-line: Monitor is incomplete here
 
   CampaignResult Run(const FuzzBudget& budget);
+
+  // -- Incremental driving (the parallel engine, parallel.hpp) ------------
+  // Run(budget) == Begin(budget) + RunChunk(UINT64_MAX) + Finish(), step for
+  // step, so a single chunked worker is bit-identical to the sequential
+  // campaign for the same seed.
+  /// Seeds the corpus and opens the campaign (emits the `start` event).
+  void Begin(const FuzzBudget& budget);
+  /// Advances the loop until the cumulative execution count reaches
+  /// `until_executions`, the budget is exhausted, or the wall clock runs
+  /// out. Returns the cumulative execution count.
+  std::uint64_t RunChunk(std::uint64_t until_executions);
+  /// True once the campaign budget is exhausted (RunChunk became a no-op).
+  [[nodiscard]] bool done() const { return campaign_done_; }
+  /// Closes the campaign (final MCDC sweep, report, `stop` event).
+  CampaignResult Finish();
+
+  // -- Corpus-sync hooks (the parallel engine) ----------------------------
+  /// Runs a foreign corpus entry through this worker's executors and admits
+  /// it to the local corpus (lineage chain "import"). The re-runs count as
+  /// measure_iterations, not throughput; no test case is emitted (the
+  /// discovering worker already exported it) and no provenance is recorded
+  /// (the merged attribution keeps the discoverer's first hit).
+  void ImportEntry(const std::vector<std::uint8_t>& data, std::uint64_t signature);
 
   /// Executes one input through the instrumented program, implementing
   /// Algorithm 1: per-iteration coverage, test-case output on new coverage,
@@ -99,13 +135,19 @@ class Fuzzer {
                                  std::size_t* new_slots);
 
   [[nodiscard]] const coverage::CoverageSink& sink() const { return sink_; }
+  [[nodiscard]] const Corpus& corpus() const { return corpus_; }
+  [[nodiscard]] std::uint64_t executions() const { return result_.executions; }
+  [[nodiscard]] std::uint64_t model_iterations() const { return model_iterations_; }
+  [[nodiscard]] std::uint64_t measure_iterations() const { return measure_iterations_; }
 
  private:
-  class Monitor;  // telemetry state for one Run() (defined in fuzzer.cpp)
+  class Monitor;  // telemetry state for one campaign (defined in fuzzer.cpp)
 
   void MeasureOnInstrumented(const std::vector<std::uint8_t>& data);
   std::size_t RunOneEdges(const std::vector<std::uint8_t>& data, bool* found_new);
   int DecisionOutcomesCovered() const;
+  std::size_t IdcDensity(std::size_t metric, const std::vector<std::uint8_t>& data) const;
+  void Attribute(double t, std::int64_t entry_id, const std::string& chain);
 
   const vm::Program* instrumented_;
   const vm::Program* fuzz_only_;
@@ -120,11 +162,24 @@ class Fuzzer {
   Corpus corpus_;
   Rng rng_;
   std::uint64_t model_iterations_ = 0;
+  std::uint64_t measure_iterations_ = 0;
   StrategyStats strategy_stats_;
   // Fuzz-only state.
   std::unique_ptr<vm::Machine> fuzz_machine_;
   std::vector<std::uint8_t> edge_total_;
   std::vector<std::uint8_t> edge_curr_;
+  // Campaign-in-progress state (Begin .. RunChunk* .. Finish).
+  FuzzBudget budget_;
+  CampaignResult result_;
+  obs::Stopwatch watch_;
+  std::unique_ptr<Monitor> monitor_;
+  std::vector<std::size_t> seen_eval_sizes_;  // per-decision eval-set sizes at last check
+  std::vector<MutationStrategy> applied_;     // scratch, reused across executions
+  std::size_t best_metric_ = 0;
+  bool track_strategies_ = false;
+  bool campaign_active_ = false;
+  bool campaign_done_ = false;
+  std::uint64_t last_signature_ = 0;  // coverage signature of the last run input
 };
 
 }  // namespace cftcg::fuzz

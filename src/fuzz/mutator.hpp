@@ -84,6 +84,14 @@ struct StrategyStats {
   void CountCredited(const std::vector<MutationStrategy>& chain) {
     for (MutationStrategy s : chain) ++credited[static_cast<std::size_t>(s)];
   }
+  /// Element-wise sum — the parallel engine folds worker stats into the
+  /// campaign totals with this.
+  void MergeFrom(const StrategyStats& other) {
+    for (std::size_t i = 0; i < applied.size(); ++i) {
+      applied[i] += other.applied[i];
+      credited[i] += other.credited[i];
+    }
+  }
 };
 
 /// Optional per-field value ranges (the paper's §5 mitigation for the

@@ -1,0 +1,319 @@
+#include "fuzz/parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <thread>
+#include <unordered_set>
+
+#include "coverage/report.hpp"
+#include "obs/clock.hpp"
+#include "obs/timer.hpp"
+#include "support/rng.hpp"
+
+namespace cftcg::fuzz {
+
+namespace {
+
+/// One entry exported for cross-worker import this round.
+struct Export {
+  std::size_t worker = 0;  // discovering worker (its local corpus keeps it)
+  std::vector<std::uint8_t> data;
+  std::uint64_t signature = 0;
+};
+
+}  // namespace
+
+ParallelFuzzer::ParallelFuzzer(const vm::Program& instrumented,
+                               const coverage::CoverageSpec& spec, FuzzerOptions options,
+                               ParallelOptions parallel, const vm::Program* fuzz_only_program)
+    : instrumented_(&instrumented),
+      fuzz_only_(fuzz_only_program),
+      spec_(&spec),
+      options_(options),
+      parallel_(parallel) {
+  parallel_.num_workers = std::max(parallel_.num_workers, 1);
+  parallel_.sync_every = std::max<std::uint64_t>(parallel_.sync_every, 1);
+  const auto n = static_cast<std::size_t>(parallel_.num_workers);
+
+  // Worker RNG streams: worker 0 runs the campaign seed itself — that is
+  // what makes a one-worker campaign bit-identical to the sequential
+  // Fuzzer — and workers i > 0 draw forked seeds from a master stream
+  // (Rng::Fork semantics: seed_i = master.NextU64()).
+  Rng master(options_.seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    FuzzerOptions wopts = options_;
+    wopts.seed = i == 0 ? options_.seed : master.NextU64();
+    // The driver owns telemetry (aggregated heartbeats, per-worker phase
+    // spans); margins are a sequential-only feature (a shared recorder
+    // would race and per-worker recorders have no merge semantics).
+    wopts.telemetry = nullptr;
+    wopts.margins = nullptr;
+    // Corpus sync needs signatures; a single worker never syncs, so it
+    // keeps the caller's setting (default off = zero hot-path hashing).
+    if (n > 1) wopts.collect_signatures = true;
+    if (options_.provenance != nullptr) {
+      worker_prov_.push_back(std::make_unique<coverage::ProvenanceMap>(spec));
+      wopts.provenance = worker_prov_.back().get();
+    } else {
+      worker_prov_.push_back(nullptr);
+    }
+    workers_.push_back(std::make_unique<Fuzzer>(*instrumented_, *spec_, wopts, fuzz_only_));
+  }
+}
+
+ParallelFuzzer::~ParallelFuzzer() = default;
+
+ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
+  const auto n = workers_.size();
+  ParallelCampaignResult out;
+  obs::Stopwatch watch;
+  obs::CampaignTelemetry* tm = options_.telemetry;
+
+  if (tm != nullptr && tm->trace != nullptr) {
+    tm->trace->Emit(obs::TraceEvent("start")
+                        .Str("mode", options_.model_oriented ? "cftcg" : "fuzz_only")
+                        .U64("seed", options_.seed)
+                        .U64("workers", n)
+                        .U64("sync_every", parallel_.sync_every)
+                        .F64("budget_s", budget.wall_seconds)
+                        .I64("fuzz_slots", spec_->FuzzBranchCount())
+                        .I64("outcome_slots", spec_->num_outcome_slots()));
+  }
+
+  // Execution quota per worker: an even split of the campaign budget, with
+  // the remainder spread over the first workers. Quotas — not wall time —
+  // bound the deterministic schedule.
+  std::vector<FuzzBudget> worker_budget(n, budget);
+  if (budget.max_executions != std::numeric_limits<std::uint64_t>::max()) {
+    const std::uint64_t base = budget.max_executions / n;
+    const std::uint64_t rem = budget.max_executions % n;
+    for (std::size_t i = 0; i < n; ++i) {
+      worker_budget[i].max_executions = base + (i < rem ? 1 : 0);
+    }
+  }
+
+  std::vector<obs::PhaseAccumulator> phase;
+  phase.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    phase.emplace_back("fuzz.worker" + std::to_string(i));
+  }
+
+  // Seed every worker's campaign (sequential: Begin draws from the worker's
+  // own RNG only, and the seed loops are a tiny fraction of the budget).
+  for (std::size_t i = 0; i < n; ++i) workers_[i]->Begin(worker_budget[i]);
+
+  // Shared campaign state, touched only between rounds (single-threaded).
+  coverage::CoverageSink global(*spec_);
+  std::unordered_set<std::uint64_t> seen_sigs;
+  std::vector<std::size_t> scanned(n, 0);
+  double next_stat = tm != nullptr && tm->stats_every_s > 0
+                         ? tm->stats_every_s
+                         : std::numeric_limits<double>::infinity();
+  std::uint64_t last_stat_exec = 0;
+  double last_stat_time = 0;
+
+  const auto sync_round = [&]() {
+    if (n < 2) return;
+    // Pass 1 (worker-id order): collect entries admitted since the last
+    // barrier whose coverage signature is globally new. First worker in id
+    // order wins a signature — deterministic for a fixed seed and count.
+    std::vector<Export> exports;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Corpus& corpus = workers_[i]->corpus();
+      for (std::size_t k = scanned[i]; k < corpus.size(); ++k) {
+        const CorpusEntry& entry = corpus.entry(k);
+        if (seen_sigs.insert(entry.signature).second) {
+          exports.push_back(Export{i, entry.data, entry.signature});
+        }
+      }
+      scanned[i] = corpus.size();
+    }
+    // Pass 2: replay every export into every *other* live worker. Imports
+    // draw nothing from worker RNG streams and their iterations are booked
+    // as measurement, so the round schedule stays deterministic and the
+    // throughput numbers honest.
+    for (const Export& e : exports) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == e.worker || workers_[j]->done()) continue;
+        workers_[j]->ImportEntry(e.data, e.signature);
+        ++out.imports;
+      }
+    }
+    // Imported entries carry already-seen signatures; fast-forward the
+    // cursors over them so the next round's scan starts at fresh entries.
+    for (std::size_t j = 0; j < n; ++j) scanned[j] = workers_[j]->corpus().size();
+  };
+
+  const auto heartbeat = [&]() {
+    const double now = watch.Elapsed();
+    if (now < next_stat) return;
+    do next_stat += tm->stats_every_s;
+    while (next_stat <= now);
+    for (std::size_t i = 0; i < n; ++i) global.MergeFrom(workers_[i]->sink());
+    const coverage::MetricReport report = coverage::ComputeReport(global);
+    std::uint64_t exec = 0;
+    std::uint64_t corpus = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      exec += workers_[i]->executions();
+      corpus += workers_[i]->corpus().size();
+    }
+    const double window = now - last_stat_time;
+    const double exec_per_s = window > 0 ? static_cast<double>(exec - last_stat_exec) / window : 0;
+    last_stat_time = now;
+    last_stat_exec = exec;
+    if (tm->registry != nullptr) {
+      tm->registry->GetGauge("fuzz.exec_per_s").Set(exec_per_s);
+      tm->registry->GetGauge("fuzz.corpus_size").Set(static_cast<double>(corpus));
+      tm->registry->GetGauge("fuzz.coverage.decision_pct").Set(report.DecisionPct());
+      tm->registry->GetGauge("fuzz.coverage.condition_pct").Set(report.ConditionPct());
+      tm->registry->GetGauge("fuzz.coverage.mcdc_pct").Set(report.McdcPct());
+    }
+    if (tm->trace != nullptr) {
+      tm->trace->Emit(obs::TraceEvent("stat")
+                          .F64("time_s", now)
+                          .U64("exec", exec)
+                          .F64("exec_per_s", exec_per_s)
+                          .U64("workers", n)
+                          .U64("rounds", out.rounds)
+                          .U64("imports", out.imports)
+                          .U64("corpus", corpus)
+                          .F64("decision_pct", report.DecisionPct())
+                          .F64("condition_pct", report.ConditionPct())
+                          .F64("mcdc_pct", report.McdcPct()));
+    }
+    if (tm->status_stream != nullptr) {
+      std::fprintf(tm->status_stream, "#%llu\tcov: %.1f/%.1f/%.1f corp: %llu exec/s: %.0f (j%zu)\n",
+                   static_cast<unsigned long long>(exec), report.DecisionPct(),
+                   report.ConditionPct(), report.McdcPct(),
+                   static_cast<unsigned long long>(corpus), exec_per_s, n);
+    }
+  };
+
+  // Seed entries sync before the first fuzzing round so no worker mutates
+  // blind to coverage another worker's seeds already reached.
+  sync_round();
+
+  while (true) {
+    bool any_alive = false;
+    for (const auto& w : workers_) any_alive |= !w->done();
+    if (!any_alive) break;
+    // Round: every live worker advances sync_every executions on its own
+    // thread. Worker state is disjoint; shared Programs are read-only.
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (workers_[i]->done()) continue;
+      Fuzzer* worker = workers_[i].get();
+      obs::PhaseAccumulator* acc = &phase[i];
+      const std::uint64_t target = worker->executions() + parallel_.sync_every;
+      threads.emplace_back([worker, acc, target]() {
+        obs::Stopwatch chunk;
+        worker->RunChunk(target);
+        acc->Add(chunk.Elapsed());
+      });
+    }
+    for (auto& t : threads) t.join();  // barrier: the merge is single-threaded
+    ++out.rounds;
+    sync_round();
+    if (tm != nullptr) heartbeat();
+  }
+
+  // Final merge, in worker-id order throughout.
+  std::vector<CampaignResult> results;
+  results.reserve(n);
+  for (auto& w : workers_) results.push_back(w->Finish());
+
+  CampaignResult& merged = out.merged;
+  for (std::size_t i = 0; i < n; ++i) {
+    const CampaignResult& r = results[i];
+    merged.executions += r.executions;
+    merged.model_iterations += r.model_iterations;
+    merged.measure_iterations += r.measure_iterations;
+    merged.strategy_stats.MergeFrom(r.strategy_stats);
+    merged.test_cases.insert(merged.test_cases.end(), r.test_cases.begin(),
+                             r.test_cases.end());
+    out.worker_executions.push_back(r.executions);
+    global.MergeFrom(workers_[i]->sink());
+  }
+  merged.report = coverage::ComputeReport(global);
+  merged.elapsed_s = watch.Elapsed();
+
+  // Corpus fingerprint: the union of admitted coverage signatures.
+  {
+    std::unordered_set<std::uint64_t> sigs;
+    for (const auto& w : workers_) {
+      const Corpus& corpus = w->corpus();
+      for (std::size_t k = 0; k < corpus.size(); ++k) sigs.insert(corpus.entry(k).signature);
+    }
+    out.corpus_signatures.assign(sigs.begin(), sigs.end());
+    std::sort(out.corpus_signatures.begin(), out.corpus_signatures.end());
+  }
+
+  // Merged first-hit attribution: earliest worker-local iteration wins,
+  // ties to the lowest worker id; folded into the caller's map.
+  if (options_.provenance != nullptr) {
+    std::vector<const coverage::ProvenanceMap*> maps;
+    for (const auto& p : worker_prov_) maps.push_back(p.get());
+    const auto hits = coverage::MergeFirstHits(maps);
+    for (const auto& h : hits) options_.provenance->AbsorbHit(h);
+    if (tm != nullptr && tm->trace != nullptr) {
+      for (const auto& h : options_.provenance->hits()) {
+        tm->trace->Emit(obs::TraceEvent("objective")
+                            .Str("kind", coverage::ObjectiveKindName(h.kind))
+                            .Str("name", h.name)
+                            .I64("outcome", h.outcome)
+                            .I64("slot", h.slot)
+                            .U64("iter", h.iteration)
+                            .F64("time_s", h.time_s)
+                            .I64("entry", h.entry_id)
+                            .Str("chain", h.chain));
+      }
+      tm->trace->Emit(obs::TraceEvent("provenance")
+                          .U64("covered", options_.provenance->num_covered())
+                          .U64("total", options_.provenance->num_objectives()));
+    }
+    if (tm != nullptr && tm->registry != nullptr) {
+      tm->registry->GetGauge("fuzz.objectives_covered")
+          .Set(static_cast<double>(options_.provenance->num_covered()));
+      tm->registry->GetGauge("fuzz.objectives_total")
+          .Set(static_cast<double>(options_.provenance->num_objectives()));
+    }
+  }
+
+  if (tm != nullptr) {
+    if (tm->registry != nullptr) {
+      obs::Registry& reg = *tm->registry;
+      reg.GetCounter("fuzz.executions").Add(merged.executions);
+      reg.GetCounter("fuzz.model_iterations").Add(merged.model_iterations);
+      reg.GetCounter("fuzz.measure_iterations").Add(merged.measure_iterations);
+      reg.GetGauge("fuzz.workers").Set(static_cast<double>(n));
+      reg.GetGauge("fuzz.coverage.decision_pct").Set(merged.report.DecisionPct());
+      reg.GetGauge("fuzz.coverage.condition_pct").Set(merged.report.ConditionPct());
+      reg.GetGauge("fuzz.coverage.mcdc_pct").Set(merged.report.McdcPct());
+    }
+    for (std::size_t i = 0; i < n; ++i) phase[i].Commit(tm->registry, tm->trace);
+    if (tm->trace != nullptr) {
+      tm->trace->Emit(obs::TraceEvent("stop")
+                          .F64("elapsed_s", merged.elapsed_s)
+                          .U64("exec", merged.executions)
+                          .U64("iters", merged.model_iterations)
+                          .U64("measure_iters", merged.measure_iterations)
+                          .F64("exec_per_s", merged.elapsed_s > 0
+                                                 ? static_cast<double>(merged.executions) /
+                                                       merged.elapsed_s
+                                                 : 0)
+                          .U64("workers", n)
+                          .U64("rounds", out.rounds)
+                          .U64("imports", out.imports)
+                          .U64("test_cases", merged.test_cases.size())
+                          .F64("decision_pct", merged.report.DecisionPct())
+                          .F64("condition_pct", merged.report.ConditionPct())
+                          .F64("mcdc_pct", merged.report.McdcPct()));
+      tm->trace->Flush();
+    }
+  }
+  return out;
+}
+
+}  // namespace cftcg::fuzz

@@ -1,0 +1,91 @@
+// Parallel multi-worker fuzzing engine.
+//
+// N workers each run a full sequential Fuzzer (own vm::Machine, own
+// CoverageSink, own corpus view, own Rng stream forked from the campaign
+// seed) in round-based lockstep against shared campaign state:
+//
+//   round:  every live worker advances its loop by `sync_every` executions
+//           on its own thread (no shared mutable state is touched while
+//           worker threads run — workers only read the shared Programs);
+//   barrier: the driver joins all threads, then — single-threaded, in
+//           worker-id order — performs the merge:
+//             * corpus sync: entries admitted by one worker this round are
+//               imported into every other worker, deduplicated by coverage
+//               signature (first worker in id order wins a signature);
+//             * frontier merge: worker sinks fold into a global
+//               CoverageSink (CoverageSink::MergeFrom) for aggregated
+//               heartbeats and the final union report;
+//             * telemetry: one aggregated `stat` heartbeat when due.
+//
+// Rounds are bounded by *execution counts*, never wall time, and imports
+// draw nothing from worker RNG streams, so for a fixed (seed, num_workers)
+// the whole campaign is deterministic regardless of thread scheduling —
+// same coverage report, same corpus signature set, same merged first-hit
+// attribution (ties broken by worker id). Wall-clock budgets still work
+// (each worker checks its own clock) but trade that determinism away, as
+// they already do in the sequential engine.
+//
+// With num_workers == 1 the single worker runs with the campaign seed
+// itself and no imports ever occur, so the run is bit-identical to the
+// sequential Fuzzer::Run for the same options.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coverage/provenance.hpp"
+#include "fuzz/fuzzer.hpp"
+
+namespace cftcg::fuzz {
+
+struct ParallelOptions {
+  /// Worker count; clamped to >= 1. 1 reproduces the sequential campaign.
+  int num_workers = 1;
+  /// Executions each worker runs between corpus-sync barriers. Larger
+  /// values amortize the (single-threaded) merge; smaller values spread
+  /// discoveries faster. The round structure is part of the deterministic
+  /// schedule: changing it changes which mutations see imported entries.
+  std::uint64_t sync_every = 1024;
+};
+
+struct ParallelCampaignResult {
+  /// Union of the workers' campaigns: summed executions / iterations,
+  /// test cases concatenated in worker-id order, merged strategy stats,
+  /// coverage report computed over the merged frontier.
+  CampaignResult merged;
+  /// Sorted, deduplicated coverage signatures of every admitted corpus
+  /// entry across all workers — the determinism suite's corpus fingerprint.
+  std::vector<std::uint64_t> corpus_signatures;
+  std::vector<std::uint64_t> worker_executions;
+  std::uint64_t rounds = 0;
+  /// Cross-worker corpus imports performed (0 when num_workers == 1).
+  std::uint64_t imports = 0;
+};
+
+class ParallelFuzzer {
+ public:
+  /// Same contract as Fuzzer: `instrumented` is the measurement/CFTCG
+  /// target, `fuzz_only_program` is required when options.model_oriented is
+  /// false. Worker campaigns run with telemetry and margins disabled (the
+  /// driver owns telemetry: aggregated heartbeats, per-worker phase spans);
+  /// options.provenance, when set, receives the merged first-hit
+  /// attribution after the run.
+  ParallelFuzzer(const vm::Program& instrumented, const coverage::CoverageSpec& spec,
+                 FuzzerOptions options, ParallelOptions parallel,
+                 const vm::Program* fuzz_only_program = nullptr);
+  ~ParallelFuzzer();
+
+  ParallelCampaignResult Run(const FuzzBudget& budget);
+
+ private:
+  const vm::Program* instrumented_;
+  const vm::Program* fuzz_only_;
+  const coverage::CoverageSpec* spec_;
+  FuzzerOptions options_;
+  ParallelOptions parallel_;
+  std::vector<std::unique_ptr<Fuzzer>> workers_;
+  std::vector<std::unique_ptr<coverage::ProvenanceMap>> worker_prov_;
+};
+
+}  // namespace cftcg::fuzz

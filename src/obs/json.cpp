@@ -52,8 +52,10 @@ std::string JsonEscape(std::string_view text) {
 
 std::string JsonNumber(double value) {
   if (!std::isfinite(value)) return "null";
-  // Integers (the common case for counters) print without an exponent.
-  if (value == static_cast<double>(static_cast<long long>(value)) && std::fabs(value) < 1e15) {
+  // Integers (the common case for counters) print without an exponent. The
+  // magnitude guard must come first: double -> long long is undefined for
+  // values outside the long long range (e.g. a gauge holding 1e300).
+  if (std::fabs(value) < 1e15 && value == static_cast<double>(static_cast<long long>(value))) {
     return StrFormat("%lld", static_cast<long long>(value));
   }
   return DoubleToString(value);

@@ -21,4 +21,14 @@ double ScopedTimer::Stop() {
   return seconds;
 }
 
+void PhaseAccumulator::Commit(Registry* registry, TraceWriter* trace) {
+  if (registry != nullptr) {
+    registry->GetHistogram("phase." + phase_ + ".seconds", DurationBucketBounds())
+        .Record(total_);
+  }
+  if (trace != nullptr) {
+    trace->Emit(TraceEvent("phase").Str("name", phase_).F64("seconds", total_));
+  }
+}
+
 }  // namespace cftcg::obs

@@ -38,4 +38,26 @@ class ScopedTimer {
   bool stopped_ = false;
 };
 
+/// Accumulating phase timer for spans that run in many discontiguous
+/// chunks (a parallel worker's per-round busy time). Add() sums chunk
+/// durations; Commit() records the total as ONE `phase.<name>.seconds`
+/// histogram sample and one `phase` trace event, exactly like a single
+/// ScopedTimer span would. Not thread-safe: each worker owns its own
+/// accumulator and the driver commits after join.
+class PhaseAccumulator {
+ public:
+  explicit PhaseAccumulator(std::string_view phase) : phase_(phase) {}
+
+  void Add(double seconds) { total_ += seconds; }
+  [[nodiscard]] double total() const { return total_; }
+
+  /// Records the accumulated total; safe to call with null arguments
+  /// (records/emits only where a sink is present). Call once.
+  void Commit(Registry* registry, TraceWriter* trace);
+
+ private:
+  std::string phase_;
+  double total_ = 0;
+};
+
 }  // namespace cftcg::obs

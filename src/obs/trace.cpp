@@ -40,16 +40,25 @@ TraceWriter::~TraceWriter() {
 }
 
 void TraceWriter::Emit(const TraceEvent& event) {
+  // Render outside the lock; one locked fwrite/append per event keeps
+  // JSONL lines whole under concurrent emitters.
   const std::string line =
       StrFormat("{\"t\":%.6f,\"ev\":\"%s\"%s}\n", clock_.Elapsed(),
                 JsonEscape(event.kind_).c_str(), event.payload_.c_str());
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (file_ != nullptr) std::fwrite(line.data(), 1, line.size(), file_);
   if (buffer_ != nullptr) buffer_->append(line);
   ++events_;
 }
 
 void TraceWriter::Flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (file_ != nullptr) std::fflush(file_);
+}
+
+std::uint64_t TraceWriter::events_written() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
 }
 
 }  // namespace cftcg::obs

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -45,7 +46,10 @@ class TraceEvent {
 };
 
 /// Append-only JSONL sink. Writes either to a file or to an in-memory
-/// string (tests and the bench harness parse the buffer back).
+/// string (tests and the bench harness parse the buffer back). Emit and
+/// Flush are thread-safe: each event is rendered outside the lock and
+/// written as one fwrite/append, so concurrent writers (the parallel
+/// fuzzing engine's workers) never interleave partial JSONL lines.
 class TraceWriter {
  public:
   /// File sink; fails if the path cannot be opened for writing.
@@ -63,13 +67,14 @@ class TraceWriter {
 
   void Flush();
 
-  [[nodiscard]] std::uint64_t events_written() const { return events_; }
+  [[nodiscard]] std::uint64_t events_written() const;
   [[nodiscard]] const Stopwatch& clock() const { return clock_; }
 
  private:
   explicit TraceWriter(std::FILE* file) : file_(file) {}
 
   Stopwatch clock_;
+  mutable std::mutex mutex_;     // guards file_/buffer_ writes and events_
   std::FILE* file_ = nullptr;    // owned when non-null
   std::string* buffer_ = nullptr;
   std::uint64_t events_ = 0;

@@ -1,0 +1,114 @@
+// Tests of corpus energy scheduling: the O(log n) binary-search Pick must
+// draw from exactly the distribution the original linear scan defined.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "support/rng.hpp"
+
+namespace cftcg::fuzz {
+namespace {
+
+/// The original linear-scan selection: walk entries subtracting each
+/// entry's energy (metric + 1) from the roll until it goes negative.
+/// Kept here as the reference semantics for Pick.
+const CorpusEntry& ReferencePick(const Corpus& corpus, Rng& rng) {
+  std::uint64_t roll = rng.NextBelow(corpus.total_energy());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const std::uint64_t energy = corpus.entry(i).metric + 1;
+    if (roll < energy) return corpus.entry(i);
+    roll -= energy;
+  }
+  return corpus.entry(corpus.size() - 1);
+}
+
+Corpus MakeCorpus(const std::vector<std::size_t>& metrics) {
+  Corpus corpus;
+  for (const std::size_t m : metrics) {
+    CorpusEntry entry;
+    entry.data = {static_cast<std::uint8_t>(m)};
+    entry.metric = m;
+    corpus.Add(entry);
+  }
+  return corpus;
+}
+
+TEST(CorpusPickTest, MatchesLinearScanForEveryRoll) {
+  // Twin RNG streams: same seed, so both picks consume the identical roll.
+  // Mix of zero-energy (metric 0 -> energy 1) and heavy entries, including
+  // adjacent duplicates, exercises every upper_bound boundary.
+  const Corpus corpus = MakeCorpus({0, 5, 5, 0, 99, 1, 0, 42, 7, 7});
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 20000; ++i) {
+    const CorpusEntry& fast = corpus.Pick(a);
+    const CorpusEntry& ref = ReferencePick(corpus, b);
+    ASSERT_EQ(fast.id, ref.id) << "diverged at draw " << i;
+  }
+}
+
+TEST(CorpusPickTest, MatchesLinearScanAsCorpusGrows) {
+  Corpus corpus;
+  Rng grow(7);
+  Rng a(99);
+  Rng b(99);
+  for (int round = 0; round < 200; ++round) {
+    CorpusEntry entry;
+    entry.metric = static_cast<std::size_t>(grow.NextBelow(50));
+    corpus.Add(entry);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_EQ(corpus.Pick(a).id, ReferencePick(corpus, b).id)
+          << "diverged with " << corpus.size() << " entries";
+    }
+  }
+}
+
+TEST(CorpusPickTest, EnergyWeightsObservedInFrequencies) {
+  // metric 9 -> energy 10, metric 0 -> energy 1: the heavy entry must be
+  // picked roughly 10x as often (loose 2x bounds; 50k draws).
+  const Corpus corpus = MakeCorpus({9, 0});
+  Rng rng(5);
+  int heavy = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (corpus.Pick(rng).id == 0) ++heavy;
+  }
+  const double frac = static_cast<double>(heavy) / kDraws;
+  EXPECT_GT(frac, 10.0 / 11 / 2);
+  EXPECT_LT(frac, 1.0 - (1.0 / 11) / 2);
+}
+
+TEST(CorpusPickTest, PickUniformIgnoresEnergy) {
+  const Corpus corpus = MakeCorpus({1000, 0});
+  Rng rng(17);
+  int first = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (corpus.PickUniform(rng).id == 0) ++first;
+  }
+  const double frac = static_cast<double>(first) / kDraws;
+  EXPECT_GT(frac, 0.45);
+  EXPECT_LT(frac, 0.55);
+}
+
+TEST(CorpusTest, AddMaintainsTotalsAndIds) {
+  Corpus corpus;
+  EXPECT_TRUE(corpus.empty());
+  EXPECT_EQ(corpus.next_id(), 0);
+  CorpusEntry a;
+  a.metric = 3;
+  corpus.Add(a);
+  CorpusEntry b;
+  b.metric = 0;
+  corpus.Add(b);
+  EXPECT_EQ(corpus.size(), 2U);
+  EXPECT_EQ(corpus.entry(0).id, 0);
+  EXPECT_EQ(corpus.entry(1).id, 1);
+  EXPECT_EQ(corpus.total_energy(), 5U);  // (3+1) + (0+1)
+  EXPECT_EQ(corpus.MaxMetric(), 3U);
+}
+
+}  // namespace
+}  // namespace cftcg::fuzz

@@ -5,6 +5,7 @@
 
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.hpp"
@@ -225,6 +226,65 @@ TEST(JsonTest, NumberRendering) {
   // Non-finite values are not representable in JSON: rendered as null.
   EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
   EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+// Regression: values far beyond long long range were cast to integer
+// before the magnitude guard (undefined behavior); they must render as
+// doubles that parse back to the same value.
+TEST(JsonTest, HugeMagnitudesRenderWithoutIntegerCast) {
+  for (const double huge : {1e300, -1e300, 1e18, -1e18, 9.1e15}) {
+    const std::string rendered = JsonNumber(huge);
+    auto parsed = ParseJson("{\"x\":" + rendered + "}");
+    ASSERT_TRUE(parsed.ok()) << parsed.message() << " rendering: " << rendered;
+    EXPECT_DOUBLE_EQ(parsed.value().NumberOr("x", 0), huge) << rendered;
+  }
+}
+
+// The same path end to end: a gauge holding 1e300 must survive the
+// metrics-snapshot JSON serialization and parse back.
+TEST(RegistryTest, SnapshotJsonSurvivesHugeGaugeValues) {
+  Registry registry;
+  registry.GetGauge("fuzz.huge").Set(1e300);
+  registry.GetCounter("fuzz.count").Add(7);
+  const std::string json = registry.Snapshot().ToJson();
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.message() << " in: " << json;
+  const JsonValue* gauges = parsed.value().Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->NumberOr("fuzz.huge", 0), 1e300);
+}
+
+// Emit must hold every JSONL line whole under concurrent emitters (the
+// parallel engine's driver and workers share one TraceWriter).
+TEST(TraceWriterTest, ConcurrentEmitKeepsLinesWhole) {
+  std::string buffer;
+  TraceWriter writer(&buffer);
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 250;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&writer, t]() {
+      for (int i = 0; i < kEvents; ++i) {
+        writer.Emit(TraceEvent("tick").I64("thread", t).I64("i", i).Str(
+            "pad", "some payload to make interleaving torn writes likely"));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  writer.Flush();
+  EXPECT_EQ(writer.events_written(), static_cast<std::uint64_t>(kThreads * kEvents));
+
+  const auto lines = SplitString(buffer, '\n');
+  int parsed_count = 0;
+  for (const auto& line : lines) {
+    if (line.empty()) continue;
+    auto parsed = ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.message() << " in: " << line;
+    EXPECT_EQ(parsed.value().StringOr("ev", ""), "tick");
+    ++parsed_count;
+  }
+  EXPECT_EQ(parsed_count, kThreads * kEvents);
 }
 
 TEST(JsonlTest, SkipsMalformedLinesAndCounts) {

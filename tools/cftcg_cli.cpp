@@ -2,7 +2,7 @@
 //
 //   cftcg info  <model.cmx>                      model statistics
 //   cftcg gen   <model.cmx> [-o out.c]           emit instrumented fuzzing code
-//   cftcg fuzz  <model.cmx> [--seconds N] [--seed N] [--out DIR] [--fuzz-only]
+//   cftcg fuzz  <model.cmx> [--seconds N] [--seed N] [--out DIR] [--fuzz-only] [-j N]
 //               [--stats-every N] [--trace out.jsonl] [--metrics out.json]
 //                                                run a campaign, export CSV tests
 //   cftcg run   <model.cmx> --csv test.csv       replay a CSV test case
@@ -53,6 +53,7 @@ int Usage() {
       "  cftcg info  <model.cmx>\n"
       "  cftcg gen   <model.cmx> [-o out.c]\n"
       "  cftcg fuzz  <model.cmx> [--seconds N] [--seed N] [--out DIR] [--fuzz-only]\n"
+      "              [-j N | --jobs N]    parallel fuzzing with N workers\n"
       "              [--minimize]         reduce + shrink the suite before export\n"
       "              [--stats-every N]    periodic status line + stat events, every N s\n"
       "              [--trace FILE]       write a JSONL campaign event trace\n"
@@ -145,7 +146,7 @@ struct TelemetryFlags {
 };
 
 int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const std::string& outdir,
-            bool fuzz_only, bool minimize, const TelemetryFlags& tf) {
+            bool fuzz_only, bool minimize, int jobs, const TelemetryFlags& tf) {
   auto cm = Load(path);
   if (!cm) return 1;
 
@@ -185,12 +186,31 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
 
   fuzz::FuzzBudget budget;
   budget.wall_seconds = seconds;
-  auto result = RunTool(*cm, fuzz_only ? Tool::kFuzzOnly : Tool::kCftcg, budget, seed, use,
-                        provenance.get(), margins.get());
-  std::printf("%s: %llu inputs, %llu model iterations, %zu test cases in %.1fs\n",
+  fuzz::CampaignResult result;
+  if (jobs > 1) {
+    // Parallel engine: the driver aggregates heartbeats and merges worker
+    // state; margin recording is sequential-only and stays off.
+    fuzz::FuzzerOptions options;
+    options.seed = seed;
+    options.model_oriented = !fuzz_only;
+    options.telemetry = use;
+    options.provenance = provenance.get();
+    fuzz::ParallelOptions par;
+    par.num_workers = jobs;
+    auto presult = cm->FuzzParallel(options, budget, par);
+    result = std::move(presult.merged);
+    std::printf("parallel: %d workers, %llu rounds, %llu corpus imports\n", jobs,
+                static_cast<unsigned long long>(presult.rounds),
+                static_cast<unsigned long long>(presult.imports));
+  } else {
+    result = RunTool(*cm, fuzz_only ? Tool::kFuzzOnly : Tool::kCftcg, budget, seed, use,
+                     provenance.get(), margins.get());
+  }
+  std::printf("%s: %llu inputs, %llu model iterations (+%llu measure), %zu test cases in %.1fs\n",
               fuzz_only ? "fuzz-only" : "cftcg",
               static_cast<unsigned long long>(result.executions),
               static_cast<unsigned long long>(result.model_iterations),
+              static_cast<unsigned long long>(result.measure_iterations),
               result.test_cases.size(), result.elapsed_s);
   std::printf("coverage: %s\n", coverage::FormatReport(result.report).c_str());
 
@@ -664,6 +684,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   bool fuzz_only = false;
   bool minimize = false;
+  int jobs = 1;
   TelemetryFlags tf;
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
@@ -677,6 +698,7 @@ int main(int argc, char** argv) {
     else if (a == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     else if (a == "--fuzz-only") fuzz_only = true;
     else if (a == "--minimize") minimize = true;
+    else if (a == "-j" || a == "--jobs") jobs = std::atoi(next().c_str());
     else if (a == "--stats-every") tf.stats_every = std::atof(next().c_str());
     else if (a == "--trace") tf.trace_path = next();
     else if (a == "--metrics") tf.metrics_path = next();
@@ -684,7 +706,7 @@ int main(int argc, char** argv) {
 
   if (cmd == "info") return CmdInfo(target);
   if (cmd == "gen") return CmdGen(target, out);
-  if (cmd == "fuzz") return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize, tf);
+  if (cmd == "fuzz") return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize, jobs, tf);
   if (cmd == "run") return CmdRun(target, csv);
   if (cmd == "cover") return CmdCover(target, csv_dir, html);
   if (cmd == "trace-summary") return CmdTraceSummary(target);
