@@ -1,0 +1,97 @@
+// Static model analyzer: forward interval/constant propagation over the
+// dataflow graph of a scheduled model.
+//
+// The analyzer runs an *abstract* version of the simulation interpreter:
+// every signal carries an interval hull (plus a may-be-NaN flag — raw fuzz
+// bytes can encode NaN, and NaN compares false against everything), every
+// stateful block carries an abstract state, and the model is stepped until
+// the state reaches a fixpoint (classic widening after a few iterations
+// guarantees termination). On the fixpoint — an over-approximation of every
+// concrete reachable state at any iteration — one recording pass derives:
+//
+//   * a per-objective verdict for every slot in coverage::Spec
+//     (kProvedUnreachable / kTriviallyConstant / kUnknown), the SLDV-style
+//     "justified objective" input to coverage::MetricReport;
+//   * model lint diagnostics (unconnected ports, dead blocks,
+//     constant-conditioned switches, always/never-saturating saturations,
+//     possible division by zero, narrowing dtype conversions);
+//   * heuristic per-inport "interesting" ranges harvested from the
+//     thresholds each inport can reach (seeding the goal solver's search
+//     ranges and the fuzzer's boundary-value corpus).
+//
+// Soundness contract: a verdict of kProvedUnreachable must never be emitted
+// for an objective any concrete execution can hit (tests/analysis_test.cpp
+// fuzzes every bench model against this). The analyzer defaults to
+// kUnknown whenever it cannot model a behavior precisely, and emits no
+// unreachability verdicts at all if the fixpoint iteration fails to
+// converge.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "coverage/justify.hpp"
+#include "sched/schedule.hpp"
+#include "sldv/interval.hpp"
+
+namespace cftcg::analysis {
+
+/// Abstract signal value: interval hull of the possible values plus a flag
+/// for "could also be NaN" (floats only; integer signals never carry NaN).
+/// `type` mirrors the interpreter's IVal::type so casts and comparisons can
+/// reproduce the runtime's promotion/wrapping behavior.
+struct AbsVal {
+  sldv::Interval iv;
+  bool maybe_nan = false;
+  ir::DType type = ir::DType::kDouble;
+
+  AbsVal() = default;
+  explicit AbsVal(sldv::Interval i, bool nan = false, ir::DType t = ir::DType::kDouble)
+      : iv(i), maybe_nan(nan), type(t) {}
+  static AbsVal Point(double v, ir::DType t = ir::DType::kDouble) {
+    return AbsVal(sldv::Interval::Point(v), false, t);
+  }
+  static AbsVal Top() { return AbsVal(sldv::Interval::Whole(), true); }
+
+  [[nodiscard]] AbsVal Union(const AbsVal& o) const {
+    return AbsVal(iv.Union(o.iv), maybe_nan || o.maybe_nan, type);
+  }
+  bool operator==(const AbsVal&) const = default;
+};
+
+enum class LintSeverity { kInfo, kWarning, kError };
+std::string_view LintSeverityName(LintSeverity s);
+
+struct LintDiagnostic {
+  LintSeverity severity = LintSeverity::kWarning;
+  std::string check;    // stable kebab-case id, e.g. "constant-switch"
+  std::string block;    // hierarchical block path ("ctrl/Switch1")
+  std::string message;  // human-readable detail with the offending interval
+};
+
+struct ModelAnalysis {
+  /// Fixpoint interval per signal, keyed like the interpreter's value map:
+  /// (owning system, block id, output port).
+  std::map<std::tuple<const ir::Model*, ir::BlockId, int>, AbsVal> signals;
+
+  /// Heuristic search range per root inport (port order): the hull of the
+  /// comparison thresholds / saturation bounds / lookup breakpoints the
+  /// inport feeds, padded outward and clipped to the dtype range. Never
+  /// used as a soundness fact — only to focus search.
+  std::vector<sldv::Interval> inport_ranges;
+
+  coverage::JustificationSet justifications;
+  std::vector<LintDiagnostic> lints;
+
+  int iterations = 0;     // abstract model steps until the state fixpoint
+  bool converged = false;  // false => no unreachability verdicts were emitted
+};
+
+/// Runs the analyzer. Deterministic, read-only, and total: any model that
+/// scheduled successfully can be analyzed.
+ModelAnalysis AnalyzeScheduledModel(const sched::ScheduledModel& sm);
+
+}  // namespace cftcg::analysis

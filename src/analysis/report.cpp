@@ -1,0 +1,142 @@
+#include "analysis/report.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "support/strings.hpp"
+
+namespace cftcg::analysis {
+namespace {
+
+/// Human-readable name for every fuzz slot, in slot order: decision outcomes
+/// first, then condition polarities (mirrors CoverageSpec's slot layout).
+std::vector<std::string> SlotNames(const coverage::CoverageSpec& spec) {
+  std::vector<std::string> names(static_cast<std::size_t>(spec.FuzzBranchCount()));
+  for (const auto& d : spec.decisions()) {
+    for (int o = 0; o < d.num_outcomes; ++o) {
+      names[static_cast<std::size_t>(spec.OutcomeSlot(d.id, o))] =
+          StrFormat("decision '%s' outcome %d", d.name.c_str(), o);
+    }
+  }
+  for (const auto& c : spec.conditions()) {
+    names[static_cast<std::size_t>(spec.ConditionTrueSlot(c.id))] =
+        StrFormat("condition '%s' true", c.name.c_str());
+    names[static_cast<std::size_t>(spec.ConditionFalseSlot(c.id))] =
+        StrFormat("condition '%s' false", c.name.c_str());
+  }
+  return names;
+}
+
+bool Bounded(double v) { return std::fabs(v) < sldv::Interval::kInf; }
+
+}  // namespace
+
+std::string FormatAnalysisReport(const sched::ScheduledModel& sm, const ModelAnalysis& ma) {
+  std::string out;
+  out += StrFormat("model %s: analysis %s after %d iteration%s\n", sm.root->name().c_str(),
+                   ma.converged ? "converged" : "did NOT converge (no verdicts emitted)",
+                   ma.iterations, ma.iterations == 1 ? "" : "s");
+
+  if (ma.lints.empty()) {
+    out += "lint: clean\n";
+  } else {
+    out += StrFormat("lint: %zu finding%s\n", ma.lints.size(), ma.lints.size() == 1 ? "" : "s");
+    for (const auto& l : ma.lints) {
+      out += StrFormat("  [%s] %s %s: %s\n", std::string(LintSeverityName(l.severity)).c_str(),
+                       l.check.c_str(), l.block.c_str(), l.message.c_str());
+    }
+  }
+
+  const auto& spec = sm.spec;
+  const auto names = SlotNames(spec);
+  std::size_t justified = 0;
+  for (int s = 0; s < spec.FuzzBranchCount(); ++s) {
+    if (ma.justifications.SlotVerdict(s) != coverage::ObjectiveVerdict::kUnknown) ++justified;
+  }
+  out += StrFormat("objectives: %d total, %zu justified\n", spec.FuzzBranchCount(), justified);
+  for (int s = 0; s < spec.FuzzBranchCount(); ++s) {
+    const auto v = ma.justifications.SlotVerdict(s);
+    if (v == coverage::ObjectiveVerdict::kUnknown) continue;
+    out += StrFormat("  [%s] %s: %s\n", std::string(coverage::ObjectiveVerdictName(v)).c_str(),
+                     names[static_cast<std::size_t>(s)].c_str(),
+                     ma.justifications.SlotReason(s).c_str());
+  }
+  for (const auto& c : spec.conditions()) {
+    const auto v = ma.justifications.McdcVerdict(c.id);
+    if (v == coverage::ObjectiveVerdict::kUnknown) continue;
+    out += StrFormat("  [%s] mcdc '%s': %s\n",
+                     std::string(coverage::ObjectiveVerdictName(v)).c_str(), c.name.c_str(),
+                     ma.justifications.McdcReason(c.id).c_str());
+  }
+
+  for (std::size_t i = 0; i < ma.inport_ranges.size(); ++i) {
+    out += StrFormat("inport %zu search range: %s\n", i,
+                     ma.inport_ranges[i].ToString().c_str());
+  }
+  return out;
+}
+
+std::string AnalysisReportJson(const sched::ScheduledModel& sm, const ModelAnalysis& ma) {
+  using obs::JsonEscape;
+  using obs::JsonNumber;
+  std::string out = "{";
+  out += StrFormat("\"model\":\"%s\",", JsonEscape(sm.root->name()).c_str());
+  out += StrFormat("\"converged\":%s,", ma.converged ? "true" : "false");
+  out += StrFormat("\"iterations\":%d,", ma.iterations);
+
+  out += "\"lints\":[";
+  for (std::size_t i = 0; i < ma.lints.size(); ++i) {
+    const auto& l = ma.lints[i];
+    if (i != 0) out += ",";
+    out += StrFormat("{\"severity\":\"%s\",\"check\":\"%s\",\"block\":\"%s\",\"message\":\"%s\"}",
+                     std::string(LintSeverityName(l.severity)).c_str(),
+                     JsonEscape(l.check).c_str(), JsonEscape(l.block).c_str(),
+                     JsonEscape(l.message).c_str());
+  }
+  out += "],";
+
+  const auto& spec = sm.spec;
+  const auto names = SlotNames(spec);
+  out += "\"objectives\":[";
+  bool first = true;
+  for (int s = 0; s < spec.FuzzBranchCount(); ++s) {
+    const auto v = ma.justifications.SlotVerdict(s);
+    if (v == coverage::ObjectiveVerdict::kUnknown) continue;
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("{\"slot\":%d,\"name\":\"%s\",\"verdict\":\"%s\",\"reason\":\"%s\"}", s,
+                     JsonEscape(names[static_cast<std::size_t>(s)]).c_str(),
+                     std::string(coverage::ObjectiveVerdictName(v)).c_str(),
+                     JsonEscape(ma.justifications.SlotReason(s)).c_str());
+  }
+  out += "],";
+
+  out += "\"mcdc\":[";
+  first = true;
+  for (const auto& c : spec.conditions()) {
+    const auto v = ma.justifications.McdcVerdict(c.id);
+    if (v == coverage::ObjectiveVerdict::kUnknown) continue;
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("{\"condition\":%d,\"name\":\"%s\",\"verdict\":\"%s\",\"reason\":\"%s\"}",
+                     c.id, JsonEscape(c.name).c_str(),
+                     std::string(coverage::ObjectiveVerdictName(v)).c_str(),
+                     JsonEscape(ma.justifications.McdcReason(c.id)).c_str());
+  }
+  out += "],";
+
+  out += "\"inport_ranges\":[";
+  for (std::size_t i = 0; i < ma.inport_ranges.size(); ++i) {
+    const auto& r = ma.inport_ranges[i];
+    if (i != 0) out += ",";
+    out += StrFormat("{\"lo\":%s,\"hi\":%s}",
+                     Bounded(r.lo()) ? JsonNumber(r.lo()).c_str() : "null",
+                     Bounded(r.hi()) ? JsonNumber(r.hi()).c_str() : "null");
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace cftcg::analysis

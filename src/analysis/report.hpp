@@ -1,0 +1,25 @@
+// Renderers for `cftcg analyze`: human-readable text and a machine-readable
+// JSON document (parsed back by tests and downstream tooling via obs JSON).
+#pragma once
+
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "sched/schedule.hpp"
+
+namespace cftcg::analysis {
+
+/// Multi-line human-readable report: lint diagnostics grouped by severity,
+/// then every justified objective with its verdict and reason, then the
+/// harvested per-inport search ranges.
+std::string FormatAnalysisReport(const sched::ScheduledModel& sm, const ModelAnalysis& ma);
+
+/// One JSON object:
+///   {"model": ..., "converged": ..., "iterations": ...,
+///    "lints": [{"severity","check","block","message"}...],
+///    "objectives": [{"slot","name","verdict","reason"}...],   // justified only
+///    "mcdc": [{"condition","name","verdict","reason"}...],    // justified only
+///    "inport_ranges": [{"lo","hi"}...]}                        // null lo/hi = unbounded
+std::string AnalysisReportJson(const sched::ScheduledModel& sm, const ModelAnalysis& ma);
+
+}  // namespace cftcg::analysis

@@ -45,6 +45,7 @@ fuzz::CampaignResult RunHybrid(CompiledModel& cm, const fuzz::FuzzBudget& budget
   so.seed = seed;
   so.horizon = 8;
   sldv::GoalSolver solver(cm.with_margins(), cm.spec(), so);
+  solver.SeedInputRanges(cm.analysis().inport_ranges);
   solver.SeedCoverage(fuzzer.sink().total());
   fuzz::FuzzBudget solve_budget;
   solve_budget.wall_seconds = budget.wall_seconds * 0.3;
@@ -81,6 +82,7 @@ fuzz::CampaignResult RunTool(CompiledModel& cm, Tool tool, const fuzz::FuzzBudge
       sldv::SolverOptions options;
       options.seed = seed;
       sldv::GoalSolver solver(cm.with_margins(), cm.spec(), options);
+      solver.SeedInputRanges(cm.analysis().inport_ranges);
       return solver.Run(budget);
     }
     case Tool::kSimCoTest: {

@@ -80,6 +80,15 @@ const vm::Program& CompiledModel::with_margins() {
   return *with_margins_;
 }
 
+const analysis::ModelAnalysis& CompiledModel::analysis() {
+  if (!analysis_) {
+    obs::ScopedTimer span("static_analysis");
+    analysis_ = std::make_unique<analysis::ModelAnalysis>(
+        analysis::AnalyzeScheduledModel(scheduled_));
+  }
+  return *analysis_;
+}
+
 Result<std::string> CompiledModel::EmitFuzzingCode() const {
   codegen::CEmitOptions opts;
   return codegen::EmitC(scheduled_, opts);

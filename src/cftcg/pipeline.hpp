@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/analyzer.hpp"
 #include "codegen/cemit.hpp"
 #include "codegen/lower.hpp"
 #include "fuzz/fuzzer.hpp"
@@ -43,6 +44,10 @@ class CompiledModel {
   /// Margin-recording program (constraint baseline); built lazily.
   const vm::Program& with_margins();
 
+  /// Static model analysis (interval propagation, lint, justified
+  /// objectives); computed lazily on first use and cached.
+  const analysis::ModelAnalysis& analysis();
+
   /// The generated fuzzing code as C text (Figure 3 + Figure 4 artifacts).
   Result<std::string> EmitFuzzingCode() const;
 
@@ -69,6 +74,7 @@ class CompiledModel {
   vm::Program instrumented_;
   std::unique_ptr<vm::Program> fuzz_only_;
   std::unique_ptr<vm::Program> with_margins_;
+  std::unique_ptr<analysis::ModelAnalysis> analysis_;
 };
 
 }  // namespace cftcg

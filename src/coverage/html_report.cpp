@@ -21,6 +21,7 @@ const char* kStyle = R"(
   th { background: #f5f5f5; text-align: left; }
   .hit { background: #e6f4e6; }
   .miss { background: #fbe7e7; }
+  .just { background: #e8eaf6; color: #555; font-style: italic; }
   code { font-family: ui-monospace, monospace; }
   .heat0 { background: #1a9850; color: #fff; }
   .heat1 { background: #91cf60; }
@@ -163,7 +164,8 @@ std::string RenderCampaignExplorer(const CampaignExplorerData& data) {
   }
   html += "<h2>Per-block first-hit heatmap</h2>\n";
   html += "<p>D = decision outcome, C± = condition polarity, M = MCDC pair; "
-          "green = hit early, red = hit late, <span class=\"miss\">miss</span> = uncovered.</p>\n";
+          "green = hit early, red = hit late, <span class=\"miss\">miss</span> = uncovered, "
+          "<span class=\"just\">justified</span> = proved unreachable by static analysis.</p>\n";
   html += "<table><tr><th>Block</th><th>Objectives</th></tr>\n";
   for (const auto& [name, objectives] : blocks) {
     html += "<tr><td><code>" + XmlEscape(name) + "</code></td><td><table><tr>";
@@ -178,10 +180,11 @@ std::string RenderCampaignExplorer(const CampaignExplorerData& data) {
     auto miss_it = missing.find(name);
     if (miss_it != missing.end()) {
       for (const ExplorerResidual* r : miss_it->second) {
-        const std::string dist =
+        std::string dist =
             r->unreached ? "unreached" : StrFormat("best distance %.4g", r->distance);
-        html += StrFormat("<td class=\"miss\" title=\"%s\">D[%d]</td>",
-                          XmlEscape(dist).c_str(), r->outcome);
+        if (r->justified) dist = "justified: " + r->reason;
+        html += StrFormat("<td class=\"%s\" title=\"%s\">D[%d]</td>",
+                          r->justified ? "just" : "miss", XmlEscape(dist).c_str(), r->outcome);
       }
     }
     html += "</tr></table></td></tr>\n";
@@ -280,11 +283,23 @@ std::string RenderCampaignExplorer(const CampaignExplorerData& data) {
   if (data.residuals.empty()) {
     html += "<p>None — every decision outcome was covered.</p>\n";
   } else {
-    html += "<table><tr><th>Objective</th><th>Best observed distance</th></tr>\n";
+    std::size_t justified = 0;
+    for (const auto& r : data.residuals) justified += r.justified ? 1 : 0;
+    if (justified > 0) {
+      html += StrFormat(
+          "<p><span class=\"just\">justified</span> residuals (%zu of %zu) were proved "
+          "unreachable by the static analyzer; they are expected misses, not fuzzing "
+          "shortfalls.</p>\n",
+          justified, data.residuals.size());
+    }
+    html += "<table><tr><th>Objective</th><th>Best observed distance</th>"
+            "<th>Justification</th></tr>\n";
     for (const auto& r : data.residuals) {
       html += "<tr><td><code>" + XmlEscape(r.name) + "</code></td>" +
               (r.unreached ? std::string("<td class=\"miss\">unreached</td>")
                            : StrFormat("<td>%.6g</td>", r.distance)) +
+              (r.justified ? "<td class=\"just\">" + XmlEscape(r.reason) + "</td>"
+                           : std::string("<td></td>")) +
               "</tr>\n";
     }
     html += "</table>\n";

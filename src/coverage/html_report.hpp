@@ -56,6 +56,10 @@ struct ExplorerResidual {
   int outcome = -1;
   double distance = 0;     // best observed distance-to-flip
   bool unreached = false;  // decision never even evaluated
+  /// Static-analyzer justification: the objective is proved unreachable, so
+  /// the miss is expected rather than a fuzzing shortfall.
+  bool justified = false;
+  std::string reason;  // analyzer's reason; empty when not justified
 };
 
 /// Everything the campaign explorer page needs, decoded from a trace by the

@@ -1,0 +1,28 @@
+#include "coverage/justify.hpp"
+
+namespace cftcg::coverage {
+
+std::string_view ObjectiveVerdictName(ObjectiveVerdict v) {
+  switch (v) {
+    case ObjectiveVerdict::kUnknown: return "unknown";
+    case ObjectiveVerdict::kProvedUnreachable: return "proved_unreachable";
+    case ObjectiveVerdict::kTriviallyConstant: return "trivially_constant";
+  }
+  return "unknown";
+}
+
+std::size_t JustificationSet::NumJustified() const {
+  std::size_t n = 0;
+  for (const auto& j : slots_) n += j.verdict != ObjectiveVerdict::kUnknown ? 1 : 0;
+  for (const auto& j : mcdc_) n += j.verdict != ObjectiveVerdict::kUnknown ? 1 : 0;
+  return n;
+}
+
+std::size_t JustificationSet::NumExcluded() const {
+  std::size_t n = 0;
+  for (const auto& j : slots_) n += j.verdict == ObjectiveVerdict::kProvedUnreachable ? 1 : 0;
+  for (const auto& j : mcdc_) n += j.verdict == ObjectiveVerdict::kProvedUnreachable ? 1 : 0;
+  return n;
+}
+
+}  // namespace cftcg::coverage

@@ -1,0 +1,94 @@
+// Justified-objective bookkeeping — the static analyzer's verdict store.
+//
+// SLDV-style tools separate objectives they *prove unsatisfiable* from
+// objectives they merely failed to cover; the proven ones are "justified"
+// out of the coverage denominator so that 100% means "everything reachable
+// was reached", not "everything including the dead code". The analyzer
+// (src/analysis) fills one JustificationSet per model; the fuzzer, the
+// metric report, and `cftcg explain` all read it.
+//
+// Verdicts are indexed two ways, mirroring CoverageSpec's objective spaces:
+//   * per fuzz slot (decision outcomes, then condition polarities) — the
+//     same indexing the CoverageSink bitmap uses, so slot verdicts line up
+//     with coverage bits one-to-one;
+//   * per condition for the masking-MCDC independence-pair objective.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "coverage/spec.hpp"
+
+namespace cftcg::coverage {
+
+enum class ObjectiveVerdict : std::uint8_t {
+  kUnknown = 0,            // analyzer cannot decide; fuzz it
+  kProvedUnreachable = 1,  // objective is infeasible: justified out of the denominator
+  kTriviallyConstant = 2,  // objective is the only possible behavior of a constant
+                           // decision — coverable, but not informative
+};
+
+std::string_view ObjectiveVerdictName(ObjectiveVerdict v);
+
+struct Justification {
+  ObjectiveVerdict verdict = ObjectiveVerdict::kUnknown;
+  std::string reason;  // human-readable, e.g. "input [0, 255] never exceeds upper 300"
+};
+
+class JustificationSet {
+ public:
+  JustificationSet() = default;
+  explicit JustificationSet(const CoverageSpec& spec)
+      : slots_(static_cast<std::size_t>(spec.FuzzBranchCount())),
+        mcdc_(spec.conditions().size()) {}
+
+  [[nodiscard]] bool empty() const { return slots_.empty() && mcdc_.empty(); }
+
+  void JustifySlot(int slot, ObjectiveVerdict v, std::string reason) {
+    auto& j = slots_.at(static_cast<std::size_t>(slot));
+    j.verdict = v;
+    j.reason = std::move(reason);
+  }
+  [[nodiscard]] ObjectiveVerdict SlotVerdict(int slot) const {
+    const auto i = static_cast<std::size_t>(slot);
+    return i < slots_.size() ? slots_[i].verdict : ObjectiveVerdict::kUnknown;
+  }
+  [[nodiscard]] const std::string& SlotReason(int slot) const {
+    static const std::string kEmpty;
+    const auto i = static_cast<std::size_t>(slot);
+    return i < slots_.size() ? slots_[i].reason : kEmpty;
+  }
+  /// True when the slot is justified out of the coverage denominator (and
+  /// out of the fuzzer's frontier): proved unreachable.
+  [[nodiscard]] bool SlotExcluded(int slot) const {
+    return SlotVerdict(slot) == ObjectiveVerdict::kProvedUnreachable;
+  }
+
+  void JustifyMcdc(ConditionId c, ObjectiveVerdict v, std::string reason) {
+    auto& j = mcdc_.at(static_cast<std::size_t>(c));
+    j.verdict = v;
+    j.reason = std::move(reason);
+  }
+  [[nodiscard]] ObjectiveVerdict McdcVerdict(ConditionId c) const {
+    const auto i = static_cast<std::size_t>(c);
+    return i < mcdc_.size() ? mcdc_[i].verdict : ObjectiveVerdict::kUnknown;
+  }
+  [[nodiscard]] const std::string& McdcReason(ConditionId c) const {
+    static const std::string kEmpty;
+    const auto i = static_cast<std::size_t>(c);
+    return i < mcdc_.size() ? mcdc_[i].reason : kEmpty;
+  }
+
+  /// Objectives carrying any non-unknown verdict (slots + MCDC pairs).
+  [[nodiscard]] std::size_t NumJustified() const;
+  /// Of those, the proved-unreachable ones.
+  [[nodiscard]] std::size_t NumExcluded() const;
+
+ private:
+  std::vector<Justification> slots_;  // indexed by fuzz slot
+  std::vector<Justification> mcdc_;   // indexed by ConditionId
+};
+
+}  // namespace cftcg::coverage

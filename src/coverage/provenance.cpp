@@ -203,16 +203,22 @@ std::string ProvenanceMap::ToJson() const {
 
 std::vector<ResidualObjective> ResidualDiagnostics(const CoverageSpec& spec,
                                                    const DynamicBitset& total,
-                                                   const MarginRecorder* margins) {
+                                                   const MarginRecorder* margins,
+                                                   const JustificationSet* justifications) {
   std::vector<ResidualObjective> out;
   for (const auto& d : spec.decisions()) {
     for (int k = 0; k < d.num_outcomes; ++k) {
-      if (total.Test(static_cast<std::size_t>(spec.OutcomeSlot(d.id, k)))) continue;
+      const int slot = spec.OutcomeSlot(d.id, k);
+      if (total.Test(static_cast<std::size_t>(slot))) continue;
       ResidualObjective r;
       r.decision = d.id;
       r.outcome = k;
       r.name = StrFormat("%s[%d]", d.name.c_str(), k);
       r.distance = margins != nullptr ? margins->Distance(d.id, k) : MarginRecorder::kUnreached;
+      if (justifications != nullptr && justifications->SlotExcluded(slot)) {
+        r.justified = true;
+        r.justify_reason = justifications->SlotReason(slot);
+      }
       out.push_back(std::move(r));
     }
   }

@@ -27,6 +27,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "coverage/justify.hpp"
 #include "coverage/sink.hpp"
 #include "coverage/spec.hpp"
 #include "support/bitset.hpp"
@@ -61,6 +62,10 @@ struct ResidualObjective {
   int outcome = -1;
   std::string name;      // "<decision>[<outcome>]", matching UncoveredOutcomes
   double distance = 0;   // MarginRecorder::kUnreached if never evaluated
+  /// Static-analyzer verdict: the objective is proved unreachable, so the
+  /// miss is justified rather than a fuzzing shortfall.
+  bool justified = false;
+  std::string justify_reason;  // analyzer's reason; empty when not justified
 };
 
 class ProvenanceMap {
@@ -123,9 +128,11 @@ std::vector<ObjectiveFirstHit> MergeFirstHits(const std::vector<const Provenance
 
 /// Lists every uncovered decision outcome with its best observed distance
 /// (`margins` may be null: all distances report as kUnreached). Order
-/// matches UncoveredOutcomes().
+/// matches UncoveredOutcomes(). A non-null `justifications` flags residuals
+/// the static analyzer proved unreachable, carrying its reason string.
 std::vector<ResidualObjective> ResidualDiagnostics(const CoverageSpec& spec,
                                                    const DynamicBitset& total,
-                                                   const MarginRecorder* margins);
+                                                   const MarginRecorder* margins,
+                                                   const JustificationSet* justifications = nullptr);
 
 }  // namespace cftcg::coverage

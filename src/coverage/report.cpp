@@ -30,11 +30,17 @@ bool HasIndependencePair(const std::unordered_set<std::uint64_t>& evals, int con
 }
 
 MetricReport ComputeReportFrom(const CoverageSpec& spec, const DynamicBitset& total,
-                               const std::vector<std::unordered_set<std::uint64_t>>& evals) {
+                               const std::vector<std::unordered_set<std::uint64_t>>& evals,
+                               const JustificationSet* justifications) {
   MetricReport r;
+  const auto excluded = [&](int slot) {
+    return justifications != nullptr && !total.Test(static_cast<std::size_t>(slot)) &&
+           justifications->SlotExcluded(slot);
+  };
   r.outcome_total = spec.num_outcome_slots();
   for (int slot = 0; slot < r.outcome_total; ++slot) {
     if (total.Test(static_cast<std::size_t>(slot))) ++r.outcome_covered;
+    if (excluded(slot)) ++r.outcome_justified;
   }
   r.condition_polarity_total = 2 * static_cast<int>(spec.conditions().size());
   for (const auto& c : spec.conditions()) {
@@ -44,20 +50,28 @@ MetricReport ComputeReportFrom(const CoverageSpec& spec, const DynamicBitset& to
     if (total.Test(static_cast<std::size_t>(spec.ConditionFalseSlot(c.id)))) {
       ++r.condition_polarity_covered;
     }
+    if (excluded(spec.ConditionTrueSlot(c.id))) ++r.condition_polarity_justified;
+    if (excluded(spec.ConditionFalseSlot(c.id))) ++r.condition_polarity_justified;
   }
   for (const auto& d : spec.decisions()) {
     if (d.conditions.empty()) continue;
     const auto& set = evals[static_cast<std::size_t>(d.id)];
     for (std::size_t i = 0; i < d.conditions.size() && i < 24; ++i) {
       ++r.mcdc_total;
-      if (!set.empty() && HasIndependencePair(set, static_cast<int>(i))) ++r.mcdc_covered;
+      const bool covered = !set.empty() && HasIndependencePair(set, static_cast<int>(i));
+      if (covered) ++r.mcdc_covered;
+      if (!covered && justifications != nullptr &&
+          justifications->McdcVerdict(d.conditions[i]) ==
+              ObjectiveVerdict::kProvedUnreachable) {
+        ++r.mcdc_justified;
+      }
     }
   }
   return r;
 }
 
-MetricReport ComputeReport(const CoverageSink& sink) {
-  return ComputeReportFrom(sink.spec(), sink.total(), sink.evals());
+MetricReport ComputeReport(const CoverageSink& sink, const JustificationSet* justifications) {
+  return ComputeReportFrom(sink.spec(), sink.total(), sink.evals(), justifications);
 }
 
 std::vector<std::string> UncoveredOutcomes(const CoverageSpec& spec, const DynamicBitset& total) {
@@ -73,11 +87,17 @@ std::vector<std::string> UncoveredOutcomes(const CoverageSpec& spec, const Dynam
 }
 
 std::string FormatReport(const MetricReport& report) {
-  return StrFormat("DC %.1f%% (%d/%d) | CC %.1f%% (%d/%d) | MCDC %.1f%% (%d/%d)",
-                   report.DecisionPct(), report.outcome_covered, report.outcome_total,
-                   report.ConditionPct(), report.condition_polarity_covered,
-                   report.condition_polarity_total, report.McdcPct(), report.mcdc_covered,
-                   report.mcdc_total);
+  std::string s = StrFormat("DC %.1f%% (%d/%d) | CC %.1f%% (%d/%d) | MCDC %.1f%% (%d/%d)",
+                            report.DecisionPct(), report.outcome_covered, report.outcome_total,
+                            report.ConditionPct(), report.condition_polarity_covered,
+                            report.condition_polarity_total, report.McdcPct(),
+                            report.mcdc_covered, report.mcdc_total);
+  if (report.NumJustified() > 0) {
+    s += StrFormat(" | justified %d -> adj DC %.1f%% CC %.1f%% MCDC %.1f%%",
+                   report.NumJustified(), report.AdjustedDecisionPct(),
+                   report.AdjustedConditionPct(), report.AdjustedMcdcPct());
+  }
+  return s;
 }
 
 }  // namespace cftcg::coverage

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "coverage/justify.hpp"
 #include "coverage/sink.hpp"
 #include "coverage/spec.hpp"
 
@@ -18,6 +19,13 @@ struct MetricReport {
   int mcdc_total = 0;    // conditions belonging to decisions with conditions
   int mcdc_covered = 0;  // of those, conditions with a masking independence pair
 
+  // Objectives the static analyzer proved unreachable (SLDV "justified"):
+  // removed from the adjusted denominators below, the way Table 3 numbers
+  // are reported once dead outcomes are excluded.
+  int outcome_justified = 0;
+  int condition_polarity_justified = 0;
+  int mcdc_justified = 0;
+
   [[nodiscard]] double DecisionPct() const {
     return outcome_total == 0 ? 100.0 : 100.0 * outcome_covered / outcome_total;
   }
@@ -29,15 +37,36 @@ struct MetricReport {
   [[nodiscard]] double McdcPct() const {
     return mcdc_total == 0 ? 100.0 : 100.0 * mcdc_covered / mcdc_total;
   }
+
+  [[nodiscard]] int NumJustified() const {
+    return outcome_justified + condition_polarity_justified + mcdc_justified;
+  }
+  [[nodiscard]] double AdjustedDecisionPct() const {
+    const int t = outcome_total - outcome_justified;
+    return t <= 0 ? 100.0 : 100.0 * outcome_covered / t;
+  }
+  [[nodiscard]] double AdjustedConditionPct() const {
+    const int t = condition_polarity_total - condition_polarity_justified;
+    return t <= 0 ? 100.0 : 100.0 * condition_polarity_covered / t;
+  }
+  [[nodiscard]] double AdjustedMcdcPct() const {
+    const int t = mcdc_total - mcdc_justified;
+    return t <= 0 ? 100.0 : 100.0 * mcdc_covered / t;
+  }
 };
 
-/// Computes the three metrics from a sink's cumulative state.
-MetricReport ComputeReport(const CoverageSink& sink);
+/// Computes the three metrics from a sink's cumulative state. A non-null
+/// `justifications` adds justified-objective counts (covered objectives are
+/// never counted as justified, keeping adjusted percentages <= 100 even if
+/// an unsound verdict slipped through).
+MetricReport ComputeReport(const CoverageSink& sink,
+                           const JustificationSet* justifications = nullptr);
 
 /// Same, but from an externally accumulated total bitmap + eval sets (used
 /// when replaying saved test cases).
 MetricReport ComputeReportFrom(const CoverageSpec& spec, const DynamicBitset& total,
-                               const std::vector<std::unordered_set<std::uint64_t>>& evals);
+                               const std::vector<std::unordered_set<std::uint64_t>>& evals,
+                               const JustificationSet* justifications = nullptr);
 
 /// True if condition `index_in_decision` of the decision has a masking MCDC
 /// independence pair within `evals`.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "ir/value.hpp"
 #include "obs/clock.hpp"
 
 namespace cftcg::fuzz {
@@ -29,9 +30,10 @@ class Fuzzer::Monitor {
  public:
   Monitor(const obs::CampaignTelemetry* telemetry, const coverage::CoverageSink& sink,
           const coverage::CoverageSpec& spec, const Corpus& corpus,
-          const coverage::ProvenanceMap* provenance, const coverage::MarginRecorder* margins)
+          const coverage::ProvenanceMap* provenance, const coverage::MarginRecorder* margins,
+          const coverage::JustificationSet* justifications)
       : tm_(telemetry), sink_(&sink), spec_(&spec), corpus_(&corpus), prov_(provenance),
-        margins_(margins) {
+        margins_(margins), just_(justifications) {
     if (tm_ != nullptr && tm_->stats_every_s > 0) next_stat_ = tm_->stats_every_s;
   }
 
@@ -195,7 +197,8 @@ class Fuzzer::Monitor {
     // and where"). Emitted before `stop` so a truncated trace that has the
     // stop record also has the residuals.
     if (prov_ != nullptr && tm_->trace != nullptr) {
-      const auto residuals = coverage::ResidualDiagnostics(*spec_, sink_->total(), margins_);
+      const auto residuals =
+          coverage::ResidualDiagnostics(*spec_, sink_->total(), margins_, just_);
       for (const auto& r : residuals) {
         obs::TraceEvent ev("residual");
         ev.Str("name", r.name).I64("decision", r.decision).I64("outcome", r.outcome);
@@ -203,6 +206,9 @@ class Fuzzer::Monitor {
           ev.F64("distance", r.distance);
         } else {
           ev.Str("distance", "unreached");
+        }
+        if (r.justified) {
+          ev.U64("justified", 1).Str("reason", r.justify_reason);
         }
         tm_->trace->Emit(ev);
       }
@@ -264,6 +270,7 @@ class Fuzzer::Monitor {
   const Corpus* corpus_;
   const coverage::ProvenanceMap* prov_;
   const coverage::MarginRecorder* margins_;
+  const coverage::JustificationSet* just_;
   double next_stat_ = std::numeric_limits<double>::infinity();
   double window_start_ = 0;
   std::uint64_t window_exec_ = 0;
@@ -427,7 +434,8 @@ void Fuzzer::Begin(const FuzzBudget& budget) {
   // campaign: TestCase::time_s, elapsed_s, and trace-event times.
   watch_.Restart();
   monitor_ = std::make_unique<Monitor>(options_.telemetry, sink_, *spec_, corpus_,
-                                       options_.provenance, options_.margins);
+                                       options_.provenance, options_.margins,
+                                       options_.justifications);
   monitor_->OnStart(options_, budget_);
 
   // Per-objective first-hit attribution. Runs only on corpus admissions
@@ -437,37 +445,92 @@ void Fuzzer::Begin(const FuzzBudget& budget) {
 
   const std::size_t tuple_size = std::max<std::size_t>(instrumented_->TupleSize(), 1);
 
-  // Seed corpus: a handful of short random inputs.
+  // Seed corpus: a handful of short random inputs, then (when the static
+  // analyzer supplied inport ranges) deterministic boundary-value inputs.
   for (std::size_t k = 0; k < options_.seed_inputs; ++k) {
     const std::size_t n = 1 + rng_.NextBelow(32);
-    CorpusEntry seed;
-    seed.data = tuple_mutator_.RandomInput(n, rng_);
-    bool found_new = false;
-    std::size_t new_slots = 0;
-    std::size_t metric = 0;
-    if (options_.model_oriented) {
-      metric = IdcDensity(RunOneInstrumented(seed.data, &found_new, &new_slots), seed.data);
-      seed.metric = metric;
-    } else {
-      seed.metric = RunOneEdges(seed.data, &found_new);
-      metric = seed.metric;
-      if (found_new) MeasureOnInstrumented(seed.data);
-    }
-    ++result_.executions;
-    seed.new_slots = new_slots;
-    seed.signature = last_signature_;
-    if (!options_.use_idc_energy) seed.metric = 0;
-    if (found_new) {
-      result_.test_cases.push_back(TestCase{seed.data, watch_.Elapsed(), new_slots,
-                                            DecisionOutcomesCovered()});
-      monitor_->OnNewCoverage(result_.test_cases.back().time_s, result_,
-                              result_.test_cases.back(), metric, tuple_size);
-    }
-    best_metric_ = std::max(best_metric_, seed.metric);
-    if (options_.provenance != nullptr) Attribute(watch_.Elapsed(), corpus_.next_id(), "seed");
-    corpus_.Add(std::move(seed));
-    monitor_->OnCorpusAdd(watch_.Elapsed(), corpus_.entry(corpus_.size() - 1), "seed");
+    AdmitSeed(tuple_mutator_.RandomInput(n, rng_), "seed", tuple_size);
   }
+  SeedBoundaryInputs(tuple_size);
+  frontier_exhausted_ = AllReachableCovered();
+}
+
+void Fuzzer::AdmitSeed(std::vector<std::uint8_t> data, const char* chain,
+                       std::size_t tuple_size) {
+  CorpusEntry seed;
+  seed.data = std::move(data);
+  bool found_new = false;
+  std::size_t new_slots = 0;
+  std::size_t metric = 0;
+  if (options_.model_oriented) {
+    metric = IdcDensity(RunOneInstrumented(seed.data, &found_new, &new_slots), seed.data);
+    seed.metric = metric;
+  } else {
+    seed.metric = RunOneEdges(seed.data, &found_new);
+    metric = seed.metric;
+    if (found_new) MeasureOnInstrumented(seed.data);
+  }
+  ++result_.executions;
+  seed.new_slots = new_slots;
+  seed.signature = last_signature_;
+  if (!options_.use_idc_energy) seed.metric = 0;
+  if (found_new) {
+    result_.test_cases.push_back(
+        TestCase{seed.data, watch_.Elapsed(), new_slots, DecisionOutcomesCovered()});
+    monitor_->OnNewCoverage(result_.test_cases.back().time_s, result_,
+                            result_.test_cases.back(), metric, tuple_size);
+  }
+  best_metric_ = std::max(best_metric_, seed.metric);
+  if (options_.provenance != nullptr) Attribute(watch_.Elapsed(), corpus_.next_id(), chain);
+  corpus_.Add(std::move(seed));
+  monitor_->OnCorpusAdd(watch_.Elapsed(), corpus_.entry(corpus_.size() - 1), chain);
+}
+
+void Fuzzer::SeedBoundaryInputs(std::size_t tuple_size) {
+  if (options_.boundary_seed_ranges.empty()) return;
+  const TupleLayout& layout = tuple_mutator_.layout();
+  if (layout.num_fields() == 0 || layout.tuple_size() == 0) return;
+  // Four deterministic inputs over the analyzer's harvested ranges: every
+  // field at its low bound, high bound, midpoint, and alternating lo/hi per
+  // iteration (the alternation drives delta-sensitive blocks: rate limiters,
+  // edge detectors, counters). Eight tuples each so stateful blocks get a
+  // few steps of the same regime.
+  constexpr std::size_t kTuples = 8;
+  auto field_value = [&](std::size_t f, int which) {
+    const FieldRange& r = options_.boundary_seed_ranges[f];
+    if (which == 0) return r.lo;
+    if (which == 1) return r.hi;
+    return r.lo + 0.5 * (r.hi - r.lo);
+  };
+  for (int variant = 0; variant < 4; ++variant) {
+    std::vector<std::uint8_t> data(kTuples * layout.tuple_size(), 0);
+    for (std::size_t tuple = 0; tuple < kTuples; ++tuple) {
+      for (std::size_t f = 0; f < layout.num_fields(); ++f) {
+        if (f >= options_.boundary_seed_ranges.size() ||
+            !options_.boundary_seed_ranges[f].active) {
+          continue;
+        }
+        const int which = variant == 3 ? static_cast<int>(tuple % 2) : variant;
+        const double v = field_value(f, which);
+        const ir::DType t = layout.field_type(f);
+        const std::size_t off = tuple * layout.tuple_size() + layout.field_offset(f);
+        (ir::DTypeIsFloat(t) ? ir::Value::Real(t, v)
+                             : ir::Value::Int(t, static_cast<std::int64_t>(v)))
+            .ToBytes(data.data() + off);
+      }
+    }
+    AdmitSeed(std::move(data), "boundary", tuple_size);
+  }
+}
+
+bool Fuzzer::AllReachableCovered() const {
+  if (options_.justifications == nullptr) return false;
+  const int n = spec_->FuzzBranchCount();
+  for (int slot = 0; slot < n; ++slot) {
+    if (options_.justifications->SlotExcluded(slot)) continue;
+    if (!sink_.total().Test(static_cast<std::size_t>(slot))) return false;
+  }
+  return true;
 }
 
 std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
@@ -484,6 +547,12 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
       monitor_->Heartbeat(now, result_, strategy_stats_);
     }
     if (now >= budget_.wall_seconds || result_.executions >= budget_.max_executions) {
+      campaign_done_ = true;
+      break;
+    }
+    // Early stop: the static analyzer justified every remaining uncovered
+    // slot as unreachable — more executions cannot find new coverage.
+    if (frontier_exhausted_) {
       campaign_done_ = true;
       break;
     }
@@ -518,6 +587,9 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
           TestCase{data, watch_.Elapsed(), new_slots, DecisionOutcomesCovered()});
       monitor_->OnNewCoverage(result_.test_cases.back().time_s, result_,
                               result_.test_cases.back(), metric, tuple_size);
+      // Only new coverage can exhaust the frontier, so the scan stays off
+      // the hot path.
+      frontier_exhausted_ = AllReachableCovered();
     }
     // Corpus policy (paper §3.2.2): keep inputs that trigger new coverage,
     // and inputs whose Iteration Difference Coverage beats what we've seen.
@@ -595,7 +667,7 @@ CampaignResult Fuzzer::Finish() {
   result_.elapsed_s = watch_.Elapsed();
   result_.model_iterations = model_iterations_;
   result_.measure_iterations = measure_iterations_;
-  result_.report = coverage::ComputeReport(sink_);
+  result_.report = coverage::ComputeReport(sink_, options_.justifications);
   result_.strategy_stats = strategy_stats_;
   monitor_->OnStop(result_.elapsed_s, result_);
   campaign_active_ = false;

@@ -42,6 +42,18 @@ struct FuzzerOptions {
   /// Optional per-inport value ranges (§5 of the paper: testers can narrow
   /// the random exploration space of over-wide integer inports).
   std::vector<FieldRange> field_ranges;
+  /// Optional static-analysis verdicts (src/analysis). Proved-unreachable
+  /// slots are dropped from the campaign's stopping frontier — the fuzzer
+  /// stops early once every *reachable* slot is covered — and the final
+  /// report carries justified-objective accounting. Not owned; must outlive
+  /// the Fuzzer. Null disables both.
+  const coverage::JustificationSet* justifications = nullptr;
+  /// Optional per-inport "interesting" ranges harvested by the analyzer
+  /// (ModelAnalysis::inport_ranges). Used ONLY to seed the corpus with
+  /// boundary-value inputs — never as mutation clamps, which would
+  /// unsoundly restrict the search space. One entry per inport field;
+  /// inactive entries are skipped.
+  std::vector<FieldRange> boundary_seed_ranges;
   /// Optional campaign telemetry (metrics registry, JSONL trace, periodic
   /// heartbeat/status line). Not owned; must outlive the Fuzzer. Null keeps
   /// the loop telemetry-free.
@@ -145,6 +157,14 @@ class Fuzzer {
 
   void MeasureOnInstrumented(const std::vector<std::uint8_t>& data);
   std::size_t RunOneEdges(const std::vector<std::uint8_t>& data, bool* found_new);
+  /// True when every fuzz slot not proved unreachable by the analyzer is
+  /// covered (early-stop criterion; always false without justifications).
+  [[nodiscard]] bool AllReachableCovered() const;
+  /// Admits one seed input to the corpus (shared by random and boundary
+  /// seeding in Begin()).
+  void AdmitSeed(std::vector<std::uint8_t> data, const char* chain, std::size_t tuple_size);
+  /// Deterministic boundary-value seeds from options_.boundary_seed_ranges.
+  void SeedBoundaryInputs(std::size_t tuple_size);
   int DecisionOutcomesCovered() const;
   std::size_t IdcDensity(std::size_t metric, const std::vector<std::uint8_t>& data) const;
   void Attribute(double t, std::int64_t entry_id, const std::string& chain);
@@ -179,6 +199,7 @@ class Fuzzer {
   bool track_strategies_ = false;
   bool campaign_active_ = false;
   bool campaign_done_ = false;
+  bool frontier_exhausted_ = false;  // all reachable slots covered (early stop)
   std::uint64_t last_signature_ = 0;  // coverage signature of the last run input
 };
 

@@ -95,6 +95,15 @@ void GoalSolver::SeedCoverage(const DynamicBitset& covered) {
   sink_.mutable_total().MergeAndCountNew(covered);
 }
 
+void GoalSolver::SeedInputRanges(const std::vector<Interval>& ranges) {
+  for (std::size_t k = 0; k < field_ranges_.size() && k < ranges.size(); ++k) {
+    if (ranges[k].empty()) continue;
+    const Interval dtype_range = Interval::OfType(program_->input_types[k]);
+    const Interval narrowed = ranges[k].Intersect(dtype_range);
+    if (!narrowed.empty()) field_ranges_[k] = narrowed;
+  }
+}
+
 fuzz::CampaignResult GoalSolver::Run(const fuzz::FuzzBudget& budget) {
   fuzz::CampaignResult result;
   const obs::Stopwatch watch;  // obs::Clock: shared monotonic time source

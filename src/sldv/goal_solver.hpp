@@ -64,6 +64,14 @@ class GoalSolver {
   /// the fuzzer's residual objectives.
   void SeedCoverage(const DynamicBitset& covered);
 
+  /// Narrows the per-field search ranges from externally computed interval
+  /// analysis (the static analyzer's ModelAnalysis::inport_ranges): each
+  /// provided range replaces the declared-dtype default after intersecting
+  /// with it, so the alternating-variable search starts near the thresholds
+  /// the model actually compares against. Empty or missing entries keep the
+  /// dtype default.
+  void SeedInputRanges(const std::vector<Interval>& ranges);
+
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
   [[nodiscard]] const coverage::CoverageSink& sink() const { return sink_; }
 

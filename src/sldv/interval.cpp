@@ -29,6 +29,25 @@ double Sat(double v) {
   if (v < -Interval::kInf) return -Interval::kInf;
   return std::isnan(v) ? 0 : v;
 }
+
+// A bound sitting at +-kInf stands for "unbounded", not for the number
+// 1e300: multiplying or dividing it by a finite factor must keep it pinned
+// at the saturation limit, or a downstream comparison could treat the
+// shrunken bound (e.g. kInf/2) as a real ceiling and prove too much.
+double MulSat(double a, double b) {
+  if (a == 0 || b == 0) return 0;
+  if (std::fabs(a) >= Interval::kInf || std::fabs(b) >= Interval::kInf) {
+    return (a > 0) == (b > 0) ? Interval::kInf : -Interval::kInf;
+  }
+  return Sat(a * b);
+}
+
+double DivSat(double n, double d) {  // d != 0 in every caller
+  if (std::fabs(n) >= Interval::kInf) {
+    return (n > 0) == (d > 0) ? Interval::kInf : -Interval::kInf;
+  }
+  return Sat(n / d);
+}
 }  // namespace
 
 Interval Interval::Add(const Interval& o) const {
@@ -43,12 +62,38 @@ Interval Interval::Sub(const Interval& o) const {
 
 Interval Interval::Mul(const Interval& o) const {
   if (empty() || o.empty()) return Interval();
-  const double a = Sat(lo_ * o.lo_);
-  const double b = Sat(lo_ * o.hi_);
-  const double c = Sat(hi_ * o.lo_);
-  const double d = Sat(hi_ * o.hi_);
+  const double a = MulSat(lo_, o.lo_);
+  const double b = MulSat(lo_, o.hi_);
+  const double c = MulSat(hi_, o.lo_);
+  const double d = MulSat(hi_, o.hi_);
   return Interval(std::min(std::min(a, b), std::min(c, d)),
                   std::max(std::max(a, b), std::max(c, d)));
+}
+
+Interval Interval::Div(const Interval& o) const {
+  if (empty() || o.empty()) return Interval();
+  // Divisor strictly one-signed: ordinary outward-rounded quotient hull.
+  if (o.lo_ > 0 || o.hi_ < 0) {
+    const double a = DivSat(lo_, o.lo_);
+    const double b = DivSat(lo_, o.hi_);
+    const double c = DivSat(hi_, o.lo_);
+    const double d = DivSat(hi_, o.hi_);
+    return Interval(std::min(std::min(a, b), std::min(c, d)),
+                    std::max(std::max(a, b), std::max(c, d)));
+  }
+  // Divisor contains zero. The quotient is unbounded near the pole; the
+  // only sound convex answers are half-lines (when the divisor touches
+  // zero only from one side and the numerator is one-signed) or the whole
+  // line. [0,0] divisors and zero-containing numerators get Whole().
+  if (o.lo_ == 0 && o.hi_ == 0) return Whole();
+  if (lo_ > 0) {
+    if (o.lo_ == 0) return Interval(DivSat(lo_, o.hi_), kInf);   // divisor (0, hi]
+    if (o.hi_ == 0) return Interval(-kInf, DivSat(lo_, o.lo_));  // divisor [lo, 0)
+  } else if (hi_ < 0) {
+    if (o.lo_ == 0) return Interval(-kInf, DivSat(hi_, o.hi_));
+    if (o.hi_ == 0) return Interval(DivSat(hi_, o.lo_), kInf);
+  }
+  return Whole();
 }
 
 Interval Interval::Neg() const {
@@ -106,6 +151,26 @@ int Interval::AlwaysLt(const Interval& o) const {
   if (hi_ < o.lo_) return 1;
   if (lo_ >= o.hi_) return 0;
   return -1;
+}
+
+int Interval::AlwaysLe(const Interval& o) const {
+  if (empty() || o.empty()) return -1;
+  if (hi_ <= o.lo_) return 1;
+  if (lo_ > o.hi_) return 0;
+  return -1;
+}
+
+int Interval::AlwaysEq(const Interval& o) const {
+  if (empty() || o.empty()) return -1;
+  if (lo_ == hi_ && o.lo_ == o.hi_ && lo_ == o.lo_) return 1;
+  if (Intersect(o).empty()) return 0;
+  return -1;
+}
+
+Interval Interval::Widen(const Interval& next) const {
+  if (empty()) return next;
+  if (next.empty()) return *this;
+  return Interval(next.lo_ < lo_ ? -kInf : lo_, next.hi_ > hi_ ? kInf : hi_);
 }
 
 std::string Interval::ToString() const {

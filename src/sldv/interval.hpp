@@ -37,6 +37,11 @@ class Interval {
   [[nodiscard]] Interval Add(const Interval& o) const;
   [[nodiscard]] Interval Sub(const Interval& o) const;
   [[nodiscard]] Interval Mul(const Interval& o) const;
+  /// Outward-safe division. A divisor interval containing zero widens the
+  /// result to cover the unbounded quotients near the pole (the whole line
+  /// when the divisor straddles zero); [0,0] as divisor yields Whole(), not
+  /// empty, because the runtime produces +-inf/NaN rather than trapping.
+  [[nodiscard]] Interval Div(const Interval& o) const;
   [[nodiscard]] Interval Neg() const;
   [[nodiscard]] Interval Abs() const;
   [[nodiscard]] Interval Min(const Interval& o) const;
@@ -56,6 +61,12 @@ class Interval {
   /// Tri-state comparison outcome over the interval: 1 = always true,
   /// 0 = always false, -1 = undecided.
   [[nodiscard]] int AlwaysLt(const Interval& o) const;
+  [[nodiscard]] int AlwaysLe(const Interval& o) const;
+  [[nodiscard]] int AlwaysEq(const Interval& o) const;
+
+  /// Classic widening: bounds that grew since *this jump straight to
+  /// +-kInf so fixpoint iteration over loops/state terminates.
+  [[nodiscard]] Interval Widen(const Interval& next) const;
 
   [[nodiscard]] std::string ToString() const;
 

@@ -1,0 +1,181 @@
+// Exhaustive edge-case tests for the interval domain: empty, point, and
+// +-inf intervals, NaN endpoints, and the zero-straddling division cases
+// that the static analyzer leans on for its soundness guarantee.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "sldv/interval.hpp"
+
+namespace cftcg::sldv {
+namespace {
+
+constexpr double kInf = Interval::kInf;
+const double kRealInf = std::numeric_limits<double>::infinity();
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(IntervalTest, EmptyPropagatesThroughEverything) {
+  const Interval e;
+  const Interval x(1, 2);
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.width(), 0);
+  EXPECT_FALSE(e.Contains(0));
+  EXPECT_TRUE(e.Add(x).empty());
+  EXPECT_TRUE(x.Add(e).empty());
+  EXPECT_TRUE(e.Sub(x).empty());
+  EXPECT_TRUE(e.Mul(x).empty());
+  EXPECT_TRUE(e.Div(x).empty());
+  EXPECT_TRUE(x.Div(e).empty());
+  EXPECT_TRUE(e.Neg().empty());
+  EXPECT_TRUE(e.Abs().empty());
+  EXPECT_TRUE(e.Min(x).empty());
+  EXPECT_TRUE(e.Max(x).empty());
+  EXPECT_TRUE(e.Clamp(0, 1).empty());
+  EXPECT_TRUE(e.Intersect(x).empty());
+  EXPECT_EQ(e.Union(x), x);
+  EXPECT_EQ(x.Union(e), x);
+  EXPECT_EQ(e.AlwaysLt(x), -1);
+  EXPECT_EQ(e.AlwaysLe(x), -1);
+  EXPECT_EQ(e.AlwaysEq(x), -1);
+  EXPECT_EQ(e.ToString(), "[]");
+}
+
+TEST(IntervalTest, PointArithmetic) {
+  const Interval p = Interval::Point(3);
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.width(), 0);
+  EXPECT_TRUE(p.Contains(3));
+  EXPECT_FALSE(p.Contains(3.0000001));
+  EXPECT_EQ(p.Add(Interval::Point(4)), Interval::Point(7));
+  EXPECT_EQ(p.Sub(Interval::Point(4)), Interval::Point(-1));
+  EXPECT_EQ(p.Mul(Interval::Point(-2)), Interval::Point(-6));
+  EXPECT_EQ(p.Div(Interval::Point(2)), Interval::Point(1.5));
+  EXPECT_EQ(p.Neg(), Interval::Point(-3));
+  EXPECT_EQ(Interval::Point(-3).Abs(), Interval::Point(3));
+  EXPECT_EQ(p.AlwaysEq(Interval::Point(3)), 1);
+  EXPECT_EQ(p.AlwaysEq(Interval::Point(4)), 0);
+  EXPECT_EQ(p.AlwaysEq(Interval(2, 4)), -1);
+}
+
+TEST(IntervalTest, MixedSignMultiplication) {
+  EXPECT_EQ(Interval(-2, 3).Mul(Interval(-5, 7)), Interval(-15, 21));
+  EXPECT_EQ(Interval(-2, -1).Mul(Interval(-4, -3)), Interval(3, 8));
+  EXPECT_EQ(Interval(0, 0).Mul(Interval(-kInf, kInf)), Interval(0, 0));
+}
+
+TEST(IntervalTest, DivByOneSignedDivisor) {
+  EXPECT_EQ(Interval(6, 12).Div(Interval(2, 3)), Interval(2, 6));
+  EXPECT_EQ(Interval(6, 12).Div(Interval(-3, -2)), Interval(-6, -2));
+  EXPECT_EQ(Interval(-12, -6).Div(Interval(2, 3)), Interval(-6, -2));
+  EXPECT_EQ(Interval(-12, 6).Div(Interval(2, 3)), Interval(-6, 3));
+}
+
+TEST(IntervalTest, DivByZeroContainingDivisorIsOutwardSafe) {
+  // Straddling divisor: the quotient can land anywhere.
+  EXPECT_EQ(Interval(1, 2).Div(Interval(-1, 1)), Interval::Whole());
+  // Point-zero divisor: runtime yields +-inf/NaN, so Whole(), never empty.
+  EXPECT_EQ(Interval(1, 2).Div(Interval::Point(0)), Interval::Whole());
+  EXPECT_EQ(Interval(-5, 5).Div(Interval::Point(0)), Interval::Whole());
+  // Zero-touching divisor with one-signed numerator: half-line.
+  EXPECT_EQ(Interval(1, 2).Div(Interval(0, 4)), Interval(0.25, kInf));
+  EXPECT_EQ(Interval(1, 2).Div(Interval(-4, 0)), Interval(-kInf, -0.25));
+  EXPECT_EQ(Interval(-2, -1).Div(Interval(0, 4)), Interval(-kInf, -0.25));
+  EXPECT_EQ(Interval(-2, -1).Div(Interval(-4, 0)), Interval(0.25, kInf));
+  // Zero-containing numerator over zero-touching divisor: whole line.
+  EXPECT_EQ(Interval(-1, 1).Div(Interval(0, 4)), Interval::Whole());
+}
+
+TEST(IntervalTest, DivResultsAlwaysContainConcreteQuotients) {
+  // Sampled soundness: x/y for x,y drawn from the operand boxes must land
+  // inside the interval quotient whenever the divisor sample is nonzero.
+  const Interval xs(-3, 5);
+  const Interval ys(-2, 4);
+  const Interval q = xs.Div(ys);
+  for (double x = xs.lo(); x <= xs.hi(); x += 0.5) {
+    for (double y = ys.lo(); y <= ys.hi(); y += 0.5) {
+      if (y == 0) continue;
+      EXPECT_TRUE(q.Contains(x / y)) << x << "/" << y;
+    }
+  }
+}
+
+TEST(IntervalTest, InfiniteEndpointsSaturateToKInf) {
+  const Interval top(-kInf, kInf);
+  EXPECT_EQ(top.Add(top), top);
+  EXPECT_EQ(top.Sub(top), top);
+  EXPECT_EQ(top.Mul(Interval(2, 3)), top);
+  EXPECT_EQ(top.Div(Interval(2, 3)), top);
+  // Shrinking factors must not pull a saturated ("unbounded") bound back
+  // into the finite range — kInf/2 is not a real ceiling.
+  EXPECT_EQ(top.Mul(Interval(0.25, 0.5)), top);
+  EXPECT_EQ(Interval(0, kInf).Div(Interval(2, 4)), Interval(0, kInf));
+  EXPECT_EQ(Interval(-kInf, -1).Div(Interval(2, 4)), Interval(-kInf, -0.25));
+  // Real IEEE infinities entering through endpoints saturate rather than
+  // producing NaN (inf - inf) in downstream arithmetic.
+  const Interval r(-kRealInf, kRealInf);
+  const Interval sum = r.Add(r);
+  EXPECT_LE(sum.lo(), -kInf);
+  EXPECT_GE(sum.hi(), kInf);
+  EXPECT_FALSE(std::isnan(sum.lo()));
+  EXPECT_FALSE(std::isnan(sum.hi()));
+}
+
+TEST(IntervalTest, NaNEndpointsNeverEscapeArithmetic) {
+  const Interval n(kNaN, kNaN);
+  // NaN comparisons are all false, so lo > hi is false: not "empty".
+  EXPECT_FALSE(n.empty());
+  EXPECT_FALSE(n.Contains(0));
+  for (const Interval& r :
+       {n.Add(Interval(1, 2)), n.Sub(Interval(1, 2)), n.Mul(Interval(1, 2)), n.Div(Interval(1, 2)),
+        Interval(1, 2).Add(n), Interval(1, 2).Mul(n)}) {
+    EXPECT_FALSE(std::isnan(r.lo())) << r.ToString();
+    EXPECT_FALSE(std::isnan(r.hi())) << r.ToString();
+  }
+  // inf * 0 = NaN saturates to 0 instead of poisoning the bound.
+  const Interval inf_times_zero = Interval(kRealInf, kRealInf).Mul(Interval(0, 0));
+  EXPECT_FALSE(std::isnan(inf_times_zero.lo()));
+  EXPECT_FALSE(std::isnan(inf_times_zero.hi()));
+}
+
+TEST(IntervalTest, RefinementOperators) {
+  EXPECT_EQ(Interval(0, 10).RefineLe(Interval::Point(4)), Interval(0, 4));
+  EXPECT_EQ(Interval(0, 10).RefineGe(Interval::Point(4)), Interval(4, 10));
+  EXPECT_TRUE(Interval(5, 10).RefineLt(Interval::Point(5)).empty());
+  EXPECT_TRUE(Interval(0, 4).RefineGt(Interval::Point(4)).empty());
+  EXPECT_EQ(Interval(0, 10).RefineEq(Interval(8, 20)), Interval(8, 10));
+}
+
+TEST(IntervalTest, TriStateComparisons) {
+  EXPECT_EQ(Interval(0, 1).AlwaysLt(Interval(2, 3)), 1);
+  EXPECT_EQ(Interval(3, 4).AlwaysLt(Interval(1, 3)), 0);
+  EXPECT_EQ(Interval(0, 2).AlwaysLt(Interval(1, 3)), -1);
+  EXPECT_EQ(Interval(0, 2).AlwaysLe(Interval(2, 3)), 1);
+  EXPECT_EQ(Interval(3, 4).AlwaysLe(Interval(1, 2)), 0);
+  EXPECT_EQ(Interval(0, 3).AlwaysLe(Interval(2, 3)), -1);
+  EXPECT_EQ(Interval(0, 1).AlwaysEq(Interval(2, 3)), 0);
+}
+
+TEST(IntervalTest, WideningJumpsGrowingBoundsToInfinity) {
+  const Interval prev(0, 10);
+  EXPECT_EQ(prev.Widen(Interval(0, 10)), prev);          // stable: unchanged
+  EXPECT_EQ(prev.Widen(Interval(2, 8)), prev);           // shrink: unchanged
+  EXPECT_EQ(prev.Widen(Interval(0, 11)), Interval(0, kInf));
+  EXPECT_EQ(prev.Widen(Interval(-1, 10)), Interval(-kInf, 10));
+  EXPECT_EQ(prev.Widen(Interval(-1, 11)), Interval::Whole());
+  EXPECT_EQ(Interval().Widen(prev), prev);               // bottom: adopt next
+  EXPECT_EQ(prev.Widen(Interval()), prev);
+}
+
+TEST(IntervalTest, ClampAndOfType) {
+  EXPECT_EQ(Interval(-10, 10).Clamp(0, 5), Interval(0, 5));
+  EXPECT_EQ(Interval(1, 2).Clamp(0, 5), Interval(1, 2));
+  EXPECT_EQ(Interval(7, 9).Clamp(0, 5), Interval(5, 5));
+  const Interval i8 = Interval::OfType(ir::DType::kInt8);
+  EXPECT_EQ(i8, Interval(-128, 127));
+  const Interval b = Interval::OfType(ir::DType::kBool);
+  EXPECT_EQ(b, Interval(0, 1));
+}
+
+}  // namespace
+}  // namespace cftcg::sldv

@@ -92,14 +92,16 @@ TEST(ModelTest, AddBlockAssignsIds) {
 }
 
 TEST(ModelTest, DriverOf) {
+  // Ids captured immediately: the reference AddBlock returns dangles once a
+  // later AddBlock reallocates the block vector.
   Model m("t");
-  auto& c = m.AddBlock(BlockKind::kConstant, "c");
-  auto& g = m.AddBlock(BlockKind::kGain, "g");
-  m.AddWire(PortRef{c.id(), 0}, g.id(), 0);
-  const Wire* w = m.DriverOf(g.id(), 0);
+  const BlockId c = m.AddBlock(BlockKind::kConstant, "c").id();
+  const BlockId g = m.AddBlock(BlockKind::kGain, "g").id();
+  m.AddWire(PortRef{c, 0}, g, 0);
+  const Wire* w = m.DriverOf(g, 0);
   ASSERT_NE(w, nullptr);
-  EXPECT_EQ(w->src.block, c.id());
-  EXPECT_EQ(m.DriverOf(g.id(), 1), nullptr);
+  EXPECT_EQ(w->src.block, c);
+  EXPECT_EQ(m.DriverOf(g, 1), nullptr);
 }
 
 TEST(ModelTest, InportsSortedByPortIndex) {

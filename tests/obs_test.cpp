@@ -176,7 +176,8 @@ TEST(ScopedTimerTest, StopIsIdempotent) {
     span.Stop();
     span.Stop();  // no second sample
   }                // destructor: still no second sample
-  const HistogramSnapshot* hs = registry.Snapshot().FindHistogram("phase.once.seconds");
+  const RegistrySnapshot snap = registry.Snapshot();  // keep the snapshot alive
+  const HistogramSnapshot* hs = snap.FindHistogram("phase.once.seconds");
   ASSERT_NE(hs, nullptr);
   EXPECT_EQ(hs->count, 1U);
 }

@@ -2,8 +2,10 @@
 //
 //   cftcg info  <model.cmx>                      model statistics
 //   cftcg gen   <model.cmx> [-o out.c]           emit instrumented fuzzing code
+//   cftcg analyze <model.cmx> [--json FILE]      static interval analysis: objective
+//                                                reachability verdicts, lint, inport ranges
 //   cftcg fuzz  <model.cmx> [--seconds N] [--seed N] [--out DIR] [--fuzz-only] [-j N]
-//               [--stats-every N] [--trace out.jsonl] [--metrics out.json]
+//               [--analyze] [--stats-every N] [--trace out.jsonl] [--metrics out.json]
 //                                                run a campaign, export CSV tests
 //   cftcg run   <model.cmx> --csv test.csv       replay a CSV test case
 //   cftcg trace-summary <trace.jsonl>            summarize a campaign trace
@@ -28,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/report.hpp"
 #include "bench_models/bench_models.hpp"
 #include "cftcg/experiment.hpp"
 #include "cftcg/pipeline.hpp"
@@ -39,6 +42,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "parser/model_io.hpp"
 #include "support/strings.hpp"
@@ -52,8 +56,13 @@ int Usage() {
       "usage:\n"
       "  cftcg info  <model.cmx>\n"
       "  cftcg gen   <model.cmx> [-o out.c]\n"
+      "  cftcg analyze <model.cmx> [--json FILE]\n"
+      "              static interval analysis: per-objective reachability\n"
+      "              verdicts, lint findings, heuristic inport ranges\n"
       "  cftcg fuzz  <model.cmx> [--seconds N] [--seed N] [--out DIR] [--fuzz-only]\n"
       "              [-j N | --jobs N]    parallel fuzzing with N workers\n"
+      "              [--analyze]          static analysis first: justified residuals,\n"
+      "                                   early stop, boundary seeds\n"
       "              [--minimize]         reduce + shrink the suite before export\n"
       "              [--stats-every N]    periodic status line + stat events, every N s\n"
       "              [--trace FILE]       write a JSONL campaign event trace\n"
@@ -139,6 +148,24 @@ int CmdGen(const std::string& path, const std::string& out_path) {
   return 0;
 }
 
+/// Converts the analyzer's heuristic inport intervals into boundary-seed
+/// ranges: only fully bounded intervals activate (an unbounded side means
+/// the analyzer learned nothing useful about that field's thresholds).
+std::vector<fuzz::FieldRange> BoundarySeedRanges(const std::vector<sldv::Interval>& ranges) {
+  std::vector<fuzz::FieldRange> out;
+  for (const auto& r : ranges) {
+    fuzz::FieldRange fr;
+    if (!r.empty() && std::fabs(r.lo()) < sldv::Interval::kInf &&
+        std::fabs(r.hi()) < sldv::Interval::kInf) {
+      fr.lo = r.lo();
+      fr.hi = r.hi();
+      fr.active = true;
+    }
+    out.push_back(fr);
+  }
+  return out;
+}
+
 struct TelemetryFlags {
   double stats_every = 0;   // 0: no periodic status line
   std::string trace_path;   // empty: no JSONL trace
@@ -146,7 +173,7 @@ struct TelemetryFlags {
 };
 
 int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const std::string& outdir,
-            bool fuzz_only, bool minimize, int jobs, const TelemetryFlags& tf) {
+            bool fuzz_only, bool minimize, bool analyze, int jobs, const TelemetryFlags& tf) {
   auto cm = Load(path);
   if (!cm) return 1;
 
@@ -184,6 +211,36 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
     margins = std::make_unique<coverage::MarginRecorder>();
   }
 
+  // --analyze: run the static analyzer up front. Its proved-unreachable
+  // verdicts shrink the stopping frontier (the campaign ends once every
+  // *reachable* slot is covered) and label justified residuals; its
+  // heuristic inport ranges become boundary corpus seeds.
+  const coverage::JustificationSet* justifications = nullptr;
+  std::vector<fuzz::FieldRange> boundary_ranges;
+  if (analyze) {
+    const analysis::ModelAnalysis& ma = cm->analysis();
+    justifications = &ma.justifications;
+    boundary_ranges = BoundarySeedRanges(ma.inport_ranges);
+    std::printf("analysis: %s in %d iteration(s); %zu objective(s) justified unreachable, "
+                "%zu lint finding(s)\n",
+                ma.converged ? "converged" : "did not converge", ma.iterations,
+                ma.justifications.NumExcluded(), ma.lints.size());
+    if (telemetry.registry != nullptr) {
+      telemetry.registry->GetGauge("analysis.iterations").Set(ma.iterations);
+      telemetry.registry->GetGauge("analysis.justified")
+          .Set(static_cast<double>(ma.justifications.NumExcluded()));
+      telemetry.registry->GetGauge("analysis.lints").Set(static_cast<double>(ma.lints.size()));
+    }
+    if (telemetry.trace != nullptr) {
+      obs::TraceEvent ev("analysis");
+      ev.U64("converged", ma.converged ? 1 : 0)
+          .I64("iterations", ma.iterations)
+          .U64("justified", ma.justifications.NumExcluded())
+          .U64("lints", ma.lints.size());
+      telemetry.trace->Emit(ev);
+    }
+  }
+
   fuzz::FuzzBudget budget;
   budget.wall_seconds = seconds;
   fuzz::CampaignResult result;
@@ -195,6 +252,8 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
     options.model_oriented = !fuzz_only;
     options.telemetry = use;
     options.provenance = provenance.get();
+    options.justifications = justifications;
+    options.boundary_seed_ranges = boundary_ranges;
     fuzz::ParallelOptions par;
     par.num_workers = jobs;
     auto presult = cm->FuzzParallel(options, budget, par);
@@ -202,6 +261,17 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
     std::printf("parallel: %d workers, %llu rounds, %llu corpus imports\n", jobs,
                 static_cast<unsigned long long>(presult.rounds),
                 static_cast<unsigned long long>(presult.imports));
+  } else if (analyze) {
+    fuzz::FuzzerOptions options;
+    options.seed = seed;
+    options.model_oriented = !fuzz_only;
+    options.telemetry = use;
+    options.provenance = provenance.get();
+    options.margins = margins.get();
+    options.justifications = justifications;
+    options.boundary_seed_ranges = boundary_ranges;
+    obs::ScopedTimer span(fuzz_only ? "tool.FuzzOnly" : "tool.CFTCG");
+    result = cm->Fuzz(options, budget);
   } else {
     result = RunTool(*cm, fuzz_only ? Tool::kFuzzOnly : Tool::kCftcg, budget, seed, use,
                      provenance.get(), margins.get());
@@ -398,6 +468,24 @@ bool WriteArtifact(const std::string& path, const std::string& content, const ch
   return true;
 }
 
+/// `cftcg analyze`: runs the static analyzer alone and renders its report —
+/// per-objective reachability verdicts with reasons, lint findings, and the
+/// heuristic inport ranges. `--json FILE` ("-" = stdout) emits the
+/// machine-readable document instead of the text rendering.
+int CmdAnalyze(const std::string& path, const std::string& json_path) {
+  auto cm = Load(path);
+  if (!cm) return 1;
+  const analysis::ModelAnalysis& ma = cm->analysis();
+  if (!json_path.empty()) {
+    return WriteArtifact(json_path, analysis::AnalysisReportJson(cm->scheduled(), ma) + "\n",
+                         "analysis report (JSON)")
+               ? 0
+               : 1;
+  }
+  std::fputs(analysis::FormatAnalysisReport(cm->scheduled(), ma).c_str(), stdout);
+  return 0;
+}
+
 /// `cftcg explain`: decodes a campaign trace's provenance events (objective /
 /// corpus / residual / provenance, plus start/stop for context) into the
 /// campaign-explorer HTML and machine-readable first-hit tables. Tolerant of
@@ -449,6 +537,8 @@ int CmdExplain(const std::string& trace_path, const std::string& html_path,
       } else {
         r.unreached = true;
       }
+      r.justified = ev.NumberOr("justified", 0) != 0;
+      r.reason = ev.StringOr("reason", "");
       data.residuals.push_back(std::move(r));
     } else if (kind == "provenance") {
       data.objectives_total = static_cast<std::size_t>(ev.NumberOr("total", 0));
@@ -501,9 +591,12 @@ int CmdExplain(const std::string& trace_path, const std::string& html_path,
     for (std::size_t i = 0; i < data.residuals.size(); ++i) {
       const auto& r = data.residuals[i];
       if (i > 0) json += ',';
-      json += StrFormat("{\"name\":\"%s\",\"decision\":%d,\"outcome\":%d,\"distance\":%s}",
-                        obs::JsonEscape(r.name).c_str(), r.decision, r.outcome,
-                        r.unreached ? "\"unreached\"" : obs::JsonNumber(r.distance).c_str());
+      json += StrFormat(
+          "{\"name\":\"%s\",\"decision\":%d,\"outcome\":%d,\"distance\":%s,"
+          "\"justified\":%s,\"reason\":\"%s\"}",
+          obs::JsonEscape(r.name).c_str(), r.decision, r.outcome,
+          r.unreached ? "\"unreached\"" : obs::JsonNumber(r.distance).c_str(),
+          r.justified ? "true" : "false", obs::JsonEscape(r.reason).c_str());
     }
     json += "]}\n";
     if (!WriteArtifact(json_path, json, "first-hit table (JSON)")) return 1;
@@ -552,7 +645,9 @@ int CmdExplain(const std::string& trace_path, const std::string& html_path,
                   o.chain.c_str());
     }
     for (const auto& r : data.residuals) {
-      if (r.unreached) {
+      if (r.justified) {
+        std::printf("  residual %-40s justified: %s\n", r.name.c_str(), r.reason.c_str());
+      } else if (r.unreached) {
         std::printf("  residual %-40s unreached\n", r.name.c_str());
       } else {
         std::printf("  residual %-40s best distance %.6g\n", r.name.c_str(), r.distance);
@@ -684,6 +779,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   bool fuzz_only = false;
   bool minimize = false;
+  bool analyze = false;
   int jobs = 1;
   TelemetryFlags tf;
   for (int i = 3; i < argc; ++i) {
@@ -698,6 +794,7 @@ int main(int argc, char** argv) {
     else if (a == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     else if (a == "--fuzz-only") fuzz_only = true;
     else if (a == "--minimize") minimize = true;
+    else if (a == "--analyze") analyze = true;
     else if (a == "-j" || a == "--jobs") jobs = std::atoi(next().c_str());
     else if (a == "--stats-every") tf.stats_every = std::atof(next().c_str());
     else if (a == "--trace") tf.trace_path = next();
@@ -706,7 +803,10 @@ int main(int argc, char** argv) {
 
   if (cmd == "info") return CmdInfo(target);
   if (cmd == "gen") return CmdGen(target, out);
-  if (cmd == "fuzz") return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize, jobs, tf);
+  if (cmd == "analyze") return CmdAnalyze(target, json);
+  if (cmd == "fuzz") {
+    return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize, analyze, jobs, tf);
+  }
   if (cmd == "run") return CmdRun(target, csv);
   if (cmd == "cover") return CmdCover(target, csv_dir, html);
   if (cmd == "trace-summary") return CmdTraceSummary(target);
