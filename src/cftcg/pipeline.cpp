@@ -1,5 +1,6 @@
 #include "cftcg/pipeline.hpp"
 
+#include "fuzz/checkpoint.hpp"
 #include "obs/timer.hpp"
 #include "parser/model_io.hpp"
 
@@ -114,7 +115,13 @@ fuzz::ParallelCampaignResult CompiledModel::FuzzParallel(const fuzz::FuzzerOptio
                                                          const fuzz::ParallelOptions& parallel) {
   if (parallel.num_workers <= 1) {
     fuzz::ParallelCampaignResult out;
-    out.merged = Fuzz(options, budget);
+    fuzz::FuzzerOptions seq = options;
+    // A one-worker checkpoint resumes through the sequential engine.
+    if (parallel.resume != nullptr && !parallel.resume->workers.empty()) {
+      seq.resume = &parallel.resume->workers[0];
+    }
+    out.merged = Fuzz(seq, budget);
+    out.interrupted = out.merged.interrupted;
     out.worker_executions.push_back(out.merged.executions);
     return out;
   }

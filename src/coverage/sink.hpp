@@ -100,6 +100,25 @@ class CoverageSink {
   /// Enables margin recording (constraint baseline); pass nullptr to disable.
   void set_margin_recorder(MarginRecorder* m) { margins_ = m; }
 
+  /// Restores checkpointed campaign-cumulative state: the total bitmap
+  /// (as raw words for size()) and the per-decision evaluation sets. The
+  /// shapes must match this sink's spec; returns false (state untouched)
+  /// otherwise. `curr` is per-iteration scratch and is simply cleared.
+  bool RestoreCampaign(std::vector<std::uint64_t> total_words,
+                       const std::vector<std::vector<std::uint64_t>>& evals) {
+    if (evals.size() != evals_.size()) return false;
+    if (!total_.Restore(total_.size(), std::move(total_words))) return false;
+    for (std::size_t d = 0; d < evals.size(); ++d) {
+      evals_[d].clear();
+      for (std::uint64_t e : evals[d]) {
+        if (evals_[d].size() >= kMaxEvalsPerDecision) break;
+        evals_[d].insert(e);
+      }
+    }
+    curr_.ClearAll();
+    return true;
+  }
+
   /// Full campaign reset (keeps the spec binding).
   void ResetCampaign();
 

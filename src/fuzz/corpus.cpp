@@ -13,6 +13,20 @@ void Corpus::Add(CorpusEntry entry) {
   entries_.push_back(std::move(entry));
 }
 
+void Corpus::Restore(std::vector<CorpusEntry> entries) {
+  entries_ = std::move(entries);
+  cumulative_energy_.clear();
+  cumulative_energy_.reserve(entries_.size());
+  total_energy_ = 0;
+  max_metric_ = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    assert(entries_[i].id == static_cast<std::int64_t>(i));
+    total_energy_ += entries_[i].metric + 1;
+    cumulative_energy_.push_back(total_energy_);
+    max_metric_ = std::max(max_metric_, entries_[i].metric);
+  }
+}
+
 const CorpusEntry& Corpus::Pick(Rng& rng) const {
   assert(!entries_.empty());
   // Entry i owns the roll interval [cumulative_[i-1], cumulative_[i]) — the

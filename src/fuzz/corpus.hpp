@@ -43,6 +43,11 @@ class Corpus {
   /// Stamps the entry with the next id (insertion order) and stores it.
   void Add(CorpusEntry entry);
 
+  /// Replaces the whole corpus with checkpointed entries (ids preserved)
+  /// and rebuilds the energy prefix sums. Entries must already be in
+  /// insertion order with ids 0..n-1, as SaveState captured them.
+  void Restore(std::vector<CorpusEntry> entries);
+
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] const CorpusEntry& entry(std::size_t i) const { return entries_[i]; }

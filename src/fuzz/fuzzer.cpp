@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <limits>
 
+#include "fuzz/checkpoint.hpp"
 #include "ir/value.hpp"
 #include "obs/clock.hpp"
+#include "support/atomic_file.hpp"
 
 namespace cftcg::fuzz {
 
@@ -55,6 +58,40 @@ class Fuzzer::Monitor {
                          .F64("budget_s", budget.wall_seconds)
                          .I64("fuzz_slots", spec_->FuzzBranchCount())
                          .I64("outcome_slots", spec_->num_outcome_slots()));
+  }
+
+  /// Emitted instead of OnStart when a campaign restores from a checkpoint.
+  void OnResume(const FuzzerOptions& options, const CampaignResult& result,
+                double resumed_elapsed_s, std::size_t corpus_size) {
+    if (tm_ == nullptr || tm_->trace == nullptr) return;
+    tm_->trace->Emit(obs::TraceEvent("resume")
+                         .Str("mode", options.model_oriented ? "cftcg" : "fuzz_only")
+                         .U64("seed", options.seed)
+                         .U64("exec", result.executions)
+                         .U64("corpus", corpus_size)
+                         .U64("test_cases", result.test_cases.size())
+                         .F64("resumed_elapsed_s", resumed_elapsed_s));
+  }
+
+  void OnCheckpoint(double t, std::uint64_t exec, std::size_t bytes, bool ok) {
+    if (tm_ == nullptr) return;
+    if (tm_->registry != nullptr) tm_->registry->GetCounter("fuzz.checkpoints").Increment();
+    if (tm_->trace == nullptr) return;
+    tm_->trace->Emit(obs::TraceEvent("checkpoint")
+                         .F64("time_s", t)
+                         .U64("exec", exec)
+                         .U64("bytes", bytes)
+                         .U64("ok", ok ? 1 : 0));
+  }
+
+  void OnHang(double t, std::uint64_t exec, std::size_t input_bytes, const std::string& file) {
+    if (tm_ == nullptr) return;
+    if (tm_->registry != nullptr) tm_->registry->GetCounter("fuzz.hangs").Increment();
+    if (tm_->trace == nullptr) return;
+    obs::TraceEvent ev("hang");
+    ev.F64("time_s", t).U64("exec", exec).U64("input_bytes", input_bytes);
+    if (!file.empty()) ev.Str("file", file);
+    tm_->trace->Emit(ev);
   }
 
   void OnNewCoverage(double t, const CampaignResult& result, const TestCase& tc,
@@ -297,6 +334,8 @@ Fuzzer::Fuzzer(const vm::Program& instrumented, const coverage::CoverageSpec& sp
   // Comparison tracing (libFuzzer TORC): operands of failed equality
   // comparisons feed the mutation dictionary in both modes.
   machine_.set_cmp_trace(&cmp_trace_);
+  // Hang containment: cap backward control transfers per model iteration.
+  machine_.set_step_budget(options_.step_budget);
   if (!options_.field_ranges.empty()) tuple_mutator_.SetFieldRanges(options_.field_ranges);
   // Residual-distance recording: margin events only fire if `instrumented`
   // carries kMargin instructions (the caller picks the lowering).
@@ -334,10 +373,17 @@ std::size_t Fuzzer::RunOneInstrumented(const std::vector<std::uint8_t>& data, bo
   bool any_new = false;
   std::size_t total_new = 0;
   std::uint64_t signature = 1469598103934665603ULL;
+  last_input_hung_ = false;
   for (std::size_t off = 0; off + tuple_size <= data.size(); off += tuple_size) {
     sink_.BeginIteration();                    // g_CurrCov = {0,...}
     machine_.SetInputsFromBytes(data.data() + off);
-    machine_.Step(&sink_);                     // Model_step(tuple)
+    if (!machine_.Step(&sink_)) {              // Model_step(tuple)
+      // Step budget blown: discard the aborted iteration's partial coverage
+      // and stop replaying this input; the caller quarantines it. Coverage
+      // accumulated by earlier (complete) iterations is kept.
+      last_input_hung_ = true;
+      break;
+    }
     ++model_iterations_;
     const std::size_t fresh = sink_.AccumulateIteration();  // new bits vs g_TotalCov
     if (fresh > 0) {
@@ -372,6 +418,7 @@ std::size_t Fuzzer::RunOneEdges(const std::vector<std::uint8_t>& data, bool* fou
   if (!fuzz_machine_) {
     fuzz_machine_ = std::make_unique<vm::Machine>(*fuzz_only_);
     fuzz_machine_->set_cmp_trace(&cmp_trace_);
+    fuzz_machine_->set_step_budget(options_.step_budget);
   }
   vm::Machine* fuzz_machine = fuzz_machine_.get();
   if (edge_total_.empty()) {
@@ -382,9 +429,13 @@ std::size_t Fuzzer::RunOneEdges(const std::vector<std::uint8_t>& data, bool* fou
   const std::size_t tuple_size = fuzz_only_->TupleSize();
   fuzz_machine->Reset();
   assert(tuple_size == instrumented_->TupleSize());
+  last_input_hung_ = false;
   for (std::size_t off = 0; off + tuple_size <= data.size(); off += tuple_size) {
     fuzz_machine->SetInputsFromBytes(data.data() + off);
-    fuzz_machine->Step(nullptr, edge_curr_.data());
+    if (!fuzz_machine->Step(nullptr, edge_curr_.data())) {
+      last_input_hung_ = true;
+      break;
+    }
     ++model_iterations_;
   }
   bool any_new = false;
@@ -426,9 +477,11 @@ void Fuzzer::Begin(const FuzzBudget& budget) {
   assert(!campaign_active_);
   campaign_active_ = true;
   campaign_done_ = false;
+  interrupted_ = false;
   budget_ = budget;
   result_ = CampaignResult{};
   best_metric_ = 0;
+  time_base_ = 0;
   track_strategies_ = options_.model_oriented;
   // One monotonic clock (obs::Clock) drives every timestamp of the
   // campaign: TestCase::time_s, elapsed_s, and trace-event times.
@@ -436,23 +489,35 @@ void Fuzzer::Begin(const FuzzBudget& budget) {
   monitor_ = std::make_unique<Monitor>(options_.telemetry, sink_, *spec_, corpus_,
                                        options_.provenance, options_.margins,
                                        options_.justifications);
-  monitor_->OnStart(options_, budget_);
 
   // Per-objective first-hit attribution. Runs only on corpus admissions
   // (rare), so a provenance-enabled campaign pays nothing per execution;
   // a campaign without a ProvenanceMap skips even the admission-time work.
   if (options_.provenance != nullptr) seen_eval_sizes_.assign(spec_->decisions().size(), 0);
 
-  const std::size_t tuple_size = std::max<std::size_t>(instrumented_->TupleSize(), 1);
-
-  // Seed corpus: a handful of short random inputs, then (when the static
-  // analyzer supplied inport ranges) deterministic boundary-value inputs.
-  for (std::size_t k = 0; k < options_.seed_inputs; ++k) {
-    const std::size_t n = 1 + rng_.NextBelow(32);
-    AdmitSeed(tuple_mutator_.RandomInput(n, rng_), "seed", tuple_size);
+  if (options_.resume != nullptr) {
+    // Resume path: restore the checkpointed state instead of seeding. The
+    // first mutation drawn after this is the exact one the interrupted
+    // campaign would have drawn next.
+    RestoreFromState(*options_.resume);
+  } else {
+    monitor_->OnStart(options_, budget_);
+    const std::size_t tuple_size = std::max<std::size_t>(instrumented_->TupleSize(), 1);
+    // Seed corpus: a handful of short random inputs, then (when the static
+    // analyzer supplied inport ranges) deterministic boundary-value inputs.
+    for (std::size_t k = 0; k < options_.seed_inputs; ++k) {
+      const std::size_t n = 1 + rng_.NextBelow(32);
+      AdmitSeed(tuple_mutator_.RandomInput(n, rng_), "seed", tuple_size);
+    }
+    SeedBoundaryInputs(tuple_size);
+    frontier_exhausted_ = AllReachableCovered();
   }
-  SeedBoundaryInputs(tuple_size);
-  frontier_exhausted_ = AllReachableCovered();
+  // First periodic checkpoint: the next multiple of checkpoint_every above
+  // the current execution count (resume restarts the cadence from there).
+  next_checkpoint_ =
+      options_.checkpoint_every > 0
+          ? (result_.executions / options_.checkpoint_every + 1) * options_.checkpoint_every
+          : std::numeric_limits<std::uint64_t>::max();
 }
 
 void Fuzzer::AdmitSeed(std::vector<std::uint8_t> data, const char* chain,
@@ -468,22 +533,28 @@ void Fuzzer::AdmitSeed(std::vector<std::uint8_t> data, const char* chain,
   } else {
     seed.metric = RunOneEdges(seed.data, &found_new);
     metric = seed.metric;
-    if (found_new) MeasureOnInstrumented(seed.data);
+    if (found_new && !last_input_hung_) MeasureOnInstrumented(seed.data);
   }
   ++result_.executions;
+  if (last_input_hung_) {
+    // A seed that wedges the model is quarantined, not admitted — the rest
+    // of the seed schedule proceeds (same RNG draws as a healthy campaign).
+    QuarantineHang(seed.data);
+    return;
+  }
   seed.new_slots = new_slots;
   seed.signature = last_signature_;
   if (!options_.use_idc_energy) seed.metric = 0;
   if (found_new) {
     result_.test_cases.push_back(
-        TestCase{seed.data, watch_.Elapsed(), new_slots, DecisionOutcomesCovered()});
+        TestCase{seed.data, Elapsed(), new_slots, DecisionOutcomesCovered()});
     monitor_->OnNewCoverage(result_.test_cases.back().time_s, result_,
                             result_.test_cases.back(), metric, tuple_size);
   }
   best_metric_ = std::max(best_metric_, seed.metric);
-  if (options_.provenance != nullptr) Attribute(watch_.Elapsed(), corpus_.next_id(), chain);
+  if (options_.provenance != nullptr) Attribute(Elapsed(), corpus_.next_id(), chain);
   corpus_.Add(std::move(seed));
-  monitor_->OnCorpusAdd(watch_.Elapsed(), corpus_.entry(corpus_.size() - 1), chain);
+  monitor_->OnCorpusAdd(Elapsed(), corpus_.entry(corpus_.size() - 1), chain);
 }
 
 void Fuzzer::SeedBoundaryInputs(std::size_t tuple_size) {
@@ -539,12 +610,21 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
   const std::size_t tuple_size = std::max<std::size_t>(instrumented_->TupleSize(), 1);
 
   while (true) {
-    const double now = watch_.Elapsed();
+    const double now = Elapsed();
     if (now >= monitor_->next_stat_due()) {
       result_.model_iterations = model_iterations_;
       result_.measure_iterations = measure_iterations_;
       result_.strategy_stats = strategy_stats_;
       monitor_->Heartbeat(now, result_, strategy_stats_);
+    }
+    // Cooperative interruption (SIGINT/SIGTERM): the in-flight execution
+    // already finished; flush a final checkpoint and hand back to the
+    // caller, who runs Finish() for the partial report.
+    if (options_.interrupt != nullptr &&
+        options_.interrupt->load(std::memory_order_relaxed)) {
+      interrupted_ = true;
+      if (!options_.checkpoint_path.empty()) WriteCheckpoint();
+      break;
     }
     if (now >= budget_.wall_seconds || result_.executions >= budget_.max_executions) {
       campaign_done_ = true;
@@ -556,7 +636,18 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
       campaign_done_ = true;
       break;
     }
+    // Pathological campaign where every seed hung: nothing to mutate.
+    if (corpus_.empty()) {
+      campaign_done_ = true;
+      break;
+    }
     if (result_.executions >= until_executions) break;  // chunk boundary, not campaign end
+    // Periodic checkpoint, taken between executions so it captures a state
+    // the resumed campaign continues from without perturbing the schedule.
+    if (result_.executions >= next_checkpoint_) {
+      if (!options_.checkpoint_path.empty()) WriteCheckpoint();
+      next_checkpoint_ += options_.checkpoint_every;
+    }
 
     const CorpusEntry& parent = corpus_.Pick(rng_);
     const std::vector<std::uint8_t>& partner =
@@ -576,15 +667,24 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
       metric = IdcDensity(RunOneInstrumented(data, &found_new, &new_slots), data);
     } else {
       metric = RunOneEdges(data, &found_new);
-      if (found_new) MeasureOnInstrumented(data);
+      if (found_new && !last_input_hung_) MeasureOnInstrumented(data);
     }
     const std::uint64_t signature = last_signature_;
     ++result_.executions;
 
+    if (last_input_hung_) {
+      // Step-budget blowout: quarantine the input and move on (libFuzzer's
+      // timeout-artifact handling). Coverage from the input's complete
+      // iterations is kept in the frontier, but the input is neither
+      // admitted nor exported as a test case — it wedges the model.
+      QuarantineHang(data);
+      continue;
+    }
+
     if (found_new) {
       if (track_strategies_) strategy_stats_.CountCredited(applied_);
       result_.test_cases.push_back(
-          TestCase{data, watch_.Elapsed(), new_slots, DecisionOutcomesCovered()});
+          TestCase{data, Elapsed(), new_slots, DecisionOutcomesCovered()});
       monitor_->OnNewCoverage(result_.test_cases.back().time_s, result_,
                               result_.test_cases.back(), metric, tuple_size);
       // Only new coverage can exhaust the frontier, so the scan stays off
@@ -599,7 +699,7 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
       best_metric_ = std::max(best_metric_, metric);
       const std::string chain =
           options_.model_oriented ? StrategyChainString(applied_) : std::string("bytes");
-      if (options_.provenance != nullptr) Attribute(watch_.Elapsed(), corpus_.next_id(), chain);
+      if (options_.provenance != nullptr) Attribute(Elapsed(), corpus_.next_id(), chain);
       CorpusEntry entry;
       entry.data = std::move(data);
       entry.metric = options_.use_idc_energy ? metric : 0;
@@ -609,7 +709,7 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
       entry.depth = parent.depth + 1;
       entry.chain = applied_;
       corpus_.Add(std::move(entry));
-      monitor_->OnCorpusAdd(watch_.Elapsed(), corpus_.entry(corpus_.size() - 1), chain);
+      monitor_->OnCorpusAdd(Elapsed(), corpus_.entry(corpus_.size() - 1), chain);
     }
   }
   result_.model_iterations = model_iterations_;
@@ -642,7 +742,7 @@ void Fuzzer::ImportEntry(const std::vector<std::uint8_t>& data, std::uint64_t si
   entry.new_slots = new_slots;
   entry.signature = signature;
   corpus_.Add(std::move(entry));
-  monitor_->OnCorpusAdd(watch_.Elapsed(), corpus_.entry(corpus_.size() - 1), "import");
+  monitor_->OnCorpusAdd(Elapsed(), corpus_.entry(corpus_.size() - 1), "import");
 }
 
 CampaignResult Fuzzer::Finish() {
@@ -657,22 +757,152 @@ CampaignResult Fuzzer::Finish() {
     for (std::size_t d = 0; d < evals.size(); ++d) {
       const auto more =
           options_.provenance->AttributeMcdc(static_cast<coverage::DecisionId>(d), evals[d],
-                                             result_.executions, watch_.Elapsed(), -1,
+                                             result_.executions, Elapsed(), -1,
                                              "unretained");
       fresh.insert(fresh.end(), more.begin(), more.end());
     }
     monitor_->OnObjectives(fresh);
   }
 
-  result_.elapsed_s = watch_.Elapsed();
+  result_.elapsed_s = Elapsed();
   result_.model_iterations = model_iterations_;
   result_.measure_iterations = measure_iterations_;
   result_.report = coverage::ComputeReport(sink_, options_.justifications);
   result_.strategy_stats = strategy_stats_;
+  // Determinism fingerprints: identical for an interrupted-and-resumed
+  // campaign and an uninterrupted one (times are excluded by construction).
+  result_.corpus_fingerprint = CorpusFingerprint(corpus_);
+  result_.coverage_fingerprint = CoverageFingerprint(sink_);
+  result_.interrupted = interrupted_;
   monitor_->OnStop(result_.elapsed_s, result_);
   campaign_active_ = false;
   campaign_done_ = true;
   return std::move(result_);
+}
+
+FuzzerState Fuzzer::SaveState() const {
+  assert(campaign_active_);
+  FuzzerState s;
+  s.rng_state = rng_.GetState();
+  s.executions = result_.executions;
+  s.model_iterations = model_iterations_;
+  s.measure_iterations = measure_iterations_;
+  s.hangs = result_.hangs;
+  s.elapsed_s = Elapsed();
+  s.best_metric = best_metric_;
+  s.frontier_exhausted = frontier_exhausted_;
+  s.strategy_stats = strategy_stats_;
+  s.corpus.reserve(corpus_.size());
+  for (std::size_t i = 0; i < corpus_.size(); ++i) s.corpus.push_back(corpus_.entry(i));
+  s.test_cases = result_.test_cases;
+  s.total_bits = sink_.total().size();
+  s.total_words = sink_.total().words();
+  s.evals.reserve(sink_.evals().size());
+  for (const auto& set : sink_.evals()) {
+    std::vector<std::uint64_t> sorted(set.begin(), set.end());
+    std::sort(sorted.begin(), sorted.end());  // canonical on-disk order
+    s.evals.push_back(std::move(sorted));
+  }
+  s.seen_eval_sizes.assign(seen_eval_sizes_.begin(), seen_eval_sizes_.end());
+  s.edge_total = edge_total_;
+  s.cmp_trace = cmp_trace_.Save();
+  if (options_.provenance != nullptr) s.provenance_hits = options_.provenance->hits();
+  return s;
+}
+
+std::uint64_t Fuzzer::spec_fingerprint() const { return SpecFingerprint(*spec_, *instrumented_); }
+
+CampaignCheckpoint Fuzzer::MakeCheckpoint() const {
+  CampaignCheckpoint ckpt;
+  ckpt.spec_fingerprint = spec_fingerprint();
+  ckpt.seed = options_.seed;
+  ckpt.model_oriented = options_.model_oriented;
+  ckpt.use_idc_energy = options_.use_idc_energy;
+  ckpt.analyzed = options_.justifications != nullptr;
+  ckpt.max_tuples = options_.max_tuples;
+  ckpt.step_budget = options_.step_budget;
+  ckpt.num_workers = 1;
+  ckpt.scanned = {0};
+  ckpt.elapsed_s = Elapsed();
+  ckpt.workers.push_back(SaveState());
+  return ckpt;
+}
+
+void Fuzzer::RestoreFromState(const FuzzerState& state) {
+  rng_.SetState(state.rng_state);
+  result_.executions = state.executions;
+  result_.test_cases = state.test_cases;
+  result_.hangs = state.hangs;
+  model_iterations_ = state.model_iterations;
+  measure_iterations_ = state.measure_iterations;
+  result_.model_iterations = model_iterations_;
+  result_.measure_iterations = measure_iterations_;
+  strategy_stats_ = state.strategy_stats;
+  best_metric_ = state.best_metric;
+  frontier_exhausted_ = state.frontier_exhausted;
+  time_base_ = state.elapsed_s;
+  corpus_.Restore(state.corpus);
+  const bool sink_ok = state.total_bits == sink_.total().size() &&
+                       sink_.RestoreCampaign(state.total_words, state.evals);
+  assert(sink_ok && "checkpoint coverage shape mismatch (ValidateCheckpoint not run?)");
+  (void)sink_ok;
+  cmp_trace_.Restore(state.cmp_trace);
+  edge_total_ = state.edge_total;
+  if (!edge_total_.empty()) edge_curr_.assign(edge_total_.size(), 0);
+  if (options_.provenance != nullptr) {
+    seen_eval_sizes_.assign(spec_->decisions().size(), 0);
+    for (std::size_t d = 0; d < state.seen_eval_sizes.size() && d < seen_eval_sizes_.size();
+         ++d) {
+      seen_eval_sizes_[d] = static_cast<std::size_t>(state.seen_eval_sizes[d]);
+    }
+    // Replay first-hit attributions in discovery order; the resumed trace
+    // re-emits them so `cftcg explain` works on the resumed trace alone.
+    std::vector<std::size_t> fresh;
+    for (const coverage::ObjectiveFirstHit& hit : state.provenance_hits) {
+      if (options_.provenance->AbsorbHit(hit)) {
+        fresh.push_back(options_.provenance->hits().size() - 1);
+      }
+    }
+    monitor_->OnObjectives(fresh);
+  }
+  monitor_->OnResume(options_, result_, time_base_, corpus_.size());
+}
+
+void Fuzzer::WriteCheckpoint() {
+  const CampaignCheckpoint ckpt = MakeCheckpoint();
+  const std::string bytes = SerializeCheckpoint(ckpt);
+  const Status status = support::WriteFileAtomic(options_.checkpoint_path, bytes);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cftcg: checkpoint write failed: %s\n", status.message().c_str());
+  }
+  monitor_->OnCheckpoint(Elapsed(), result_.executions, bytes.size(), status.ok());
+}
+
+void Fuzzer::QuarantineHang(const std::vector<std::uint8_t>& data) {
+  ++result_.hangs;
+  std::string file;
+  if (!options_.hangs_dir.empty()) {
+    // Content-hashed name: the same wedging input rediscovered (or re-hit
+    // after a resume) maps to the same artifact, libFuzzer-style.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::uint8_t b : data) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "hang-%016llx.bin", static_cast<unsigned long long>(h));
+    if (support::EnsureDir(options_.hangs_dir).ok()) {
+      file = options_.hangs_dir + "/" + name;
+      const Status status = support::WriteFileAtomic(
+          file, std::string_view(reinterpret_cast<const char*>(data.data()), data.size()));
+      if (!status.ok()) {
+        std::fprintf(stderr, "cftcg: hang artifact write failed: %s\n",
+                     status.message().c_str());
+        file.clear();
+      }
+    }
+  }
+  monitor_->OnHang(Elapsed(), result_.executions, data.size(), file);
 }
 
 CampaignResult Fuzzer::Run(const FuzzBudget& budget) {

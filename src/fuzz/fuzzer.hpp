@@ -17,9 +17,11 @@
 //     count iterations of the fuzzing target.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "coverage/provenance.hpp"
@@ -32,6 +34,9 @@
 #include "vm/machine.hpp"
 
 namespace cftcg::fuzz {
+
+struct FuzzerState;        // checkpoint.hpp: full resumable state of one Fuzzer
+struct CampaignCheckpoint; // checkpoint.hpp: on-disk campaign checkpoint
 
 struct FuzzerOptions {
   std::uint64_t seed = 1;
@@ -72,6 +77,32 @@ struct FuzzerOptions {
   /// engine's corpus-sync dedup key). Off by default: the sequential loop
   /// never pays for the hashing.
   bool collect_signatures = false;
+  // -- Campaign durability (checkpoint.hpp) -------------------------------
+  /// Resume from a checkpointed state instead of seeding a fresh corpus.
+  /// Not owned; must outlive Begin(). The caller validates identity with
+  /// ValidateCheckpoint() first.
+  const FuzzerState* resume = nullptr;
+  /// Periodic checkpointing: write `checkpoint_path` atomically every this
+  /// many executions (0 = only on interrupt). Checkpoints are taken between
+  /// executions, so they never perturb the deterministic schedule.
+  std::uint64_t checkpoint_every = 0;
+  /// Destination for checkpoints (periodic and interrupt-time). Empty
+  /// disables checkpointing entirely.
+  std::string checkpoint_path;
+  /// Cooperative interruption (SIGINT/SIGTERM): when the pointed-to flag
+  /// becomes true, RunChunk finishes the in-flight execution, writes a
+  /// final checkpoint (if checkpoint_path is set) and returns; Finish()
+  /// then produces the report as usual. Not owned; may be null.
+  const std::atomic<bool>* interrupt = nullptr;
+  // -- Hang containment ---------------------------------------------------
+  /// Per-model-iteration cap on backward control transfers in the VM (see
+  /// vm::Machine::set_step_budget). Inputs that blow the budget are
+  /// quarantined instead of wedging the campaign. Healthy models never get
+  /// near the default; 0 disables containment.
+  std::uint64_t step_budget = 1 << 20;
+  /// Where quarantined hanging inputs are written (libFuzzer's timeout
+  /// artifacts). Empty: hangs are counted and traced but not saved.
+  std::string hangs_dir;
 };
 
 struct FuzzBudget {
@@ -102,6 +133,17 @@ struct CampaignResult {
   /// accounting). All zero in Fuzz Only mode (byte mutation has no
   /// strategy structure).
   StrategyStats strategy_stats;
+  /// Inputs that exceeded the per-iteration step budget and were quarantined.
+  std::uint64_t hangs = 0;
+  /// True when the campaign stopped on options.interrupt rather than budget
+  /// exhaustion (the report is partial; a checkpoint was written if
+  /// configured).
+  bool interrupted = false;
+  /// Determinism fingerprints of the final campaign state (checkpoint.hpp):
+  /// identical between an interrupted-and-resumed campaign and an
+  /// uninterrupted one.
+  std::uint64_t corpus_fingerprint = 0;
+  std::uint64_t coverage_fingerprint = 0;
 };
 
 class Fuzzer {
@@ -151,6 +193,21 @@ class Fuzzer {
   [[nodiscard]] std::uint64_t executions() const { return result_.executions; }
   [[nodiscard]] std::uint64_t model_iterations() const { return model_iterations_; }
   [[nodiscard]] std::uint64_t measure_iterations() const { return measure_iterations_; }
+  /// True when RunChunk returned because options.interrupt fired (the
+  /// campaign budget is NOT exhausted; a checkpoint was written if
+  /// configured and Finish() still produces the partial report).
+  [[nodiscard]] bool interrupted() const { return interrupted_; }
+
+  // -- Campaign durability (checkpoint.hpp) -------------------------------
+  /// Captures the complete resumable state at the current (inter-execution)
+  /// point. Valid between Begin() and Finish().
+  [[nodiscard]] FuzzerState SaveState() const;
+  /// Wraps SaveState() in a single-worker on-disk checkpoint carrying the
+  /// campaign identity (the parallel driver builds its own multi-worker
+  /// checkpoint from per-worker SaveState() calls).
+  [[nodiscard]] CampaignCheckpoint MakeCheckpoint() const;
+  /// Identity hash this engine validates checkpoints against.
+  [[nodiscard]] std::uint64_t spec_fingerprint() const;
 
  private:
   class Monitor;  // telemetry state for one campaign (defined in fuzzer.cpp)
@@ -165,6 +222,19 @@ class Fuzzer {
   void AdmitSeed(std::vector<std::uint8_t> data, const char* chain, std::size_t tuple_size);
   /// Deterministic boundary-value seeds from options_.boundary_seed_ranges.
   void SeedBoundaryInputs(std::size_t tuple_size);
+  /// Campaign wall time: watch_ plus the elapsed seconds a resumed
+  /// checkpoint already consumed, so wall budgets and timestamps span
+  /// interruptions.
+  [[nodiscard]] double Elapsed() const { return time_base_ + watch_.Elapsed(); }
+  /// Restores every campaign field from a checkpointed state (Begin's
+  /// resume path; replaces seeding).
+  void RestoreFromState(const FuzzerState& state);
+  /// Writes options_.checkpoint_path atomically from MakeCheckpoint().
+  void WriteCheckpoint();
+  /// Books a step-budget blowout: counts it, emits a trace event, and saves
+  /// the input under options_.hangs_dir (content-hashed name, so re-hitting
+  /// the same hang after a resume dedups).
+  void QuarantineHang(const std::vector<std::uint8_t>& data);
   int DecisionOutcomesCovered() const;
   std::size_t IdcDensity(std::size_t metric, const std::vector<std::uint8_t>& data) const;
   void Attribute(double t, std::int64_t entry_id, const std::string& chain);
@@ -201,6 +271,11 @@ class Fuzzer {
   bool campaign_done_ = false;
   bool frontier_exhausted_ = false;  // all reachable slots covered (early stop)
   std::uint64_t last_signature_ = 0;  // coverage signature of the last run input
+  // Campaign durability state.
+  double time_base_ = 0;              // elapsed seconds restored from a checkpoint
+  std::uint64_t next_checkpoint_ = 0; // execution count of the next periodic write
+  bool interrupted_ = false;
+  bool last_input_hung_ = false;      // step budget blew during the last run
 };
 
 }  // namespace cftcg::fuzz

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <limits>
 #include <thread>
 #include <unordered_set>
 
 #include "coverage/report.hpp"
+#include "fuzz/checkpoint.hpp"
 #include "obs/clock.hpp"
 #include "obs/timer.hpp"
+#include "support/atomic_file.hpp"
 #include "support/rng.hpp"
 
 namespace cftcg::fuzz {
@@ -40,6 +43,8 @@ ParallelFuzzer::ParallelFuzzer(const vm::Program& instrumented,
   // what makes a one-worker campaign bit-identical to the sequential
   // Fuzzer — and workers i > 0 draw forked seeds from a master stream
   // (Rng::Fork semantics: seed_i = master.NextU64()).
+  assert(parallel_.resume == nullptr ||
+         parallel_.resume->workers.size() == n);  // ValidateCheckpoint's job
   Rng master(options_.seed);
   for (std::size_t i = 0; i < n; ++i) {
     FuzzerOptions wopts = options_;
@@ -49,6 +54,16 @@ ParallelFuzzer::ParallelFuzzer(const vm::Program& instrumented,
     // would race and per-worker recorders have no merge semantics).
     wopts.telemetry = nullptr;
     wopts.margins = nullptr;
+    // Durability is driver-owned too: a worker seeing the interrupt flag
+    // mid-round would stop at an uneven execution count and wreck the
+    // deterministic round schedule, so workers never see the flag and never
+    // write checkpoints — the driver does both at round barriers, where the
+    // whole campaign state is at a well-defined point. Hang quarantine
+    // stays per-worker (content-hashed names, atomic writes: no collisions).
+    wopts.interrupt = nullptr;
+    wopts.checkpoint_path.clear();
+    wopts.checkpoint_every = 0;
+    if (parallel_.resume != nullptr) wopts.resume = &parallel_.resume->workers[i];
     // Corpus sync needs signatures; a single worker never syncs, so it
     // keeps the caller's setting (default off = zero hot-path hashing).
     if (n > 1) wopts.collect_signatures = true;
@@ -70,15 +85,30 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
   obs::Stopwatch watch;
   obs::CampaignTelemetry* tm = options_.telemetry;
 
+  // Campaign wall time spans interruptions: a resumed driver starts its
+  // clock where the checkpointed one stopped.
+  const double time_base = parallel_.resume != nullptr ? parallel_.resume->elapsed_s : 0;
+  const auto elapsed = [&]() { return time_base + watch.Elapsed(); };
+
   if (tm != nullptr && tm->trace != nullptr) {
-    tm->trace->Emit(obs::TraceEvent("start")
-                        .Str("mode", options_.model_oriented ? "cftcg" : "fuzz_only")
-                        .U64("seed", options_.seed)
-                        .U64("workers", n)
-                        .U64("sync_every", parallel_.sync_every)
-                        .F64("budget_s", budget.wall_seconds)
-                        .I64("fuzz_slots", spec_->FuzzBranchCount())
-                        .I64("outcome_slots", spec_->num_outcome_slots()));
+    if (parallel_.resume != nullptr) {
+      tm->trace->Emit(obs::TraceEvent("resume")
+                          .Str("mode", options_.model_oriented ? "cftcg" : "fuzz_only")
+                          .U64("seed", options_.seed)
+                          .U64("workers", n)
+                          .U64("sync_every", parallel_.sync_every)
+                          .U64("rounds", parallel_.resume->rounds)
+                          .F64("resumed_elapsed_s", time_base));
+    } else {
+      tm->trace->Emit(obs::TraceEvent("start")
+                          .Str("mode", options_.model_oriented ? "cftcg" : "fuzz_only")
+                          .U64("seed", options_.seed)
+                          .U64("workers", n)
+                          .U64("sync_every", parallel_.sync_every)
+                          .F64("budget_s", budget.wall_seconds)
+                          .I64("fuzz_slots", spec_->FuzzBranchCount())
+                          .I64("outcome_slots", spec_->num_outcome_slots()));
+    }
   }
 
   // Execution quota per worker: an even split of the campaign budget, with
@@ -107,11 +137,76 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
   coverage::CoverageSink global(*spec_);
   std::unordered_set<std::uint64_t> seen_sigs;
   std::vector<std::size_t> scanned(n, 0);
+  if (parallel_.resume != nullptr) {
+    // Barrier state from the checkpoint: the signature-dedup set and the
+    // per-worker scan cursors are exactly where the checkpointed barrier
+    // left them (cursors == corpus sizes, so the pre-loop sync is a no-op),
+    // and the round/import counters continue rather than restart.
+    seen_sigs.insert(parallel_.resume->seen_signatures.begin(),
+                     parallel_.resume->seen_signatures.end());
+    for (std::size_t i = 0; i < n && i < parallel_.resume->scanned.size(); ++i) {
+      scanned[i] = static_cast<std::size_t>(parallel_.resume->scanned[i]);
+    }
+    out.rounds = parallel_.resume->rounds;
+    out.imports = parallel_.resume->imports;
+  }
   double next_stat = tm != nullptr && tm->stats_every_s > 0
                          ? tm->stats_every_s
                          : std::numeric_limits<double>::infinity();
   std::uint64_t last_stat_exec = 0;
   double last_stat_time = 0;
+
+  const auto total_executions = [&]() {
+    std::uint64_t exec = 0;
+    for (const auto& w : workers_) exec += w->executions();
+    return exec;
+  };
+
+  // Periodic checkpointing: the driver writes the whole-campaign checkpoint
+  // (worker states + barrier state) once the summed execution count crosses
+  // each checkpoint_every boundary — evaluated at barriers only, so every
+  // checkpoint sits at a deterministic point of the round schedule.
+  std::uint64_t next_checkpoint = std::numeric_limits<std::uint64_t>::max();
+  if (options_.checkpoint_every > 0 && !options_.checkpoint_path.empty()) {
+    const std::uint64_t every = options_.checkpoint_every;
+    next_checkpoint = (total_executions() / every + 1) * every;
+  }
+
+  const auto write_checkpoint = [&]() {
+    CampaignCheckpoint ckpt;
+    ckpt.spec_fingerprint = workers_[0]->spec_fingerprint();
+    ckpt.seed = options_.seed;
+    ckpt.model_oriented = options_.model_oriented;
+    ckpt.use_idc_energy = options_.use_idc_energy;
+    ckpt.analyzed = options_.justifications != nullptr;
+    ckpt.max_tuples = options_.max_tuples;
+    ckpt.step_budget = options_.step_budget;
+    ckpt.num_workers = static_cast<std::uint32_t>(n);
+    ckpt.sync_every = parallel_.sync_every;
+    ckpt.rounds = out.rounds;
+    ckpt.imports = out.imports;
+    ckpt.seen_signatures.assign(seen_sigs.begin(), seen_sigs.end());
+    std::sort(ckpt.seen_signatures.begin(), ckpt.seen_signatures.end());
+    ckpt.scanned.assign(scanned.begin(), scanned.end());
+    ckpt.elapsed_s = elapsed();
+    ckpt.workers.reserve(n);
+    for (const auto& w : workers_) ckpt.workers.push_back(w->SaveState());
+    const std::string bytes = SerializeCheckpoint(ckpt);
+    const Status status = support::WriteFileAtomic(options_.checkpoint_path, bytes);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cftcg: checkpoint write failed: %s\n", status.message().c_str());
+    }
+    if (tm != nullptr && tm->trace != nullptr) {
+      tm->trace->Emit(obs::TraceEvent("checkpoint")
+                          .F64("time_s", elapsed())
+                          .U64("exec", total_executions())
+                          .U64("bytes", bytes.size())
+                          .U64("ok", status.ok() ? 1 : 0));
+    }
+    if (tm != nullptr && tm->registry != nullptr) {
+      tm->registry->GetCounter("fuzz.checkpoints").Increment();
+    }
+  };
 
   const auto sync_round = [&]() {
     if (n < 2) return;
@@ -146,7 +241,7 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
   };
 
   const auto heartbeat = [&]() {
-    const double now = watch.Elapsed();
+    const double now = elapsed();
     if (now < next_stat) return;
     do next_stat += tm->stats_every_s;
     while (next_stat <= now);
@@ -217,6 +312,19 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
     ++out.rounds;
     sync_round();
     if (tm != nullptr) heartbeat();
+    if (total_executions() >= next_checkpoint) {
+      write_checkpoint();
+      next_checkpoint += options_.checkpoint_every;
+    }
+    // Cooperative interruption, honored at the barrier only: workers always
+    // complete their round, so the flushed checkpoint sits at the same
+    // schedule point an uninterrupted campaign passes through.
+    if (options_.interrupt != nullptr &&
+        options_.interrupt->load(std::memory_order_relaxed)) {
+      out.interrupted = true;
+      if (!options_.checkpoint_path.empty()) write_checkpoint();
+      break;
+    }
   }
 
   // Final merge, in worker-id order throughout.
@@ -230,14 +338,21 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
     merged.executions += r.executions;
     merged.model_iterations += r.model_iterations;
     merged.measure_iterations += r.measure_iterations;
+    merged.hangs += r.hangs;
     merged.strategy_stats.MergeFrom(r.strategy_stats);
     merged.test_cases.insert(merged.test_cases.end(), r.test_cases.begin(),
                              r.test_cases.end());
     out.worker_executions.push_back(r.executions);
     global.MergeFrom(workers_[i]->sink());
+    // Worker-id-order fold of the per-worker fingerprints: position-
+    // sensitive, so swapped worker states would not cancel out.
+    merged.corpus_fingerprint =
+        (merged.corpus_fingerprint ^ r.corpus_fingerprint) * 1099511628211ULL;
   }
   merged.report = coverage::ComputeReport(global);
-  merged.elapsed_s = watch.Elapsed();
+  merged.coverage_fingerprint = CoverageFingerprint(global);
+  merged.elapsed_s = elapsed();
+  merged.interrupted = out.interrupted;
 
   // Corpus fingerprint: the union of admitted coverage signatures.
   {

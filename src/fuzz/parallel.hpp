@@ -47,6 +47,14 @@ struct ParallelOptions {
   /// discoveries faster. The round structure is part of the deterministic
   /// schedule: changing it changes which mutations see imported entries.
   std::uint64_t sync_every = 1024;
+  /// Resume from a multi-worker checkpoint (checkpoint.hpp). Must carry
+  /// exactly num_workers worker states and the same sync_every — the caller
+  /// validates with ValidateCheckpoint() first. Not owned; must outlive
+  /// Run(). The driver restores its own barrier state (signature dedup set,
+  /// corpus-scan cursors, round/import counters) and hands each worker its
+  /// FuzzerState; checkpoints are taken at round barriers only, so the
+  /// resumed schedule is bit-identical to an uninterrupted campaign.
+  const CampaignCheckpoint* resume = nullptr;
 };
 
 struct ParallelCampaignResult {
@@ -61,6 +69,10 @@ struct ParallelCampaignResult {
   std::uint64_t rounds = 0;
   /// Cross-worker corpus imports performed (0 when num_workers == 1).
   std::uint64_t imports = 0;
+  /// True when Run() returned because options.interrupt fired at a round
+  /// barrier (a checkpoint was written if checkpoint_path is set; `merged`
+  /// still carries the partial report).
+  bool interrupted = false;
 };
 
 class ParallelFuzzer {

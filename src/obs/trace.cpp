@@ -28,15 +28,27 @@ TraceEvent& TraceEvent::Str(std::string_view key, std::string_view value) {
 }
 
 Result<std::unique_ptr<TraceWriter>> TraceWriter::Open(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "w");
+  // The trace streams into "<path>.partial" and is renamed onto the final
+  // name when the writer closes, so the destination path only ever holds a
+  // complete trace. A campaign killed outright (SIGKILL, power loss) leaves
+  // the .partial behind for inspection instead of a torn file at `path`.
+  const std::string partial = path + ".partial";
+  std::FILE* file = std::fopen(partial.c_str(), "w");
   if (file == nullptr) {
-    return Status::Error(StrFormat("cannot open trace file %s for writing", path.c_str()));
+    return Status::Error(StrFormat("cannot open trace file %s for writing", partial.c_str()));
   }
-  return std::unique_ptr<TraceWriter>(new TraceWriter(file));
+  auto writer = std::unique_ptr<TraceWriter>(new TraceWriter(file));
+  writer->partial_path_ = partial;
+  writer->final_path_ = path;
+  return writer;
 }
 
 TraceWriter::~TraceWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+    if (!final_path_.empty()) std::rename(partial_path_.c_str(), final_path_.c_str());
+  }
 }
 
 void TraceWriter::Emit(const TraceEvent& event) {

@@ -76,6 +76,8 @@ class TraceWriter {
   Stopwatch clock_;
   mutable std::mutex mutex_;     // guards file_/buffer_ writes and events_
   std::FILE* file_ = nullptr;    // owned when non-null
+  std::string partial_path_;     // file sink streams here ("<path>.partial")
+  std::string final_path_;       // renamed onto this on close
   std::string* buffer_ = nullptr;
   std::uint64_t events_ = 0;
 };

@@ -1,6 +1,11 @@
 #include "parser/model_io.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <map>
+#include <vector>
 
 #include "support/strings.hpp"
 #include "xml/xml.hpp"
@@ -75,11 +80,96 @@ void SaveInto(const Model& model, xml::Element& elem) {
 
 // ---- loading -----------------------------------------------------------------
 
-Result<ir::ChartDef> LoadChart(const xml::Element& ce) {
+// Diagnostic context threaded through the loaders so every error names the
+// source file, the line of the offending element, and the path of the block
+// being loaded: `file.cmx:12: block 'Ctl/Servo': <what>`. Malformed models
+// arrive from external tooling; a bare "bad transition" is useless at scale.
+struct LoadCtx {
+  std::string file;        // source path, or "<memory>" for in-memory text
+  std::string block_path;  // '/'-joined path of enclosing blocks, may be empty
+
+  [[nodiscard]] LoadCtx Nested(const std::string& block) const {
+    LoadCtx out = *this;
+    out.block_path = block_path.empty() ? block : block_path + "/" + block;
+    return out;
+  }
+
+  [[nodiscard]] Status Error(const xml::Element& where, const std::string& what) const {
+    std::string msg = file;
+    if (where.line() != 0) msg += StrFormat(":%zu", where.line());
+    msg += ": ";
+    if (!block_path.empty()) msg += "block '" + block_path + "': ";
+    msg += what;
+    return Status::Error(msg);
+  }
+};
+
+enum class NumParse { kOk, kNotNumber, kOutOfRange };
+
+// ParseDouble folds range overflow (errno == ERANGE) into a generic failure;
+// reclassify so the diagnostic can distinguish "banana" from "1e999".
+NumParse ParseFinite(const std::string& text, double& out) {
+  if (ParseDouble(text, out)) {
+    return std::isfinite(out) ? NumParse::kOk : NumParse::kOutOfRange;
+  }
+  const std::string buf(TrimString(text));
+  errno = 0;
+  char* end = nullptr;
+  (void)std::strtod(buf.c_str(), &end);
+  if (!buf.empty() && end == buf.c_str() + buf.size() && errno == ERANGE) {
+    return NumParse::kOutOfRange;
+  }
+  return NumParse::kNotNumber;
+}
+
+// Strict counterpart of ir::ParamValue::Parse: numeric kinds must actually
+// parse and stay finite. The tolerant Parse silently turns garbage into 0,
+// which then drives block semantics far from what the model author wrote.
+Result<ir::ParamValue> ParseParamStrict(const std::string& kind, const std::string& text) {
+  if (kind == "real") {
+    double d = 0;
+    switch (ParseFinite(text, d)) {
+      case NumParse::kNotNumber: return Status::Error("is not a number: '" + text + "'");
+      case NumParse::kOutOfRange: return Status::Error("is out of range: '" + text + "'");
+      case NumParse::kOk: break;
+    }
+    return ir::ParamValue(d);
+  }
+  if (kind == "int") {
+    long long i = 0;
+    if (!ParseInt64(text, i)) return Status::Error("is not an integer: '" + text + "'");
+    return ir::ParamValue(static_cast<std::int64_t>(i));
+  }
+  if (kind == "list") {
+    std::vector<double> xs;
+    for (const auto& part : SplitString(text, ' ')) {
+      if (TrimString(part).empty()) continue;
+      double d = 0;
+      switch (ParseFinite(part, d)) {
+        case NumParse::kNotNumber:
+          return Status::Error("has a non-numeric list entry: '" + part + "'");
+        case NumParse::kOutOfRange:
+          return Status::Error("has an out-of-range entry: '" + part + "'");
+        case NumParse::kOk: break;
+      }
+      xs.push_back(d);
+    }
+    return ir::ParamValue(std::move(xs));
+  }
+  if (kind != "str") return Status::Error("has unknown kind '" + kind + "'");
+  return ir::ParamValue(text);
+}
+
+Result<ir::ChartDef> LoadChart(const xml::Element& ce, const LoadCtx& ctx) {
   ir::ChartDef def;
   long long initial = 0;
-  ParseInt64(ce.Attr("initial", "0"), initial);
+  if (!ParseInt64(ce.Attr("initial", "0"), initial)) {
+    return ctx.Error(ce, "chart 'initial' is not an integer: '" + ce.Attr("initial") + "'");
+  }
   def.initial_state = static_cast<int>(initial);
+  // Transitions may precede <state> elements in document order, so index
+  // validation happens after the scan; keep the elements for line numbers.
+  std::vector<const xml::Element*> transition_elems;
   for (const auto& child : ce.children()) {
     const std::string& n = child->name();
     if (n == "input") {
@@ -88,14 +178,20 @@ Result<ir::ChartDef> LoadChart(const xml::Element& ce) {
       ir::ChartOutput o;
       o.name = child->Attr("name");
       auto t = ir::DTypeFromName(child->Attr("type", "double"));
-      if (!t.ok()) return t.status();
+      if (!t.ok()) return ctx.Error(*child, "chart output '" + o.name + "': " + t.message());
       o.type = t.value();
-      ParseDouble(child->Attr("init", "0"), o.init);
+      if (!ParseDouble(child->Attr("init", "0"), o.init)) {
+        return ctx.Error(*child, "chart output '" + o.name + "' has non-numeric init: '" +
+                                     child->Attr("init") + "'");
+      }
       def.outputs.push_back(std::move(o));
     } else if (n == "var") {
       ir::ChartVar v;
       v.name = child->Attr("name");
-      ParseDouble(child->Attr("init", "0"), v.init);
+      if (!ParseDouble(child->Attr("init", "0"), v.init)) {
+        return ctx.Error(*child, "chart var '" + v.name + "' has non-numeric init: '" +
+                                     child->Attr("init") + "'");
+      }
       def.vars.push_back(std::move(v));
     } else if (n == "state") {
       ir::ChartState s;
@@ -108,66 +204,99 @@ Result<ir::ChartDef> LoadChart(const xml::Element& ce) {
       ir::ChartTransition t;
       long long from = 0;
       long long to = 0;
-      ParseInt64(child->Attr("from", "0"), from);
-      ParseInt64(child->Attr("to", "0"), to);
+      if (!ParseInt64(child->Attr("from", "0"), from)) {
+        return ctx.Error(*child, "transition 'from' is not an integer: '" + child->Attr("from") +
+                                     "'");
+      }
+      if (!ParseInt64(child->Attr("to", "0"), to)) {
+        return ctx.Error(*child, "transition 'to' is not an integer: '" + child->Attr("to") + "'");
+      }
       t.from = static_cast<int>(from);
       t.to = static_cast<int>(to);
       t.guard = child->Attr("guard");
       t.action = child->Attr("action");
       def.transitions.push_back(std::move(t));
+      transition_elems.push_back(child.get());
     } else {
-      return Status::Error("unknown chart element <" + n + ">");
+      return ctx.Error(*child, "unknown chart element <" + n + ">");
+    }
+  }
+  // Out-of-range state indices would flow straight into the lowering's
+  // states[] accesses; reject them here with a source location instead.
+  const int n_states = static_cast<int>(def.states.size());
+  if (n_states == 0) return ctx.Error(ce, "chart has no states");
+  if (def.initial_state < 0 || def.initial_state >= n_states) {
+    return ctx.Error(ce, StrFormat("chart 'initial' state index %d out of range (chart has %d "
+                                   "states)",
+                                   def.initial_state, n_states));
+  }
+  for (std::size_t i = 0; i < def.transitions.size(); ++i) {
+    const auto& t = def.transitions[i];
+    if (t.from < 0 || t.from >= n_states || t.to < 0 || t.to >= n_states) {
+      return ctx.Error(*transition_elems[i],
+                       StrFormat("transition %d->%d references a state out of range (chart has "
+                                 "%d states)",
+                                 t.from, t.to, n_states));
     }
   }
   return def;
 }
 
-Result<std::unique_ptr<Model>> LoadFrom(const xml::Element& elem) {
-  if (elem.name() != "model") return Status::Error("expected <model> element");
+Result<std::unique_ptr<Model>> LoadFrom(const xml::Element& elem, const LoadCtx& ctx) {
+  if (elem.name() != "model") {
+    return ctx.Error(elem, "expected <model> element, got <" + elem.name() + ">");
+  }
   auto model = std::make_unique<Model>(elem.Attr("name", "model"));
 
   struct PendingWire {
     std::string from;
     std::string to;
+    const xml::Element* elem;
   };
   std::vector<PendingWire> wires;
   std::map<std::string, ir::BlockId> by_name;
 
   for (const auto& child : elem.children()) {
     if (child->name() == "block") {
-      auto kind = ir::BlockKindFromName(child->Attr("kind"));
-      if (!kind.ok()) return kind.status();
       const std::string name = child->Attr("name");
-      if (name.empty()) return Status::Error("block without a name");
-      if (by_name.count(name)) return Status::Error("duplicate block name '" + name + "'");
+      if (name.empty()) return ctx.Error(*child, "block without a name");
+      const LoadCtx bctx = ctx.Nested(name);
+      auto kind = ir::BlockKindFromName(child->Attr("kind"));
+      if (!kind.ok()) return bctx.Error(*child, kind.status().message());
+      if (by_name.count(name)) return ctx.Error(*child, "duplicate block name '" + name + "'");
       Block& b = model->AddBlock(kind.value(), name);
       by_name[name] = b.id();
       for (const auto& sub : child->children()) {
         if (sub->name() == "param") {
-          b.params().Set(sub->Attr("name"),
-                         ir::ParamValue::Parse(sub->Attr("kind", "str"), sub->text()));
+          auto value = ParseParamStrict(sub->Attr("kind", "str"), sub->text());
+          if (!value.ok()) {
+            return bctx.Error(*sub,
+                              "parameter '" + sub->Attr("name") + "' " + value.message());
+          }
+          b.params().Set(sub->Attr("name"), value.take());
         } else if (sub->name() == "chart") {
-          auto chart = LoadChart(*sub);
+          auto chart = LoadChart(*sub, bctx);
           if (!chart.ok()) return chart.status();
           b.set_chart(chart.take());
         } else if (sub->name() == "sub") {
           const xml::Element* me = sub->FirstChild("model");
-          if (me == nullptr) return Status::Error("<sub> without <model> in '" + name + "'");
-          auto loaded = LoadFrom(*me);
+          if (me == nullptr) return bctx.Error(*sub, "<sub> without <model>");
+          auto loaded = LoadFrom(*me, bctx);
           if (!loaded.ok()) return loaded.status();
           b.AdoptSub(loaded.take());
         } else {
-          return Status::Error("unknown block child <" + sub->name() + ">");
+          return bctx.Error(*sub, "unknown block child <" + sub->name() + ">");
         }
       }
     } else if (child->name() == "wire") {
-      wires.push_back(PendingWire{child->Attr("from"), child->Attr("to")});
+      wires.push_back(PendingWire{child->Attr("from"), child->Attr("to"), child.get()});
     } else {
-      return Status::Error("unknown model element <" + child->name() + ">");
+      return ctx.Error(*child, "unknown model element <" + child->name() + ">");
     }
   }
 
-  auto parse_ref = [&](const std::string& ref, std::string& name, int& port) -> Status {
+  auto parse_ref = [&](const PendingWire& w, const std::string& ref, std::string& name,
+                       int& port) -> Status {
     const std::size_t colon = ref.rfind(':');
     if (colon == std::string::npos) {
       name = ref;
@@ -176,11 +305,13 @@ Result<std::unique_ptr<Model>> LoadFrom(const xml::Element& elem) {
       name = ref.substr(0, colon);
       long long p = 0;
       if (!ParseInt64(ref.substr(colon + 1), p)) {
-        return Status::Error("bad port reference '" + ref + "'");
+        return ctx.Error(*w.elem, "bad port reference '" + ref + "'");
       }
       port = static_cast<int>(p);
     }
-    if (!by_name.count(name)) return Status::Error("wire references unknown block '" + name + "'");
+    if (!by_name.count(name)) {
+      return ctx.Error(*w.elem, "wire references unknown block '" + name + "'");
+    }
     return Status::Ok();
   };
 
@@ -189,8 +320,8 @@ Result<std::unique_ptr<Model>> LoadFrom(const xml::Element& elem) {
     std::string to_name;
     int from_port = 0;
     int to_port = 0;
-    if (Status s = parse_ref(w.from, from_name, from_port); !s.ok()) return s;
-    if (Status s = parse_ref(w.to, to_name, to_port); !s.ok()) return s;
+    if (Status s = parse_ref(w, w.from, from_name, from_port); !s.ok()) return s;
+    if (Status s = parse_ref(w, w.to, to_name, to_port); !s.ok()) return s;
     model->AddWire(ir::PortRef{by_name[from_name], from_port}, by_name[to_name], to_port);
   }
   return model;
@@ -201,13 +332,15 @@ Result<std::unique_ptr<Model>> LoadFrom(const xml::Element& elem) {
 Result<std::unique_ptr<Model>> LoadModel(const std::string& xml_text) {
   auto doc = xml::Parse(xml_text);
   if (!doc.ok()) return doc.status();
-  return LoadFrom(*doc.value().root);
+  return LoadFrom(*doc.value().root, LoadCtx{"<memory>", ""});
 }
 
 Result<std::unique_ptr<Model>> LoadModelFile(const std::string& path) {
   auto doc = xml::ParseFile(path);
-  if (!doc.ok()) return doc.status();
-  return LoadFrom(*doc.value().root);
+  if (!doc.ok()) {
+    return Status::Error(path + ": " + doc.message());
+  }
+  return LoadFrom(*doc.value().root, LoadCtx{path, ""});
 }
 
 std::string SaveModel(const Model& model) {

@@ -1,0 +1,83 @@
+#include "support/atomic_file.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace cftcg::support {
+namespace {
+
+// Monotonic counter so concurrent writers in one process (parallel fuzzing
+// workers quarantining hangs into a shared directory) never collide on the
+// temporary name.
+std::atomic<std::uint64_t> g_temp_counter{0};
+
+std::string Errno() { return std::strerror(errno); }
+
+}  // namespace
+
+AtomicFileWriter::~AtomicFileWriter() { Abort(); }
+
+Status AtomicFileWriter::Open(const std::string& path) {
+  if (file_ != nullptr) return Status::Error("atomic writer already open");
+  path_ = path;
+  temp_path_ = path + ".tmp." + std::to_string(::getpid()) + "." +
+               std::to_string(g_temp_counter.fetch_add(1));
+  file_ = std::fopen(temp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Error("cannot open temporary file " + temp_path_ + ": " + Errno());
+  }
+  return Status::Ok();
+}
+
+Status AtomicFileWriter::Write(std::string_view bytes) {
+  if (file_ == nullptr) return Status::Error("atomic writer is not open");
+  if (bytes.empty()) return Status::Ok();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::Error("short write to " + temp_path_ + ": " + Errno());
+  }
+  return Status::Ok();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (file_ == nullptr) return Status::Error("atomic writer is not open");
+  bool ok = std::fflush(file_) == 0;
+  ok = ok && ::fsync(::fileno(file_)) == 0;
+  ok = std::fclose(file_) == 0 && ok;
+  file_ = nullptr;
+  if (!ok) {
+    std::string err = "cannot flush " + temp_path_ + ": " + Errno();
+    ::unlink(temp_path_.c_str());
+    return Status::Error(err);
+  }
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    std::string err = "cannot rename " + temp_path_ + " to " + path_ + ": " + Errno();
+    ::unlink(temp_path_.c_str());
+    return Status::Error(err);
+  }
+  return Status::Ok();
+}
+
+void AtomicFileWriter::Abort() {
+  if (file_ == nullptr) return;
+  std::fclose(file_);
+  file_ = nullptr;
+  ::unlink(temp_path_.c_str());
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  AtomicFileWriter writer;
+  if (Status s = writer.Open(path); !s.ok()) return s;
+  if (Status s = writer.Write(content); !s.ok()) return s;
+  return writer.Commit();
+}
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return Status::Ok();
+  return Status::Error("cannot create directory " + path + ": " + Errno());
+}
+
+}  // namespace cftcg::support

@@ -1,0 +1,60 @@
+// Atomic file emission: write-to-temp + rename.
+//
+// Every artifact CFTCG emits (checkpoints, metrics JSON, CSV suites, HTML
+// reports, trace files) is produced through this module so that a crash or
+// signal mid-write can never leave a torn file at the destination path: the
+// content streams into a same-directory temporary file and only an fsync'd,
+// complete temporary is renamed over the final name (rename(2) is atomic
+// within a filesystem on POSIX).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "support/status.hpp"
+
+namespace cftcg::support {
+
+/// Streams content into "<path>.tmp.<unique>" and renames it onto `path` on
+/// Commit(). If the writer is destroyed without Commit(), the temporary is
+/// unlinked and the destination is left untouched.
+class AtomicFileWriter {
+ public:
+  AtomicFileWriter() = default;
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Opens the temporary file next to `path`. Fails if the directory is not
+  /// writable.
+  Status Open(const std::string& path);
+
+  /// Appends bytes to the temporary file.
+  Status Write(std::string_view bytes);
+
+  /// Flushes, fsyncs, closes, and renames the temporary onto the destination.
+  /// After Commit() the writer is inert; further writes fail.
+  Status Commit();
+
+  /// Closes and unlinks the temporary without touching the destination.
+  void Abort();
+
+  [[nodiscard]] bool open() const { return file_ != nullptr; }
+  [[nodiscard]] const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string temp_path_;
+};
+
+/// One-shot convenience: atomically replaces `path` with `content`.
+Status WriteFileAtomic(const std::string& path, std::string_view content);
+
+/// Creates a directory (single level, like mkdir -p for one component).
+/// Succeeds if the directory already exists.
+Status EnsureDir(const std::string& path);
+
+}  // namespace cftcg::support

@@ -45,6 +45,16 @@ class DynamicBitset {
 
   [[nodiscard]] const std::vector<std::uint64_t>& words() const { return words_; }
 
+  /// Restores a bitset from checkpointed words. The word vector must be the
+  /// exact backing store for num_bits (returns false and leaves the bitset
+  /// untouched otherwise).
+  bool Restore(std::size_t num_bits, std::vector<std::uint64_t> words) {
+    if (words.size() != (num_bits + 63) / 64) return false;
+    num_bits_ = num_bits;
+    words_ = std::move(words);
+    return true;
+  }
+
  private:
   std::size_t num_bits_ = 0;
   std::vector<std::uint64_t> words_;

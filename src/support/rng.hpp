@@ -6,6 +6,7 @@
 // Blackman & Vigna), chosen for speed inside the fuzzing loop.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -55,6 +56,15 @@ class Rng {
   /// Splits off an independently seeded child generator (for parallel or
   /// per-repetition streams).
   Rng Fork();
+
+  /// Raw xoshiro256** state for checkpointing. Restoring a saved state
+  /// reproduces the exact draw sequence from that point.
+  [[nodiscard]] std::array<std::uint64_t, 4> GetState() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void SetState(const std::array<std::uint64_t, 4>& state) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   std::uint64_t state_[4];

@@ -46,6 +46,36 @@ class CmpTrace {
     double_idx_ = double_count_ = 0;
   }
 
+  /// Checkpointable snapshot of the ring. The dictionary feeds future
+  /// mutation draws, so bit-identical resume requires restoring it exactly.
+  struct State {
+    std::array<std::int64_t, kCapacity> ints{};
+    std::array<double, kCapacity> doubles{};
+    std::uint64_t int_idx = 0;
+    std::uint64_t int_count = 0;
+    std::uint64_t double_idx = 0;
+    std::uint64_t double_count = 0;
+  };
+
+  [[nodiscard]] State Save() const {
+    State s;
+    s.ints = ints_;
+    s.doubles = doubles_;
+    s.int_idx = int_idx_;
+    s.int_count = int_count_;
+    s.double_idx = double_idx_;
+    s.double_count = double_count_;
+    return s;
+  }
+  void Restore(const State& s) {
+    ints_ = s.ints;
+    doubles_ = s.doubles;
+    int_idx_ = static_cast<std::size_t>(s.int_idx);
+    int_count_ = static_cast<std::size_t>(s.int_count);
+    double_idx_ = static_cast<std::size_t>(s.double_idx);
+    double_count_ = static_cast<std::size_t>(s.double_count);
+  }
+
  private:
   std::array<std::int64_t, kCapacity> ints_{};
   std::array<double, kCapacity> doubles_{};

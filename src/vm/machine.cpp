@@ -1,6 +1,7 @@
 #include "vm/machine.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "support/numerics.hpp"
 
@@ -60,16 +61,20 @@ ir::Value Machine::GetOutput(int index) const {
   return ir::Value::Int(t, out_i_[i]);
 }
 
-void Machine::Step(coverage::CoverageSink* sink, std::uint8_t* edge_map) {
+bool Machine::Step(coverage::CoverageSink* sink, std::uint8_t* edge_map) {
   const Insn* code = program_->code.data();
   double* d = dregs_.data();
   std::int64_t* r = iregs_.data();
   std::size_t pc = 0;
+  // Back-edge budget: decremented only on backward control transfers, so the
+  // common straight-line path pays nothing. 0 configured = unlimited.
+  std::uint64_t back_jumps =
+      step_budget_ == 0 ? std::numeric_limits<std::uint64_t>::max() : step_budget_;
 
   for (;;) {
     const Insn& in = code[pc];
     switch (in.op) {
-      case Op::kHalt: return;
+      case Op::kHalt: return true;
       case Op::kLoadConstD: d[in.dst] = in.dimm; break;
       case Op::kLoadConstI:
         // Wrap to the declared width: an out-of-range literal (e.g. a
@@ -172,16 +177,25 @@ void Machine::Step(coverage::CoverageSink* sink, std::uint8_t* edge_map) {
         }
         break;
 
-      case Op::kJmp: pc = static_cast<std::size_t>(in.imm); continue;
+      case Op::kJmp: {
+        const auto target = static_cast<std::size_t>(in.imm);
+        if (target <= pc && --back_jumps == 0) return false;
+        pc = target;
+        continue;
+      }
       case Op::kJmpIfZero:
         if (r[in.a] == 0) {
-          pc = static_cast<std::size_t>(in.imm);
+          const auto target = static_cast<std::size_t>(in.imm);
+          if (target <= pc && --back_jumps == 0) return false;
+          pc = target;
           continue;
         }
         break;
       case Op::kJmpIfNotZero:
         if (r[in.a] != 0) {
-          pc = static_cast<std::size_t>(in.imm);
+          const auto target = static_cast<std::size_t>(in.imm);
+          if (target <= pc && --back_jumps == 0) return false;
+          pc = target;
           continue;
         }
         break;

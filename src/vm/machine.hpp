@@ -34,8 +34,16 @@ class Machine {
   /// Executes one model iteration. `sink` receives model-level coverage
   /// events (may be nullptr when running uninstrumented programs);
   /// `edge_map` (size program.num_edges) receives code-level edges (may be
-  /// nullptr).
-  void Step(coverage::CoverageSink* sink, std::uint8_t* edge_map = nullptr);
+  /// nullptr). Returns true if the iteration ran to kHalt; false if it was
+  /// aborted because the step budget was exhausted (a hang).
+  bool Step(coverage::CoverageSink* sink, std::uint8_t* edge_map = nullptr);
+
+  /// Hang containment: caps the number of backward control transfers (loop
+  /// iterations) one Step() may take before it is aborted. Straight-line
+  /// bytecode cannot exceed the program length, so back edges are the only
+  /// way an iteration can run unboundedly. 0 means unlimited.
+  void set_step_budget(std::uint64_t max_back_jumps) { step_budget_ = max_back_jumps; }
+  [[nodiscard]] std::uint64_t step_budget() const { return step_budget_; }
 
   [[nodiscard]] ir::Value GetOutput(int index) const;
   [[nodiscard]] int num_outputs() const { return static_cast<int>(program_->output_types.size()); }
@@ -55,6 +63,7 @@ class Machine {
  private:
   const Program* program_;
   CmpTrace* cmp_trace_ = nullptr;
+  std::uint64_t step_budget_ = 0;
   std::vector<double> dregs_;
   std::vector<std::int64_t> iregs_;
   std::vector<double> in_d_;

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/atomic_file.hpp"
 #include "support/strings.hpp"
 
 namespace cftcg::xml {
@@ -85,6 +86,16 @@ class Parser {
     return Status::Error(StrFormat("xml parse error at line %zu: %s", line, what.c_str()));
   }
   Result<ElementPtr> Fail(const std::string& what) const { return MakeError(what); }
+
+  // 1-based line of the current position. The scan cursor only moves forward,
+  // so repeated calls stay O(document) overall.
+  std::size_t CurrentLine() {
+    while (scan_pos_ < pos_ && scan_pos_ < text_.size()) {
+      if (text_[scan_pos_] == '\n') ++scan_line_;
+      ++scan_pos_;
+    }
+    return scan_line_;
+  }
 
   [[nodiscard]] bool AtEnd() const { return pos_ >= text_.size(); }
   [[nodiscard]] char Peek() const { return text_[pos_]; }
@@ -176,10 +187,12 @@ class Parser {
   Result<ElementPtr> ParseElement() {
     SkipWhitespaceAndComments();
     if (AtEnd() || Peek() != '<') return Fail("expected '<'");
+    const std::size_t tag_line = CurrentLine();
     ++pos_;
     std::string name = ParseName();
     if (name.empty()) return Fail("expected element name");
     auto elem = std::make_unique<Element>(name);
+    elem->set_line(tag_line);
 
     // Attributes.
     for (;;) {
@@ -246,6 +259,8 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t scan_pos_ = 0;
+  std::size_t scan_line_ = 1;
 };
 
 void WriteElement(const Element& e, int depth, std::string& out) {
@@ -297,10 +312,8 @@ Result<Document> ParseFile(const std::string& path) {
 }
 
 Status WriteFile(const Element& root, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::Error("cannot open file for writing: " + path);
-  out << Write(root);
-  return out ? Status::Ok() : Status::Error("write failed: " + path);
+  // Atomic temp+rename: an interrupted save never leaves a torn .cmx.
+  return support::WriteFileAtomic(path, Write(root));
 }
 
 }  // namespace cftcg::xml

@@ -28,6 +28,9 @@ class Element {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::string& text() const { return text_; }
+  /// 1-based source line of the start tag; 0 for elements built in memory.
+  [[nodiscard]] std::size_t line() const { return line_; }
+  void set_line(std::size_t line) { line_ = line; }
   void set_text(std::string text) { text_ = std::move(text); }
   void append_text(std::string_view text) { text_ += text; }
 
@@ -53,6 +56,7 @@ class Element {
  private:
   std::string name_;
   std::string text_;
+  std::size_t line_ = 0;
   std::vector<std::pair<std::string, std::string>> attrs_;
   std::vector<ElementPtr> children_;
 };

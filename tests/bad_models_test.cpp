@@ -1,0 +1,134 @@
+// Malformed-model corpus: every file under tests/data/bad_models must be
+// rejected by the loader with a structured diagnostic — file name, source
+// line, and (where applicable) the path of the offending block — and must
+// never crash or come back ok(). This pins the .cmx hardening: truncated
+// XML, out-of-range chart indices, and garbage parameters are all load-time
+// errors, not undefined behavior inside the lowering or the VM.
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "parser/model_io.hpp"
+
+namespace cftcg {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string BadModelDir() { return std::string(CFTCG_SOURCE_DIR) + "/tests/data/bad_models"; }
+
+std::string BadModel(const std::string& name) { return BadModelDir() + "/" + name + ".cmx"; }
+
+TEST(BadModelsTest, CorpusIsPresent) {
+  std::size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(BadModelDir())) {
+    if (entry.path().extension() == ".cmx") ++count;
+  }
+  EXPECT_GE(count, 10u) << "bad-model corpus shrank; keep the hardening pinned";
+}
+
+// Every corpus file must fail cleanly and cite its own file name, so that a
+// batch tool processing many models can attribute each diagnostic.
+TEST(BadModelsTest, EveryFileIsRejectedWithItsFileName) {
+  std::size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(BadModelDir())) {
+    if (entry.path().extension() != ".cmx") continue;
+    ++checked;
+    const std::string path = entry.path().string();
+    auto loaded = parser::LoadModelFile(path);
+    EXPECT_FALSE(loaded.ok()) << path << " unexpectedly loaded";
+    if (!loaded.ok()) {
+      EXPECT_NE(loaded.message().find(entry.path().filename().string()), std::string::npos)
+          << path << " diagnostic lacks the file name: " << loaded.message();
+    }
+  }
+  EXPECT_GE(checked, 10u);
+}
+
+struct Expectation {
+  const char* file;
+  const char* needle;
+};
+
+// Spot checks on the diagnostic text: the message must say what is wrong in
+// the model author's vocabulary, not the implementation's.
+TEST(BadModelsTest, DiagnosticsNameTheProblem) {
+  const std::vector<Expectation> expectations = {
+      {"truncated", "unterminated"},
+      {"trailing_garbage", "trailing content"},
+      {"mismatched_tag", "mismatched close tag"},
+      {"unknown_element", "unknown model element <gadget>"},
+      {"unknown_kind", "FluxCapacitor"},
+      {"unnamed_block", "block without a name"},
+      {"duplicate_block", "duplicate block name 'u'"},
+      {"wire_unknown_block", "unknown block 'ghost'"},
+      {"wire_bad_port", "bad port reference 'u:zero'"},
+      {"param_not_number", "parameter 'gain' is not a number: 'banana'"},
+      {"param_out_of_range", "parameter 'gain' is out of range"},
+      {"chart_bad_initial", "'initial' state index 5 out of range"},
+      {"chart_bad_transition", "transition 1->7 references a state out of range"},
+      {"chart_no_states", "chart has no states"},
+      {"sub_without_model", "<sub> without <model>"},
+      {"nested_bad_param", "parameter 'gain' is not an integer"},
+  };
+  for (const auto& e : expectations) {
+    auto loaded = parser::LoadModelFile(BadModel(e.file));
+    ASSERT_FALSE(loaded.ok()) << e.file;
+    EXPECT_NE(loaded.message().find(e.needle), std::string::npos)
+        << e.file << ": expected '" << e.needle << "' in: " << loaded.message();
+  }
+}
+
+// Semantic diagnostics carry the source line of the offending element.
+TEST(BadModelsTest, DiagnosticsCarryLineNumbers) {
+  auto loaded = parser::LoadModelFile(BadModel("chart_bad_transition"));
+  ASSERT_FALSE(loaded.ok());
+  // The <transition> element sits on line 10 of the file.
+  EXPECT_NE(loaded.message().find(":10:"), std::string::npos) << loaded.message();
+
+  auto param = parser::LoadModelFile(BadModel("param_not_number"));
+  ASSERT_FALSE(param.ok());
+  EXPECT_NE(param.message().find(":5:"), std::string::npos) << param.message();
+}
+
+// Errors inside nested subsystems report the '/'-joined block path.
+TEST(BadModelsTest, DiagnosticsCarryBlockPath) {
+  auto loaded = parser::LoadModelFile(BadModel("nested_bad_param"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.message().find("block 'outer/g'"), std::string::npos) << loaded.message();
+
+  auto chart = parser::LoadModelFile(BadModel("chart_bad_initial"));
+  ASSERT_FALSE(chart.ok());
+  EXPECT_NE(chart.message().find("block 'ctl'"), std::string::npos) << chart.message();
+}
+
+// A missing file is an error with the path, not a crash.
+TEST(BadModelsTest, MissingFileIsAStructuredError) {
+  auto loaded = parser::LoadModelFile(BadModelDir() + "/does_not_exist.cmx");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.message().find("does_not_exist.cmx"), std::string::npos) << loaded.message();
+}
+
+// In-memory loads keep working and cite "<memory>" as the file.
+TEST(BadModelsTest, InMemoryDiagnosticsUseMemoryMarker) {
+  auto loaded = parser::LoadModel("<model name=\"m\"><block kind=\"Nope\" name=\"b\"/></model>");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.message().find("<memory>"), std::string::npos) << loaded.message();
+}
+
+// The strict loader must not reject the shipped benchmark corpus.
+TEST(BadModelsTest, BenchmarksStillLoad) {
+  const std::string models = std::string(CFTCG_SOURCE_DIR) + "/models";
+  std::size_t loaded_count = 0;
+  for (const auto& entry : fs::directory_iterator(models)) {
+    if (entry.path().extension() != ".cmx") continue;
+    auto loaded = parser::LoadModelFile(entry.path().string());
+    EXPECT_TRUE(loaded.ok()) << entry.path() << ": " << loaded.message();
+    ++loaded_count;
+  }
+  EXPECT_GE(loaded_count, 8u);
+}
+
+}  // namespace
+}  // namespace cftcg

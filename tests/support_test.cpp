@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 
+#include "support/atomic_file.hpp"
 #include "support/bitset.hpp"
 #include "support/numerics.hpp"
 #include "support/rng.hpp"
@@ -206,6 +210,93 @@ TEST(NumericsTest, TruncSaturates) {
   EXPECT_EQ(num::TruncToI64(-1e300), INT64_MIN);
   EXPECT_EQ(num::TruncToI64(2.9), 2);
   EXPECT_EQ(num::TruncToI64(-2.9), -2);
+}
+
+namespace fs = std::filesystem;
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Temp files live next to the destination so rename(2) stays within one
+// filesystem; a committed write replaces the target in one step and leaves
+// no temporaries behind.
+TEST(AtomicFileTest, WriteCommitReplacesTarget) {
+  const std::string dir = "atomic_file_test_commit";
+  fs::remove_all(dir);
+  ASSERT_TRUE(support::EnsureDir(dir).ok());
+  const std::string path = dir + "/out.txt";
+
+  ASSERT_TRUE(support::WriteFileAtomic(path, "first").ok());
+  EXPECT_EQ(Slurp(path), "first");
+  ASSERT_TRUE(support::WriteFileAtomic(path, "second, longer content").ok());
+  EXPECT_EQ(Slurp(path), "second, longer content");
+
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u) << "temporary files leaked into the directory";
+  fs::remove_all(dir);
+}
+
+TEST(AtomicFileTest, AbortLeavesDestinationUntouched) {
+  const std::string dir = "atomic_file_test_abort";
+  fs::remove_all(dir);
+  ASSERT_TRUE(support::EnsureDir(dir).ok());
+  const std::string path = dir + "/out.txt";
+  ASSERT_TRUE(support::WriteFileAtomic(path, "original").ok());
+
+  {
+    support::AtomicFileWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.Write("partial garbage").ok());
+    EXPECT_TRUE(fs::exists(writer.temp_path()));
+    // Destroyed without Commit(): the temp vanishes, the original survives.
+  }
+  EXPECT_EQ(Slurp(path), "original");
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(AtomicFileTest, CommitIsOneShot) {
+  const std::string dir = "atomic_file_test_oneshot";
+  fs::remove_all(dir);
+  ASSERT_TRUE(support::EnsureDir(dir).ok());
+  const std::string path = dir + "/out.txt";
+
+  support::AtomicFileWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.Write("abc").ok());
+  ASSERT_TRUE(writer.Commit().ok());
+  EXPECT_FALSE(writer.open());
+  EXPECT_FALSE(writer.Write("more").ok());
+  EXPECT_EQ(Slurp(path), "abc");
+  fs::remove_all(dir);
+}
+
+TEST(AtomicFileTest, OpenFailsInMissingDirectory) {
+  support::AtomicFileWriter writer;
+  EXPECT_FALSE(writer.Open("no_such_dir_xyz/out.txt").ok());
+  EXPECT_FALSE(support::WriteFileAtomic("no_such_dir_xyz/out.txt", "x").ok());
+}
+
+TEST(AtomicFileTest, EnsureDirIsIdempotent) {
+  const std::string dir = "atomic_file_test_dir";
+  fs::remove_all(dir);
+  EXPECT_TRUE(support::EnsureDir(dir).ok());
+  EXPECT_TRUE(support::EnsureDir(dir).ok());
+  EXPECT_TRUE(fs::is_directory(dir));
+  fs::remove_all(dir);
 }
 
 }  // namespace

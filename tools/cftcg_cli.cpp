@@ -18,8 +18,10 @@
 // Wherever a <model.cmx> is expected, a Table 2 benchmark name (AFC,
 // SolarPV, ...) also works and loads the built-in model.
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,8 +39,10 @@
 #include "coverage/html_report.hpp"
 #include "coverage/provenance.hpp"
 #include "coverage/report.hpp"
+#include "fuzz/checkpoint.hpp"
 #include "fuzz/csv_export.hpp"
 #include "fuzz/suite.hpp"
+#include "support/atomic_file.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
@@ -50,6 +54,22 @@
 using namespace cftcg;
 
 namespace {
+
+// Cooperative interruption: the first SIGINT/SIGTERM raises this flag; the
+// fuzzing engine finishes the in-flight execution (or, parallel, the
+// in-flight round), writes a final checkpoint if one is configured, and the
+// normal reporting path runs. A second signal hard-exits (the campaign is
+// already flagged, so the user is asking for an immediate stop).
+std::atomic<bool> g_interrupt{false};
+
+void OnInterrupt(int) {
+  if (g_interrupt.exchange(true)) std::_Exit(130);
+}
+
+void InstallInterruptHandler() {
+  std::signal(SIGINT, OnInterrupt);
+  std::signal(SIGTERM, OnInterrupt);
+}
 
 int Usage() {
   std::puts(
@@ -67,6 +87,15 @@ int Usage() {
       "              [--stats-every N]    periodic status line + stat events, every N s\n"
       "              [--trace FILE]       write a JSONL campaign event trace\n"
       "              [--metrics FILE]     dump the metrics-registry snapshot as JSON\n"
+      "              [--max-execs N]      stop after N executions (deterministic budget)\n"
+      "              [--checkpoint FILE]  durable campaign state; written atomically on\n"
+      "                                   SIGINT/SIGTERM (and every N executions with\n"
+      "                                   --checkpoint-every N)\n"
+      "              [--resume]           continue the campaign in --checkpoint FILE;\n"
+      "                                   seed/mode/jobs are taken from the checkpoint\n"
+      "              [--step-budget N]    per-iteration cap on VM back-jumps; inputs that\n"
+      "                                   blow it are quarantined as hangs (0 disables)\n"
+      "              [--hangs-dir DIR]    save quarantined hanging inputs here\n"
       "  cftcg run   <model.cmx> --csv test.csv\n"
       "  cftcg cover <model.cmx> --csv-dir DIR [--html report.html]\n"
       "  cftcg trace-summary <trace.jsonl>\n"
@@ -140,8 +169,10 @@ int CmdGen(const std::string& path, const std::string& out_path) {
   if (out_path.empty()) {
     std::fputs(code.value().c_str(), stdout);
   } else {
-    std::ofstream out(out_path);
-    out << code.value();
+    if (Status s = support::WriteFileAtomic(out_path, code.value()); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
     std::printf("wrote %zu bytes of instrumented fuzzing code to %s\n", code.value().size(),
                 out_path.c_str());
   }
@@ -172,10 +203,49 @@ struct TelemetryFlags {
   std::string metrics_path; // empty: no metrics dump
 };
 
+struct DurabilityFlags {
+  std::string checkpoint_path;          // empty: no checkpointing
+  std::uint64_t checkpoint_every = 0;   // 0: checkpoint on interrupt only
+  bool resume = false;                  // continue from checkpoint_path
+  std::uint64_t max_execs = UINT64_MAX; // execution-bounded budget
+  std::uint64_t step_budget = fuzz::FuzzerOptions{}.step_budget;
+  std::string hangs_dir;                // where quarantined inputs go
+};
+
 int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const std::string& outdir,
-            bool fuzz_only, bool minimize, bool analyze, int jobs, const TelemetryFlags& tf) {
+            bool fuzz_only, bool minimize, bool analyze, int jobs, const TelemetryFlags& tf,
+            DurabilityFlags df) {
   auto cm = Load(path);
   if (!cm) return 1;
+
+  // --resume: the checkpoint carries the campaign configuration (seed, mode,
+  // worker count, sync cadence, step budget); the command line only needs to
+  // name the same model and the checkpoint file. Only the model's coverage
+  // universe is validated — resuming against a different model is refused.
+  fuzz::CampaignCheckpoint ckpt;
+  if (df.resume) {
+    if (df.checkpoint_path.empty()) {
+      std::fprintf(stderr, "error: --resume requires --checkpoint FILE\n");
+      return 2;
+    }
+    auto loaded = fuzz::ReadCheckpointFile(df.checkpoint_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.message().c_str());
+      return 1;
+    }
+    ckpt = loaded.take();
+    seed = ckpt.seed;
+    fuzz_only = !ckpt.model_oriented;
+    analyze = analyze || ckpt.analyzed;
+    jobs = static_cast<int>(ckpt.num_workers);
+    df.step_budget = ckpt.step_budget;
+    std::uint64_t done = 0;
+    for (const auto& w : ckpt.workers) done += w.executions;
+    std::printf("resuming: seed %llu, %u worker(s), %llu executions done, %.1fs elapsed\n",
+                static_cast<unsigned long long>(ckpt.seed), ckpt.num_workers,
+                static_cast<unsigned long long>(done), ckpt.elapsed_s);
+  }
+  InstallInterruptHandler();
 
   obs::CampaignTelemetry telemetry;
   std::unique_ptr<obs::TraceWriter> trace;
@@ -243,38 +313,51 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
 
   fuzz::FuzzBudget budget;
   budget.wall_seconds = seconds;
+  budget.max_executions = df.max_execs;
+
+  fuzz::FuzzerOptions options;
+  options.seed = seed;
+  options.model_oriented = !fuzz_only;
+  options.telemetry = use;
+  options.provenance = provenance.get();
+  options.justifications = justifications;
+  options.boundary_seed_ranges = boundary_ranges;
+  options.checkpoint_path = df.checkpoint_path;
+  options.checkpoint_every = df.checkpoint_every;
+  options.interrupt = &g_interrupt;
+  options.step_budget = df.step_budget;
+  options.hangs_dir = df.hangs_dir;
+  if (df.resume) {
+    options.use_idc_energy = ckpt.use_idc_energy;
+    options.max_tuples = static_cast<std::size_t>(ckpt.max_tuples);
+    const std::uint64_t fp = fuzz::SpecFingerprint(cm->spec(), cm->instrumented());
+    if (Status v = fuzz::ValidateCheckpoint(ckpt, options, static_cast<std::uint32_t>(jobs), fp);
+        !v.ok()) {
+      std::fprintf(stderr, "error: %s\n", v.message().c_str());
+      return 1;
+    }
+  }
+
   fuzz::CampaignResult result;
   if (jobs > 1) {
     // Parallel engine: the driver aggregates heartbeats and merges worker
     // state; margin recording is sequential-only and stays off.
-    fuzz::FuzzerOptions options;
-    options.seed = seed;
-    options.model_oriented = !fuzz_only;
-    options.telemetry = use;
-    options.provenance = provenance.get();
-    options.justifications = justifications;
-    options.boundary_seed_ranges = boundary_ranges;
     fuzz::ParallelOptions par;
     par.num_workers = jobs;
+    if (df.resume) {
+      par.sync_every = ckpt.sync_every;
+      par.resume = &ckpt;
+    }
     auto presult = cm->FuzzParallel(options, budget, par);
     result = std::move(presult.merged);
     std::printf("parallel: %d workers, %llu rounds, %llu corpus imports\n", jobs,
                 static_cast<unsigned long long>(presult.rounds),
                 static_cast<unsigned long long>(presult.imports));
-  } else if (analyze) {
-    fuzz::FuzzerOptions options;
-    options.seed = seed;
-    options.model_oriented = !fuzz_only;
-    options.telemetry = use;
-    options.provenance = provenance.get();
+  } else {
     options.margins = margins.get();
-    options.justifications = justifications;
-    options.boundary_seed_ranges = boundary_ranges;
+    if (df.resume) options.resume = &ckpt.workers[0];
     obs::ScopedTimer span(fuzz_only ? "tool.FuzzOnly" : "tool.CFTCG");
     result = cm->Fuzz(options, budget);
-  } else {
-    result = RunTool(*cm, fuzz_only ? Tool::kFuzzOnly : Tool::kCftcg, budget, seed, use,
-                     provenance.get(), margins.get());
   }
   std::printf("%s: %llu inputs, %llu model iterations (+%llu measure), %zu test cases in %.1fs\n",
               fuzz_only ? "fuzz-only" : "cftcg",
@@ -282,7 +365,20 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
               static_cast<unsigned long long>(result.model_iterations),
               static_cast<unsigned long long>(result.measure_iterations),
               result.test_cases.size(), result.elapsed_s);
+  if (result.hangs > 0) {
+    std::printf("hangs: %llu input(s) blew the step budget and were quarantined%s%s\n",
+                static_cast<unsigned long long>(result.hangs),
+                df.hangs_dir.empty() ? "" : " to ", df.hangs_dir.c_str());
+  }
   std::printf("coverage: %s\n", coverage::FormatReport(result.report).c_str());
+  // Determinism fingerprints of the final campaign state: an interrupted-
+  // and-resumed campaign must print the same line as an uninterrupted one
+  // (the interrupt/resume smoke test compares them verbatim).
+  std::printf("state: corpus=%016llx coverage=%016llx provenance=%016llx\n",
+              static_cast<unsigned long long>(result.corpus_fingerprint),
+              static_cast<unsigned long long>(result.coverage_fingerprint),
+              static_cast<unsigned long long>(
+                  provenance != nullptr ? fuzz::ProvenanceFingerprint(*provenance) : 0));
 
   std::vector<fuzz::TestCase> suite = std::move(result.test_cases);
   if (minimize && !suite.empty()) {
@@ -310,8 +406,13 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
     std::vector<std::string> names;
     for (ir::BlockId id : cm->model().Inports()) names.push_back(cm->model().block(id).name());
     for (std::size_t i = 0; i < suite.size(); ++i) {
-      std::ofstream out(StrFormat("%s/test_%04zu.csv", outdir.c_str(), i));
-      out << fuzz::TestCaseToCsv(layout, names, suite[i].data);
+      const std::string file = StrFormat("%s/test_%04zu.csv", outdir.c_str(), i);
+      if (Status s = support::WriteFileAtomic(file, fuzz::TestCaseToCsv(layout, names,
+                                                                        suite[i].data));
+          !s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.message().c_str());
+        return 1;
+      }
     }
     std::printf("wrote %zu CSV test cases to %s/\n", suite.size(), outdir.c_str());
   }
@@ -323,11 +424,6 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
                 tf.trace_path.c_str());
   }
   if (!tf.metrics_path.empty()) {
-    std::ofstream mout(tf.metrics_path);
-    if (!mout) {
-      std::fprintf(stderr, "error: cannot open %s for writing\n", tf.metrics_path.c_str());
-      return 1;
-    }
     std::string json = obs::Registry::Global().Snapshot().ToJson();
     // Splice the first-hit provenance snapshot into the metrics document so
     // one file carries both ("cftcg explain" can join either source).
@@ -335,12 +431,28 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
       json.pop_back();
       json += ",\"provenance\":" + provenance->ToJson() + "}";
     }
-    mout << json << "\n";
+    json += "\n";
+    if (Status s = support::WriteFileAtomic(tf.metrics_path, json); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
     std::printf("metrics snapshot written to %s\n", tf.metrics_path.c_str());
   }
   if (provenance != nullptr) {
     std::printf("provenance: %zu / %zu objectives first-hit attributed\n",
                 provenance->num_covered(), provenance->num_objectives());
+  }
+  if (result.interrupted) {
+    // Conventional 128+SIGINT exit code; artifacts above were still flushed
+    // so the partial campaign is fully inspectable.
+    if (df.checkpoint_path.empty()) {
+      std::fprintf(stderr, "interrupted (no --checkpoint configured; progress not saved)\n");
+    } else {
+      std::fprintf(stderr, "interrupted: campaign state saved to %s — continue with:\n"
+                           "  cftcg fuzz %s --checkpoint %s --resume\n",
+                   df.checkpoint_path.c_str(), path.c_str(), df.checkpoint_path.c_str());
+    }
+    return 130;
   }
   return 0;
 }
@@ -458,12 +570,10 @@ bool WriteArtifact(const std::string& path, const std::string& content, const ch
     std::fputs(content.c_str(), stdout);
     return true;
   }
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+  if (Status s = support::WriteFileAtomic(path, content); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.message().c_str());
     return false;
   }
-  out << content;
   std::printf("%s written to %s\n", what, path.c_str());
   return true;
 }
@@ -703,8 +813,12 @@ int CmdCover(const std::string& path, const std::string& csv_dir,
   std::printf("uncovered decision outcomes: %zu\n", uncovered.size());
   for (const auto& u : uncovered) std::printf("  %s\n", u.c_str());
   if (!html_path.empty()) {
-    std::ofstream out(html_path);
-    out << coverage::RenderHtmlReport(cm->model().name(), sink);
+    if (Status s = support::WriteFileAtomic(html_path,
+                                            coverage::RenderHtmlReport(cm->model().name(), sink));
+        !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
     std::printf("HTML report written to %s\n", html_path.c_str());
   }
   return 0;
@@ -776,12 +890,14 @@ int main(int argc, char** argv) {
   std::string html;
   std::string json;
   double seconds = 10;
+  bool seconds_set = false;
   std::uint64_t seed = 1;
   bool fuzz_only = false;
   bool minimize = false;
   bool analyze = false;
   int jobs = 1;
   TelemetryFlags tf;
+  DurabilityFlags df;
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string { return i + 1 < argc ? argv[++i] : ""; };
@@ -790,7 +906,7 @@ int main(int argc, char** argv) {
     else if (a == "--csv-dir") csv_dir = next();
     else if (a == "--html") html = next();
     else if (a == "--json") json = next();
-    else if (a == "--seconds") seconds = std::atof(next().c_str());
+    else if (a == "--seconds") { seconds = std::atof(next().c_str()); seconds_set = true; }
     else if (a == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     else if (a == "--fuzz-only") fuzz_only = true;
     else if (a == "--minimize") minimize = true;
@@ -799,13 +915,29 @@ int main(int argc, char** argv) {
     else if (a == "--stats-every") tf.stats_every = std::atof(next().c_str());
     else if (a == "--trace") tf.trace_path = next();
     else if (a == "--metrics") tf.metrics_path = next();
+    else if (a == "--max-execs") {
+      df.max_execs = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    }
+    else if (a == "--checkpoint") df.checkpoint_path = next();
+    else if (a == "--checkpoint-every") {
+      df.checkpoint_every = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    }
+    else if (a == "--resume") df.resume = true;
+    else if (a == "--step-budget") {
+      df.step_budget = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    }
+    else if (a == "--hangs-dir") df.hangs_dir = next();
   }
+  // An execution-bounded campaign without an explicit wall budget should run
+  // to its execution count, not trip over the 10-second default — that would
+  // silently break the deterministic (resume-identical) schedule.
+  if (df.max_execs != UINT64_MAX && !seconds_set) seconds = 1e9;
 
   if (cmd == "info") return CmdInfo(target);
   if (cmd == "gen") return CmdGen(target, out);
   if (cmd == "analyze") return CmdAnalyze(target, json);
   if (cmd == "fuzz") {
-    return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize, analyze, jobs, tf);
+    return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize, analyze, jobs, tf, df);
   }
   if (cmd == "run") return CmdRun(target, csv);
   if (cmd == "cover") return CmdCover(target, csv_dir, html);
