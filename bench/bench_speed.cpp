@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   std::printf("=== Execution speed: compiled fuzz code vs simulation engine (%.2fs each) ===\n",
               args.budget_s);
   bench::Table table({"Model", "VM it/s", "Interp it/s", "Speedup"});
+  bench::JsonSink json(args, "speed");
   for (const auto& name : args.ModelNames()) {
     auto cm = bench::CompileOrDie(name);
     const std::size_t tuple = cm->instrumented().TupleSize();
@@ -69,8 +70,14 @@ int main(int argc, char** argv) {
 
     table.AddRow({name, StrFormat("%.0f", vm_rate), StrFormat("%.0f", interp_rate),
                   StrFormat("%.0fx", vm_rate / interp_rate)});
+    json.Add(bench::JsonSink::Row(name)
+                 .Num("vm_iters_per_s", vm_rate)
+                 .Num("interp_iters_per_s", interp_rate)
+                 .Num("speedup", vm_rate / interp_rate)
+                 .Num("wall_s", 2 * args.budget_s));
   }
   table.Print();
+  json.Write();
   std::puts("\n(paper on SolarPV: 26,000+ it/s compiled vs 6 it/s simulated; the shape to");
   std::puts(" reproduce is a large compiled-vs-interpreted gap on every model)");
   return 0;

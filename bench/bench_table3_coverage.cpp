@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   bench::Table table({"Model", "Tool", "Decision", "Condition", "MCDC", "exec/s"});
   bench::CsvSink csv(args.csv_path,
                      {"model", "tool", "decision_pct", "condition_pct", "mcdc_pct", "exec_per_s"});
+  bench::JsonSink json(args, "table3_coverage");
 
   const Tool tools[] = {Tool::kSldv, Tool::kSimCoTest, Tool::kCftcg};
   double sum_dc[3] = {0, 0, 0};
@@ -42,6 +43,13 @@ int main(int argc, char** argv) {
       csv.Row({name, std::string(ToolName(tools[t])), StrFormat("%.2f", avg.decision_pct),
                StrFormat("%.2f", avg.condition_pct), StrFormat("%.2f", avg.mcdc_pct),
                StrFormat("%.0f", avg.exec_per_s)});
+      json.Add(bench::JsonSink::Row(name)
+                   .Str("tool", std::string(ToolName(tools[t])))
+                   .Num("decision_pct", avg.decision_pct)
+                   .Num("condition_pct", avg.condition_pct)
+                   .Num("mcdc_pct", avg.mcdc_pct)
+                   .Num("exec_per_s", avg.exec_per_s)
+                   .Num("wall_s", args.budget_s * reps));
       sum_dc[t] += avg.decision_pct;
       sum_cc[t] += avg.condition_pct;
       sum_mcdc[t] += avg.mcdc_pct;
@@ -50,6 +58,7 @@ int main(int argc, char** argv) {
   }
   table.Print();
   if (csv.active()) std::printf("CSV written to %s\n", args.csv_path.c_str());
+  json.Write();
 
   if (n_models > 0) {
     auto rel = [&](double cftcg, double base) {

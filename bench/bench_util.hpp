@@ -7,6 +7,7 @@
 //   --seed <n>           base RNG seed
 //   --models a,b,c       subset of the Table 2 roster (default: all)
 //   --csv <file>         additionally export the table as machine-readable CSV
+//   --json <file>        additionally export results as a JSON document
 // Defaults are small so `for b in build/bench/*; do $b; done` finishes in
 // minutes; the paper-scale run is documented in EXPERIMENTS.md.
 #pragma once
@@ -25,6 +26,7 @@
 #include "coverage/provenance.hpp"
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
+#include "support/atomic_file.hpp"
 #include "support/strings.hpp"
 
 namespace cftcg::bench {
@@ -41,6 +43,9 @@ struct BenchArgs {
   double sim_rate = 0;
   /// When non-empty, benches also write their results as CSV here.
   std::string csv_path;
+  /// When non-empty, benches also write their results as JSON here (the
+  /// CI-friendly BENCH_<name>.json artifact format).
+  std::string json_path;
 
   static BenchArgs Parse(int argc, char** argv, double default_budget_s = 2.0,
                          int default_reps = 3) {
@@ -64,6 +69,8 @@ struct BenchArgs {
         ParseDouble(next(), args.sim_rate);
       } else if (a == "--csv") {
         args.csv_path = next();
+      } else if (a == "--json") {
+        args.json_path = next();
       } else if (a == "--models") {
         for (auto& m : SplitString(next(), ',')) {
           if (!m.empty()) args.models.push_back(m);
@@ -71,7 +78,7 @@ struct BenchArgs {
       } else if (a == "--help") {
         std::printf(
             "usage: %s [--budget s] [--reps n] [--seed n] [--models a,b,...] [--sim-rate it/s]"
-            " [--csv file]\n",
+            " [--csv file] [--json file]\n",
             argv[0]);
         std::exit(0);
       }
@@ -165,6 +172,68 @@ class CsvSink {
 
  private:
   std::ofstream out_;
+};
+
+/// Optional JSON sink for the --json flag. Inactive when the path is empty.
+/// Produces one self-describing document per bench run:
+///
+///   {"bench":"speed","budget_s":0.5,"reps":1,"seed":1,
+///    "results":[{"model":"AFC","vm_iters_per_s":123456.0,...},...]}
+///
+/// Values are rendered with obs::JsonNumber / obs::JsonEscape, so the file
+/// parses back losslessly via obs::ParseJson — CI trend tooling and the
+/// committed bench_results/BENCH_*.json baselines consume the same schema.
+class JsonSink {
+ public:
+  JsonSink(const BenchArgs& args, std::string bench_name)
+      : path_(args.json_path), doc_("{\"bench\":\"" + obs::JsonEscape(bench_name) + "\"" +
+                                    ",\"budget_s\":" + obs::JsonNumber(args.budget_s) +
+                                    ",\"reps\":" + obs::JsonNumber(args.reps) +
+                                    ",\"seed\":" + obs::JsonNumber(static_cast<double>(args.seed)) +
+                                    ",\"results\":[") {}
+
+  class Row {
+   public:
+    explicit Row(std::string model)
+        : obj_("{\"model\":\"" + obs::JsonEscape(model) + "\"") {}
+    Row& Num(const std::string& key, double value) {
+      obj_ += ",\"" + key + "\":" + obs::JsonNumber(value);
+      return *this;
+    }
+    Row& Str(const std::string& key, const std::string& value) {
+      obj_ += ",\"" + key + "\":\"" + obs::JsonEscape(value) + "\"";
+      return *this;
+    }
+
+   private:
+    friend class JsonSink;
+    std::string obj_;
+  };
+
+  void Add(const Row& row) {
+    if (path_.empty()) return;
+    if (rows_++ > 0) doc_ += ',';
+    doc_ += row.obj_ + "}";
+  }
+
+  /// Writes the document (no-op when inactive). Exits on IO failure like
+  /// CsvSink, so a bench invoked for its artifact never half-succeeds.
+  void Write() {
+    if (path_.empty()) return;
+    doc_ += "]}\n";
+    if (Status s = support::WriteFileAtomic(path_, doc_); !s.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", path_.c_str(), s.message().c_str());
+      std::exit(1);
+    }
+    std::printf("JSON results written to %s\n", path_.c_str());
+  }
+
+  [[nodiscard]] bool active() const { return !path_.empty(); }
+
+ private:
+  std::string path_;
+  std::string doc_;
+  int rows_ = 0;
 };
 
 /// One RunTool invocation instrumented with in-memory campaign telemetry.

@@ -8,6 +8,7 @@
 #include "fuzz/checkpoint.hpp"
 #include "ir/value.hpp"
 #include "obs/clock.hpp"
+#include "obs/monitor.hpp"
 #include "support/atomic_file.hpp"
 
 namespace cftcg::fuzz {
@@ -34,9 +35,10 @@ class Fuzzer::Monitor {
   Monitor(const obs::CampaignTelemetry* telemetry, const coverage::CoverageSink& sink,
           const coverage::CoverageSpec& spec, const Corpus& corpus,
           const coverage::ProvenanceMap* provenance, const coverage::MarginRecorder* margins,
-          const coverage::JustificationSet* justifications)
+          const coverage::JustificationSet* justifications,
+          obs::CampaignStatusBoard* board, int worker)
       : tm_(telemetry), sink_(&sink), spec_(&spec), corpus_(&corpus), prov_(provenance),
-        margins_(margins), just_(justifications) {
+        margins_(margins), just_(justifications), board_(board), worker_(worker) {
     if (tm_ != nullptr && tm_->stats_every_s > 0) next_stat_ = tm_->stats_every_s;
   }
 
@@ -168,9 +170,11 @@ class Fuzzer::Monitor {
     do next_stat_ += tm_->stats_every_s;
     while (next_stat_ <= now);
 
+    const double window_begin = window_start_;
     const double window_s = now - window_start_;
+    const std::uint64_t window_execs = result.executions - window_exec_;
     const double exec_per_s =
-        window_s > 0 ? static_cast<double>(result.executions - window_exec_) / window_s : 0;
+        window_s > 0 ? static_cast<double>(window_execs) / window_s : 0;
     const double iters_per_s =
         window_s > 0 ? static_cast<double>(result.model_iterations - window_iters_) / window_s
                      : 0;
@@ -178,8 +182,21 @@ class Fuzzer::Monitor {
     window_exec_ = result.executions;
     window_iters_ = result.model_iterations;
 
-    const coverage::MetricReport report = coverage::ComputeReport(*sink_);
+    // Per-execution duration, sampled as the window mean so the hot loop
+    // never reads a clock per input. One histogram sample per heartbeat.
+    if (window_execs > 0 && window_s > 0) {
+      const double exec_seconds = window_s / static_cast<double>(window_execs);
+      exec_hist_.Record(exec_seconds);
+      if (tm_->registry != nullptr) {
+        tm_->registry->GetHistogram("fuzz.exec_seconds", obs::ExecDurationBucketBounds())
+            .Record(exec_seconds);
+      }
+    }
+
+    const coverage::MetricReport report = coverage::ComputeReport(*sink_, just_);
     SyncRegistry(result, report, exec_per_s, iters_per_s);
+    PublishBoard(now, result, report, exec_per_s);
+    if (board_ != nullptr) board_->LogSpan("window", worker_ + 1, window_begin, window_s);
 
     if (tm_->trace != nullptr) {
       obs::TraceEvent ev("stat");
@@ -205,14 +222,23 @@ class Fuzzer::Monitor {
       tm_->trace->Emit(ev);
     }
     if (tm_->status_stream != nullptr) {
+      const obs::HistogramSnapshot exec_snap = ExecSnapshot();
       std::fprintf(tm_->status_stream,
-                   "#%llu\tcov: %.1f/%.1f/%.1f corp: %zu exec/s: %.0f\n",
+                   "#%llu\tcov: %.1f/%.1f/%.1f corp: %zu exec/s: %.0f"
+                   " exec_us p50/p95/p99: %.1f/%.1f/%.1f\n",
                    static_cast<unsigned long long>(result.executions), report.DecisionPct(),
-                   report.ConditionPct(), report.McdcPct(), corpus_->size(), exec_per_s);
+                   report.ConditionPct(), report.McdcPct(), corpus_->size(), exec_per_s,
+                   exec_snap.Quantile(0.5) * 1e6, exec_snap.Quantile(0.95) * 1e6,
+                   exec_snap.Quantile(0.99) * 1e6);
     }
   }
 
   void OnStop(double elapsed, const CampaignResult& result) {
+    if (board_ != nullptr) {
+      const double exec_per_s_final =
+          elapsed > 0 ? static_cast<double>(result.executions) / elapsed : 0;
+      PublishBoard(elapsed, result, result.report, exec_per_s_final);
+    }
     if (tm_ == nullptr) return;
     const double exec_per_s =
         elapsed > 0 ? static_cast<double>(result.executions) / elapsed : 0;
@@ -279,6 +305,39 @@ class Fuzzer::Monitor {
   }
 
  private:
+  /// Snapshot of the local exec-duration histogram for Quantile().
+  [[nodiscard]] obs::HistogramSnapshot ExecSnapshot() const {
+    return obs::HistogramSnapshot{"fuzz.exec_seconds", exec_hist_.count(), exec_hist_.sum(),
+                                  exec_hist_.min(),    exec_hist_.max(),   exec_hist_.bounds(),
+                                  exec_hist_.bucket_counts()};
+  }
+
+  /// Pushes the heartbeat aggregates to the live status board (no-op
+  /// without one).
+  void PublishBoard(double now, const CampaignResult& result,
+                    const coverage::MetricReport& report, double exec_per_s) {
+    if (board_ == nullptr) return;
+    obs::CampaignAggregates agg;
+    agg.elapsed_s = now;
+    agg.executions = result.executions;
+    agg.model_iterations = result.model_iterations;
+    agg.exec_per_s = exec_per_s;
+    agg.corpus = corpus_->size();
+    agg.test_cases = result.test_cases.size();
+    agg.decision_pct = report.DecisionPct();
+    agg.condition_pct = report.ConditionPct();
+    agg.mcdc_pct = report.McdcPct();
+    agg.adj_decision_pct = report.AdjustedDecisionPct();
+    agg.adj_condition_pct = report.AdjustedConditionPct();
+    agg.adj_mcdc_pct = report.AdjustedMcdcPct();
+    if (prov_ != nullptr) {
+      agg.objectives_covered = prov_->num_covered();
+      agg.objectives_total = prov_->num_objectives();
+    }
+    agg.hangs = result.hangs;
+    board_->UpdateAggregates(agg);
+  }
+
   void SyncRegistry(const CampaignResult& result, const coverage::MetricReport& report,
                     double exec_per_s, double iters_per_s) {
     if (tm_->registry == nullptr) return;
@@ -308,6 +367,9 @@ class Fuzzer::Monitor {
   const coverage::ProvenanceMap* prov_;
   const coverage::MarginRecorder* margins_;
   const coverage::JustificationSet* just_;
+  obs::CampaignStatusBoard* board_;
+  int worker_;
+  obs::Histogram exec_hist_{obs::ExecDurationBucketBounds()};
   double next_stat_ = std::numeric_limits<double>::infinity();
   double window_start_ = 0;
   std::uint64_t window_exec_ = 0;
@@ -488,7 +550,8 @@ void Fuzzer::Begin(const FuzzBudget& budget) {
   watch_.Restart();
   monitor_ = std::make_unique<Monitor>(options_.telemetry, sink_, *spec_, corpus_,
                                        options_.provenance, options_.margins,
-                                       options_.justifications);
+                                       options_.justifications, options_.status_board,
+                                       options_.status_worker);
 
   // Per-objective first-hit attribution. Runs only on corpus admissions
   // (rare), so a provenance-enabled campaign pays nothing per execution;
@@ -536,6 +599,9 @@ void Fuzzer::AdmitSeed(std::vector<std::uint8_t> data, const char* chain,
     if (found_new && !last_input_hung_) MeasureOnInstrumented(seed.data);
   }
   ++result_.executions;
+  if (options_.status_board != nullptr) {
+    options_.status_board->StampWorker(options_.status_worker, result_.executions);
+  }
   if (last_input_hung_) {
     // A seed that wedges the model is quarantined, not admitted — the rest
     // of the seed schedule proceeds (same RNG draws as a healthy campaign).
@@ -608,6 +674,9 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
   assert(campaign_active_);
   if (campaign_done_) return result_.executions;
   const std::size_t tuple_size = std::max<std::size_t>(instrumented_->TupleSize(), 1);
+  // Hoisted so the per-execution stamp is a null check when monitoring is
+  // off (the --serve-off case pays nothing measurable).
+  obs::CampaignStatusBoard* const board = options_.status_board;
 
   while (true) {
     const double now = Elapsed();
@@ -671,6 +740,7 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
     }
     const std::uint64_t signature = last_signature_;
     ++result_.executions;
+    if (board != nullptr) board->StampWorker(options_.status_worker, result_.executions);
 
     if (last_input_hung_) {
       // Step-budget blowout: quarantine the input and move on (libFuzzer's
@@ -714,6 +784,11 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
   }
   result_.model_iterations = model_iterations_;
   result_.measure_iterations = measure_iterations_;
+  // Workers finish at different times; the stall watchdog exempts lanes
+  // whose campaign is over (budget, frontier, or interrupt).
+  if (board != nullptr && (campaign_done_ || interrupted_)) {
+    board->SetWorkerDone(options_.status_worker);
+  }
   return result_.executions;
 }
 
@@ -777,6 +852,9 @@ CampaignResult Fuzzer::Finish() {
   monitor_->OnStop(result_.elapsed_s, result_);
   campaign_active_ = false;
   campaign_done_ = true;
+  if (options_.status_board != nullptr) {
+    options_.status_board->SetWorkerDone(options_.status_worker);
+  }
   return std::move(result_);
 }
 

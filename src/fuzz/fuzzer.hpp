@@ -33,6 +33,10 @@
 #include "obs/telemetry.hpp"
 #include "vm/machine.hpp"
 
+namespace cftcg::obs {
+class CampaignStatusBoard;  // obs/monitor.hpp: live-monitoring status board
+}
+
 namespace cftcg::fuzz {
 
 struct FuzzerState;        // checkpoint.hpp: full resumable state of one Fuzzer
@@ -63,6 +67,14 @@ struct FuzzerOptions {
   /// heartbeat/status line). Not owned; must outlive the Fuzzer. Null keeps
   /// the loop telemetry-free.
   obs::CampaignTelemetry* telemetry = nullptr;
+  /// Optional live status board (obs/monitor.hpp, the `fuzz --serve`
+  /// endpoints): the engine stamps per-execution progress into its worker
+  /// lane (two relaxed atomic stores) and publishes heartbeat aggregates.
+  /// Not owned; must outlive the Fuzzer. Null (default) keeps the loop
+  /// entirely monitoring-free.
+  obs::CampaignStatusBoard* status_board = nullptr;
+  /// This engine's lane on the status board (parallel workers use 0..N-1).
+  int status_worker = 0;
   /// Optional per-objective first-hit attribution (fed on new-coverage
   /// events only, so no hot-path cost when covered slots stop growing —
   /// except the per-execution MCDC eval-set growth check, which exists

@@ -10,6 +10,7 @@
 #include "coverage/report.hpp"
 #include "fuzz/checkpoint.hpp"
 #include "obs/clock.hpp"
+#include "obs/monitor.hpp"
 #include "obs/timer.hpp"
 #include "support/atomic_file.hpp"
 #include "support/rng.hpp"
@@ -49,6 +50,9 @@ ParallelFuzzer::ParallelFuzzer(const vm::Program& instrumented,
   for (std::size_t i = 0; i < n; ++i) {
     FuzzerOptions wopts = options_;
     wopts.seed = i == 0 ? options_.seed : master.NextU64();
+    // The status board is per-lane by construction, so workers keep it (the
+    // stamps are wait-free); everything aggregate-level stays driver-owned.
+    wopts.status_worker = static_cast<int>(i);
     // The driver owns telemetry (aggregated heartbeats, per-worker phase
     // spans); margins are a sequential-only feature (a shared recorder
     // would race and per-worker recorders have no merge semantics).
@@ -84,6 +88,7 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
   ParallelCampaignResult out;
   obs::Stopwatch watch;
   obs::CampaignTelemetry* tm = options_.telemetry;
+  obs::CampaignStatusBoard* const board = options_.status_board;
 
   // Campaign wall time spans interruptions: a resumed driver starts its
   // clock where the checkpointed one stopped.
@@ -246,17 +251,35 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
     do next_stat += tm->stats_every_s;
     while (next_stat <= now);
     for (std::size_t i = 0; i < n; ++i) global.MergeFrom(workers_[i]->sink());
-    const coverage::MetricReport report = coverage::ComputeReport(global);
+    const coverage::MetricReport report =
+        coverage::ComputeReport(global, options_.justifications);
     std::uint64_t exec = 0;
     std::uint64_t corpus = 0;
+    std::uint64_t iters = 0;
     for (std::size_t i = 0; i < n; ++i) {
       exec += workers_[i]->executions();
       corpus += workers_[i]->corpus().size();
+      iters += workers_[i]->model_iterations();
     }
     const double window = now - last_stat_time;
     const double exec_per_s = window > 0 ? static_cast<double>(exec - last_stat_exec) / window : 0;
     last_stat_time = now;
     last_stat_exec = exec;
+    if (board != nullptr) {
+      obs::CampaignAggregates agg;
+      agg.elapsed_s = now;
+      agg.executions = exec;
+      agg.model_iterations = iters;
+      agg.exec_per_s = exec_per_s;
+      agg.corpus = corpus;
+      agg.decision_pct = report.DecisionPct();
+      agg.condition_pct = report.ConditionPct();
+      agg.mcdc_pct = report.McdcPct();
+      agg.adj_decision_pct = report.AdjustedDecisionPct();
+      agg.adj_condition_pct = report.AdjustedConditionPct();
+      agg.adj_mcdc_pct = report.AdjustedMcdcPct();
+      board->UpdateAggregates(agg);
+    }
     if (tm->registry != nullptr) {
       tm->registry->GetGauge("fuzz.exec_per_s").Set(exec_per_s);
       tm->registry->GetGauge("fuzz.corpus_size").Set(static_cast<double>(corpus));
@@ -302,15 +325,21 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
       Fuzzer* worker = workers_[i].get();
       obs::PhaseAccumulator* acc = &phase[i];
       const std::uint64_t target = worker->executions() + parallel_.sync_every;
-      threads.emplace_back([worker, acc, target]() {
+      const double round_t0 = elapsed();
+      const int tid = static_cast<int>(i) + 1;
+      threads.emplace_back([worker, acc, target, board, round_t0, tid]() {
         obs::Stopwatch chunk;
         worker->RunChunk(target);
-        acc->Add(chunk.Elapsed());
+        const double dur = chunk.Elapsed();
+        acc->Add(dur);
+        if (board != nullptr) board->LogSpan("round", tid, round_t0, dur);
       });
     }
     for (auto& t : threads) t.join();  // barrier: the merge is single-threaded
     ++out.rounds;
+    const double sync_t0 = elapsed();
     sync_round();
+    if (board != nullptr && n > 1) board->LogSpan("sync", 0, sync_t0, elapsed() - sync_t0);
     if (tm != nullptr) heartbeat();
     if (total_executions() >= next_checkpoint) {
       write_checkpoint();
@@ -349,10 +378,27 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
     merged.corpus_fingerprint =
         (merged.corpus_fingerprint ^ r.corpus_fingerprint) * 1099511628211ULL;
   }
-  merged.report = coverage::ComputeReport(global);
+  merged.report = coverage::ComputeReport(global, options_.justifications);
   merged.coverage_fingerprint = CoverageFingerprint(global);
   merged.elapsed_s = elapsed();
   merged.interrupted = out.interrupted;
+  // Final board aggregates; published after the provenance merge below so
+  // the objective counts make it into the last /status document.
+  obs::CampaignAggregates final_agg;
+  final_agg.elapsed_s = merged.elapsed_s;
+  final_agg.executions = merged.executions;
+  final_agg.model_iterations = merged.model_iterations;
+  final_agg.exec_per_s =
+      merged.elapsed_s > 0 ? static_cast<double>(merged.executions) / merged.elapsed_s : 0;
+  for (const auto& w : workers_) final_agg.corpus += w->corpus().size();
+  final_agg.test_cases = merged.test_cases.size();
+  final_agg.decision_pct = merged.report.DecisionPct();
+  final_agg.condition_pct = merged.report.ConditionPct();
+  final_agg.mcdc_pct = merged.report.McdcPct();
+  final_agg.adj_decision_pct = merged.report.AdjustedDecisionPct();
+  final_agg.adj_condition_pct = merged.report.AdjustedConditionPct();
+  final_agg.adj_mcdc_pct = merged.report.AdjustedMcdcPct();
+  final_agg.hangs = merged.hangs;
 
   // Corpus fingerprint: the union of admitted coverage signatures.
   {
@@ -394,7 +440,10 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
       tm->registry->GetGauge("fuzz.objectives_total")
           .Set(static_cast<double>(options_.provenance->num_objectives()));
     }
+    final_agg.objectives_covered = options_.provenance->num_covered();
+    final_agg.objectives_total = options_.provenance->num_objectives();
   }
+  if (board != nullptr) board->UpdateAggregates(final_agg);
 
   if (tm != nullptr) {
     if (tm->registry != nullptr) {

@@ -1,0 +1,238 @@
+#include "net/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace cftcg::net {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 64 * 1024;  // headers only; no bodies
+
+Status Errno(const char* what) {
+  return Status::Error(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+void SetRecvTimeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Writes the whole buffer, retrying on short writes / EINTR.
+bool WriteAll(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "";
+  }
+}
+
+void WriteResponse(int fd, const HttpResponse& resp) {
+  std::string head = StrFormat(
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      resp.status, ReasonPhrase(resp.status), resp.content_type.c_str(), resp.body.size());
+  if (WriteAll(fd, head.data(), head.size())) {
+    WriteAll(fd, resp.body.data(), resp.body.size());
+  }
+}
+
+/// Reads until the end of the header block ("\r\n\r\n"); GET carries no body.
+bool ReadRequestHead(int fd, std::string* out) {
+  char buf[4096];
+  while (out->find("\r\n\r\n") == std::string::npos) {
+    if (out->size() > kMaxRequestBytes) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;  // peer closed or receive timeout
+    out->append(buf, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(std::uint16_t port,
+                                                      HttpHandler handler) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // monitor is local-only
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Errno(StrFormat("bind 127.0.0.1:%u", port).c_str());
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  // Read the bound port back: the whole point of port 0.
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status s = Errno("getsockname");
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<HttpServer>(
+      new HttpServer(fd, ntohs(addr.sin_port), std::move(handler)));
+}
+
+HttpServer::HttpServer(int listen_fd, std::uint16_t port, HttpHandler handler)
+    : listen_fd_(listen_fd), port_(port), handler_(std::move(handler)) {
+  thread_ = std::thread([this]() { Serve(); });
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Stop() {
+  if (!stop_.exchange(true) && thread_.joinable()) thread_.join();
+}
+
+void HttpServer::Serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Poll with a short timeout instead of blocking in accept(2): Stop()
+    // only has to flip the flag and join, no cross-thread socket shutdown.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout, EINTR, or transient error
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    SetRecvTimeout(client, 5.0);
+    HandleConnection(client);
+    ::close(client);
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::HandleConnection(int fd) {
+  std::string head;
+  if (!ReadRequestHead(fd, &head)) return;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::size_t eol = head.find("\r\n");
+  const std::vector<std::string> parts =
+      SplitString(head.substr(0, eol == std::string::npos ? 0 : eol), ' ');
+  if (parts.size() < 3) {
+    WriteResponse(fd, HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"});
+    return;
+  }
+  HttpRequest req;
+  req.method = parts[0];
+  req.target = parts[1];
+  if (req.method != "GET" && req.method != "HEAD") {
+    WriteResponse(fd, HttpResponse{405, "text/plain; charset=utf-8",
+                                   "only GET is supported\n"});
+    return;
+  }
+  HttpResponse resp = handler_ ? handler_(req)
+                               : HttpResponse{404, "text/plain; charset=utf-8",
+                                              "no handler\n"};
+  if (req.method == "HEAD") resp.body.clear();
+  WriteResponse(fd, resp);
+}
+
+Status HttpGet(std::uint16_t port, const std::string& path, HttpResponse* out,
+               double timeout_s) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  SetRecvTimeout(fd, timeout_s);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Errno(StrFormat("connect 127.0.0.1:%u", port).c_str());
+    ::close(fd);
+    return s;
+  }
+  const std::string request = StrFormat(
+      "GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n", path.c_str());
+  if (!WriteAll(fd, request.data(), request.size())) {
+    ::close(fd);
+    return Status::Error("send failed");
+  }
+
+  // Connection: close — read to EOF, then split head from body.
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+    if (raw.size() > 64 * 1024 * 1024) break;  // runaway-response backstop
+  }
+  ::close(fd);
+
+  const std::size_t split = raw.find("\r\n\r\n");
+  if (split == std::string::npos) {
+    return Status::Error(StrFormat("malformed HTTP response (%zu bytes)", raw.size()));
+  }
+  const std::string head = raw.substr(0, split);
+  out->body = raw.substr(split + 4);
+
+  // Status line: HTTP/1.1 SP CODE SP REASON.
+  const std::vector<std::string> parts =
+      SplitString(head.substr(0, head.find("\r\n")), ' ');
+  long long code = 0;
+  if (parts.size() < 2 || !ParseInt64(parts[1], code)) {
+    return Status::Error("malformed HTTP status line");
+  }
+  out->status = static_cast<int>(code);
+  // Content-Type header (case-insensitive name match, simple parse).
+  out->content_type.clear();
+  for (const std::string& line : SplitString(head, '\n')) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (name == "content-type") {
+      out->content_type = std::string(TrimString(line.substr(colon + 1)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cftcg::net

@@ -1,0 +1,83 @@
+// Minimal dependency-free HTTP/1.1 server and client over POSIX sockets.
+//
+// The server exists to expose live campaign state (obs::MonitorServer); it
+// deliberately implements only what a metrics scraper or a browser polling
+// a status page needs: GET requests, one request per connection
+// (Connection: close), sequential handling on a single background thread.
+// The listen loop polls with a short timeout so Stop() returns promptly
+// without racing the accept(2) call, and every client socket gets a receive
+// timeout so a stuck peer cannot wedge the serving thread.
+//
+// The client half (HttpGet) is the same few syscalls in the other
+// direction, used by the monitor round-trip tests and the `cftcg-http-get`
+// test tool so CI needs no curl.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "support/status.hpp"
+
+namespace cftcg::net {
+
+struct HttpRequest {
+  std::string method;  // "GET", ...
+  std::string target;  // path as sent, e.g. "/status"
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Request handler; runs on the serving thread. Must not block indefinitely.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Blocking HTTP/1.1 server bound to 127.0.0.1. Construction via Start()
+/// binds and spawns the serving thread; `port` 0 picks an ephemeral port
+/// (read the bound one back with port()).
+class HttpServer {
+ public:
+  static Result<std::unique_ptr<HttpServer>> Start(std::uint16_t port, HttpHandler handler);
+
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound TCP port (the ephemeral one when Start was given 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stops accepting, joins the serving thread. Idempotent; also run by the
+  /// destructor.
+  void Stop();
+
+  /// Requests served so far (including error responses).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  HttpServer(int listen_fd, std::uint16_t port, HttpHandler handler);
+  void Serve();                    // accept/dispatch loop (serving thread)
+  void HandleConnection(int fd);   // one request/response exchange
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  HttpHandler handler_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+/// Blocking GET against 127.0.0.1:port. On success fills `out` with the
+/// response and returns OK (including for non-200 statuses — the status
+/// code is the caller's to inspect); errors are connection/protocol level.
+Status HttpGet(std::uint16_t port, const std::string& path, HttpResponse* out,
+               double timeout_s = 5.0);
+
+}  // namespace cftcg::net

@@ -2,10 +2,10 @@
 // histograms with a pull-style snapshot API.
 //
 // Hot-path writes are a single relaxed atomic op (Counter/Gauge) or a few
-// plain stores (Histogram, single-writer); registration and snapshotting
-// take a mutex but happen off the hot path. Metric objects have stable
-// addresses for the life of the registry, so callers hoist the lookup out
-// of their loops:
+// relaxed atomic ops (Histogram — safe under concurrent recorders);
+// registration and snapshotting take a mutex but happen off the hot path.
+// Metric objects have stable addresses for the life of the registry, so
+// callers hoist the lookup out of their loops:
 //
 //   obs::Counter& execs = registry.GetCounter("fuzz.executions");
 //   while (...) { execs.Increment(); }
@@ -43,28 +43,34 @@ class Gauge {
 
 /// Fixed-bucket histogram. Bucket i counts samples with
 /// value <= bounds[i] (and > bounds[i-1]); one overflow bucket catches the
-/// rest. Single-writer: concurrent Record calls on one histogram race.
+/// rest. Record is thread-safe (the parallel engine's workers share the
+/// global registry): bucket/count/sum updates are relaxed atomic adds and
+/// min/max maintenance is a CAS loop, so concurrent recorders never lose a
+/// sample. Cross-field consistency is only as strong as a snapshot taken
+/// between bursts — sum and count drift apart transiently mid-Record, which
+/// is the standard contract for lock-free metrics.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
   void Record(double value);
 
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] double sum() const { return sum_; }
-  [[nodiscard]] double min() const { return min_; }
-  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// min()/max() report 0 until the first sample lands (matching count()==0).
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
-  /// bucket_counts().size() == bounds().size() + 1 (last = overflow).
-  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+  /// Copied out (relaxed loads): size() == bounds().size() + 1, last = overflow.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
 
  private:
-  std::vector<double> bounds_;           // ascending upper bounds
-  std::vector<std::uint64_t> buckets_;   // bounds_.size() + 1 entries
-  std::uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
+  std::vector<double> bounds_;                          // ascending upper bounds
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_;  // +inf until the first Record
+  std::atomic<double> max_;  // -inf until the first Record
 };
 
 struct CounterSnapshot {
@@ -86,6 +92,10 @@ struct HistogramSnapshot {
   std::vector<double> bounds;
   std::vector<std::uint64_t> bucket_counts;
   [[nodiscard]] double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0; }
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation within the
+  /// bucket holding the target rank — the Prometheus histogram_quantile
+  /// estimator, clamped to the observed [min, max]. 0 when empty.
+  [[nodiscard]] double Quantile(double q) const;
 };
 
 /// A point-in-time copy of every metric; later registry updates do not
@@ -132,5 +142,9 @@ class Registry {
 
 /// Default bucket bounds for phase/span durations in seconds.
 std::vector<double> DurationBucketBounds();
+
+/// Finer sub-millisecond bounds for per-execution durations in seconds —
+/// a fuzzing executor runs in microseconds, far below the phase buckets.
+std::vector<double> ExecDurationBucketBounds();
 
 }  // namespace cftcg::obs

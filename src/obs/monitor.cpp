@@ -1,0 +1,406 @@
+#include "obs/monitor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/prometheus.hpp"
+#include "support/strings.hpp"
+
+namespace cftcg::obs {
+
+// --------------------------------------------------------------------------
+// CampaignStatusBoard
+
+void CampaignStatusBoard::BeginCampaign(const CampaignInfo& info) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  info_ = info;
+  agg_ = CampaignAggregates{};
+  agg_.elapsed_s = info.time_base_s;
+  running_ = true;
+  watch_.Restart();
+  events_.clear();
+  dropped_events_ = 0;
+  const int workers = std::max(info.workers, 1);
+  // Lanes allocate once; publishing through num_lanes_ (release) makes the
+  // array visible to wait-free readers that load it (acquire) without the
+  // mutex. Re-begin with more workers regrows; with fewer, spare lanes idle.
+  if (workers > num_lanes_.load(std::memory_order_relaxed)) {
+    lanes_ = std::make_unique<Lane[]>(static_cast<std::size_t>(workers));
+    num_lanes_.store(workers, std::memory_order_release);
+  } else {
+    for (int i = 0; i < num_lanes_.load(std::memory_order_relaxed); ++i) {
+      lanes_[static_cast<std::size_t>(i)].epoch.store(0, std::memory_order_relaxed);
+      lanes_[static_cast<std::size_t>(i)].executions.store(0, std::memory_order_relaxed);
+      lanes_[static_cast<std::size_t>(i)].done.store(false, std::memory_order_relaxed);
+      lanes_[static_cast<std::size_t>(i)].stalled.store(false, std::memory_order_relaxed);
+    }
+  }
+}
+
+void CampaignStatusBoard::UpdateAggregates(const CampaignAggregates& agg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  agg_ = agg;
+}
+
+void CampaignStatusBoard::EndCampaign() {
+  const double end_s = Elapsed();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!running_) return;
+  running_ = false;
+  AppendEvent(Event{"campaign", 0, info_.time_base_s, end_s - info_.time_base_s});
+}
+
+bool CampaignStatusBoard::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+int CampaignStatusBoard::num_workers() const {
+  return num_lanes_.load(std::memory_order_acquire);
+}
+
+double CampaignStatusBoard::Elapsed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return info_.time_base_s + watch_.Elapsed();
+}
+
+void CampaignStatusBoard::StampWorker(int worker, std::uint64_t executions) {
+  if (worker < 0 || worker >= num_lanes_.load(std::memory_order_acquire)) return;
+  Lane& lane = lanes_[static_cast<std::size_t>(worker)];
+  lane.executions.store(executions, std::memory_order_relaxed);
+  lane.epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CampaignStatusBoard::SetWorkerDone(int worker) {
+  if (worker < 0 || worker >= num_lanes_.load(std::memory_order_acquire)) return;
+  lanes_[static_cast<std::size_t>(worker)].done.store(true, std::memory_order_relaxed);
+}
+
+void CampaignStatusBoard::SetWorkerStalled(int worker, bool stalled) {
+  if (worker < 0 || worker >= num_lanes_.load(std::memory_order_acquire)) return;
+  lanes_[static_cast<std::size_t>(worker)].stalled.store(stalled, std::memory_order_relaxed);
+}
+
+std::uint64_t CampaignStatusBoard::WorkerEpoch(int worker) const {
+  if (worker < 0 || worker >= num_lanes_.load(std::memory_order_acquire)) return 0;
+  return lanes_[static_cast<std::size_t>(worker)].epoch.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CampaignStatusBoard::WorkerExecutions(int worker) const {
+  if (worker < 0 || worker >= num_lanes_.load(std::memory_order_acquire)) return 0;
+  return lanes_[static_cast<std::size_t>(worker)].executions.load(std::memory_order_relaxed);
+}
+
+bool CampaignStatusBoard::WorkerDone(int worker) const {
+  if (worker < 0 || worker >= num_lanes_.load(std::memory_order_acquire)) return false;
+  return lanes_[static_cast<std::size_t>(worker)].done.load(std::memory_order_relaxed);
+}
+
+bool CampaignStatusBoard::WorkerStalled(int worker) const {
+  if (worker < 0 || worker >= num_lanes_.load(std::memory_order_acquire)) return false;
+  return lanes_[static_cast<std::size_t>(worker)].stalled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CampaignStatusBoard::TotalWorkerExecutions() const {
+  std::uint64_t total = 0;
+  const int n = num_lanes_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    total += lanes_[static_cast<std::size_t>(i)].executions.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void CampaignStatusBoard::CountStall() {
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t CampaignStatusBoard::stall_count() const {
+  return stalls_.load(std::memory_order_relaxed);
+}
+
+void CampaignStatusBoard::AppendEvent(Event event) {
+  // Caller holds mutex_.
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_events_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void CampaignStatusBoard::LogSpan(std::string_view name, int tid, double start_s,
+                                  double dur_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AppendEvent(Event{std::string(name), tid, start_s, std::max(dur_s, 0.0)});
+}
+
+void CampaignStatusBoard::LogInstant(std::string_view name, int tid, double t_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AppendEvent(Event{std::string(name), tid, t_s, -1.0});
+}
+
+std::string CampaignStatusBoard::StatusJson() const {
+  // Lane reads are wait-free; take them before the mutex so the hot path is
+  // never behind it.
+  const int workers = num_workers();
+  const std::uint64_t live_executions = TotalWorkerExecutions();
+  std::string lanes = "[";
+  for (int i = 0; i < workers; ++i) {
+    if (i > 0) lanes += ',';
+    lanes += StrFormat(
+        "{\"worker\":%d,\"epoch\":%llu,\"executions\":%llu,\"done\":%s,\"stalled\":%s}", i,
+        static_cast<unsigned long long>(WorkerEpoch(i)),
+        static_cast<unsigned long long>(WorkerExecutions(i)),
+        WorkerDone(i) ? "true" : "false", WorkerStalled(i) ? "true" : "false");
+  }
+  lanes += ']';
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double elapsed = running_ ? info_.time_base_s + watch_.Elapsed() : agg_.elapsed_s;
+  std::string out = StrFormat(
+      "{\"model\":\"%s\",\"mode\":\"%s\",\"seed\":%llu,\"workers\":%d,"
+      "\"budget_s\":%s,\"running\":%s,\"elapsed_s\":%s,\"executions\":%llu,"
+      "\"exec_per_s\":%s,\"model_iterations\":%llu,\"corpus\":%llu,\"test_cases\":%llu",
+      JsonEscape(info_.model).c_str(), JsonEscape(info_.mode).c_str(),
+      static_cast<unsigned long long>(info_.seed), info_.workers,
+      JsonNumber(info_.budget_s).c_str(), running_ ? "true" : "false",
+      JsonNumber(elapsed).c_str(),
+      static_cast<unsigned long long>(std::max(live_executions, agg_.executions)),
+      JsonNumber(agg_.exec_per_s).c_str(),
+      static_cast<unsigned long long>(agg_.model_iterations),
+      static_cast<unsigned long long>(agg_.corpus),
+      static_cast<unsigned long long>(agg_.test_cases));
+  out += StrFormat(
+      ",\"coverage\":{\"decision_pct\":%s,\"condition_pct\":%s,\"mcdc_pct\":%s,"
+      "\"adjusted\":{\"decision_pct\":%s,\"condition_pct\":%s,\"mcdc_pct\":%s}}",
+      JsonNumber(agg_.decision_pct).c_str(), JsonNumber(agg_.condition_pct).c_str(),
+      JsonNumber(agg_.mcdc_pct).c_str(), JsonNumber(agg_.adj_decision_pct).c_str(),
+      JsonNumber(agg_.adj_condition_pct).c_str(), JsonNumber(agg_.adj_mcdc_pct).c_str());
+  if (agg_.objectives_total > 0) {
+    out += StrFormat(",\"objectives\":{\"covered\":%llu,\"total\":%llu,\"residual\":%llu}",
+                     static_cast<unsigned long long>(agg_.objectives_covered),
+                     static_cast<unsigned long long>(agg_.objectives_total),
+                     static_cast<unsigned long long>(agg_.objectives_total -
+                                                     agg_.objectives_covered));
+  }
+  out += StrFormat(",\"hangs\":%llu,\"stalls\":%llu,\"dropped_events\":%zu",
+                   static_cast<unsigned long long>(agg_.hangs),
+                   static_cast<unsigned long long>(stall_count()), dropped_events_);
+  out += ",\"workers_detail\":" + lanes + "}";
+  return out;
+}
+
+std::string CampaignStatusBoard::PerfettoJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out += StrFormat(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"cftcg %s (%s)\"}}",
+      JsonEscape(info_.model).c_str(), JsonEscape(info_.mode).c_str());
+  out +=
+      ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"driver\"}}";
+  const int workers = num_lanes_.load(std::memory_order_acquire);
+  for (int i = 0; i < workers; ++i) {
+    out += StrFormat(
+        ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+        "\"args\":{\"name\":\"worker %d\"}}",
+        i + 1, i);
+  }
+  for (const Event& e : events_) {
+    const double ts_us = e.start_s * 1e6;
+    if (e.dur_s < 0) {
+      out += StrFormat(
+          ",{\"name\":\"%s\",\"cat\":\"campaign\",\"ph\":\"i\",\"s\":\"t\","
+          "\"pid\":1,\"tid\":%d,\"ts\":%s}",
+          JsonEscape(e.name).c_str(), e.tid, JsonNumber(ts_us).c_str());
+    } else {
+      out += StrFormat(
+          ",{\"name\":\"%s\",\"cat\":\"campaign\",\"ph\":\"X\","
+          "\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s}",
+          JsonEscape(e.name).c_str(), e.tid, JsonNumber(ts_us).c_str(),
+          JsonNumber(e.dur_s * 1e6).c_str());
+    }
+  }
+  out += StrFormat("],\"otherData\":{\"dropped_events\":\"%zu\"}}", dropped_events_);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// StallWatchdog
+
+StallWatchdog::StallWatchdog(CampaignStatusBoard* board, Registry* registry,
+                             double window_s)
+    : board_(board), registry_(registry), window_s_(std::max(window_s, 0.1)) {}
+
+StallWatchdog::~StallWatchdog() { Stop(); }
+
+void StallWatchdog::Start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this]() {
+    // Poll a few times per window so detection lands well inside it.
+    const auto tick = std::chrono::milliseconds(
+        std::clamp(static_cast<int>(window_s_ * 250), 50, 1000));
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, tick);
+      if (stop_) break;
+      lock.unlock();
+      Poll(board_->Elapsed());
+      lock.lock();
+    }
+  });
+}
+
+void StallWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StallWatchdog::Poll(double now_s) {
+  const int n = board_->num_workers();
+  if (static_cast<int>(watched_.size()) < n) {
+    watched_.resize(static_cast<std::size_t>(n));
+  }
+  for (int i = 0; i < n; ++i) {
+    Watched& w = watched_[static_cast<std::size_t>(i)];
+    if (board_->WorkerDone(i)) {
+      // Finished workers cannot stall; clear any leftover flag.
+      if (board_->WorkerStalled(i)) board_->SetWorkerStalled(i, false);
+      continue;
+    }
+    const std::uint64_t epoch = board_->WorkerEpoch(i);
+    if (!w.seen || epoch != w.epoch) {
+      if (w.seen && board_->WorkerStalled(i)) {
+        board_->SetWorkerStalled(i, false);
+        board_->LogInstant("stall_cleared", i + 1, now_s);
+      }
+      w.epoch = epoch;
+      w.last_change_s = now_s;
+      w.seen = true;
+      continue;
+    }
+    // A lane that never stamped is a worker that has not started yet (e.g.
+    // still compiling); only flag lanes that made progress and then stopped.
+    if (epoch == 0) continue;
+    if (now_s - w.last_change_s >= window_s_ && !board_->WorkerStalled(i)) {
+      board_->SetWorkerStalled(i, true);
+      board_->CountStall();
+      if (registry_ != nullptr) registry_->GetCounter("fuzz.worker_stalls").Increment();
+      board_->LogInstant("stall", i + 1, now_s);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// MonitorServer
+
+namespace {
+
+constexpr const char kIndexHtml[] = R"html(<!doctype html>
+<html><head><meta charset="utf-8"><title>cftcg monitor</title>
+<style>
+body{font-family:monospace;margin:2em;background:#111;color:#ddd}
+h1{font-size:1.2em} table{border-collapse:collapse;margin-top:1em}
+td,th{border:1px solid #444;padding:.3em .8em;text-align:right}
+th{background:#222} .stalled{color:#f55;font-weight:bold}
+#agg{white-space:pre;line-height:1.6}
+</style></head><body>
+<h1>cftcg live monitor</h1>
+<div id="agg">loading /status ...</div>
+<table id="workers"></table>
+<p>endpoints: <a href="/status">/status</a> &middot;
+<a href="/metrics">/metrics</a> &middot; <a href="/trace.json">/trace.json</a></p>
+<script>
+async function tick(){
+  try{
+    const s = await (await fetch('/status')).json();
+    const pct = x => x.toFixed(2)+'%';
+    document.getElementById('agg').textContent =
+      `model ${s.model}  mode ${s.mode}  seed ${s.seed}  workers ${s.workers}\n`+
+      `${s.running?'RUNNING':'finished'}  elapsed ${s.elapsed_s.toFixed(1)}s`+
+      `  execs ${s.executions}  exec/s ${Math.round(s.exec_per_s)}\n`+
+      `corpus ${s.corpus}  tests ${s.test_cases}  hangs ${s.hangs}  stalls ${s.stalls}\n`+
+      `coverage D ${pct(s.coverage.decision_pct)}  C ${pct(s.coverage.condition_pct)}`+
+      `  MC/DC ${pct(s.coverage.mcdc_pct)}  (adjusted D ${pct(s.coverage.adjusted.decision_pct)})`;
+    const rows = s.workers_detail.map(w =>
+      `<tr class="${w.stalled?'stalled':''}"><td>${w.worker}</td><td>${w.executions}</td>`+
+      `<td>${w.epoch}</td><td>${w.done?'done':(w.stalled?'STALLED':'running')}</td></tr>`);
+    document.getElementById('workers').innerHTML =
+      '<tr><th>worker</th><th>executions</th><th>epoch</th><th>state</th></tr>'+rows.join('');
+  }catch(e){ document.getElementById('agg').textContent = 'status fetch failed: '+e; }
+}
+tick(); setInterval(tick, 1000);
+</script></body></html>
+)html";
+
+}  // namespace
+
+MonitorServer::MonitorServer(CampaignStatusBoard* board, Registry* registry,
+                             double stall_window_s)
+    : board_(board),
+      registry_(registry),
+      watchdog_(std::make_unique<StallWatchdog>(board, registry, stall_window_s)) {}
+
+Result<std::unique_ptr<MonitorServer>> MonitorServer::Start(CampaignStatusBoard* board,
+                                                            Registry* registry,
+                                                            const MonitorOptions& options) {
+  std::unique_ptr<MonitorServer> monitor(
+      new MonitorServer(board, registry, options.stall_window_s));
+  auto server = net::HttpServer::Start(
+      options.port,
+      [raw = monitor.get()](const net::HttpRequest& req) { return raw->Handle(req); });
+  if (!server.ok()) return server.status();
+  monitor->server_ = server.take();
+  monitor->watchdog_->Start();
+  return monitor;
+}
+
+MonitorServer::~MonitorServer() { Stop(); }
+
+void MonitorServer::Stop() {
+  watchdog_->Stop();
+  if (server_ != nullptr) server_->Stop();
+}
+
+net::HttpResponse MonitorServer::Handle(const net::HttpRequest& request) const {
+  // Ignore any query string: "/status?x=1" routes like "/status".
+  std::string path = request.target.substr(0, request.target.find('?'));
+  net::HttpResponse resp;
+  if (path == "/status") {
+    resp.content_type = "application/json";
+    resp.body = board_->StatusJson();
+  } else if (path == "/metrics") {
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = registry_ != nullptr ? RenderPrometheusText(registry_->Snapshot())
+                                     : std::string();
+  } else if (path == "/trace.json") {
+    resp.content_type = "application/json";
+    resp.body = board_->PerfettoJson();
+  } else if (path == "/" || path == "/index.html") {
+    resp.content_type = "text/html; charset=utf-8";
+    resp.body = kIndexHtml;
+  } else {
+    resp.status = 404;
+    resp.content_type = "text/plain; charset=utf-8";
+    resp.body = "not found; try /status, /metrics, /trace.json\n";
+  }
+  return resp;
+}
+
+std::string MonitorArtifactJson(std::uint16_t port) {
+  return StrFormat(
+      "{\"port\":%u,\"endpoints\":[\"/status\",\"/metrics\",\"/trace.json\"]}\n",
+      static_cast<unsigned>(port));
+}
+
+}  // namespace cftcg::obs

@@ -1,0 +1,225 @@
+// Live campaign monitoring: status board, stall watchdog, HTTP endpoints.
+//
+// The pieces compose as
+//
+//   CampaignStatusBoard   lock-cheap shared state: per-worker progress lanes
+//                         (relaxed atomics, stamped from the execute loop)
+//                         plus campaign aggregates and a bounded timeline
+//                         event log updated under a mutex at heartbeat /
+//                         round boundaries only. Renders itself as the
+//                         /status JSON document and the /trace.json
+//                         Chrome/Perfetto trace.
+//   StallWatchdog         a polling thread that flags workers whose progress
+//                         epoch has not advanced within a window: sets the
+//                         lane's stalled bit, bumps the `fuzz.worker_stalls`
+//                         counter and logs a `stall` instant event. Poll()
+//                         is public so tests drive detection synchronously.
+//   MonitorServer         binds net::HttpServer to the board + a metrics
+//                         Registry and owns the watchdog. GET /status,
+//                         /metrics (Prometheus 0.0.4), /trace.json, and a
+//                         minimal auto-refreshing HTML page at /.
+//
+// Concurrency contract: BeginCampaign() must happen-before any worker or
+// serving thread touches the board (the CLI begins the campaign before
+// starting the server and before spawning workers). After that, lane stamps
+// are wait-free; every other mutator takes the board mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "net/http.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "support/status.hpp"
+
+namespace cftcg::obs {
+
+/// Immutable facts about the campaign, set once at BeginCampaign.
+struct CampaignInfo {
+  std::string model;
+  std::string mode;  // "cftcg" | "fuzz_only"
+  std::uint64_t seed = 0;
+  int workers = 1;
+  double budget_s = 0;       // 0 = unbounded
+  double time_base_s = 0;    // elapsed seconds inherited from a resumed run
+};
+
+/// Rolled-up campaign numbers, refreshed at heartbeat / round boundaries.
+struct CampaignAggregates {
+  double elapsed_s = 0;
+  std::uint64_t executions = 0;
+  std::uint64_t model_iterations = 0;
+  double exec_per_s = 0;
+  std::uint64_t corpus = 0;
+  std::uint64_t test_cases = 0;
+  double decision_pct = 0;
+  double condition_pct = 0;
+  double mcdc_pct = 0;
+  double adj_decision_pct = 0;
+  double adj_condition_pct = 0;
+  double adj_mcdc_pct = 0;
+  std::uint64_t objectives_covered = 0;
+  std::uint64_t objectives_total = 0;  // 0 = objective accounting unavailable
+  std::uint64_t hangs = 0;
+};
+
+class CampaignStatusBoard {
+ public:
+  CampaignStatusBoard() = default;
+  CampaignStatusBoard(const CampaignStatusBoard&) = delete;
+  CampaignStatusBoard& operator=(const CampaignStatusBoard&) = delete;
+
+  /// Allocates the worker lanes and starts the campaign clock. Must
+  /// happen-before any StampWorker / StatusJson caller starts.
+  void BeginCampaign(const CampaignInfo& info);
+  void UpdateAggregates(const CampaignAggregates& agg);
+  /// Marks the campaign finished and logs the whole-campaign span.
+  void EndCampaign();
+  [[nodiscard]] bool running() const;
+  [[nodiscard]] int num_workers() const;
+  /// Campaign-relative seconds (time_base_s + time since BeginCampaign).
+  [[nodiscard]] double Elapsed() const;
+
+  // --- Worker lanes: wait-free, called from engine hot loops. ---
+  /// Stamp forward progress: bumps the lane's epoch, publishes the worker's
+  /// execution count. The epoch is what the stall watchdog watches.
+  void StampWorker(int worker, std::uint64_t executions);
+  void SetWorkerDone(int worker);
+  void SetWorkerStalled(int worker, bool stalled);
+  [[nodiscard]] std::uint64_t WorkerEpoch(int worker) const;
+  [[nodiscard]] std::uint64_t WorkerExecutions(int worker) const;
+  [[nodiscard]] bool WorkerDone(int worker) const;
+  [[nodiscard]] bool WorkerStalled(int worker) const;
+  /// Sum of the per-worker execution counters — livelier than the
+  /// heartbeat-refreshed aggregate, used for the top-level /status count.
+  [[nodiscard]] std::uint64_t TotalWorkerExecutions() const;
+
+  void CountStall();
+  [[nodiscard]] std::uint64_t stall_count() const;
+
+  // --- Timeline events for /trace.json. Bounded: kMaxEvents, then dropped
+  // (the drop count is reported in both JSON documents). Times are
+  // campaign-relative seconds; tid 0 = driver, tid 1+i = worker i. ---
+  void LogSpan(std::string_view name, int tid, double start_s, double dur_s);
+  void LogInstant(std::string_view name, int tid, double t_s);
+
+  /// The /status document. Self-describing JSON; parses with obs::ParseJson.
+  [[nodiscard]] std::string StatusJson() const;
+  /// Chrome trace-event JSON ({"traceEvents":[...]}) loadable in Perfetto /
+  /// chrome://tracing: process+thread metadata, "X" complete spans, "i"
+  /// instants, microsecond timestamps.
+  [[nodiscard]] std::string PerfettoJson() const;
+
+  static constexpr std::size_t kMaxEvents = 8192;
+
+ private:
+  struct Lane {
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::uint64_t> executions{0};
+    std::atomic<bool> done{false};
+    std::atomic<bool> stalled{false};
+  };
+  struct Event {
+    std::string name;
+    int tid = 0;
+    double start_s = 0;
+    double dur_s = 0;  // < 0 marks an instant event
+  };
+
+  void AppendEvent(Event event);
+
+  mutable std::mutex mutex_;
+  CampaignInfo info_;
+  CampaignAggregates agg_;
+  bool running_ = false;
+  Stopwatch watch_;
+  std::vector<Event> events_;
+  std::size_t dropped_events_ = 0;
+  std::unique_ptr<Lane[]> lanes_;
+  std::atomic<int> num_lanes_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+};
+
+/// Detects workers that stop making progress. A lane is stalled when its
+/// epoch has not moved for `window_s` board-seconds; the flag clears as soon
+/// as the epoch advances again (and a `stall_cleared` instant is logged).
+/// Workers that finished (done bit) and workers that never stamped are
+/// exempt. Start() runs Poll on a background thread; tests call Poll(now)
+/// directly with fabricated times.
+class StallWatchdog {
+ public:
+  StallWatchdog(CampaignStatusBoard* board, Registry* registry, double window_s);
+  ~StallWatchdog();
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  void Start();
+  void Stop();
+  /// One detection pass at board time `now_s`. Not thread-safe against
+  /// itself (the background thread is the only production caller).
+  void Poll(double now_s);
+  [[nodiscard]] double window_s() const { return window_s_; }
+
+ private:
+  struct Watched {
+    std::uint64_t epoch = 0;
+    double last_change_s = 0;
+    bool seen = false;
+  };
+
+  CampaignStatusBoard* board_;
+  Registry* registry_;  // may be null: stall counter then lives on the board only
+  double window_s_;
+  std::vector<Watched> watched_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+struct MonitorOptions {
+  std::uint16_t port = 0;       // 0 = ephemeral
+  double stall_window_s = 10.0;
+};
+
+/// The `fuzz --serve` endpoint bundle: HTTP server + stall watchdog over a
+/// status board and an optional metrics registry.
+class MonitorServer {
+ public:
+  static Result<std::unique_ptr<MonitorServer>> Start(CampaignStatusBoard* board,
+                                                      Registry* registry,
+                                                      const MonitorOptions& options);
+  ~MonitorServer();
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return server_->port(); }
+  [[nodiscard]] StallWatchdog& watchdog() { return *watchdog_; }
+  /// Stops the watchdog and the HTTP server (also run by the destructor).
+  void Stop();
+
+  /// Routes one request; public so tests exercise endpoints in-process.
+  [[nodiscard]] net::HttpResponse Handle(const net::HttpRequest& request) const;
+
+ private:
+  MonitorServer(CampaignStatusBoard* board, Registry* registry, double stall_window_s);
+
+  CampaignStatusBoard* board_;
+  Registry* registry_;
+  std::unique_ptr<StallWatchdog> watchdog_;
+  std::unique_ptr<net::HttpServer> server_;
+};
+
+/// The monitor.json discovery artifact the CLI writes next to its outputs:
+/// {"port":N,"endpoints":["/status","/metrics","/trace.json"]}.
+std::string MonitorArtifactJson(std::uint16_t port);
+
+}  // namespace cftcg::obs

@@ -1,0 +1,26 @@
+// Prometheus text exposition (format 0.0.4) of a metrics-registry snapshot.
+//
+// Renders every counter, gauge and histogram of an obs::RegistrySnapshot as
+// the plain-text format Prometheus scrapes: `# HELP` / `# TYPE` comment
+// pairs followed by samples, histograms as cumulative `_bucket{le="..."}`
+// series plus `_sum` and `_count`. Registry names are dotted
+// (`fuzz.exec_per_s`); exposition names are the sanitized form with a
+// `cftcg_` namespace prefix (`cftcg_fuzz_exec_per_s`), counters with the
+// conventional `_total` suffix.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace cftcg::obs {
+
+/// `cftcg_` + name with every character outside [a-zA-Z0-9_:] mapped to '_'.
+std::string PrometheusName(std::string_view name);
+
+/// The full exposition document for one snapshot. Deterministic: metrics
+/// appear in snapshot (name-sorted) order, histogram buckets in bound order.
+std::string RenderPrometheusText(const RegistrySnapshot& snapshot);
+
+}  // namespace cftcg::obs

@@ -1,0 +1,408 @@
+// Tests of the live-monitoring stack: Prometheus text exposition (linted
+// the way promtool would), the Chrome/Perfetto trace document (parsed back
+// with our own JSON parser), the campaign status board, the stall watchdog
+// (driven synchronously through Poll), and the MonitorServer endpoints both
+// in-process via Handle() and over a real loopback socket.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/http.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
+#include "obs/prometheus.hpp"
+
+namespace cftcg::obs {
+namespace {
+
+// --- Prometheus exposition -------------------------------------------------
+
+TEST(PrometheusTest, NameIsPrefixedAndSanitized) {
+  EXPECT_EQ(PrometheusName("fuzz.executions"), "cftcg_fuzz_executions");
+  EXPECT_EQ(PrometheusName("phase.fuzz.seconds"), "cftcg_phase_fuzz_seconds");
+  EXPECT_EQ(PrometheusName("weird-name with:colon"), "cftcg_weird_name_with:colon");
+}
+
+// A promtool-flavoured lint of the whole exposition document: every sample
+// line must reference a declared metric, every metric name must match the
+// legal charset, TYPE must precede samples, counters must end in _total.
+TEST(PrometheusTest, ExpositionPassesLint) {
+  Registry registry;
+  registry.GetCounter("fuzz.executions").Add(42);
+  registry.GetGauge("fuzz.exec_per_s").Set(1234.5);
+  Histogram& h = registry.GetHistogram("fuzz.exec_seconds", {0.001, 0.01, 0.1});
+  h.Record(0.0005);
+  h.Record(0.05);
+  h.Record(5.0);  // overflow bucket
+
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n') << "exposition must end with a newline";
+
+  auto legal_name = [](const std::string& name) {
+    if (name.rfind("cftcg_", 0) != 0) return false;
+    for (const char c : name) {
+      if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' && c != ':') return false;
+    }
+    return true;
+  };
+
+  std::set<std::string> typed;  // metric families with a # TYPE line seen
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "no blank lines in the exposition";
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string name;
+      std::string type;
+      fields >> name >> type;
+      EXPECT_TRUE(legal_name(name)) << name;
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram") << type;
+      typed.insert(name);
+      continue;
+    }
+    // A sample line: metric name runs to '{' or ' '.
+    const std::size_t cut = line.find_first_of("{ ");
+    ASSERT_NE(cut, std::string::npos) << line;
+    const std::string sample = line.substr(0, cut);
+    EXPECT_TRUE(legal_name(sample)) << sample;
+    // The sample must belong to a family already declared by # TYPE: exact
+    // name, or the histogram series suffixes.
+    bool declared = typed.count(sample) > 0;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (sample.size() > s.size() && sample.compare(sample.size() - s.size(), s.size(), s) == 0) {
+        declared = declared || typed.count(sample.substr(0, sample.size() - s.size())) > 0;
+      }
+    }
+    EXPECT_TRUE(declared) << "sample before its # TYPE: " << line;
+  }
+
+  EXPECT_NE(text.find("cftcg_fuzz_executions_total 42"), std::string::npos) << text;
+  EXPECT_NE(text.find("cftcg_fuzz_exec_per_s 1234.5"), std::string::npos) << text;
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulativeAndEndAtInf) {
+  Registry registry;
+  Histogram& h = registry.GetHistogram("lat", {1.0, 2.0});
+  h.Record(0.5);
+  h.Record(1.5);
+  h.Record(1.5);
+  h.Record(9.0);
+
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+  // Cumulative counts: le="1" -> 1, le="2" -> 3, le="+Inf" -> 4 == _count.
+  EXPECT_NE(text.find("cftcg_lat_bucket{le=\"1\"} 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("cftcg_lat_bucket{le=\"2\"} 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("cftcg_lat_bucket{le=\"+Inf\"} 4"), std::string::npos) << text;
+  EXPECT_NE(text.find("cftcg_lat_count 4"), std::string::npos) << text;
+  EXPECT_NE(text.find("cftcg_lat_sum 12.5"), std::string::npos) << text;
+  // +Inf must come after the finite bounds.
+  EXPECT_LT(text.find("le=\"2\""), text.find("le=\"+Inf\""));
+}
+
+TEST(PrometheusTest, EmptySnapshotRendersEmptyDocument) {
+  Registry registry;
+  EXPECT_EQ(RenderPrometheusText(registry.Snapshot()), "");
+}
+
+// --- Status board ----------------------------------------------------------
+
+CampaignInfo TestCampaign(int workers) {
+  CampaignInfo info;
+  info.model = "AFC";
+  info.mode = "cftcg";
+  info.seed = 7;
+  info.workers = workers;
+  info.budget_s = 60;
+  return info;
+}
+
+TEST(StatusBoardTest, StatusJsonParsesBackWithLiveWorkerLanes) {
+  CampaignStatusBoard board;
+  board.BeginCampaign(TestCampaign(2));
+  board.StampWorker(0, 100);
+  board.StampWorker(0, 150);
+  board.StampWorker(1, 200);
+  CampaignAggregates agg;
+  agg.executions = 350;
+  agg.exec_per_s = 1000;
+  agg.corpus = 12;
+  agg.decision_pct = 75.0;
+  agg.objectives_covered = 9;
+  agg.objectives_total = 12;
+  board.UpdateAggregates(agg);
+
+  auto parsed = ParseJson(board.StatusJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  const JsonValue doc = parsed.take();
+  EXPECT_EQ(doc.StringOr("model", ""), "AFC");
+  EXPECT_EQ(doc.StringOr("mode", ""), "cftcg");
+  EXPECT_DOUBLE_EQ(doc.NumberOr("seed", 0), 7);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("workers", 0), 2);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("executions", 0), 350);
+  const JsonValue* running = doc.Find("running");
+  ASSERT_NE(running, nullptr);
+  EXPECT_TRUE(running->boolean);
+  const JsonValue* coverage = doc.Find("coverage");
+  ASSERT_NE(coverage, nullptr);
+  EXPECT_DOUBLE_EQ(coverage->NumberOr("decision_pct", 0), 75.0);
+  const JsonValue* objectives = doc.Find("objectives");
+  ASSERT_NE(objectives, nullptr);
+  EXPECT_DOUBLE_EQ(objectives->NumberOr("covered", 0), 9);
+  EXPECT_DOUBLE_EQ(objectives->NumberOr("residual", -1), 3);
+  const JsonValue* workers = doc.Find("workers_detail");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_EQ(workers->items.size(), 2U);
+  EXPECT_DOUBLE_EQ(workers->items[0].NumberOr("executions", 0), 150);
+  EXPECT_DOUBLE_EQ(workers->items[0].NumberOr("epoch", 0), 2);
+  EXPECT_DOUBLE_EQ(workers->items[1].NumberOr("executions", 0), 200);
+}
+
+TEST(StatusBoardTest, ObjectivesSectionOmittedWhenUnavailable) {
+  CampaignStatusBoard board;
+  board.BeginCampaign(TestCampaign(1));
+  auto parsed = ParseJson(board.StatusJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  EXPECT_EQ(parsed.value().Find("objectives"), nullptr);
+}
+
+TEST(StatusBoardTest, ExecutionsUseLiveLanesWhenAheadOfAggregates) {
+  CampaignStatusBoard board;
+  board.BeginCampaign(TestCampaign(1));
+  CampaignAggregates agg;
+  agg.executions = 10;  // stale heartbeat
+  board.UpdateAggregates(agg);
+  board.StampWorker(0, 500);  // live lane is ahead
+  auto parsed = ParseJson(board.StatusJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().NumberOr("executions", 0), 500);
+}
+
+TEST(StatusBoardTest, PerfettoJsonHasMetadataSpansAndInstants) {
+  CampaignStatusBoard board;
+  board.BeginCampaign(TestCampaign(2));
+  board.LogSpan("window", /*tid=*/1, /*start_s=*/0.5, /*dur_s=*/1.0);
+  board.LogInstant("stall", /*tid=*/2, /*t_s=*/2.25);
+
+  auto parsed = ParseJson(board.PerfettoJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  const JsonValue doc = parsed.take();
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+
+  int metadata = 0;
+  const JsonValue* span = nullptr;
+  const JsonValue* instant = nullptr;
+  for (const JsonValue& ev : events->items) {
+    const std::string ph = ev.StringOr("ph", "");
+    if (ph == "M") ++metadata;
+    if (ph == "X" && ev.StringOr("name", "") == "window") span = &ev;
+    if (ph == "i" && ev.StringOr("name", "") == "stall") instant = &ev;
+  }
+  // process_name + thread names for driver and both workers.
+  EXPECT_EQ(metadata, 4);
+  ASSERT_NE(span, nullptr);
+  EXPECT_DOUBLE_EQ(span->NumberOr("ts", -1), 0.5e6);  // microseconds
+  EXPECT_DOUBLE_EQ(span->NumberOr("dur", -1), 1.0e6);
+  EXPECT_DOUBLE_EQ(span->NumberOr("tid", -1), 1);
+  EXPECT_DOUBLE_EQ(span->NumberOr("pid", -1), 1);
+  ASSERT_NE(instant, nullptr);
+  EXPECT_DOUBLE_EQ(instant->NumberOr("ts", -1), 2.25e6);
+  EXPECT_EQ(instant->StringOr("s", ""), "t");  // thread-scoped instant
+}
+
+TEST(StatusBoardTest, EventLogIsBoundedAndCountsDrops) {
+  CampaignStatusBoard board;
+  board.BeginCampaign(TestCampaign(1));
+  for (std::size_t i = 0; i < CampaignStatusBoard::kMaxEvents + 10; ++i) {
+    board.LogInstant("tick", 0, static_cast<double>(i));
+  }
+  auto parsed = ParseJson(board.StatusJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().NumberOr("dropped_events", 0), 10);
+}
+
+// --- Stall watchdog --------------------------------------------------------
+
+TEST(StallWatchdogTest, FlagsStalledWorkerThenClearsOnProgress) {
+  CampaignStatusBoard board;
+  board.BeginCampaign(TestCampaign(2));
+  Registry registry;
+  StallWatchdog dog(&board, &registry, /*window_s=*/5.0);
+
+  board.StampWorker(0, 1);
+  board.StampWorker(1, 1);
+  dog.Poll(0.0);  // baselines both lanes
+  board.StampWorker(1, 2);
+  dog.Poll(6.0);  // worker 0 silent past the window, worker 1 advanced
+  EXPECT_TRUE(board.WorkerStalled(0));
+  EXPECT_FALSE(board.WorkerStalled(1));
+  EXPECT_EQ(board.stall_count(), 1U);
+  EXPECT_EQ(registry.Snapshot().CounterValue("fuzz.worker_stalls", 0), 1U);
+
+  // The stall is visible in the /status document.
+  auto parsed = ParseJson(board.StatusJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().NumberOr("stalls", 0), 1);
+  const JsonValue* lanes = parsed.value().Find("workers_detail");
+  ASSERT_NE(lanes, nullptr);
+  const JsonValue* stalled = lanes->items[0].Find("stalled");
+  ASSERT_NE(stalled, nullptr);
+  EXPECT_TRUE(stalled->boolean);
+
+  board.StampWorker(0, 2);  // recovery
+  dog.Poll(7.0);
+  EXPECT_FALSE(board.WorkerStalled(0));
+  // The stall total is cumulative; it does not decrement on recovery.
+  EXPECT_EQ(board.stall_count(), 1U);
+}
+
+TEST(StallWatchdogTest, ExemptsDoneAndNeverStartedWorkers) {
+  CampaignStatusBoard board;
+  board.BeginCampaign(TestCampaign(3));
+  StallWatchdog dog(&board, nullptr, /*window_s=*/1.0);
+
+  board.StampWorker(0, 1);
+  board.SetWorkerDone(0);
+  // Worker 1 never stamps; worker 2 stamps then goes quiet.
+  board.StampWorker(2, 1);
+  dog.Poll(0.0);
+  dog.Poll(100.0);
+  EXPECT_FALSE(board.WorkerStalled(0)) << "done workers are exempt";
+  EXPECT_FALSE(board.WorkerStalled(1)) << "never-started workers are exempt";
+  EXPECT_TRUE(board.WorkerStalled(2));
+  EXPECT_EQ(board.stall_count(), 1U);
+}
+
+TEST(StallWatchdogTest, StallEmitsTraceInstant) {
+  CampaignStatusBoard board;
+  board.BeginCampaign(TestCampaign(1));
+  StallWatchdog dog(&board, nullptr, /*window_s=*/1.0);
+  board.StampWorker(0, 1);
+  dog.Poll(0.0);
+  dog.Poll(10.0);
+  ASSERT_TRUE(board.WorkerStalled(0));
+  board.StampWorker(0, 2);
+  dog.Poll(11.0);
+
+  auto parsed = ParseJson(board.PerfettoJson());
+  ASSERT_TRUE(parsed.ok());
+  bool saw_stall = false;
+  bool saw_cleared = false;
+  for (const JsonValue& ev : parsed.value().Find("traceEvents")->items) {
+    if (ev.StringOr("name", "") == "stall") saw_stall = true;
+    if (ev.StringOr("name", "") == "stall_cleared") saw_cleared = true;
+  }
+  EXPECT_TRUE(saw_stall);
+  EXPECT_TRUE(saw_cleared);
+}
+
+// --- MonitorServer ---------------------------------------------------------
+
+TEST(MonitorServerTest, HandleRoutesEndpointsWithContentTypes) {
+  CampaignStatusBoard board;
+  board.BeginCampaign(TestCampaign(1));
+  Registry registry;
+  registry.GetCounter("fuzz.executions").Add(5);
+  MonitorOptions options;
+  auto started = MonitorServer::Start(&board, &registry, options);
+  ASSERT_TRUE(started.ok()) << started.message();
+  auto server = started.take();
+
+  net::HttpResponse status = server->Handle({"GET", "/status"});
+  EXPECT_EQ(status.status, 200);
+  EXPECT_EQ(status.content_type, "application/json");
+  EXPECT_TRUE(ParseJson(status.body).ok());
+
+  net::HttpResponse metrics = server->Handle({"GET", "/metrics"});
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(metrics.body.find("cftcg_fuzz_executions_total 5"), std::string::npos);
+
+  net::HttpResponse trace = server->Handle({"GET", "/trace.json"});
+  EXPECT_EQ(trace.status, 200);
+  EXPECT_EQ(trace.content_type, "application/json");
+  EXPECT_NE(trace.body.find("traceEvents"), std::string::npos);
+
+  net::HttpResponse index = server->Handle({"GET", "/"});
+  EXPECT_EQ(index.status, 200);
+  EXPECT_EQ(index.content_type, "text/html; charset=utf-8");
+  EXPECT_NE(index.body.find("/status"), std::string::npos);
+
+  // Query strings are ignored for routing.
+  EXPECT_EQ(server->Handle({"GET", "/status?pretty=1"}).status, 200);
+
+  net::HttpResponse missing = server->Handle({"GET", "/nope"});
+  EXPECT_EQ(missing.status, 404);
+  server->Stop();
+}
+
+TEST(MonitorServerTest, NullRegistryServesEmptyMetrics) {
+  CampaignStatusBoard board;
+  board.BeginCampaign(TestCampaign(1));
+  MonitorOptions options;
+  auto started = MonitorServer::Start(&board, nullptr, options);
+  ASSERT_TRUE(started.ok()) << started.message();
+  net::HttpResponse metrics = started.value()->Handle({"GET", "/metrics"});
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.body, "");
+}
+
+// One real socket round trip: ephemeral bind, GET over loopback via the
+// net::HttpGet client, live counters visible between polls.
+TEST(MonitorServerTest, ServesOverLoopbackSocket) {
+  CampaignStatusBoard board;
+  board.BeginCampaign(TestCampaign(1));
+  Registry registry;
+  MonitorOptions options;
+  options.port = 0;
+  auto started = MonitorServer::Start(&board, &registry, options);
+  ASSERT_TRUE(started.ok()) << started.message();
+  auto server = started.take();
+  ASSERT_NE(server->port(), 0) << "ephemeral port must be bound";
+
+  board.StampWorker(0, 111);
+  net::HttpResponse first;
+  ASSERT_TRUE(net::HttpGet(server->port(), "/status", &first).ok());
+  EXPECT_EQ(first.status, 200);
+  auto doc1 = ParseJson(first.body);
+  ASSERT_TRUE(doc1.ok());
+  EXPECT_DOUBLE_EQ(doc1.value().NumberOr("executions", 0), 111);
+
+  board.StampWorker(0, 222);
+  net::HttpResponse second;
+  ASSERT_TRUE(net::HttpGet(server->port(), "/status", &second).ok());
+  auto doc2 = ParseJson(second.body);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_DOUBLE_EQ(doc2.value().NumberOr("executions", 0), 222);
+
+  net::HttpResponse missing;
+  ASSERT_TRUE(net::HttpGet(server->port(), "/absent", &missing).ok());
+  EXPECT_EQ(missing.status, 404);
+
+  server->Stop();
+  // After Stop the port no longer accepts.
+  net::HttpResponse after;
+  EXPECT_FALSE(net::HttpGet(server->port(), "/status", &after, /*timeout_s=*/0.5).ok());
+}
+
+TEST(MonitorServerTest, ArtifactJsonParsesAndNamesEndpoints) {
+  auto parsed = ParseJson(MonitorArtifactJson(8080));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().NumberOr("port", 0), 8080);
+  const JsonValue* endpoints = parsed.value().Find("endpoints");
+  ASSERT_NE(endpoints, nullptr);
+  EXPECT_EQ(endpoints->items.size(), 3U);
+}
+
+}  // namespace
+}  // namespace cftcg::obs

@@ -323,5 +323,88 @@ TEST(ClockTest, StopwatchIsMonotonic) {
   EXPECT_GE(b, a);
 }
 
+// Record is documented thread-safe: hammer one histogram from many threads
+// and check nothing was lost. Run under TSan (the CI monitor-smoke job does)
+// this also proves the relaxed-atomic scheme is race-free.
+TEST(HistogramTest, ConcurrentRecordersLoseNoSamples) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  Histogram h({1.0, 10.0, 100.0});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Values 1..kPerThread so min/max/sum are exactly predictable.
+        h.Record(static_cast<double>(i) + 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // sum of 1..kPerThread per thread.
+  const double per_thread_sum = static_cast<double>(kPerThread) * (kPerThread + 1) / 2.0;
+  EXPECT_DOUBLE_EQ(h.sum(), kThreads * per_thread_sum);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(kPerThread));
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : h.bucket_counts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
+  Registry registry;
+  Histogram& h = registry.GetHistogram("q", {10.0, 20.0, 40.0});
+  // 50 samples in (0,10], 30 in (10,20], 20 in (20,40].
+  for (int i = 0; i < 50; ++i) h.Record(5.0);
+  for (int i = 0; i < 30; ++i) h.Record(15.0);
+  for (int i = 0; i < 20; ++i) h.Record(30.0);
+  const RegistrySnapshot snap = registry.Snapshot();
+  const HistogramSnapshot* hs = snap.FindHistogram("q");
+  ASSERT_NE(hs, nullptr);
+
+  // Rank 50 of 100 is exactly the end of bucket 0 -> its upper bound, but
+  // clamped into the observed [min, max] envelope where applicable.
+  EXPECT_NEAR(hs->Quantile(0.50), 10.0, 1e-9);
+  // Rank 80 ends bucket 1.
+  EXPECT_NEAR(hs->Quantile(0.80), 20.0, 1e-9);
+  // Rank 90 is halfway through bucket 2 (20,40] -> 30.
+  EXPECT_NEAR(hs->Quantile(0.90), 30.0, 1e-9);
+  // Extremes clamp to the observed envelope, never beyond.
+  EXPECT_DOUBLE_EQ(hs->Quantile(0.0), 5.0);   // min
+  EXPECT_DOUBLE_EQ(hs->Quantile(1.0), 30.0);  // max
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  Registry registry;
+  Histogram& h = registry.GetHistogram("one", {1.0});
+  h.Record(0.25);
+  const RegistrySnapshot snap = registry.Snapshot();
+  const HistogramSnapshot* hs = snap.FindHistogram("one");
+  ASSERT_NE(hs, nullptr);
+  // A single sample answers every quantile with itself.
+  EXPECT_DOUBLE_EQ(hs->Quantile(0.01), 0.25);
+  EXPECT_DOUBLE_EQ(hs->Quantile(0.50), 0.25);
+  EXPECT_DOUBLE_EQ(hs->Quantile(0.99), 0.25);
+}
+
+TEST(HistogramTest, QuantileOverflowBucketClampsToMax) {
+  Registry registry;
+  Histogram& h = registry.GetHistogram("ovf", {1.0});
+  h.Record(0.5);
+  for (int i = 0; i < 99; ++i) h.Record(50.0);  // overflow bucket, unbounded
+  const RegistrySnapshot snap = registry.Snapshot();
+  const HistogramSnapshot* hs = snap.FindHistogram("ovf");
+  ASSERT_NE(hs, nullptr);
+  // The overflow bucket has no upper bound; the estimate must use the
+  // observed max instead of inventing one.
+  EXPECT_LE(hs->Quantile(0.99), 50.0);
+  EXPECT_GT(hs->Quantile(0.99), 1.0);
+}
+
 }  // namespace
 }  // namespace cftcg::obs

@@ -45,6 +45,7 @@
 #include "support/atomic_file.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
@@ -96,6 +97,11 @@ int Usage() {
       "              [--step-budget N]    per-iteration cap on VM back-jumps; inputs that\n"
       "                                   blow it are quarantined as hangs (0 disables)\n"
       "              [--hangs-dir DIR]    save quarantined hanging inputs here\n"
+      "              [--serve PORT]       live HTTP monitor on 127.0.0.1:PORT (0 picks an\n"
+      "                                   ephemeral port, echoed and written to\n"
+      "                                   monitor.json): /status /metrics /trace.json\n"
+      "              [--stall-window N]   flag a worker as stalled after N s without\n"
+      "                                   progress (default 10; needs --serve)\n"
       "  cftcg run   <model.cmx> --csv test.csv\n"
       "  cftcg cover <model.cmx> --csv-dir DIR [--html report.html]\n"
       "  cftcg trace-summary <trace.jsonl>\n"
@@ -203,6 +209,11 @@ struct TelemetryFlags {
   std::string metrics_path; // empty: no metrics dump
 };
 
+struct ServeFlags {
+  int port = -1;              // < 0: no monitor; 0: ephemeral
+  double stall_window = 10.0; // seconds without progress before a worker is flagged
+};
+
 struct DurabilityFlags {
   std::string checkpoint_path;          // empty: no checkpointing
   std::uint64_t checkpoint_every = 0;   // 0: checkpoint on interrupt only
@@ -214,7 +225,7 @@ struct DurabilityFlags {
 
 int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const std::string& outdir,
             bool fuzz_only, bool minimize, bool analyze, int jobs, const TelemetryFlags& tf,
-            DurabilityFlags df) {
+            DurabilityFlags df, const ServeFlags& sf) {
   auto cm = Load(path);
   if (!cm) return 1;
 
@@ -269,6 +280,39 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
     // trace-summary's exec/s percentiles), just no stderr status line.
     telemetry.stats_every_s = 1.0;
   }
+  // --serve: live HTTP monitor. Implies a metrics registry (for /metrics)
+  // and a heartbeat cadence (the /status aggregates refresh on heartbeats);
+  // the status board must begin before the server or any worker starts.
+  obs::CampaignStatusBoard status_board;
+  std::unique_ptr<obs::MonitorServer> monitor;
+  if (sf.port >= 0) {
+    telemetry.registry = &obs::Registry::Global();
+    if (telemetry.stats_every_s <= 0) telemetry.stats_every_s = 1.0;
+    obs::CampaignInfo info;
+    info.model = cm->model().name();
+    info.mode = fuzz_only ? "fuzz_only" : "cftcg";
+    info.seed = seed;
+    info.workers = std::max(jobs, 1);
+    info.budget_s = seconds;
+    if (df.resume) info.time_base_s = ckpt.elapsed_s;
+    status_board.BeginCampaign(info);
+    obs::MonitorOptions mopts;
+    mopts.port = static_cast<std::uint16_t>(sf.port);
+    mopts.stall_window_s = sf.stall_window;
+    auto started = obs::MonitorServer::Start(&status_board, telemetry.registry, mopts);
+    if (!started.ok()) {
+      std::fprintf(stderr, "error: %s\n", started.message().c_str());
+      return 1;
+    }
+    monitor = started.take();
+    std::printf("monitor: serving http://127.0.0.1:%u/ (/status /metrics /trace.json)\n",
+                static_cast<unsigned>(monitor->port()));
+    if (Status s = support::WriteFileAtomic("monitor.json",
+                                            obs::MonitorArtifactJson(monitor->port()));
+        !s.ok()) {
+      std::fprintf(stderr, "warning: monitor.json not written: %s\n", s.message().c_str());
+    }
+  }
   obs::CampaignTelemetry* use = telemetry.active() ? &telemetry : nullptr;
 
   // Provenance rides along whenever the campaign is observed at all: the
@@ -319,6 +363,7 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
   options.seed = seed;
   options.model_oriented = !fuzz_only;
   options.telemetry = use;
+  options.status_board = monitor != nullptr ? &status_board : nullptr;
   options.provenance = provenance.get();
   options.justifications = justifications;
   options.boundary_seed_ranges = boundary_ranges;
@@ -359,6 +404,9 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
     obs::ScopedTimer span(fuzz_only ? "tool.FuzzOnly" : "tool.CFTCG");
     result = cm->Fuzz(options, budget);
   }
+  // The monitor keeps serving the final numbers until the process exits;
+  // ending the campaign freezes elapsed_s and logs the whole-campaign span.
+  if (monitor != nullptr) status_board.EndCampaign();
   std::printf("%s: %llu inputs, %llu model iterations (+%llu measure), %zu test cases in %.1fs\n",
               fuzz_only ? "fuzz-only" : "cftcg",
               static_cast<unsigned long long>(result.executions),
@@ -457,6 +505,19 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
   return 0;
 }
 
+/// Copies a live histogram into the snapshot form so Quantile() applies.
+obs::HistogramSnapshot SnapshotOf(const obs::Histogram& h, std::string name) {
+  obs::HistogramSnapshot snap;
+  snap.name = std::move(name);
+  snap.count = h.count();
+  snap.sum = h.sum();
+  snap.min = h.min();
+  snap.max = h.max();
+  snap.bounds = h.bounds();
+  snap.bucket_counts = h.bucket_counts();
+  return snap;
+}
+
 /// Replays a campaign trace and reports throughput and time-to-coverage.
 /// Malformed lines (a truncated tail from a killed campaign, interleaved
 /// stderr garbage) are skipped and counted rather than aborting, so a
@@ -536,6 +597,19 @@ int CmdTraceSummary(const std::string& trace_path) {
     std::printf("exec/s over %zu heartbeats: p10=%.0f median=%.0f p90=%.0f max=%.0f\n",
                 stat_exec_per_s.size(), pct(0.10), pct(0.50), pct(0.90),
                 stat_exec_per_s.back());
+    // Window-mean execution duration per heartbeat, estimated through the
+    // same histogram estimator the live monitor uses, so the two views of a
+    // campaign quote comparable p50/p95/p99 numbers.
+    obs::Histogram exec_hist(obs::ExecDurationBucketBounds());
+    for (const double eps : stat_exec_per_s) {
+      if (eps > 0) exec_hist.Record(1.0 / eps);
+    }
+    if (exec_hist.count() > 0) {
+      const obs::HistogramSnapshot snap = SnapshotOf(exec_hist, "exec_seconds");
+      std::printf("exec duration (window means): p50=%.1fus p95=%.1fus p99=%.1fus\n",
+                  snap.Quantile(0.50) * 1e6, snap.Quantile(0.95) * 1e6,
+                  snap.Quantile(0.99) * 1e6);
+    }
   }
 
   if (!coverage_points.empty()) {
@@ -559,6 +633,13 @@ int CmdTraceSummary(const std::string& trace_path) {
     std::printf("phases:\n");
     for (const auto& [name, seconds] : phases) {
       std::printf("  %-20s %.4fs\n", name.c_str(), seconds);
+    }
+    if (phases.size() >= 2) {
+      obs::Histogram phase_hist(obs::DurationBucketBounds());
+      for (const auto& [name, seconds] : phases) phase_hist.Record(seconds);
+      const obs::HistogramSnapshot snap = SnapshotOf(phase_hist, "phase_seconds");
+      std::printf("  phase duration quantiles: p50=%.4fs p95=%.4fs p99=%.4fs\n",
+                  snap.Quantile(0.50), snap.Quantile(0.95), snap.Quantile(0.99));
     }
   }
   return 0;
@@ -898,6 +979,7 @@ int main(int argc, char** argv) {
   int jobs = 1;
   TelemetryFlags tf;
   DurabilityFlags df;
+  ServeFlags sf;
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string { return i + 1 < argc ? argv[++i] : ""; };
@@ -927,6 +1009,8 @@ int main(int argc, char** argv) {
       df.step_budget = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     }
     else if (a == "--hangs-dir") df.hangs_dir = next();
+    else if (a == "--serve") sf.port = std::atoi(next().c_str());
+    else if (a == "--stall-window") sf.stall_window = std::atof(next().c_str());
   }
   // An execution-bounded campaign without an explicit wall budget should run
   // to its execution count, not trip over the 10-second default — that would
@@ -937,7 +1021,7 @@ int main(int argc, char** argv) {
   if (cmd == "gen") return CmdGen(target, out);
   if (cmd == "analyze") return CmdAnalyze(target, json);
   if (cmd == "fuzz") {
-    return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize, analyze, jobs, tf, df);
+    return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize, analyze, jobs, tf, df, sf);
   }
   if (cmd == "run") return CmdRun(target, csv);
   if (cmd == "cover") return CmdCover(target, csv_dir, html);

@@ -1,0 +1,39 @@
+// cftcg-http-get — a tiny loopback HTTP client for test scripts.
+//
+// CI containers do not ship curl; the monitor round-trip test still needs to
+// poll `cftcg fuzz --serve` endpoints from the shell. This wraps
+// net::HttpGet: prints the response body to stdout, exits 0 on HTTP 200,
+// 22 on any other status (mirroring `curl -f`), 1 on connection errors.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "net/http.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <port> <path> [timeout_s]\n", argv[0]);
+    return 2;
+  }
+  const int port = std::atoi(argv[1]);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "error: bad port '%s'\n", argv[1]);
+    return 2;
+  }
+  const std::string path = argv[2];
+  const double timeout_s = argc > 3 ? std::atof(argv[3]) : 5.0;
+
+  cftcg::net::HttpResponse response;
+  if (cftcg::Status s = cftcg::net::HttpGet(static_cast<std::uint16_t>(port), path, &response,
+                                            timeout_s);
+      !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::fwrite(response.body.data(), 1, response.body.size(), stdout);
+  if (response.status != 200) {
+    std::fprintf(stderr, "HTTP %d\n", response.status);
+    return 22;
+  }
+  return 0;
+}
