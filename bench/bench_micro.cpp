@@ -2,6 +2,9 @@
 // the fuzzing loop, so throughput regressions are visible.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bench_models/bench_models.hpp"
 #include "cftcg/pipeline.hpp"
 #include "coverage/report.hpp"
@@ -163,4 +166,30 @@ BENCHMARK(BM_ModelCompile);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the other benches take
+// `--json FILE`, so this one does too — translated into google-benchmark's
+// native JSON writer flags (--benchmark_out / --benchmark_out_format).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      out_flag = std::string("--benchmark_out=") + argv[i + 1];
+      ++i;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   bench::Table table({"Model", "Jobs", "exec/s", "Speedup", "Decision", "Imports"});
   bench::CsvSink csv(args.csv_path,
                      {"model", "jobs", "exec_per_s", "speedup", "decision_pct", "imports"});
+  bench::JsonSink json(args, "parallel_scaling");
   for (const auto& name : args.ModelNames()) {
     auto cm = bench::CompileOrDie(name);
     double base_rate = 0;
@@ -44,9 +45,16 @@ int main(int argc, char** argv) {
       csv.Row({name, StrFormat("%d", jobs), StrFormat("%.0f", rate), StrFormat("%.3f", speedup),
                StrFormat("%.2f", r.report.DecisionPct()),
                StrFormat("%llu", static_cast<unsigned long long>(result.imports))});
+      json.Add(bench::JsonSink::Row(name)
+                   .Num("jobs", jobs)
+                   .Num("exec_per_s", rate)
+                   .Num("speedup", speedup)
+                   .Num("decision_pct", r.report.DecisionPct())
+                   .Num("imports", static_cast<double>(result.imports)));
     }
   }
   table.Print();
+  json.Write();
   if (csv.active()) std::printf("CSV written to %s\n", args.csv_path.c_str());
   std::printf("\n(speedup ceiling is min(jobs, cores) = cores on this host: %u)\n", cores);
   return 0;

@@ -8,11 +8,15 @@
 // of magnitude ahead — is the load-bearing claim, and the extrapolated
 // "hours to reach queue-full at simulation speed" story in
 // bench_cputask_deepstate builds on it.
+// A third pass re-runs the compiled path with the count-only self-profiler
+// attached (one counter add per dispatch, strobe off), giving the
+// `profile_overhead_pct` number the CI bench-gate holds to <= 5%.
 #include <chrono>
 
 #include "bench/bench_util.hpp"
 #include "sim/interpreter.hpp"
 #include "support/rng.hpp"
+#include "vm/profile.hpp"
 
 namespace {
 
@@ -28,7 +32,7 @@ int main(int argc, char** argv) {
 
   std::printf("=== Execution speed: compiled fuzz code vs simulation engine (%.2fs each) ===\n",
               args.budget_s);
-  bench::Table table({"Model", "VM it/s", "Interp it/s", "Speedup"});
+  bench::Table table({"Model", "VM it/s", "Profiled it/s", "Overhead", "Interp it/s", "Speedup"});
   bench::JsonSink json(args, "speed");
   for (const auto& name : args.ModelNames()) {
     auto cm = bench::CompileOrDie(name);
@@ -37,25 +41,44 @@ int main(int argc, char** argv) {
     std::vector<std::uint8_t> buf(tuple);
     coverage::CoverageSink sink(cm->spec());
 
-    // Compiled path.
+    // Compiled path, bare and with the always-on profiler plane attached
+    // (count-only: strobe_period = 0, so no clock or sampling work — just
+    // the dispatch counter adds every `fuzz` campaign now pays). The two
+    // configurations are interleaved in short alternating sub-passes and
+    // each rate is the best sub-pass: max-rate filtering discards scheduler
+    // preemptions and frequency excursions that would otherwise swamp the
+    // few-percent overhead the bench gate holds to.
     vm::Machine machine(cm->instrumented());
-    std::uint64_t vm_iters = 0;
-    auto start = std::chrono::steady_clock::now();
-    while (Seconds(start) < args.budget_s) {
-      for (int k = 0; k < 256; ++k) {
-        rng.FillBytes(buf.data(), buf.size());
-        sink.BeginIteration();
-        machine.SetInputsFromBytes(buf.data());
-        machine.Step(&sink);
-        ++vm_iters;
+    vm::ExecProfile profile;
+    profile.AttachTo(cm->instrumented());
+    constexpr int kSubPasses = 3;
+    double vm_rate = 0;
+    double prof_rate = 0;
+    for (int pass = 0; pass < 2 * kSubPasses; ++pass) {
+      const bool profiled = pass % 2 != 0;
+      machine.set_profile(profiled ? &profile : nullptr);
+      std::uint64_t iters = 0;
+      const auto sub_start = std::chrono::steady_clock::now();
+      while (Seconds(sub_start) < args.budget_s / kSubPasses) {
+        for (int k = 0; k < 256; ++k) {
+          rng.FillBytes(buf.data(), buf.size());
+          sink.BeginIteration();
+          machine.SetInputsFromBytes(buf.data());
+          machine.Step(&sink);
+          ++iters;
+        }
       }
+      const double rate = static_cast<double>(iters) / Seconds(sub_start);
+      double& best = profiled ? prof_rate : vm_rate;
+      if (rate > best) best = rate;
     }
-    const double vm_rate = static_cast<double>(vm_iters) / Seconds(start);
+    machine.set_profile(nullptr);
+    const double overhead_pct = vm_rate > 0 ? 100.0 * (vm_rate - prof_rate) / vm_rate : 0;
 
     // Simulation engine.
     sim::Interpreter interp(cm->scheduled(), /*log_signals=*/true);
     std::uint64_t interp_iters = 0;
-    start = std::chrono::steady_clock::now();
+    const auto start = std::chrono::steady_clock::now();
     while (Seconds(start) < args.budget_s) {
       for (int k = 0; k < 16; ++k) {
         rng.FillBytes(buf.data(), buf.size());
@@ -68,13 +91,16 @@ int main(int argc, char** argv) {
     }
     const double interp_rate = static_cast<double>(interp_iters) / Seconds(start);
 
-    table.AddRow({name, StrFormat("%.0f", vm_rate), StrFormat("%.0f", interp_rate),
+    table.AddRow({name, StrFormat("%.0f", vm_rate), StrFormat("%.0f", prof_rate),
+                  StrFormat("%.1f%%", overhead_pct), StrFormat("%.0f", interp_rate),
                   StrFormat("%.0fx", vm_rate / interp_rate)});
     json.Add(bench::JsonSink::Row(name)
                  .Num("vm_iters_per_s", vm_rate)
+                 .Num("vm_iters_per_s_profiled", prof_rate)
+                 .Num("profile_overhead_pct", overhead_pct)
                  .Num("interp_iters_per_s", interp_rate)
                  .Num("speedup", vm_rate / interp_rate)
-                 .Num("wall_s", 2 * args.budget_s));
+                 .Num("wall_s", 3 * args.budget_s));
   }
   table.Print();
   json.Write();

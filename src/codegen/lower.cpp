@@ -53,6 +53,10 @@ class Lowerer {
   // ---- emission primitives -------------------------------------------------
   std::size_t Emit(Insn in) {
     prog_.code.push_back(in);
+    // Block attribution (profiler VM plane): every instruction carries the
+    // index of the model block whose lowering emitted it; -1 = glue. All
+    // emission funnels through here, so the side table stays parallel.
+    prog_.insn_block.push_back(cur_block_);
     return prog_.code.size() - 1;
   }
   std::size_t EmitOp(Op op, int dst = 0, int a = 0, int b = 0, int imm = 0, int aux = 0,
@@ -227,15 +231,37 @@ class Lowerer {
     return m;
   }
 
+  /// Memoized index of a block path in Program::block_names.
+  std::int32_t BlockIndex(const std::string& bpath) {
+    const auto [it, inserted] =
+        block_index_.emplace(bpath, static_cast<std::int32_t>(prog_.block_names.size()));
+    if (inserted) prog_.block_names.push_back(bpath);
+    return it->second;
+  }
+
   // ---- systems ---------------------------------------------------------------
   Status LowerSystem(const Model& sys, const std::string& path) {
     const auto& order = sm_.OrderOf(&sys);
+    // Attribution save/restore around every block: a compound block's nested
+    // LowerSystem re-enters here, so its glue (guard evaluation, region
+    // jumps) books to the compound while inner blocks book to themselves.
     for (ir::BlockId id : order) {
-      if (Status s = LowerBlock(sys, sys.block(id), path); !s.ok()) return s;
+      const Block& b = sys.block(id);
+      const std::int32_t prev = cur_block_;
+      cur_block_ = BlockIndex(path.empty() ? b.name() : path + "/" + b.name());
+      const Status s = LowerBlock(sys, b, path);
+      cur_block_ = prev;
+      if (!s.ok()) return s;
     }
     // Update phase: delay-class blocks commit their next state at the end of
     // the system body (inside any enclosing conditional region).
-    for (ir::BlockId id : order) EmitStateUpdate(sys, sys.block(id));
+    for (ir::BlockId id : order) {
+      const Block& b = sys.block(id);
+      const std::int32_t prev = cur_block_;
+      cur_block_ = BlockIndex(path.empty() ? b.name() : path + "/" + b.name());
+      EmitStateUpdate(sys, b);
+      cur_block_ = prev;
+    }
     return Status::Ok();
   }
 
@@ -1641,6 +1667,8 @@ class Lowerer {
   int next_ireg_ = 0;
   std::map<ValueKey, Slot> values_;
   std::map<const Block*, std::vector<int>> delay_state_;
+  std::int32_t cur_block_ = -1;  // attribution target for Emit(); -1 = glue
+  std::map<std::string, std::int32_t> block_index_;
 };
 
 }  // namespace

@@ -191,6 +191,47 @@ std::string RenderCampaignExplorer(const CampaignExplorerData& data) {
   }
   html += "</table>\n";
 
+  // --- Hot-block execution heatmap (self-profile join) ---------------------
+  // Where the campaign actually spent its VM work: dispatch share per block,
+  // tinted hot (red) to cold (green), with the strobe-sampled time share in
+  // the tooltip when the profile was recorded in timed mode.
+  if (!data.profile_blocks.empty()) {
+    html += "<h2>Hot-block execution heatmap</h2>\n";
+    html += StrFormat(
+        "<p>Campaign self-profile: %llu VM instruction dispatches (%llu strobe samples); "
+        "red = hot, green = cold.</p>\n",
+        static_cast<unsigned long long>(data.profile_dispatches),
+        static_cast<unsigned long long>(data.profile_samples));
+    html += "<table><tr><th>Block</th><th>Dispatches</th><th>Share</th><th></th></tr>\n";
+    for (const auto& b : data.profile_blocks) {
+      const char* heat = b.dispatch_pct >= 30 ? "heat4"
+                         : b.dispatch_pct >= 15 ? "heat3"
+                         : b.dispatch_pct >= 5  ? "heat2"
+                         : b.dispatch_pct >= 1  ? "heat1"
+                                                : "heat0";
+      const int width = static_cast<int>(b.dispatch_pct / 100.0 * 240.0) + 1;
+      html += StrFormat(
+          "<tr><td><code>%s</code></td><td>%llu</td>"
+          "<td class=\"%s\" title=\"sampled time share %.1f%%\">%.1f%%</td>"
+          "<td><div class=\"bar\" style=\"width:%dpx\"></div></td></tr>\n",
+          XmlEscape(b.name).c_str(), static_cast<unsigned long long>(b.dispatches), heat,
+          b.sample_pct, b.dispatch_pct, width);
+    }
+    html += "</table>\n";
+  }
+  if (!data.profile_phases.empty()) {
+    html += "<h2>Phase time accounting</h2>\n";
+    html += "<table><tr><th>Phase</th><th>Seconds</th><th>Share</th><th></th></tr>\n";
+    for (const auto& p : data.profile_phases) {
+      const int width = static_cast<int>(p.pct / 100.0 * 240.0) + 1;
+      html += StrFormat(
+          "<tr><td><code>%s</code></td><td>%.4f</td><td>%.1f%%</td>"
+          "<td><div class=\"bar\" style=\"width:%dpx\"></div></td></tr>\n",
+          XmlEscape(p.name).c_str(), p.seconds, p.pct, width);
+    }
+    html += "</table>\n";
+  }
+
   // --- Time-to-objective timeline ------------------------------------------
   std::vector<const ExplorerObjective*> timeline;
   timeline.reserve(data.objectives.size());

@@ -62,6 +62,21 @@ struct ExplorerResidual {
   std::string reason;  // analyzer's reason; empty when not justified
 };
 
+/// One hot-block row joined from a campaign self-profile (profile.json).
+struct ExplorerProfileBlock {
+  std::string name;
+  std::uint64_t dispatches = 0;
+  double dispatch_pct = 0;  // share of all VM instruction dispatches
+  double sample_pct = 0;    // strobe-sample share (≈ time); 0 when count-only
+};
+
+/// One phase-plane row joined from a campaign self-profile.
+struct ExplorerProfilePhase {
+  std::string name;
+  double seconds = 0;
+  double pct = 0;  // share of accounted phase time
+};
+
 /// Everything the campaign explorer page needs, decoded from a trace by the
 /// caller (the CLI joins trace + metrics snapshot; coverage stays free of
 /// the obs JSON reader).
@@ -74,6 +89,12 @@ struct CampaignExplorerData {
   std::vector<ExplorerObjective> objectives;
   std::vector<ExplorerCorpusEntry> corpus;
   std::vector<ExplorerResidual> residuals;
+  // Self-profile join (`cftcg explain --profile profile.json`); empty when
+  // no profile was supplied — the section is simply omitted.
+  std::vector<ExplorerProfileBlock> profile_blocks;
+  std::vector<ExplorerProfilePhase> profile_phases;
+  std::uint64_t profile_dispatches = 0;
+  std::uint64_t profile_samples = 0;
 };
 
 /// Renders the self-contained campaign explorer HTML document.

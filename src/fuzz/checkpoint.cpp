@@ -193,6 +193,21 @@ void WriteFuzzerState(Writer& w, const FuzzerState& s) {
     w.I64(h.entry_id);
     w.Str(h.chain);
   }
+  // v2: self-profile planes. strobe_period is an option, not state — the
+  // resuming campaign supplies its own; only the countdown carries over.
+  w.U64Vec(s.exec_profile.insn_counts);
+  w.U64Vec(s.exec_profile.insn_samples);
+  w.U64(s.exec_profile.steps);
+  w.U64(s.exec_profile.strobe_countdown);
+  w.U64Vec(s.fuzz_exec_profile.insn_counts);
+  w.U64Vec(s.fuzz_exec_profile.insn_samples);
+  w.U64(s.fuzz_exec_profile.steps);
+  w.U64(s.fuzz_exec_profile.strobe_countdown);
+  w.U32(static_cast<std::uint32_t>(obs::kNumProfilePhases));
+  for (int i = 0; i < obs::kNumProfilePhases; ++i) {
+    w.F64(s.phase_profile.seconds[static_cast<std::size_t>(i)]);
+    w.U64(s.phase_profile.laps[static_cast<std::size_t>(i)]);
+  }
 }
 
 bool ReadFuzzerState(Reader& r, FuzzerState& s) {
@@ -262,6 +277,19 @@ bool ReadFuzzerState(Reader& r, FuzzerState& s) {
     h.entry_id = r.I64();
     h.chain = r.Str();
     s.provenance_hits.push_back(std::move(h));
+  }
+  s.exec_profile.insn_counts = r.U64Vec();
+  s.exec_profile.insn_samples = r.U64Vec();
+  s.exec_profile.steps = r.U64();
+  s.exec_profile.strobe_countdown = r.U64();
+  s.fuzz_exec_profile.insn_counts = r.U64Vec();
+  s.fuzz_exec_profile.insn_samples = r.U64Vec();
+  s.fuzz_exec_profile.steps = r.U64();
+  s.fuzz_exec_profile.strobe_countdown = r.U64();
+  if (r.U32() != static_cast<std::uint32_t>(obs::kNumProfilePhases)) return false;
+  for (int i = 0; i < obs::kNumProfilePhases; ++i) {
+    s.phase_profile.seconds[static_cast<std::size_t>(i)] = r.F64();
+    s.phase_profile.laps[static_cast<std::size_t>(i)] = r.U64();
   }
   return !r.failed();
 }

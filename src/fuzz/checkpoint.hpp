@@ -33,7 +33,10 @@
 
 namespace cftcg::fuzz {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// Version history: 1 = initial format; 2 = appended the self-profile planes
+// (per-instruction dispatch/sample counters, strobe countdown, phase times)
+// to every worker state.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Complete resumable state of one sequential Fuzzer (one parallel worker).
 /// Produced by Fuzzer::SaveState(), consumed via FuzzerOptions::resume.
@@ -61,6 +64,11 @@ struct FuzzerState {
   vm::CmpTrace::State cmp_trace;
   // First-hit attribution recorded so far (replayed via AbsorbHit).
   std::vector<coverage::ObjectiveFirstHit> provenance_hits;
+  // Self-profile planes (obs/profiler.hpp), v2: resumed campaigns continue
+  // the dispatch counters and strobe schedule bit-identically.
+  vm::ExecProfile exec_profile;
+  vm::ExecProfile fuzz_exec_profile;
+  obs::PhaseProfile phase_profile;
 };
 
 /// One on-disk checkpoint: campaign identity (validated on resume), engine

@@ -398,6 +398,11 @@ Fuzzer::Fuzzer(const vm::Program& instrumented, const coverage::CoverageSpec& sp
   machine_.set_cmp_trace(&cmp_trace_);
   // Hang containment: cap backward control transfers per model iteration.
   machine_.set_step_budget(options_.step_budget);
+  // Self-profiling count plane: always attached (one add per dispatch); the
+  // strobe sampler only arms in the --profile timed mode.
+  exec_profile_.strobe_period = options_.profile_timing ? options_.profile_strobe_period : 0;
+  exec_profile_.AttachTo(instrumented);
+  machine_.set_profile(&exec_profile_);
   if (!options_.field_ranges.empty()) tuple_mutator_.SetFieldRanges(options_.field_ranges);
   // Residual-distance recording: margin events only fire if `instrumented`
   // carries kMargin instructions (the caller picks the lowering).
@@ -481,6 +486,9 @@ std::size_t Fuzzer::RunOneEdges(const std::vector<std::uint8_t>& data, bool* fou
     fuzz_machine_ = std::make_unique<vm::Machine>(*fuzz_only_);
     fuzz_machine_->set_cmp_trace(&cmp_trace_);
     fuzz_machine_->set_step_budget(options_.step_budget);
+    fuzz_exec_profile_.strobe_period = exec_profile_.strobe_period;
+    fuzz_exec_profile_.AttachTo(*fuzz_only_);
+    fuzz_machine_->set_profile(&fuzz_exec_profile_);
   }
   vm::Machine* fuzz_machine = fuzz_machine_.get();
   if (edge_total_.empty()) {
@@ -568,12 +576,16 @@ void Fuzzer::Begin(const FuzzBudget& budget) {
     const std::size_t tuple_size = std::max<std::size_t>(instrumented_->TupleSize(), 1);
     // Seed corpus: a handful of short random inputs, then (when the static
     // analyzer supplied inport ranges) deterministic boundary-value inputs.
+    // Seeding is execution work, so the timed profile books it as execute.
+    obs::PhaseLapTimer lap(options_.profile_timing ? &phase_profile_ : nullptr);
+    lap.Arm();
     for (std::size_t k = 0; k < options_.seed_inputs; ++k) {
       const std::size_t n = 1 + rng_.NextBelow(32);
       AdmitSeed(tuple_mutator_.RandomInput(n, rng_), "seed", tuple_size);
     }
     SeedBoundaryInputs(tuple_size);
     frontier_exhausted_ = AllReachableCovered();
+    lap.Lap(obs::ProfilePhase::kExecute);
   }
   // First periodic checkpoint: the next multiple of checkpoint_every above
   // the current execution count (resume restarts the cadence from there).
@@ -677,6 +689,9 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
   // Hoisted so the per-execution stamp is a null check when monitoring is
   // off (the --serve-off case pays nothing measurable).
   obs::CampaignStatusBoard* const board = options_.status_board;
+  // Phase lap clock: one clock read per phase boundary, and none at all
+  // unless the --profile timed mode is on (a disarmed lap is a null check).
+  obs::PhaseLapTimer lap(options_.profile_timing ? &phase_profile_ : nullptr);
 
   while (true) {
     const double now = Elapsed();
@@ -685,6 +700,7 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
       result_.measure_iterations = measure_iterations_;
       result_.strategy_stats = strategy_stats_;
       monitor_->Heartbeat(now, result_, strategy_stats_);
+      PublishProfile(now);
     }
     // Cooperative interruption (SIGINT/SIGTERM): the in-flight execution
     // already finished; flush a final checkpoint and hand back to the
@@ -692,7 +708,11 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
     if (options_.interrupt != nullptr &&
         options_.interrupt->load(std::memory_order_relaxed)) {
       interrupted_ = true;
-      if (!options_.checkpoint_path.empty()) WriteCheckpoint();
+      if (!options_.checkpoint_path.empty()) {
+        lap.Arm();
+        WriteCheckpoint();
+        lap.Lap(obs::ProfilePhase::kCheckpoint);
+      }
       break;
     }
     if (now >= budget_.wall_seconds || result_.executions >= budget_.max_executions) {
@@ -714,10 +734,15 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
     // Periodic checkpoint, taken between executions so it captures a state
     // the resumed campaign continues from without perturbing the schedule.
     if (result_.executions >= next_checkpoint_) {
-      if (!options_.checkpoint_path.empty()) WriteCheckpoint();
+      if (!options_.checkpoint_path.empty()) {
+        lap.Arm();
+        WriteCheckpoint();
+        lap.Lap(obs::ProfilePhase::kCheckpoint);
+      }
       next_checkpoint_ += options_.checkpoint_every;
     }
 
+    lap.Arm();
     const CorpusEntry& parent = corpus_.Pick(rng_);
     const std::vector<std::uint8_t>& partner =
         corpus_.size() > 1 ? corpus_.PickUniform(rng_).data : kEmptyInput;
@@ -728,6 +753,7 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
                                     track_strategies_ ? &applied_ : nullptr)
             : byte_mutator_.Mutate(parent.data, partner, rng_, &cmp_trace_);
     if (track_strategies_) strategy_stats_.CountApplied(applied_);
+    lap.Lap(obs::ProfilePhase::kMutate);
 
     bool found_new = false;
     std::size_t new_slots = 0;
@@ -738,6 +764,7 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
       metric = RunOneEdges(data, &found_new);
       if (found_new && !last_input_hung_) MeasureOnInstrumented(data);
     }
+    lap.Lap(obs::ProfilePhase::kExecute);
     const std::uint64_t signature = last_signature_;
     ++result_.executions;
     if (board != nullptr) board->StampWorker(options_.status_worker, result_.executions);
@@ -748,6 +775,7 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
       // iterations is kept in the frontier, but the input is neither
       // admitted nor exported as a test case — it wedges the model.
       QuarantineHang(data);
+      lap.Lap(obs::ProfilePhase::kCoverageUpdate);
       continue;
     }
 
@@ -781,6 +809,7 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
       corpus_.Add(std::move(entry));
       monitor_->OnCorpusAdd(Elapsed(), corpus_.entry(corpus_.size() - 1), chain);
     }
+    lap.Lap(obs::ProfilePhase::kCoverageUpdate);
   }
   result_.model_iterations = model_iterations_;
   result_.measure_iterations = measure_iterations_;
@@ -822,6 +851,8 @@ void Fuzzer::ImportEntry(const std::vector<std::uint8_t>& data, std::uint64_t si
 
 CampaignResult Fuzzer::Finish() {
   assert(campaign_active_);
+  obs::PhaseLapTimer lap(options_.profile_timing ? &phase_profile_ : nullptr);
+  lap.Arm();
   // Final MCDC sweep: independence pairs completed by inputs that were not
   // retained in the corpus (neither new coverage nor a better IDC score)
   // are attributed here, with entry id -1 / chain "unretained" — honest
@@ -849,6 +880,11 @@ CampaignResult Fuzzer::Finish() {
   result_.corpus_fingerprint = CorpusFingerprint(corpus_);
   result_.coverage_fingerprint = CoverageFingerprint(sink_);
   result_.interrupted = interrupted_;
+  lap.Lap(obs::ProfilePhase::kReport);
+  result_.exec_profile = exec_profile_;
+  result_.fuzz_exec_profile = fuzz_exec_profile_;
+  result_.phase_profile = phase_profile_;
+  PublishProfile(result_.elapsed_s);
   monitor_->OnStop(result_.elapsed_s, result_);
   campaign_active_ = false;
   campaign_done_ = true;
@@ -885,6 +921,9 @@ FuzzerState Fuzzer::SaveState() const {
   s.edge_total = edge_total_;
   s.cmp_trace = cmp_trace_.Save();
   if (options_.provenance != nullptr) s.provenance_hits = options_.provenance->hits();
+  s.exec_profile = exec_profile_;
+  s.fuzz_exec_profile = fuzz_exec_profile_;
+  s.phase_profile = phase_profile_;
   return s;
 }
 
@@ -927,6 +966,16 @@ void Fuzzer::RestoreFromState(const FuzzerState& state) {
   cmp_trace_.Restore(state.cmp_trace);
   edge_total_ = state.edge_total;
   if (!edge_total_.empty()) edge_curr_.assign(edge_total_.size(), 0);
+  // Self-profile planes: counters and the strobe countdown carry over so a
+  // resumed profile is bit-identical; the strobe period stays an option of
+  // the resuming campaign. AttachTo re-sizes defensively (a fingerprint-
+  // validated checkpoint always matches already); the fuzz-only plane is
+  // re-armed by the lazy fuzz-machine init.
+  exec_profile_ = state.exec_profile;
+  exec_profile_.strobe_period = options_.profile_timing ? options_.profile_strobe_period : 0;
+  exec_profile_.AttachTo(*instrumented_);
+  fuzz_exec_profile_ = state.fuzz_exec_profile;
+  phase_profile_ = state.phase_profile;
   if (options_.provenance != nullptr) {
     seen_eval_sizes_.assign(spec_->decisions().size(), 0);
     for (std::size_t d = 0; d < state.seen_eval_sizes.size() && d < seen_eval_sizes_.size();
@@ -981,6 +1030,42 @@ void Fuzzer::QuarantineHang(const std::vector<std::uint8_t>& data) {
     }
   }
   monitor_->OnHang(Elapsed(), result_.executions, data.size(), file);
+}
+
+void Fuzzer::PublishProfile(double now) {
+  // Profile snapshots flow to two sinks on the same heartbeat cadence: the
+  // /profile HTTP endpoint (via the publisher) and, in timed mode, `profile`
+  // trace events (trace-summary reports the first->last deltas).
+  const bool trace_it = options_.profile_timing && options_.telemetry != nullptr &&
+                        options_.telemetry->trace != nullptr;
+  if (options_.profile_publisher == nullptr && !trace_it) return;
+  obs::CampaignProfile profile =
+      obs::BuildCampaignProfile(*instrumented_, exec_profile_, phase_profile_);
+  profile.mode = options_.model_oriented ? "cftcg" : "fuzz_only";
+  profile.seed = options_.seed;
+  profile.workers = 1;
+  profile.elapsed_s = now;
+  if (options_.profile_publisher != nullptr) {
+    options_.profile_publisher->Publish(profile.ToJson());
+  }
+  if (trace_it) {
+    auto phase_s = [&](obs::ProfilePhase p) {
+      return phase_profile_.seconds[static_cast<std::size_t>(p)];
+    };
+    obs::TraceEvent ev("profile");
+    ev.F64("time_s", now)
+        .U64("steps", profile.vm_steps)
+        .U64("dispatches", profile.vm_dispatches)
+        .U64("samples", profile.samples)
+        .F64("execute_s", phase_s(obs::ProfilePhase::kExecute))
+        .F64("mutate_s", phase_s(obs::ProfilePhase::kMutate))
+        .F64("coverage_s", phase_s(obs::ProfilePhase::kCoverageUpdate));
+    if (!profile.blocks.empty()) {
+      ev.Str("hot_block", profile.blocks[0].name)
+          .F64("hot_pct", profile.blocks[0].dispatch_pct);
+    }
+    options_.telemetry->trace->Emit(ev);
+  }
 }
 
 CampaignResult Fuzzer::Run(const FuzzBudget& budget) {

@@ -30,6 +30,7 @@
 #include "fuzz/corpus.hpp"
 #include "fuzz/mutator.hpp"
 #include "obs/clock.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "vm/machine.hpp"
 
@@ -89,6 +90,20 @@ struct FuzzerOptions {
   /// engine's corpus-sync dedup key). Off by default: the sequential loop
   /// never pays for the hashing.
   bool collect_signatures = false;
+  // -- Self-profiling (obs/profiler.hpp) ----------------------------------
+  /// The count plane (per-instruction dispatch counters) is always on — one
+  /// add per dispatch. Setting this additionally arms the strobe sampler
+  /// and the phase lap clock (the `--profile` timed mode).
+  bool profile_timing = false;
+  /// Strobe period in dispatches for the timed mode. Prime, so the sampler
+  /// does not resonate with short bytecode loops.
+  std::uint64_t profile_strobe_period = 97;
+  /// Optional live snapshot sink (the monitor's /profile endpoint): the
+  /// engine publishes a rendered CampaignProfile at heartbeats and at
+  /// Finish(). Not owned; must outlive the Fuzzer. Null skips publication.
+  /// The parallel driver publishes merged snapshots itself and leaves the
+  /// per-worker publishers null.
+  obs::ProfilePublisher* profile_publisher = nullptr;
   // -- Campaign durability (checkpoint.hpp) -------------------------------
   /// Resume from a checkpointed state instead of seeding a fresh corpus.
   /// Not owned; must outlive Begin(). The caller validates identity with
@@ -156,6 +171,15 @@ struct CampaignResult {
   /// uninterrupted one.
   std::uint64_t corpus_fingerprint = 0;
   std::uint64_t coverage_fingerprint = 0;
+  /// Self-profile (obs/profiler.hpp): per-instruction dispatch counters of
+  /// the instrumented machine (the fuzzing target in CFTCG mode, the
+  /// measurement plane in Fuzz Only mode), the edge machine's counters
+  /// (Fuzz Only mode's fuzzing target; empty otherwise), and cumulative
+  /// phase wall time. Deterministic, merged across workers in worker-id
+  /// order, preserved across checkpoint/resume.
+  vm::ExecProfile exec_profile;
+  vm::ExecProfile fuzz_exec_profile;
+  obs::PhaseProfile phase_profile;
 };
 
 class Fuzzer {
@@ -202,6 +226,11 @@ class Fuzzer {
 
   [[nodiscard]] const coverage::CoverageSink& sink() const { return sink_; }
   [[nodiscard]] const Corpus& corpus() const { return corpus_; }
+  /// Live self-profile counters (the parallel driver merges these at sync
+  /// barriers; safe to read whenever the engine is not inside RunChunk).
+  [[nodiscard]] const vm::ExecProfile& exec_profile() const { return exec_profile_; }
+  [[nodiscard]] const vm::ExecProfile& fuzz_exec_profile() const { return fuzz_exec_profile_; }
+  [[nodiscard]] const obs::PhaseProfile& phase_profile() const { return phase_profile_; }
   [[nodiscard]] std::uint64_t executions() const { return result_.executions; }
   [[nodiscard]] std::uint64_t model_iterations() const { return model_iterations_; }
   [[nodiscard]] std::uint64_t measure_iterations() const { return measure_iterations_; }
@@ -247,6 +276,9 @@ class Fuzzer {
   /// the input under options_.hangs_dir (content-hashed name, so re-hitting
   /// the same hang after a resume dedups).
   void QuarantineHang(const std::vector<std::uint8_t>& data);
+  /// Renders the current self-profile and hands it to
+  /// options_.profile_publisher (no-op without one).
+  void PublishProfile(double now);
   int DecisionOutcomesCovered() const;
   std::size_t IdcDensity(std::size_t metric, const std::vector<std::uint8_t>& data) const;
   void Attribute(double t, std::int64_t entry_id, const std::string& chain);
@@ -266,6 +298,10 @@ class Fuzzer {
   std::uint64_t model_iterations_ = 0;
   std::uint64_t measure_iterations_ = 0;
   StrategyStats strategy_stats_;
+  // Self-profiling state (always attached; see FuzzerOptions::profile_timing).
+  vm::ExecProfile exec_profile_;       // instrumented machine
+  vm::ExecProfile fuzz_exec_profile_;  // edge machine (Fuzz Only mode)
+  obs::PhaseProfile phase_profile_;
   // Fuzz-only state.
   std::unique_ptr<vm::Machine> fuzz_machine_;
   std::vector<std::uint8_t> edge_total_;

@@ -67,6 +67,9 @@ ParallelFuzzer::ParallelFuzzer(const vm::Program& instrumented,
     wopts.interrupt = nullptr;
     wopts.checkpoint_path.clear();
     wopts.checkpoint_every = 0;
+    // Profile publication is driver-owned as well: the driver merges the
+    // worker planes at barriers and publishes one campaign-wide snapshot.
+    wopts.profile_publisher = nullptr;
     if (parallel_.resume != nullptr) wopts.resume = &parallel_.resume->workers[i];
     // Corpus sync needs signatures; a single worker never syncs, so it
     // keeps the caller's setting (default off = zero hot-path hashing).
@@ -134,6 +137,30 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
     phase.emplace_back("fuzz.worker" + std::to_string(i));
   }
 
+  // Driver-side phase plane: corpus-sync, checkpoint writes, and barrier
+  // idle (a worker finishing its round early) are driver work the workers'
+  // own lap clocks never see. Round-granularity, so always on.
+  obs::PhaseProfile driver_phases;
+  obs::ProfilePublisher* const pub = options_.profile_publisher;
+  // Merged snapshot for the /profile endpoint: worker planes + driver plane,
+  // folded in worker-id order (deterministic like every other merge here).
+  const auto merged_profile = [&](double now) {
+    vm::ExecProfile exec;
+    obs::PhaseProfile phases = driver_phases;
+    for (const auto& w : workers_) {
+      exec.MergeFrom(w->exec_profile());
+      phases.MergeFrom(w->phase_profile());
+    }
+    exec.strobe_period = workers_[0]->exec_profile().strobe_period;
+    obs::CampaignProfile p = obs::BuildCampaignProfile(*instrumented_, exec, phases);
+    p.mode = options_.model_oriented ? "cftcg" : "fuzz_only";
+    p.seed = options_.seed;
+    p.workers = static_cast<int>(n);
+    p.elapsed_s = now;
+    return p;
+  };
+  double next_profile_pub = 0;  // rate-limits /profile snapshots to ~1/s
+
   // Seed every worker's campaign (sequential: Begin draws from the worker's
   // own RNG only, and the seed loops are a tiny fraction of the budget).
   for (std::size_t i = 0; i < n; ++i) workers_[i]->Begin(worker_budget[i]);
@@ -178,6 +205,7 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
   }
 
   const auto write_checkpoint = [&]() {
+    const double ckpt_t0 = elapsed();
     CampaignCheckpoint ckpt;
     ckpt.spec_fingerprint = workers_[0]->spec_fingerprint();
     ckpt.seed = options_.seed;
@@ -211,6 +239,7 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
     if (tm != nullptr && tm->registry != nullptr) {
       tm->registry->GetCounter("fuzz.checkpoints").Increment();
     }
+    driver_phases.Add(obs::ProfilePhase::kCheckpoint, elapsed() - ckpt_t0);
   };
 
   const auto sync_round = [&]() {
@@ -320,27 +349,45 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
     // thread. Worker state is disjoint; shared Programs are read-only.
     std::vector<std::thread> threads;
     threads.reserve(n);
+    std::vector<double> round_dur(n, -1.0);  // -1 = did not run this round
     for (std::size_t i = 0; i < n; ++i) {
       if (workers_[i]->done()) continue;
       Fuzzer* worker = workers_[i].get();
       obs::PhaseAccumulator* acc = &phase[i];
+      double* dur_slot = &round_dur[i];  // disjoint per thread
       const std::uint64_t target = worker->executions() + parallel_.sync_every;
       const double round_t0 = elapsed();
       const int tid = static_cast<int>(i) + 1;
-      threads.emplace_back([worker, acc, target, board, round_t0, tid]() {
+      threads.emplace_back([worker, acc, target, board, round_t0, tid, dur_slot]() {
         obs::Stopwatch chunk;
         worker->RunChunk(target);
         const double dur = chunk.Elapsed();
+        *dur_slot = dur;
         acc->Add(dur);
         if (board != nullptr) board->LogSpan("round", tid, round_t0, dur);
       });
     }
     for (auto& t : threads) t.join();  // barrier: the merge is single-threaded
     ++out.rounds;
+    // Barrier-idle accounting: the round lasts as long as its slowest
+    // worker; everyone else waited the difference out at the join.
+    double round_span = 0;
+    for (std::size_t i = 0; i < n; ++i) round_span = std::max(round_span, round_dur[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (round_dur[i] >= 0 && round_span > round_dur[i]) {
+        driver_phases.Add(obs::ProfilePhase::kIdle, round_span - round_dur[i]);
+      }
+    }
     const double sync_t0 = elapsed();
     sync_round();
+    driver_phases.Add(obs::ProfilePhase::kCorpusSync, elapsed() - sync_t0);
     if (board != nullptr && n > 1) board->LogSpan("sync", 0, sync_t0, elapsed() - sync_t0);
     if (tm != nullptr) heartbeat();
+    if (pub != nullptr && elapsed() >= next_profile_pub) {
+      const double now = elapsed();
+      pub->Publish(merged_profile(now).ToJson());
+      next_profile_pub = now + 1.0;
+    }
     if (total_executions() >= next_checkpoint) {
       write_checkpoint();
       next_checkpoint += options_.checkpoint_every;
@@ -371,6 +418,9 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
     merged.strategy_stats.MergeFrom(r.strategy_stats);
     merged.test_cases.insert(merged.test_cases.end(), r.test_cases.begin(),
                              r.test_cases.end());
+    merged.exec_profile.MergeFrom(r.exec_profile);
+    merged.fuzz_exec_profile.MergeFrom(r.fuzz_exec_profile);
+    merged.phase_profile.MergeFrom(r.phase_profile);
     out.worker_executions.push_back(r.executions);
     global.MergeFrom(workers_[i]->sink());
     // Worker-id-order fold of the per-worker fingerprints: position-
@@ -382,6 +432,9 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
   merged.coverage_fingerprint = CoverageFingerprint(global);
   merged.elapsed_s = elapsed();
   merged.interrupted = out.interrupted;
+  merged.exec_profile.strobe_period = results.empty() ? 0 : results[0].exec_profile.strobe_period;
+  merged.phase_profile.MergeFrom(driver_phases);
+  if (pub != nullptr) pub->Publish(merged_profile(merged.elapsed_s).ToJson());
   // Final board aggregates; published after the provenance merge below so
   // the objective counts make it into the last /status document.
   obs::CampaignAggregates final_agg;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/json.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prometheus.hpp"
 #include "support/strings.hpp"
 
@@ -319,7 +320,8 @@ th{background:#222} .stalled{color:#f55;font-weight:bold}
 <div id="agg">loading /status ...</div>
 <table id="workers"></table>
 <p>endpoints: <a href="/status">/status</a> &middot;
-<a href="/metrics">/metrics</a> &middot; <a href="/trace.json">/trace.json</a></p>
+<a href="/metrics">/metrics</a> &middot; <a href="/trace.json">/trace.json</a> &middot;
+<a href="/profile">/profile</a></p>
 <script>
 async function tick(){
   try{
@@ -386,20 +388,34 @@ net::HttpResponse MonitorServer::Handle(const net::HttpRequest& request) const {
   } else if (path == "/trace.json") {
     resp.content_type = "application/json";
     resp.body = board_->PerfettoJson();
+  } else if (path == "/profile") {
+    const std::string snapshot = profile_ != nullptr ? profile_->Snapshot() : std::string();
+    if (snapshot.empty()) {
+      resp.status = 404;
+      resp.content_type = "text/plain; charset=utf-8";
+      resp.body = "no profile snapshot published yet (campaign still warming up,"
+                  " or running without a profile publisher)\n";
+    } else {
+      resp.content_type = "application/json";
+      resp.body = snapshot;
+    }
   } else if (path == "/" || path == "/index.html") {
     resp.content_type = "text/html; charset=utf-8";
     resp.body = kIndexHtml;
   } else {
     resp.status = 404;
     resp.content_type = "text/plain; charset=utf-8";
-    resp.body = "not found; try /status, /metrics, /trace.json\n";
+    resp.body = "not found; try /status, /metrics, /trace.json, /profile\n";
   }
   return resp;
 }
 
 std::string MonitorArtifactJson(std::uint16_t port) {
+  // "port" must stay the first member: shell readers (CI monitor smoke, the
+  // roundtrip test) extract it with a positional sed over this line.
   return StrFormat(
-      "{\"port\":%u,\"endpoints\":[\"/status\",\"/metrics\",\"/trace.json\"]}\n",
+      "{\"port\":%u,\"serve_version\":2,\"endpoints\":[\"/status\",\"/metrics\","
+      "\"/trace.json\",\"/profile\"]}\n",
       static_cast<unsigned>(port));
 }
 

@@ -42,6 +42,8 @@
 
 namespace cftcg::obs {
 
+class ProfilePublisher;  // obs/profiler.hpp: /profile snapshot hand-off
+
 /// Immutable facts about the campaign, set once at BeginCampaign.
 struct CampaignInfo {
   std::string model;
@@ -203,6 +205,10 @@ class MonitorServer {
 
   [[nodiscard]] std::uint16_t port() const { return server_->port(); }
   [[nodiscard]] StallWatchdog& watchdog() { return *watchdog_; }
+  /// Wires the /profile endpoint to a snapshot publisher (obs/profiler.hpp).
+  /// Until set — or until the campaign publishes its first snapshot — the
+  /// endpoint answers 404. Not owned; must outlive the server.
+  void set_profile_publisher(const ProfilePublisher* publisher) { profile_ = publisher; }
   /// Stops the watchdog and the HTTP server (also run by the destructor).
   void Stop();
 
@@ -214,12 +220,15 @@ class MonitorServer {
 
   CampaignStatusBoard* board_;
   Registry* registry_;
+  const ProfilePublisher* profile_ = nullptr;
   std::unique_ptr<StallWatchdog> watchdog_;
   std::unique_ptr<net::HttpServer> server_;
 };
 
 /// The monitor.json discovery artifact the CLI writes next to its outputs:
-/// {"port":N,"endpoints":["/status","/metrics","/trace.json"]}.
+/// {"port":N,"serve_version":2,"endpoints":[...]}. "port" stays the first
+/// member — existing shell readers grep for it positionally; serve_version
+/// and the endpoint list were appended in v2 (the /profile endpoint).
 std::string MonitorArtifactJson(std::uint16_t port);
 
 }  // namespace cftcg::obs

@@ -62,6 +62,19 @@ ir::Value Machine::GetOutput(int index) const {
 }
 
 bool Machine::Step(coverage::CoverageSink* sink, std::uint8_t* edge_map) {
+  // Specialized dispatch loops: the detached path compiles with zero
+  // profiling code (not even a per-dispatch branch), the count-only path is
+  // a single increment per dispatch, and only the strobe path carries the
+  // sampling countdown.
+  if (profile_ == nullptr) return StepImpl<ProfileMode::kOff>(sink, edge_map);
+  if (profile_->strobe_period == 0) return StepImpl<ProfileMode::kCount>(sink, edge_map);
+  return StepImpl<ProfileMode::kStrobe>(sink, edge_map);
+}
+
+template <Machine::ProfileMode kMode>
+bool Machine::StepImpl(coverage::CoverageSink* sink, std::uint8_t* edge_map) {
+  constexpr bool kCounting = kMode != ProfileMode::kOff;
+  constexpr bool kStrobing = kMode == ProfileMode::kStrobe;
   const Insn* code = program_->code.data();
   double* d = dregs_.data();
   std::int64_t* r = iregs_.data();
@@ -70,11 +83,43 @@ bool Machine::Step(coverage::CoverageSink* sink, std::uint8_t* edge_map) {
   // common straight-line path pays nothing. 0 configured = unlimited.
   std::uint64_t back_jumps =
       step_budget_ == 0 ? std::numeric_limits<std::uint64_t>::max() : step_budget_;
+  // Counting covers every dispatch — including the final kHalt and the
+  // aborted tail of a hang — so Σ insn_counts equals total dispatches. The
+  // strobe countdown lives in a register for the duration of the iteration
+  // and is written back at every exit, so the sampled positions stay a pure
+  // function of the executed instruction stream across Step() calls.
+  [[maybe_unused]] std::uint64_t* prof_counts = nullptr;
+  [[maybe_unused]] std::uint64_t strobe_period = 0;
+  [[maybe_unused]] std::uint64_t strobe_countdown = 0;
+  if constexpr (kCounting) {
+    prof_counts = profile_->insn_counts.data();
+    ++profile_->steps;
+  }
+  if constexpr (kStrobing) {
+    strobe_period = profile_->strobe_period;
+    strobe_countdown = profile_->strobe_countdown;
+  }
+  // Hang abort (back-edge budget exhausted): flush strobe state, then false.
+  auto abort_hang = [&]() -> bool {
+    if constexpr (kStrobing) profile_->strobe_countdown = strobe_countdown;
+    return false;
+  };
 
   for (;;) {
     const Insn& in = code[pc];
+    if constexpr (kCounting) ++prof_counts[pc];
+    if constexpr (kStrobing) {
+      // Instruction-count strobe (timed mode): one sample every N
+      // dispatches, no clock read.
+      if (--strobe_countdown == 0) {
+        strobe_countdown = strobe_period;
+        ++profile_->insn_samples[pc];
+      }
+    }
     switch (in.op) {
-      case Op::kHalt: return true;
+      case Op::kHalt:
+        if constexpr (kStrobing) profile_->strobe_countdown = strobe_countdown;
+        return true;
       case Op::kLoadConstD: d[in.dst] = in.dimm; break;
       case Op::kLoadConstI:
         // Wrap to the declared width: an out-of-range literal (e.g. a
@@ -179,14 +224,14 @@ bool Machine::Step(coverage::CoverageSink* sink, std::uint8_t* edge_map) {
 
       case Op::kJmp: {
         const auto target = static_cast<std::size_t>(in.imm);
-        if (target <= pc && --back_jumps == 0) return false;
+        if (target <= pc && --back_jumps == 0) return abort_hang();
         pc = target;
         continue;
       }
       case Op::kJmpIfZero:
         if (r[in.a] == 0) {
           const auto target = static_cast<std::size_t>(in.imm);
-          if (target <= pc && --back_jumps == 0) return false;
+          if (target <= pc && --back_jumps == 0) return abort_hang();
           pc = target;
           continue;
         }
@@ -194,7 +239,7 @@ bool Machine::Step(coverage::CoverageSink* sink, std::uint8_t* edge_map) {
       case Op::kJmpIfNotZero:
         if (r[in.a] != 0) {
           const auto target = static_cast<std::size_t>(in.imm);
-          if (target <= pc && --back_jumps == 0) return false;
+          if (target <= pc && --back_jumps == 0) return abort_hang();
           pc = target;
           continue;
         }

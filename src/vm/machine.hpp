@@ -13,6 +13,7 @@
 
 #include "coverage/sink.hpp"
 #include "vm/cmp_trace.hpp"
+#include "vm/profile.hpp"
 #include "vm/program.hpp"
 
 namespace cftcg::vm {
@@ -54,6 +55,13 @@ class Machine {
   /// equality comparisons record both operands. Pass nullptr to detach.
   void set_cmp_trace(CmpTrace* trace) { cmp_trace_ = trace; }
 
+  /// Attaches an execution profile: every dispatch bumps one counter (and,
+  /// when the strobe is armed, occasionally one sample slot). The caller
+  /// sizes the buffers with ExecProfile::AttachTo first. Pass nullptr to
+  /// detach; the detached dispatch loop is a separate specialization and
+  /// carries no profiling code at all.
+  void set_profile(ExecProfile* profile) { profile_ = profile; }
+
   /// Peek at persistent state (tests / debugging).
   [[nodiscard]] double state_d(int slot) const { return state_d_[static_cast<std::size_t>(slot)]; }
   [[nodiscard]] std::int64_t state_i(int slot) const {
@@ -61,8 +69,17 @@ class Machine {
   }
 
  private:
+  /// Dispatch-loop profiling modes, one specialization each: kOff carries no
+  /// profiling code at all, kCount is one counter increment per dispatch
+  /// (the always-on plane, gated ≤5% overhead by the bench suite), kStrobe
+  /// adds the sampling countdown kept in a register.
+  enum class ProfileMode { kOff, kCount, kStrobe };
+  template <ProfileMode kMode>
+  bool StepImpl(coverage::CoverageSink* sink, std::uint8_t* edge_map);
+
   const Program* program_;
   CmpTrace* cmp_trace_ = nullptr;
+  ExecProfile* profile_ = nullptr;
   std::uint64_t step_budget_ = 0;
   std::vector<double> dregs_;
   std::vector<std::int64_t> iregs_;

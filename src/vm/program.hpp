@@ -98,6 +98,13 @@ struct Program {
   std::vector<ir::DType> output_types;  // root outports
   int num_edges = 0;                    // code-level edge slots (kEdge)
 
+  // Block attribution (the self-profiler's VM plane): for every instruction,
+  // the index into block_names of the model block whose lowering emitted it,
+  // or -1 for scheduler glue (prologue jumps, the final kHalt). Parallel to
+  // `code`; empty for hand-built programs, which profile as all-glue.
+  std::vector<std::int32_t> insn_block;
+  std::vector<std::string> block_names;  // block paths, first-emission order
+
   /// Bytes of one input tuple (sum of input field sizes).
   [[nodiscard]] std::size_t TupleSize() const {
     std::size_t total = 0;

@@ -153,6 +153,63 @@ TEST(CheckpointTest, ParallelResumeIsBitIdentical) {
   std::remove(ckpt_path.c_str());
 }
 
+// -- Profile counters across checkpoint/resume -----------------------------
+
+// The self-profiler planes are campaign state: a resumed campaign's VM
+// dispatch counters, strobe samples, and phase laps must continue from the
+// checkpointed values, and (with a fixed strobe schedule) end bit-identical
+// to an uninterrupted campaign's.
+TEST(CheckpointTest, ProfileCountersSurviveResume) {
+  const std::uint64_t kStop = 1200;
+  const std::uint64_t kTotal = 3000;
+  FuzzerOptions options;
+  options.seed = 11;
+  options.profile_timing = true;  // arm the strobe plane too
+
+  auto baseline_cm = Compile(bench_models::BuildAfc());
+  Fuzzer baseline(baseline_cm->instrumented(), baseline_cm->spec(), options);
+  const CampaignResult straight = baseline.Run(ExecBudget(kTotal));
+  ASSERT_GT(straight.exec_profile.TotalDispatches(), 0u);
+  ASSERT_GT(straight.exec_profile.steps, 0u);
+
+  auto cm1 = Compile(bench_models::BuildAfc());
+  Fuzzer first(cm1->instrumented(), cm1->spec(), options);
+  first.Begin(ExecBudget(kTotal));
+  ASSERT_EQ(first.RunChunk(kStop), kStop);
+  const CampaignCheckpoint taken = first.MakeCheckpoint();
+  const std::string bytes = SerializeCheckpoint(taken);
+  const CampaignResult partial = first.Finish();
+  ASSERT_GT(partial.exec_profile.steps, 0u);
+  ASSERT_LT(partial.exec_profile.steps, straight.exec_profile.steps);
+
+  auto parsed = ParseCheckpoint(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  // The checkpoint carries the partial counters verbatim.
+  EXPECT_EQ(parsed.value().workers[0].exec_profile.insn_counts,
+            taken.workers[0].exec_profile.insn_counts);
+
+  auto cm2 = Compile(bench_models::BuildAfc());
+  FuzzerOptions resume_options = options;
+  resume_options.resume = &parsed.value().workers[0];
+  Fuzzer second(cm2->instrumented(), cm2->spec(), resume_options);
+  const CampaignResult resumed = second.Run(ExecBudget(kTotal));
+
+  // VM plane: dispatch counts, strobe samples, and the step counter all
+  // continue from the checkpoint — bit-identical to the straight run.
+  EXPECT_EQ(resumed.exec_profile.steps, straight.exec_profile.steps);
+  EXPECT_EQ(resumed.exec_profile.insn_counts, straight.exec_profile.insn_counts);
+  EXPECT_EQ(resumed.exec_profile.insn_samples, straight.exec_profile.insn_samples);
+  // Phase plane: lap counts are schedule-determined (times are wall-clock
+  // and naturally differ), and the resumed run keeps accumulating them.
+  const auto total_laps = [](const obs::PhaseProfile& p) {
+    std::uint64_t n = 0;
+    for (const std::uint64_t laps : p.laps) n += laps;
+    return n;
+  };
+  EXPECT_GT(total_laps(resumed.phase_profile), 0u);
+  EXPECT_GT(total_laps(resumed.phase_profile), total_laps(partial.phase_profile));
+}
+
 // -- Version and identity gating ------------------------------------------
 
 TEST(CheckpointTest, VersionMismatchRejectedBothDirections) {
@@ -165,8 +222,9 @@ TEST(CheckpointTest, VersionMismatchRejectedBothDirections) {
   (void)fuzzer.Finish();
   ASSERT_TRUE(ParseCheckpoint(bytes).ok());
 
-  // The version word sits right after the 8-byte magic.
-  for (std::uint8_t bad_version : {std::uint8_t{0}, std::uint8_t{2}}) {
+  // The version word sits right after the 8-byte magic. Version 2 is the
+  // current format (profile counters appended); 0 and 3 bracket it.
+  for (std::uint8_t bad_version : {std::uint8_t{0}, std::uint8_t{3}}) {
     std::string patched = bytes;
     patched[8] = static_cast<char>(bad_version);
     auto parsed = ParseCheckpoint(patched);

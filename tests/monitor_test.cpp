@@ -399,9 +399,16 @@ TEST(MonitorServerTest, ArtifactJsonParsesAndNamesEndpoints) {
   auto parsed = ParseJson(MonitorArtifactJson(8080));
   ASSERT_TRUE(parsed.ok());
   EXPECT_DOUBLE_EQ(parsed.value().NumberOr("port", 0), 8080);
+  EXPECT_DOUBLE_EQ(parsed.value().NumberOr("serve_version", 0), 2);
   const JsonValue* endpoints = parsed.value().Find("endpoints");
   ASSERT_NE(endpoints, nullptr);
-  EXPECT_EQ(endpoints->items.size(), 3U);
+  EXPECT_EQ(endpoints->items.size(), 4U);
+  bool has_profile = false;
+  for (const JsonValue& e : endpoints->items) has_profile |= e.string == "/profile";
+  EXPECT_TRUE(has_profile);
+  // Positional readers (CI smoke, the monitor round-trip test) sed the port
+  // out of the first field: "port" must stay first in the document.
+  EXPECT_EQ(MonitorArtifactJson(8080).find("{\"port\":"), 0U);
 }
 
 }  // namespace

@@ -1,0 +1,255 @@
+// Campaign self-profiler: VM-plane determinism, parallel merge accounting,
+// phase lap bookkeeping, and the profile.json / folded-stack export loop.
+//
+// The invariants under test mirror the profiler's design contract:
+//   * counting is deterministic — two identical campaigns produce
+//     bit-identical dispatch counters and strobe samples (the strobe is a
+//     function of the executed instruction stream, not of wall time);
+//   * the merged parallel profile is the element-wise sum of the worker
+//     planes, and its step counter equals the campaign's model iterations;
+//   * per-block dispatch counts fold back to exactly the total dispatches.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "bench_models/bench_models.hpp"
+#include "cftcg/pipeline.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/parallel.hpp"
+#include "obs/profiler.hpp"
+#include "vm/machine.hpp"
+#include "vm/profile.hpp"
+
+namespace cftcg {
+namespace {
+
+std::unique_ptr<CompiledModel> CompileAfc() {
+  auto cm = CompiledModel::FromModel(bench_models::BuildAfc());
+  EXPECT_TRUE(cm.ok()) << cm.message();
+  return cm.take();
+}
+
+fuzz::FuzzBudget ExecBudget(std::uint64_t execs) {
+  fuzz::FuzzBudget budget;
+  budget.wall_seconds = 300.0;
+  budget.max_executions = execs;
+  return budget;
+}
+
+// -- VM plane ---------------------------------------------------------------
+
+TEST(ExecProfileTest, MergeFromIsElementwiseSum) {
+  vm::ExecProfile a;
+  a.insn_counts = {1, 2, 3};
+  a.insn_samples = {0, 1, 0};
+  a.steps = 10;
+  vm::ExecProfile b;
+  b.insn_counts = {10, 20, 30, 40};  // longer: merge must grow
+  b.insn_samples = {5, 0, 0, 1};
+  b.steps = 7;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.insn_counts, (std::vector<std::uint64_t>{11, 22, 33, 40}));
+  EXPECT_EQ(a.insn_samples, (std::vector<std::uint64_t>{5, 1, 0, 1}));
+  EXPECT_EQ(a.steps, 17u);
+  EXPECT_EQ(a.TotalDispatches(), 11u + 22 + 33 + 40);
+}
+
+TEST(ProfilerTest, SequentialCampaignProfileIsDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    auto cm = CompileAfc();
+    fuzz::FuzzerOptions options;
+    options.seed = seed;
+    options.profile_timing = true;  // arm the strobe plane
+    fuzz::Fuzzer fuzzer(cm->instrumented(), cm->spec(), options);
+    return fuzzer.Run(ExecBudget(2000));
+  };
+  const fuzz::CampaignResult first = run(21);
+  const fuzz::CampaignResult second = run(21);
+  ASSERT_GT(first.exec_profile.TotalDispatches(), 0u);
+  EXPECT_EQ(first.exec_profile.insn_counts, second.exec_profile.insn_counts);
+  EXPECT_EQ(first.exec_profile.insn_samples, second.exec_profile.insn_samples);
+  EXPECT_EQ(first.exec_profile.steps, second.exec_profile.steps);
+
+  // The instrumented-machine step counter is the campaign's model-iteration
+  // count: per-block exec counts therefore account for all VM work.
+  EXPECT_EQ(first.exec_profile.steps, first.model_iterations);
+
+  // The strobe samples every Nth dispatch: totals agree to within one period.
+  const std::uint64_t samples = [&] {
+    std::uint64_t n = 0;
+    for (const std::uint64_t s : first.exec_profile.insn_samples) n += s;
+    return n;
+  }();
+  ASSERT_GT(samples, 0u);
+  const std::uint64_t period = fuzz::FuzzerOptions{}.profile_strobe_period;
+  EXPECT_NEAR(static_cast<double>(samples) * static_cast<double>(period),
+              static_cast<double>(first.exec_profile.TotalDispatches()),
+              static_cast<double>(period));
+}
+
+TEST(ProfilerTest, CountOnlyModeTakesNoSamples) {
+  auto cm = CompileAfc();
+  fuzz::FuzzerOptions options;
+  options.seed = 4;  // profile_timing stays false: count-only
+  fuzz::Fuzzer fuzzer(cm->instrumented(), cm->spec(), options);
+  const fuzz::CampaignResult result = fuzzer.Run(ExecBudget(500));
+  EXPECT_GT(result.exec_profile.TotalDispatches(), 0u);
+  for (const std::uint64_t s : result.exec_profile.insn_samples) EXPECT_EQ(s, 0u);
+}
+
+TEST(ProfilerTest, ParallelMergedProfileSumsWorkerPlanes) {
+  auto run = [] {
+    auto cm = CompileAfc();
+    fuzz::FuzzerOptions options;
+    options.seed = 13;
+    options.profile_timing = true;
+    fuzz::ParallelOptions parallel;
+    parallel.num_workers = 2;
+    parallel.sync_every = 512;
+    fuzz::ParallelFuzzer fuzzer(cm->instrumented(), cm->spec(), options, parallel);
+    return fuzzer.Run(ExecBudget(4000));
+  };
+  const fuzz::ParallelCampaignResult first = run();
+  const fuzz::ParallelCampaignResult second = run();
+
+  // Merged counters are deterministic across runs (worker-id-ordered sums of
+  // per-worker planes, each deterministic under the fixed schedule).
+  EXPECT_EQ(first.merged.exec_profile.insn_counts, second.merged.exec_profile.insn_counts);
+  EXPECT_EQ(first.merged.exec_profile.insn_samples, second.merged.exec_profile.insn_samples);
+  EXPECT_EQ(first.merged.exec_profile.steps, second.merged.exec_profile.steps);
+
+  // The merged step counter accounts for every instrumented-machine step —
+  // the campaign's model iterations plus the re-measurement of corpus-sync
+  // imports — i.e. the merge saw every worker's execution, once.
+  EXPECT_EQ(first.merged.exec_profile.steps,
+            first.merged.model_iterations + first.merged.measure_iterations);
+  EXPECT_GT(first.merged.exec_profile.TotalDispatches(), 0u);
+
+  // Driver-side phases (idle barrier wait / corpus sync) land in the merge.
+  const auto idle = static_cast<std::size_t>(obs::ProfilePhase::kIdle);
+  EXPECT_GT(first.merged.phase_profile.laps[idle], 0u);
+}
+
+// -- Phase plane ------------------------------------------------------------
+
+TEST(PhaseLapTimerTest, NullSinkIsDisarmed) {
+  obs::PhaseLapTimer lap(nullptr);
+  EXPECT_FALSE(lap.active());
+  lap.Arm();
+  lap.Lap(obs::ProfilePhase::kExecute);  // must be a no-op, not a crash
+}
+
+TEST(PhaseLapTimerTest, LapsBookToPhases) {
+  obs::PhaseProfile profile;
+  obs::PhaseLapTimer lap(&profile);
+  ASSERT_TRUE(lap.active());
+  lap.Arm();
+  lap.Lap(obs::ProfilePhase::kMutate);
+  lap.Lap(obs::ProfilePhase::kExecute);
+  lap.Lap(obs::ProfilePhase::kExecute);
+  EXPECT_EQ(profile.laps[static_cast<std::size_t>(obs::ProfilePhase::kMutate)], 1u);
+  EXPECT_EQ(profile.laps[static_cast<std::size_t>(obs::ProfilePhase::kExecute)], 2u);
+  EXPECT_GE(profile.Total(), 0.0);
+}
+
+// -- Aggregation and export -------------------------------------------------
+
+TEST(CampaignProfileTest, BlockRowsSumToTotalDispatches) {
+  auto cm = CompileAfc();
+  fuzz::FuzzerOptions options;
+  options.seed = 2;
+  options.profile_timing = true;
+  fuzz::Fuzzer fuzzer(cm->instrumented(), cm->spec(), options);
+  const fuzz::CampaignResult result = fuzzer.Run(ExecBudget(1000));
+
+  const obs::CampaignProfile profile = obs::BuildCampaignProfile(
+      cm->instrumented(), result.exec_profile, result.phase_profile);
+  ASSERT_FALSE(profile.blocks.empty());
+  std::uint64_t block_sum = 0;
+  for (const auto& b : profile.blocks) block_sum += b.dispatches;
+  EXPECT_EQ(block_sum, profile.vm_dispatches);
+  EXPECT_EQ(profile.vm_dispatches, result.exec_profile.TotalDispatches());
+  EXPECT_EQ(profile.vm_steps, result.exec_profile.steps);
+  std::uint64_t opcode_sum = 0;
+  for (const auto& o : profile.opcodes) opcode_sum += o.dispatches;
+  EXPECT_EQ(opcode_sum, profile.vm_dispatches);
+  // Rows are sorted hottest-first.
+  for (std::size_t i = 1; i < profile.blocks.size(); ++i) {
+    EXPECT_GE(profile.blocks[i - 1].dispatches, profile.blocks[i].dispatches);
+  }
+}
+
+TEST(CampaignProfileTest, UnattributedProgramFoldsToGlue) {
+  // A hand-built program has no lowering-side block attribution: every
+  // dispatch must land in the "(glue)" bucket rather than being dropped.
+  vm::Program p;
+  p.input_types = {ir::DType::kInt8};
+  vm::Insn halt;
+  halt.op = vm::Op::kHalt;
+  p.code = {halt};
+  vm::Machine m(p);
+  vm::ExecProfile exec;
+  exec.AttachTo(p);
+  m.set_profile(&exec);
+  std::uint8_t input = 0;
+  m.SetInputsFromBytes(&input);
+  ASSERT_TRUE(m.Step(nullptr));
+  const obs::CampaignProfile profile = obs::BuildCampaignProfile(p, exec, obs::PhaseProfile{});
+  ASSERT_EQ(profile.blocks.size(), 1u);
+  EXPECT_EQ(profile.blocks[0].name, "(glue)");
+  EXPECT_EQ(profile.blocks[0].dispatches, profile.vm_dispatches);
+}
+
+TEST(CampaignProfileTest, JsonRoundTripPreservesCounters) {
+  auto cm = CompileAfc();
+  fuzz::FuzzerOptions options;
+  options.seed = 5;
+  options.profile_timing = true;
+  fuzz::Fuzzer fuzzer(cm->instrumented(), cm->spec(), options);
+  const fuzz::CampaignResult result = fuzzer.Run(ExecBudget(800));
+
+  obs::CampaignProfile profile = obs::BuildCampaignProfile(
+      cm->instrumented(), result.exec_profile, result.phase_profile);
+  profile.model = "AFC";
+  profile.mode = "cftcg";
+  profile.seed = 5;
+  profile.workers = 1;
+  profile.elapsed_s = result.elapsed_s;
+
+  auto parsed = obs::ParseCampaignProfile(profile.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  const obs::CampaignProfile& back = parsed.value();
+  EXPECT_EQ(back.model, "AFC");
+  EXPECT_EQ(back.mode, "cftcg");
+  EXPECT_EQ(back.seed, 5u);
+  EXPECT_EQ(back.workers, 1);
+  EXPECT_EQ(back.vm_steps, profile.vm_steps);
+  EXPECT_EQ(back.vm_dispatches, profile.vm_dispatches);
+  EXPECT_EQ(back.strobe_period, profile.strobe_period);
+  EXPECT_EQ(back.samples, profile.samples);
+  ASSERT_EQ(back.blocks.size(), profile.blocks.size());
+  for (std::size_t i = 0; i < back.blocks.size(); ++i) {
+    EXPECT_EQ(back.blocks[i].name, profile.blocks[i].name);
+    EXPECT_EQ(back.blocks[i].dispatches, profile.blocks[i].dispatches);
+    EXPECT_EQ(back.blocks[i].samples, profile.blocks[i].samples);
+  }
+  ASSERT_EQ(back.phases.size(), profile.phases.size());
+
+  // The other two export surfaces stay renderable from the same struct.
+  const std::string folded = profile.ToFolded();
+  EXPECT_NE(folded.find("cftcg;execute"), std::string::npos);
+  EXPECT_NE(profile.RenderText().find("hot blocks"), std::string::npos);
+  const std::string diff = obs::RenderProfileDiff(back, profile);
+  EXPECT_NE(diff.find("profile diff"), std::string::npos);
+}
+
+TEST(CampaignProfileTest, ParseRejectsForeignJson) {
+  EXPECT_FALSE(obs::ParseCampaignProfile("").ok());
+  EXPECT_FALSE(obs::ParseCampaignProfile("{}").ok());
+  EXPECT_FALSE(obs::ParseCampaignProfile("{\"bench\":\"speed\"}").ok());
+  EXPECT_FALSE(obs::ParseCampaignProfile("not json").ok());
+}
+
+}  // namespace
+}  // namespace cftcg

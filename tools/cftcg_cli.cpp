@@ -9,6 +9,8 @@
 //                                                run a campaign, export CSV tests
 //   cftcg run   <model.cmx> --csv test.csv       replay a CSV test case
 //   cftcg trace-summary <trace.jsonl>            summarize a campaign trace
+//   cftcg profile <profile.json> [--diff BASE] [--folded FILE]
+//                                                render / diff a saved self-profile
 //   cftcg explain <trace.jsonl> [--html FILE] [--json FILE] [--csv FILE]
 //                                                campaign explorer from a trace:
 //                                                first-hit provenance, corpus
@@ -46,6 +48,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
@@ -102,10 +105,19 @@ int Usage() {
       "                                   monitor.json): /status /metrics /trace.json\n"
       "              [--stall-window N]   flag a worker as stalled after N s without\n"
       "                                   progress (default 10; needs --serve)\n"
+      "              [--profile]          timed self-profiling: phase accounting +\n"
+      "                                   strobe-sampled hot blocks; writes\n"
+      "                                   profile.json and profile.folded\n"
+      "              [--profile-strobe N] sample every Nth VM dispatch (default 97)\n"
       "  cftcg run   <model.cmx> --csv test.csv\n"
       "  cftcg cover <model.cmx> --csv-dir DIR [--html report.html]\n"
       "  cftcg trace-summary <trace.jsonl>\n"
+      "  cftcg profile <profile.json> [--diff BASE] [--folded FILE]\n"
+      "              render a saved campaign self-profile, diff it against a\n"
+      "              baseline, or re-emit folded flamegraph stacks (- = stdout)\n"
       "  cftcg explain <trace.jsonl> [--html FILE] [--json FILE] [--csv FILE]\n"
+      "              [--profile profile.json]   join a self-profile: hot-block\n"
+      "                                         heatmap + phase table in the HTML\n"
       "              first-hit provenance explorer (use - for stdout)\n"
       "  cftcg export-benchmarks <dir>\n"
       "(<model.cmx> may also be a Table 2 benchmark name: CPUTask, AFC, ...)");
@@ -214,6 +226,11 @@ struct ServeFlags {
   double stall_window = 10.0; // seconds without progress before a worker is flagged
 };
 
+struct ProfileFlags {
+  bool enabled = false;             // --profile: timed mode + profile.json/.folded
+  std::uint64_t strobe_period = 97; // sample every Nth VM dispatch
+};
+
 struct DurabilityFlags {
   std::string checkpoint_path;          // empty: no checkpointing
   std::uint64_t checkpoint_every = 0;   // 0: checkpoint on interrupt only
@@ -225,9 +242,14 @@ struct DurabilityFlags {
 
 int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const std::string& outdir,
             bool fuzz_only, bool minimize, bool analyze, int jobs, const TelemetryFlags& tf,
-            DurabilityFlags df, const ServeFlags& sf) {
+            DurabilityFlags df, const ServeFlags& sf, const ProfileFlags& pf) {
+  // CLI-side phases (model load+lowering, static analysis, suite export) are
+  // timed here and merged into the campaign profile the engine accumulates.
+  obs::PhaseProfile cli_phases;
+  obs::Stopwatch phase_watch;
   auto cm = Load(path);
   if (!cm) return 1;
+  cli_phases.Add(obs::ProfilePhase::kLoad, phase_watch.Elapsed());
 
   // --resume: the checkpoint carries the campaign configuration (seed, mode,
   // worker count, sync cadence, step budget); the command line only needs to
@@ -284,6 +306,7 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
   // and a heartbeat cadence (the /status aggregates refresh on heartbeats);
   // the status board must begin before the server or any worker starts.
   obs::CampaignStatusBoard status_board;
+  obs::ProfilePublisher profile_pub;
   std::unique_ptr<obs::MonitorServer> monitor;
   if (sf.port >= 0) {
     telemetry.registry = &obs::Registry::Global();
@@ -305,7 +328,8 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
       return 1;
     }
     monitor = started.take();
-    std::printf("monitor: serving http://127.0.0.1:%u/ (/status /metrics /trace.json)\n",
+    monitor->set_profile_publisher(&profile_pub);
+    std::printf("monitor: serving http://127.0.0.1:%u/ (/status /metrics /trace.json /profile)\n",
                 static_cast<unsigned>(monitor->port()));
     if (Status s = support::WriteFileAtomic("monitor.json",
                                             obs::MonitorArtifactJson(monitor->port()));
@@ -332,7 +356,9 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
   const coverage::JustificationSet* justifications = nullptr;
   std::vector<fuzz::FieldRange> boundary_ranges;
   if (analyze) {
+    phase_watch.Restart();
     const analysis::ModelAnalysis& ma = cm->analysis();
+    cli_phases.Add(obs::ProfilePhase::kAnalyze, phase_watch.Elapsed());
     justifications = &ma.justifications;
     boundary_ranges = BoundarySeedRanges(ma.inport_ranges);
     std::printf("analysis: %s in %d iteration(s); %zu objective(s) justified unreachable, "
@@ -372,6 +398,12 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
   options.interrupt = &g_interrupt;
   options.step_budget = df.step_budget;
   options.hangs_dir = df.hangs_dir;
+  options.profile_timing = pf.enabled;
+  options.profile_strobe_period = pf.strobe_period;
+  // The /profile endpoint serves live snapshots whenever the monitor is up,
+  // even in count-only (no --profile) mode: block dispatch shares are always
+  // collected, only the timed planes need the opt-in.
+  options.profile_publisher = monitor != nullptr ? &profile_pub : nullptr;
   if (df.resume) {
     options.use_idc_energy = ckpt.use_idc_energy;
     options.max_tuples = static_cast<std::size_t>(ckpt.max_tuples);
@@ -448,6 +480,7 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
     suite = std::move(kept);
   }
 
+  phase_watch.Restart();
   if (!outdir.empty()) {
     std::system(("mkdir -p " + outdir).c_str());
     fuzz::TupleLayout layout(cm->instrumented().input_types);
@@ -463,6 +496,43 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
       }
     }
     std::printf("wrote %zu CSV test cases to %s/\n", suite.size(), outdir.c_str());
+  }
+  cli_phases.Add(obs::ProfilePhase::kReport, phase_watch.Elapsed());
+
+  // --profile: fold the campaign's VM counters + phase laps (engine planes
+  // merged with the CLI-side load/analyze/export laps) into the profile.json
+  // and profile.folded artifacts, next to the CSV suite when --out is given.
+  if (pf.enabled) {
+    obs::PhaseProfile phases = result.phase_profile;
+    phases.MergeFrom(cli_phases);
+    obs::CampaignProfile prof =
+        obs::BuildCampaignProfile(cm->instrumented(), result.exec_profile, phases);
+    prof.model = cm->model().name();
+    prof.mode = fuzz_only ? "fuzz_only" : "cftcg";
+    prof.seed = seed;
+    prof.workers = std::max(jobs, 1);
+    prof.elapsed_s = result.elapsed_s;
+    const std::string prefix = outdir.empty() ? std::string() : outdir + "/";
+    const std::string profile_json = prefix + "profile.json";
+    const std::string profile_folded = prefix + "profile.folded";
+    if (Status s = support::WriteFileAtomic(profile_json, prof.ToJson() + "\n"); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+    if (Status s = support::WriteFileAtomic(profile_folded, prof.ToFolded()); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::printf("profile: %llu dispatches over %llu VM steps, %llu strobe samples\n",
+                static_cast<unsigned long long>(prof.vm_dispatches),
+                static_cast<unsigned long long>(prof.vm_steps),
+                static_cast<unsigned long long>(prof.samples));
+    if (!prof.blocks.empty()) {
+      std::printf("profile: hottest block %s (%.1f%% of dispatches)\n",
+                  prof.blocks[0].name.c_str(), prof.blocks[0].dispatch_pct);
+    }
+    std::printf("profile: wrote %s and %s (render with: cftcg profile %s)\n",
+                profile_json.c_str(), profile_folded.c_str(), profile_json.c_str());
   }
 
   if (trace != nullptr) {
@@ -530,10 +600,20 @@ int CmdTraceSummary(const std::string& trace_path) {
   }
   const std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
 
+  // Self-profiler heartbeat snapshots (`cftcg fuzz --profile --trace`):
+  // summarized as first->last deltas, the in-trace view of profile.json.
+  struct ProfilePoint {
+    double time_s = 0;
+    double steps = 0, dispatches = 0, samples = 0;
+    double execute_s = 0, mutate_s = 0, coverage_s = 0;
+    std::string hot_block;
+    double hot_pct = 0;
+  };
   std::map<std::string, int> kinds;
   std::vector<double> stat_exec_per_s;
   std::vector<std::pair<double, double>> coverage_points;  // (t, outcomes_covered)
   std::vector<std::pair<std::string, double>> phases;      // (name, seconds)
+  std::vector<ProfilePoint> profile_points;
   double stop_elapsed = 0;
   double stop_exec = 0;
   double stop_decision = -1, stop_condition = -1, stop_mcdc = -1;
@@ -556,6 +636,18 @@ int CmdTraceSummary(const std::string& trace_path) {
       stop_mcdc = ev.NumberOr("mcdc_pct", -1);
     } else if (kind == "phase") {
       phases.emplace_back(ev.StringOr("name", "?"), ev.NumberOr("seconds", 0));
+    } else if (kind == "profile") {
+      ProfilePoint p;
+      p.time_s = ev.NumberOr("time_s", 0);
+      p.steps = ev.NumberOr("steps", 0);
+      p.dispatches = ev.NumberOr("dispatches", 0);
+      p.samples = ev.NumberOr("samples", 0);
+      p.execute_s = ev.NumberOr("execute_s", 0);
+      p.mutate_s = ev.NumberOr("mutate_s", 0);
+      p.coverage_s = ev.NumberOr("coverage_s", 0);
+      p.hot_block = ev.StringOr("hot_block", "");
+      p.hot_pct = ev.NumberOr("hot_pct", 0);
+      profile_points.push_back(std::move(p));
     }
   });
   if (stats.lines == 0) {
@@ -642,6 +734,30 @@ int CmdTraceSummary(const std::string& trace_path) {
                   snap.Quantile(0.50), snap.Quantile(0.95), snap.Quantile(0.99));
     }
   }
+
+  if (!profile_points.empty()) {
+    const ProfilePoint& last = profile_points.back();
+    if (profile_points.size() >= 2) {
+      const ProfilePoint& first = profile_points.front();
+      const double dt = last.time_s - first.time_s;
+      std::printf("self-profile: %zu snapshots, first->last deltas over %.2fs:\n",
+                  profile_points.size(), dt);
+      std::printf("  VM steps      +%.0f (%.0f iter/s), dispatches +%.0f, samples +%.0f\n",
+                  last.steps - first.steps,
+                  dt > 0 ? (last.steps - first.steps) / dt : 0.0,
+                  last.dispatches - first.dispatches, last.samples - first.samples);
+      std::printf("  phase time    execute +%.3fs, mutate +%.3fs, coverage-update +%.3fs\n",
+                  last.execute_s - first.execute_s, last.mutate_s - first.mutate_s,
+                  last.coverage_s - first.coverage_s);
+    } else {
+      std::printf("self-profile: 1 snapshot at t=%.2fs: %.0f VM steps, %.0f dispatches\n",
+                  last.time_s, last.steps, last.dispatches);
+    }
+    if (!last.hot_block.empty()) {
+      std::printf("  hot block     %s (%.1f%% of dispatches)\n", last.hot_block.c_str(),
+                  last.hot_pct);
+    }
+  }
   return 0;
 }
 
@@ -657,6 +773,42 @@ bool WriteArtifact(const std::string& path, const std::string& content, const ch
   }
   std::printf("%s written to %s\n", what, path.c_str());
   return true;
+}
+
+/// Reads and parses a profile.json artifact written by `cftcg fuzz --profile`.
+Result<obs::CampaignProfile> LoadProfile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::Error("cannot open " + path);
+  const std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  auto parsed = obs::ParseCampaignProfile(text);
+  if (!parsed.ok()) return Status::Error(path + ": " + parsed.message());
+  return parsed;
+}
+
+/// `cftcg profile`: offline view over saved self-profiles. Default renders
+/// the terminal report; --diff BASE renders the base -> current regression
+/// triage deltas; --folded FILE re-emits the flamegraph folded stacks.
+int CmdProfile(const std::string& path, const std::string& diff_base,
+               const std::string& folded_path) {
+  auto current = LoadProfile(path);
+  if (!current.ok()) {
+    std::fprintf(stderr, "error: %s\n", current.message().c_str());
+    return 1;
+  }
+  if (!folded_path.empty()) {
+    return WriteArtifact(folded_path, current.value().ToFolded(), "folded stacks") ? 0 : 1;
+  }
+  if (!diff_base.empty()) {
+    auto base = LoadProfile(diff_base);
+    if (!base.ok()) {
+      std::fprintf(stderr, "error: %s\n", base.message().c_str());
+      return 1;
+    }
+    std::fputs(obs::RenderProfileDiff(base.value(), current.value()).c_str(), stdout);
+    return 0;
+  }
+  std::fputs(current.value().RenderText().c_str(), stdout);
+  return 0;
 }
 
 /// `cftcg analyze`: runs the static analyzer alone and renders its report —
@@ -682,7 +834,8 @@ int CmdAnalyze(const std::string& path, const std::string& json_path) {
 /// campaign-explorer HTML and machine-readable first-hit tables. Tolerant of
 /// truncated or garbage lines — they are counted, skipped, and surfaced.
 int CmdExplain(const std::string& trace_path, const std::string& html_path,
-               const std::string& json_path, const std::string& csv_path) {
+               const std::string& json_path, const std::string& csv_path,
+               const std::string& profile_path) {
   std::ifstream in(trace_path);
   if (!in) {
     std::fprintf(stderr, "error: cannot open %s\n", trace_path.c_str());
@@ -745,6 +898,24 @@ int CmdExplain(const std::string& trace_path, const std::string& html_path,
   }
   data.malformed_lines = stats.skipped;
   data.title = mode.empty() ? trace_path : mode + " — " + trace_path;
+  // --profile: join the campaign self-profile into the explorer — the HTML
+  // gains a hot-block execution heatmap and the phase time table.
+  if (!profile_path.empty()) {
+    auto prof = LoadProfile(profile_path);
+    if (!prof.ok()) {
+      std::fprintf(stderr, "error: %s\n", prof.message().c_str());
+      return 1;
+    }
+    const obs::CampaignProfile& p = prof.value();
+    data.profile_dispatches = p.vm_dispatches;
+    data.profile_samples = p.samples;
+    for (const auto& b : p.blocks) {
+      data.profile_blocks.push_back({b.name, b.dispatches, b.dispatch_pct, b.sample_pct});
+    }
+    for (const auto& ph : p.phases) {
+      if (ph.seconds > 0) data.profile_phases.push_back({ph.name, ph.seconds, ph.pct});
+    }
+  }
   if (data.objectives.empty() && data.corpus.empty()) {
     std::fprintf(stderr,
                  "warning: %s has no provenance events (record with cftcg fuzz --trace)\n",
@@ -980,6 +1151,10 @@ int main(int argc, char** argv) {
   TelemetryFlags tf;
   DurabilityFlags df;
   ServeFlags sf;
+  ProfileFlags pf;
+  std::string diff;
+  std::string folded;
+  std::string profile_json;
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string { return i + 1 < argc ? argv[++i] : ""; };
@@ -1011,6 +1186,17 @@ int main(int argc, char** argv) {
     else if (a == "--hangs-dir") df.hangs_dir = next();
     else if (a == "--serve") sf.port = std::atoi(next().c_str());
     else if (a == "--stall-window") sf.stall_window = std::atof(next().c_str());
+    else if (a == "--profile") {
+      // fuzz: boolean opt-in to timed self-profiling; explain: takes the
+      // profile.json path to join into the explorer.
+      if (cmd == "explain") profile_json = next();
+      else pf.enabled = true;
+    }
+    else if (a == "--profile-strobe") {
+      pf.strobe_period = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    }
+    else if (a == "--diff") diff = next();
+    else if (a == "--folded") folded = next();
   }
   // An execution-bounded campaign without an explicit wall budget should run
   // to its execution count, not trip over the 10-second default — that would
@@ -1021,12 +1207,14 @@ int main(int argc, char** argv) {
   if (cmd == "gen") return CmdGen(target, out);
   if (cmd == "analyze") return CmdAnalyze(target, json);
   if (cmd == "fuzz") {
-    return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize, analyze, jobs, tf, df, sf);
+    return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize, analyze, jobs, tf, df, sf,
+                   pf);
   }
   if (cmd == "run") return CmdRun(target, csv);
   if (cmd == "cover") return CmdCover(target, csv_dir, html);
   if (cmd == "trace-summary") return CmdTraceSummary(target);
-  if (cmd == "explain") return CmdExplain(target, html, json, csv);
+  if (cmd == "profile") return CmdProfile(target, diff, folded);
+  if (cmd == "explain") return CmdExplain(target, html, json, csv, profile_json);
   if (cmd == "export-benchmarks") return CmdExportBenchmarks(target);
   return Usage();
 }

@@ -2,26 +2,43 @@
 //
 // CI containers do not ship curl; the monitor round-trip test still needs to
 // poll `cftcg fuzz --serve` endpoints from the shell. This wraps
-// net::HttpGet: prints the response body to stdout, exits 0 on HTTP 200,
-// 22 on any other status (mirroring `curl -f`), 1 on connection errors.
+// net::HttpGet: prints the response body to stdout, exits 0 on any non-error
+// HTTP status (< 400), 22 on HTTP errors (mirroring `curl -f`), 1 on
+// connection errors. `--timeout-ms N` caps the whole request; the positional
+// [timeout_s] form is kept for existing callers.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "net/http.hpp"
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr, "usage: %s <port> <path> [timeout_s]\n", argv[0]);
+  double timeout_s = 5.0;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--timeout-ms") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --timeout-ms needs a value\n");
+        return 2;
+      }
+      timeout_s = std::atof(argv[++i]) / 1000.0;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2) {
+    std::fprintf(stderr, "usage: %s <port> <path> [timeout_s] [--timeout-ms N]\n", argv[0]);
     return 2;
   }
-  const int port = std::atoi(argv[1]);
+  const int port = std::atoi(positional[0]);
   if (port <= 0 || port > 65535) {
-    std::fprintf(stderr, "error: bad port '%s'\n", argv[1]);
+    std::fprintf(stderr, "error: bad port '%s'\n", positional[0]);
     return 2;
   }
-  const std::string path = argv[2];
-  const double timeout_s = argc > 3 ? std::atof(argv[3]) : 5.0;
+  const std::string path = positional[1];
+  if (positional.size() > 2) timeout_s = std::atof(positional[2]);
 
   cftcg::net::HttpResponse response;
   if (cftcg::Status s = cftcg::net::HttpGet(static_cast<std::uint16_t>(port), path, &response,
@@ -31,7 +48,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fwrite(response.body.data(), 1, response.body.size(), stdout);
-  if (response.status != 200) {
+  if (response.status >= 400) {
     std::fprintf(stderr, "HTTP %d\n", response.status);
     return 22;
   }
