@@ -300,9 +300,10 @@ AV AFMinMax(const AV& a, const AV& c, bool is_min) {
 
 class AbstractExec {
  public:
-  explicit AbstractExec(const sched::ScheduledModel& sm)
+  AbstractExec(const sched::ScheduledModel& sm, const AnalyzeOptions& opts)
       : sm_(sm),
         spec_(sm.spec),
+        opts_(opts),
         feasible_(static_cast<std::size_t>(sm.spec.FuzzBranchCount()), 0),
         visited_(static_cast<std::size_t>(sm.spec.FuzzBranchCount()), 0),
         dead_reason_(static_cast<std::size_t>(sm.spec.FuzzBranchCount())),
@@ -311,11 +312,9 @@ class AbstractExec {
   ModelAnalysis Run() {
     ModelAnalysis res;
     res.justifications = coverage::JustificationSet(spec_);
-    constexpr int kWidenAfter = 4;
-    constexpr int kMaxIters = 64;
     int iter = 0;
-    for (; iter < kMaxIters; ++iter) {
-      widen_ = iter >= kWidenAfter;
+    for (; iter < opts_.max_iters; ++iter) {
+      widen_ = iter >= opts_.widen_after;
       record_ = false;
       if (!Step()) {
         res.converged = true;
@@ -474,9 +473,23 @@ class AbstractExec {
 
   // -- execution --------------------------------------------------------------
 
+  /// True when a restriction set is installed and `id` is outside it.
+  /// Skipped blocks are never executed, so their signals read as Top;
+  /// sound for cones closed under the dependence relation (depgraph.hpp).
+  [[nodiscard]] bool Restricted(const Model& sys, ir::BlockId id) const {
+    return opts_.restrict_to != nullptr &&
+           opts_.restrict_to->find({&sys, id}) == opts_.restrict_to->end();
+  }
+
   void ExecSystem(const Model& sys, int reach, const std::string& path) {
-    for (ir::BlockId id : sm_.OrderOf(&sys)) ExecBlock(sys, sys.block(id), reach, path);
-    for (ir::BlockId id : sm_.OrderOf(&sys)) UpdateState(sys, sys.block(id), reach);
+    for (ir::BlockId id : sm_.OrderOf(&sys)) {
+      if (Restricted(sys, id)) continue;
+      ExecBlock(sys, sys.block(id), reach, path);
+    }
+    for (ir::BlockId id : sm_.OrderOf(&sys)) {
+      if (Restricted(sys, id)) continue;
+      UpdateState(sys, sys.block(id), reach);
+    }
   }
 
   void SeedSub(const Model& sys, const Block& b, const Model& sub, int offset) {
@@ -612,6 +625,7 @@ class AbstractExec {
 
   const sched::ScheduledModel& sm_;
   const coverage::CoverageSpec& spec_;
+  AnalyzeOptions opts_;
   std::map<Key, AV> values_;
   std::map<const Block*, BState> state_;
   bool widen_ = false;
@@ -2080,7 +2094,12 @@ std::vector<Interval> AbstractExec::ComputeInportRanges() {
 }  // namespace
 
 ModelAnalysis AnalyzeScheduledModel(const sched::ScheduledModel& sm) {
-  return AbstractExec(sm).Run();
+  return AbstractExec(sm, AnalyzeOptions{}).Run();
+}
+
+ModelAnalysis AnalyzeScheduledModel(const sched::ScheduledModel& sm,
+                                    const AnalyzeOptions& options) {
+  return AbstractExec(sm, options).Run();
 }
 
 }  // namespace cftcg::analysis

@@ -28,12 +28,15 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "coverage/justify.hpp"
+#include "ir/dtype.hpp"
 #include "sched/schedule.hpp"
 #include "sldv/interval.hpp"
 
@@ -56,8 +59,14 @@ struct AbsVal {
   }
   static AbsVal Top() { return AbsVal(sldv::Interval::Whole(), true); }
 
+  /// Interval hull of both operands. When the operands' dtypes disagree the
+  /// result carries the usual-arithmetic promotion of the two (keeping one
+  /// side's type silently would later clamp a float hull to an integer
+  /// range — unsound). An integer-typed union can never be NaN.
   [[nodiscard]] AbsVal Union(const AbsVal& o) const {
-    return AbsVal(iv.Union(o.iv), maybe_nan || o.maybe_nan, type);
+    const ir::DType t = type == o.type ? type : ir::PromoteDTypes(type, o.type);
+    const bool nan = (maybe_nan || o.maybe_nan) && ir::DTypeIsFloat(t);
+    return AbsVal(iv.Union(o.iv), nan, t);
   }
   bool operator==(const AbsVal&) const = default;
 };
@@ -90,8 +99,29 @@ struct ModelAnalysis {
   bool converged = false;  // false => no unreachability verdicts were emitted
 };
 
+/// Tuning and restriction knobs for AnalyzeScheduledModel.
+struct AnalyzeOptions {
+  /// When non-null, abstract execution models only the blocks in this set
+  /// (keyed (owning system, block id)); everything else stays unevaluated,
+  /// so its signals read as Top. Verdicts from a restricted run are sound
+  /// ONLY for objectives whose full dependence cone (analysis/depgraph.hpp
+  /// backward closure) is inside the set — out-of-cone objectives look
+  /// never-evaluated and must not be merged. Not owned; must outlive the
+  /// call.
+  const std::set<std::pair<const ir::Model*, ir::BlockId>>* restrict_to = nullptr;
+  /// Fixpoint iterations before interval widening kicks in. Slice-restricted
+  /// reruns delay widening for precision (small cones converge without it).
+  int widen_after = 4;
+  /// Iteration cap; non-convergence means no verdicts (soundness contract).
+  int max_iters = 64;
+};
+
 /// Runs the analyzer. Deterministic, read-only, and total: any model that
 /// scheduled successfully can be analyzed.
 ModelAnalysis AnalyzeScheduledModel(const sched::ScheduledModel& sm);
+
+/// Same, with explicit options (restricted cones, delayed widening).
+ModelAnalysis AnalyzeScheduledModel(const sched::ScheduledModel& sm,
+                                    const AnalyzeOptions& options);
 
 }  // namespace cftcg::analysis

@@ -1,0 +1,214 @@
+#include "analysis/depgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace cftcg::analysis {
+
+namespace {
+
+using ir::Block;
+using ir::BlockKind;
+
+/// True for blocks whose output at step t depends on inputs of steps < t.
+bool IsStateful(BlockKind k) {
+  switch (k) {
+    case BlockKind::kUnitDelay:
+    case BlockKind::kDelay:
+    case BlockKind::kMemory:
+    case BlockKind::kDiscreteIntegrator:
+    case BlockKind::kCounterLimited:
+    case BlockKind::kRateLimiter:
+    case BlockKind::kRelay:
+    case BlockKind::kEdgeDetector:
+    case BlockKind::kChart:
+    case BlockKind::kEnabledSubsystem:  // holds outputs while disabled
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Edge label for a wire into input `port` of a block of kind `k`. Purely a
+/// refinement — the closure follows every edge regardless of kind.
+DepEdgeKind ClassifyInput(BlockKind k, int port) {
+  switch (k) {
+    case BlockKind::kSwitch:
+      return port == 1 ? DepEdgeKind::kControl : DepEdgeKind::kData;
+    case BlockKind::kMultiportSwitch:
+    case BlockKind::kActionIf:
+    case BlockKind::kActionSwitch:
+    case BlockKind::kEnabledSubsystem:
+    case BlockKind::kCounterLimited:
+      return port == 0 ? DepEdgeKind::kControl : DepEdgeKind::kData;
+    case BlockKind::kChart:
+      return DepEdgeKind::kControl;  // inputs steer guards and actions
+    case BlockKind::kUnitDelay:
+    case BlockKind::kDelay:
+    case BlockKind::kMemory:
+    case BlockKind::kDiscreteIntegrator:
+    case BlockKind::kRateLimiter:
+    case BlockKind::kRelay:
+    case BlockKind::kEdgeDetector:
+      return DepEdgeKind::kState;  // reaches the output one step later
+    default:
+      return DepEdgeKind::kData;
+  }
+}
+
+/// True for the gated compounds whose port-0 driver decides whether the
+/// contained sub-tree executes at all.
+bool IsGatedCompound(BlockKind k) {
+  return k == BlockKind::kActionIf || k == BlockKind::kActionSwitch ||
+         k == BlockKind::kEnabledSubsystem;
+}
+
+}  // namespace
+
+std::string_view DepEdgeKindName(DepEdgeKind k) {
+  switch (k) {
+    case DepEdgeKind::kData: return "data";
+    case DepEdgeKind::kControl: return "control";
+    case DepEdgeKind::kState: return "state";
+  }
+  return "?";
+}
+
+void DepGraph::AddEdge(const DepNode& to, DepNode from, DepEdgeKind kind) {
+  if (from.block == ir::kNoBlock) return;
+  auto& edges = in_[to];
+  const DepEdge e{from, kind};
+  if (std::find(edges.begin(), edges.end(), e) != edges.end()) return;
+  edges.push_back(e);
+  ++num_edges_;
+}
+
+void DepGraph::GateSubTree(const ir::Model& sub, const DepNode& gate) {
+  for (const Block& b : sub.blocks()) {
+    AddEdge(DepNode{&sub, b.id()}, gate, DepEdgeKind::kControl);
+    for (const auto& nested : b.subs()) GateSubTree(*nested, gate);
+  }
+}
+
+void DepGraph::AddSystem(const ir::Model& sys, const std::string& path) {
+  sys_index_.emplace(&sys, static_cast<int>(sys_index_.size()));
+  sys_path_.emplace(&sys, path);
+
+  for (const Block& b : sys.blocks()) {
+    const DepNode n{&sys, b.id()};
+    nodes_.push_back(n);
+    in_.try_emplace(n);  // every node gets an (possibly empty) edge list
+    if (IsStateful(b.kind())) AddEdge(n, n, DepEdgeKind::kState);
+  }
+
+  // Every wire is a dependence edge; the kind only labels it.
+  for (const ir::Wire& w : sys.wires()) {
+    const Block& dst = sys.block(w.dst_block);
+    AddEdge(DepNode{&sys, w.dst_block}, DepNode{&sys, w.src.block},
+            ClassifyInput(dst.kind(), w.dst_port));
+  }
+
+  // Hierarchy: compound inputs seed sub-model inports, sub-model outports
+  // feed the compound's outputs, and gating drivers control the sub-tree.
+  for (const Block& b : sys.blocks()) {
+    if (b.subs().empty()) continue;
+    const DepNode compound{&sys, b.id()};
+    // Data inputs sit after the control port on gated compounds (the same
+    // offset the abstract interpreter's SeedSub uses).
+    const int offset = b.kind() == BlockKind::kSubsystem ? 0 : 1;
+    const ir::Wire* gate =
+        IsGatedCompound(b.kind()) ? sys.DriverOf(b.id(), 0) : nullptr;
+    for (const auto& sub : b.subs()) {
+      const auto inports = sub->Inports();
+      for (std::size_t k = 0; k < inports.size(); ++k) {
+        const ir::Wire* w = sys.DriverOf(b.id(), offset + static_cast<int>(k));
+        if (w == nullptr) continue;
+        AddEdge(DepNode{sub.get(), inports[k]}, DepNode{&sys, w->src.block},
+                DepEdgeKind::kData);
+      }
+      for (ir::BlockId op : sub->Outports()) {
+        AddEdge(compound, DepNode{sub.get(), op}, DepEdgeKind::kData);
+      }
+      if (gate != nullptr) {
+        GateSubTree(*sub, DepNode{&sys, gate->src.block});
+      }
+      AddSystem(*sub, path + "/" + b.name());
+    }
+  }
+}
+
+DepGraph DepGraph::Build(const sched::ScheduledModel& sm) {
+  DepGraph g;
+  g.AddSystem(*sm.root, sm.root->name());
+
+  // Root inport -> tuple field index (Inports() is port-index order, which
+  // is exactly the fuzz driver's field order).
+  const auto inports = sm.root->Inports();
+  for (std::size_t i = 0; i < inports.size(); ++i) {
+    g.inport_field_[DepNode{sm.root, inports[i]}] = static_cast<int>(i);
+  }
+
+  // Deterministic node and edge order: (system pre-order index, block id).
+  auto order = [&g](const DepNode& a, const DepNode& b) {
+    return g.OrderKey(a) < g.OrderKey(b);
+  };
+  std::sort(g.nodes_.begin(), g.nodes_.end(), order);
+  for (auto& [node, edges] : g.in_) {
+    std::sort(edges.begin(), edges.end(), [&](const DepEdge& a, const DepEdge& b) {
+      if (a.from != b.from) return order(a.from, b.from);
+      return a.kind < b.kind;
+    });
+  }
+  return g;
+}
+
+const std::vector<DepEdge>& DepGraph::InEdges(const DepNode& n) const {
+  static const std::vector<DepEdge> kNone;
+  auto it = in_.find(n);
+  return it == in_.end() ? kNone : it->second;
+}
+
+std::map<DepNode, DepEdgeKind> DepGraph::BackwardClosure(const DepNode& start) const {
+  std::map<DepNode, DepEdgeKind> cone;
+  std::deque<DepNode> queue;
+  cone.emplace(start, DepEdgeKind::kData);
+  queue.push_back(start);
+  while (!queue.empty()) {
+    const DepNode n = queue.front();
+    queue.pop_front();
+    for (const DepEdge& e : InEdges(n)) {
+      if (cone.emplace(e.from, e.kind).second) queue.push_back(e.from);
+    }
+  }
+  return cone;
+}
+
+int DepGraph::SystemIndex(const ir::Model* sys) const {
+  auto it = sys_index_.find(sys);
+  return it == sys_index_.end() ? -1 : it->second;
+}
+
+std::string DepGraph::NodeName(const DepNode& n) const {
+  auto it = sys_path_.find(n.system);
+  const std::string base = it == sys_path_.end() ? "?" : it->second;
+  if (n.system == nullptr || n.block == ir::kNoBlock) return base + "/?";
+  return base + "/" + n.system->block(n.block).name();
+}
+
+int DepGraph::InportField(const DepNode& n) const {
+  auto it = inport_field_.find(n);
+  return it == inport_field_.end() ? -1 : it->second;
+}
+
+std::vector<int> DepGraph::InportFieldsIn(
+    const std::map<DepNode, DepEdgeKind>& cone) const {
+  std::vector<int> fields;
+  for (const auto& [node, kind] : cone) {
+    const int f = InportField(node);
+    if (f >= 0) fields.push_back(f);
+  }
+  std::sort(fields.begin(), fields.end());
+  return fields;
+}
+
+}  // namespace cftcg::analysis

@@ -1,0 +1,108 @@
+// Static dependence graph over the scheduled dataflow.
+//
+// Nodes are block instances — one per (owning system, block id) across the
+// whole model tree, so a block inside an ActionIf arm is distinct from its
+// siblings. Edges point from the *influencing* block to the *influenced*
+// block and carry a kind:
+//
+//   * kData    — a dataflow wire, a compound input feeding a sub-model
+//                inport, or a sub-model outport feeding its compound's
+//                output port;
+//   * kControl — a signal that selects *which* behavior runs rather than
+//                what value flows: Switch/MultiportSwitch selectors, the
+//                ActionIf condition, the ActionSwitch selector and the
+//                EnabledSubsystem enable (each of which also gates every
+//                block of the contained sub-tree), the CounterLimited
+//                enable, and every chart input (transition guards);
+//   * kState   — influence that crosses a simulation step: the inputs of
+//                delay-class blocks (UnitDelay/Delay/Memory/Integrator),
+//                the inputs of internally stateful blocks (RateLimiter,
+//                Relay, EdgeDetector, CounterLimited), plus a self-loop on
+//                every stateful block and chart.
+//
+// The graph is deliberately conservative: *every* input wire contributes an
+// in-edge (the kinds above only refine the label), so a backward closure
+// over-approximates the set of blocks that can influence a node — across
+// steps, because state edges are ordinary edges and the closure is
+// transitive. That over-approximation is what makes objective slices
+// (analysis/slice.hpp) sound: anything outside the closure provably cannot
+// change the node's behavior in any concrete execution.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace cftcg::analysis {
+
+enum class DepEdgeKind : std::uint8_t { kData, kControl, kState };
+std::string_view DepEdgeKindName(DepEdgeKind k);
+
+/// One block instance in the model tree.
+struct DepNode {
+  const ir::Model* system = nullptr;
+  ir::BlockId block = ir::kNoBlock;
+
+  auto operator<=>(const DepNode&) const = default;
+};
+
+/// An in-edge: `from` influences the edge's owner through `kind`.
+struct DepEdge {
+  DepNode from;
+  DepEdgeKind kind = DepEdgeKind::kData;
+
+  auto operator<=>(const DepEdge&) const = default;
+};
+
+class DepGraph {
+ public:
+  /// Builds the graph for a scheduled model. Deterministic and read-only;
+  /// the graph holds pointers into `sm` and must not outlive it.
+  static DepGraph Build(const sched::ScheduledModel& sm);
+
+  /// All nodes, in deterministic (system pre-order, block id) order.
+  [[nodiscard]] const std::vector<DepNode>& nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  /// In-edges of `n`, deterministically ordered.
+  [[nodiscard]] const std::vector<DepEdge>& InEdges(const DepNode& n) const;
+
+  /// Backward dependence closure from `start` (inclusive): every node whose
+  /// outputs or state can influence `start` at any simulation step, mapped
+  /// to the edge kind through which it first entered the closure (`start`
+  /// itself maps to kData). Deterministic BFS.
+  [[nodiscard]] std::map<DepNode, DepEdgeKind> BackwardClosure(const DepNode& start) const;
+
+  /// Dense index of a system in deterministic pre-order (root = 0), or -1.
+  [[nodiscard]] int SystemIndex(const ir::Model* sys) const;
+  /// Hierarchical display name of a node, e.g. "root/ctrl/Switch1".
+  [[nodiscard]] std::string NodeName(const DepNode& n) const;
+  /// Root tuple-field index when `n` is a root-model inport, else -1.
+  [[nodiscard]] int InportField(const DepNode& n) const;
+  /// Sorted tuple-field indices of the root inports inside `cone`.
+  [[nodiscard]] std::vector<int> InportFieldsIn(
+      const std::map<DepNode, DepEdgeKind>& cone) const;
+  /// Deterministic ordering key for report rendering.
+  [[nodiscard]] std::pair<int, int> OrderKey(const DepNode& n) const {
+    return {SystemIndex(n.system), n.block};
+  }
+
+ private:
+  void AddSystem(const ir::Model& sys, const std::string& path);
+  void AddEdge(const DepNode& to, DepNode from, DepEdgeKind kind);
+  /// kControl edges from `gate` to every block of `sub`'s whole tree.
+  void GateSubTree(const ir::Model& sub, const DepNode& gate);
+
+  std::vector<DepNode> nodes_;
+  std::map<DepNode, std::vector<DepEdge>> in_;
+  std::map<const ir::Model*, int> sys_index_;
+  std::map<const ir::Model*, std::string> sys_path_;
+  std::map<DepNode, int> inport_field_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace cftcg::analysis

@@ -8,10 +8,7 @@
 #include "support/strings.hpp"
 
 namespace cftcg::analysis {
-namespace {
 
-/// Human-readable name for every fuzz slot, in slot order: decision outcomes
-/// first, then condition polarities (mirrors CoverageSpec's slot layout).
 std::vector<std::string> SlotNames(const coverage::CoverageSpec& spec) {
   std::vector<std::string> names(static_cast<std::size_t>(spec.FuzzBranchCount()));
   for (const auto& d : spec.decisions()) {
@@ -28,6 +25,8 @@ std::vector<std::string> SlotNames(const coverage::CoverageSpec& spec) {
   }
   return names;
 }
+
+namespace {
 
 bool Bounded(double v) { return std::fabs(v) < sldv::Interval::kInf; }
 

@@ -3,11 +3,17 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "analysis/analyzer.hpp"
 #include "sched/schedule.hpp"
 
 namespace cftcg::analysis {
+
+/// Human-readable name for every fuzz slot, in slot order: decision outcomes
+/// first, then condition polarities (mirrors CoverageSpec's slot layout).
+/// Shared by the analysis report and the slice report.
+std::vector<std::string> SlotNames(const coverage::CoverageSpec& spec);
 
 /// Multi-line human-readable report: lint diagnostics grouped by severity,
 /// then every justified objective with its verdict and reason, then the

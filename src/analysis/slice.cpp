@@ -1,0 +1,259 @@
+#include "analysis/slice.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "analysis/report.hpp"
+#include "blocks/mex.hpp"
+#include "obs/json.hpp"
+#include "support/strings.hpp"
+
+namespace cftcg::analysis {
+namespace {
+
+using blocks::mex::Expr;
+using blocks::mex::StmtPtr;
+
+/// Site owners are ir::Block*, mex::Stmt* or mex::Expr* addresses
+/// (sched::SiteKey); this map resolves any of them to the block instance
+/// that owns the objective.
+using OwnerMap = std::map<const void*, DepNode>;
+
+void RegisterExpr(const Expr& e, const DepNode& n, OwnerMap& owner) {
+  owner.emplace(&e, n);
+  for (const auto& a : e.args) RegisterExpr(*a, n, owner);
+}
+
+void RegisterStmts(const std::vector<StmtPtr>& stmts, const DepNode& n, OwnerMap& owner) {
+  for (const auto& s : stmts) {
+    owner.emplace(s.get(), n);
+    if (s->value != nullptr) RegisterExpr(*s->value, n, owner);
+    for (const auto& br : s->branches) {
+      if (br.cond != nullptr) RegisterExpr(*br.cond, n, owner);
+      RegisterStmts(br.body, n, owner);
+    }
+  }
+}
+
+void RegisterSystem(const ir::Model& sys, const sched::ScheduledModel& sm, OwnerMap& owner) {
+  for (const ir::Block& b : sys.blocks()) {
+    const DepNode n{&sys, b.id()};
+    owner.emplace(&b, n);
+    if (const auto* ef = sm.analysis.programs.FindExprFunc(&b); ef != nullptr) {
+      RegisterStmts(ef->program.stmts, n, owner);
+    }
+    if (const auto* ch = sm.analysis.programs.FindChart(&b); ch != nullptr) {
+      for (const auto& st : ch->states) {
+        if (st.entry) RegisterStmts(st.entry->stmts, n, owner);
+        if (st.during) RegisterStmts(st.during->stmts, n, owner);
+        if (st.exit) RegisterStmts(st.exit->stmts, n, owner);
+      }
+      for (const auto& t : ch->transitions) {
+        if (t.guard && t.guard->expr != nullptr) RegisterExpr(*t.guard->expr, n, owner);
+        if (t.action) RegisterStmts(t.action->stmts, n, owner);
+      }
+    }
+    for (const auto& sub : b.subs()) RegisterSystem(*sub, sm, owner);
+  }
+}
+
+}  // namespace
+
+SliceReport ComputeSlices(const sched::ScheduledModel& sm) {
+  SliceReport sr;
+  const DepGraph g = DepGraph::Build(sm);
+  sr.num_nodes = g.nodes().size();
+  sr.num_edges = g.num_edges();
+
+  OwnerMap owner;
+  RegisterSystem(*sm.root, sm, owner);
+
+  const auto names = SlotNames(sm.spec);
+  const int n = sm.spec.FuzzBranchCount();
+  sr.slices.resize(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    sr.slices[static_cast<std::size_t>(s)].slot = s;
+    sr.slices[static_cast<std::size_t>(s)].name = names[static_cast<std::size_t>(s)];
+  }
+
+  auto assign = [&](const void* site_owner, int slot) {
+    auto it = owner.find(site_owner);
+    if (it != owner.end()) sr.slices[static_cast<std::size_t>(slot)].owner = it->second;
+  };
+  for (const auto& [key, did] : sm.decision_sites) {
+    const auto& d = sm.spec.decision(did);
+    for (int o = 0; o < d.num_outcomes; ++o) assign(key.owner, sm.spec.OutcomeSlot(did, o));
+  }
+  for (const auto& [key, cid] : sm.condition_sites) {
+    assign(key.owner, sm.spec.ConditionTrueSlot(cid));
+    assign(key.owner, sm.spec.ConditionFalseSlot(cid));
+  }
+
+  // One backward closure per distinct owner block (objectives of one block
+  // share their cone).
+  std::map<DepNode, std::map<DepNode, DepEdgeKind>> cones;
+  for (auto& sl : sr.slices) {
+    if (sl.owner.system == nullptr) continue;
+    auto [it, fresh] = cones.try_emplace(sl.owner);
+    if (fresh) it->second = g.BackwardClosure(sl.owner);
+    const auto& cone = it->second;
+    sl.owner_name = g.NodeName(sl.owner);
+    sl.fields = g.InportFieldsIn(cone);
+    sl.cone.clear();
+    sl.cone.reserve(cone.size());
+    for (const auto& [node, via] : cone) {
+      sl.cone.push_back(SliceConeEntry{node, via, g.NodeName(node)});
+    }
+    std::sort(sl.cone.begin(), sl.cone.end(),
+              [&g](const SliceConeEntry& a, const SliceConeEntry& b) {
+                return g.OrderKey(a.node) < g.OrderKey(b.node);
+              });
+  }
+
+  // Independence partition: union-find over slots; two slots join when
+  // their cones share any block instance.
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[static_cast<std::size_t>(std::max(a, b))] = std::min(a, b);
+  };
+  std::map<DepNode, int> claimed;
+  for (const auto& sl : sr.slices) {
+    for (const auto& entry : sl.cone) {
+      auto [it, fresh] = claimed.try_emplace(entry.node, sl.slot);
+      if (!fresh) unite(sl.slot, it->second);
+    }
+  }
+  // Dense component ids in first-slot order.
+  std::map<int, int> component_of_root;
+  for (auto& sl : sr.slices) {
+    if (sl.owner.system == nullptr) continue;
+    const int root = find(sl.slot);
+    auto [it, fresh] = component_of_root.try_emplace(root, sr.num_components);
+    if (fresh) ++sr.num_components;
+    sl.component = it->second;
+  }
+  return sr;
+}
+
+int RefineVerdictsWithSlices(const sched::ScheduledModel& sm, const SliceReport& sr,
+                             ModelAnalysis& ma) {
+  // The whole-model fixpoint did not converge: the restricted reruns could
+  // still converge, but the base justification set was never populated with
+  // sound context — stay conservative and change nothing.
+  if (!ma.converged) return 0;
+  int strengthened = 0;
+  for (int c = 0; c < sr.num_components; ++c) {
+    std::vector<int> slots;
+    bool any_unknown = false;
+    std::set<std::pair<const ir::Model*, ir::BlockId>> cone_set;
+    for (const auto& sl : sr.slices) {
+      if (sl.component != c) continue;
+      slots.push_back(sl.slot);
+      if (ma.justifications.SlotVerdict(sl.slot) == coverage::ObjectiveVerdict::kUnknown) {
+        any_unknown = true;
+      }
+      for (const auto& entry : sl.cone) cone_set.emplace(entry.node.system, entry.node.block);
+    }
+    if (!any_unknown || cone_set.empty()) continue;
+
+    // Delayed widening: the restricted state space is a fraction of the
+    // model's, so trading iterations for precision is cheap and often turns
+    // a widened-to-type-range hull into an exact bound.
+    AnalyzeOptions opts;
+    opts.restrict_to = &cone_set;
+    opts.widen_after = 12;
+    opts.max_iters = 256;
+    const ModelAnalysis sub = AnalyzeScheduledModel(sm, opts);
+    if (!sub.converged) continue;
+
+    // Merge ONLY this component's slots: every other slot looks
+    // never-evaluated in the restricted run, which is not a verdict.
+    for (const int slot : slots) {
+      if (ma.justifications.SlotVerdict(slot) != coverage::ObjectiveVerdict::kUnknown) continue;
+      if (sub.justifications.SlotVerdict(slot) !=
+          coverage::ObjectiveVerdict::kProvedUnreachable) {
+        continue;
+      }
+      ma.justifications.JustifySlot(slot, coverage::ObjectiveVerdict::kProvedUnreachable,
+                                    sub.justifications.SlotReason(slot) + " [sliced fixpoint]");
+      ++strengthened;
+    }
+  }
+  return strengthened;
+}
+
+std::string FormatSliceReport(const sched::ScheduledModel& sm, const SliceReport& sr) {
+  std::string out;
+  out += StrFormat("model %s: dependence graph %zu nodes, %zu edges\n",
+                   sm.root->name().c_str(), sr.num_nodes, sr.num_edges);
+  out += StrFormat("objectives: %zu slots in %d independent component%s\n", sr.slices.size(),
+                   sr.num_components, sr.num_components == 1 ? "" : "s");
+  for (const auto& sl : sr.slices) {
+    if (sl.owner.system == nullptr) {
+      out += StrFormat("  slot %d %s: no owner resolved\n", sl.slot, sl.name.c_str());
+      continue;
+    }
+    std::string fields = "none";
+    if (!sl.fields.empty()) {
+      fields.clear();
+      for (std::size_t i = 0; i < sl.fields.size(); ++i) {
+        if (i != 0) fields += ",";
+        fields += StrFormat("%d", sl.fields[i]);
+      }
+    }
+    out += StrFormat("  slot %d %s [component %d]\n", sl.slot, sl.name.c_str(), sl.component);
+    out += StrFormat("    owner: %s; influencing inport fields: %s; cone: %zu blocks\n",
+                     sl.owner_name.c_str(), fields.c_str(), sl.cone.size());
+    for (const auto& entry : sl.cone) {
+      out += StrFormat("      %s (%s)\n", entry.name.c_str(),
+                       std::string(DepEdgeKindName(entry.via)).c_str());
+    }
+  }
+  return out;
+}
+
+std::string SliceReportJson(const sched::ScheduledModel& sm, const SliceReport& sr) {
+  using obs::JsonEscape;
+  std::string out = "{";
+  out += StrFormat("\"model\":\"%s\",", JsonEscape(sm.root->name()).c_str());
+  out += StrFormat("\"num_components\":%d,", sr.num_components);
+  out += StrFormat("\"graph\":{\"nodes\":%zu,\"edges\":%zu},", sr.num_nodes, sr.num_edges);
+  out += "\"slices\":[";
+  for (std::size_t i = 0; i < sr.slices.size(); ++i) {
+    const auto& sl = sr.slices[i];
+    if (i != 0) out += ",";
+    out += StrFormat("{\"slot\":%d,\"name\":\"%s\",\"owner\":\"%s\",\"component\":%d,", sl.slot,
+                     JsonEscape(sl.name).c_str(), JsonEscape(sl.owner_name).c_str(),
+                     sl.component);
+    out += "\"fields\":[";
+    for (std::size_t k = 0; k < sl.fields.size(); ++k) {
+      if (k != 0) out += ",";
+      out += StrFormat("%d", sl.fields[k]);
+    }
+    out += "],\"cone\":[";
+    for (std::size_t k = 0; k < sl.cone.size(); ++k) {
+      if (k != 0) out += ",";
+      out += StrFormat("{\"block\":\"%s\",\"via\":\"%s\"}",
+                       JsonEscape(sl.cone[k].name).c_str(),
+                       std::string(DepEdgeKindName(sl.cone[k].via)).c_str());
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace cftcg::analysis

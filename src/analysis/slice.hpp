@@ -1,0 +1,82 @@
+// Per-coverage-objective backward slices over the static dependence graph.
+//
+// For every fuzz branch slot (decision outcome or condition polarity) the
+// slicer resolves the owning block instance — including objectives buried
+// inside mex programs (ExprFunc if-arms, chart guards and action
+// conditions), which are mapped back to their ExprFunc/Chart block — and
+// computes the backward dependence closure (depgraph.hpp): the *cone* of
+// blocks that can influence the objective at any simulation step, the set
+// of root inport tuple fields inside that cone, and an independence
+// partition (objectives whose cones are disjoint can be pursued by
+// independent search effort — the contract `fuzz --focus` and the ROADMAP's
+// bandit scheduler consume).
+//
+// Soundness: the dependence graph over-approximates influence, so a field
+// *outside* an objective's slice provably cannot change the objective's
+// branch events in any concrete execution (tests/slice_test.cpp fuzzes
+// every bench model against exactly this property).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/depgraph.hpp"
+#include "sched/schedule.hpp"
+
+namespace cftcg::analysis {
+
+/// One block of an objective's supporting cone, with the dependence kind
+/// through which it first entered the backward closure (the "reason").
+struct SliceConeEntry {
+  DepNode node;
+  DepEdgeKind via = DepEdgeKind::kData;
+  std::string name;  // hierarchical block path ("root/ctrl/Switch1")
+};
+
+struct ObjectiveSlice {
+  int slot = -1;          // fuzz branch slot (CoverageSpec slot space)
+  std::string name;       // human-readable objective name
+  DepNode owner;          // block instance owning the objective
+  std::string owner_name;
+  /// Influencing root inport tuple fields, sorted ascending. Empty when the
+  /// objective depends on no inport (constant-driven logic).
+  std::vector<int> fields;
+  /// Supporting cone in deterministic (system pre-order, block id) order.
+  std::vector<SliceConeEntry> cone;
+  /// Independence partition id: slices share a component iff their cones
+  /// intersect (transitively). Dense, in first-slot order.
+  int component = -1;
+};
+
+struct SliceReport {
+  std::vector<ObjectiveSlice> slices;  // one per fuzz slot, slot order
+  int num_components = 0;
+  std::size_t num_nodes = 0;  // dependence graph size
+  std::size_t num_edges = 0;
+};
+
+/// Computes the per-objective slices. Deterministic and read-only; the
+/// report holds pointers into `sm` (DepNode systems) and must not outlive
+/// it.
+SliceReport ComputeSlices(const sched::ScheduledModel& sm);
+
+/// Sharpened unreachability: reruns the interval fixpoint once per
+/// independence component, restricted to the component's cone and with
+/// delayed widening (small cones often converge exactly where the whole-
+/// model fixpoint had to widen). Strengthens kUnknown slot verdicts in `ma`
+/// in place; never weakens or overwrites an existing verdict. Returns the
+/// number of newly justified slots.
+int RefineVerdictsWithSlices(const sched::ScheduledModel& sm, const SliceReport& slices,
+                             ModelAnalysis& ma);
+
+/// Human-readable slice report (`cftcg analyze --slices`).
+std::string FormatSliceReport(const sched::ScheduledModel& sm, const SliceReport& sr);
+
+/// JSON document (`cftcg analyze --slices --json`):
+///   {"model":...,"num_components":N,"graph":{"nodes":N,"edges":N},
+///    "slices":[{"slot","name","owner","component","fields":[...],
+///               "cone":[{"block","via"}...]}...]}
+std::string SliceReportJson(const sched::ScheduledModel& sm, const SliceReport& sr);
+
+}  // namespace cftcg::analysis

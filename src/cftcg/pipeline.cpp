@@ -90,6 +90,29 @@ const analysis::ModelAnalysis& CompiledModel::analysis() {
   return *analysis_;
 }
 
+const analysis::SliceReport& CompiledModel::slices() {
+  if (!slices_) {
+    obs::ScopedTimer span("slice_analysis");
+    slices_ = std::make_unique<analysis::SliceReport>(analysis::ComputeSlices(scheduled_));
+  }
+  return *slices_;
+}
+
+fuzz::FocusPlan CompiledModel::BuildFocusPlan() {
+  const analysis::SliceReport& sr = slices();
+  fuzz::FocusPlan plan;
+  plan.slot_fields.resize(sr.slices.size());
+  plan.slot_component.assign(sr.slices.size(), -1);
+  plan.num_components = sr.num_components;
+  for (std::size_t i = 0; i < sr.slices.size(); ++i) {
+    const analysis::ObjectiveSlice& sl = sr.slices[i];
+    plan.slot_component[i] = sl.component;
+    plan.slot_fields[i].reserve(sl.fields.size());
+    for (int f : sl.fields) plan.slot_fields[i].push_back(static_cast<std::size_t>(f));
+  }
+  return plan;
+}
+
 Result<std::string> CompiledModel::EmitFuzzingCode() const {
   codegen::CEmitOptions opts;
   return codegen::EmitC(scheduled_, opts);

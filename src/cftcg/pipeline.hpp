@@ -14,6 +14,7 @@
 #include <string>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/slice.hpp"
 #include "codegen/cemit.hpp"
 #include "codegen/lower.hpp"
 #include "fuzz/fuzzer.hpp"
@@ -48,6 +49,14 @@ class CompiledModel {
   /// objectives); computed lazily on first use and cached.
   const analysis::ModelAnalysis& analysis();
 
+  /// Per-objective dependence slices (analysis/slice.hpp); computed lazily
+  /// on first use and cached.
+  const analysis::SliceReport& slices();
+
+  /// Projects slices() into the plain-data focus plan `fuzz --focus`
+  /// consumes (FuzzerOptions::focus points at a caller-owned copy).
+  [[nodiscard]] fuzz::FocusPlan BuildFocusPlan();
+
   /// The generated fuzzing code as C text (Figure 3 + Figure 4 artifacts).
   Result<std::string> EmitFuzzingCode() const;
 
@@ -75,6 +84,7 @@ class CompiledModel {
   std::unique_ptr<vm::Program> fuzz_only_;
   std::unique_ptr<vm::Program> with_margins_;
   std::unique_ptr<analysis::ModelAnalysis> analysis_;
+  std::unique_ptr<analysis::SliceReport> slices_;
 };
 
 }  // namespace cftcg

@@ -257,6 +257,26 @@ std::string RenderCampaignExplorer(const CampaignExplorerData& data) {
   }
   html += "</table>\n";
 
+  // --- Influencing inports (dependence slices) -----------------------------
+  // Joined from the static dependence analysis when a model was supplied:
+  // for each objective, the root inports that can influence it at all. A
+  // residual objective whose inport list is short tells the tester exactly
+  // which inputs to think about.
+  if (!data.slices.empty()) {
+    html += "<h2>Influencing inports (dependence slices)</h2>\n";
+    html += "<table><tr><th>Objective</th><th></th><th>Component</th>"
+            "<th>Influencing inports</th><th>Cone blocks</th></tr>\n";
+    for (const auto& s : data.slices) {
+      html += StrFormat(
+          "<tr><td><code>%s</code></td><td>%s</td><td>%d</td><td><code>%s</code></td>"
+          "<td>%zu</td></tr>\n",
+          XmlEscape(s.name).c_str(),
+          s.covered ? "<span class=\"hit\">hit</span>" : "<span class=\"miss\">miss</span>",
+          s.component, XmlEscape(s.inports).c_str(), s.cone_blocks);
+    }
+    html += "</table>\n";
+  }
+
   // --- Strategy credit -----------------------------------------------------
   // Which Table 1 strategy chains discovered objectives, and how many corpus
   // admissions each chain produced.

@@ -62,6 +62,18 @@ struct ExplorerResidual {
   std::string reason;  // analyzer's reason; empty when not justified
 };
 
+/// One objective's dependence slice joined from the static analyzer
+/// (`cftcg explain --model model.cmx`): which root inports can influence
+/// the objective, and how large its supporting block cone is.
+struct ExplorerSlice {
+  int slot = -1;
+  std::string name;     // objective name (analysis::SlotNames spelling)
+  std::string inports;  // comma-joined influencing inport names ("-" = none)
+  int component = -1;   // independence-partition id
+  std::size_t cone_blocks = 0;
+  bool covered = false;  // joined against the trace's first-hit slots
+};
+
 /// One hot-block row joined from a campaign self-profile (profile.json).
 struct ExplorerProfileBlock {
   std::string name;
@@ -89,6 +101,9 @@ struct CampaignExplorerData {
   std::vector<ExplorerObjective> objectives;
   std::vector<ExplorerCorpusEntry> corpus;
   std::vector<ExplorerResidual> residuals;
+  // Dependence-slice join (`cftcg explain --model model.cmx`); empty when no
+  // model was supplied — the section is simply omitted.
+  std::vector<ExplorerSlice> slices;
   // Self-profile join (`cftcg explain --profile profile.json`); empty when
   // no profile was supplied — the section is simply omitted.
   std::vector<ExplorerProfileBlock> profile_blocks;

@@ -1,0 +1,55 @@
+// Focused mutation plan — the fuzzer-side projection of the static
+// dependence slices (analysis/slice.hpp).
+//
+// cftcg_fuzz does not link against the analysis library, so the slice
+// geometry is carried across as plain data: for every fuzz branch slot the
+// set of root inport tuple fields that can influence it, plus an
+// independence-component id for per-slice strategy credit. The pipeline/CLI
+// layer (`cftcg fuzz --focus`) computes the slices and populates this
+// struct; the fuzzer only consumes it.
+//
+// Determinism contract: a null FuzzerOptions::focus (the default) draws the
+// exact same RNG sequence as builds that predate focus — default campaigns
+// stay bit-identical, including checkpoint fingerprints. FocusStats are
+// campaign telemetry only and are intentionally NOT checkpointed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cftcg::fuzz {
+
+struct FocusPlan {
+  /// Per fuzz slot: influencing root inport tuple fields (sorted). An empty
+  /// entry means "no inport influences this slot" — the frontier skips it.
+  std::vector<std::vector<std::size_t>> slot_fields;
+  /// Per fuzz slot: independence-component id (-1 when unowned).
+  std::vector<int> slot_component;
+  int num_components = 0;
+  /// The focus frontier advances to the next uncovered objective every
+  /// `rotate_every` executions, so one stubborn objective cannot starve the
+  /// rest of the frontier.
+  std::uint64_t rotate_every = 256;
+};
+
+/// Per-component focus accounting: how many executions were mutated under
+/// each component's slice, and how many of those found new coverage.
+struct FocusStats {
+  std::vector<std::uint64_t> executions;
+  std::vector<std::uint64_t> credited;
+
+  void EnsureSize(std::size_t n) {
+    if (executions.size() < n) executions.resize(n, 0);
+    if (credited.size() < n) credited.resize(n, 0);
+  }
+  void MergeFrom(const FocusStats& other) {
+    EnsureSize(other.executions.size());
+    for (std::size_t i = 0; i < other.executions.size(); ++i) {
+      executions[i] += other.executions[i];
+    }
+    for (std::size_t i = 0; i < other.credited.size(); ++i) credited[i] += other.credited[i];
+  }
+  [[nodiscard]] bool empty() const { return executions.empty(); }
+};
+
+}  // namespace cftcg::fuzz

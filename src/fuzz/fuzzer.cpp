@@ -585,6 +585,7 @@ void Fuzzer::Begin(const FuzzBudget& budget) {
     }
     SeedBoundaryInputs(tuple_size);
     frontier_exhausted_ = AllReachableCovered();
+    focus_frontier_stale_ = true;
     lap.Lap(obs::ProfilePhase::kExecute);
   }
   // First periodic checkpoint: the next multiple of checkpoint_every above
@@ -682,6 +683,39 @@ bool Fuzzer::AllReachableCovered() const {
   return true;
 }
 
+const std::vector<std::size_t>* Fuzzer::PickFocusFields() {
+  focus_component_ = -1;
+  const FocusPlan& plan = *options_.focus;
+  if (focus_frontier_stale_) {
+    // Frontier = uncovered, not analyzer-excluded, and actually influenced
+    // by at least one inport field. Rebuilt only after coverage growth (or
+    // Begin/resume), so the per-execution cost is an index rotation.
+    focus_frontier_.clear();
+    const int n = spec_->FuzzBranchCount();
+    for (int slot = 0; slot < n && slot < static_cast<int>(plan.slot_fields.size()); ++slot) {
+      if (sink_.total().Test(static_cast<std::size_t>(slot))) continue;
+      if (options_.justifications != nullptr && options_.justifications->SlotExcluded(slot)) {
+        continue;
+      }
+      if (plan.slot_fields[static_cast<std::size_t>(slot)].empty()) continue;
+      focus_frontier_.push_back(slot);
+    }
+    focus_frontier_stale_ = false;
+  }
+  if (focus_frontier_.empty()) return nullptr;
+  // Rotate through the frontier so one stubborn objective cannot starve the
+  // rest. Pure function of the execution count: deterministic and stable
+  // across checkpoint/resume.
+  const std::uint64_t rotate = std::max<std::uint64_t>(plan.rotate_every, 1);
+  const std::size_t idx = static_cast<std::size_t>((result_.executions / rotate) %
+                                                   focus_frontier_.size());
+  const int slot = focus_frontier_[idx];
+  if (static_cast<std::size_t>(slot) < plan.slot_component.size()) {
+    focus_component_ = plan.slot_component[static_cast<std::size_t>(slot)];
+  }
+  return &plan.slot_fields[static_cast<std::size_t>(slot)];
+}
+
 std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
   assert(campaign_active_);
   if (campaign_done_) return result_.executions;
@@ -747,10 +781,15 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
     const std::vector<std::uint8_t>& partner =
         corpus_.size() > 1 ? corpus_.PickUniform(rng_).data : kEmptyInput;
     applied_.clear();
+    // With --focus, the field-edit strategies target the frontier
+    // objective's dependence slice; without it (focus == nullptr) this is a
+    // no-op and the RNG schedule is bit-identical to pre-focus builds.
+    const std::vector<std::size_t>* focus_fields =
+        options_.focus != nullptr && options_.model_oriented ? PickFocusFields() : nullptr;
     std::vector<std::uint8_t> data =
         options_.model_oriented
             ? tuple_mutator_.Mutate(parent.data, partner, rng_, &cmp_trace_,
-                                    track_strategies_ ? &applied_ : nullptr)
+                                    track_strategies_ ? &applied_ : nullptr, focus_fields)
             : byte_mutator_.Mutate(parent.data, partner, rng_, &cmp_trace_);
     if (track_strategies_) strategy_stats_.CountApplied(applied_);
     lap.Lap(obs::ProfilePhase::kMutate);
@@ -779,6 +818,13 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
       continue;
     }
 
+    if (options_.focus != nullptr && focus_component_ >= 0) {
+      result_.focus_stats.EnsureSize(static_cast<std::size_t>(options_.focus->num_components));
+      ++result_.focus_stats.executions[static_cast<std::size_t>(focus_component_)];
+      if (found_new) {
+        ++result_.focus_stats.credited[static_cast<std::size_t>(focus_component_)];
+      }
+    }
     if (found_new) {
       if (track_strategies_) strategy_stats_.CountCredited(applied_);
       result_.test_cases.push_back(
@@ -788,6 +834,7 @@ std::uint64_t Fuzzer::RunChunk(std::uint64_t until_executions) {
       // Only new coverage can exhaust the frontier, so the scan stays off
       // the hot path.
       frontier_exhausted_ = AllReachableCovered();
+      focus_frontier_stale_ = true;  // some frontier objective may be done
     }
     // Corpus policy (paper §3.2.2): keep inputs that trigger new coverage,
     // and inputs whose Iteration Difference Coverage beats what we've seen.
@@ -957,6 +1004,7 @@ void Fuzzer::RestoreFromState(const FuzzerState& state) {
   strategy_stats_ = state.strategy_stats;
   best_metric_ = state.best_metric;
   frontier_exhausted_ = state.frontier_exhausted;
+  focus_frontier_stale_ = true;  // rebuilt from restored coverage on demand
   time_base_ = state.elapsed_s;
   corpus_.Restore(state.corpus);
   const bool sink_ok = state.total_bits == sink_.total().size() &&

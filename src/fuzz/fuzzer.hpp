@@ -28,6 +28,7 @@
 #include "coverage/report.hpp"
 #include "coverage/sink.hpp"
 #include "fuzz/corpus.hpp"
+#include "fuzz/focus.hpp"
 #include "fuzz/mutator.hpp"
 #include "obs/clock.hpp"
 #include "obs/profiler.hpp"
@@ -58,6 +59,14 @@ struct FuzzerOptions {
   /// report carries justified-objective accounting. Not owned; must outlive
   /// the Fuzzer. Null disables both.
   const coverage::JustificationSet* justifications = nullptr;
+  /// Optional focused-mutation plan (`fuzz --focus`): per-objective
+  /// dependence slices computed by analysis/slice.hpp and projected into
+  /// plain data (focus.hpp). When set (CFTCG mode only), the field-edit
+  /// strategies restrict their target fields to the current frontier
+  /// objective's slice; null (the default) leaves the mutation schedule
+  /// bit-identical to builds without focus. Not owned; must outlive the
+  /// Fuzzer.
+  const FocusPlan* focus = nullptr;
   /// Optional per-inport "interesting" ranges harvested by the analyzer
   /// (ModelAnalysis::inport_ranges). Used ONLY to seed the corpus with
   /// boundary-value inputs — never as mutation clamps, which would
@@ -160,6 +169,10 @@ struct CampaignResult {
   /// accounting). All zero in Fuzz Only mode (byte mutation has no
   /// strategy structure).
   StrategyStats strategy_stats;
+  /// Per-independence-component focus accounting (empty without --focus).
+  /// Telemetry only: intentionally not checkpointed, so enabling focus does
+  /// not change the checkpoint format.
+  FocusStats focus_stats;
   /// Inputs that exceeded the per-iteration step budget and were quarantined.
   std::uint64_t hangs = 0;
   /// True when the campaign stopped on options.interrupt rather than budget
@@ -279,6 +292,13 @@ class Fuzzer {
   /// Renders the current self-profile and hands it to
   /// options_.profile_publisher (no-op without one).
   void PublishProfile(double now);
+  /// Picks the focus frontier objective's slice fields for the next
+  /// mutation (null when focus is off, the frontier is empty, or the
+  /// current objective has no influencing fields). Rebuilds the cached
+  /// frontier lazily after coverage growth; rotates through the frontier
+  /// every FocusPlan::rotate_every executions. Pure function of campaign
+  /// state — deterministic and resume-stable.
+  const std::vector<std::size_t>* PickFocusFields();
   int DecisionOutcomesCovered() const;
   std::size_t IdcDensity(std::size_t metric, const std::vector<std::uint8_t>& data) const;
   void Attribute(double t, std::int64_t entry_id, const std::string& chain);
@@ -318,6 +338,10 @@ class Fuzzer {
   bool campaign_active_ = false;
   bool campaign_done_ = false;
   bool frontier_exhausted_ = false;  // all reachable slots covered (early stop)
+  // Focused-mutation state (options_.focus; rebuilt lazily, never persisted).
+  std::vector<int> focus_frontier_;   // uncovered, non-excluded, sliced slots
+  bool focus_frontier_stale_ = true;
+  int focus_component_ = -1;          // component of the last focused mutation
   std::uint64_t last_signature_ = 0;  // coverage signature of the last run input
   // Campaign durability state.
   double time_base_ = 0;              // elapsed seconds restored from a checkpoint

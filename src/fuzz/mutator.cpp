@@ -189,8 +189,9 @@ void TupleMutator::MutateFloatField(std::vector<std::uint8_t>& data, std::size_t
 std::vector<std::uint8_t> TupleMutator::ApplyStrategy(MutationStrategy s,
                                                       const std::vector<std::uint8_t>& input,
                                                       const std::vector<std::uint8_t>& crossover,
-                                                      Rng& rng,
-                                                      const vm::CmpTrace* dict) const {
+                                                      Rng& rng, const vm::CmpTrace* dict,
+                                                      const std::vector<std::size_t>*
+                                                          focus_fields) const {
   const std::size_t ts = layout_.tuple_size();
   std::vector<std::uint8_t> data = input;
   // Drop any trailing partial tuple (the driver would discard it anyway).
@@ -203,11 +204,29 @@ std::vector<std::uint8_t> TupleMutator::ApplyStrategy(MutationStrategy s,
 
   auto field_edit = [&](bool want_float) {
     // Pick a tuple, then a field of the wanted class (fall back to any).
+    // With a focus slice the candidate pool shrinks to the slice's fields
+    // (same draw count either way — determinism with focus off).
     const std::size_t tuple = rng.NextIndex(n);
+    const bool focused = focus_fields != nullptr && !focus_fields->empty();
     std::vector<std::size_t> candidates;
-    for (std::size_t f = 0; f < layout_.num_fields(); ++f) {
-      if (ir::DTypeIsFloat(layout_.field_type(f)) == want_float) candidates.push_back(f);
-    }
+    auto collect = [&](bool class_only) {
+      if (focused) {
+        for (std::size_t f : *focus_fields) {
+          if (f >= layout_.num_fields()) continue;
+          if (!class_only || ir::DTypeIsFloat(layout_.field_type(f)) == want_float) {
+            candidates.push_back(f);
+          }
+        }
+      } else {
+        for (std::size_t f = 0; f < layout_.num_fields(); ++f) {
+          if (!class_only || ir::DTypeIsFloat(layout_.field_type(f)) == want_float) {
+            candidates.push_back(f);
+          }
+        }
+      }
+    };
+    collect(/*class_only=*/true);
+    if (candidates.empty()) collect(/*class_only=*/false);
     if (candidates.empty()) {
       for (std::size_t f = 0; f < layout_.num_fields(); ++f) candidates.push_back(f);
     }
@@ -317,7 +336,9 @@ std::vector<std::uint8_t> TupleMutator::ApplyStrategy(MutationStrategy s,
 std::vector<std::uint8_t> TupleMutator::Mutate(const std::vector<std::uint8_t>& input,
                                                const std::vector<std::uint8_t>& crossover,
                                                Rng& rng, const vm::CmpTrace* dict,
-                                               std::vector<MutationStrategy>* applied) const {
+                                               std::vector<MutationStrategy>* applied,
+                                               const std::vector<std::size_t>* focus_fields)
+    const {
   std::vector<std::uint8_t> data = input;
   const std::size_t rounds = 1 + rng.NextBelow(3);
   for (std::size_t k = 0; k < rounds; ++k) {
@@ -333,7 +354,7 @@ std::vector<std::uint8_t> TupleMutator::Mutate(const std::vector<std::uint8_t>& 
     else if (roll < 93) s = MutationStrategy::kCopyTuples;
     else s = MutationStrategy::kTuplesCrossOver;
     if (applied != nullptr) applied->push_back(s);
-    data = ApplyStrategy(s, data, crossover, rng, dict);
+    data = ApplyStrategy(s, data, crossover, rng, dict, focus_fields);
   }
   return data;
 }

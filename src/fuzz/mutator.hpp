@@ -118,16 +118,25 @@ class TupleMutator {
   /// libFuzzer-style table of recent compares whose operands get written
   /// into fields. When `applied` is non-null the chosen strategies are
   /// appended to it in application order (telemetry / Table 1 accounting).
+  /// When `focus_fields` is non-null and non-empty, the two field-edit
+  /// strategies restrict their target field to that set (an objective's
+  /// dependence slice); structural strategies (erase/insert/shuffle/copy/
+  /// crossover) are unaffected. Passing nullptr draws the exact same RNG
+  /// sequence as before the parameter existed — default campaigns stay
+  /// bit-identical.
   std::vector<std::uint8_t> Mutate(const std::vector<std::uint8_t>& input,
                                    const std::vector<std::uint8_t>& crossover, Rng& rng,
                                    const vm::CmpTrace* dict = nullptr,
-                                   std::vector<MutationStrategy>* applied = nullptr) const;
+                                   std::vector<MutationStrategy>* applied = nullptr,
+                                   const std::vector<std::size_t>* focus_fields = nullptr) const;
 
   /// Applies exactly one named strategy (unit tests / ablation).
   std::vector<std::uint8_t> ApplyStrategy(MutationStrategy s,
                                           const std::vector<std::uint8_t>& input,
                                           const std::vector<std::uint8_t>& crossover, Rng& rng,
-                                          const vm::CmpTrace* dict = nullptr) const;
+                                          const vm::CmpTrace* dict = nullptr,
+                                          const std::vector<std::size_t>* focus_fields =
+                                              nullptr) const;
 
   /// A fresh random input of `n` tuples.
   std::vector<std::uint8_t> RandomInput(std::size_t n, Rng& rng) const;

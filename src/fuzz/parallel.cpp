@@ -416,6 +416,7 @@ ParallelCampaignResult ParallelFuzzer::Run(const FuzzBudget& budget) {
     merged.measure_iterations += r.measure_iterations;
     merged.hangs += r.hangs;
     merged.strategy_stats.MergeFrom(r.strategy_stats);
+    merged.focus_stats.MergeFrom(r.focus_stats);
     merged.test_cases.insert(merged.test_cases.end(), r.test_cases.begin(),
                              r.test_cases.end());
     merged.exec_profile.MergeFrom(r.exec_profile);

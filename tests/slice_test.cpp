@@ -1,0 +1,372 @@
+// Tests of the dependence-graph slicer (analysis/depgraph, analysis/slice)
+// and its fuzzer-side consumer (`fuzz --focus`):
+//   * edge kinds and backward closures on hand-built models;
+//   * the independence partition over disjoint objective cones;
+//   * the slice-soundness property fuzzed over every bench model —
+//     perturbing an inport *outside* an objective's slice must never change
+//     that objective's branch events;
+//   * RefineVerdictsWithSlices never weakens a verdict and never justifies
+//     a dynamically coverable objective;
+//   * the AbsVal::Union dtype-promotion regression;
+//   * focused mutation: field-edit strategies stay inside the focus set,
+//     and focus campaigns are deterministic with per-component accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/depgraph.hpp"
+#include "analysis/slice.hpp"
+#include "bench_models/bench_models.hpp"
+#include "cftcg/pipeline.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/mutator.hpp"
+#include "fuzz/suite.hpp"
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+#include "vm/machine.hpp"
+
+namespace cftcg::analysis {
+namespace {
+
+using coverage::ObjectiveVerdict;
+using ir::DType;
+using ir::ModelBuilder;
+
+std::unique_ptr<CompiledModel> Compile(std::unique_ptr<ir::Model> model) {
+  auto cm = CompiledModel::FromModel(std::move(model));
+  EXPECT_TRUE(cm.ok()) << cm.message();
+  return cm.take();
+}
+
+/// Finds the decision whose name contains `fragment`; fails the test when
+/// absent.
+const coverage::Decision* FindDecision(const coverage::CoverageSpec& spec,
+                                       const std::string& fragment) {
+  for (const auto& d : spec.decisions()) {
+    if (d.name.find(fragment) != std::string::npos) return &d;
+  }
+  ADD_FAILURE() << "no decision matching '" << fragment << "'";
+  return nullptr;
+}
+
+/// Root-model block id whose name contains `fragment`, or kNoBlock.
+DepNode FindBlock(const ir::Model& root, const std::string& fragment) {
+  for (const auto& b : root.blocks()) {
+    if (b.name().find(fragment) != std::string::npos) return DepNode{&root, b.id()};
+  }
+  ADD_FAILURE() << "no block matching '" << fragment << "'";
+  return DepNode{};
+}
+
+/// The slice owning the given slot; fails the test when the slot is out of
+/// range.
+const ObjectiveSlice* SliceFor(const SliceReport& sr, int slot) {
+  if (slot < 0 || slot >= static_cast<int>(sr.slices.size())) {
+    ADD_FAILURE() << "slot " << slot << " outside slice report";
+    return nullptr;
+  }
+  return &sr.slices[slot];
+}
+
+TEST(DepGraphTest, SwitchControlEdgeAndBackwardClosure) {
+  // The switch's data legs are constants; only the control comes from an
+  // inport. The closure of the switch must contain the inport, reached
+  // through a kControl edge.
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kDouble);
+  auto sw = mb.Switch(mb.Constant(1.0), u, mb.Constant(2.0), 0.5, "sel");
+  mb.Outport("y", sw);
+  auto cm = Compile(mb.Build());
+
+  const DepGraph g = DepGraph::Build(cm->scheduled());
+  const DepNode sel = FindBlock(cm->model(), "sel");
+  ASSERT_NE(sel.system, nullptr);
+  const auto cone = g.BackwardClosure(sel);
+  const DepNode in = FindBlock(cm->model(), "u");
+  ASSERT_NE(in.system, nullptr);
+  auto it = cone.find(in);
+  ASSERT_NE(it, cone.end()) << "inport missing from switch closure";
+  EXPECT_EQ(it->second, DepEdgeKind::kControl);
+  EXPECT_EQ(g.InportField(in), 0);
+  EXPECT_EQ(g.InportFieldsIn(cone), (std::vector<int>{0}));
+}
+
+TEST(DepGraphTest, DelayCrossesStepsInClosure) {
+  // u feeds a unit delay feeding the switch control: the inport still
+  // influences the decision, one step late, through a kState edge. The
+  // transitive closure must pick it up.
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kDouble);
+  auto held = mb.UnitDelay(u, 0.0, "hold");
+  auto sw = mb.Switch(mb.Constant(1.0), held, mb.Constant(2.0), 0.5, "sel");
+  mb.Outport("y", sw);
+  auto cm = Compile(mb.Build());
+
+  const DepGraph g = DepGraph::Build(cm->scheduled());
+  const auto cone = g.BackwardClosure(FindBlock(cm->model(), "sel"));
+  EXPECT_EQ(g.InportFieldsIn(cone), (std::vector<int>{0}));
+  // The delay's own in-edges classify its input as state influence.
+  const DepNode hold = FindBlock(cm->model(), "hold");
+  bool saw_state = false;
+  for (const DepEdge& e : g.InEdges(hold)) saw_state |= e.kind == DepEdgeKind::kState;
+  EXPECT_TRUE(saw_state) << "delay input not classified as a state edge";
+}
+
+TEST(SliceTest, DisjointChainsSplitIntoComponents) {
+  // Two structurally independent switch chains: the slicer must put their
+  // objectives in different components with disjoint field sets.
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kDouble);
+  auto v = mb.Inport("v", DType::kDouble);
+  mb.Outport("y1", mb.Switch(mb.Constant(1.0), u, mb.Constant(2.0), 0.5, "selU"));
+  mb.Outport("y2", mb.Switch(mb.Constant(3.0), v, mb.Constant(4.0), 0.5, "selV"));
+  auto cm = Compile(mb.Build());
+
+  const SliceReport sr = ComputeSlices(cm->scheduled());
+  EXPECT_EQ(sr.num_components, 2);
+  const auto* du = FindDecision(cm->spec(), "selU");
+  const auto* dv = FindDecision(cm->spec(), "selV");
+  ASSERT_NE(du, nullptr);
+  ASSERT_NE(dv, nullptr);
+  const ObjectiveSlice* su = SliceFor(sr, cm->spec().OutcomeSlot(du->id, 0));
+  const ObjectiveSlice* sv = SliceFor(sr, cm->spec().OutcomeSlot(dv->id, 0));
+  ASSERT_NE(su, nullptr);
+  ASSERT_NE(sv, nullptr);
+  EXPECT_EQ(su->fields, (std::vector<int>{0}));
+  EXPECT_EQ(sv->fields, (std::vector<int>{1}));
+  EXPECT_NE(su->component, sv->component);
+  // Both outcomes of one decision share a cone, hence a component.
+  const ObjectiveSlice* su1 = SliceFor(sr, cm->spec().OutcomeSlot(du->id, 1));
+  ASSERT_NE(su1, nullptr);
+  EXPECT_EQ(su->component, su1->component);
+}
+
+TEST(SliceTest, ConstantDrivenObjectiveHasNoFields) {
+  // The whole switch — control and both data legs — is pure constant
+  // logic: the slice must report an empty influencing-field set (focus
+  // skips such objectives entirely). The inport drives a separate output so
+  // the model still has a tuple field; the block-level cone must not absorb
+  // it.
+  ModelBuilder mb("m");
+  auto u = mb.Inport("u", DType::kDouble);
+  mb.Outport("yu", u);
+  auto gate = mb.Relational(">", mb.Constant(1.0), mb.Constant(0.0), "gate");
+  mb.Outport("y", mb.Switch(mb.Constant(1.0), gate, mb.Constant(0.0), 0.5, "sel"));
+  auto cm = Compile(mb.Build());
+
+  const SliceReport sr = ComputeSlices(cm->scheduled());
+  const auto* d = FindDecision(cm->spec(), "sel");
+  ASSERT_NE(d, nullptr);
+  const ObjectiveSlice* sl = SliceFor(sr, cm->spec().OutcomeSlot(d->id, 0));
+  ASSERT_NE(sl, nullptr);
+  EXPECT_TRUE(sl->fields.empty()) << "constant-driven decision reports inport influence";
+  EXPECT_FALSE(sl->cone.empty());
+}
+
+TEST(SliceTest, EveryBenchObjectiveResolvesToAnOwner) {
+  for (const auto& info : bench_models::Roster()) {
+    auto built = bench_models::Build(info.name);
+    ASSERT_TRUE(built.ok()) << info.name;
+    auto cm = Compile(built.take());
+    const SliceReport sr = ComputeSlices(cm->scheduled());
+    ASSERT_EQ(static_cast<int>(sr.slices.size()), cm->spec().FuzzBranchCount()) << info.name;
+    EXPECT_GE(sr.num_components, 1) << info.name;
+    for (const ObjectiveSlice& sl : sr.slices) {
+      EXPECT_NE(sl.owner.system, nullptr)
+          << info.name << ": slot " << sl.slot << " has no owning block";
+      EXPECT_FALSE(sl.cone.empty()) << info.name << ": slot " << sl.slot;
+      EXPECT_GE(sl.component, 0) << info.name << ": slot " << sl.slot;
+      EXPECT_TRUE(std::is_sorted(sl.fields.begin(), sl.fields.end()));
+    }
+  }
+}
+
+// The load-bearing property behind `fuzz --focus`: the dependence graph
+// over-approximates influence, so randomizing a field *outside* an
+// objective's slice — in every tuple of the stream — must leave that
+// objective's branch event bit unchanged.
+TEST(SliceSoundnessTest, OutOfSliceFieldsCannotFlipObjectives) {
+  for (const auto& info : bench_models::Roster()) {
+    auto built = bench_models::Build(info.name);
+    ASSERT_TRUE(built.ok()) << info.name;
+    auto cm = Compile(built.take());
+    const SliceReport sr = ComputeSlices(cm->scheduled());
+    vm::Machine machine(cm->instrumented());
+    fuzz::TupleLayout layout(cm->instrumented().input_types);
+    fuzz::TupleMutator mutator(layout);
+    Rng rng(0xC0FFEE ^ std::hash<std::string>{}(info.name));
+
+    for (int trial = 0; trial < 3; ++trial) {
+      const std::vector<std::uint8_t> base = mutator.RandomInput(12, rng);
+      const DynamicBitset cov_base = fuzz::CoverageOf(machine, cm->spec(), base);
+      const std::size_t num_tuples = base.size() / layout.tuple_size();
+      for (std::size_t f = 0; f < layout.num_fields(); ++f) {
+        std::vector<std::uint8_t> perturbed = base;
+        for (std::size_t t = 0; t < num_tuples; ++t) {
+          rng.FillBytes(&perturbed[t * layout.tuple_size() + layout.field_offset(f)],
+                        layout.field_size(f));
+        }
+        const DynamicBitset cov = fuzz::CoverageOf(machine, cm->spec(), perturbed);
+        for (const ObjectiveSlice& sl : sr.slices) {
+          if (std::binary_search(sl.fields.begin(), sl.fields.end(), static_cast<int>(f))) {
+            continue;  // field inside the slice: free to change the event
+          }
+          EXPECT_EQ(cov_base.Test(sl.slot), cov.Test(sl.slot))
+              << info.name << ": field " << f << " outside the slice of slot " << sl.slot
+              << " (" << sl.name << ") changed its branch event";
+        }
+      }
+    }
+  }
+}
+
+TEST(SliceTest, RefineVerdictsNeverWeakensAndStaysSound) {
+  for (const auto& info : bench_models::Roster()) {
+    auto built = bench_models::Build(info.name);
+    ASSERT_TRUE(built.ok()) << info.name;
+    auto cm = Compile(built.take());
+    const SliceReport sr = ComputeSlices(cm->scheduled());
+    ModelAnalysis ma = cm->analysis();
+    std::vector<ObjectiveVerdict> before(sr.slices.size(), ObjectiveVerdict::kUnknown);
+    for (std::size_t s = 0; s < sr.slices.size(); ++s) {
+      before[s] = ma.justifications.SlotVerdict(static_cast<int>(s));
+    }
+    const int refined = RefineVerdictsWithSlices(cm->scheduled(), sr, ma);
+    EXPECT_GE(refined, 0) << info.name;
+    int strengthened = 0;
+    for (std::size_t s = 0; s < sr.slices.size(); ++s) {
+      const ObjectiveVerdict after = ma.justifications.SlotVerdict(static_cast<int>(s));
+      if (after == before[s]) continue;
+      // The only allowed transition is kUnknown -> kProvedUnreachable.
+      EXPECT_EQ(before[s], ObjectiveVerdict::kUnknown) << info.name << " slot " << s;
+      EXPECT_EQ(after, ObjectiveVerdict::kProvedUnreachable) << info.name << " slot " << s;
+      EXPECT_FALSE(ma.justifications.SlotReason(static_cast<int>(s)).empty());
+      ++strengthened;
+    }
+    EXPECT_EQ(strengthened, refined) << info.name;
+
+    // Soundness against dynamics: nothing a short campaign actually hits may
+    // carry a refined unreachability verdict.
+    fuzz::FuzzerOptions options;
+    options.seed = 7;
+    fuzz::Fuzzer fuzzer(cm->instrumented(), cm->spec(), options);
+    fuzz::FuzzBudget budget;
+    budget.wall_seconds = 1.0;
+    budget.max_executions = 2000;
+    fuzzer.Run(budget);
+    const DynamicBitset& hit = fuzzer.sink().total();
+    for (std::size_t s = 0; s < sr.slices.size(); ++s) {
+      if (!hit.Test(s)) continue;
+      EXPECT_NE(ma.justifications.SlotVerdict(static_cast<int>(s)),
+                ObjectiveVerdict::kProvedUnreachable)
+          << info.name << ": slot " << s << " was hit dynamically but sliced analysis"
+          << " proved it unreachable";
+    }
+  }
+}
+
+TEST(AbsValTest, UnionPromotesMismatchedDTypes) {
+  // Regression: Union used to keep the left operand's dtype, silently
+  // clamping a float hull into an integer range downstream.
+  const AbsVal b(sldv::Interval(0, 1), false, DType::kBool);
+  const AbsVal d(sldv::Interval(0, 5), true, DType::kDouble);
+  const AbsVal u = b.Union(d);
+  EXPECT_EQ(u.type, ir::PromoteDTypes(DType::kBool, DType::kDouble));
+  EXPECT_TRUE(ir::DTypeIsFloat(u.type));
+  EXPECT_TRUE(u.maybe_nan);
+  EXPECT_EQ(u.iv.lo(), 0);
+  EXPECT_EQ(u.iv.hi(), 5);
+  // Order must not matter for the promoted type.
+  EXPECT_EQ(d.Union(b).type, u.type);
+
+  // Integer ∪ integer promotes within the integers and can never be NaN.
+  const AbsVal i8(sldv::Interval(-3, 3), false, DType::kInt8);
+  const AbsVal i32(sldv::Interval(0, 1000), true, DType::kInt32);
+  const AbsVal ui = i8.Union(i32);
+  EXPECT_FALSE(ir::DTypeIsFloat(ui.type));
+  EXPECT_FALSE(ui.maybe_nan);
+  EXPECT_EQ(ui.iv.lo(), -3);
+  EXPECT_EQ(ui.iv.hi(), 1000);
+
+  // Same-type unions are untouched by the promotion path.
+  const AbsVal same = i8.Union(AbsVal(sldv::Interval(5, 9), false, DType::kInt8));
+  EXPECT_EQ(same.type, DType::kInt8);
+}
+
+TEST(FocusTest, FieldEditStaysInsideFocusSet) {
+  // With a focus set, the two field-edit strategies may only touch bytes of
+  // the focused fields; everything else must ride through unchanged.
+  fuzz::TupleLayout layout({DType::kInt32, DType::kInt32, DType::kDouble});
+  fuzz::TupleMutator mutator(layout);
+  Rng rng(123);
+  const std::vector<std::uint8_t> input = mutator.RandomInput(8, rng);
+  const std::size_t num_tuples = input.size() / layout.tuple_size();
+  const std::vector<std::size_t> focus{1};
+  for (const auto strategy :
+       {fuzz::MutationStrategy::kChangeBinaryInteger, fuzz::MutationStrategy::kChangeBinaryFloat}) {
+    for (int i = 0; i < 32; ++i) {
+      const std::vector<std::uint8_t> out =
+          mutator.ApplyStrategy(strategy, input, {}, rng, nullptr, &focus);
+      ASSERT_EQ(out.size(), input.size());
+      for (std::size_t t = 0; t < num_tuples; ++t) {
+        for (std::size_t f = 0; f < layout.num_fields(); ++f) {
+          if (f == 1) continue;
+          const std::size_t off = t * layout.tuple_size() + layout.field_offset(f);
+          EXPECT_TRUE(std::equal(out.begin() + off, out.begin() + off + layout.field_size(f),
+                                 input.begin() + off))
+              << "strategy touched out-of-focus field " << f << " in tuple " << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(FocusTest, FocusCampaignIsDeterministicAndAccounted) {
+  auto built = bench_models::Build("AFC");
+  ASSERT_TRUE(built.ok());
+  auto cm = Compile(built.take());
+  const fuzz::FocusPlan plan = cm->BuildFocusPlan();
+  ASSERT_GE(plan.num_components, 1);
+  ASSERT_EQ(plan.slot_fields.size(), static_cast<std::size_t>(cm->spec().FuzzBranchCount()));
+
+  auto run = [&] {
+    fuzz::FuzzerOptions options;
+    options.seed = 11;
+    options.focus = &plan;
+    fuzz::FuzzBudget budget;
+    budget.wall_seconds = 5.0;
+    budget.max_executions = 3000;
+    return cm->Fuzz(options, budget);
+  };
+  const fuzz::CampaignResult a = run();
+  const fuzz::CampaignResult b = run();
+  EXPECT_EQ(a.corpus_fingerprint, b.corpus_fingerprint);
+  EXPECT_EQ(a.coverage_fingerprint, b.coverage_fingerprint);
+  EXPECT_EQ(a.executions, b.executions);
+
+  ASSERT_EQ(a.focus_stats.executions.size(), static_cast<std::size_t>(plan.num_components));
+  std::uint64_t focused = 0;
+  for (std::size_t c = 0; c < a.focus_stats.executions.size(); ++c) {
+    focused += a.focus_stats.executions[c];
+    EXPECT_LE(a.focus_stats.credited[c], a.focus_stats.executions[c]);
+  }
+  EXPECT_GT(focused, 0u);
+  EXPECT_LE(focused, a.executions);
+}
+
+TEST(FocusTest, DefaultCampaignCarriesNoFocusStats) {
+  auto built = bench_models::Build("CPUTask");
+  ASSERT_TRUE(built.ok());
+  auto cm = Compile(built.take());
+  fuzz::FuzzerOptions options;
+  options.seed = 3;
+  fuzz::FuzzBudget budget;
+  budget.wall_seconds = 1.0;
+  budget.max_executions = 500;
+  const fuzz::CampaignResult result = cm->Fuzz(options, budget);
+  EXPECT_TRUE(result.focus_stats.empty());
+}
+
+}  // namespace
+}  // namespace cftcg::analysis

@@ -4,8 +4,12 @@
 //   cftcg gen   <model.cmx> [-o out.c]           emit instrumented fuzzing code
 //   cftcg analyze <model.cmx> [--json FILE]      static interval analysis: objective
 //                                                reachability verdicts, lint, inport ranges
+//               [--slices]                       per-objective dependence slices +
+//                                                slice-refined unreachability verdicts
+//               [--lint]                         lint-only output; exit 1 on any
+//                                                error-severity finding (CI gate)
 //   cftcg fuzz  <model.cmx> [--seconds N] [--seed N] [--out DIR] [--fuzz-only] [-j N]
-//               [--analyze] [--stats-every N] [--trace out.jsonl] [--metrics out.json]
+//               [--analyze] [--focus] [--stats-every N] [--trace out.jsonl] [--metrics out.json]
 //                                                run a campaign, export CSV tests
 //   cftcg run   <model.cmx> --csv test.csv       replay a CSV test case
 //   cftcg trace-summary <trace.jsonl>            summarize a campaign trace
@@ -30,6 +34,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -83,10 +88,17 @@ int Usage() {
       "  cftcg analyze <model.cmx> [--json FILE]\n"
       "              static interval analysis: per-objective reachability\n"
       "              verdicts, lint findings, heuristic inport ranges\n"
+      "              [--slices]           per-objective dependence slices (influencing\n"
+      "                                   inports, supporting cone, independence\n"
+      "                                   components) + slice-refined verdicts\n"
+      "              [--lint]             lint findings only; exit 1 on any\n"
+      "                                   error-severity finding (the model-lint CI gate)\n"
       "  cftcg fuzz  <model.cmx> [--seconds N] [--seed N] [--out DIR] [--fuzz-only]\n"
       "              [-j N | --jobs N]    parallel fuzzing with N workers\n"
       "              [--analyze]          static analysis first: justified residuals,\n"
       "                                   early stop, boundary seeds\n"
+      "              [--focus]            focused mutation: field edits target the\n"
+      "                                   frontier objective's dependence slice\n"
       "              [--minimize]         reduce + shrink the suite before export\n"
       "              [--stats-every N]    periodic status line + stat events, every N s\n"
       "              [--trace FILE]       write a JSONL campaign event trace\n"
@@ -118,6 +130,8 @@ int Usage() {
       "  cftcg explain <trace.jsonl> [--html FILE] [--json FILE] [--csv FILE]\n"
       "              [--profile profile.json]   join a self-profile: hot-block\n"
       "                                         heatmap + phase table in the HTML\n"
+      "              [--model model.cmx]        join dependence slices: per-objective\n"
+      "                                         influencing-inports panel in the HTML\n"
       "              first-hit provenance explorer (use - for stdout)\n"
       "  cftcg export-benchmarks <dir>\n"
       "(<model.cmx> may also be a Table 2 benchmark name: CPUTask, AFC, ...)");
@@ -241,8 +255,9 @@ struct DurabilityFlags {
 };
 
 int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const std::string& outdir,
-            bool fuzz_only, bool minimize, bool analyze, int jobs, const TelemetryFlags& tf,
-            DurabilityFlags df, const ServeFlags& sf, const ProfileFlags& pf) {
+            bool fuzz_only, bool minimize, bool analyze, bool focus, int jobs,
+            const TelemetryFlags& tf, DurabilityFlags df, const ServeFlags& sf,
+            const ProfileFlags& pf) {
   // CLI-side phases (model load+lowering, static analysis, suite export) are
   // timed here and merged into the campaign profile the engine accumulates.
   obs::PhaseProfile cli_phases;
@@ -381,6 +396,24 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
     }
   }
 
+  // --focus: project the dependence slices into the focus plan the mutation
+  // loop consumes. Campaigns without the flag never touch the slicer and
+  // stay bit-identical to pre-focus builds.
+  fuzz::FocusPlan focus_plan;
+  if (focus && !fuzz_only) {
+    phase_watch.Restart();
+    focus_plan = cm->BuildFocusPlan();
+    cli_phases.Add(obs::ProfilePhase::kAnalyze, phase_watch.Elapsed());
+    std::size_t sliced = 0;
+    for (const auto& fields : focus_plan.slot_fields) sliced += fields.empty() ? 0 : 1;
+    std::printf("focus: %zu / %zu objectives sliced, %d independence component(s)\n", sliced,
+                focus_plan.slot_fields.size(), focus_plan.num_components);
+  } else if (focus && fuzz_only) {
+    std::fprintf(stderr, "warning: --focus needs model-oriented mutation; ignored with "
+                         "--fuzz-only\n");
+    focus = false;
+  }
+
   fuzz::FuzzBudget budget;
   budget.wall_seconds = seconds;
   budget.max_executions = df.max_execs;
@@ -392,6 +425,7 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
   options.status_board = monitor != nullptr ? &status_board : nullptr;
   options.provenance = provenance.get();
   options.justifications = justifications;
+  options.focus = focus ? &focus_plan : nullptr;
   options.boundary_seed_ranges = boundary_ranges;
   options.checkpoint_path = df.checkpoint_path;
   options.checkpoint_every = df.checkpoint_every;
@@ -459,6 +493,17 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
               static_cast<unsigned long long>(result.coverage_fingerprint),
               static_cast<unsigned long long>(
                   provenance != nullptr ? fuzz::ProvenanceFingerprint(*provenance) : 0));
+
+  if (focus && !result.focus_stats.empty()) {
+    std::uint64_t focused = 0;
+    std::uint64_t credited = 0;
+    for (std::uint64_t v : result.focus_stats.executions) focused += v;
+    for (std::uint64_t v : result.focus_stats.credited) credited += v;
+    std::printf("focus: %llu focused execution(s) across %zu component(s), %llu found new "
+                "coverage\n",
+                static_cast<unsigned long long>(focused), result.focus_stats.executions.size(),
+                static_cast<unsigned long long>(credited));
+  }
 
   std::vector<fuzz::TestCase> suite = std::move(result.test_cases);
   if (minimize && !suite.empty()) {
@@ -814,10 +859,45 @@ int CmdProfile(const std::string& path, const std::string& diff_base,
 /// `cftcg analyze`: runs the static analyzer alone and renders its report —
 /// per-objective reachability verdicts with reasons, lint findings, and the
 /// heuristic inport ranges. `--json FILE` ("-" = stdout) emits the
-/// machine-readable document instead of the text rendering.
-int CmdAnalyze(const std::string& path, const std::string& json_path) {
+/// machine-readable document instead of the text rendering. `--slices`
+/// additionally computes the per-objective dependence slices and reruns the
+/// fixpoint per independence component for sharper unreachability verdicts.
+/// `--lint` renders the lint findings alone and exits 1 on any
+/// error-severity finding — the model-lint CI job's gate.
+int CmdAnalyze(const std::string& path, const std::string& json_path, bool slices, bool lint) {
   auto cm = Load(path);
   if (!cm) return 1;
+  if (lint) {
+    const analysis::ModelAnalysis& ma = cm->analysis();
+    std::size_t errors = 0;
+    for (const auto& l : ma.lints) {
+      if (l.severity == analysis::LintSeverity::kError) ++errors;
+      std::printf("[%s] %s %s: %s\n", std::string(analysis::LintSeverityName(l.severity)).c_str(),
+                  l.check.c_str(), l.block.c_str(), l.message.c_str());
+    }
+    std::printf("%s: %zu lint finding(s), %zu error(s)\n", cm->model().name().c_str(),
+                ma.lints.size(), errors);
+    return errors > 0 ? 1 : 0;
+  }
+  if (slices) {
+    const analysis::SliceReport& sr = cm->slices();
+    // Refine a copy: the slice-restricted reruns may strengthen kUnknown
+    // verdicts that the whole-model fixpoint had to widen away.
+    analysis::ModelAnalysis ma = cm->analysis();
+    const int refined = analysis::RefineVerdictsWithSlices(cm->scheduled(), sr, ma);
+    if (!json_path.empty()) {
+      return WriteArtifact(json_path, analysis::SliceReportJson(cm->scheduled(), sr) + "\n",
+                           "slice report (JSON)")
+                 ? 0
+                 : 1;
+    }
+    std::fputs(analysis::FormatSliceReport(cm->scheduled(), sr).c_str(), stdout);
+    if (refined > 0) {
+      std::printf("sliced fixpoint: %d additional objective(s) proved unreachable\n", refined);
+    }
+    std::fputs(analysis::FormatAnalysisReport(cm->scheduled(), ma).c_str(), stdout);
+    return 0;
+  }
   const analysis::ModelAnalysis& ma = cm->analysis();
   if (!json_path.empty()) {
     return WriteArtifact(json_path, analysis::AnalysisReportJson(cm->scheduled(), ma) + "\n",
@@ -835,7 +915,7 @@ int CmdAnalyze(const std::string& path, const std::string& json_path) {
 /// truncated or garbage lines — they are counted, skipped, and surfaced.
 int CmdExplain(const std::string& trace_path, const std::string& html_path,
                const std::string& json_path, const std::string& csv_path,
-               const std::string& profile_path) {
+               const std::string& profile_path, const std::string& model_path) {
   std::ifstream in(trace_path);
   if (!in) {
     std::fprintf(stderr, "error: cannot open %s\n", trace_path.c_str());
@@ -916,6 +996,38 @@ int CmdExplain(const std::string& trace_path, const std::string& html_path,
       if (ph.seconds > 0) data.profile_phases.push_back({ph.name, ph.seconds, ph.pct});
     }
   }
+  // --model: join the dependence slices — the HTML gains a per-objective
+  // influencing-inports panel, marked hit/miss against the trace's first
+  // hits.
+  if (!model_path.empty()) {
+    auto cm = Load(model_path);
+    if (!cm) return 1;
+    std::set<int> hit_slots;
+    for (const auto& o : data.objectives) {
+      if (o.slot >= 0) hit_slots.insert(o.slot);
+    }
+    std::vector<std::string> inport_names;
+    for (ir::BlockId id : cm->model().Inports()) {
+      inport_names.push_back(cm->model().block(id).name());
+    }
+    for (const auto& sl : cm->slices().slices) {
+      coverage::ExplorerSlice es;
+      es.slot = sl.slot;
+      es.name = sl.name;
+      es.component = sl.component;
+      es.cone_blocks = sl.cone.size();
+      es.covered = hit_slots.count(sl.slot) > 0;
+      for (int f : sl.fields) {
+        if (!es.inports.empty()) es.inports += ", ";
+        es.inports += static_cast<std::size_t>(f) < inport_names.size()
+                          ? inport_names[static_cast<std::size_t>(f)]
+                          : StrFormat("field%d", f);
+      }
+      if (es.inports.empty()) es.inports = "-";
+      data.slices.push_back(std::move(es));
+    }
+  }
+
   if (data.objectives.empty() && data.corpus.empty()) {
     std::fprintf(stderr,
                  "warning: %s has no provenance events (record with cftcg fuzz --trace)\n",
@@ -1147,6 +1259,9 @@ int main(int argc, char** argv) {
   bool fuzz_only = false;
   bool minimize = false;
   bool analyze = false;
+  bool focus = false;
+  bool slices = false;
+  bool lint = false;
   int jobs = 1;
   TelemetryFlags tf;
   DurabilityFlags df;
@@ -1155,6 +1270,7 @@ int main(int argc, char** argv) {
   std::string diff;
   std::string folded;
   std::string profile_json;
+  std::string model_path;
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string { return i + 1 < argc ? argv[++i] : ""; };
@@ -1168,6 +1284,10 @@ int main(int argc, char** argv) {
     else if (a == "--fuzz-only") fuzz_only = true;
     else if (a == "--minimize") minimize = true;
     else if (a == "--analyze") analyze = true;
+    else if (a == "--focus") focus = true;
+    else if (a == "--slices") slices = true;
+    else if (a == "--lint") lint = true;
+    else if (a == "--model") model_path = next();
     else if (a == "-j" || a == "--jobs") jobs = std::atoi(next().c_str());
     else if (a == "--stats-every") tf.stats_every = std::atof(next().c_str());
     else if (a == "--trace") tf.trace_path = next();
@@ -1205,16 +1325,16 @@ int main(int argc, char** argv) {
 
   if (cmd == "info") return CmdInfo(target);
   if (cmd == "gen") return CmdGen(target, out);
-  if (cmd == "analyze") return CmdAnalyze(target, json);
+  if (cmd == "analyze") return CmdAnalyze(target, json, slices, lint);
   if (cmd == "fuzz") {
-    return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize, analyze, jobs, tf, df, sf,
-                   pf);
+    return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize, analyze, focus, jobs, tf, df,
+                   sf, pf);
   }
   if (cmd == "run") return CmdRun(target, csv);
   if (cmd == "cover") return CmdCover(target, csv_dir, html);
   if (cmd == "trace-summary") return CmdTraceSummary(target);
   if (cmd == "profile") return CmdProfile(target, diff, folded);
-  if (cmd == "explain") return CmdExplain(target, html, json, csv, profile_json);
+  if (cmd == "explain") return CmdExplain(target, html, json, csv, profile_json, model_path);
   if (cmd == "export-benchmarks") return CmdExportBenchmarks(target);
   return Usage();
 }
