@@ -1,0 +1,99 @@
+// E14 — Process-isolation overhead: threaded vs supervised engine.
+//
+// Runs the same -j2 campaign through the in-process ParallelFuzzer and the
+// crash-isolated Supervisor (fuzz/supervisor.hpp) under an equal wall-clock
+// budget. The supervised engine pays for fork/exec-free process spawns,
+// pipe-serialized barrier states, and parent-side merging; the interesting
+// column is that overhead as a percentage of threaded throughput — the
+// price of surviving a worker crash. A third row injects two deterministic
+// worker crashes to show the recovery cost (respawn + round replay) on top.
+#include "bench/bench_util.hpp"
+#include "fuzz/parallel.hpp"
+#include "fuzz/supervisor.hpp"
+#include "support/fault_inject.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cftcg;
+  const auto args = bench::BenchArgs::Parse(argc, argv, /*budget=*/2.0, /*reps=*/1);
+  constexpr int kJobs = 2;
+
+  std::printf("=== Isolation overhead: threaded vs supervised at -j%d (budget %.1fs) ===\n",
+              kJobs, args.budget_s);
+  bench::Table table({"Model", "Engine", "exec/s", "Overhead", "Decision", "Restarts"});
+  bench::CsvSink csv(args.csv_path,
+                     {"model", "engine", "exec_per_s", "overhead_pct", "decision_pct",
+                      "restarts"});
+  bench::JsonSink json(args, "isolation_overhead");
+  for (const auto& name : args.ModelNames()) {
+    auto cm = bench::CompileOrDie(name);
+    fuzz::FuzzerOptions options;
+    options.seed = args.seed;
+    options.model_oriented = true;
+    fuzz::FuzzBudget budget;
+    budget.wall_seconds = args.budget_s;
+
+    double threaded_rate = 0;
+    struct Row {
+      const char* engine;
+      double rate = 0;
+      double decision = 0;
+      std::uint64_t restarts = 0;
+    };
+    std::vector<Row> rows;
+    {
+      fuzz::ParallelOptions par;
+      par.num_workers = kJobs;
+      const auto r = cm->FuzzParallel(options, budget, par);
+      threaded_rate = r.merged.elapsed_s > 0
+                          ? static_cast<double>(r.merged.executions) / r.merged.elapsed_s
+                          : 0;
+      rows.push_back({"threaded", threaded_rate, r.merged.report.DecisionPct(), 0});
+    }
+    {
+      fuzz::SupervisorOptions sup;
+      sup.num_workers = kJobs;
+      const auto r = cm->FuzzSupervised(options, budget, sup);
+      const double rate = r.merged.elapsed_s > 0
+                              ? static_cast<double>(r.merged.executions) / r.merged.elapsed_s
+                              : 0;
+      rows.push_back({"supervised", rate, r.merged.report.DecisionPct(), r.restarts});
+    }
+    {
+      // Two injected crashes: measures quarantine + respawn + round replay.
+      support::FaultInjector inj =
+          support::FaultInjector::FromSpec("crash*2", args.seed, kJobs, /*horizon=*/20000)
+              .take();
+      fuzz::SupervisorOptions sup;
+      sup.num_workers = kJobs;
+      sup.faults = &inj;
+      const auto r = cm->FuzzSupervised(options, budget, sup);
+      const double rate = r.merged.elapsed_s > 0
+                              ? static_cast<double>(r.merged.executions) / r.merged.elapsed_s
+                              : 0;
+      rows.push_back({"supervised+2crash", rate, r.merged.report.DecisionPct(), r.restarts});
+    }
+    bool first = true;
+    for (const Row& row : rows) {
+      const double overhead =
+          threaded_rate > 0 ? (1.0 - row.rate / threaded_rate) * 100.0 : 0;
+      table.AddRow({first ? name : "", row.engine, StrFormat("%.0f", row.rate),
+                    StrFormat("%.1f%%", overhead), bench::Pct(row.decision),
+                    StrFormat("%llu", static_cast<unsigned long long>(row.restarts))});
+      csv.Row({name, row.engine, StrFormat("%.0f", row.rate), StrFormat("%.2f", overhead),
+               StrFormat("%.2f", row.decision),
+               StrFormat("%llu", static_cast<unsigned long long>(row.restarts))});
+      json.Add(bench::JsonSink::Row(name)
+                   .Str("engine", row.engine)
+                   .Num("exec_per_s", row.rate)
+                   .Num("overhead_pct", overhead)
+                   .Num("decision_pct", row.decision)
+                   .Num("restarts", static_cast<double>(row.restarts)));
+      first = false;
+    }
+  }
+  table.Print();
+  json.Write();
+  if (csv.active()) std::printf("CSV written to %s\n", args.csv_path.c_str());
+  std::printf("\n(overhead is the throughput price of per-worker process isolation)\n");
+  return 0;
+}

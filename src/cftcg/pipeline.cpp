@@ -156,4 +156,15 @@ fuzz::ParallelCampaignResult CompiledModel::FuzzParallel(const fuzz::FuzzerOptio
   return fuzzer.Run(budget);
 }
 
+fuzz::SupervisedCampaignResult CompiledModel::FuzzSupervised(
+    const fuzz::FuzzerOptions& options, const fuzz::FuzzBudget& budget,
+    const fuzz::SupervisorOptions& supervise) {
+  const vm::Program* fo = options.model_oriented ? nullptr : &fuzz_only();
+  obs::ScopedTimer vm_span("vm_load");
+  fuzz::Supervisor supervisor(instrumented_, spec(), options, supervise, fo);
+  vm_span.Stop();
+  obs::ScopedTimer span("fuzz");
+  return supervisor.Run(budget);
+}
+
 }  // namespace cftcg

@@ -19,6 +19,7 @@
 #include "codegen/lower.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/parallel.hpp"
+#include "fuzz/supervisor.hpp"
 #include "ir/model.hpp"
 #include "sched/schedule.hpp"
 #include "support/status.hpp"
@@ -70,6 +71,15 @@ class CompiledModel {
   fuzz::ParallelCampaignResult FuzzParallel(const fuzz::FuzzerOptions& options,
                                             const fuzz::FuzzBudget& budget,
                                             const fuzz::ParallelOptions& parallel);
+
+  /// Runs the crash-isolated supervised engine (fuzz/supervisor.hpp): every
+  /// worker in its own process, with fault detection, quarantine and
+  /// respawn. Unlike FuzzParallel there is no sequential delegation —
+  /// one-worker campaigns still fork, so the isolation boundary (and its
+  /// determinism guarantee against the threaded engine) always holds.
+  fuzz::SupervisedCampaignResult FuzzSupervised(const fuzz::FuzzerOptions& options,
+                                                const fuzz::FuzzBudget& budget,
+                                                const fuzz::SupervisorOptions& supervise);
 
   /// Table 2 statistics.
   [[nodiscard]] int NumBranches() const { return scheduled_.NumBranchOutcomes(); }

@@ -1,13 +1,15 @@
 #include "fuzz/checkpoint.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cstdio>
 #include <cstring>
 
 #include "support/atomic_file.hpp"
 
 namespace cftcg::fuzz {
+
+using wire::Reader;
+using wire::Writer;
 
 namespace {
 
@@ -33,111 +35,9 @@ inline std::uint64_t MixStr(std::uint64_t h, std::string_view s) {
   return MixBytes(h, s.data(), s.size());
 }
 
-// -- Little-endian binary writer ------------------------------------------
+}  // namespace
 
-class Writer {
- public:
-  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void U32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-  void U64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
-  void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
-  void Bytes(const std::vector<std::uint8_t>& v) {
-    U64(v.size());
-    out_.append(reinterpret_cast<const char*>(v.data()), v.size());
-  }
-  void Str(const std::string& s) {
-    U64(s.size());
-    out_.append(s);
-  }
-  void U64Vec(const std::vector<std::uint64_t>& v) {
-    U64(v.size());
-    for (std::uint64_t x : v) U64(x);
-  }
-  [[nodiscard]] std::string take() { return std::move(out_); }
-
- private:
-  std::string out_;
-};
-
-// -- Bounds-checked reader -------------------------------------------------
-
-class Reader {
- public:
-  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
-
-  [[nodiscard]] bool failed() const { return failed_; }
-  [[nodiscard]] std::size_t pos() const { return pos_; }
-  [[nodiscard]] bool AtEnd() const { return pos_ == bytes_.size(); }
-
-  std::uint8_t U8() {
-    if (!Need(1)) return 0;
-    return static_cast<std::uint8_t>(bytes_[pos_++]);
-  }
-  std::uint32_t U32() {
-    if (!Need(4)) return 0;
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes_[pos_++])) << (8 * i);
-    }
-    return v;
-  }
-  std::uint64_t U64() {
-    if (!Need(8)) return 0;
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes_[pos_++])) << (8 * i);
-    }
-    return v;
-  }
-  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
-  double F64() { return std::bit_cast<double>(U64()); }
-  std::vector<std::uint8_t> Bytes() {
-    const std::uint64_t size = U64();
-    if (!Need(size)) return {};
-    std::vector<std::uint8_t> v(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                                bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + size));
-    pos_ += size;
-    return v;
-  }
-  std::string Str() {
-    const std::uint64_t size = U64();
-    if (!Need(size)) return {};
-    std::string s(bytes_.substr(pos_, size));
-    pos_ += size;
-    return s;
-  }
-  std::vector<std::uint64_t> U64Vec() {
-    const std::uint64_t size = U64();
-    if (failed_ || size > bytes_.size() / 8 + 1) {  // cheap sanity bound
-      failed_ = true;
-      return {};
-    }
-    std::vector<std::uint64_t> v;
-    v.reserve(size);
-    for (std::uint64_t i = 0; i < size && !failed_; ++i) v.push_back(U64());
-    return v;
-  }
-
- private:
-  bool Need(std::uint64_t n) {
-    if (failed_ || n > bytes_.size() - pos_) {
-      failed_ = true;
-      return false;
-    }
-    return true;
-  }
-
-  std::string_view bytes_;
-  std::size_t pos_ = 0;
-  bool failed_ = false;
-};
-
-void WriteFuzzerState(Writer& w, const FuzzerState& s) {
+void AppendFuzzerState(wire::Writer& w, const FuzzerState& s) {
   for (std::uint64_t word : s.rng_state) w.U64(word);
   w.U64(s.executions);
   w.U64(s.model_iterations);
@@ -210,7 +110,7 @@ void WriteFuzzerState(Writer& w, const FuzzerState& s) {
   }
 }
 
-bool ReadFuzzerState(Reader& r, FuzzerState& s) {
+bool ReadFuzzerState(wire::Reader& r, FuzzerState& s) {
   for (std::uint64_t& word : s.rng_state) word = r.U64();
   s.executions = r.U64();
   s.model_iterations = r.U64();
@@ -264,9 +164,14 @@ bool ReadFuzzerState(Reader& r, FuzzerState& s) {
   s.cmp_trace.double_idx = r.U64();
   s.cmp_trace.double_count = r.U64();
   const std::uint64_t num_hits = r.U64();
+  bool bad_hit_kind = false;
   for (std::uint64_t i = 0; i < num_hits && !r.failed(); ++i) {
     coverage::ObjectiveFirstHit h;
-    h.kind = static_cast<coverage::ObjectiveKind>(r.U8());
+    const std::uint8_t kind = r.U8();
+    if (kind > static_cast<std::uint8_t>(coverage::ObjectiveKind::kMcdcPair)) {
+      bad_hit_kind = true;  // bit-flipped kind: reject instead of misparsing
+    }
+    h.kind = static_cast<coverage::ObjectiveKind>(kind);
     h.name = r.Str();
     h.decision = static_cast<coverage::DecisionId>(r.I64());
     h.condition = static_cast<coverage::ConditionId>(r.I64());
@@ -278,6 +183,7 @@ bool ReadFuzzerState(Reader& r, FuzzerState& s) {
     h.chain = r.Str();
     s.provenance_hits.push_back(std::move(h));
   }
+  if (bad_hit_kind) return false;
   s.exec_profile.insn_counts = r.U64Vec();
   s.exec_profile.insn_samples = r.U64Vec();
   s.exec_profile.steps = r.U64();
@@ -293,8 +199,6 @@ bool ReadFuzzerState(Reader& r, FuzzerState& s) {
   }
   return !r.failed();
 }
-
-}  // namespace
 
 std::uint64_t SpecFingerprint(const coverage::CoverageSpec& spec, const vm::Program& program) {
   std::uint64_t h = kFnvOffset;
@@ -331,7 +235,7 @@ std::string SerializeCheckpoint(const CampaignCheckpoint& ckpt) {
   w.U64Vec(ckpt.scanned);
   w.F64(ckpt.elapsed_s);
   w.U64(ckpt.workers.size());
-  for (const FuzzerState& s : ckpt.workers) WriteFuzzerState(w, s);
+  for (const FuzzerState& s : ckpt.workers) AppendFuzzerState(w, s);
   return w.take();
 }
 
@@ -428,6 +332,52 @@ Status ValidateCheckpoint(const CampaignCheckpoint& ckpt, const FuzzerOptions& o
     return Status::Error("corrupt checkpoint: worker table size mismatch");
   }
   return Status::Ok();
+}
+
+Status ValidateCheckpointShape(const CampaignCheckpoint& ckpt, std::uint64_t total_bits,
+                               std::size_t num_decisions) {
+  const std::uint64_t words = (total_bits + 63) / 64;
+  for (std::size_t i = 0; i < ckpt.workers.size(); ++i) {
+    const FuzzerState& s = ckpt.workers[i];
+    const std::string who = "worker " + std::to_string(i);
+    if (s.total_bits != total_bits) {
+      return Status::Error("corrupt checkpoint: " + who + " coverage universe has " +
+                           std::to_string(s.total_bits) + " bit(s), expected " +
+                           std::to_string(total_bits));
+    }
+    if (s.total_words.size() != words) {
+      return Status::Error("corrupt checkpoint: " + who + " bitmap has " +
+                           std::to_string(s.total_words.size()) + " word(s), expected " +
+                           std::to_string(words));
+    }
+    if (s.evals.size() != num_decisions) {
+      return Status::Error("corrupt checkpoint: " + who + " has MCDC sets for " +
+                           std::to_string(s.evals.size()) + " decision(s), expected " +
+                           std::to_string(num_decisions));
+    }
+    if (!s.seen_eval_sizes.empty() && s.seen_eval_sizes.size() != num_decisions) {
+      return Status::Error("corrupt checkpoint: " + who + " eval-size table has " +
+                           std::to_string(s.seen_eval_sizes.size()) + " entr(ies), expected " +
+                           std::to_string(num_decisions));
+    }
+  }
+  return Status::Ok();
+}
+
+std::uint64_t CorpusEntriesFingerprint(const std::vector<CorpusEntry>& entries) {
+  std::uint64_t h = kFnvOffset;
+  h = Mix(h, entries.size());
+  for (const CorpusEntry& e : entries) {
+    h = Mix(h, e.data.size());
+    h = MixBytes(h, e.data.data(), e.data.size());
+    h = Mix(h, e.metric);
+    h = Mix(h, e.new_slots);
+    h = Mix(h, static_cast<std::uint64_t>(e.id));
+    h = Mix(h, static_cast<std::uint64_t>(e.parent_id));
+    h = Mix(h, e.depth);
+    for (MutationStrategy s : e.chain) h = Mix(h, static_cast<std::uint64_t>(s));
+  }
+  return h;
 }
 
 std::uint64_t CorpusFingerprint(const Corpus& corpus) {

@@ -27,6 +27,7 @@
 #include "coverage/spec.hpp"
 #include "fuzz/corpus.hpp"
 #include "fuzz/fuzzer.hpp"
+#include "fuzz/wire.hpp"
 #include "support/status.hpp"
 #include "vm/cmp_trace.hpp"
 #include "vm/program.hpp"
@@ -106,6 +107,14 @@ std::uint64_t SpecFingerprint(const coverage::CoverageSpec& spec, const vm::Prog
 std::string SerializeCheckpoint(const CampaignCheckpoint& ckpt);
 Result<CampaignCheckpoint> ParseCheckpoint(std::string_view bytes);
 
+/// One worker state in the checkpoint wire format. The supervisor's pipe
+/// protocol ships these as round-barrier messages, so a worker state on the
+/// wire is byte-identical to the corresponding checkpoint fragment.
+void AppendFuzzerState(wire::Writer& w, const FuzzerState& s);
+/// Bounds-checked inverse. Returns false (never crashes, never over-allocates)
+/// on truncated or corrupted input.
+bool ReadFuzzerState(wire::Reader& r, FuzzerState& s);
+
 /// Atomic write (temp + rename): a kill mid-write leaves the previous
 /// complete checkpoint in place.
 Status WriteCheckpointFile(const std::string& path, const CampaignCheckpoint& ckpt);
@@ -115,12 +124,23 @@ Result<CampaignCheckpoint> ReadCheckpointFile(const std::string& path);
 Status ValidateCheckpoint(const CampaignCheckpoint& ckpt, const FuzzerOptions& options,
                           std::uint32_t num_workers, std::uint64_t spec_fingerprint);
 
+/// Structural validation against the coverage universe the campaign will run
+/// in: bitmap word counts, MCDC table sizes, eval-size tables. A bit-flipped
+/// checkpoint that survives parsing must still fail here rather than feed
+/// mis-shaped tables into the engine (whose restore path asserts in debug
+/// builds but must never be reached with hostile sizes in release builds).
+Status ValidateCheckpointShape(const CampaignCheckpoint& ckpt, std::uint64_t total_bits,
+                               std::size_t num_decisions);
+
 // -- Determinism fingerprints ---------------------------------------------
 // Order-insensitive where the underlying container is a set, order-exact
 // where order is part of campaign state. The resume-identity tests (and the
 // CLI's final "state:" line) compare these across interrupted-and-resumed
 // vs. uninterrupted campaigns.
 std::uint64_t CorpusFingerprint(const Corpus& corpus);
+/// Same digest over a serialized entry list (e.g. a FuzzerState's corpus) —
+/// lets the supervisor fingerprint a lane it can no longer ask to do so.
+std::uint64_t CorpusEntriesFingerprint(const std::vector<CorpusEntry>& entries);
 std::uint64_t CoverageFingerprint(const coverage::CoverageSink& sink);
 std::uint64_t ProvenanceFingerprint(const coverage::ProvenanceMap& provenance);
 

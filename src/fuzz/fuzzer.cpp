@@ -433,6 +433,9 @@ std::size_t Fuzzer::IdcDensity(std::size_t metric, const std::vector<std::uint8_
 std::size_t Fuzzer::RunOneInstrumented(const std::vector<std::uint8_t>& data, bool* found_new,
                                        std::size_t* new_slots) {
   // Algorithm 1 (Model Coverage Collection).
+  if (options_.input_tap != nullptr) {
+    options_.input_tap(options_.input_tap_ctx, data.data(), data.size());
+  }
   const std::size_t tuple_size = instrumented_->TupleSize();
   machine_.Reset();              // Model_init()
   std::size_t metric = 0;        // Iteration Difference Coverage
@@ -482,6 +485,9 @@ void Fuzzer::MeasureOnInstrumented(const std::vector<std::uint8_t>& data) {
 
 std::size_t Fuzzer::RunOneEdges(const std::vector<std::uint8_t>& data, bool* found_new) {
   assert(fuzz_only_ != nullptr);
+  if (options_.input_tap != nullptr) {
+    options_.input_tap(options_.input_tap_ctx, data.data(), data.size());
+  }
   if (!fuzz_machine_) {
     fuzz_machine_ = std::make_unique<vm::Machine>(*fuzz_only_);
     fuzz_machine_->set_cmp_trace(&cmp_trace_);

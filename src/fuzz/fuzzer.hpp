@@ -139,6 +139,13 @@ struct FuzzerOptions {
   /// Where quarantined hanging inputs are written (libFuzzer's timeout
   /// artifacts). Empty: hangs are counted and traced but not saved.
   std::string hangs_dir;
+  // -- Crash forensics ----------------------------------------------------
+  /// Invoked immediately before every input execution with the input bytes.
+  /// The supervised engine points this at a shared-memory stamp so the
+  /// supervisor can quarantine the in-flight input when the worker process
+  /// dies mid-execution. Must be cheap; may be null.
+  void (*input_tap)(void* ctx, const std::uint8_t* data, std::size_t size) = nullptr;
+  void* input_tap_ctx = nullptr;
 };
 
 struct FuzzBudget {

@@ -1,0 +1,97 @@
+// Crash-isolated supervised execution engine.
+//
+// The Supervisor runs the same deterministic round-barrier campaign as
+// fuzz::ParallelFuzzer, but each worker lives in its own forked process
+// instead of a thread: a VM bug, a malformed model, or a hostile input can
+// kill one lane without taking the campaign down. Worker state crosses the
+// process boundary as checkpoint-format messages (fuzz/wire.hpp, the exact
+// FuzzerState encoding of PR 5 checkpoints) over a pair of pipes per lane:
+//
+//   parent → child:  RUN(target [, armed fault])   one round of executions
+//                    SYNC(import list)             round-barrier corpus merge
+//                    FINISH                        final state + report extras
+//   child → parent:  HELLO(seed entries)           after Fuzzer::Begin
+//                    ROUND(done, execs, new corpus entries since the cursor)
+//                    STATE(full FuzzerState)       post-sync barrier state
+//                    RESULT(state + fingerprints + provenance)
+//
+// Fault containment: the supervisor detects worker death (SIGCHLD + pipe
+// EOF), kills lanes that miss their reply deadline (heartbeat timeout),
+// quarantines the input that was executing at the time of death to a
+// content-hashed crashes/ artifact (the shared-memory input stamp mirrors
+// the hang quarantine of PR 5), and respawns the lane from its last
+// post-sync state with capped exponential backoff. A lane that keeps dying
+// is retired and the campaign degrades gracefully to fewer workers.
+//
+// Determinism: with no faults injected and no lane deaths, the supervised
+// campaign is bit-identical to the threaded engine for the same seed and
+// worker count — same RNG forking, same budget split, same export/import
+// ordering at every barrier, same worker-id-order final merge. A respawned
+// lane replays its round from the last barrier state, so even a faulted
+// campaign re-joins the deterministic schedule unless the crashing input is
+// quarantined out of it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/checkpoint.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/parallel.hpp"
+#include "support/fault_inject.hpp"
+
+namespace cftcg::fuzz {
+
+struct SupervisorOptions {
+  /// Lane count; clamped to >= 1. Unlike the threaded engine there is no
+  /// sequential delegation: -j1 --isolate still forks one worker.
+  int num_workers = 1;
+  /// Executions per lane between barriers (ParallelOptions::sync_every).
+  std::uint64_t sync_every = 1024;
+  /// Resume from a checkpoint (same format as the threaded engine's).
+  const CampaignCheckpoint* resume = nullptr;
+  /// A lane that produces no reply for this long is presumed wedged,
+  /// killed, and respawned. Also bounds the FINISH collection.
+  double lane_timeout_s = 30.0;
+  /// Consecutive respawns before a lane is retired. 0 retires on first
+  /// death (no respawn).
+  int max_restarts = 3;
+  /// First respawn backoff; doubles per consecutive restart of the same
+  /// lane, capped at restart_backoff_cap_s.
+  double restart_backoff_s = 0.05;
+  double restart_backoff_cap_s = 2.0;
+  /// Where inputs in flight at worker death are quarantined (content-hashed
+  /// `crash-<hash>.bin`, mirroring the hang quarantine). Empty: not saved.
+  std::string crashes_dir;
+  /// Deterministic fault schedule (tests, CI). Not owned; may be null.
+  support::FaultInjector* faults = nullptr;
+};
+
+struct SupervisedCampaignResult : ParallelCampaignResult {
+  std::uint64_t crashes = 0;       // lanes that died (any cause, incl. injected)
+  std::uint64_t hang_kills = 0;    // of which: reply-deadline kills
+  std::uint64_t restarts = 0;      // successful respawns
+  std::uint64_t lanes_retired = 0; // lanes given up on
+};
+
+class Supervisor {
+ public:
+  Supervisor(const vm::Program& instrumented, const coverage::CoverageSpec& spec,
+             FuzzerOptions options, SupervisorOptions supervise,
+             const vm::Program* fuzz_only_program = nullptr);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  SupervisedCampaignResult Run(const FuzzBudget& budget);
+
+ private:
+  const vm::Program* instrumented_;
+  const vm::Program* fuzz_only_;
+  const coverage::CoverageSpec* spec_;
+  FuzzerOptions options_;
+  SupervisorOptions supervise_;
+};
+
+}  // namespace cftcg::fuzz

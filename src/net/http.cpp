@@ -12,6 +12,7 @@
 #include <cstring>
 #include <vector>
 
+#include "support/io.hpp"
 #include "support/strings.hpp"
 
 namespace cftcg::net {
@@ -32,18 +33,10 @@ void SetRecvTimeout(int fd, double seconds) {
   setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
-/// Writes the whole buffer, retrying on short writes / EINTR.
+/// Writes the whole buffer, retrying on short writes / EINTR (support::io,
+/// shared with the supervisor's worker pipes).
 bool WriteAll(int fd, const char* data, std::size_t size) {
-  std::size_t done = 0;
-  while (done < size) {
-    const ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    done += static_cast<std::size_t>(n);
-  }
-  return true;
+  return support::io::WriteFull(fd, data, size).ok();
 }
 
 const char* ReasonPhrase(int status) {
@@ -74,9 +67,8 @@ bool ReadRequestHead(int fd, std::string* out) {
   char buf[4096];
   while (out->find("\r\n\r\n") == std::string::npos) {
     if (out->size() > kMaxRequestBytes) return false;
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;  // peer closed or receive timeout
+    const std::ptrdiff_t n = support::io::ReadSome(fd, buf, sizeof(buf));
+    if (n <= 0) return false;  // peer closed, receive timeout, or error
     out->append(buf, static_cast<std::size_t>(n));
   }
   return true;
@@ -95,10 +87,19 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(std::uint16_t port,
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // monitor is local-only
   addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status s = Errno(StrFormat("bind 127.0.0.1:%u", port).c_str());
-    ::close(fd);
-    return s;
+  // A fixed port may be lingering in TIME_WAIT from the previous campaign
+  // (SO_REUSEADDR covers most of that) or still held by a process on its way
+  // out; retry with backoff before giving up. Ephemeral binds (port 0)
+  // cannot meaningfully collide, so they fail fast.
+  constexpr int kBindAttempts = 5;
+  for (int attempt = 0;; ++attempt) {
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) break;
+    if (errno != EADDRINUSE || port == 0 || attempt + 1 >= kBindAttempts) {
+      const Status s = Errno(StrFormat("bind 127.0.0.1:%u", port).c_str());
+      ::close(fd);
+      return s;
+    }
+    support::io::SleepMs(50 << attempt);
   }
   if (::listen(fd, 16) != 0) {
     const Status s = Errno("listen");
@@ -132,9 +133,9 @@ void HttpServer::Serve() {
     // Poll with a short timeout instead of blocking in accept(2): Stop()
     // only has to flip the flag and join, no cross-thread socket shutdown.
     pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready <= 0) continue;  // timeout, EINTR, or transient error
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int ready = support::io::PollRetry(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or transient error
+    const int client = support::io::AcceptRetry(listen_fd_);
     if (client < 0) continue;
     SetRecvTimeout(client, 5.0);
     HandleConnection(client);
@@ -198,8 +199,7 @@ Status HttpGet(std::uint16_t port, const std::string& path, HttpResponse* out,
   std::string raw;
   char buf[4096];
   while (true) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
+    const std::ptrdiff_t n = support::io::ReadSome(fd, buf, sizeof(buf));
     if (n <= 0) break;
     raw.append(buf, static_cast<std::size_t>(n));
     if (raw.size() > 64 * 1024 * 1024) break;  // runaway-response backstop

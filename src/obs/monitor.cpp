@@ -36,6 +36,8 @@ void CampaignStatusBoard::BeginCampaign(const CampaignInfo& info) {
       lanes_[static_cast<std::size_t>(i)].executions.store(0, std::memory_order_relaxed);
       lanes_[static_cast<std::size_t>(i)].done.store(false, std::memory_order_relaxed);
       lanes_[static_cast<std::size_t>(i)].stalled.store(false, std::memory_order_relaxed);
+      lanes_[static_cast<std::size_t>(i)].restarting.store(false, std::memory_order_relaxed);
+      lanes_[static_cast<std::size_t>(i)].restarts.store(0, std::memory_order_relaxed);
     }
   }
 }
@@ -82,6 +84,27 @@ void CampaignStatusBoard::SetWorkerDone(int worker) {
 void CampaignStatusBoard::SetWorkerStalled(int worker, bool stalled) {
   if (worker < 0 || worker >= num_lanes_.load(std::memory_order_acquire)) return;
   lanes_[static_cast<std::size_t>(worker)].stalled.store(stalled, std::memory_order_relaxed);
+}
+
+void CampaignStatusBoard::SetWorkerRestarting(int worker, bool restarting) {
+  if (worker < 0 || worker >= num_lanes_.load(std::memory_order_acquire)) return;
+  lanes_[static_cast<std::size_t>(worker)].restarting.store(restarting,
+                                                            std::memory_order_relaxed);
+}
+
+void CampaignStatusBoard::CountWorkerRestart(int worker) {
+  if (worker < 0 || worker >= num_lanes_.load(std::memory_order_acquire)) return;
+  lanes_[static_cast<std::size_t>(worker)].restarts.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool CampaignStatusBoard::WorkerRestarting(int worker) const {
+  if (worker < 0 || worker >= num_lanes_.load(std::memory_order_acquire)) return false;
+  return lanes_[static_cast<std::size_t>(worker)].restarting.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CampaignStatusBoard::WorkerRestarts(int worker) const {
+  if (worker < 0 || worker >= num_lanes_.load(std::memory_order_acquire)) return 0;
+  return lanes_[static_cast<std::size_t>(worker)].restarts.load(std::memory_order_relaxed);
 }
 
 std::uint64_t CampaignStatusBoard::WorkerEpoch(int worker) const {
@@ -150,10 +173,13 @@ std::string CampaignStatusBoard::StatusJson() const {
   for (int i = 0; i < workers; ++i) {
     if (i > 0) lanes += ',';
     lanes += StrFormat(
-        "{\"worker\":%d,\"epoch\":%llu,\"executions\":%llu,\"done\":%s,\"stalled\":%s}", i,
-        static_cast<unsigned long long>(WorkerEpoch(i)),
+        "{\"worker\":%d,\"epoch\":%llu,\"executions\":%llu,\"done\":%s,\"stalled\":%s,"
+        "\"restarting\":%s,\"restarts\":%llu}",
+        i, static_cast<unsigned long long>(WorkerEpoch(i)),
         static_cast<unsigned long long>(WorkerExecutions(i)),
-        WorkerDone(i) ? "true" : "false", WorkerStalled(i) ? "true" : "false");
+        WorkerDone(i) ? "true" : "false", WorkerStalled(i) ? "true" : "false",
+        WorkerRestarting(i) ? "true" : "false",
+        static_cast<unsigned long long>(WorkerRestarts(i)));
   }
   lanes += ']';
 
@@ -277,6 +303,16 @@ void StallWatchdog::Poll(double now_s) {
     if (board_->WorkerDone(i)) {
       // Finished workers cannot stall; clear any leftover flag.
       if (board_->WorkerStalled(i)) board_->SetWorkerStalled(i, false);
+      continue;
+    }
+    if (board_->WorkerRestarting(i)) {
+      // The supervisor is respawning this lane: its epoch is legitimately
+      // frozen. Re-arm the window from now so the recovery gap itself never
+      // counts toward `fuzz.worker_stalls`.
+      if (board_->WorkerStalled(i)) board_->SetWorkerStalled(i, false);
+      w.epoch = board_->WorkerEpoch(i);
+      w.last_change_s = now_s;
+      w.seen = true;
       continue;
     }
     const std::uint64_t epoch = board_->WorkerEpoch(i);

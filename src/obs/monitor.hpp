@@ -96,10 +96,20 @@ class CampaignStatusBoard {
   void StampWorker(int worker, std::uint64_t executions);
   void SetWorkerDone(int worker);
   void SetWorkerStalled(int worker, bool stalled);
+  /// Marks a lane as being respawned by the supervisor. A restarting lane is
+  /// exempt from stall detection — its epoch is legitimately frozen while
+  /// the replacement process boots — so supervised recovery does not inflate
+  /// `fuzz.worker_stalls`. Clearing the flag re-arms the watchdog from the
+  /// current time.
+  void SetWorkerRestarting(int worker, bool restarting);
+  /// Counts one completed respawn of the lane (shown in /status).
+  void CountWorkerRestart(int worker);
   [[nodiscard]] std::uint64_t WorkerEpoch(int worker) const;
   [[nodiscard]] std::uint64_t WorkerExecutions(int worker) const;
   [[nodiscard]] bool WorkerDone(int worker) const;
   [[nodiscard]] bool WorkerStalled(int worker) const;
+  [[nodiscard]] bool WorkerRestarting(int worker) const;
+  [[nodiscard]] std::uint64_t WorkerRestarts(int worker) const;
   /// Sum of the per-worker execution counters — livelier than the
   /// heartbeat-refreshed aggregate, used for the top-level /status count.
   [[nodiscard]] std::uint64_t TotalWorkerExecutions() const;
@@ -128,6 +138,8 @@ class CampaignStatusBoard {
     std::atomic<std::uint64_t> executions{0};
     std::atomic<bool> done{false};
     std::atomic<bool> stalled{false};
+    std::atomic<bool> restarting{false};
+    std::atomic<std::uint64_t> restarts{0};
   };
   struct Event {
     std::string name;

@@ -1,0 +1,132 @@
+#include "support/fault_inject.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/rng.hpp"
+
+namespace cftcg::support {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kTornCheckpoint: return "torn";
+    case FaultKind::kCorruptDelta: return "corrupt";
+    case FaultKind::kSlowLane: return "slow";
+  }
+  return "?";
+}
+
+namespace {
+
+Status ParseKind(std::string_view token, FaultKind* out) {
+  for (FaultKind k : {FaultKind::kCrash, FaultKind::kHang, FaultKind::kTornCheckpoint,
+                      FaultKind::kCorruptDelta, FaultKind::kSlowLane}) {
+    if (token == FaultKindName(k)) {
+      *out = k;
+      return Status::Ok();
+    }
+  }
+  return Status::Error("unknown fault kind '" + std::string(token) +
+                       "' (expected crash|hang|torn|corrupt|slow)");
+}
+
+}  // namespace
+
+Result<FaultInjector> FaultInjector::FromSpec(std::string_view spec, std::uint64_t seed,
+                                              int num_workers, std::uint64_t horizon_execs) {
+  FaultInjector inj;
+  if (spec.empty()) return inj;
+  if (num_workers < 1) num_workers = 1;
+  // Fire points land in the middle half of the per-lane budget: late enough
+  // that the lane has state worth losing, early enough that recovery runs.
+  const std::uint64_t horizon = std::max<std::uint64_t>(horizon_execs, 16);
+  Rng rng(seed ^ 0xFA017EC7ED5EEDULL);
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string token(spec.substr(start, comma - start));
+    start = comma + 1;
+    token.erase(std::remove(token.begin(), token.end(), ' '), token.end());
+    if (token.empty()) continue;
+    std::uint64_t count = 1;
+    const std::size_t star = token.find('*');
+    if (star != std::string::npos) {
+      char* end = nullptr;
+      count = std::strtoull(token.c_str() + star + 1, &end, 10);
+      if (end == token.c_str() + star + 1 || *end != '\0' || count == 0 || count > 64) {
+        return Status::Error("bad fault count in '" + token + "'");
+      }
+      token.resize(star);
+    }
+    FaultKind kind{};
+    Status st = ParseKind(token, &kind);
+    if (!st.ok()) return st;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      FaultEvent ev;
+      ev.kind = kind;
+      ev.lane = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(num_workers)));
+      if (kind == FaultKind::kTornCheckpoint) {
+        ev.at = 1 + rng.NextBelow(3);  // ordinal of the checkpoint write to tear
+      } else if (kind == FaultKind::kCorruptDelta) {
+        ev.at = 1 + rng.NextBelow(6);  // ordinal of the sync round to corrupt
+      } else {
+        ev.at = horizon / 4 + rng.NextBelow(horizon / 2 + 1);
+        if (kind == FaultKind::kSlowLane) ev.param = 100 + rng.NextBelow(400);
+      }
+      inj.events_.push_back(ev);
+    }
+  }
+  return inj;
+}
+
+Result<FaultInjector> FaultInjector::FromEnv(std::uint64_t seed, int num_workers,
+                                             std::uint64_t horizon_execs) {
+  const char* spec = std::getenv("CFTCG_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return FaultInjector();
+  if (const char* s = std::getenv("CFTCG_FAULT_SEED"); s != nullptr && s[0] != '\0') {
+    seed = std::strtoull(s, nullptr, 10);
+  }
+  return FromSpec(spec, seed, num_workers, horizon_execs);
+}
+
+FaultEvent* FaultInjector::NextLaneFault(int lane, std::uint64_t limit) {
+  for (FaultEvent& ev : events_) {
+    if (ev.fired || ev.armed || ev.lane != lane || ev.at > limit) continue;
+    if (ev.kind == FaultKind::kCrash || ev.kind == FaultKind::kHang ||
+        ev.kind == FaultKind::kSlowLane) {
+      return &ev;
+    }
+  }
+  return nullptr;
+}
+
+FaultEvent* FaultInjector::NextDriverFault(FaultKind kind, std::uint64_t ordinal) {
+  for (FaultEvent& ev : events_) {
+    if (!ev.fired && ev.kind == kind && ev.at <= ordinal) return &ev;
+  }
+  return nullptr;
+}
+
+FaultEvent* FaultInjector::NextCorruptDelta(int lane, std::uint64_t round) {
+  for (FaultEvent& ev : events_) {
+    if (!ev.fired && ev.kind == FaultKind::kCorruptDelta && ev.lane == lane && ev.at <= round) {
+      return &ev;
+    }
+  }
+  return nullptr;
+}
+
+std::string FaultInjector::Describe() const {
+  std::string out;
+  for (const FaultEvent& ev : events_) {
+    if (!out.empty()) out += ", ";
+    out += FaultKindName(ev.kind);
+    out += "@lane" + std::to_string(ev.lane) + ":" + std::to_string(ev.at);
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace cftcg::support

@@ -1,0 +1,79 @@
+// Deterministic fault injection for the supervised execution engine.
+//
+// Robustness claims are only testable if faults are reproducible, so the
+// injector draws its entire schedule up front from a seed: which lane
+// faults, with what, and when (an execution count for lane faults, an
+// ordinal for driver-side faults). The supervisor arms lane faults through
+// the worker command pipe and consumes each event exactly once, so a
+// respawned worker does not re-fire the fault that killed its predecessor.
+//
+// Activation is explicit: the `fuzz --faults SPEC` flag, or the CFTCG_FAULTS
+// environment variable for processes that cannot take flags (CI matrices,
+// spawned tools). A campaign with no spec runs with a null injector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace cftcg::support {
+
+enum class FaultKind : std::uint8_t {
+  kCrash = 0,           // worker calls _Exit mid-round
+  kHang = 1,            // worker stops responding (sleeps forever)
+  kTornCheckpoint = 2,  // driver truncates a checkpoint write, bypassing the atomic writer
+  kCorruptDelta = 3,    // one corpus-sync frame is bit-flipped on the wire
+  kSlowLane = 4,        // worker delays its round reply
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  int lane = 0;             // target worker (lane faults; ignored for kTornCheckpoint)
+  std::uint64_t at = 0;     // lane faults: cumulative execution count; driver faults: ordinal
+  std::uint64_t param = 0;  // kSlowLane: delay in milliseconds
+  bool armed = false;       // handed to a worker / scheduled this round
+  bool fired = false;       // consumed — never fires again
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Parses a schedule spec: comma-separated `kind` or `kind*count` tokens,
+  /// where kind is one of crash|hang|torn|corrupt|slow. Lane assignments and
+  /// fire points are drawn deterministically from `seed`; `horizon_execs` is
+  /// the approximate per-lane execution budget the fire points are placed in.
+  static Result<FaultInjector> FromSpec(std::string_view spec, std::uint64_t seed,
+                                        int num_workers, std::uint64_t horizon_execs);
+
+  /// Reads CFTCG_FAULTS (and CFTCG_FAULT_SEED, defaulting to `seed`).
+  /// An unset variable yields an inactive injector.
+  static Result<FaultInjector> FromEnv(std::uint64_t seed, int num_workers,
+                                       std::uint64_t horizon_execs);
+
+  [[nodiscard]] bool active() const { return !events_.empty(); }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+  std::vector<FaultEvent>& events() { return events_; }
+
+  /// Next unconsumed lane fault (crash/hang/slow) for `lane` firing at or
+  /// before `limit` executions. Marks nothing; call Arm/Consume on the result.
+  FaultEvent* NextLaneFault(int lane, std::uint64_t limit);
+
+  /// Next unconsumed driver fault of `kind` whose ordinal is `<= ordinal`.
+  FaultEvent* NextDriverFault(FaultKind kind, std::uint64_t ordinal);
+
+  /// Unconsumed corrupt-delta fault for `lane` (fires on the next sync frame).
+  FaultEvent* NextCorruptDelta(int lane, std::uint64_t round);
+
+  [[nodiscard]] std::string Describe() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace cftcg::support

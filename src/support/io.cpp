@@ -1,0 +1,95 @@
+#include "support/io.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <thread>
+
+namespace cftcg::support::io {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Status ReadFull(int fd, void* buf, std::size_t size) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return Status::Error("unexpected EOF");
+    if (errno == EINTR) continue;
+    return Status::Error(Errno("read"));
+  }
+  return Status::Ok();
+}
+
+Status WriteFull(int fd, const void* buf, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  std::size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, p + sent, size - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Error(Errno("write"));
+  }
+  return Status::Ok();
+}
+
+std::ptrdiff_t ReadSome(int fd, void* buf, std::size_t size) {
+  while (true) {
+    ssize_t n = ::recv(fd, buf, size, 0);
+    if (n < 0 && errno == ENOTSOCK) n = ::read(fd, buf, size);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+int PollRetry(struct pollfd* fds, int nfds, int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      timeout_ms < 0 ? Clock::time_point::max()
+                     : Clock::now() + std::chrono::milliseconds(timeout_ms);
+  int remaining = timeout_ms;
+  while (true) {
+    const int rc = ::poll(fds, static_cast<nfds_t>(nfds), remaining);
+    if (rc >= 0 || errno != EINTR) return rc;
+    if (timeout_ms >= 0) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+      remaining = static_cast<int>(std::max<std::int64_t>(0, left.count()));
+      if (remaining == 0) return 0;
+    }
+  }
+}
+
+int AcceptRetry(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return -1;
+  }
+}
+
+void SleepMs(int ms) { std::this_thread::sleep_for(std::chrono::milliseconds(ms)); }
+
+}  // namespace cftcg::support::io

@@ -1,0 +1,41 @@
+// EINTR/EAGAIN-safe POSIX I/O retry helpers.
+//
+// Every place CFTCG talks to a file descriptor under signals — the monitor's
+// HTTP sockets, the supervisor's worker pipes — needs the same three-line
+// retry loops. They live here once, so a missed EINTR can't take down a
+// campaign that happens to catch a SIGCHLD mid-read.
+#pragma once
+
+#include <cstddef>
+
+#include "support/status.hpp"
+
+struct pollfd;  // <poll.h>
+
+namespace cftcg::support::io {
+
+/// Reads exactly `size` bytes. Retries EINTR; EOF or any other error is a
+/// failure (short reads never succeed silently).
+Status ReadFull(int fd, void* buf, std::size_t size);
+
+/// Writes exactly `size` bytes, retrying EINTR. Uses send(MSG_NOSIGNAL) on
+/// sockets (falling back to write(2) for pipes/files), so a peer hangup
+/// surfaces as EPIPE instead of a process-killing SIGPIPE.
+Status WriteFull(int fd, const void* buf, std::size_t size);
+
+/// One recv/read of up to `size` bytes, retrying EINTR. Returns the byte
+/// count (0 at EOF) or -1 on error.
+std::ptrdiff_t ReadSome(int fd, void* buf, std::size_t size);
+
+/// poll(2) that re-arms after EINTR with the remaining timeout (measured on
+/// the monotonic clock). Semantics otherwise identical to poll.
+int PollRetry(struct pollfd* fds, int nfds, int timeout_ms);
+
+/// accept(2) retrying EINTR and the transient ECONNABORTED. Returns the
+/// connection fd, or -1 for everything else (including EAGAIN on a
+/// non-blocking listener).
+int AcceptRetry(int listen_fd);
+
+void SleepMs(int ms);
+
+}  // namespace cftcg::support::io

@@ -1,0 +1,105 @@
+// support::FaultInjector — the deterministic fault schedule that drives the
+// supervisor's robustness tests and the CI fault matrix.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/fault_inject.hpp"
+
+namespace cftcg::support {
+namespace {
+
+TEST(FaultInjectorTest, EmptySpecIsInactive) {
+  auto r = FaultInjector::FromSpec("", 1, 4, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().active());
+  EXPECT_EQ(r.value().Describe(), "none");
+}
+
+TEST(FaultInjectorTest, ParsesKindsAndCounts) {
+  auto r = FaultInjector::FromSpec("crash, hang*2 ,slow", 1, 4, 1000);
+  ASSERT_TRUE(r.ok()) << r.message();
+  const auto& ev = r.value().events();
+  ASSERT_EQ(ev.size(), 4U);
+  EXPECT_EQ(ev[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(ev[1].kind, FaultKind::kHang);
+  EXPECT_EQ(ev[2].kind, FaultKind::kHang);
+  EXPECT_EQ(ev[3].kind, FaultKind::kSlowLane);
+  for (const FaultEvent& e : ev) {
+    EXPECT_GE(e.lane, 0);
+    EXPECT_LT(e.lane, 4);
+    // Lane fire points land in the middle half of the horizon.
+    EXPECT_GE(e.at, 250U);
+    EXPECT_LE(e.at, 750U);
+  }
+  EXPECT_GE(ev[3].param, 100U);  // slow-lane delay in ms
+}
+
+TEST(FaultInjectorTest, RejectsUnknownKindAndBadCount) {
+  EXPECT_FALSE(FaultInjector::FromSpec("explode", 1, 2, 100).ok());
+  EXPECT_FALSE(FaultInjector::FromSpec("crash*0", 1, 2, 100).ok());
+  EXPECT_FALSE(FaultInjector::FromSpec("crash*65", 1, 2, 100).ok());
+  EXPECT_FALSE(FaultInjector::FromSpec("crash*x", 1, 2, 100).ok());
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  auto a = FaultInjector::FromSpec("crash*4,hang*4", 42, 8, 5000);
+  auto b = FaultInjector::FromSpec("crash*4,hang*4", 42, 8, 5000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().events().size(), b.value().events().size());
+  for (std::size_t i = 0; i < a.value().events().size(); ++i) {
+    EXPECT_EQ(a.value().events()[i].lane, b.value().events()[i].lane);
+    EXPECT_EQ(a.value().events()[i].at, b.value().events()[i].at);
+  }
+  auto c = FaultInjector::FromSpec("crash*4,hang*4", 43, 8, 5000);
+  ASSERT_TRUE(c.ok());
+  bool differs = false;
+  for (std::size_t i = 0; i < c.value().events().size(); ++i) {
+    differs |= c.value().events()[i].lane != a.value().events()[i].lane ||
+               c.value().events()[i].at != a.value().events()[i].at;
+  }
+  EXPECT_TRUE(differs) << "different seeds should draw different schedules";
+}
+
+TEST(FaultInjectorTest, LaneFaultConsumedExactlyOnce) {
+  FaultInjector inj;
+  inj.events().push_back(FaultEvent{FaultKind::kCrash, 1, 100, 0, false, false});
+  EXPECT_EQ(inj.NextLaneFault(0, 1000), nullptr);  // wrong lane
+  EXPECT_EQ(inj.NextLaneFault(1, 50), nullptr);    // before the fire point
+  FaultEvent* ev = inj.NextLaneFault(1, 1000);
+  ASSERT_NE(ev, nullptr);
+  ev->armed = true;
+  ev->fired = true;  // the supervisor consumes at arming
+  EXPECT_EQ(inj.NextLaneFault(1, 1000), nullptr) << "a consumed fault must not re-fire";
+}
+
+TEST(FaultInjectorTest, DriverAndDeltaFaultsMatchByOrdinal) {
+  FaultInjector inj;
+  inj.events().push_back(FaultEvent{FaultKind::kTornCheckpoint, 0, 2, 0, false, false});
+  inj.events().push_back(FaultEvent{FaultKind::kCorruptDelta, 1, 3, 0, false, false});
+  EXPECT_EQ(inj.NextDriverFault(FaultKind::kTornCheckpoint, 1), nullptr);
+  ASSERT_NE(inj.NextDriverFault(FaultKind::kTornCheckpoint, 2), nullptr);
+  EXPECT_EQ(inj.NextCorruptDelta(0, 5), nullptr);  // wrong lane
+  ASSERT_NE(inj.NextCorruptDelta(1, 3), nullptr);
+}
+
+TEST(FaultInjectorTest, FromEnvReadsSpecAndSeed) {
+  ::setenv("CFTCG_FAULTS", "crash", 1);
+  ::setenv("CFTCG_FAULT_SEED", "77", 1);
+  auto a = FaultInjector::FromEnv(1, 4, 1000);
+  auto b = FaultInjector::FromSpec("crash", 77, 4, 1000);
+  ::unsetenv("CFTCG_FAULTS");
+  ::unsetenv("CFTCG_FAULT_SEED");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().events().size(), 1U);
+  EXPECT_EQ(a.value().events()[0].lane, b.value().events()[0].lane);
+  EXPECT_EQ(a.value().events()[0].at, b.value().events()[0].at);
+  auto off = FaultInjector::FromEnv(1, 4, 1000);
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off.value().active());
+}
+
+}  // namespace
+}  // namespace cftcg::support

@@ -1,0 +1,96 @@
+// support::io — EINTR-safe descriptor helpers shared by the HTTP server and
+// the supervisor's worker pipes.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "support/io.hpp"
+
+namespace cftcg::support::io {
+namespace {
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  int r() const { return fds[0]; }
+  int w() const { return fds[1]; }
+};
+
+TEST(IoTest, WriteFullThenReadFullRoundTrips) {
+  Pipe p;
+  const std::string msg = "supervisor frame payload";
+  ASSERT_TRUE(WriteFull(p.w(), msg.data(), msg.size()).ok());
+  std::string got(msg.size(), '\0');
+  ASSERT_TRUE(ReadFull(p.r(), got.data(), got.size()).ok());
+  EXPECT_EQ(got, msg);
+}
+
+TEST(IoTest, ReadFullReportsUnexpectedEof) {
+  Pipe p;
+  ASSERT_TRUE(WriteFull(p.w(), "ab", 2).ok());
+  ::close(p.fds[1]);
+  p.fds[1] = -1;
+  char buf[8];
+  const Status s = ReadFull(p.r(), buf, sizeof(buf));
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("EOF"), std::string::npos) << s.message();
+}
+
+TEST(IoTest, ReadFullSpansShortReads) {
+  // A megabyte through a default pipe forces many short reads on both ends.
+  Pipe p;
+  std::string big(1 << 20, '\0');
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>(i * 31);
+  std::thread writer([&]() { EXPECT_TRUE(WriteFull(p.w(), big.data(), big.size()).ok()); });
+  std::string got(big.size(), '\0');
+  EXPECT_TRUE(ReadFull(p.r(), got.data(), got.size()).ok());
+  writer.join();
+  EXPECT_EQ(got, big);
+}
+
+TEST(IoTest, ReadSomeReturnsZeroOnEof) {
+  Pipe p;
+  ::close(p.fds[1]);
+  p.fds[1] = -1;
+  char buf[8];
+  EXPECT_EQ(ReadSome(p.r(), buf, sizeof(buf)), 0);
+}
+
+TEST(IoTest, WriteFullFailsOnClosedReader) {
+  // EPIPE (SIGPIPE suppressed) must surface as a Status, not kill the test.
+  Pipe p;
+  ::close(p.fds[0]);
+  p.fds[0] = -1;
+  void (*old)(int) = std::signal(SIGPIPE, SIG_IGN);
+  std::string big(1 << 20, 'x');
+  EXPECT_FALSE(WriteFull(p.w(), big.data(), big.size()).ok());
+  std::signal(SIGPIPE, old);
+}
+
+TEST(IoTest, PollRetryTimesOut) {
+  Pipe p;
+  struct pollfd pfd {p.r(), POLLIN, 0};
+  EXPECT_EQ(PollRetry(&pfd, 1, 50), 0);  // nothing to read: clean timeout
+}
+
+TEST(IoTest, PollRetrySeesReadableData) {
+  Pipe p;
+  ASSERT_TRUE(WriteFull(p.w(), "x", 1).ok());
+  struct pollfd pfd {p.r(), POLLIN, 0};
+  EXPECT_EQ(PollRetry(&pfd, 1, 1000), 1);
+  EXPECT_NE(pfd.revents & POLLIN, 0);
+}
+
+}  // namespace
+}  // namespace cftcg::support::io

@@ -283,6 +283,47 @@ TEST(StallWatchdogTest, ExemptsDoneAndNeverStartedWorkers) {
   EXPECT_EQ(board.stall_count(), 1U);
 }
 
+TEST(StallWatchdogTest, RestartingLaneIsExemptAndReArmed) {
+  CampaignStatusBoard board;
+  board.BeginCampaign(TestCampaign(2));
+  Registry registry;
+  StallWatchdog dog(&board, &registry, /*window_s=*/1.0);
+
+  board.StampWorker(0, 1);
+  board.StampWorker(1, 1);
+  dog.Poll(0.0);
+  // Lane 0 dies; the supervisor marks it restarting. It stays silent far
+  // past the window while the respawn replays its round — that silence is a
+  // recovery in progress, not a stall, and must not inflate the counter.
+  board.SetWorkerRestarting(0, true);
+  board.CountWorkerRestart(0);
+  board.StampWorker(1, 2);
+  dog.Poll(100.0);
+  EXPECT_FALSE(board.WorkerStalled(0));
+  EXPECT_EQ(board.stall_count(), 0U);
+  EXPECT_EQ(registry.Snapshot().CounterValue("fuzz.worker_stalls", 0), 0U);
+
+  // The respawn completes. The exemption re-armed the baseline, so only a
+  // fresh window of post-recovery silence counts as a stall.
+  board.SetWorkerRestarting(0, false);
+  board.StampWorker(0, 2);
+  dog.Poll(100.5);
+  EXPECT_FALSE(board.WorkerStalled(0));
+  dog.Poll(102.0);  // 1.5s of silence after recovery: a genuine stall again
+  EXPECT_TRUE(board.WorkerStalled(0));
+  EXPECT_EQ(board.WorkerRestarts(0), 1U);
+
+  // Restart accounting is visible per lane in /status.
+  auto parsed = ParseJson(board.StatusJson());
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* lanes = parsed.value().Find("workers_detail");
+  ASSERT_NE(lanes, nullptr);
+  EXPECT_DOUBLE_EQ(lanes->items[0].NumberOr("restarts", 0), 1);
+  const JsonValue* restarting = lanes->items[0].Find("restarting");
+  ASSERT_NE(restarting, nullptr);
+  EXPECT_FALSE(restarting->boolean);
+}
+
 TEST(StallWatchdogTest, StallEmitsTraceInstant) {
   CampaignStatusBoard board;
   board.BeginCampaign(TestCampaign(1));

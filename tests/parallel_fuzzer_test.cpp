@@ -20,6 +20,7 @@
 #include "cftcg/pipeline.hpp"
 #include "coverage/provenance.hpp"
 #include "fuzz/parallel.hpp"
+#include "fuzz/supervisor.hpp"
 
 namespace cftcg::fuzz {
 namespace {
@@ -168,6 +169,40 @@ TEST(IterationAccountingTest, FuzzOnlyMeasurementBookedSeparately) {
   EXPECT_EQ(r.measure_iterations, expected);
   EXPECT_GT(r.measure_iterations, 0U);
   EXPECT_GT(r.model_iterations, 0U);
+}
+
+// The crash-isolated engine must be a drop-in for the threaded one: with no
+// faults injected, forked workers exchanging checkpoint-format messages over
+// pipes reach the exact same merged campaign as threads sharing memory.
+// (supervisor_test.cpp covers the model-oriented and faulted cases; this one
+// pins the fuzz-only mode, where imports trigger measurement re-runs.)
+TEST(ParallelIdentityTest, SupervisedEngineMatchesThreadedEngineFuzzOnly) {
+  auto cm = Compile("AFC");
+  FuzzerOptions options;
+  options.seed = 31;
+  options.model_oriented = false;
+  const FuzzBudget budget = ExecBudget(600);
+
+  ParallelOptions par;
+  par.num_workers = 2;
+  par.sync_every = 64;
+  ParallelFuzzer threaded(cm->instrumented(), cm->spec(), options, par, &cm->fuzz_only());
+  const ParallelCampaignResult t = threaded.Run(budget);
+
+  SupervisorOptions sup;
+  sup.num_workers = 2;
+  sup.sync_every = 64;
+  Supervisor supervised(cm->instrumented(), cm->spec(), options, sup, &cm->fuzz_only());
+  const SupervisedCampaignResult s = supervised.Run(budget);
+
+  ExpectSameCampaign(t.merged, s.merged);
+  EXPECT_EQ(t.merged.corpus_fingerprint, s.merged.corpus_fingerprint);
+  EXPECT_EQ(t.merged.coverage_fingerprint, s.merged.coverage_fingerprint);
+  EXPECT_EQ(t.corpus_signatures, s.corpus_signatures);
+  EXPECT_EQ(t.worker_executions, s.worker_executions);
+  EXPECT_EQ(t.imports, s.imports);
+  EXPECT_EQ(s.crashes, 0U);
+  EXPECT_EQ(s.restarts, 0U);
 }
 
 TEST(IterationAccountingTest, CftcgModeHasNoMeasurementReruns) {

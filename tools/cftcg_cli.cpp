@@ -50,6 +50,7 @@
 #include "fuzz/csv_export.hpp"
 #include "fuzz/suite.hpp"
 #include "support/atomic_file.hpp"
+#include "support/fault_inject.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
@@ -121,6 +122,19 @@ int Usage() {
       "                                   strobe-sampled hot blocks; writes\n"
       "                                   profile.json and profile.folded\n"
       "              [--profile-strobe N] sample every Nth VM dispatch (default 97)\n"
+      "              [--isolate]          crash isolation: fork each worker into its own\n"
+      "                                   supervised process; worker death or a hang is\n"
+      "                                   quarantined and the lane respawned (same\n"
+      "                                   results as threaded -jN for the same seed)\n"
+      "              [--crashes-dir DIR]  save inputs in flight at a worker crash here\n"
+      "              [--lane-timeout N]   kill + respawn a worker silent for N s\n"
+      "                                   (default 30; needs --isolate)\n"
+      "              [--max-restarts N]   respawns before a lane is retired (default 3)\n"
+      "              [--faults SPEC]      deterministic fault injection into the\n"
+      "                                   supervised campaign: comma list of\n"
+      "                                   crash|hang|torn|corrupt|slow (kind*N repeats);\n"
+      "                                   also via CFTCG_FAULTS env\n"
+      "              [--fault-seed N]     fault schedule seed (default: campaign seed)\n"
       "  cftcg run   <model.cmx> --csv test.csv\n"
       "  cftcg cover <model.cmx> --csv-dir DIR [--html report.html]\n"
       "  cftcg trace-summary <trace.jsonl>\n"
@@ -254,10 +268,26 @@ struct DurabilityFlags {
   std::string hangs_dir;                // where quarantined inputs go
 };
 
+struct IsolationFlags {
+  bool isolate = false;        // --isolate: fork workers, supervise, respawn
+  std::string faults;          // --faults crash,hang,...: deterministic injection
+  std::uint64_t fault_seed = 0;
+  bool fault_seed_set = false; // default: derived from the campaign seed
+  double lane_timeout = 30.0;  // --lane-timeout: reply deadline before a kill
+  int max_restarts = 3;        // --max-restarts: respawns before retirement
+  std::string crashes_dir;     // --crashes-dir: quarantined crashing inputs
+};
+
+/// A checkpoint that cannot even be parsed or whose tables have impossible
+/// shapes exits with this code — distinct from campaign/validation failures
+/// (1) and usage errors (2), so wrappers can tell "checkpoint file is
+/// damaged" from "checkpoint belongs to a different campaign".
+constexpr int kExitBadCheckpoint = 4;
+
 int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const std::string& outdir,
             bool fuzz_only, bool minimize, bool analyze, bool focus, int jobs,
             const TelemetryFlags& tf, DurabilityFlags df, const ServeFlags& sf,
-            const ProfileFlags& pf) {
+            const ProfileFlags& pf, const IsolationFlags& isf) {
   // CLI-side phases (model load+lowering, static analysis, suite export) are
   // timed here and merged into the campaign profile the engine accumulates.
   obs::PhaseProfile cli_phases;
@@ -278,10 +308,27 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
     }
     auto loaded = fuzz::ReadCheckpointFile(df.checkpoint_path);
     if (!loaded.ok()) {
+      // Unreadable / truncated / bit-flipped checkpoint: a structured
+      // diagnostic and a distinct exit code, never a crash. The campaign
+      // can be restarted from scratch; the damaged file is left for triage.
       std::fprintf(stderr, "error: %s\n", loaded.message().c_str());
-      return 1;
+      return kExitBadCheckpoint;
     }
     ckpt = loaded.take();
+    if (ckpt.spec_fingerprint == fuzz::SpecFingerprint(cm->spec(), cm->instrumented())) {
+      // Shape validation against this model's coverage universe: a blob that
+      // parsed (and names this model) but carries impossible table sizes is
+      // damage, not mismatch. Checkpoints for a *different* model skip this
+      // and fail the identity validation below with the ordinary exit code.
+      const coverage::CoverageSink probe(cm->spec());
+      if (Status s = fuzz::ValidateCheckpointShape(ckpt, probe.total().size(),
+                                                   probe.evals().size());
+          !s.ok()) {
+        std::fprintf(stderr, "error: %s: %s\n", df.checkpoint_path.c_str(),
+                     s.message().c_str());
+        return kExitBadCheckpoint;
+      }
+    }
     seed = ckpt.seed;
     fuzz_only = !ckpt.model_oriented;
     analyze = analyze || ckpt.analyzed;
@@ -450,7 +497,56 @@ int CmdFuzz(const std::string& path, double seconds, std::uint64_t seed, const s
   }
 
   fuzz::CampaignResult result;
-  if (jobs > 1) {
+  if (isf.isolate) {
+    // Crash-isolated engine: every worker in its own process, supervised
+    // with quarantine + respawn. No sequential delegation even at -j1 — the
+    // isolation boundary always holds.
+    fuzz::SupervisorOptions sup;
+    sup.num_workers = std::max(jobs, 1);
+    if (df.resume) {
+      sup.sync_every = ckpt.sync_every;
+      sup.resume = &ckpt;
+    }
+    sup.lane_timeout_s = isf.lane_timeout;
+    sup.max_restarts = isf.max_restarts;
+    sup.crashes_dir = isf.crashes_dir;
+    // Deterministic fault injection: --faults (seeded by --fault-seed or the
+    // campaign seed), falling back to CFTCG_FAULTS/CFTCG_FAULT_SEED so CI
+    // drives it without touching the command line under test.
+    const std::uint64_t horizon =
+        df.max_execs != UINT64_MAX
+            ? df.max_execs / static_cast<std::uint64_t>(sup.num_workers)
+            : 20000;
+    const std::uint64_t fault_seed = isf.fault_seed_set ? isf.fault_seed : seed;
+    auto injected = isf.faults.empty()
+                        ? support::FaultInjector::FromEnv(fault_seed, sup.num_workers, horizon)
+                        : support::FaultInjector::FromSpec(isf.faults, fault_seed,
+                                                           sup.num_workers, horizon);
+    if (!injected.ok()) {
+      std::fprintf(stderr, "error: %s\n", injected.message().c_str());
+      return 2;
+    }
+    support::FaultInjector injector = injected.take();
+    if (injector.active()) {
+      sup.faults = &injector;
+      std::printf("fault injection: %s (seed %llu)\n", injector.Describe().c_str(),
+                  static_cast<unsigned long long>(fault_seed));
+    }
+    auto sresult = cm->FuzzSupervised(options, budget, sup);
+    result = std::move(sresult.merged);
+    std::printf("parallel: %d workers, %llu rounds, %llu corpus imports\n", sup.num_workers,
+                static_cast<unsigned long long>(sresult.rounds),
+                static_cast<unsigned long long>(sresult.imports));
+    std::printf("supervision: %llu crash(es) (%llu hang kill(s)), %llu restart(s), "
+                "%llu lane(s) retired%s%s\n",
+                static_cast<unsigned long long>(sresult.crashes),
+                static_cast<unsigned long long>(sresult.hang_kills),
+                static_cast<unsigned long long>(sresult.restarts),
+                static_cast<unsigned long long>(sresult.lanes_retired),
+                sresult.crashes > 0 && !isf.crashes_dir.empty() ? ", inputs quarantined to "
+                                                                : "",
+                sresult.crashes > 0 ? isf.crashes_dir.c_str() : "");
+  } else if (jobs > 1) {
     // Parallel engine: the driver aggregates heartbeats and merges worker
     // state; margin recording is sequential-only and stays off.
     fuzz::ParallelOptions par;
@@ -1267,6 +1363,7 @@ int main(int argc, char** argv) {
   DurabilityFlags df;
   ServeFlags sf;
   ProfileFlags pf;
+  IsolationFlags isf;
   std::string diff;
   std::string folded;
   std::string profile_json;
@@ -1304,6 +1401,15 @@ int main(int argc, char** argv) {
       df.step_budget = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     }
     else if (a == "--hangs-dir") df.hangs_dir = next();
+    else if (a == "--isolate") isf.isolate = true;
+    else if (a == "--faults") isf.faults = next();
+    else if (a == "--fault-seed") {
+      isf.fault_seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+      isf.fault_seed_set = true;
+    }
+    else if (a == "--lane-timeout") isf.lane_timeout = std::atof(next().c_str());
+    else if (a == "--max-restarts") isf.max_restarts = std::atoi(next().c_str());
+    else if (a == "--crashes-dir") isf.crashes_dir = next();
     else if (a == "--serve") sf.port = std::atoi(next().c_str());
     else if (a == "--stall-window") sf.stall_window = std::atof(next().c_str());
     else if (a == "--profile") {
@@ -1328,7 +1434,7 @@ int main(int argc, char** argv) {
   if (cmd == "analyze") return CmdAnalyze(target, json, slices, lint);
   if (cmd == "fuzz") {
     return CmdFuzz(target, seconds, seed, out, fuzz_only, minimize, analyze, focus, jobs, tf, df,
-                   sf, pf);
+                   sf, pf, isf);
   }
   if (cmd == "run") return CmdRun(target, csv);
   if (cmd == "cover") return CmdCover(target, csv_dir, html);
